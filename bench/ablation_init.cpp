@@ -1,0 +1,89 @@
+// §IV-F — initialization ablation: effect of σ_γ / σ_β on clean accuracy
+// and on bit-flip robustness. Expected shape (paper): larger σ improves
+// robustness but costs ~1-2 points of clean accuracy; σ=0.3 is the
+// operating point. Also compares the affine-first (inverted) order against
+// the conventional norm→affine order with identical stochastic affine
+// parameters — the ordering ablation DESIGN.md calls out.
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+namespace {
+
+std::unique_ptr<models::BinaryResNet> trained_proposed(
+    const ImageTask& task, const Workload& w, float sigma, bool affine_first,
+    const char* tag) {
+  models::VariantConfig vc = variant_config(models::Variant::kProposed);
+  vc.init = core::AffineInit::normal(sigma, sigma);
+  vc.affine_first = affine_first;
+  auto model = std::make_unique<models::BinaryResNet>(
+      models::BinaryResNet::Topology{.in_channels = 3, .classes = 10,
+                                     .width = 12},
+      vc);
+  models::train_or_load(
+      *model, std::string("ablation_") + tag + "_n" +
+                  std::to_string(w.train_n) + "_e" + std::to_string(w.epochs),
+      [&] {
+        models::TrainConfig tc;
+        tc.epochs = w.epochs;
+        tc.seed = 5000;
+        models::train_classifier(*model, task.train, tc);
+      });
+  model->set_training(false);
+  model->deploy();
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §IV-F — affine-parameter initialization ablation ===\n");
+  const Workload w = image_workload();
+  const ImageTask task = make_image_task(w);
+
+  const std::vector<float> sigmas = {0.0f, 0.1f, 0.3f, 0.5f, 1.0f};
+  std::printf("%-8s %12s %18s %18s\n", "sigma", "clean acc", "acc@5% flips",
+              "acc@15% flips");
+  CsvWriter csv(csv_output_dir() + "/ablation_init.csv",
+                {"sigma", "clean", "flip05", "flip15"});
+  for (float sigma : sigmas) {
+    const std::string tag = "sg" + std::to_string(static_cast<int>(
+                                       sigma * 100.0f + 0.5f));
+    auto model = trained_proposed(task, w, sigma, true, tag.c_str());
+    const double clean =
+        models::accuracy_mc(*model, task.test, w.mc_samples);
+    auto flips = [&](float p) {
+      return sweep_point(*model, fault::FaultSpec::bitflips(p), w.mc_runs,
+                         [&] {
+                           return models::accuracy_mc(*model, task.test,
+                                                      w.mc_samples);
+                         })
+          .mean;
+    };
+    const double f05 = flips(0.05f);
+    const double f15 = flips(0.15f);
+    std::printf("%-8.2f %12.4f %18.4f %18.4f\n", sigma, clean, f05, f15);
+    csv.row(std::vector<double>{sigma, clean, f05, f15});
+  }
+
+  std::printf("\n-- ordering ablation (sigma = 0.3) --\n");
+  std::printf("%-16s %12s %18s\n", "order", "clean acc", "acc@10% flips");
+  for (bool affine_first : {true, false}) {
+    const char* tag = affine_first ? "order_inv" : "order_conv";
+    auto model = trained_proposed(task, w, 0.3f, affine_first, tag);
+    const double clean =
+        models::accuracy_mc(*model, task.test, w.mc_samples);
+    const double f10 =
+        sweep_point(*model, fault::FaultSpec::bitflips(0.10f), w.mc_runs,
+                    [&] {
+                      return models::accuracy_mc(*model, task.test,
+                                                 w.mc_samples);
+                    })
+            .mean;
+    std::printf("%-16s %12.4f %18.4f\n",
+                affine_first ? "affine-first" : "norm-first", clean, f10);
+  }
+  std::printf("csv: %s/ablation_init.csv\n", csv_output_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,292 @@
+// Shared infrastructure for the experiment-reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it
+// (train-or-load)s the four model variants for its task, deploys them,
+// sweeps a fault axis with the Monte-Carlo harness and prints the rows the
+// paper plots. CSVs are written next to the binary (RIPPLE_CSV_DIR).
+//
+// Workload knobs (env): RIPPLE_TRAIN_N, RIPPLE_TEST_N, RIPPLE_EPOCHS,
+// RIPPLE_MC_RUNS, RIPPLE_MC_SAMPLES, RIPPLE_FAST, RIPPLE_MODEL_CACHE.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/co2_series.h"
+#include "data/synthetic_audio.h"
+#include "data/synthetic_images.h"
+#include "data/vessel_segmentation.h"
+#include "fault/injector.h"
+#include "fault/monte_carlo.h"
+#include "models/evaluate.h"
+#include "models/lstm_forecaster.h"
+#include "models/m5.h"
+#include "models/resnet.h"
+#include "models/trainer.h"
+#include "models/unet.h"
+#include "models/zoo.h"
+#include "tensor/env.h"
+#include "tensor/io.h"
+
+namespace ripple::bench {
+
+// ---- workload sizing -------------------------------------------------------
+
+struct Workload {
+  int64_t train_n;
+  int64_t test_n;
+  int epochs;
+  int mc_runs;     // Monte-Carlo chip instances per fault point
+  int mc_samples;  // Bayesian forward passes T
+};
+
+inline Workload image_workload() {
+  const bool fast = fast_mode();
+  return {
+      .train_n = env_int("RIPPLE_TRAIN_N", fast ? 200 : 800),
+      .test_n = env_int("RIPPLE_TEST_N", fast ? 60 : 120),
+      .epochs = env_int("RIPPLE_EPOCHS", fast ? 4 : 16),
+      .mc_runs = fault::default_mc_runs(5),
+      .mc_samples = env_int("RIPPLE_MC_SAMPLES", fast ? 3 : 6),
+  };
+}
+
+inline Workload audio_workload() {
+  const bool fast = fast_mode();
+  return {
+      .train_n = env_int("RIPPLE_TRAIN_N", fast ? 160 : 640),
+      .test_n = env_int("RIPPLE_TEST_N", fast ? 64 : 128),
+      .epochs = env_int("RIPPLE_EPOCHS", fast ? 4 : 14),
+      .mc_runs = fault::default_mc_runs(5),
+      .mc_samples = env_int("RIPPLE_MC_SAMPLES", fast ? 3 : 6),
+  };
+}
+
+inline Workload series_workload() {
+  const bool fast = fast_mode();
+  return {
+      .train_n = 0,  // derived from the series split
+      .test_n = 0,
+      .epochs = env_int("RIPPLE_EPOCHS", fast ? 6 : 24),
+      .mc_runs = fault::default_mc_runs(6),
+      .mc_samples = env_int("RIPPLE_MC_SAMPLES", fast ? 3 : 6),
+  };
+}
+
+inline Workload vessel_workload() {
+  const bool fast = fast_mode();
+  return {
+      .train_n = env_int("RIPPLE_TRAIN_N", fast ? 48 : 160),
+      .test_n = env_int("RIPPLE_TEST_N", fast ? 16 : 40),
+      .epochs = env_int("RIPPLE_EPOCHS", fast ? 4 : 12),
+      .mc_runs = fault::default_mc_runs(4),
+      .mc_samples = env_int("RIPPLE_MC_SAMPLES", fast ? 3 : 5),
+  };
+}
+
+// ---- model construction (paper hyper-parameters) ---------------------------
+
+inline models::VariantConfig variant_config(models::Variant v) {
+  models::VariantConfig c;
+  c.variant = v;
+  c.dropout_p = static_cast<float>(env_double("RIPPLE_DROPOUT_P", 0.3));
+  c.init = core::AffineInit::normal(0.3f, 0.3f);
+  return c;
+}
+
+inline data::ImageConfig image_data_config() {
+  data::ImageConfig c;
+  c.pixel_noise = 0.3f;  // hard enough that clean accuracy is not saturated
+  return c;
+}
+
+struct ImageTask {
+  data::ClassificationData train;
+  data::ClassificationData test;
+};
+
+inline ImageTask make_image_task(const Workload& w) {
+  Rng rng(101);
+  return {data::make_images(w.train_n, image_data_config(), rng),
+          data::make_images(w.test_n, image_data_config(), rng)};
+}
+
+struct AudioTask {
+  data::ClassificationData train;
+  data::ClassificationData test;
+};
+
+inline AudioTask make_audio_task(const Workload& w) {
+  Rng rng(202);
+  return {data::make_audio(w.train_n, data::AudioConfig{}, rng),
+          data::make_audio(w.test_n, data::AudioConfig{}, rng)};
+}
+
+inline data::Co2Split make_series_task() {
+  Rng rng(303);
+  return data::make_co2_windows(data::Co2Config{}, 0.8f, rng);
+}
+
+struct VesselTask {
+  data::SegmentationData train;
+  data::SegmentationData test;
+};
+
+inline VesselTask make_vessel_task(const Workload& w) {
+  Rng rng(404);
+  return {data::make_vessels(w.train_n, data::VesselConfig{}, rng),
+          data::make_vessels(w.test_n, data::VesselConfig{}, rng)};
+}
+
+/// Cache key encoding everything that affects trained weights.
+inline std::string cache_key(const char* task, models::Variant v,
+                             const Workload& w) {
+  return std::string(task) + "_" + models::variant_name(v) + "_n" +
+         std::to_string(w.train_n) + "_e" + std::to_string(w.epochs);
+}
+
+/// Trains (or loads) and deploys one image-classifier variant.
+inline std::unique_ptr<models::BinaryResNet> image_model(
+    models::Variant v, const ImageTask& task, const Workload& w) {
+  auto model = std::make_unique<models::BinaryResNet>(
+      models::BinaryResNet::Topology{.in_channels = 3, .classes = 10,
+                                     .width = 12},
+      variant_config(v));
+  const bool cached =
+      models::train_or_load(*model, cache_key("resnet", v, w), [&] {
+        models::TrainConfig tc;
+        tc.epochs = w.epochs;
+        tc.seed = 1000 + static_cast<uint64_t>(v);
+        models::train_classifier(*model, task.train, tc);
+      });
+  std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
+               cached ? "loaded from cache" : "trained");
+  model->set_training(false);
+  model->deploy();
+  return model;
+}
+
+inline std::unique_ptr<models::M5> audio_model(models::Variant v,
+                                               const AudioTask& task,
+                                               const Workload& w) {
+  auto model = std::make_unique<models::M5>(
+      models::M5::Topology{.classes = 8, .width = 12, .input_length = 512},
+      variant_config(v));
+  const bool cached =
+      models::train_or_load(*model, cache_key("m5", v, w), [&] {
+        models::TrainConfig tc;
+        tc.epochs = w.epochs;
+        tc.seed = 2000 + static_cast<uint64_t>(v);
+        models::train_classifier(*model, task.train, tc);
+      });
+  std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
+               cached ? "loaded from cache" : "trained");
+  model->set_training(false);
+  model->deploy();
+  return model;
+}
+
+inline std::unique_ptr<models::LstmForecaster> series_model(
+    models::Variant v, const data::Co2Split& split, const Workload& w) {
+  auto model = std::make_unique<models::LstmForecaster>(
+      models::LstmForecaster::Topology{.hidden = 24, .window = 24},
+      variant_config(v));
+  Workload keyed = w;
+  keyed.train_n = split.train.size();
+  const bool cached =
+      models::train_or_load(*model, cache_key("lstm", v, keyed), [&] {
+        models::TrainConfig tc;
+        tc.epochs = w.epochs;
+        tc.batch_size = 64;
+        tc.seed = 3000 + static_cast<uint64_t>(v);
+        models::train_regressor(*model, split.train, tc);
+      });
+  std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
+               cached ? "loaded from cache" : "trained");
+  model->set_training(false);
+  model->deploy();
+  return model;
+}
+
+inline std::unique_ptr<models::UNet> vessel_model(models::Variant v,
+                                                  const VesselTask& task,
+                                                  const Workload& w) {
+  auto model = std::make_unique<models::UNet>(
+      models::UNet::Topology{.base_channels = 8, .activation_bits = 4},
+      variant_config(v));
+  const bool cached =
+      models::train_or_load(*model, cache_key("unet", v, w), [&] {
+        models::TrainConfig tc;
+        tc.epochs = w.epochs;
+        tc.batch_size = 16;
+        tc.seed = 4000 + static_cast<uint64_t>(v);
+        models::train_segmenter(*model, task.train, tc);
+      });
+  std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
+               cached ? "loaded from cache" : "trained");
+  model->set_training(false);
+  model->deploy();
+  return model;
+}
+
+// ---- sweeps --------------------------------------------------------------
+
+/// Metric under one fault spec, averaged over Monte-Carlo chip instances.
+inline fault::MonteCarloStats sweep_point(
+    models::TaskModel& model, const fault::FaultSpec& spec, int mc_runs,
+    const std::function<double()>& evaluate) {
+  fault::FaultInjector injector(model.fault_targets(), model.noise());
+  return fault::run_monte_carlo(
+      mc_runs, /*base_seed=*/9000, [&](int, Rng& rng) {
+        injector.apply(spec, rng);
+        const double metric = evaluate();
+        injector.restore();
+        return metric;
+      });
+}
+
+/// Paper-style sweep table: one row per fault level, one mean±std column
+/// per variant.
+struct SweepTable {
+  std::string axis_name;
+  std::vector<double> levels;
+  std::vector<std::string> variant_names;
+  // stats[level][variant]
+  std::vector<std::vector<fault::MonteCarloStats>> stats;
+
+  void print(const char* metric_name) const {
+    std::printf("%-12s", axis_name.c_str());
+    for (const auto& v : variant_names) std::printf("  %20s", v.c_str());
+    std::printf("\n");
+    for (size_t l = 0; l < levels.size(); ++l) {
+      std::printf("%-12.4g", levels[l]);
+      for (size_t v = 0; v < variant_names.size(); ++v)
+        std::printf("  %13.4f ± %5.4f", stats[l][v].mean, stats[l][v].stddev);
+      std::printf("\n");
+    }
+    std::printf("(%s; mean ± std over %d Monte-Carlo chip instances)\n",
+                metric_name, stats.empty() ? 0 : stats[0][0].runs);
+  }
+
+  void write_csv(const std::string& filename) const {
+    std::vector<std::string> cols = {axis_name};
+    for (const auto& v : variant_names) {
+      cols.push_back(v + "_mean");
+      cols.push_back(v + "_std");
+    }
+    CsvWriter csv(csv_output_dir() + "/" + filename, cols);
+    for (size_t l = 0; l < levels.size(); ++l) {
+      std::vector<double> row = {levels[l]};
+      for (size_t v = 0; v < variant_names.size(); ++v) {
+        row.push_back(stats[l][v].mean);
+        row.push_back(stats[l][v].stddev);
+      }
+      csv.row(row);
+    }
+    std::printf("csv: %s\n", (csv_output_dir() + "/" + filename).c_str());
+  }
+};
+
+}  // namespace ripple::bench

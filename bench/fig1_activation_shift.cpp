@@ -1,0 +1,92 @@
+// Fig. 1 — change of the pre-normalization weighted-sum distribution of a
+// trained conv layer under 10% / 20% bit flips in its binary weights.
+// Prints the density over activation-value bins (the paper's histogram) —
+// expected shape: fault-free is a tight zero-mean bell; flips widen and
+// shift it, which is exactly what per-instance (inverted) normalization
+// re-standardizes away.
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+namespace {
+
+/// Pre-normalization weighted sums of the first *binary* conv
+/// (fault_targets()[1] = stage-1 conv1) of a trained proposed model, fed
+/// with the stem's sign activations — the tensor whose distribution the
+/// paper's Fig. 1 plots. Bit flips are injected into the deployed binary
+/// weights before the forward.
+Tensor weighted_sums(models::BinaryResNet& model, const Tensor& images,
+                     float flip_rate, Rng& rng) {
+  fault::FaultInjector inj(model.fault_targets(), model.noise());
+  if (flip_rate > 0.0f)
+    inj.apply(fault::FaultSpec::bitflips(flip_rate), rng);
+  autograd::NoGradGuard no_grad;
+  // Stem: full-precision conv → inverted norm → sign (binary activations).
+  autograd::Parameter* stem = model.fault_targets()[0].param;
+  autograd::Variable h = autograd::conv2d(
+      autograd::Variable(images), stem->var, autograd::Variable(), 1, 1);
+  h = autograd::group_normalize(h, 1);
+  h = autograd::sign_ste(h);
+  // Stage-1 binary conv: the weighted sum whose distribution shifts.
+  autograd::Parameter* conv1 = model.fault_targets()[1].param;
+  autograd::Variable y = autograd::conv2d(h, conv1->var,
+                                          autograd::Variable(), 1, 1);
+  Tensor out = y.value().clone();
+  if (flip_rate > 0.0f) inj.restore();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 1 — activation distribution shift under bit "
+              "flips ===\n");
+  const Workload w = image_workload();
+  const ImageTask task = make_image_task(w);
+  auto model = image_model(models::Variant::kProposed, task, w);
+
+  Rng rng(77);
+  const Tensor probe = data::slice_rows(task.test.x, 0, task.test.size());
+  const Tensor clean = weighted_sums(*model, probe, 0.0f, rng);
+  const Tensor flip10 = weighted_sums(*model, probe, 0.10f, rng);
+  const Tensor flip20 = weighted_sums(*model, probe, 0.20f, rng);
+
+  const float lo = std::min(ops::min(clean),
+                            std::min(ops::min(flip10), ops::min(flip20)));
+  const float hi = std::max(ops::max(clean),
+                            std::max(ops::max(flip10), ops::max(flip20)));
+  const int bins = 21;
+  const ops::Histogram h0 = ops::histogram(clean, bins, lo, hi);
+  const ops::Histogram h1 = ops::histogram(flip10, bins, lo, hi);
+  const ops::Histogram h2 = ops::histogram(flip20, bins, lo, hi);
+  const auto d0 = h0.density();
+  const auto d1 = h1.density();
+  const auto d2 = h2.density();
+
+  std::printf("%-12s %12s %12s %12s\n", "activation", "fault-free",
+              "10% flips", "20% flips");
+  for (int b = 0; b < bins; ++b)
+    std::printf("%-12.3f %12.5f %12.5f %12.5f\n", h0.bin_center(b), d0[b],
+                d1[b], d2[b]);
+
+  std::printf("\nsummary statistics (weighted sums of stage-1 conv):\n");
+  auto describe = [](const char* name, const Tensor& t) {
+    std::printf("  %-12s mean %+8.4f  std %8.4f  range [%+.3f, %+.3f]\n",
+                name, ops::mean(t), std::sqrt(ops::variance(t)), ops::min(t),
+                ops::max(t));
+  };
+  describe("fault-free", clean);
+  describe("10% flips", flip10);
+  describe("20% flips", flip20);
+
+  CsvWriter csv(csv_output_dir() + "/fig1_activation_shift.csv",
+                {"bin_center", "faultfree", "flip10", "flip20"});
+  for (int b = 0; b < bins; ++b)
+    csv.row(std::vector<double>{h0.bin_center(b), d0[b], d1[b], d2[b]});
+  std::printf("csv: %s/fig1_activation_shift.csv\n",
+              csv_output_dir().c_str());
+  return 0;
+}

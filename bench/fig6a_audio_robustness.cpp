@@ -1,0 +1,64 @@
+// Fig. 6a — Google-Speech-Commands/M5 stand-in: keyword-spotting accuracy
+// of the four variants under bit flips and additive variation in the
+// deployed 8-bit weights.
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  std::printf("=== Fig. 6a — audio classification robustness "
+              "(M5, W/A=8/8) ===\n");
+  const Workload w = audio_workload();
+  const AudioTask task = make_audio_task(w);
+  std::printf("train %lld / test %lld clips, %d epochs, T=%d, runs=%d\n",
+              static_cast<long long>(w.train_n),
+              static_cast<long long>(w.test_n), w.epochs, w.mc_samples,
+              w.mc_runs);
+
+  std::vector<std::unique_ptr<models::M5>> zoo;
+  std::vector<std::string> names;
+  for (models::Variant v : models::all_variants()) {
+    zoo.push_back(audio_model(v, task, w));
+    names.emplace_back(models::variant_name(v));
+  }
+
+  auto run_sweep = [&](const std::string& axis,
+                       const std::vector<double>& levels,
+                       const std::function<fault::FaultSpec(double)>& spec) {
+    SweepTable table;
+    table.axis_name = axis;
+    table.levels = levels;
+    table.variant_names = names;
+    for (double level : levels) {
+      std::vector<fault::MonteCarloStats> row;
+      for (auto& model : zoo) {
+        const int samples =
+            models::mc_samples_for(model->variant(), w.mc_samples);
+        row.push_back(sweep_point(*model, spec(level), w.mc_runs, [&] {
+          return models::accuracy_mc(*model, task.test, samples);
+        }));
+      }
+      table.stats.push_back(std::move(row));
+    }
+    return table;
+  };
+
+  std::printf("\n-- bit-flip faults in deployed 8-bit weights --\n");
+  SweepTable flips = run_sweep(
+      "flip_rate", {0.0, 0.01, 0.02, 0.05, 0.10},
+      [](double p) {
+        return fault::FaultSpec::bitflips(static_cast<float>(p));
+      });
+  flips.print("accuracy");
+  flips.write_csv("fig6a_bitflips.csv");
+
+  std::printf("\n-- additive conductance variation (on weights) --\n");
+  SweepTable additive = run_sweep(
+      "sigma", {0.0, 0.2, 0.4, 0.6, 0.8}, [](double s) {
+        return fault::FaultSpec::additive(static_cast<float>(s));
+      });
+  additive.print("accuracy");
+  additive.write_csv("fig6a_additive.csv");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot kernels and
+// the runtime overhead of the inverted normalization relative to the
+// conventional layers it replaces.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/inverted_norm.h"
+#include "nn/conv.h"
+#include "nn/norm.h"
+#include "tensor/gemm.h"
+#include "tensor/random.h"
+
+using namespace ripple;
+namespace ag = ripple::autograd;
+
+namespace {
+
+void BM_GemmNN(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const int64_t c = state.range(0);
+  Rng rng(2);
+  nn::Conv2d conv(c, c, 3, 1, 1);
+  Tensor x = Tensor::randn({8, c, 16, 16}, rng);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    ag::Variable y = conv.forward(ag::Variable(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BatchNormForward(benchmark::State& state) {
+  Rng rng(3);
+  nn::BatchNorm norm(16);
+  norm.set_training(false);
+  Tensor x = Tensor::randn({8, 16, 16, 16}, rng);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    ag::Variable y = norm.forward(ag::Variable(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_BatchNormForward);
+
+void BM_InvertedNormForward(benchmark::State& state) {
+  // The paper's layer in MC mode (mask sampling + affine + normalize) —
+  // the cost delta vs BM_BatchNormForward is the method's inference
+  // overhead.
+  Rng rng(4);
+  core::InvertedNorm::Options opts;
+  opts.dropout_p = 0.3f;
+  core::InvertedNorm norm(16, opts, &rng);
+  norm.set_training(false);
+  norm.set_mc_mode(true);
+  Tensor x = Tensor::randn({8, 16, 16, 16}, rng);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    ag::Variable y = norm.forward(ag::Variable(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_InvertedNormForward);
+
+void BM_GroupNormalize(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  Rng rng(5);
+  Tensor x = Tensor::randn({8, 16, 16, 16}, rng);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    ag::Variable y = ag::group_normalize(ag::Variable(x), groups);
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_GroupNormalize)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_TrainStepConv(benchmark::State& state) {
+  // Forward+backward through a conv — the dominant training cost.
+  Rng rng(6);
+  nn::Conv2d conv(8, 8, 3, 1, 1);
+  Tensor x = Tensor::randn({8, 8, 16, 16}, rng);
+  for (auto _ : state) {
+    conv.zero_grad();
+    ag::Variable y = conv.forward(ag::Variable(x));
+    ag::Variable loss = ag::mean_all(ag::mul(y, y));
+    loss.backward();
+    benchmark::DoNotOptimize(conv.weight().var.grad().data());
+  }
+}
+BENCHMARK(BM_TrainStepConv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

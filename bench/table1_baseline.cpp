@@ -1,0 +1,95 @@
+// Table I — fault-free inference quality of NN / SpinDrop /
+// SpatialSpinDrop / Proposed on all four tasks:
+//   image classification  (binary ResNet, W/A=1/1, accuracy ↑)
+//   audio classification  (M5 1-D CNN,  W/A=8/8, accuracy ↑)
+//   vessel segmentation   (U-Net,       W/A=1/4, mIoU ↑)
+//   CO2 forecasting       (2-layer LSTM, W/A=8/8, RMSE ↓, normalized units)
+// Expected shape: Proposed within ~1-2 points of the best baseline on every
+// task (the paper reports parity; its contribution is robustness).
+#include "bench_common.h"
+
+using namespace ripple;
+using namespace ripple::bench;
+
+int main() {
+  std::printf("=== Table I — baseline (fault-free) quality ===\n");
+
+  std::vector<std::string> names;
+  for (models::Variant v : models::all_variants())
+    names.emplace_back(models::variant_name(v));
+
+  std::vector<std::vector<double>> rows;  // [task][variant]
+  std::vector<std::string> row_names;
+
+  {
+    std::printf("\n[image] training/loading 4 variants...\n");
+    const Workload w = image_workload();
+    const ImageTask task = make_image_task(w);
+    std::vector<double> row;
+    for (models::Variant v : models::all_variants()) {
+      auto model = image_model(v, task, w);
+      row.push_back(models::accuracy_mc(
+          *model, task.test, models::mc_samples_for(v, w.mc_samples)));
+    }
+    rows.push_back(row);
+    row_names.push_back("ResNet / images      acc");
+  }
+  {
+    std::printf("\n[audio] training/loading 4 variants...\n");
+    const Workload w = audio_workload();
+    const AudioTask task = make_audio_task(w);
+    std::vector<double> row;
+    for (models::Variant v : models::all_variants()) {
+      auto model = audio_model(v, task, w);
+      row.push_back(models::accuracy_mc(
+          *model, task.test, models::mc_samples_for(v, w.mc_samples)));
+    }
+    rows.push_back(row);
+    row_names.push_back("M5 / audio           acc");
+  }
+  {
+    std::printf("\n[segmentation] training/loading 4 variants...\n");
+    const Workload w = vessel_workload();
+    const VesselTask task = make_vessel_task(w);
+    std::vector<double> row;
+    for (models::Variant v : models::all_variants()) {
+      auto model = vessel_model(v, task, w);
+      row.push_back(models::miou_mc(
+          *model, task.test, models::mc_samples_for(v, w.mc_samples)));
+    }
+    rows.push_back(row);
+    row_names.push_back("U-Net / vessels     mIoU");
+  }
+  {
+    std::printf("\n[forecast] training/loading 4 variants...\n");
+    const Workload w = series_workload();
+    const data::Co2Split split = make_series_task();
+    std::vector<double> row;
+    for (models::Variant v : models::all_variants()) {
+      auto model = series_model(v, split, w);
+      row.push_back(models::rmse_mc(
+          *model, split.test, models::mc_samples_for(v, w.mc_samples)));
+    }
+    rows.push_back(row);
+    row_names.push_back("LSTM / CO2          RMSE");
+  }
+
+  std::printf("\n%-26s", "task / metric");
+  for (const auto& n : names) std::printf("  %16s", n.c_str());
+  std::printf("\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::printf("%-26s", row_names[r].c_str());
+    for (double v : rows[r]) std::printf("  %16.4f", v);
+    std::printf("\n");
+  }
+
+  CsvWriter csv(csv_output_dir() + "/table1_baseline.csv",
+                {"task", "NN", "SpinDrop", "SpatialSpinDrop", "Proposed"});
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> cells = {row_names[r]};
+    for (double v : rows[r]) cells.push_back(std::to_string(v));
+    csv.row(cells);
+  }
+  std::printf("csv: %s/table1_baseline.csv\n", csv_output_dir().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Example: autoregressive CO2 forecasting with uncertainty bands and
+// weight-fault injection on the 8-bit LSTM.
+//
+//   $ ./examples/co2_forecast
+#include <cstdio>
+
+#include "core/bayesian.h"
+#include "data/co2_series.h"
+#include "fault/injector.h"
+#include "models/evaluate.h"
+#include "models/lstm_forecaster.h"
+#include "models/trainer.h"
+#include "tensor/env.h"
+
+using namespace ripple;
+
+int main() {
+  std::printf("=== CO2 forecasting with a Bayesian 8-bit LSTM ===\n");
+  Rng rng(31);
+  data::Co2Config cfg;
+  data::Co2Split split = data::make_co2_windows(cfg, 0.8f, rng);
+  std::printf("Keeling-curve stand-in: %lld train / %lld test windows "
+              "(24 months -> next month)\n",
+              static_cast<long long>(split.train.size()),
+              static_cast<long long>(split.test.size()));
+
+  models::VariantConfig vc;
+  vc.variant = models::Variant::kProposed;
+  models::LstmForecaster model({.hidden = 24, .window = 24}, vc);
+  models::TrainConfig tc;
+  tc.epochs = env_int("RIPPLE_EPOCHS", 20);
+  tc.batch_size = 64;
+  std::printf("training %d epochs...\n", tc.epochs);
+  models::train_regressor(model, split.train, tc);
+  model.deploy();
+
+  const int samples = env_int("RIPPLE_MC_SAMPLES", 12);
+  const double clean_rmse = models::rmse_mc(model, split.test, samples);
+  std::printf("test RMSE (normalized): %.4f  (~%.2f ppm)\n", clean_rmse,
+              clean_rmse * split.test.std);
+
+  // Show a few forecasts with MC uncertainty bands.
+  model.set_mc_mode(true);
+  Tensor probe = data::slice_rows(split.test.windows, 0, 6);
+  Tensor truth = data::slice_rows(split.test.targets, 0, 6);
+  core::McRegression mc = core::mc_regress(
+      [&model](const Tensor& x) { return model.predict(x); }, probe,
+      samples);
+  model.set_mc_mode(false);
+  std::printf("\n%-8s %12s %16s %10s\n", "window", "truth[ppm]",
+              "forecast[ppm]", "+-1sigma");
+  for (int64_t i = 0; i < 6; ++i) {
+    const double t = truth.data()[i] * split.test.std + split.test.mean;
+    const double p = mc.mean.data()[i] * split.test.std + split.test.mean;
+    const double s = mc.stddev.data()[i] * split.test.std;
+    std::printf("%-8lld %12.2f %16.2f %10.2f\n", static_cast<long long>(i),
+                t, p, s);
+  }
+
+  // Fault injection: multiplicative conductance variation on the weights.
+  std::printf("\nRMSE under multiplicative weight variation:\n");
+  std::printf("%-8s %12s\n", "sigma", "RMSE");
+  for (float sigma : {0.0f, 0.1f, 0.2f, 0.3f}) {
+    fault::FaultInjector inj(model.fault_targets(), model.noise());
+    Rng fault_rng(32);
+    inj.apply(fault::FaultSpec::multiplicative(sigma), fault_rng);
+    std::printf("%-8.2f %12.4f\n", sigma,
+                models::rmse_mc(model, split.test, samples));
+    inj.restore();
+  }
+  std::printf("graceful degradation: the stochastic affine training keeps "
+              "the forecast usable under variation.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example: out-of-distribution detection with Bayesian uncertainty.
+//
+// Trains the proposed BayNN on the synthetic image task, then feeds it
+// rotated and noise-corrupted inputs. The NLL-based uncertainty score
+// rises with the shift; thresholding at the in-distribution mean flags OOD
+// samples without ever seeing a label at runtime (§IV-E of the paper).
+//
+//   $ ./examples/ood_detection
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/uncertainty.h"
+#include "data/synthetic_images.h"
+#include "data/transforms.h"
+#include "models/evaluate.h"
+#include "models/resnet.h"
+#include "models/trainer.h"
+#include "tensor/env.h"
+
+using namespace ripple;
+
+int main() {
+  std::printf("=== OOD detection with the proposed BayNN ===\n");
+  Rng data_rng(21);
+  data::ImageConfig icfg;
+  data::ClassificationData train =
+      data::make_images(env_int("RIPPLE_TRAIN_N", 600), icfg, data_rng);
+  data::ClassificationData test =
+      data::make_images(env_int("RIPPLE_TEST_N", 150), icfg, data_rng);
+
+  models::VariantConfig vc;
+  vc.variant = models::Variant::kProposed;
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 12},
+                             vc);
+  models::TrainConfig tc;
+  tc.epochs = env_int("RIPPLE_EPOCHS", 12);
+  std::printf("training %d epochs...\n", tc.epochs);
+  models::train_classifier(model, train, tc);
+  model.deploy();
+
+  const int samples = env_int("RIPPLE_MC_SAMPLES", 12);
+  Tensor id_probs = models::probs_mc(model, test.x, samples);
+  const auto id_scores = core::per_sample_confidence_nll(id_probs);
+  std::printf("in-distribution: accuracy %.1f%%, mean NLL score %.3f\n",
+              100.0 * core::accuracy(id_probs, test.y),
+              core::nll(id_probs, test.y));
+
+  Rng noise_rng(22);
+  std::printf("\n%-24s %10s %10s %10s %8s\n", "shift", "accuracy", "NLL",
+              "AUROC", "flagged");
+  auto report = [&](const char* name, const Tensor& shifted) {
+    Tensor probs = models::probs_mc(model, shifted, samples);
+    const auto scores = core::per_sample_confidence_nll(probs);
+    const core::OodDetection det = core::detect_ood(id_scores, scores);
+    std::printf("%-24s %9.1f%% %10.3f %10.3f %7.1f%%\n", name,
+                100.0 * core::accuracy(probs, test.y),
+                core::nll(probs, test.y), det.auroc,
+                100.0 * det.detection_rate);
+  };
+  report("rotation 21 deg",
+         data::rotate_images(test.x, 21.0f));
+  report("rotation 49 deg",
+         data::rotate_images(test.x, 49.0f));
+  report("rotation 84 deg",
+         data::rotate_images(test.x, 84.0f));
+  report("uniform noise 0.4",
+         data::add_uniform_noise(test.x, 0.4f, noise_rng));
+  report("uniform noise 1.0",
+         data::add_uniform_noise(test.x, 1.0f, noise_rng));
+
+  std::printf("\nthe further the input drifts from the training "
+              "distribution,\nthe higher the uncertainty score — that is "
+              "the safety signal.\n");
+  return 0;
+}

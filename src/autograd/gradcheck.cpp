@@ -1,0 +1,53 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+
+namespace ripple::autograd {
+
+GradCheckResult gradcheck(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Variable>& inputs, float perturbation) {
+  // Analytic gradients.
+  for (Variable& v : inputs) v.zero_grad();
+  Variable loss = fn(inputs);
+  RIPPLE_CHECK(loss.numel() == 1) << "gradcheck needs a scalar loss";
+  loss.backward();
+
+  std::vector<Tensor> analytic;
+  analytic.reserve(inputs.size());
+  for (Variable& v : inputs) {
+    RIPPLE_CHECK(v.requires_grad()) << "gradcheck input without requires_grad";
+    analytic.push_back(v.has_grad() ? v.grad().clone()
+                                    : Tensor::zeros(v.shape()));
+  }
+
+  GradCheckResult result;
+  NoGradGuard no_grad;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    float* data = inputs[i].value().data();
+    const int64_t n = inputs[i].numel();
+    for (int64_t k = 0; k < n; ++k) {
+      const float saved = data[k];
+      data[k] = saved + perturbation;
+      const double lp = fn(inputs).value().item();
+      data[k] = saved - perturbation;
+      const double lm = fn(inputs).value().item();
+      data[k] = saved;
+      const double numeric = (lp - lm) / (2.0 * perturbation);
+      const double exact = analytic[i].data()[k];
+      const double abs_err = std::fabs(numeric - exact);
+      const double denom = std::max(1.0, std::max(std::fabs(numeric),
+                                                  std::fabs(exact)));
+      const double rel_err = abs_err / denom;
+      if (abs_err > result.max_abs_error) result.max_abs_error = abs_err;
+      if (rel_err > result.max_rel_error) {
+        result.max_rel_error = rel_err;
+        result.worst_input = i;
+        result.worst_element = k;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ripple::autograd

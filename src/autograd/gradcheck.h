@@ -1,0 +1,31 @@
+// Numerical gradient checking (central finite differences).
+//
+// Used by the test suite to validate every differentiable op against its
+// analytic backward. float32 limits precision, so defaults are loose-ish:
+// perturbation 1e-2, tolerance checked by the caller (typically <= 5e-2
+// relative on well-conditioned ops).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ripple::autograd {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  /// Parameter index / flat element index where the max relative error
+  /// occurred (for debugging failing ops).
+  size_t worst_input = 0;
+  int64_t worst_element = 0;
+};
+
+/// fn must build a *fresh* graph from `inputs` and return a scalar loss.
+/// Checks d loss / d inputs[i] for every element of every input.
+GradCheckResult gradcheck(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Variable>& inputs, float perturbation = 1e-2f);
+
+}  // namespace ripple::autograd

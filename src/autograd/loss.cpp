@@ -1,0 +1,116 @@
+#include "autograd/loss.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace ripple::autograd {
+
+Variable cross_entropy_loss(const Variable& logits,
+                            const std::vector<int64_t>& targets) {
+  const Tensor& lv = logits.value();
+  RIPPLE_CHECK(lv.rank() == 2) << "cross_entropy_loss expects logits [N,C]";
+  const int64_t n = lv.dim(0);
+  const int64_t c = lv.dim(1);
+  RIPPLE_CHECK(static_cast<int64_t>(targets.size()) == n)
+      << "cross_entropy_loss: " << targets.size() << " targets for " << n
+      << " rows";
+  for (int64_t t : targets)
+    RIPPLE_CHECK(t >= 0 && t < c) << "target class " << t << " out of range";
+
+  Tensor log_probs = ops::log_softmax_rows(lv);
+  double total = 0.0;
+  const float* plp = log_probs.data();
+  for (int64_t i = 0; i < n; ++i)
+    total -= plp[i * c + targets[static_cast<size_t>(i)]];
+  Tensor out = Tensor::scalar(static_cast<float>(total / n));
+
+  std::vector<int64_t> tgt = targets;
+  return make_op_node(
+      std::move(out), {logits.node()},
+      [log_probs, tgt, n, c](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        // d loss / d logits = (softmax - onehot) / N, scaled by upstream.
+        const float scale = nd.grad.item() / static_cast<float>(n);
+        Tensor dx({n, c});
+        const float* plp = log_probs.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < n; ++i) {
+          for (int64_t j = 0; j < c; ++j)
+            pdx[i * c + j] = std::exp(plp[i * c + j]) * scale;
+          pdx[i * c + tgt[static_cast<size_t>(i)]] -= scale;
+        }
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "cross_entropy_loss");
+}
+
+Variable mse_loss(const Variable& pred, const Tensor& target) {
+  const Tensor& pv = pred.value();
+  RIPPLE_CHECK(pv.same_shape(target))
+      << "mse_loss shape mismatch: " << shape_to_string(pv.shape()) << " vs "
+      << shape_to_string(target.shape());
+  const int64_t n = pv.numel();
+  double total = 0.0;
+  const float* pp = pv.data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const double d = pp[i] - pt[i];
+    total += d * d;
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(total / n));
+  Tensor pred_copy = pv;
+  Tensor tgt = target;
+  return make_op_node(
+      std::move(out), {pred.node()},
+      [pred_copy, tgt, n](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        const float scale = 2.0f * nd.grad.item() / static_cast<float>(n);
+        Tensor dx(pred_copy.shape());
+        const float* pp = pred_copy.data();
+        const float* pt = tgt.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < n; ++i) pdx[i] = scale * (pp[i] - pt[i]);
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "mse_loss");
+}
+
+Variable bce_with_logits_loss(const Variable& logits, const Tensor& target) {
+  const Tensor& lv = logits.value();
+  RIPPLE_CHECK(lv.same_shape(target))
+      << "bce_with_logits_loss shape mismatch: " << shape_to_string(lv.shape())
+      << " vs " << shape_to_string(target.shape());
+  const int64_t n = lv.numel();
+  double total = 0.0;
+  const float* px = lv.data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < n; ++i) {
+    // max(x,0) − x·t + log(1 + exp(−|x|))
+    const float x = px[i];
+    total += std::max(x, 0.0f) - x * pt[i] +
+             std::log1p(std::exp(-std::fabs(x)));
+  }
+  Tensor out = Tensor::scalar(static_cast<float>(total / n));
+  Tensor logits_copy = lv;
+  Tensor tgt = target;
+  return make_op_node(
+      std::move(out), {logits.node()},
+      [logits_copy, tgt, n](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        const float scale = nd.grad.item() / static_cast<float>(n);
+        Tensor dx(logits_copy.shape());
+        const float* px = logits_copy.data();
+        const float* pt = tgt.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < n; ++i) {
+          const float sig = 1.0f / (1.0f + std::exp(-px[i]));
+          pdx[i] = scale * (sig - pt[i]);
+        }
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "bce_with_logits_loss");
+}
+
+}  // namespace ripple::autograd

@@ -1,0 +1,23 @@
+// Loss functions. Each returns a scalar Variable with a fused backward
+// (numerically stable; no separate softmax node needed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ripple::autograd {
+
+/// Mean softmax cross-entropy of logits [N,C] against integer class labels.
+Variable cross_entropy_loss(const Variable& logits,
+                            const std::vector<int64_t>& targets);
+
+/// Mean squared error against a constant target of the same shape.
+Variable mse_loss(const Variable& pred, const Tensor& target);
+
+/// Mean binary cross-entropy on logits (stable formulation) against a
+/// constant {0,1} target of the same shape. Used for dense segmentation.
+Variable bce_with_logits_loss(const Variable& logits, const Tensor& target);
+
+}  // namespace ripple::autograd

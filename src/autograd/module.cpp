@@ -1,0 +1,80 @@
+#include "autograd/module.h"
+
+namespace ripple::autograd {
+
+const char* param_kind_name(ParamKind kind) {
+  switch (kind) {
+    case ParamKind::kWeight:
+      return "weight";
+    case ParamKind::kBias:
+      return "bias";
+    case ParamKind::kAffineWeight:
+      return "affine_weight";
+    case ParamKind::kAffineBias:
+      return "affine_bias";
+    case ParamKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+std::vector<Parameter*> Module::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& p : params_) out.push_back(p.get());
+  for (auto& [name, child] : children_) {
+    for (Parameter* p : child->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Parameter*> Module::parameters(ParamKind kind) {
+  std::vector<Parameter*> out;
+  for (Parameter* p : parameters())
+    if (p->kind == kind) out.push_back(p);
+  return out;
+}
+
+std::vector<Module::BufferRef> Module::buffers() {
+  std::vector<BufferRef> out;
+  for (auto& [name, buf] : buffers_) out.push_back({name, buf});
+  for (auto& [name, child] : children_) {
+    for (BufferRef b : child->buffers())
+      out.push_back({name + "." + b.name, b.tensor});
+  }
+  return out;
+}
+
+void Module::register_buffer(std::string name, Tensor& buffer) {
+  buffers_.emplace_back(std::move(name), &buffer);
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->var.zero_grad();
+}
+
+int64_t Module::parameter_count() {
+  int64_t n = 0;
+  for (Parameter* p : parameters()) n += p->var.numel();
+  return n;
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+Parameter& Module::register_parameter(std::string name, Tensor init,
+                                      ParamKind kind) {
+  auto p = std::make_unique<Parameter>();
+  p->name = std::move(name);
+  p->var = Variable(std::move(init), /*requires_grad=*/true);
+  p->kind = kind;
+  params_.push_back(std::move(p));
+  return *params_.back();
+}
+
+void Module::register_module(std::string name, Module& child) {
+  children_.emplace_back(std::move(name), &child);
+}
+
+}  // namespace ripple::autograd

@@ -1,0 +1,84 @@
+// Module base class: parameter registration, training-mode flag, recursive
+// traversal. Layers own their child modules as plain members and register
+// non-owning pointers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ripple::autograd {
+
+/// Role of a parameter; fault injectors use this to decide which tensors a
+/// given non-ideality applies to (e.g. bit flips hit deployed weights, not
+/// digital biases).
+enum class ParamKind {
+  kWeight,        // conv / linear weight deployed on the crossbar
+  kBias,          // digitally-added bias
+  kAffineWeight,  // normalization scale γ
+  kAffineBias,    // normalization shift β
+  kOther,         // anything else (e.g. PACT clip value)
+};
+
+const char* param_kind_name(ParamKind kind);
+
+/// A named, trainable tensor.
+struct Parameter {
+  std::string name;
+  Variable var;  // requires_grad = true
+  ParamKind kind = ParamKind::kWeight;
+};
+
+/// Base class for all layers and models.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// A named, non-trainable state tensor (e.g. BatchNorm running stats).
+  struct BufferRef {
+    std::string name;
+    Tensor* tensor;
+  };
+
+  /// All parameters, recursively, in registration order.
+  std::vector<Parameter*> parameters();
+  /// Only parameters of one kind.
+  std::vector<Parameter*> parameters(ParamKind kind);
+  /// All buffers, recursively, in registration order.
+  std::vector<BufferRef> buffers();
+
+  /// Zeroes gradients of every parameter.
+  void zero_grad();
+
+  /// Total trainable scalar count.
+  int64_t parameter_count();
+
+  bool training() const { return training_; }
+  /// Switches train/eval mode recursively (affects dropout, batch stats).
+  void set_training(bool training);
+
+ protected:
+  /// Registers a fresh trainable parameter initialized with `init`.
+  Parameter& register_parameter(std::string name, Tensor init,
+                                ParamKind kind = ParamKind::kWeight);
+  /// Registers a child module (non-owning; the child must outlive `this`,
+  /// which holds for members of derived classes).
+  void register_module(std::string name, Module& child);
+
+  /// Registers a state tensor that is saved/loaded with the model but not
+  /// trained (non-owning; must outlive `this`).
+  void register_buffer(std::string name, Tensor& buffer);
+
+ private:
+  bool training_ = true;
+  std::vector<std::unique_ptr<Parameter>> params_;
+  std::vector<std::pair<std::string, Tensor*>> buffers_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace ripple::autograd

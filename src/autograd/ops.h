@@ -1,0 +1,100 @@
+// Differentiable operations on Variables.
+//
+// Each op computes its value eagerly with the raw kernels in src/tensor and
+// attaches a backward closure. Broadcasting is deliberately restricted to
+// the patterns neural layers need (same-shape elementwise, per-channel
+// scale/bias along dim 1, scalars); anything else is a shape error.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace ripple::autograd {
+
+// ---- elementwise (same shape) -------------------------------------------
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable neg(const Variable& a);
+
+// ---- scalar ---------------------------------------------------------------
+Variable add_scalar(const Variable& a, float s);
+Variable mul_scalar(const Variable& a, float s);
+
+// ---- per-channel broadcast (dim 1 of rank-2/3/4 tensors; for rank 2 the
+// "channel" axis is the feature axis) ---------------------------------------
+/// x * gamma[c] — gamma shape must be [x.dim(1)].
+Variable mul_channel(const Variable& x, const Variable& gamma);
+/// x + beta[c].
+Variable add_channel(const Variable& x, const Variable& beta);
+
+// ---- activations -----------------------------------------------------------
+Variable relu(const Variable& a);
+Variable sigmoid(const Variable& a);
+Variable tanh_op(const Variable& a);
+/// sign(x) in {-1,+1} with clipped straight-through estimator:
+/// d/dx = 1 for |x| <= ste_clip else 0.
+Variable sign_ste(const Variable& a, float ste_clip = 1.0f);
+
+// ---- shape ------------------------------------------------------------------
+Variable reshape(const Variable& a, Shape new_shape);
+/// Concatenate along dim 1.
+Variable concat_channels(const Variable& a, const Variable& b);
+/// Columns [begin, end) of a [N, F] tensor.
+Variable slice_cols(const Variable& a, int64_t begin, int64_t end);
+/// x[:, t, :] of a [N, T, F] tensor.
+Variable select_time(const Variable& a, int64_t t);
+
+// ---- reductions ---------------------------------------------------------------
+Variable sum_all(const Variable& a);
+Variable mean_all(const Variable& a);
+
+// ---- linear algebra ------------------------------------------------------------
+/// a[M,K] · b[K,N].
+Variable matmul(const Variable& a, const Variable& b);
+/// x[N,Fin] · wᵀ + b with w[Fout,Fin], b[Fout] (b may be undefined).
+Variable linear(const Variable& x, const Variable& w, const Variable& b);
+
+// ---- convolutions ----------------------------------------------------------------
+/// x[N,Cin,H,W], w[Cout,Cin,kh,kw], optional b[Cout].
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t pad);
+/// x[N,Cin,L], w[Cout,Cin,k], optional b[Cout].
+Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t pad);
+
+// ---- pooling / resampling -----------------------------------------------------------
+Variable maxpool2d(const Variable& x, int64_t kernel, int64_t stride);
+Variable maxpool1d(const Variable& x, int64_t kernel, int64_t stride);
+Variable avgpool2d(const Variable& x, int64_t kernel, int64_t stride);
+/// [N,C,H,W] -> [N,C] (mean over H,W).
+Variable global_avg_pool2d(const Variable& x);
+/// [N,C,L] -> [N,C] (mean over L).
+Variable global_avg_pool1d(const Variable& x);
+/// Nearest-neighbour 2× upsampling of [N,C,H,W].
+Variable upsample_nearest2x(const Variable& x);
+
+// ---- normalization ----------------------------------------------------------------
+/// Zero-mean/unit-variance per (sample, group): x is [N,C,...]; channels are
+/// split into `groups` contiguous groups; statistics are computed over each
+/// group's channels and all trailing spatial dims. groups=1 is
+/// LayerNorm-style (per-instance). No affine — the caller composes one.
+Variable group_normalize(const Variable& x, int64_t groups, float eps = 1e-5f);
+
+/// BatchNorm statistics helper: normalizes per channel over (N, spatial).
+/// In training mode uses batch statistics and updates running stats in
+/// place; in eval mode uses the provided running stats (no graph through
+/// them). Affine is composed by the caller.
+Variable batch_normalize(const Variable& x, Tensor& running_mean,
+                         Tensor& running_var, bool training, float momentum,
+                         float eps = 1e-5f);
+
+// ---- dropout -----------------------------------------------------------------------
+/// Multiplies by `mask` (a constant w.r.t. the graph) and scales by
+/// 1/(1-p) (inverted dropout). The caller samples the mask.
+Variable apply_mask(const Variable& x, const Tensor& mask, float keep_scale);
+
+}  // namespace ripple::autograd

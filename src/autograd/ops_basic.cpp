@@ -1,0 +1,372 @@
+// Elementwise, scalar, per-channel broadcast, activation, shape and
+// reduction ops.
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace ripple::autograd {
+namespace {
+
+/// Iterates a [N, C, inner] view of a rank>=2 tensor whose channel axis is
+/// dim 1; rank-2 tensors have inner == 1.
+struct ChannelView {
+  int64_t n;
+  int64_t c;
+  int64_t inner;
+};
+
+ChannelView channel_view(const Tensor& x) {
+  RIPPLE_CHECK(x.rank() >= 2) << "channel broadcast needs rank >= 2, got "
+                              << shape_to_string(x.shape());
+  int64_t inner = 1;
+  for (int d = 2; d < x.rank(); ++d) inner *= x.dim(d);
+  return {x.dim(0), x.dim(1), inner};
+}
+
+}  // namespace
+
+Variable add(const Variable& a, const Variable& b) {
+  Tensor out = ops::add(a.value(), b.value());
+  return make_op_node(
+      std::move(out), {a.node(), b.node()},
+      [](Node& n) {
+        for (auto& p : n.parents)
+          if (p->requires_grad) p->accumulate_grad(n.grad);
+      },
+      "add");
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  Tensor out = ops::sub(a.value(), b.value());
+  return make_op_node(
+      std::move(out), {a.node(), b.node()},
+      [](Node& n) {
+        if (n.parents[0]->requires_grad) n.parents[0]->accumulate_grad(n.grad);
+        if (n.parents[1]->requires_grad)
+          n.parents[1]->accumulate_grad(ops::mul_scalar(n.grad, -1.0f));
+      },
+      "sub");
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  Tensor out = ops::mul(a.value(), b.value());
+  Tensor av = a.value();
+  Tensor bv = b.value();
+  return make_op_node(
+      std::move(out), {a.node(), b.node()},
+      [av, bv](Node& n) {
+        if (n.parents[0]->requires_grad)
+          n.parents[0]->accumulate_grad(ops::mul(n.grad, bv));
+        if (n.parents[1]->requires_grad)
+          n.parents[1]->accumulate_grad(ops::mul(n.grad, av));
+      },
+      "mul");
+}
+
+Variable neg(const Variable& a) { return mul_scalar(a, -1.0f); }
+
+Variable add_scalar(const Variable& a, float s) {
+  return make_op_node(
+      ops::add_scalar(a.value(), s), {a.node()},
+      [](Node& n) {
+        if (n.parents[0]->requires_grad) n.parents[0]->accumulate_grad(n.grad);
+      },
+      "add_scalar");
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  return make_op_node(
+      ops::mul_scalar(a.value(), s), {a.node()},
+      [s](Node& n) {
+        if (n.parents[0]->requires_grad)
+          n.parents[0]->accumulate_grad(ops::mul_scalar(n.grad, s));
+      },
+      "mul_scalar");
+}
+
+Variable mul_channel(const Variable& x, const Variable& gamma) {
+  const ChannelView v = channel_view(x.value());
+  RIPPLE_CHECK(gamma.value().rank() == 1 && gamma.dim(0) == v.c)
+      << "mul_channel: gamma shape " << shape_to_string(gamma.shape())
+      << " does not match " << v.c << " channels";
+  Tensor out(x.shape());
+  const float* px = x.value().data();
+  const float* pg = gamma.value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < v.n; ++i)
+    for (int64_t ch = 0; ch < v.c; ++ch) {
+      const float g = pg[ch];
+      const int64_t base = (i * v.c + ch) * v.inner;
+      for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] * g;
+    }
+  Tensor xv = x.value();
+  Tensor gv = gamma.value();
+  return make_op_node(
+      std::move(out), {x.node(), gamma.node()},
+      [xv, gv, v](Node& n) {
+        const float* pdy = n.grad.data();
+        if (n.parents[0]->requires_grad) {
+          Tensor dx(xv.shape());
+          float* pdx = dx.data();
+          const float* pg = gv.data();
+          for (int64_t i = 0; i < v.n; ++i)
+            for (int64_t ch = 0; ch < v.c; ++ch) {
+              const float g = pg[ch];
+              const int64_t base = (i * v.c + ch) * v.inner;
+              for (int64_t k = 0; k < v.inner; ++k)
+                pdx[base + k] = pdy[base + k] * g;
+            }
+          n.parents[0]->accumulate_grad(dx);
+        }
+        if (n.parents[1]->requires_grad) {
+          Tensor dg({v.c});
+          float* pdg = dg.data();
+          const float* px = xv.data();
+          for (int64_t i = 0; i < v.n; ++i)
+            for (int64_t ch = 0; ch < v.c; ++ch) {
+              const int64_t base = (i * v.c + ch) * v.inner;
+              double acc = 0.0;
+              for (int64_t k = 0; k < v.inner; ++k)
+                acc += static_cast<double>(pdy[base + k]) * px[base + k];
+              pdg[ch] += static_cast<float>(acc);
+            }
+          n.parents[1]->accumulate_grad(dg);
+        }
+      },
+      "mul_channel");
+}
+
+Variable add_channel(const Variable& x, const Variable& beta) {
+  const ChannelView v = channel_view(x.value());
+  RIPPLE_CHECK(beta.value().rank() == 1 && beta.dim(0) == v.c)
+      << "add_channel: beta shape " << shape_to_string(beta.shape())
+      << " does not match " << v.c << " channels";
+  Tensor out(x.shape());
+  const float* px = x.value().data();
+  const float* pb = beta.value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < v.n; ++i)
+    for (int64_t ch = 0; ch < v.c; ++ch) {
+      const float b = pb[ch];
+      const int64_t base = (i * v.c + ch) * v.inner;
+      for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] + b;
+    }
+  return make_op_node(
+      std::move(out), {x.node(), beta.node()},
+      [v](Node& n) {
+        const float* pdy = n.grad.data();
+        if (n.parents[0]->requires_grad) n.parents[0]->accumulate_grad(n.grad);
+        if (n.parents[1]->requires_grad) {
+          Tensor db({v.c});
+          float* pdb = db.data();
+          for (int64_t i = 0; i < v.n; ++i)
+            for (int64_t ch = 0; ch < v.c; ++ch) {
+              const int64_t base = (i * v.c + ch) * v.inner;
+              double acc = 0.0;
+              for (int64_t k = 0; k < v.inner; ++k) acc += pdy[base + k];
+              pdb[ch] += static_cast<float>(acc);
+            }
+          n.parents[1]->accumulate_grad(db);
+        }
+      },
+      "add_channel");
+}
+
+Variable relu(const Variable& a) {
+  Tensor out = ops::map(a.value(), [](float x) { return x > 0.0f ? x : 0.0f; });
+  Tensor av = a.value();
+  return make_op_node(
+      std::move(out), {a.node()},
+      [av](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor dx(av.shape());
+        const float* px = av.data();
+        const float* pdy = n.grad.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < av.numel(); ++i)
+          pdx[i] = px[i] > 0.0f ? pdy[i] : 0.0f;
+        n.parents[0]->accumulate_grad(dx);
+      },
+      "relu");
+}
+
+Variable sigmoid(const Variable& a) {
+  Tensor out = ops::map(a.value(),
+                        [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  Tensor ov = out;  // handle shares storage; safe, value is never mutated
+  return make_op_node(
+      std::move(out), {a.node()},
+      [ov](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor dx(ov.shape());
+        const float* py = ov.data();
+        const float* pdy = n.grad.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < ov.numel(); ++i)
+          pdx[i] = pdy[i] * py[i] * (1.0f - py[i]);
+        n.parents[0]->accumulate_grad(dx);
+      },
+      "sigmoid");
+}
+
+Variable tanh_op(const Variable& a) {
+  Tensor out = ops::map(a.value(), [](float x) { return std::tanh(x); });
+  Tensor ov = out;
+  return make_op_node(
+      std::move(out), {a.node()},
+      [ov](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor dx(ov.shape());
+        const float* py = ov.data();
+        const float* pdy = n.grad.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < ov.numel(); ++i)
+          pdx[i] = pdy[i] * (1.0f - py[i] * py[i]);
+        n.parents[0]->accumulate_grad(dx);
+      },
+      "tanh");
+}
+
+Variable sign_ste(const Variable& a, float ste_clip) {
+  RIPPLE_CHECK(ste_clip > 0.0f) << "sign_ste clip must be positive";
+  Tensor out = ops::sign(a.value());
+  Tensor av = a.value();
+  return make_op_node(
+      std::move(out), {a.node()},
+      [av, ste_clip](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor dx(av.shape());
+        const float* px = av.data();
+        const float* pdy = n.grad.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < av.numel(); ++i)
+          pdx[i] = std::fabs(px[i]) <= ste_clip ? pdy[i] : 0.0f;
+        n.parents[0]->accumulate_grad(dx);
+      },
+      "sign_ste");
+}
+
+Variable reshape(const Variable& a, Shape new_shape) {
+  Shape old_shape = a.shape();
+  Tensor out = a.value().reshaped(std::move(new_shape));
+  return make_op_node(
+      std::move(out), {a.node()},
+      [old_shape](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        n.parents[0]->accumulate_grad(n.grad.reshaped(old_shape));
+      },
+      "reshape");
+}
+
+Variable concat_channels(const Variable& a, const Variable& b) {
+  Tensor out = ops::concat_channels(a.value(), b.value());
+  const int64_t ca = a.dim(1);
+  return make_op_node(
+      std::move(out), {a.node(), b.node()},
+      [ca](Node& n) {
+        auto [ga, gb] = ops::split_channels(n.grad, ca);
+        if (n.parents[0]->requires_grad) n.parents[0]->accumulate_grad(ga);
+        if (n.parents[1]->requires_grad) n.parents[1]->accumulate_grad(gb);
+      },
+      "concat_channels");
+}
+
+Variable slice_cols(const Variable& a, int64_t begin, int64_t end) {
+  RIPPLE_CHECK(a.value().rank() == 2) << "slice_cols needs [N,F]";
+  const int64_t n = a.dim(0);
+  const int64_t f = a.dim(1);
+  RIPPLE_CHECK(0 <= begin && begin < end && end <= f)
+      << "slice_cols range [" << begin << "," << end << ") invalid for " << f
+      << " columns";
+  const int64_t w = end - begin;
+  Tensor out({n, w});
+  const float* pa = a.value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i)
+    std::copy(pa + i * f + begin, pa + i * f + end, po + i * w);
+  return make_op_node(
+      std::move(out), {a.node()},
+      [n, f, begin, w](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        Tensor dx({n, f});
+        const float* pdy = nd.grad.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < n; ++i)
+          std::copy(pdy + i * w, pdy + (i + 1) * w, pdx + i * f + begin);
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "slice_cols");
+}
+
+Variable select_time(const Variable& a, int64_t t) {
+  RIPPLE_CHECK(a.value().rank() == 3) << "select_time needs [N,T,F]";
+  const int64_t n = a.dim(0);
+  const int64_t steps = a.dim(1);
+  const int64_t f = a.dim(2);
+  RIPPLE_CHECK(t >= 0 && t < steps)
+      << "time index " << t << " out of range for " << steps << " steps";
+  Tensor out({n, f});
+  const float* pa = a.value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i)
+    std::copy(pa + (i * steps + t) * f, pa + (i * steps + t + 1) * f,
+              po + i * f);
+  return make_op_node(
+      std::move(out), {a.node()},
+      [n, steps, f, t](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        Tensor dx({n, steps, f});
+        const float* pdy = nd.grad.data();
+        float* pdx = dx.data();
+        for (int64_t i = 0; i < n; ++i)
+          std::copy(pdy + i * f, pdy + (i + 1) * f,
+                    pdx + (i * steps + t) * f);
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "select_time");
+}
+
+Variable sum_all(const Variable& a) {
+  Tensor out = Tensor::scalar(ops::sum(a.value()));
+  Shape in_shape = a.shape();
+  return make_op_node(
+      std::move(out), {a.node()},
+      [in_shape](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        n.parents[0]->accumulate_grad(
+            Tensor::full(in_shape, n.grad.item()));
+      },
+      "sum_all");
+}
+
+Variable mean_all(const Variable& a) {
+  const auto count = static_cast<float>(a.numel());
+  Tensor out = Tensor::scalar(ops::mean(a.value()));
+  Shape in_shape = a.shape();
+  return make_op_node(
+      std::move(out), {a.node()},
+      [in_shape, count](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        n.parents[0]->accumulate_grad(
+            Tensor::full(in_shape, n.grad.item() / count));
+      },
+      "mean_all");
+}
+
+Variable apply_mask(const Variable& x, const Tensor& mask, float keep_scale) {
+  RIPPLE_CHECK(mask.same_shape(x.value()))
+      << "apply_mask shape mismatch: " << shape_to_string(mask.shape())
+      << " vs " << shape_to_string(x.value().shape());
+  Tensor scaled_mask = ops::mul_scalar(mask, keep_scale);
+  Tensor out = ops::mul(x.value(), scaled_mask);
+  return make_op_node(
+      std::move(out), {x.node()},
+      [scaled_mask](Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        n.parents[0]->accumulate_grad(ops::mul(n.grad, scaled_mask));
+      },
+      "apply_mask");
+}
+
+}  // namespace ripple::autograd

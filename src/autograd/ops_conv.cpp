@@ -1,0 +1,433 @@
+// Convolution, pooling and resampling ops.
+//
+// Convolutions lower to GEMM via im2col per sample; the patch matrix is
+// recomputed in the backward pass instead of cached, trading a little
+// compute for a much smaller autograd graph footprint.
+#include <limits>
+
+#include "autograd/ops.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/ops.h"
+#include "tensor/threadpool.h"
+
+namespace ripple::autograd {
+
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t pad) {
+  RIPPLE_CHECK(x.value().rank() == 4) << "conv2d input must be [N,C,H,W]";
+  RIPPLE_CHECK(w.value().rank() == 4) << "conv2d weight must be [Cout,Cin,kh,kw]";
+  const int64_t n = x.dim(0);
+  const int64_t cin = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t wd = x.dim(3);
+  const int64_t cout = w.dim(0);
+  const int64_t kh = w.dim(2);
+  const int64_t kw = w.dim(3);
+  RIPPLE_CHECK(w.dim(1) == cin)
+      << "conv2d: weight expects " << w.dim(1) << " input channels, input has "
+      << cin;
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(wd, kw, stride, pad);
+  const int64_t ck = cin * kh * kw;
+  const int64_t oa = oh * ow;
+  const bool has_bias = b.defined();
+  if (has_bias) {
+    RIPPLE_CHECK(b.value().rank() == 1 && b.dim(0) == cout)
+        << "conv2d: bias shape " << shape_to_string(b.shape());
+  }
+
+  Tensor out({n, cout, oh, ow});
+  {
+    const float* px = x.value().data();
+    const float* pw = w.value().data();
+    float* po = out.data();
+    parallel_for(n, [&](int64_t begin, int64_t end) {
+      Tensor cols({ck, oa});
+      for (int64_t i = begin; i < end; ++i) {
+        im2col_2d(px + i * cin * h * wd, cin, h, wd, kh, kw, stride, pad,
+                  cols.data());
+        gemm_nn(cout, oa, ck, pw, cols.data(), po + i * cout * oa);
+      }
+    }, /*grain=*/1);
+    if (has_bias) {
+      const float* pb = b.value().data();
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t c = 0; c < cout; ++c) {
+          float* row = po + (i * cout + c) * oa;
+          const float bias = pb[c];
+          for (int64_t k = 0; k < oa; ++k) row[k] += bias;
+        }
+    }
+  }
+
+  Tensor xv = x.value();
+  Tensor wv = w.value();
+  std::vector<NodePtr> parents = {x.node(), w.node()};
+  if (has_bias) parents.push_back(b.node());
+  return make_op_node(
+      std::move(out), std::move(parents),
+      [xv, wv, n, cin, h, wd, cout, kh, kw, stride, pad, ck, oa,
+       has_bias](Node& nd) {
+        const float* pdy = nd.grad.data();
+        const bool need_dx = nd.parents[0]->requires_grad;
+        const bool need_dw = nd.parents[1]->requires_grad;
+        Tensor dx = need_dx ? Tensor::zeros(xv.shape()) : Tensor();
+        Tensor dw = need_dw ? Tensor::zeros(wv.shape()) : Tensor();
+        Tensor cols({ck, oa});
+        Tensor dcols({ck, oa});
+        for (int64_t i = 0; i < n; ++i) {
+          const float* dy_s = pdy + i * cout * oa;
+          if (need_dw) {
+            im2col_2d(xv.data() + i * cin * h * wd, cin, h, wd, kh, kw,
+                      stride, pad, cols.data());
+            // dW[Cout,CK] += dy_s[Cout,OA] · colsᵀ[OA,CK]
+            gemm_nt(cout, ck, oa, dy_s, cols.data(), dw.data());
+          }
+          if (need_dx) {
+            dcols.fill(0.0f);
+            // dcols[CK,OA] = Wᵀ[CK,Cout] · dy_s[Cout,OA]
+            gemm_tn(ck, oa, cout, wv.data(), dy_s, dcols.data());
+            col2im_2d(dcols.data(), cin, h, wd, kh, kw, stride, pad,
+                      dx.data() + i * cin * h * wd);
+          }
+        }
+        if (need_dx) nd.parents[0]->accumulate_grad(dx);
+        if (need_dw) nd.parents[1]->accumulate_grad(dw);
+        if (has_bias && nd.parents[2]->requires_grad) {
+          Tensor db({cout});
+          float* pdb = db.data();
+          for (int64_t i = 0; i < n; ++i)
+            for (int64_t c = 0; c < cout; ++c) {
+              const float* row = pdy + (i * cout + c) * oa;
+              double acc = 0.0;
+              for (int64_t k = 0; k < oa; ++k) acc += row[k];
+              pdb[c] += static_cast<float>(acc);
+            }
+          nd.parents[2]->accumulate_grad(db);
+        }
+      },
+      "conv2d");
+}
+
+Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t pad) {
+  RIPPLE_CHECK(x.value().rank() == 3) << "conv1d input must be [N,C,L]";
+  RIPPLE_CHECK(w.value().rank() == 3) << "conv1d weight must be [Cout,Cin,k]";
+  const int64_t n = x.dim(0);
+  const int64_t cin = x.dim(1);
+  const int64_t l = x.dim(2);
+  const int64_t cout = w.dim(0);
+  const int64_t k = w.dim(2);
+  RIPPLE_CHECK(w.dim(1) == cin) << "conv1d channel mismatch";
+  const int64_t ol = conv_out_size(l, k, stride, pad);
+  const int64_t ck = cin * k;
+  const bool has_bias = b.defined();
+  if (has_bias) {
+    RIPPLE_CHECK(b.value().rank() == 1 && b.dim(0) == cout)
+        << "conv1d: bias shape " << shape_to_string(b.shape());
+  }
+
+  Tensor out({n, cout, ol});
+  {
+    const float* px = x.value().data();
+    const float* pw = w.value().data();
+    float* po = out.data();
+    Tensor cols({ck, ol});
+    for (int64_t i = 0; i < n; ++i) {
+      im2col_1d(px + i * cin * l, cin, l, k, stride, pad, cols.data());
+      gemm_nn(cout, ol, ck, pw, cols.data(), po + i * cout * ol);
+    }
+    if (has_bias) {
+      const float* pb = b.value().data();
+      for (int64_t i = 0; i < n; ++i)
+        for (int64_t c = 0; c < cout; ++c) {
+          float* row = po + (i * cout + c) * ol;
+          for (int64_t j = 0; j < ol; ++j) row[j] += pb[c];
+        }
+    }
+  }
+
+  Tensor xv = x.value();
+  Tensor wv = w.value();
+  std::vector<NodePtr> parents = {x.node(), w.node()};
+  if (has_bias) parents.push_back(b.node());
+  return make_op_node(
+      std::move(out), std::move(parents),
+      [xv, wv, n, cin, l, cout, k, stride, pad, ck, ol, has_bias](Node& nd) {
+        const float* pdy = nd.grad.data();
+        const bool need_dx = nd.parents[0]->requires_grad;
+        const bool need_dw = nd.parents[1]->requires_grad;
+        Tensor dx = need_dx ? Tensor::zeros(xv.shape()) : Tensor();
+        Tensor dw = need_dw ? Tensor::zeros(wv.shape()) : Tensor();
+        Tensor cols({ck, ol});
+        Tensor dcols({ck, ol});
+        for (int64_t i = 0; i < n; ++i) {
+          const float* dy_s = pdy + i * cout * ol;
+          if (need_dw) {
+            im2col_1d(xv.data() + i * cin * l, cin, l, k, stride, pad,
+                      cols.data());
+            gemm_nt(cout, ck, ol, dy_s, cols.data(), dw.data());
+          }
+          if (need_dx) {
+            dcols.fill(0.0f);
+            gemm_tn(ck, ol, cout, wv.data(), dy_s, dcols.data());
+            col2im_1d(dcols.data(), cin, l, k, stride, pad,
+                      dx.data() + i * cin * l);
+          }
+        }
+        if (need_dx) nd.parents[0]->accumulate_grad(dx);
+        if (need_dw) nd.parents[1]->accumulate_grad(dw);
+        if (has_bias && nd.parents[2]->requires_grad) {
+          Tensor db({cout});
+          float* pdb = db.data();
+          for (int64_t i = 0; i < n; ++i)
+            for (int64_t c = 0; c < cout; ++c) {
+              const float* row = pdy + (i * cout + c) * ol;
+              double acc = 0.0;
+              for (int64_t j = 0; j < ol; ++j) acc += row[j];
+              pdb[c] += static_cast<float>(acc);
+            }
+          nd.parents[2]->accumulate_grad(db);
+        }
+      },
+      "conv1d");
+}
+
+Variable maxpool2d(const Variable& x, int64_t kernel, int64_t stride) {
+  RIPPLE_CHECK(x.value().rank() == 4) << "maxpool2d input must be [N,C,H,W]";
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const int64_t oh = conv_out_size(h, kernel, stride, /*pad=*/0);
+  const int64_t ow = conv_out_size(w, kernel, stride, /*pad=*/0);
+  Tensor out({n, c, oh, ow});
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(out.numel()));
+  {
+    const float* px = x.value().data();
+    float* po = out.data();
+    int64_t oi = 0;
+    for (int64_t i = 0; i < n * c; ++i) {
+      const float* plane = px + i * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy)
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t dy = 0; dy < kernel; ++dy)
+            for (int64_t dx = 0; dx < kernel; ++dx) {
+              const int64_t iy = oy * stride + dy;
+              const int64_t ix = ox * stride + dx;
+              if (iy >= h || ix >= w) continue;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = i * h * w + iy * w + ix;
+              }
+            }
+          po[oi] = best;
+          (*argmax)[static_cast<size_t>(oi)] = best_idx;
+        }
+    }
+  }
+  Shape in_shape = x.shape();
+  return make_op_node(
+      std::move(out), {x.node()},
+      [argmax, in_shape](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        Tensor dx = Tensor::zeros(in_shape);
+        float* pdx = dx.data();
+        const float* pdy = nd.grad.data();
+        for (int64_t i = 0; i < nd.grad.numel(); ++i)
+          pdx[(*argmax)[static_cast<size_t>(i)]] += pdy[i];
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "maxpool2d");
+}
+
+Variable maxpool1d(const Variable& x, int64_t kernel, int64_t stride) {
+  RIPPLE_CHECK(x.value().rank() == 3) << "maxpool1d input must be [N,C,L]";
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t l = x.dim(2);
+  const int64_t ol = conv_out_size(l, kernel, stride, /*pad=*/0);
+  Tensor out({n, c, ol});
+  auto argmax = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(out.numel()));
+  {
+    const float* px = x.value().data();
+    float* po = out.data();
+    int64_t oi = 0;
+    for (int64_t i = 0; i < n * c; ++i) {
+      const float* line = px + i * l;
+      for (int64_t ox = 0; ox < ol; ++ox, ++oi) {
+        float best = -std::numeric_limits<float>::infinity();
+        int64_t best_idx = 0;
+        for (int64_t dx = 0; dx < kernel; ++dx) {
+          const int64_t ix = ox * stride + dx;
+          if (ix >= l) continue;
+          if (line[ix] > best) {
+            best = line[ix];
+            best_idx = i * l + ix;
+          }
+        }
+        po[oi] = best;
+        (*argmax)[static_cast<size_t>(oi)] = best_idx;
+      }
+    }
+  }
+  Shape in_shape = x.shape();
+  return make_op_node(
+      std::move(out), {x.node()},
+      [argmax, in_shape](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        Tensor dx = Tensor::zeros(in_shape);
+        float* pdx = dx.data();
+        const float* pdy = nd.grad.data();
+        for (int64_t i = 0; i < nd.grad.numel(); ++i)
+          pdx[(*argmax)[static_cast<size_t>(i)]] += pdy[i];
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "maxpool1d");
+}
+
+Variable avgpool2d(const Variable& x, int64_t kernel, int64_t stride) {
+  RIPPLE_CHECK(x.value().rank() == 4) << "avgpool2d input must be [N,C,H,W]";
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const int64_t oh = conv_out_size(h, kernel, stride, /*pad=*/0);
+  const int64_t ow = conv_out_size(w, kernel, stride, /*pad=*/0);
+  const float inv_area = 1.0f / static_cast<float>(kernel * kernel);
+  Tensor out({n, c, oh, ow});
+  {
+    const float* px = x.value().data();
+    float* po = out.data();
+    int64_t oi = 0;
+    for (int64_t i = 0; i < n * c; ++i) {
+      const float* plane = px + i * h * w;
+      for (int64_t oy = 0; oy < oh; ++oy)
+        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          double acc = 0.0;
+          for (int64_t dy = 0; dy < kernel; ++dy)
+            for (int64_t dx = 0; dx < kernel; ++dx) {
+              const int64_t iy = oy * stride + dy;
+              const int64_t ix = ox * stride + dx;
+              if (iy < h && ix < w) acc += plane[iy * w + ix];
+            }
+          po[oi] = static_cast<float>(acc) * inv_area;
+        }
+    }
+  }
+  Shape in_shape = x.shape();
+  return make_op_node(
+      std::move(out), {x.node()},
+      [in_shape, n, c, h, w, oh, ow, kernel, stride, inv_area](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        Tensor dx = Tensor::zeros(in_shape);
+        float* pdx = dx.data();
+        const float* pdy = nd.grad.data();
+        int64_t oi = 0;
+        for (int64_t i = 0; i < n * c; ++i) {
+          float* plane = pdx + i * h * w;
+          for (int64_t oy = 0; oy < oh; ++oy)
+            for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+              const float g = pdy[oi] * inv_area;
+              for (int64_t dy = 0; dy < kernel; ++dy)
+                for (int64_t dx2 = 0; dx2 < kernel; ++dx2) {
+                  const int64_t iy = oy * stride + dy;
+                  const int64_t ix = ox * stride + dx2;
+                  if (iy < h && ix < w) plane[iy * w + ix] += g;
+                }
+            }
+        }
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "avgpool2d");
+}
+
+namespace {
+
+Variable global_avg_pool_impl(const Variable& x, int64_t spatial,
+                              const char* name) {
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const float inv = 1.0f / static_cast<float>(spatial);
+  Tensor out({n, c});
+  const float* px = x.value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    double acc = 0.0;
+    for (int64_t k = 0; k < spatial; ++k) acc += px[i * spatial + k];
+    po[i] = static_cast<float>(acc) * inv;
+  }
+  Shape in_shape = x.shape();
+  return make_op_node(
+      std::move(out), {x.node()},
+      [in_shape, n, c, spatial, inv](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        Tensor dx(in_shape);
+        float* pdx = dx.data();
+        const float* pdy = nd.grad.data();
+        for (int64_t i = 0; i < n * c; ++i) {
+          const float g = pdy[i] * inv;
+          for (int64_t k = 0; k < spatial; ++k) pdx[i * spatial + k] = g;
+        }
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      name);
+}
+
+}  // namespace
+
+Variable global_avg_pool2d(const Variable& x) {
+  RIPPLE_CHECK(x.value().rank() == 4) << "global_avg_pool2d needs [N,C,H,W]";
+  return global_avg_pool_impl(x, x.dim(2) * x.dim(3), "global_avg_pool2d");
+}
+
+Variable global_avg_pool1d(const Variable& x) {
+  RIPPLE_CHECK(x.value().rank() == 3) << "global_avg_pool1d needs [N,C,L]";
+  return global_avg_pool_impl(x, x.dim(2), "global_avg_pool1d");
+}
+
+Variable upsample_nearest2x(const Variable& x) {
+  RIPPLE_CHECK(x.value().rank() == 4) << "upsample_nearest2x needs [N,C,H,W]";
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  Tensor out({n, c, h * 2, w * 2});
+  {
+    const float* px = x.value().data();
+    float* po = out.data();
+    for (int64_t i = 0; i < n * c; ++i) {
+      const float* plane = px + i * h * w;
+      float* oplane = po + i * h * w * 4;
+      for (int64_t y = 0; y < 2 * h; ++y)
+        for (int64_t x2 = 0; x2 < 2 * w; ++x2)
+          oplane[y * 2 * w + x2] = plane[(y / 2) * w + (x2 / 2)];
+    }
+  }
+  Shape in_shape = x.shape();
+  return make_op_node(
+      std::move(out), {x.node()},
+      [in_shape, n, c, h, w](Node& nd) {
+        if (!nd.parents[0]->requires_grad) return;
+        Tensor dx = Tensor::zeros(in_shape);
+        float* pdx = dx.data();
+        const float* pdy = nd.grad.data();
+        for (int64_t i = 0; i < n * c; ++i) {
+          float* plane = pdx + i * h * w;
+          const float* oplane = pdy + i * h * w * 4;
+          for (int64_t y = 0; y < 2 * h; ++y)
+            for (int64_t x2 = 0; x2 < 2 * w; ++x2)
+              plane[(y / 2) * w + (x2 / 2)] += oplane[y * 2 * w + x2];
+        }
+        nd.parents[0]->accumulate_grad(dx);
+      },
+      "upsample_nearest2x");
+}
+
+}  // namespace ripple::autograd

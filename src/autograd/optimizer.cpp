@@ -1,0 +1,77 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+namespace ripple::autograd {
+
+void Optimizer::zero_grad() {
+  for (Parameter* p : params_) p->var.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_)
+    velocity_.push_back(Tensor::zeros(p->var.shape()));
+}
+
+void Sgd::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->var.has_grad()) continue;
+    float* w = p->var.value().data();
+    const float* g = p->var.grad().data();
+    float* v = velocity_[i].data();
+    const int64_t n = p->var.numel();
+    for (int64_t k = 0; k < n; ++k) {
+      const float grad = g[k] + weight_decay_ * w[k];
+      v[k] = momentum_ * v[k] + grad;
+      w[k] -= lr_ * v[k];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(Tensor::zeros(p->var.shape()));
+    v_.push_back(Tensor::zeros(p->var.shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (!p->var.has_grad()) continue;
+    float* w = p->var.value().data();
+    const float* g = p->var.grad().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p->var.numel();
+    for (int64_t k = 0; k < n; ++k) {
+      const float grad = g[k] + weight_decay_ * w[k];
+      m[k] = beta1_ * m[k] + (1.0f - beta1_) * grad;
+      v[k] = beta2_ * v[k] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[k] / bc1;
+      const float vhat = v[k] / bc2;
+      w[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace ripple::autograd

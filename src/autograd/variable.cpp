@@ -1,0 +1,132 @@
+#include "autograd/variable.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace ripple::autograd {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+Tensor& Node::ensure_grad() {
+  if (!grad.defined()) grad = Tensor::zeros(value.shape());
+  return grad;
+}
+
+void Node::accumulate_grad(const Tensor& g) {
+  RIPPLE_CHECK(g.same_shape(value))
+      << "gradient shape " << shape_to_string(g.shape())
+      << " does not match value shape " << shape_to_string(value.shape())
+      << " in op '" << op << "'";
+  ops::add_inplace(ensure_grad(), g);
+}
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  RIPPLE_CHECK(node_ != nullptr) << "value() on undefined Variable";
+  return node_->value;
+}
+
+Tensor& Variable::value() {
+  RIPPLE_CHECK(node_ != nullptr) << "value() on undefined Variable";
+  return node_->value;
+}
+
+bool Variable::requires_grad() const {
+  return node_ != nullptr && node_->requires_grad;
+}
+
+void Variable::set_requires_grad(bool rg) {
+  RIPPLE_CHECK(node_ != nullptr) << "set_requires_grad on undefined Variable";
+  node_->requires_grad = rg;
+}
+
+bool Variable::has_grad() const {
+  return node_ != nullptr && node_->grad.defined();
+}
+
+const Tensor& Variable::grad() const {
+  RIPPLE_CHECK(has_grad()) << "grad() but no gradient was accumulated";
+  return node_->grad;
+}
+
+void Variable::zero_grad() {
+  if (node_ != nullptr && node_->grad.defined()) node_->grad.fill(0.0f);
+}
+
+void Variable::backward() {
+  RIPPLE_CHECK(defined()) << "backward() on undefined Variable";
+  RIPPLE_CHECK(node_->value.numel() == 1)
+      << "backward() without seed requires a scalar value, shape is "
+      << shape_to_string(node_->value.shape());
+  backward(Tensor::full(node_->value.shape(), 1.0f));
+}
+
+void Variable::backward(const Tensor& seed) {
+  RIPPLE_CHECK(defined()) << "backward() on undefined Variable";
+  node_->accumulate_grad(seed);
+
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [n, next_child] = stack.back();
+    if (next_child < n->parents.size()) {
+      Node* child = n->parents[next_child].get();
+      ++next_child;
+      if (child != nullptr && visited.insert(child).second)
+        stack.emplace_back(child, 0);
+    } else {
+      order.push_back(n);
+      stack.pop_back();
+    }
+  }
+  // order is post-order (leaves first); traverse from root to leaves.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && n->grad.defined()) n->backward_fn(*n);
+  }
+}
+
+Variable Variable::detach() const {
+  RIPPLE_CHECK(defined()) << "detach() on undefined Variable";
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool grad_enabled() { return g_grad_enabled; }
+
+Variable make_op_node(Tensor value, std::vector<NodePtr> parents,
+                      std::function<void(Node&)> backward_fn, const char* op) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->op = op;
+  const bool any_parent_grad =
+      std::any_of(parents.begin(), parents.end(), [](const NodePtr& p) {
+        return p != nullptr && p->requires_grad;
+      });
+  if (grad_enabled() && any_parent_grad) {
+    node->requires_grad = true;
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return Variable(node);
+}
+
+}  // namespace ripple::autograd

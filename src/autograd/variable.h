@@ -1,0 +1,103 @@
+// Reverse-mode automatic differentiation.
+//
+// A Variable is a handle to a graph Node holding a value tensor, an
+// optional gradient, and a backward closure that scatters the node's
+// gradient into its parents. Calling backward() on a scalar root performs a
+// topological traversal and accumulates gradients into every reachable node
+// with requires_grad.
+//
+// Gradients accumulate across backward calls until zero_grad(), matching
+// the usual train-step contract (zero → forward → backward → step).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ripple::autograd {
+
+struct Node;
+using NodePtr = std::shared_ptr<Node>;
+
+/// One vertex of the autodiff graph.
+struct Node {
+  Tensor value;
+  Tensor grad;  // undefined until first accumulation
+  bool requires_grad = false;
+  std::vector<NodePtr> parents;
+  /// Reads this->grad and accumulates into parents' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn;
+  const char* op = "leaf";
+
+  /// Gradient tensor, allocating zeros of value's shape on first use.
+  Tensor& ensure_grad();
+  /// Accumulate g into this node's gradient.
+  void accumulate_grad(const Tensor& g);
+};
+
+/// User-facing handle. Copies share the node (and therefore the value).
+class Variable {
+ public:
+  Variable() = default;
+  /// Leaf node wrapping `value`.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Internal: wrap an existing node (used by ops).
+  explicit Variable(NodePtr node) : node_(std::move(node)) {}
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const;
+  Tensor& value();
+
+  /// Shape convenience passthroughs.
+  const Shape& shape() const { return value().shape(); }
+  int64_t dim(int i) const { return value().dim(i); }
+  int64_t numel() const { return value().numel(); }
+
+  bool requires_grad() const;
+  void set_requires_grad(bool rg);
+
+  /// True once a gradient has been accumulated.
+  bool has_grad() const;
+  const Tensor& grad() const;
+  void zero_grad();
+
+  /// Backpropagate from this node. Without a seed the value must be a
+  /// single element (typical loss); the seed is then 1.
+  void backward();
+  void backward(const Tensor& seed);
+
+  /// Same value tensor, fresh leaf with no history (never requires grad).
+  Variable detach() const;
+
+  NodePtr node() const { return node_; }
+
+ private:
+  NodePtr node_;
+};
+
+/// While a NoGradGuard is alive on this thread, ops build constant nodes
+/// with no parents/backward closures (fast inference path).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True when gradient recording is enabled on this thread (no guard active).
+bool grad_enabled();
+
+/// Helper for op implementations: build a result node. Parents/backward are
+/// dropped when grad recording is off or no parent requires grad.
+Variable make_op_node(Tensor value, std::vector<NodePtr> parents,
+                      std::function<void(Node&)> backward_fn, const char* op);
+
+}  // namespace ripple::autograd

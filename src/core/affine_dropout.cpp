@@ -1,0 +1,49 @@
+#include "core/affine_dropout.h"
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace ripple::core {
+
+const char* drop_granularity_name(DropGranularity g) {
+  return g == DropGranularity::kElementWise ? "element-wise" : "vector-wise";
+}
+
+Tensor sample_affine_mask(int64_t channels, float p, DropGranularity g,
+                          Rng& rng) {
+  RIPPLE_CHECK(channels > 0) << "mask needs positive channel count";
+  RIPPLE_CHECK(p >= 0.0f && p < 1.0f) << "drop probability must be in [0,1)";
+  if (g == DropGranularity::kVectorWise) {
+    // One Bernoulli for the whole vector: a single RNG per layer suffices
+    // in the IMC realization.
+    const float keep = rng.bernoulli(p) ? 0.0f : 1.0f;
+    return Tensor::full({channels}, keep);
+  }
+  Tensor mask({channels});
+  float* pm = mask.data();
+  for (int64_t i = 0; i < channels; ++i)
+    pm[i] = rng.bernoulli(p) ? 0.0f : 1.0f;
+  return mask;
+}
+
+autograd::Variable drop_gamma_to_one(const autograd::Variable& gamma,
+                                     const Tensor& mask) {
+  RIPPLE_CHECK(mask.same_shape(gamma.value()))
+      << "gamma mask shape mismatch: " << shape_to_string(mask.shape())
+      << " vs " << shape_to_string(gamma.value().shape());
+  // γ·m + (1 − m): dropped entries become exactly 1.
+  Tensor one_minus = ops::map(mask, [](float m) { return 1.0f - m; });
+  autograd::Variable masked =
+      autograd::mul(gamma, autograd::Variable(mask));
+  return autograd::add(masked, autograd::Variable(std::move(one_minus)));
+}
+
+autograd::Variable drop_beta_to_zero(const autograd::Variable& beta,
+                                     const Tensor& mask) {
+  RIPPLE_CHECK(mask.same_shape(beta.value()))
+      << "beta mask shape mismatch: " << shape_to_string(mask.shape())
+      << " vs " << shape_to_string(beta.value().shape());
+  return autograd::mul(beta, autograd::Variable(mask));
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,36 @@
+// Affine Dropout (§III-B): stochastic drop-to-identity of the inverted
+// normalization's affine parameters.
+//
+// Two independent Bernoulli masks are sampled with drop probability p; the
+// scale γ is dropped *to one* (it multiplies the weighted sum, so zero
+// would annihilate the signal) and the shift β is dropped *to zero*:
+//   γ' = γ·m_γ + (1 − m_γ)        β' = β·m_β
+// Element-wise sampling draws one mask entry per channel; vector-wise
+// sampling draws a single Bernoulli per parameter vector — the variant the
+// paper deploys because it needs only one RNG per layer in the IMC
+// implementation.
+#pragma once
+
+#include "autograd/variable.h"
+#include "tensor/random.h"
+
+namespace ripple::core {
+
+enum class DropGranularity { kElementWise, kVectorWise };
+
+const char* drop_granularity_name(DropGranularity g);
+
+/// Samples an affine-dropout mask of length `channels`: entries are 1
+/// (keep) or 0 (drop). Vector-wise masks are constant across channels.
+Tensor sample_affine_mask(int64_t channels, float p, DropGranularity g,
+                          Rng& rng);
+
+/// γ' = γ·m + (1 − m) with m a graph constant.
+autograd::Variable drop_gamma_to_one(const autograd::Variable& gamma,
+                                     const Tensor& mask);
+
+/// β' = β·m with m a graph constant.
+autograd::Variable drop_beta_to_zero(const autograd::Variable& beta,
+                                     const Tensor& mask);
+
+}  // namespace ripple::core

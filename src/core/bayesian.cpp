@@ -1,0 +1,79 @@
+#include "core/bayesian.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace ripple::core {
+
+McClassification mc_classify(const StochasticForward& forward_logits,
+                             const Tensor& x, int samples) {
+  RIPPLE_CHECK(samples >= 1) << "mc_classify needs >= 1 sample";
+  Tensor sum_probs;
+  Tensor sum_sq;
+  for (int s = 0; s < samples; ++s) {
+    Tensor logits = forward_logits(x);
+    RIPPLE_CHECK(logits.rank() == 2) << "classifier must return [N,C] logits";
+    Tensor probs = ops::softmax_rows(logits);
+    if (!sum_probs.defined()) {
+      sum_probs = Tensor::zeros(probs.shape());
+      sum_sq = Tensor::zeros(probs.shape());
+    }
+    ops::add_inplace(sum_probs, probs);
+    ops::add_inplace(sum_sq, ops::mul(probs, probs));
+  }
+  McClassification out;
+  out.samples = samples;
+  const float inv = 1.0f / static_cast<float>(samples);
+  out.mean_probs = ops::mul_scalar(sum_probs, inv);
+  // var = E[p²] − E[p]² (clamped at 0 against rounding).
+  Tensor mean_sq = ops::mul(out.mean_probs, out.mean_probs);
+  Tensor e_sq = ops::mul_scalar(sum_sq, inv);
+  out.variance = ops::map(ops::sub(e_sq, mean_sq),
+                          [](float v) { return v > 0.0f ? v : 0.0f; });
+  out.predictions = ops::argmax_rows(out.mean_probs);
+  return out;
+}
+
+McRegression mc_regress(const StochasticForward& forward, const Tensor& x,
+                        int samples) {
+  RIPPLE_CHECK(samples >= 1) << "mc_regress needs >= 1 sample";
+  Tensor sum;
+  Tensor sum_sq;
+  for (int s = 0; s < samples; ++s) {
+    Tensor pred = forward(x);
+    if (!sum.defined()) {
+      sum = Tensor::zeros(pred.shape());
+      sum_sq = Tensor::zeros(pred.shape());
+    }
+    ops::add_inplace(sum, pred);
+    ops::add_inplace(sum_sq, ops::mul(pred, pred));
+  }
+  McRegression out;
+  out.samples = samples;
+  const float inv = 1.0f / static_cast<float>(samples);
+  out.mean = ops::mul_scalar(sum, inv);
+  Tensor mean_sq = ops::mul(out.mean, out.mean);
+  Tensor e_sq = ops::mul_scalar(sum_sq, inv);
+  out.stddev = ops::map(ops::sub(e_sq, mean_sq), [](float v) {
+    return v > 0.0f ? std::sqrt(v) : 0.0f;
+  });
+  return out;
+}
+
+Tensor mc_segment(const StochasticForward& forward_logits, const Tensor& x,
+                  int samples) {
+  RIPPLE_CHECK(samples >= 1) << "mc_segment needs >= 1 sample";
+  Tensor sum;
+  for (int s = 0; s < samples; ++s) {
+    Tensor logits = forward_logits(x);
+    Tensor probs = ops::map(
+        logits, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+    if (!sum.defined()) sum = Tensor::zeros(probs.shape());
+    ops::add_inplace(sum, probs);
+  }
+  return ops::mul_scalar(sum, 1.0f / static_cast<float>(samples));
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,49 @@
+// Bayesian Monte-Carlo inference (§III-D).
+//
+// A model trained with (affine) dropout approximates a Gaussian process
+// (Gal & Ghahramani, 2016); sampling T stochastic forward passes — each
+// with fresh dropout masks — yields a predictive distribution. The mean of
+// the per-pass class probabilities is the prediction; the spread carries
+// the model uncertainty.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ripple::core {
+
+/// One stochastic forward pass: takes the input batch, returns logits
+/// (classification) or point predictions (regression). The callee is
+/// responsible for running in MC mode (dropout active, eval statistics).
+using StochasticForward = std::function<Tensor(const Tensor&)>;
+
+struct McClassification {
+  Tensor mean_probs;           // [N, C] MC-averaged softmax probabilities
+  Tensor variance;             // [N, C] across-sample variance of probs
+  std::vector<int64_t> predictions;  // argmax of mean_probs
+  int samples = 0;
+};
+
+/// Runs `samples` stochastic passes of a classifier and aggregates.
+McClassification mc_classify(const StochasticForward& forward_logits,
+                             const Tensor& x, int samples);
+
+struct McRegression {
+  Tensor mean;    // MC mean prediction
+  Tensor stddev;  // across-sample standard deviation
+  int samples = 0;
+};
+
+/// Runs `samples` stochastic passes of a regressor and aggregates.
+McRegression mc_regress(const StochasticForward& forward, const Tensor& x,
+                        int samples);
+
+/// Dense (per-pixel) binary classification: averages sigmoid probabilities
+/// over MC samples. Returns mean probabilities with the logits' shape.
+Tensor mc_segment(const StochasticForward& forward_logits, const Tensor& x,
+                  int samples);
+
+}  // namespace ripple::core

@@ -1,0 +1,55 @@
+#include "core/init.h"
+
+#include "tensor/check.h"
+
+namespace ripple::core {
+
+Tensor AffineInit::make_gamma(int64_t channels, Rng& rng) const {
+  RIPPLE_CHECK(channels > 0) << "make_gamma needs positive channel count";
+  switch (kind) {
+    case Kind::kNormal:
+      return Tensor::randn({channels}, rng, 1.0f, sigma_gamma);
+    case Kind::kUniform:
+      return Tensor::uniform({channels}, rng, 0.0f, k_gamma);
+    case Kind::kConstant:
+      return Tensor::ones({channels});
+  }
+  throw CheckError("unreachable AffineInit kind");
+}
+
+Tensor AffineInit::make_beta(int64_t channels, Rng& rng) const {
+  RIPPLE_CHECK(channels > 0) << "make_beta needs positive channel count";
+  switch (kind) {
+    case Kind::kNormal:
+      return Tensor::randn({channels}, rng, 0.0f, sigma_beta);
+    case Kind::kUniform:
+      return Tensor::uniform({channels}, rng, -k_beta, k_beta);
+    case Kind::kConstant:
+      return Tensor::zeros({channels});
+  }
+  throw CheckError("unreachable AffineInit kind");
+}
+
+AffineInit AffineInit::normal(float sigma_gamma, float sigma_beta) {
+  AffineInit init;
+  init.kind = Kind::kNormal;
+  init.sigma_gamma = sigma_gamma;
+  init.sigma_beta = sigma_beta;
+  return init;
+}
+
+AffineInit AffineInit::uniform(float k_gamma, float k_beta) {
+  AffineInit init;
+  init.kind = Kind::kUniform;
+  init.k_gamma = k_gamma;
+  init.k_beta = k_beta;
+  return init;
+}
+
+AffineInit AffineInit::constant() {
+  AffineInit init;
+  init.kind = Kind::kConstant;
+  return init;
+}
+
+}  // namespace ripple::core

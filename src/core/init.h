@@ -1,0 +1,39 @@
+// Initialization strategies for the inverted-normalization affine
+// parameters (§III-C).
+//
+// Unlike conventional norms (γ=1, β=0), the paper initializes the affine
+// parameters *randomly* — otherwise identical initial values would receive
+// identical gradients, and the extra randomness in the weighted sum is
+// itself a robustness mechanism:
+//   normal:   γ ~ N(1, σ_γ²),  β ~ N(0, σ_β²)     (paper default, σ = 0.3)
+//   uniform:  γ ~ U(0, k_γ),   β ~ U(−k_β, k_β)
+#pragma once
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace ripple::core {
+
+struct AffineInit {
+  enum class Kind { kNormal, kUniform, kConstant };
+
+  Kind kind = Kind::kNormal;
+  // Normal init (paper default).
+  float sigma_gamma = 0.3f;
+  float sigma_beta = 0.3f;
+  // Uniform init alternative.
+  float k_gamma = 2.0f;
+  float k_beta = 0.5f;
+
+  /// Scale vector γ of length `channels`.
+  Tensor make_gamma(int64_t channels, Rng& rng) const;
+  /// Shift vector β of length `channels`.
+  Tensor make_beta(int64_t channels, Rng& rng) const;
+
+  static AffineInit normal(float sigma_gamma, float sigma_beta);
+  static AffineInit uniform(float k_gamma, float k_beta);
+  /// Conventional γ=1 / β=0 (ablation baseline).
+  static AffineInit constant();
+};
+
+}  // namespace ripple::core

@@ -1,0 +1,54 @@
+#include "core/inverted_norm.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::core {
+
+InvertedNorm::InvertedNorm(int64_t channels, Options options, Rng* rng)
+    : channels_(channels), options_(options), rng_(rng) {
+  RIPPLE_CHECK(channels > 0) << "InvertedNorm channels must be positive";
+  RIPPLE_CHECK(options_.groups >= 1 && channels % options_.groups == 0)
+      << "InvertedNorm: " << channels << " channels not divisible into "
+      << options_.groups << " groups";
+  RIPPLE_CHECK(options_.dropout_p >= 0.0f && options_.dropout_p < 1.0f)
+      << "InvertedNorm dropout_p must be in [0,1)";
+  Rng& gen = rng_ != nullptr ? *rng_ : global_rng();
+  // Random init (§III-C): identical initial values would receive identical
+  // gradients; randomness also adds train-time stochasticity to the
+  // weighted sum.
+  gamma_ = &register_parameter("gamma", options_.init.make_gamma(channels, gen),
+                               autograd::ParamKind::kAffineWeight);
+  beta_ = &register_parameter("beta", options_.init.make_beta(channels, gen),
+                              autograd::ParamKind::kAffineBias);
+}
+
+autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
+  namespace ag = ripple::autograd;
+  RIPPLE_CHECK(x.dim(1) == channels_)
+      << "InvertedNorm expects " << channels_ << " channels, got " << x.dim(1);
+
+  ag::Variable gamma_eff = gamma_->var;
+  ag::Variable beta_eff = beta_->var;
+  if (stochastic() && options_.dropout_p > 0.0f) {
+    Rng& gen = rng_ != nullptr ? *rng_ : global_rng();
+    // Independent masks for weight and bias (§III-B, Fig. 3).
+    const Tensor gamma_mask = sample_affine_mask(
+        channels_, options_.dropout_p, options_.granularity, gen);
+    const Tensor beta_mask = sample_affine_mask(
+        channels_, options_.dropout_p, options_.granularity, gen);
+    gamma_eff = drop_gamma_to_one(gamma_eff, gamma_mask);
+    beta_eff = drop_beta_to_zero(beta_eff, beta_mask);
+  }
+
+  if (options_.affine_first) {
+    // Paper order: affine transformation, then normalization (Fig. 2b).
+    ag::Variable z =
+        ag::add_channel(ag::mul_channel(x, gamma_eff), beta_eff);
+    return ag::group_normalize(z, options_.groups, options_.eps);
+  }
+  // Ablation order: normalize, then stochastic affine (conventional flow).
+  ag::Variable z = ag::group_normalize(x, options_.groups, options_.eps);
+  return ag::add_channel(ag::mul_channel(z, gamma_eff), beta_eff);
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,69 @@
+// Inverted normalization layer with stochastic affine transformation — the
+// paper's primary contribution (§III).
+//
+// Computation order is *reversed* relative to conventional normalization:
+//
+//   conventional:  y = norm(x);      out = y·γ + β
+//   inverted:      z = x·γ' + β';    out = norm(z)
+//
+// where (γ', β') are the affine parameters after Affine Dropout
+// (drop-to-identity, see core/affine_dropout.h) and norm(·) standardizes
+// per (instance, group) — groups=1 matches the paper's LayerNorm-style
+// setting used for ResNet/M5/LSTM; the U-Net uses GroupNorm-style groups.
+//
+// Because the statistics are computed per instance (not per batch), the
+// layer has identical train/test behaviour and re-standardizes the weighted
+// sum even when NVM non-idealities shift its distribution — the second
+// robustness mechanism claimed by the paper (§III, Fig. 1).
+#pragma once
+
+#include "core/affine_dropout.h"
+#include "core/init.h"
+#include "nn/layer.h"
+#include "nn/noise.h"
+
+namespace ripple::core {
+
+class InvertedNorm : public nn::Layer {
+ public:
+  struct Options {
+    /// Normalization groups: 1 = per-instance (LayerNorm-like).
+    /// The paper's U-Net groups channels so that each group holds
+    /// C_out/8 channels, i.e. groups = 8.
+    int64_t groups = 1;
+    /// Affine-dropout probability (paper uses 0.3 for all models).
+    float dropout_p = 0.3f;
+    DropGranularity granularity = DropGranularity::kVectorWise;
+    AffineInit init;
+    float eps = 1e-5f;
+    /// true = paper's inverted order (affine before normalization);
+    /// false = conventional order with stochastic affine (ablation).
+    bool affine_first = true;
+  };
+
+  InvertedNorm(int64_t channels, Options options, Rng* rng = nullptr);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  /// When true, affine dropout stays active in eval mode (each forward
+  /// samples fresh masks — the Bayesian MC-sampling mechanism).
+  void set_mc_mode(bool on) { mc_mode_ = on; }
+  bool mc_mode() const { return mc_mode_; }
+
+  autograd::Parameter& gamma() { return *gamma_; }
+  autograd::Parameter& beta() { return *beta_; }
+  const Options& options() const { return options_; }
+  int64_t channels() const { return channels_; }
+
+ private:
+  bool stochastic() const { return training() || mc_mode_; }
+
+  int64_t channels_;
+  Options options_;
+  bool mc_mode_ = false;
+  Rng* rng_;
+  autograd::Parameter* gamma_ = nullptr;
+  autograd::Parameter* beta_ = nullptr;
+};
+
+}  // namespace ripple::core

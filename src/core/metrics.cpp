@@ -1,0 +1,58 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace ripple::core {
+
+double accuracy(const Tensor& scores, const std::vector<int64_t>& targets) {
+  const std::vector<int64_t> pred = ops::argmax_rows(scores);
+  RIPPLE_CHECK(pred.size() == targets.size()) << "target count mismatch";
+  RIPPLE_CHECK(!pred.empty()) << "accuracy of empty batch";
+  int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] == targets[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+double miou_binary(const Tensor& probs, const Tensor& target,
+                   float threshold) {
+  RIPPLE_CHECK(probs.same_shape(target)) << "miou shape mismatch";
+  RIPPLE_CHECK(probs.numel() > 0) << "miou of empty tensors";
+  int64_t inter_fg = 0;
+  int64_t union_fg = 0;
+  int64_t inter_bg = 0;
+  int64_t union_bg = 0;
+  const float* pp = probs.data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < probs.numel(); ++i) {
+    const bool p = pp[i] >= threshold;
+    const bool t = pt[i] >= 0.5f;
+    if (p && t) ++inter_fg;
+    if (p || t) ++union_fg;
+    if (!p && !t) ++inter_bg;
+    if (!p || !t) ++union_bg;
+  }
+  const double iou_fg =
+      union_fg > 0 ? static_cast<double>(inter_fg) / union_fg : 1.0;
+  const double iou_bg =
+      union_bg > 0 ? static_cast<double>(inter_bg) / union_bg : 1.0;
+  return 0.5 * (iou_fg + iou_bg);
+}
+
+double rmse(const Tensor& pred, const Tensor& target) {
+  RIPPLE_CHECK(pred.same_shape(target)) << "rmse shape mismatch";
+  RIPPLE_CHECK(pred.numel() > 0) << "rmse of empty tensors";
+  double acc = 0.0;
+  const float* pp = pred.data();
+  const float* pt = target.data();
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    const double d = pp[i] - pt[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(pred.numel()));
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,25 @@
+// Task metrics used across the paper's evaluation: classification accuracy,
+// mean intersection-over-union for binary segmentation, and RMSE for
+// forecasting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ripple::core {
+
+/// Fraction of rows of [N,C] scores whose argmax equals the target.
+double accuracy(const Tensor& scores, const std::vector<int64_t>& targets);
+
+/// Binary mIoU: averages the foreground IoU and background IoU computed
+/// over the whole batch. `probs` and `target` share shape; `probs` is
+/// thresholded at `threshold`, `target` must be {0,1}.
+double miou_binary(const Tensor& probs, const Tensor& target,
+                   float threshold = 0.5f);
+
+/// Root-mean-square error between two same-shape tensors.
+double rmse(const Tensor& pred, const Tensor& target);
+
+}  // namespace ripple::core

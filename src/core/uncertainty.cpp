@@ -1,0 +1,149 @@
+#include "core/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ripple::core {
+namespace {
+
+constexpr double kProbFloor = 1e-12;
+
+}  // namespace
+
+double nll(const Tensor& probs, const std::vector<int64_t>& targets) {
+  const std::vector<double> scores = per_sample_nll(probs, targets);
+  double total = 0.0;
+  for (double s : scores) total += s;
+  return total / static_cast<double>(scores.size());
+}
+
+std::vector<double> per_sample_nll(const Tensor& probs,
+                                   const std::vector<int64_t>& targets) {
+  RIPPLE_CHECK(probs.rank() == 2) << "per_sample_nll expects [N,C]";
+  const int64_t n = probs.dim(0);
+  const int64_t c = probs.dim(1);
+  RIPPLE_CHECK(static_cast<int64_t>(targets.size()) == n)
+      << "target count mismatch";
+  std::vector<double> out(static_cast<size_t>(n));
+  const float* p = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t t = targets[static_cast<size_t>(i)];
+    RIPPLE_CHECK(t >= 0 && t < c) << "target out of range";
+    out[static_cast<size_t>(i)] =
+        -std::log(std::max(kProbFloor, static_cast<double>(p[i * c + t])));
+  }
+  return out;
+}
+
+std::vector<double> per_sample_confidence_nll(const Tensor& probs) {
+  RIPPLE_CHECK(probs.rank() == 2) << "per_sample_confidence_nll expects [N,C]";
+  const int64_t n = probs.dim(0);
+  const int64_t c = probs.dim(1);
+  std::vector<double> out(static_cast<size_t>(n));
+  const float* p = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    const float mx = *std::max_element(row, row + c);
+    out[static_cast<size_t>(i)] =
+        -std::log(std::max(kProbFloor, static_cast<double>(mx)));
+  }
+  return out;
+}
+
+std::vector<double> per_sample_entropy(const Tensor& probs) {
+  RIPPLE_CHECK(probs.rank() == 2) << "per_sample_entropy expects [N,C]";
+  const int64_t n = probs.dim(0);
+  const int64_t c = probs.dim(1);
+  std::vector<double> out(static_cast<size_t>(n), 0.0);
+  const float* p = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double h = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double v = std::max(kProbFloor, static_cast<double>(p[i * c + j]));
+      h -= v * std::log(v);
+    }
+    out[static_cast<size_t>(i)] = h;
+  }
+  return out;
+}
+
+double auroc(const std::vector<double>& id_scores,
+             const std::vector<double>& ood_scores) {
+  RIPPLE_CHECK(!id_scores.empty() && !ood_scores.empty())
+      << "auroc needs non-empty score sets";
+  // Mann-Whitney U statistic: P(ood > id) + 0.5·P(ood == id).
+  double wins = 0.0;
+  for (double o : ood_scores)
+    for (double i : id_scores) {
+      if (o > i)
+        wins += 1.0;
+      else if (o == i)
+        wins += 0.5;
+    }
+  return wins /
+         (static_cast<double>(id_scores.size()) * ood_scores.size());
+}
+
+double expected_calibration_error(const Tensor& probs,
+                                  const std::vector<int64_t>& targets,
+                                  int bins) {
+  RIPPLE_CHECK(probs.rank() == 2) << "ece expects [N,C]";
+  RIPPLE_CHECK(bins >= 1) << "ece needs >= 1 bin";
+  const int64_t n = probs.dim(0);
+  const int64_t c = probs.dim(1);
+  RIPPLE_CHECK(static_cast<int64_t>(targets.size()) == n)
+      << "target count mismatch";
+  std::vector<double> bin_conf(static_cast<size_t>(bins), 0.0);
+  std::vector<double> bin_acc(static_cast<size_t>(bins), 0.0);
+  std::vector<int64_t> bin_count(static_cast<size_t>(bins), 0);
+  const float* p = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    int64_t pred = 0;
+    for (int64_t j = 1; j < c; ++j)
+      if (row[j] > row[pred]) pred = j;
+    const double conf = row[pred];
+    int b = static_cast<int>(conf * bins);
+    b = std::clamp(b, 0, bins - 1);
+    bin_conf[static_cast<size_t>(b)] += conf;
+    bin_acc[static_cast<size_t>(b)] +=
+        pred == targets[static_cast<size_t>(i)] ? 1.0 : 0.0;
+    ++bin_count[static_cast<size_t>(b)];
+  }
+  double ece = 0.0;
+  for (int b = 0; b < bins; ++b) {
+    const int64_t count = bin_count[static_cast<size_t>(b)];
+    if (count == 0) continue;
+    const double conf = bin_conf[static_cast<size_t>(b)] / count;
+    const double acc = bin_acc[static_cast<size_t>(b)] / count;
+    ece += std::fabs(conf - acc) * static_cast<double>(count) /
+           static_cast<double>(n);
+  }
+  return ece;
+}
+
+OodDetection detect_ood(const std::vector<double>& id_scores,
+                        const std::vector<double>& ood_scores) {
+  RIPPLE_CHECK(!id_scores.empty() && !ood_scores.empty())
+      << "detect_ood needs non-empty score sets";
+  OodDetection d;
+  double sum = 0.0;
+  for (double s : id_scores) sum += s;
+  d.threshold = sum / static_cast<double>(id_scores.size());
+  int64_t detected = 0;
+  for (double s : ood_scores)
+    if (s > d.threshold) ++detected;
+  d.detection_rate = static_cast<double>(detected) /
+                     static_cast<double>(ood_scores.size());
+  int64_t fp = 0;
+  for (double s : id_scores)
+    if (s > d.threshold) ++fp;
+  d.false_positive_rate =
+      static_cast<double>(fp) / static_cast<double>(id_scores.size());
+  d.auroc = auroc(id_scores, ood_scores);
+  return d;
+}
+
+}  // namespace ripple::core

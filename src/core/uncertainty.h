@@ -1,0 +1,55 @@
+// Uncertainty quantification and out-of-distribution detection (§IV-E).
+//
+// The paper uses the negative log-likelihood (NLL) as the uncertainty
+// score: low on in-distribution (ID) test data, rising as inputs drift
+// out-of-distribution (OOD). An input whose score exceeds a threshold —
+// the mean score on the ID test set — is flagged as OOD.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ripple::core {
+
+/// Mean NLL of true labels under predicted probabilities:
+/// −(1/N)·Σ log p[i, y_i]. Probabilities are clamped to avoid log(0).
+double nll(const Tensor& probs, const std::vector<int64_t>& targets);
+
+/// Per-sample NLL of the true label.
+std::vector<double> per_sample_nll(const Tensor& probs,
+                                   const std::vector<int64_t>& targets);
+
+/// Label-free uncertainty score usable at runtime: −log max_c p[i,c]
+/// (the NLL of the predicted class).
+std::vector<double> per_sample_confidence_nll(const Tensor& probs);
+
+/// Predictive entropy per sample: −Σ_c p log p.
+std::vector<double> per_sample_entropy(const Tensor& probs);
+
+struct OodDetection {
+  double threshold = 0.0;       // decision threshold (mean ID score)
+  double detection_rate = 0.0;  // fraction of OOD samples flagged
+  double false_positive_rate = 0.0;  // fraction of ID samples flagged
+  double auroc = 0.5;           // threshold-free separability
+};
+
+/// Thresholds at the mean ID score (the paper's rule) and reports the OOD
+/// detection rate, ID false-positive rate and AUROC.
+OodDetection detect_ood(const std::vector<double>& id_scores,
+                        const std::vector<double>& ood_scores);
+
+/// Area under the ROC curve for separating OOD (positive) from ID
+/// (negative) by score (higher = more OOD).
+double auroc(const std::vector<double>& id_scores,
+             const std::vector<double>& ood_scores);
+
+/// Expected calibration error with equal-width confidence bins: a
+/// well-calibrated Bayesian classifier's confidence matches its accuracy
+/// in every bin. Lower is better; 0 is perfect.
+double expected_calibration_error(const Tensor& probs,
+                                  const std::vector<int64_t>& targets,
+                                  int bins = 10);
+
+}  // namespace ripple::core

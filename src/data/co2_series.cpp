@@ -1,0 +1,88 @@
+#include "data/co2_series.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/check.h"
+
+namespace ripple::data {
+
+std::vector<float> make_co2_series(const Co2Config& config, Rng& rng) {
+  RIPPLE_CHECK(config.months > config.window + 2)
+      << "series too short for windowing";
+  std::vector<float> series(static_cast<size_t>(config.months));
+  constexpr float kTwoPi = 2.0f * static_cast<float>(std::numbers::pi);
+  const float phase = rng.uniform(0.0f, kTwoPi);
+  float residual = 0.0f;
+  for (int64_t t = 0; t < config.months; ++t) {
+    const auto tf = static_cast<float>(t);
+    residual = config.ar_rho * residual +
+               rng.normal(0.0f, config.ar_std);
+    series[static_cast<size_t>(t)] =
+        config.c0 + config.linear * tf + config.quadratic * tf * tf +
+        config.seasonal1 * std::sin(kTwoPi * tf / 12.0f + phase) +
+        config.seasonal2 * std::sin(2.0f * kTwoPi * tf / 12.0f) + residual;
+  }
+  return series;
+}
+
+namespace {
+
+SeriesData windows_from(const std::vector<float>& norm, int64_t begin,
+                        int64_t end, int64_t window, float mean, float std) {
+  const int64_t count = end - begin;
+  SeriesData d;
+  d.mean = mean;
+  d.std = std;
+  d.windows = Tensor({count, window, 1});
+  d.targets = Tensor({count, 1});
+  float* pw = d.windows.data();
+  float* pt = d.targets.data();
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t t0 = begin + i;
+    for (int64_t k = 0; k < window; ++k)
+      pw[i * window + k] = norm[static_cast<size_t>(t0 + k)];
+    pt[i] = norm[static_cast<size_t>(t0 + window)];
+  }
+  return d;
+}
+
+}  // namespace
+
+Co2Split make_co2_windows(const Co2Config& config, float train_fraction,
+                          Rng& rng) {
+  RIPPLE_CHECK(train_fraction > 0.0f && train_fraction < 1.0f)
+      << "train_fraction must be in (0,1)";
+  const std::vector<float> raw = make_co2_series(config, rng);
+
+  // Normalize with the *training* statistics only (no test leakage).
+  const int64_t total_windows = config.months - config.window;
+  const auto train_count =
+      static_cast<int64_t>(train_fraction * static_cast<float>(total_windows));
+  RIPPLE_CHECK(train_count > 8 && train_count < total_windows)
+      << "degenerate train/test split";
+  const int64_t train_months = train_count + config.window;
+  double sum = 0.0;
+  for (int64_t t = 0; t < train_months; ++t) sum += raw[static_cast<size_t>(t)];
+  const double mean = sum / static_cast<double>(train_months);
+  double ss = 0.0;
+  for (int64_t t = 0; t < train_months; ++t) {
+    const double d = raw[static_cast<size_t>(t)] - mean;
+    ss += d * d;
+  }
+  const double std = std::sqrt(ss / static_cast<double>(train_months));
+  std::vector<float> norm(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i)
+    norm[i] = static_cast<float>((raw[i] - mean) / std);
+
+  Co2Split split;
+  split.train = windows_from(norm, 0, train_count, config.window,
+                             static_cast<float>(mean),
+                             static_cast<float>(std));
+  split.test = windows_from(norm, train_count, total_windows, config.window,
+                            static_cast<float>(mean),
+                            static_cast<float>(std));
+  return split;
+}
+
+}  // namespace ripple::data

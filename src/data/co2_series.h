@@ -1,0 +1,39 @@
+// Synthetic atmospheric-CO2 monthly series (Keeling-curve substitute) and
+// autoregressive windowing for the LSTM forecasting task.
+//
+// The real Mauna Loa record is a quadratic growth trend plus a strongly
+// periodic seasonal cycle with small autocorrelated residuals; the
+// generator reproduces exactly that structure:
+//   c(t) = c0 + a·t + b·t² + A1·sin(2πt/12 + φ) + A2·sin(4πt/12) + AR(1)
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ripple::data {
+
+struct Co2Config {
+  int64_t months = 600;       // series length (50 years)
+  int64_t window = 24;        // autoregressive input length
+  float c0 = 315.0f;          // ppm at t=0 (1958-like)
+  float linear = 0.07f;       // ppm / month
+  float quadratic = 3.0e-5f;  // ppm / month²
+  float seasonal1 = 3.0f;     // annual amplitude, ppm
+  float seasonal2 = 0.8f;     // semi-annual amplitude, ppm
+  float ar_rho = 0.6f;        // residual autocorrelation
+  float ar_std = 0.25f;       // residual innovation std, ppm
+};
+
+/// Raw monthly values, length config.months.
+std::vector<float> make_co2_series(const Co2Config& config, Rng& rng);
+
+/// z-normalized sliding windows over the series: windows [N, window, 1]
+/// predict the next month [N, 1]. `train_fraction` of the windows (the
+/// chronologically first ones) go to train, the rest to test — no leakage.
+struct Co2Split {
+  SeriesData train;
+  SeriesData test;
+};
+Co2Split make_co2_windows(const Co2Config& config, float train_fraction,
+                          Rng& rng);
+
+}  // namespace ripple::data

@@ -1,0 +1,60 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "tensor/check.h"
+
+namespace ripple::data {
+
+Tensor take_rows(const Tensor& x, const std::vector<int64_t>& indices) {
+  RIPPLE_CHECK(x.rank() >= 1) << "take_rows needs rank >= 1";
+  const int64_t n = x.dim(0);
+  int64_t inner = 1;
+  for (int d = 1; d < x.rank(); ++d) inner *= x.dim(d);
+  Shape out_shape = x.shape();
+  out_shape[0] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  const float* px = x.data();
+  float* po = out.data();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t idx = indices[i];
+    RIPPLE_CHECK(idx >= 0 && idx < n) << "row index " << idx << " out of range";
+    std::copy(px + idx * inner, px + (idx + 1) * inner,
+              po + static_cast<int64_t>(i) * inner);
+  }
+  return out;
+}
+
+Tensor slice_rows(const Tensor& x, int64_t begin, int64_t count) {
+  RIPPLE_CHECK(x.rank() >= 1) << "slice_rows needs rank >= 1";
+  RIPPLE_CHECK(begin >= 0 && count >= 0 && begin + count <= x.dim(0))
+      << "slice_rows [" << begin << ", " << begin + count
+      << ") out of range for " << x.dim(0) << " rows";
+  int64_t inner = 1;
+  for (int d = 1; d < x.rank(); ++d) inner *= x.dim(d);
+  Shape out_shape = x.shape();
+  out_shape[0] = count;
+  Tensor out(out_shape);
+  std::copy(x.data() + begin * inner, x.data() + (begin + count) * inner,
+            out.data());
+  return out;
+}
+
+std::vector<int64_t> shuffled_indices(int64_t n, Rng& rng) {
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  return idx;
+}
+
+std::vector<std::pair<int64_t, int64_t>> batch_ranges(int64_t n,
+                                                      int64_t batch_size) {
+  RIPPLE_CHECK(batch_size >= 1) << "batch size must be >= 1";
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (int64_t b = 0; b < n; b += batch_size)
+    out.emplace_back(b, std::min(n, b + batch_size));
+  return out;
+}
+
+}  // namespace ripple::data

@@ -1,0 +1,50 @@
+// Dataset containers and batching utilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace ripple::data {
+
+/// Labeled classification set: x is [N, ...], y holds N class indices.
+struct ClassificationData {
+  Tensor x;
+  std::vector<int64_t> y;
+  int64_t size() const { return x.defined() ? x.dim(0) : 0; }
+};
+
+/// Dense segmentation set: masks share the images' [N,1,H,W] layout.
+struct SegmentationData {
+  Tensor images;
+  Tensor masks;
+  int64_t size() const { return images.defined() ? images.dim(0) : 0; }
+};
+
+/// Autoregressive forecasting set: windows [N,T,1] predict targets [N,1].
+/// mean/std record the normalization applied to the raw series so RMSE can
+/// be reported in original units.
+struct SeriesData {
+  Tensor windows;
+  Tensor targets;
+  float mean = 0.0f;
+  float std = 1.0f;
+  int64_t size() const { return windows.defined() ? windows.dim(0) : 0; }
+};
+
+/// Rows `indices` of x (gather along dim 0).
+Tensor take_rows(const Tensor& x, const std::vector<int64_t>& indices);
+
+/// Contiguous slice [begin, begin+count) along dim 0.
+Tensor slice_rows(const Tensor& x, int64_t begin, int64_t count);
+
+/// Random permutation of [0, n).
+std::vector<int64_t> shuffled_indices(int64_t n, Rng& rng);
+
+/// Splits [0, n) into consecutive batches of at most `batch_size`.
+std::vector<std::pair<int64_t, int64_t>> batch_ranges(int64_t n,
+                                                      int64_t batch_size);
+
+}  // namespace ripple::data

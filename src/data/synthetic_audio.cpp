@@ -1,0 +1,60 @@
+#include "data/synthetic_audio.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/check.h"
+
+namespace ripple::data {
+
+ClassificationData make_audio(int64_t count, const AudioConfig& config,
+                              Rng& rng) {
+  RIPPLE_CHECK(count > 0) << "make_audio needs count > 0";
+  RIPPLE_CHECK(config.classes >= 2 && config.length >= 64)
+      << "invalid audio config";
+  ClassificationData data;
+  data.x = Tensor({count, 1, config.length});
+  data.y.resize(static_cast<size_t>(count));
+
+  const auto l = static_cast<float>(config.length);
+  float* px = data.x.data();
+  constexpr float kTwoPi = 2.0f * static_cast<float>(std::numbers::pi);
+
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t cls = i % config.classes;
+    data.y[static_cast<size_t>(i)] = cls;
+
+    // Class chord: fundamental + one partial whose ratio also varies by
+    // class, so neither cue alone identifies the keyword.
+    const float f0 = (6.0f + 4.0f * static_cast<float>(cls)) *
+                     (1.0f + rng.uniform(-config.pitch_jitter,
+                                         config.pitch_jitter));
+    const float ratio = 1.5f + 0.25f * static_cast<float>(cls % 4);
+    const float phase0 = rng.uniform(0.0f, kTwoPi);
+    const float phase1 = rng.uniform(0.0f, kTwoPi);
+    // Attack/decay envelope with a class-dependent attack position.
+    const float attack =
+        (0.15f + 0.08f * static_cast<float>(cls % 3)) + rng.uniform(-0.03f, 0.03f);
+
+    float* clip = px + i * config.length;
+    for (int64_t t = 0; t < config.length; ++t) {
+      const float tn = static_cast<float>(t) / l;
+      const float env =
+          tn < attack ? tn / attack
+                      : std::exp(-3.0f * (tn - attack) / (1.0f - attack));
+      const float s = std::sin(kTwoPi * f0 * tn + phase0) +
+                      0.6f * std::sin(kTwoPi * f0 * ratio * tn + phase1);
+      clip[t] = env * s + rng.normal(0.0f, config.noise_std);
+    }
+  }
+
+  const std::vector<int64_t> perm = shuffled_indices(count, rng);
+  data.x = take_rows(data.x, perm);
+  std::vector<int64_t> shuffled_y(static_cast<size_t>(count));
+  for (size_t i = 0; i < perm.size(); ++i)
+    shuffled_y[i] = data.y[static_cast<size_t>(perm[i])];
+  data.y = std::move(shuffled_y);
+  return data;
+}
+
+}  // namespace ripple::data

@@ -1,0 +1,25 @@
+// Synthetic keyword-spotting waveforms, the Google-Speech-Commands
+// substitute (see DESIGN.md).
+//
+// Each keyword class is a chord of two harmonics with a class-specific
+// fundamental plus an attack/decay amplitude envelope; per-sample pitch
+// jitter, random phase and additive noise make the task non-trivial while
+// remaining learnable by the M5 1-D CNN.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ripple::data {
+
+struct AudioConfig {
+  int64_t classes = 8;
+  int64_t length = 512;      // samples per clip (mono, [N,1,L])
+  float noise_std = 0.1f;
+  float pitch_jitter = 0.03f;  // relative fundamental jitter
+};
+
+/// Generates `count` labeled clips (balanced classes, shuffled order).
+ClassificationData make_audio(int64_t count, const AudioConfig& config,
+                              Rng& rng);
+
+}  // namespace ripple::data

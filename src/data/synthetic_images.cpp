@@ -1,0 +1,93 @@
+#include "data/synthetic_images.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/check.h"
+
+namespace ripple::data {
+namespace {
+
+struct ClassRecipe {
+  float angle_rad;
+  float frequency;   // cycles across the image diagonal
+  int dominant_channel;
+  float secondary;   // amplitude of the off-channel copies
+};
+
+ClassRecipe recipe_for(int64_t cls, int64_t classes) {
+  // Spread orientations over 180° and cycle frequency / color so that no
+  // single cue separates all classes.
+  ClassRecipe r;
+  r.angle_rad = static_cast<float>(std::numbers::pi) *
+                static_cast<float>(cls) / static_cast<float>(classes);
+  r.frequency = 2.0f + static_cast<float>(cls % 3);
+  r.dominant_channel = static_cast<int>(cls % 3);
+  r.secondary = 0.25f + 0.05f * static_cast<float>(cls % 2);
+  return r;
+}
+
+}  // namespace
+
+ClassificationData make_images(int64_t count, const ImageConfig& config,
+                               Rng& rng) {
+  RIPPLE_CHECK(count > 0) << "make_images needs count > 0";
+  RIPPLE_CHECK(config.classes >= 2 && config.channels >= 1)
+      << "invalid image config";
+  ClassificationData data;
+  data.x = Tensor(
+      {count, config.channels, config.height, config.width});
+  data.y.resize(static_cast<size_t>(count));
+
+  const auto h = static_cast<float>(config.height);
+  const auto w = static_cast<float>(config.width);
+  float* px = data.x.data();
+  const int64_t plane = config.height * config.width;
+
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t cls = i % config.classes;  // balanced
+    data.y[static_cast<size_t>(i)] = cls;
+    const ClassRecipe r = recipe_for(cls, config.classes);
+
+    const float phase =
+        rng.uniform(0.0f, 2.0f * static_cast<float>(std::numbers::pi));
+    const float jitter = rng.uniform(-config.angle_jitter_deg,
+                                     config.angle_jitter_deg) *
+                         static_cast<float>(std::numbers::pi) / 180.0f;
+    const float angle = r.angle_rad + jitter;
+    const float contrast = rng.uniform(0.8f, 1.2f);
+    const float ca = std::cos(angle);
+    const float sa = std::sin(angle);
+
+    float* img = px + i * config.channels * plane;
+    for (int64_t y = 0; y < config.height; ++y) {
+      for (int64_t x = 0; x < config.width; ++x) {
+        const float xn = (static_cast<float>(x) / w - 0.5f) * 2.0f;
+        const float yn = (static_cast<float>(y) / h - 0.5f) * 2.0f;
+        const float proj = xn * ca + yn * sa;
+        const float v =
+            contrast *
+            std::sin(static_cast<float>(std::numbers::pi) * r.frequency *
+                         proj +
+                     phase);
+        for (int64_t c = 0; c < config.channels; ++c) {
+          const float amp =
+              (c == r.dominant_channel) ? 1.0f : r.secondary;
+          img[c * plane + y * config.width + x] =
+              amp * v + rng.normal(0.0f, config.pixel_noise);
+        }
+      }
+    }
+  }
+
+  // Shuffle so mini-batches are class-mixed.
+  const std::vector<int64_t> perm = shuffled_indices(count, rng);
+  data.x = take_rows(data.x, perm);
+  std::vector<int64_t> shuffled_y(static_cast<size_t>(count));
+  for (size_t i = 0; i < perm.size(); ++i)
+    shuffled_y[i] = data.y[static_cast<size_t>(perm[i])];
+  data.y = std::move(shuffled_y);
+  return data;
+}
+
+}  // namespace ripple::data

@@ -1,0 +1,29 @@
+// Synthetic 10-class RGB image benchmark ("PatternNet-10"), the CIFAR-10
+// substitute (see DESIGN.md).
+//
+// Each class is a parametric texture: an oriented sinusoidal grating whose
+// angle, spatial frequency and dominant color channel identify the class,
+// with per-sample jitter (phase, angle, contrast) and additive Gaussian
+// pixel noise. The task is linearly non-trivial but learnable by a small
+// binarized CNN to high accuracy — what the robustness sweeps need is a
+// *trained* classifier whose accuracy degrades measurably under faults.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ripple::data {
+
+struct ImageConfig {
+  int64_t classes = 10;
+  int64_t channels = 3;
+  int64_t height = 16;
+  int64_t width = 16;
+  float pixel_noise = 0.15f;
+  float angle_jitter_deg = 6.0f;
+};
+
+/// Generates `count` labeled images (balanced classes, shuffled order).
+ClassificationData make_images(int64_t count, const ImageConfig& config,
+                               Rng& rng);
+
+}  // namespace ripple::data

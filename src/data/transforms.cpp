@@ -1,0 +1,75 @@
+#include "data/transforms.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "tensor/check.h"
+
+namespace ripple::data {
+
+Tensor rotate_images(const Tensor& images, float degrees) {
+  RIPPLE_CHECK(images.rank() == 4) << "rotate_images needs [N,C,H,W]";
+  const int64_t n = images.dim(0);
+  const int64_t c = images.dim(1);
+  const int64_t h = images.dim(2);
+  const int64_t w = images.dim(3);
+  const float rad =
+      degrees * static_cast<float>(std::numbers::pi) / 180.0f;
+  const float ca = std::cos(rad);
+  const float sa = std::sin(rad);
+  const float cx = static_cast<float>(w - 1) / 2.0f;
+  const float cy = static_cast<float>(h - 1) / 2.0f;
+
+  Tensor out(images.shape());
+  const float* pin = images.data();
+  float* pout = out.data();
+  const int64_t plane = h * w;
+  for (int64_t img = 0; img < n * c; ++img) {
+    const float* src = pin + img * plane;
+    float* dst = pout + img * plane;
+    for (int64_t y = 0; y < h; ++y)
+      for (int64_t x = 0; x < w; ++x) {
+        // Inverse-map the output pixel into the source image.
+        const float dx = static_cast<float>(x) - cx;
+        const float dy = static_cast<float>(y) - cy;
+        const float sx = ca * dx + sa * dy + cx;
+        const float sy = -sa * dx + ca * dy + cy;
+        float v = 0.0f;
+        const auto x0 = static_cast<int64_t>(std::floor(sx));
+        const auto y0 = static_cast<int64_t>(std::floor(sy));
+        if (x0 >= -1 && x0 < w && y0 >= -1 && y0 < h) {
+          const float fx = sx - static_cast<float>(x0);
+          const float fy = sy - static_cast<float>(y0);
+          auto sample = [&](int64_t yy, int64_t xx) -> float {
+            if (yy < 0 || yy >= h || xx < 0 || xx >= w) return 0.0f;
+            return src[yy * w + xx];
+          };
+          v = (1.0f - fy) * ((1.0f - fx) * sample(y0, x0) +
+                             fx * sample(y0, x0 + 1)) +
+              fy * ((1.0f - fx) * sample(y0 + 1, x0) +
+                    fx * sample(y0 + 1, x0 + 1));
+        }
+        dst[y * w + x] = v;
+      }
+  }
+  return out;
+}
+
+Tensor add_uniform_noise(const Tensor& x, float level, Rng& rng) {
+  RIPPLE_CHECK(level >= 0.0f) << "noise level must be >= 0";
+  Tensor out = x.clone();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i)
+    p[i] += rng.uniform(-level, level);
+  return out;
+}
+
+Tensor add_gaussian_noise(const Tensor& x, float std, Rng& rng) {
+  RIPPLE_CHECK(std >= 0.0f) << "noise std must be >= 0";
+  Tensor out = x.clone();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] += rng.normal(0.0f, std);
+  return out;
+}
+
+}  // namespace ripple::data

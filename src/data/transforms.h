@@ -1,0 +1,21 @@
+// Input transforms for the OOD experiments (§IV-E) and general
+// augmentation.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ripple::data {
+
+/// Rotates [N,C,H,W] images around their center by `degrees`
+/// (bilinear sampling, zero padding outside) — the paper's first OOD shift
+/// (12 stages × 7°).
+Tensor rotate_images(const Tensor& images, float degrees);
+
+/// Adds U(−level, +level) noise to every element — the paper's second OOD
+/// shift (escalating uniform noise).
+Tensor add_uniform_noise(const Tensor& x, float level, Rng& rng);
+
+/// Adds N(0, std) noise to every element.
+Tensor add_gaussian_noise(const Tensor& x, float std, Rng& rng);
+
+}  // namespace ripple::data

@@ -1,0 +1,130 @@
+#include "data/vessel_segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "tensor/check.h"
+
+namespace ripple::data {
+namespace {
+
+struct Walker {
+  float x;
+  float y;
+  float angle;
+  float width;
+};
+
+void draw_disc(float* mask, int64_t h, int64_t w, float cx, float cy,
+               float radius) {
+  const int64_t y0 = std::max<int64_t>(0, static_cast<int64_t>(cy - radius - 1));
+  const int64_t y1 = std::min(h - 1, static_cast<int64_t>(cy + radius + 1));
+  const int64_t x0 = std::max<int64_t>(0, static_cast<int64_t>(cx - radius - 1));
+  const int64_t x1 = std::min(w - 1, static_cast<int64_t>(cx + radius + 1));
+  for (int64_t y = y0; y <= y1; ++y)
+    for (int64_t x = x0; x <= x1; ++x) {
+      const float dx = static_cast<float>(x) - cx;
+      const float dy = static_cast<float>(y) - cy;
+      if (dx * dx + dy * dy <= radius * radius) mask[y * w + x] = 1.0f;
+    }
+}
+
+}  // namespace
+
+SegmentationData make_vessels(int64_t count, const VesselConfig& config,
+                              Rng& rng) {
+  RIPPLE_CHECK(count > 0) << "make_vessels needs count > 0";
+  RIPPLE_CHECK(config.height >= 16 && config.width >= 16)
+      << "vessel images must be at least 16x16";
+  SegmentationData data;
+  data.images = Tensor({count, 1, config.height, config.width});
+  data.masks = Tensor({count, 1, config.height, config.width});
+
+  const int64_t h = config.height;
+  const int64_t w = config.width;
+  const int64_t plane = h * w;
+  float* pimg = data.images.data();
+  float* pmask = data.masks.data();
+  constexpr float kPi = static_cast<float>(std::numbers::pi);
+
+  for (int64_t i = 0; i < count; ++i) {
+    float* img = pimg + i * plane;
+    float* mask = pmask + i * plane;
+
+    // Fundus background: radial illumination + gentle gradient.
+    const float cx = static_cast<float>(w) / 2.0f + rng.uniform(-2.0f, 2.0f);
+    const float cy = static_cast<float>(h) / 2.0f + rng.uniform(-2.0f, 2.0f);
+    const float sigma = 0.55f * static_cast<float>(std::min(h, w));
+    const float gx = rng.uniform(-0.1f, 0.1f);
+    for (int64_t y = 0; y < h; ++y)
+      for (int64_t x = 0; x < w; ++x) {
+        const float dx = (static_cast<float>(x) - cx) / sigma;
+        const float dy = (static_cast<float>(y) - cy) / sigma;
+        img[y * w + x] = 0.6f * std::exp(-(dx * dx + dy * dy)) - 0.2f +
+                         gx * static_cast<float>(x) / static_cast<float>(w);
+      }
+
+    // Vessel trees: branching random walks from the border inward.
+    const int n_vessels =
+        static_cast<int>(rng.randint(config.min_vessels, config.max_vessels));
+    std::vector<Walker> walkers;
+    for (int v = 0; v < n_vessels; ++v) {
+      Walker wk;
+      // Start on a random border, heading inward.
+      switch (rng.randint(0, 3)) {
+        case 0:
+          wk = {rng.uniform(0.0f, static_cast<float>(w - 1)), 0.0f,
+                kPi / 2.0f, 0.0f};
+          break;
+        case 1:
+          wk = {rng.uniform(0.0f, static_cast<float>(w - 1)),
+                static_cast<float>(h - 1), -kPi / 2.0f, 0.0f};
+          break;
+        case 2:
+          wk = {0.0f, rng.uniform(0.0f, static_cast<float>(h - 1)), 0.0f,
+                0.0f};
+          break;
+        default:
+          wk = {static_cast<float>(w - 1),
+                rng.uniform(0.0f, static_cast<float>(h - 1)), kPi, 0.0f};
+          break;
+      }
+      wk.angle += rng.uniform(-0.4f, 0.4f);
+      wk.width = rng.uniform(0.6f, 1.3f);
+      walkers.push_back(wk);
+    }
+    int64_t steps = 0;
+    const int64_t max_steps = 4 * (h + w);
+    while (!walkers.empty() && steps++ < max_steps) {
+      std::vector<Walker> next;
+      for (Walker wk : walkers) {
+        wk.x += std::cos(wk.angle);
+        wk.y += std::sin(wk.angle);
+        wk.angle += rng.uniform(-0.35f, 0.35f);
+        if (wk.x < 0 || wk.x >= static_cast<float>(w) || wk.y < 0 ||
+            wk.y >= static_cast<float>(h))
+          continue;
+        draw_disc(mask, h, w, wk.x, wk.y, wk.width);
+        if (rng.bernoulli(config.branch_probability) && next.size() < 8) {
+          Walker branch = wk;
+          branch.angle += rng.bernoulli(0.5f) ? 0.7f : -0.7f;
+          branch.width = std::max(0.5f, wk.width * 0.8f);
+          next.push_back(branch);
+        }
+        next.push_back(wk);
+      }
+      walkers = std::move(next);
+    }
+
+    // Vessels darken the image; add acquisition noise last.
+    for (int64_t k = 0; k < plane; ++k) {
+      if (mask[k] > 0.5f) img[k] -= config.vessel_contrast;
+      img[k] += rng.normal(0.0f, config.noise_std);
+      img[k] = std::clamp(img[k], -1.0f, 1.0f);
+    }
+  }
+  return data;
+}
+
+}  // namespace ripple::data

@@ -1,0 +1,30 @@
+// Synthetic retinal-vessel segmentation images, the DRIVE substitute (see
+// DESIGN.md).
+//
+// Grayscale fundus-like images: a bright disc with radial illumination
+// falloff, on which dark curvilinear vessel trees are drawn by branching
+// random walks of width 1-2 px. The paired mask marks vessel pixels. The
+// structure (thin elongated foreground, ~10% positive pixels, low
+// contrast) matches what makes DRIVE hard for small U-Nets.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace ripple::data {
+
+struct VesselConfig {
+  int64_t height = 32;
+  int64_t width = 32;
+  int min_vessels = 2;
+  int max_vessels = 4;
+  float branch_probability = 0.04f;
+  float vessel_contrast = 0.55f;  // how much darker vessels are
+  float noise_std = 0.06f;
+};
+
+/// Generates `count` image/mask pairs: images [N,1,H,W] in [-1,1],
+/// masks [N,1,H,W] in {0,1}.
+SegmentationData make_vessels(int64_t count, const VesselConfig& config,
+                              Rng& rng);
+
+}  // namespace ripple::data

@@ -1,0 +1,89 @@
+#include "fault/fault_models.h"
+
+#include <sstream>
+
+namespace ripple::fault {
+
+std::string FaultSpec::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  auto add = [&](const std::string& part) {
+    if (!first) os << ", ";
+    os << part;
+    first = false;
+  };
+  if (bitflip_p > 0.0f) {
+    std::ostringstream p;
+    p << "bitflip p=" << bitflip_p;
+    add(p.str());
+  }
+  if (additive_std > 0.0f) {
+    std::ostringstream p;
+    p << "additive sigma=" << additive_std;
+    add(p.str());
+  }
+  if (multiplicative_std > 0.0f) {
+    std::ostringstream p;
+    p << "multiplicative sigma=" << multiplicative_std;
+    add(p.str());
+  }
+  if (uniform_range > 0.0f) {
+    std::ostringstream p;
+    p << "uniform range=" << uniform_range;
+    add(p.str());
+  }
+  if (stuck_at_frac > 0.0f) {
+    std::ostringstream p;
+    p << "stuck-at frac=" << stuck_at_frac;
+    add(p.str());
+  }
+  if (drift_t_over_tau > 0.0f) {
+    std::ostringstream p;
+    p << "drift t/tau=" << drift_t_over_tau;
+    add(p.str());
+  }
+  if (first) add("clean");
+  if (noise_on_activations) add("(noise on activations)");
+  return os.str();
+}
+
+FaultSpec FaultSpec::bitflips(float p) {
+  FaultSpec s;
+  s.bitflip_p = p;
+  return s;
+}
+
+FaultSpec FaultSpec::additive(float sigma, bool on_activations) {
+  FaultSpec s;
+  s.additive_std = sigma;
+  s.noise_on_activations = on_activations;
+  return s;
+}
+
+FaultSpec FaultSpec::multiplicative(float sigma, bool on_activations) {
+  FaultSpec s;
+  s.multiplicative_std = sigma;
+  s.noise_on_activations = on_activations;
+  return s;
+}
+
+FaultSpec FaultSpec::uniform(float range, bool on_activations) {
+  FaultSpec s;
+  s.uniform_range = range;
+  s.noise_on_activations = on_activations;
+  return s;
+}
+
+FaultSpec FaultSpec::stuck_at(float fraction) {
+  FaultSpec s;
+  s.stuck_at_frac = fraction;
+  return s;
+}
+
+FaultSpec FaultSpec::drift(float t_over_tau) {
+  FaultSpec s;
+  s.drift_t_over_tau = t_over_tau;
+  return s;
+}
+
+}  // namespace ripple::fault

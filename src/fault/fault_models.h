@@ -1,0 +1,58 @@
+// Algorithmic NVM non-ideality models (§IV-A2).
+//
+// The paper abstracts circuit-level effects into four weight/activation
+// perturbations, following [16] (Kim et al.):
+//   * bit flips         — programming errors / retention faults on the
+//                         stored weight codes
+//   * additive  noise   — conductance variation, w' = w + N(0, σ·σ_w)
+//   * multiplicative    — conductance variation, w' = w·(1 + N(0, σ))
+//   * uniform noise     — bounded perturbation, w' = w + U(−r, r)·σ_w
+// Additive/uniform strengths are *relative to the per-tensor weight std*
+// so one σ axis is comparable across layers and models. For binary
+// networks, variation is injected into the normalized pre-sign activations
+// instead (see nn::ActivationNoiseConfig); bit flips always target the
+// stored codes.
+#pragma once
+
+#include <string>
+
+namespace ripple::fault {
+
+struct FaultSpec {
+  /// Per-bit flip probability on encoded quantized weights.
+  float bitflip_p = 0.0f;
+  /// Additive Gaussian on weights, stddev = additive_std · std(w).
+  float additive_std = 0.0f;
+  /// Multiplicative Gaussian on weights: w · (1 + N(0, σ)).
+  float multiplicative_std = 0.0f;
+  /// Additive uniform on weights, range = uniform_range · std(w).
+  float uniform_range = 0.0f;
+  /// Fraction of weights stuck at an extreme code (|w|max or −|w|max).
+  float stuck_at_frac = 0.0f;
+  /// Retention drift: conductances decay toward zero over time,
+  /// w' = w · exp(−(t/τ)·u) with per-device u ~ U(0.5, 1.5). The field is
+  /// the normalized storage time t/τ (0 = fresh chip).
+  float drift_t_over_tau = 0.0f;
+
+  /// For binary-weight models, route additive/multiplicative/uniform noise
+  /// into the normalized pre-sign activations rather than the weights
+  /// (§IV-A2). Bit flips still hit the weight codes.
+  bool noise_on_activations = false;
+
+  bool is_clean() const {
+    return bitflip_p == 0.0f && additive_std == 0.0f &&
+           multiplicative_std == 0.0f && uniform_range == 0.0f &&
+           stuck_at_frac == 0.0f && drift_t_over_tau == 0.0f;
+  }
+
+  std::string describe() const;
+
+  static FaultSpec bitflips(float p);
+  static FaultSpec additive(float sigma, bool on_activations = false);
+  static FaultSpec multiplicative(float sigma, bool on_activations = false);
+  static FaultSpec uniform(float range, bool on_activations = false);
+  static FaultSpec stuck_at(float fraction);
+  static FaultSpec drift(float t_over_tau);
+};
+
+}  // namespace ripple::fault

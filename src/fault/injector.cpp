@@ -1,0 +1,103 @@
+#include "fault/injector.h"
+
+#include <cmath>
+
+#include "quant/bitcodec.h"
+#include "tensor/ops.h"
+
+namespace ripple::fault {
+
+FaultInjector::FaultInjector(std::vector<FaultTarget> targets,
+                             nn::ActivationNoisePtr noise)
+    : targets_(std::move(targets)), noise_(std::move(noise)) {
+  pristine_.reserve(targets_.size());
+  for (const FaultTarget& t : targets_) {
+    RIPPLE_CHECK(t.param != nullptr) << "null fault target";
+    pristine_.push_back(t.param->var.value().clone());
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  if (applied_) restore();
+}
+
+void FaultInjector::apply(const FaultSpec& spec, Rng& rng) {
+  RIPPLE_CHECK(!applied_) << "apply() twice without restore()";
+  applied_ = true;
+  last_flipped_bits_ = 0;
+
+  const bool weight_noise = !spec.noise_on_activations;
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    const FaultTarget& t = targets_[i];
+    Tensor w = pristine_[i].clone();
+
+    if (spec.bitflip_p > 0.0f && t.quantizer != nullptr) {
+      std::vector<int32_t> codes = t.quantizer->encode(w);
+      last_flipped_bits_ += quant::flip_random_bits(
+          codes, t.quantizer->bits(), spec.bitflip_p, rng);
+      w = t.quantizer->decode(codes, w.shape());
+    }
+
+    if (spec.drift_t_over_tau > 0.0f) {
+      // Conductance retention loss: magnitude decays over storage time
+      // with per-device spread (the τ distribution of the cells).
+      float* pw = w.data();
+      for (int64_t k = 0; k < w.numel(); ++k)
+        pw[k] *= std::exp(-spec.drift_t_over_tau * rng.uniform(0.5f, 1.5f));
+    }
+
+    if (spec.stuck_at_frac > 0.0f) {
+      const float wmax = ops::max(ops::abs(pristine_[i]));
+      float* pw = w.data();
+      for (int64_t k = 0; k < w.numel(); ++k)
+        if (rng.bernoulli(spec.stuck_at_frac))
+          pw[k] = rng.bernoulli(0.5f) ? wmax : -wmax;
+    }
+
+    if (weight_noise) {
+      // Strengths are relative to the pristine per-tensor weight std so the
+      // same σ axis is meaningful for every layer.
+      const float wstd = std::sqrt(ops::variance(pristine_[i]));
+      float* pw = w.data();
+      if (spec.multiplicative_std > 0.0f)
+        for (int64_t k = 0; k < w.numel(); ++k)
+          pw[k] *= 1.0f + rng.normal(0.0f, spec.multiplicative_std);
+      if (spec.additive_std > 0.0f && wstd > 0.0f)
+        for (int64_t k = 0; k < w.numel(); ++k)
+          pw[k] += rng.normal(0.0f, spec.additive_std * wstd);
+      if (spec.uniform_range > 0.0f && wstd > 0.0f)
+        for (int64_t k = 0; k < w.numel(); ++k)
+          pw[k] += rng.uniform(-spec.uniform_range * wstd,
+                               spec.uniform_range * wstd);
+    }
+
+    t.param->var.value().copy_from(w);
+  }
+
+  if (spec.noise_on_activations) {
+    RIPPLE_CHECK(noise_ != nullptr)
+        << "spec routes noise to activations but the model has no "
+           "ActivationNoiseConfig hook";
+    noise_->enabled = true;
+    noise_->additive_std = spec.additive_std;
+    noise_->multiplicative_std = spec.multiplicative_std;
+    noise_->uniform_range = spec.uniform_range;
+    noise_->rng = &rng;
+  }
+}
+
+void FaultInjector::restore() {
+  RIPPLE_CHECK(applied_) << "restore() without apply()";
+  for (size_t i = 0; i < targets_.size(); ++i)
+    targets_[i].param->var.value().copy_from(pristine_[i]);
+  if (noise_ != nullptr) {
+    noise_->enabled = false;
+    noise_->additive_std = 0.0f;
+    noise_->multiplicative_std = 0.0f;
+    noise_->uniform_range = 0.0f;
+    noise_->rng = nullptr;
+  }
+  applied_ = false;
+}
+
+}  // namespace ripple::fault

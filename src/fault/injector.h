@@ -1,0 +1,64 @@
+// Fault injection into deployed model parameters.
+//
+// Workflow (one "chip instance" per Monte-Carlo run):
+//   1. After training, the model is *deployed*: weight quantizers are
+//      calibrated and the latent float weights are replaced by their
+//      quantized hardware values (models do this in deploy()).
+//   2. FaultInjector snapshots the pristine deployed weights.
+//   3. apply(spec, rng) perturbs the weights in place — bit flips go
+//      through the quantizer's encode/flip/decode path, analog noise is
+//      added to the deployed values directly (no re-quantization: variation
+//      happens *after* programming). Activation-routed noise is forwarded
+//      to the model's ActivationNoiseConfig.
+//   4. evaluate, then restore() for the next instance.
+#pragma once
+
+#include <vector>
+
+#include "autograd/module.h"
+#include "fault/fault_models.h"
+#include "nn/noise.h"
+#include "quant/quantizer.h"
+#include "tensor/random.h"
+
+namespace ripple::fault {
+
+/// One injectable parameter: the quantizer is null for full-precision
+/// parameters (those receive analog noise but no bit flips).
+struct FaultTarget {
+  autograd::Parameter* param = nullptr;
+  quant::Quantizer* quantizer = nullptr;
+};
+
+class FaultInjector {
+ public:
+  /// `noise` may be null when the model has no activation-noise hook.
+  FaultInjector(std::vector<FaultTarget> targets,
+                nn::ActivationNoisePtr noise = nullptr);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Perturbs all targets according to spec. Must be followed by restore()
+  /// before the next apply().
+  void apply(const FaultSpec& spec, Rng& rng);
+
+  /// Restores pristine weights and disables activation noise.
+  void restore();
+
+  bool applied() const { return applied_; }
+  size_t target_count() const { return targets_.size(); }
+
+  /// Total bits flipped by the last apply() (diagnostics).
+  int64_t last_flipped_bits() const { return last_flipped_bits_; }
+
+ private:
+  std::vector<FaultTarget> targets_;
+  std::vector<Tensor> pristine_;
+  nn::ActivationNoisePtr noise_;
+  bool applied_ = false;
+  int64_t last_flipped_bits_ = 0;
+};
+
+}  // namespace ripple::fault

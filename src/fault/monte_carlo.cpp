@@ -1,0 +1,38 @@
+#include "fault/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/env.h"
+
+namespace ripple::fault {
+
+MonteCarloStats run_monte_carlo(
+    int runs, uint64_t base_seed,
+    const std::function<double(int, Rng&)>& trial) {
+  RIPPLE_CHECK(runs >= 1) << "monte carlo needs >= 1 run";
+  MonteCarloStats stats;
+  stats.runs = runs;
+  stats.values.reserve(static_cast<size_t>(runs));
+  Rng base(base_seed);
+  for (int r = 0; r < runs; ++r) {
+    Rng run_rng = base.fork(static_cast<uint64_t>(r));
+    stats.values.push_back(trial(r, run_rng));
+  }
+  double sum = 0.0;
+  for (double v : stats.values) sum += v;
+  stats.mean = sum / runs;
+  double ss = 0.0;
+  for (double v : stats.values) ss += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = runs > 1 ? std::sqrt(ss / (runs - 1)) : 0.0;
+  stats.min = *std::min_element(stats.values.begin(), stats.values.end());
+  stats.max = *std::max_element(stats.values.begin(), stats.values.end());
+  return stats;
+}
+
+int default_mc_runs(int fallback) {
+  return env_int("RIPPLE_MC_RUNS", fast_mode() ? 3 : fallback);
+}
+
+}  // namespace ripple::fault

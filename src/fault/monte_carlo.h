@@ -1,0 +1,33 @@
+// Monte-Carlo fault-simulation harness (§IV-A2: "100 chip instances").
+//
+// Each run forks a deterministic RNG sub-stream, so results are
+// reproducible and independent of evaluation order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace ripple::fault {
+
+struct MonteCarloStats {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n−1)
+  double min = 0.0;
+  double max = 0.0;
+  int runs = 0;
+  std::vector<double> values;
+};
+
+/// Executes `trial(run_index, rng)` for `runs` chip instances and
+/// aggregates the returned metric.
+MonteCarloStats run_monte_carlo(
+    int runs, uint64_t base_seed,
+    const std::function<double(int, Rng&)>& trial);
+
+/// Number of Monte-Carlo runs for the bench harnesses: RIPPLE_MC_RUNS env
+/// override, `fallback` otherwise (paper value: 100).
+int default_mc_runs(int fallback);
+
+}  // namespace ripple::fault

@@ -1,0 +1,182 @@
+#include "imc/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace ripple::imc {
+
+Crossbar::Crossbar(CrossbarConfig config) : config_(config) {
+  RIPPLE_CHECK(config_.rows > 0 && config_.cols > 0)
+      << "crossbar dims must be positive";
+  RIPPLE_CHECK(config_.g_on > config_.g_off && config_.g_off >= 0.0)
+      << "need g_on > g_off >= 0";
+  RIPPLE_CHECK(config_.dac_bits >= 1 && config_.dac_bits <= 16)
+      << "dac_bits out of range";
+  RIPPLE_CHECK(config_.adc_bits >= 1 && config_.adc_bits <= 16)
+      << "adc_bits out of range";
+  RIPPLE_CHECK(config_.adc_fullscale_fraction > 0.0 &&
+               config_.adc_fullscale_fraction <= 1.0)
+      << "adc_fullscale_fraction must be in (0,1]";
+}
+
+void Crossbar::program(const Tensor& weights, Rng& rng) {
+  RIPPLE_CHECK(weights.rank() == 2 && weights.dim(0) == config_.cols &&
+               weights.dim(1) == config_.rows)
+      << "program expects [cols=" << config_.cols << ", rows=" << config_.rows
+      << "], got " << shape_to_string(weights.shape());
+  ideal_weights_ = weights.clone();
+  const float mx = ops::max(ops::abs(weights));
+  scale_ = mx > 0.0f ? static_cast<double>(mx) : 1.0;
+
+  programmed_.assign(static_cast<size_t>(config_.rows * config_.cols), {});
+  const float* pw = weights.data();
+  for (int64_t c = 0; c < config_.cols; ++c) {
+    for (int64_t r = 0; r < config_.rows; ++r) {
+      const double wn = static_cast<double>(pw[c * config_.rows + r]) / scale_;
+      ConductancePair p = map_weight(wn, config_.g_on, config_.g_off);
+      if (config_.sigma_programming > 0.0) {
+        // Write-verify leaves a residual relative error on each cell.
+        p.g_pos *= std::exp(rng.normal(
+            0.0f, static_cast<float>(config_.sigma_programming)));
+        p.g_neg *= std::exp(rng.normal(
+            0.0f, static_cast<float>(config_.sigma_programming)));
+      }
+      programmed_[static_cast<size_t>(r * config_.cols + c)] = p;
+    }
+  }
+  current_ = programmed_;
+}
+
+double Crossbar::dac_quantize(double v, double fullscale) const {
+  if (fullscale <= 0.0) return 0.0;
+  const double levels = static_cast<double>((1 << config_.dac_bits) - 1);
+  const double clamped = std::clamp(v / fullscale, -1.0, 1.0);
+  return std::round(clamped * levels) / levels * fullscale;
+}
+
+double Crossbar::adc_quantize(double i) const {
+  const double i_fs = config_.adc_fullscale_fraction * config_.v_read *
+                      (config_.g_on - config_.g_off) *
+                      static_cast<double>(config_.rows);
+  const double levels = static_cast<double>((1 << config_.adc_bits) - 1);
+  const double clamped = std::clamp(i / i_fs, -1.0, 1.0);
+  return std::round(clamped * levels) / levels * i_fs;
+}
+
+Tensor Crossbar::matvec(const Tensor& x) const {
+  RIPPLE_CHECK(programmed()) << "matvec before program()";
+  const bool batched = x.rank() == 2;
+  RIPPLE_CHECK((batched && x.dim(1) == config_.rows) ||
+               (x.rank() == 1 && x.dim(0) == config_.rows))
+      << "matvec input shape " << shape_to_string(x.shape())
+      << " incompatible with " << config_.rows << " rows";
+  const int64_t n = batched ? x.dim(0) : 1;
+  Tensor out = batched ? Tensor({n, config_.cols}) : Tensor({config_.cols});
+  const float* px = x.data();
+  float* po = out.data();
+
+  const double g_span = config_.g_on - config_.g_off;
+  for (int64_t b = 0; b < n; ++b) {
+    const float* xin = px + b * config_.rows;
+    // Input DAC: voltages scaled to the batch-row max.
+    double xmax = 0.0;
+    for (int64_t r = 0; r < config_.rows; ++r)
+      xmax = std::max(xmax, std::fabs(static_cast<double>(xin[r])));
+    std::vector<double> v(static_cast<size_t>(config_.rows), 0.0);
+    for (int64_t r = 0; r < config_.rows; ++r) {
+      const double vq =
+          dac_quantize(static_cast<double>(xin[r]), xmax);
+      v[static_cast<size_t>(r)] = xmax > 0.0
+                                      ? vq / xmax * config_.v_read
+                                      : 0.0;
+    }
+    // Column currents and ADC.
+    for (int64_t c = 0; c < config_.cols; ++c) {
+      double i_col = 0.0;
+      for (int64_t r = 0; r < config_.rows; ++r) {
+        const ConductancePair& p =
+            current_[static_cast<size_t>(r * config_.cols + c)];
+        i_col += v[static_cast<size_t>(r)] * (p.g_pos - p.g_neg);
+      }
+      const double i_dig = adc_quantize(i_col);
+      // Back to weight·x units: invert the voltage and conductance scales.
+      const double y = xmax > 0.0
+                           ? i_dig / (config_.v_read * g_span) * scale_ * xmax
+                           : 0.0;
+      po[b * config_.cols + c] = static_cast<float>(y);
+    }
+  }
+  return out;
+}
+
+Tensor Crossbar::matvec_ideal(const Tensor& x) const {
+  RIPPLE_CHECK(programmed()) << "matvec_ideal before program()";
+  const bool batched = x.rank() == 2;
+  const int64_t n = batched ? x.dim(0) : 1;
+  Tensor out = batched ? Tensor({n, config_.cols}) : Tensor({config_.cols});
+  const float* px = x.data();
+  const float* pw = ideal_weights_.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < n; ++b)
+    for (int64_t c = 0; c < config_.cols; ++c) {
+      double acc = 0.0;
+      for (int64_t r = 0; r < config_.rows; ++r)
+        acc += static_cast<double>(pw[c * config_.rows + r]) *
+               px[b * config_.rows + r];
+      po[b * config_.cols + c] = static_cast<float>(acc);
+    }
+  return out;
+}
+
+void Crossbar::apply_conductance_variation(double sigma_mult,
+                                           double sigma_add, Rng& rng) {
+  RIPPLE_CHECK(programmed()) << "variation before program()";
+  const double g_span = config_.g_on - config_.g_off;
+  for (ConductancePair& p : current_) {
+    if (sigma_mult > 0.0) {
+      p.g_pos *= std::exp(rng.normal(0.0f, static_cast<float>(sigma_mult)));
+      p.g_neg *= std::exp(rng.normal(0.0f, static_cast<float>(sigma_mult)));
+    }
+    if (sigma_add > 0.0) {
+      p.g_pos += rng.normal(0.0f, static_cast<float>(sigma_add * g_span));
+      p.g_neg += rng.normal(0.0f, static_cast<float>(sigma_add * g_span));
+    }
+    p.g_pos = std::max(0.0, p.g_pos);
+    p.g_neg = std::max(0.0, p.g_neg);
+  }
+}
+
+void Crossbar::apply_stuck_cells(double fraction, Rng& rng) {
+  RIPPLE_CHECK(programmed()) << "stuck cells before program()";
+  RIPPLE_CHECK(fraction >= 0.0 && fraction <= 1.0)
+      << "stuck fraction out of range";
+  for (ConductancePair& p : current_) {
+    if (rng.bernoulli(static_cast<float>(fraction)))
+      p.g_pos = rng.bernoulli(0.5f) ? config_.g_on : config_.g_off;
+    if (rng.bernoulli(static_cast<float>(fraction)))
+      p.g_neg = rng.bernoulli(0.5f) ? config_.g_on : config_.g_off;
+  }
+}
+
+void Crossbar::restore() {
+  RIPPLE_CHECK(programmed()) << "restore before program()";
+  current_ = programmed_;
+}
+
+double Crossbar::fidelity_rmse(const Tensor& probe) const {
+  Tensor analog = matvec(probe);
+  Tensor ideal = matvec_ideal(probe);
+  double acc = 0.0;
+  const float* pa = analog.data();
+  const float* pi = ideal.data();
+  for (int64_t i = 0; i < analog.numel(); ++i) {
+    const double d = pa[i] - pi[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(analog.numel()));
+}
+
+}  // namespace ripple::imc

@@ -1,0 +1,83 @@
+// Analog crossbar vector-matrix-multiply engine.
+//
+// Models the full IMC signal chain of §II-D: DAC-quantized input voltages
+// drive the word lines, programmed differential conductance pairs perform
+// the multiply, bit-line currents accumulate the sum (O(1) in time), and an
+// ADC digitizes the result. Programming noise, post-programming
+// conductance variation and stuck cells can be injected to study accuracy
+// degradation — the hardware ground truth the paper's algorithmic fault
+// models abstract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "imc/mapping.h"
+#include "tensor/random.h"
+#include "tensor/tensor.h"
+
+namespace ripple::imc {
+
+struct CrossbarConfig {
+  int64_t rows = 64;   // inputs (word lines)
+  int64_t cols = 64;   // outputs (bit lines)
+  double g_on = 1.0 / 4.0e3;    // siemens (R_P = 4 kΩ)
+  double g_off = 1.0 / 12.0e3;  // siemens (R_AP = 12 kΩ)
+  int dac_bits = 8;
+  int adc_bits = 8;
+  double v_read = 0.2;  // volts, full-scale input
+  /// Relative conductance error applied when programming (write noise).
+  double sigma_programming = 0.0;
+  /// ADC full scale as a fraction of the absolute worst-case column
+  /// current; real designs exploit sparsity and use < 1.
+  double adc_fullscale_fraction = 0.25;
+};
+
+class Crossbar {
+ public:
+  explicit Crossbar(CrossbarConfig config);
+
+  const CrossbarConfig& config() const { return config_; }
+
+  /// Programs a [cols, rows] weight matrix (out × in). Weights are
+  /// max-abs-normalized into [-1,1]; the scale is retained so matvec
+  /// returns results in the original units. Programming noise
+  /// (sigma_programming) is applied with `rng`.
+  void program(const Tensor& weights, Rng& rng);
+
+  bool programmed() const { return !current_.empty(); }
+
+  /// Analog VMM of a [rows] vector or [N, rows] batch; returns [cols] or
+  /// [N, cols] in the programmed weights' units.
+  Tensor matvec(const Tensor& x) const;
+
+  /// Reference digital computation with the *ideal* (pre-noise) weights.
+  Tensor matvec_ideal(const Tensor& x) const;
+
+  /// Post-programming non-idealities (drift / thermal variation):
+  /// multiplicative lognormal-ish factor exp(N(0,σ_mult)) and additive
+  /// N(0, σ_add·(g_on−g_off)) on every conductance.
+  void apply_conductance_variation(double sigma_mult, double sigma_add,
+                                   Rng& rng);
+
+  /// A fraction of cells become stuck at g_on or g_off (50/50).
+  void apply_stuck_cells(double fraction, Rng& rng);
+
+  /// Restores the conductances programmed last.
+  void restore();
+
+  /// RMS error between analog and ideal matvec over a probe batch.
+  double fidelity_rmse(const Tensor& probe) const;
+
+ private:
+  double dac_quantize(double v, double fullscale) const;
+  double adc_quantize(double i) const;
+
+  CrossbarConfig config_;
+  Tensor ideal_weights_;  // [cols, rows], original units
+  double scale_ = 1.0;
+  std::vector<ConductancePair> programmed_;  // rows*cols, row-major
+  std::vector<ConductancePair> current_;
+};
+
+}  // namespace ripple::imc

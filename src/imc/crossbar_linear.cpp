@@ -1,0 +1,42 @@
+#include "imc/crossbar_linear.h"
+
+#include "tensor/check.h"
+
+namespace ripple::imc {
+
+CrossbarLinear::CrossbarLinear(CrossbarConfig config)
+    : crossbar_(config) {}
+
+void CrossbarLinear::program(const Tensor& weight, const Tensor& bias,
+                             Rng& rng) {
+  crossbar_.program(weight, rng);
+  if (bias.defined()) {
+    RIPPLE_CHECK(bias.rank() == 1 &&
+                 bias.dim(0) == crossbar_.config().cols)
+        << "CrossbarLinear bias shape mismatch";
+    bias_ = bias.clone();
+  } else {
+    bias_ = Tensor();
+  }
+}
+
+autograd::Variable CrossbarLinear::forward(const autograd::Variable& x) {
+  RIPPLE_CHECK(programmed()) << "CrossbarLinear::forward before program()";
+  RIPPLE_CHECK(x.value().rank() == 2 &&
+               x.dim(1) == crossbar_.config().rows)
+      << "CrossbarLinear expects [N," << crossbar_.config().rows << "], got "
+      << shape_to_string(x.shape());
+  Tensor y = crossbar_.matvec(x.value());
+  if (bias_.defined()) {
+    const int64_t n = y.dim(0);
+    const int64_t cols = y.dim(1);
+    float* py = y.data();
+    const float* pb = bias_.data();
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < cols; ++j) py[i * cols + j] += pb[j];
+  }
+  // Analog hardware output: constant w.r.t. the autograd graph.
+  return autograd::Variable(std::move(y));
+}
+
+}  // namespace ripple::imc

@@ -1,0 +1,38 @@
+// Inference-only linear layer executed on the analog crossbar simulator.
+//
+// Bridges the NN stack and the circuit-level model: program() maps a
+// trained weight matrix onto differential conductance pairs; forward()
+// runs the batched VMM through DAC → crossbar → ADC. Gradients do not
+// flow (deployment artifact, not a training layer) — use it to measure
+// end-to-end accuracy of a network whose head (or any matmul) runs on
+// simulated hardware, under the crossbar's own non-idealities.
+#pragma once
+
+#include <memory>
+
+#include "imc/crossbar.h"
+#include "nn/layer.h"
+
+namespace ripple::imc {
+
+class CrossbarLinear : public nn::Layer {
+ public:
+  /// Geometry comes from the config; weights are programmed afterwards.
+  explicit CrossbarLinear(CrossbarConfig config);
+
+  /// Programs trained weights [out, in] (+ optional bias kept digital).
+  void program(const Tensor& weight, const Tensor& bias, Rng& rng);
+
+  bool programmed() const { return crossbar_.programmed(); }
+
+  /// x [N, in] → [N, out] through the analog signal chain.
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  Crossbar& crossbar() { return crossbar_; }
+
+ private:
+  Crossbar crossbar_;
+  Tensor bias_;  // digital bias addition (post-ADC), may be undefined
+};
+
+}  // namespace ripple::imc

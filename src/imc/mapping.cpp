@@ -1,0 +1,62 @@
+#include "imc/mapping.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ripple::imc {
+
+ConductancePair map_weight(double w, double g_on, double g_off) {
+  RIPPLE_CHECK(g_on > g_off && g_off >= 0.0) << "need g_on > g_off >= 0";
+  const double wc = std::clamp(w, -1.0, 1.0);
+  ConductancePair p;
+  if (wc >= 0.0) {
+    p.g_pos = g_off + wc * (g_on - g_off);
+    p.g_neg = g_off;
+  } else {
+    p.g_pos = g_off;
+    p.g_neg = g_off + (-wc) * (g_on - g_off);
+  }
+  return p;
+}
+
+double unmap_pair(const ConductancePair& p, double g_on, double g_off) {
+  RIPPLE_CHECK(g_on > g_off) << "need g_on > g_off";
+  return (p.g_pos - p.g_neg) / (g_on - g_off);
+}
+
+std::vector<std::vector<int>> bit_slices(const std::vector<int32_t>& codes,
+                                         int bits) {
+  RIPPLE_CHECK(bits >= 1 && bits <= 31) << "bits out of range";
+  std::vector<std::vector<int>> slices(
+      static_cast<size_t>(bits), std::vector<int>(codes.size(), 0));
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const auto u = static_cast<uint32_t>(codes[i]);
+    for (int b = 0; b < bits; ++b)
+      slices[static_cast<size_t>(b)][i] =
+          static_cast<int>((u >> b) & 1u);
+  }
+  return slices;
+}
+
+std::vector<int32_t> combine_slices(
+    const std::vector<std::vector<int>>& slices) {
+  RIPPLE_CHECK(!slices.empty()) << "no slices";
+  const int bits = static_cast<int>(slices.size());
+  const size_t n = slices[0].size();
+  for (const auto& s : slices)
+    RIPPLE_CHECK(s.size() == n) << "ragged slice planes";
+  std::vector<int32_t> codes(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t v = 0;
+    for (int b = 0; b < bits - 1; ++b)
+      v += slices[static_cast<size_t>(b)][i] << b;
+    // Two's complement: MSB plane carries negative weight.
+    v -= slices[static_cast<size_t>(bits - 1)][i] << (bits - 1);
+    codes[i] = v;
+  }
+  return codes;
+}
+
+}  // namespace ripple::imc

@@ -1,0 +1,39 @@
+// Weight-to-conductance mapping for crossbar deployment.
+//
+// A signed weight is realized as a *differential pair* of conductances
+// (G⁺, G⁻); the column current difference encodes the signed product.
+// Multi-bit weights are *bit-sliced*: each bit position occupies its own
+// column pair and the digitized partial sums are combined with binary
+// weighting ( the MSB slice carries weight −2^(b−1) in two's complement).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ripple::imc {
+
+struct ConductancePair {
+  double g_pos = 0.0;  // siemens
+  double g_neg = 0.0;
+};
+
+/// Maps a weight in [-1, 1] to a differential pair using linear
+/// interpolation between g_off and g_on.
+ConductancePair map_weight(double w, double g_on, double g_off);
+
+/// Inverse of map_weight: signed value recovered from a pair.
+double unmap_pair(const ConductancePair& p, double g_on, double g_off);
+
+/// Two's-complement bit-slicing of integer codes. Returns `bits` planes,
+/// each holding one bit (0/1) per code, LSB first.
+std::vector<std::vector<int>> bit_slices(const std::vector<int32_t>& codes,
+                                         int bits);
+
+/// Recombines bit planes into signed integers (MSB plane weighted
+/// −2^(bits−1)).
+std::vector<int32_t> combine_slices(
+    const std::vector<std::vector<int>>& slices);
+
+}  // namespace ripple::imc

@@ -1,0 +1,89 @@
+#include "imc/nvm_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ripple::imc {
+
+SttMramDevice::SttMramDevice(SttMramParams params) : params_(params) {
+  RIPPLE_CHECK(params_.r_p > 0.0) << "R_P must be positive";
+  RIPPLE_CHECK(params_.tmr0 > 0.0) << "TMR must be positive";
+  RIPPLE_CHECK(params_.sigma_rel >= 0.0) << "sigma_rel must be >= 0";
+  RIPPLE_CHECK(params_.v_c > 0.0) << "critical voltage must be positive";
+  RIPPLE_CHECK(params_.tau0_ns > 0.0) << "attempt time must be positive";
+}
+
+double SttMramDevice::tmr(double t_kelvin) const {
+  const double loss = params_.tmr_temp_coeff * (t_kelvin - params_.t_ref);
+  return std::max(0.05, params_.tmr0 - loss);
+}
+
+double SttMramDevice::mean_r_p(double t_kelvin) const {
+  // R_P is dominated by the tunnel barrier and drifts only weakly with
+  // temperature; a mild linear coefficient captures the measured trend.
+  return params_.r_p * (1.0 - 1.0e-4 * (t_kelvin - params_.t_ref));
+}
+
+double SttMramDevice::mean_r_ap(double t_kelvin) const {
+  return mean_r_p(t_kelvin) * (1.0 + tmr(t_kelvin));
+}
+
+namespace {
+
+double lognormal_sample(double mean, double sigma_rel, Rng& rng) {
+  if (sigma_rel <= 0.0) return mean;
+  // Parameterize so the sample's expected value equals `mean`.
+  const double s2 = std::log(1.0 + sigma_rel * sigma_rel);
+  const double mu = std::log(mean) - 0.5 * s2;
+  const double z = rng.normal(0.0f, 1.0f);
+  return std::exp(mu + std::sqrt(s2) * z);
+}
+
+}  // namespace
+
+double SttMramDevice::sample_r_p(double t_kelvin, Rng& rng) const {
+  return lognormal_sample(mean_r_p(t_kelvin), params_.sigma_rel, rng);
+}
+
+double SttMramDevice::sample_r_ap(double t_kelvin, Rng& rng) const {
+  // The AP state carries more variation (spin-dependent transport), a
+  // well-documented asymmetry; 1.5× the P-state sigma.
+  return lognormal_sample(mean_r_ap(t_kelvin), 1.5 * params_.sigma_rel, rng);
+}
+
+double SttMramDevice::switching_probability(double v, double pulse_ns) const {
+  RIPPLE_CHECK(pulse_ns > 0.0) << "pulse width must be positive";
+  if (v <= 0.0) return 0.0;
+  // Thermally-activated regime; exponent is clamped to keep exp() finite
+  // for overdrive voltages (V >> Vc), where P_sw saturates at 1.
+  const double exponent =
+      std::clamp(params_.delta * (1.0 - v / params_.v_c), -700.0, 700.0);
+  const double tau = params_.tau0_ns * std::exp(exponent);
+  return 1.0 - std::exp(-pulse_ns / tau);
+}
+
+bool SttMramDevice::attempt_switch(double v, double pulse_ns, Rng& rng) const {
+  return rng.bernoulli(
+      static_cast<float>(switching_probability(v, pulse_ns)));
+}
+
+double SttMramDevice::write_error_rate(double v, double pulse_ns) const {
+  return 1.0 - switching_probability(v, pulse_ns);
+}
+
+ResistanceSamples sample_resistances(const SttMramDevice& device,
+                                     double t_kelvin, int count, Rng& rng) {
+  RIPPLE_CHECK(count > 0) << "sample count must be positive";
+  ResistanceSamples s;
+  s.r_p.reserve(static_cast<size_t>(count));
+  s.r_ap.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    s.r_p.push_back(device.sample_r_p(t_kelvin, rng));
+    s.r_ap.push_back(device.sample_r_ap(t_kelvin, rng));
+  }
+  return s;
+}
+
+}  // namespace ripple::imc

@@ -1,0 +1,71 @@
+// Compact model of an STT-MRAM cell (the NVM technology motivating the
+// paper, §II-D / Fig. 4).
+//
+// Two behaviours matter for reliability studies:
+//  (1) Stochastic switching — write pulses flip the free layer only with a
+//      probability that depends on pulse voltage and width. Modeled with
+//      the Néel–Arrhenius law in the thermally-activated regime:
+//         P_sw(V, t) = 1 − exp(−t / τ(V)),  τ(V) = τ0·exp(Δ·(1 − V/Vc))
+//  (2) Resistance variation — R_P / R_AP are lognormally distributed from
+//      process variation, and the TMR (and with it the read window)
+//      shrinks as temperature rises.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace ripple::imc {
+
+struct SttMramParams {
+  double r_p = 4.0e3;         // parallel (low) resistance, ohm, at t_ref
+  double tmr0 = 1.0;          // TMR at t_ref: R_AP = R_P · (1 + TMR)
+  double sigma_rel = 0.05;    // lognormal sigma of resistance variation
+  double t_ref = 300.0;       // reference temperature, K
+  double tmr_temp_coeff = 2.0e-3;  // TMR loss per K above t_ref
+  double delta = 40.0;        // thermal stability factor Δ = E_b / k_B T
+  double v_c = 0.6;           // critical switching voltage, V
+  double tau0_ns = 1.0;       // attempt time, ns
+};
+
+class SttMramDevice {
+ public:
+  explicit SttMramDevice(SttMramParams params = {});
+
+  const SttMramParams& params() const { return params_; }
+
+  /// Mean parallel / antiparallel resistance at temperature `t_kelvin`.
+  double mean_r_p(double t_kelvin) const;
+  double mean_r_ap(double t_kelvin) const;
+  /// TMR at temperature (clamped at a 5% floor; the junction never fully
+  /// loses its read window in the modeled range).
+  double tmr(double t_kelvin) const;
+
+  /// One lognormal sample of R_P / R_AP at temperature.
+  double sample_r_p(double t_kelvin, Rng& rng) const;
+  double sample_r_ap(double t_kelvin, Rng& rng) const;
+
+  /// Néel–Arrhenius switching probability for a pulse of `v` volts and
+  /// `pulse_ns` nanoseconds.
+  double switching_probability(double v, double pulse_ns) const;
+
+  /// Simulates a write: returns true if the cell switched.
+  bool attempt_switch(double v, double pulse_ns, Rng& rng) const;
+
+  /// Write-error rate = 1 − P_sw (probability the cell retains its state).
+  double write_error_rate(double v, double pulse_ns) const;
+
+ private:
+  SttMramParams params_;
+};
+
+/// Monte-Carlo histogram of sampled resistances (Fig. 4b reproduction).
+struct ResistanceSamples {
+  std::vector<double> r_p;
+  std::vector<double> r_ap;
+};
+ResistanceSamples sample_resistances(const SttMramDevice& device,
+                                     double t_kelvin, int count, Rng& rng);
+
+}  // namespace ripple::imc

@@ -1,0 +1,45 @@
+#include "models/block_factory.h"
+
+namespace ripple::models {
+
+nn::Layer& BlockFactory::add_norm(nn::Sequential& seq, int64_t channels,
+                                  int64_t groups) {
+  if (config_.variant == Variant::kProposed) {
+    core::InvertedNorm::Options opts;
+    opts.groups = groups;
+    opts.dropout_p = config_.dropout_p;
+    opts.granularity = config_.granularity;
+    opts.init = config_.init;
+    opts.affine_first = config_.affine_first;
+    auto& layer = seq.emplace<core::InvertedNorm>(channels, opts, rng_);
+    inverted_.push_back(&layer);
+    return layer;
+  }
+  return seq.emplace<nn::BatchNorm>(channels);
+}
+
+void BlockFactory::add_dropout(nn::Sequential& seq) {
+  switch (config_.variant) {
+    case Variant::kSpinDrop: {
+      auto& layer = seq.emplace<nn::Dropout>(config_.dropout_p, rng_);
+      dropouts_.push_back(&layer);
+      break;
+    }
+    case Variant::kSpatialSpinDrop: {
+      auto& layer = seq.emplace<nn::SpatialDropout>(config_.dropout_p, rng_);
+      spatial_.push_back(&layer);
+      break;
+    }
+    case Variant::kConventional:
+    case Variant::kProposed:
+      break;  // no explicit dropout layer
+  }
+}
+
+void BlockFactory::set_mc_mode(bool on) {
+  for (auto* l : inverted_) l->set_mc_mode(on);
+  for (auto* l : dropouts_) l->set_mc_mode(on);
+  for (auto* l : spatial_) l->set_mc_mode(on);
+}
+
+}  // namespace ripple::models

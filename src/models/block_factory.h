@@ -1,0 +1,47 @@
+// Builds the variant-dependent normalization / dropout layers and keeps
+// typed handles so models can toggle MC mode uniformly.
+//
+// Per-variant post-conv stack (activation added by the topology itself):
+//   Conventional:     conv → BatchNorm → act
+//   SpinDrop:         conv → BatchNorm → act → Dropout(p)
+//   SpatialSpinDrop:  conv → BatchNorm → act → SpatialDropout(p)
+//   Proposed:         conv → InvertedNorm(p, affine dropout) → act
+#pragma once
+
+#include <vector>
+
+#include "core/inverted_norm.h"
+#include "models/task_model.h"
+#include "nn/dropout.h"
+#include "nn/norm.h"
+
+namespace ripple::models {
+
+class BlockFactory {
+ public:
+  BlockFactory(const VariantConfig& config, Rng* rng = nullptr)
+      : config_(config), rng_(rng) {}
+
+  /// Appends the variant's norm layer. `groups` selects the inverted-norm
+  /// grouping for the proposed variant (1 = per-instance; the U-Net passes
+  /// its GroupNorm-style group count). Baselines always use BatchNorm.
+  nn::Layer& add_norm(nn::Sequential& seq, int64_t channels,
+                      int64_t groups = 1);
+
+  /// Appends the variant's post-activation dropout (identity for
+  /// Conventional and Proposed — the latter's stochasticity lives in the
+  /// affine dropout inside the norm).
+  void add_dropout(nn::Sequential& seq);
+
+  /// Toggles MC sampling on every stochastic layer created so far.
+  void set_mc_mode(bool on);
+
+ private:
+  VariantConfig config_;
+  Rng* rng_;
+  std::vector<core::InvertedNorm*> inverted_;
+  std::vector<nn::Dropout*> dropouts_;
+  std::vector<nn::SpatialDropout*> spatial_;
+};
+
+}  // namespace ripple::models

@@ -1,0 +1,103 @@
+#include "models/evaluate.h"
+
+#include "core/metrics.h"
+#include "tensor/ops.h"
+
+namespace ripple::models {
+namespace {
+
+/// RAII: eval mode + MC sampling for the scope of one evaluation.
+class McScope {
+ public:
+  explicit McScope(TaskModel& model) : model_(model) {
+    model_.set_training(false);
+    model_.set_mc_mode(true);
+  }
+  ~McScope() { model_.set_mc_mode(false); }
+
+ private:
+  TaskModel& model_;
+};
+
+}  // namespace
+
+Tensor probs_mc(TaskModel& model, const Tensor& x, int mc_samples) {
+  McScope scope(model);
+  const core::McClassification mc = core::mc_classify(
+      [&model](const Tensor& batch) { return model.predict(batch); }, x,
+      mc_samples);
+  return mc.mean_probs;
+}
+
+double accuracy_mc(TaskModel& model, const data::ClassificationData& test,
+                   int mc_samples, int64_t batch_size) {
+  McScope scope(model);
+  int64_t correct = 0;
+  for (auto [begin, end] : data::batch_ranges(test.size(), batch_size)) {
+    Tensor xb = data::slice_rows(test.x, begin, end - begin);
+    const core::McClassification mc = core::mc_classify(
+        [&model](const Tensor& batch) { return model.predict(batch); }, xb,
+        mc_samples);
+    for (int64_t i = begin; i < end; ++i)
+      if (mc.predictions[static_cast<size_t>(i - begin)] ==
+          test.y[static_cast<size_t>(i)])
+        ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double rmse_mc(TaskModel& model, const data::SeriesData& test, int mc_samples,
+               int64_t batch_size) {
+  McScope scope(model);
+  double sq_sum = 0.0;
+  int64_t count = 0;
+  for (auto [begin, end] : data::batch_ranges(test.size(), batch_size)) {
+    Tensor xb = data::slice_rows(test.windows, begin, end - begin);
+    Tensor yb = data::slice_rows(test.targets, begin, end - begin);
+    const core::McRegression mc = core::mc_regress(
+        [&model](const Tensor& batch) { return model.predict(batch); }, xb,
+        mc_samples);
+    const float* pp = mc.mean.data();
+    const float* pt = yb.data();
+    for (int64_t i = 0; i < yb.numel(); ++i) {
+      const double d = pp[i] - pt[i];
+      sq_sum += d * d;
+      ++count;
+    }
+  }
+  return std::sqrt(sq_sum / static_cast<double>(count));
+}
+
+double miou_mc(TaskModel& model, const data::SegmentationData& test,
+               int mc_samples, int64_t batch_size) {
+  McScope scope(model);
+  // Aggregate intersection/union over the whole set, not per batch.
+  int64_t inter_fg = 0;
+  int64_t union_fg = 0;
+  int64_t inter_bg = 0;
+  int64_t union_bg = 0;
+  for (auto [begin, end] : data::batch_ranges(test.size(), batch_size)) {
+    Tensor xb = data::slice_rows(test.images, begin, end - begin);
+    Tensor yb = data::slice_rows(test.masks, begin, end - begin);
+    Tensor probs = core::mc_segment(
+        [&model](const Tensor& batch) { return model.predict(batch); }, xb,
+        mc_samples);
+    const float* pp = probs.data();
+    const float* pt = yb.data();
+    for (int64_t i = 0; i < probs.numel(); ++i) {
+      const bool p = pp[i] >= 0.5f;
+      const bool t = pt[i] >= 0.5f;
+      if (p && t) ++inter_fg;
+      if (p || t) ++union_fg;
+      if (!p && !t) ++inter_bg;
+      if (!p || !t) ++union_bg;
+    }
+  }
+  const double iou_fg =
+      union_fg > 0 ? static_cast<double>(inter_fg) / union_fg : 1.0;
+  const double iou_bg =
+      union_bg > 0 ? static_cast<double>(inter_bg) / union_bg : 1.0;
+  return 0.5 * (iou_fg + iou_bg);
+}
+
+}  // namespace ripple::models

@@ -1,0 +1,30 @@
+// Bayesian MC evaluation of a deployed model on each task's metric.
+//
+// All helpers switch the model to eval mode with MC sampling enabled
+// (set_mc_mode(true)); pass mc_samples_for(variant, T) so the
+// deterministic conventional NN runs a single pass.
+#pragma once
+
+#include "core/bayesian.h"
+#include "data/dataset.h"
+#include "models/task_model.h"
+
+namespace ripple::models {
+
+/// Classification accuracy with `mc_samples`-pass averaging, evaluated in
+/// batches of `batch_size`.
+double accuracy_mc(TaskModel& model, const data::ClassificationData& test,
+                   int mc_samples, int64_t batch_size = 64);
+
+/// MC-averaged class probabilities [N, C] for a batch of inputs.
+Tensor probs_mc(TaskModel& model, const Tensor& x, int mc_samples);
+
+/// Forecast RMSE (normalized units) with MC-mean predictions.
+double rmse_mc(TaskModel& model, const data::SeriesData& test, int mc_samples,
+               int64_t batch_size = 256);
+
+/// Binary segmentation mIoU with MC-averaged pixel probabilities.
+double miou_mc(TaskModel& model, const data::SegmentationData& test,
+               int mc_samples, int64_t batch_size = 16);
+
+}  // namespace ripple::models

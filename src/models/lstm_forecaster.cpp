@@ -1,0 +1,104 @@
+#include "models/lstm_forecaster.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::models {
+
+namespace ag = ripple::autograd;
+
+void LstmForecaster::quantize_cell(nn::LstmCell& cell) {
+  // One quantizer per weight matrix: W_ih and W_hh have different ranges.
+  quantizers_.push_back(
+      std::make_unique<quant::IntQuantizer>(topo_.weight_bits));
+  quant::Quantizer* q_ih = quantizers_.back().get();
+  quantizers_.push_back(
+      std::make_unique<quant::IntQuantizer>(topo_.weight_bits));
+  quant::Quantizer* q_hh = quantizers_.back().get();
+  cell.set_weight_transform(nullptr);  // replaced by the pair below
+  // LstmCell applies one transform to both matrices; dispatch by pointer
+  // identity of the underlying value storage.
+  autograd::Parameter* p_ih = &cell.weight_ih();
+  autograd::Parameter* p_hh = &cell.weight_hh();
+  cell.set_weight_transform(
+      [q_ih, q_hh, p_ih, p_hh](const ag::Variable& w) {
+        if (w.node() == p_ih->var.node()) return q_ih->apply(w);
+        if (w.node() == p_hh->var.node()) return q_hh->apply(w);
+        return q_ih->apply(w);
+      });
+  targets_.push_back({p_ih, q_ih});
+  targets_.push_back({p_hh, q_hh});
+  transform_resets_.push_back(
+      [&cell] { cell.set_weight_transform(nullptr); });
+}
+
+LstmForecaster::LstmForecaster(Topology topo, VariantConfig config, Rng* rng)
+    : TaskModel(config), topo_(topo), factory_(config, rng) {
+  cell1_ = std::make_unique<nn::LstmCell>(1, topo_.hidden);
+  cell2_ = std::make_unique<nn::LstmCell>(topo_.hidden, topo_.hidden);
+  quantize_cell(*cell1_);
+  quantize_cell(*cell2_);
+
+  factory_.add_norm(norm1_, topo_.hidden);
+  factory_.add_dropout(drop1_);
+  factory_.add_norm(norm2_, topo_.hidden);
+  factory_.add_dropout(drop2_);
+
+  head_ = std::make_unique<nn::Linear>(topo_.hidden, 1, /*bias=*/true);
+  quantizers_.push_back(
+      std::make_unique<quant::IntQuantizer>(topo_.weight_bits));
+  quant::Quantizer* q_head = quantizers_.back().get();
+  head_->set_weight_transform(
+      [q_head](const ag::Variable& w) { return q_head->apply(w); });
+  targets_.push_back({&head_->weight(), q_head});
+  transform_resets_.push_back(
+      [this] { head_->set_weight_transform(nullptr); });
+
+  register_module("cell1", *cell1_);
+  register_module("cell2", *cell2_);
+  register_module("norm1", norm1_);
+  register_module("drop1", drop1_);
+  register_module("norm2", norm2_);
+  register_module("drop2", drop2_);
+  register_module("head", *head_);
+}
+
+ag::Variable LstmForecaster::forward(const Tensor& x) {
+  RIPPLE_CHECK(x.rank() == 3 && x.dim(2) == 1)
+      << "LstmForecaster expects [N,T,1], got " << shape_to_string(x.shape());
+  const int64_t n = x.dim(0);
+  const int64_t steps = x.dim(1);
+  ag::Variable seq(x);
+
+  nn::LstmCell::State s1 = cell1_->initial_state(n);
+  nn::LstmCell::State s2 = cell2_->initial_state(n);
+  ag::Variable h2_last;
+  for (int64_t t = 0; t < steps; ++t) {
+    ag::Variable x_t = ag::select_time(seq, t);
+    s1 = cell1_->forward(x_t, s1);
+    ag::Variable h1 = drop1_.forward(norm1_.forward(s1.h));
+    s2 = cell2_->forward(h1, s2);
+    h2_last = s2.h;
+  }
+  ag::Variable h = drop2_.forward(norm2_.forward(h2_last));
+  return head_->forward(h);
+}
+
+void LstmForecaster::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
+
+void LstmForecaster::deploy() {
+  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
+  for (fault::FaultTarget& t : targets_) {
+    if (t.quantizer == nullptr) continue;
+    Tensor& w = t.param->var.value();
+    t.quantizer->calibrate(w);
+    w.copy_from(t.quantizer->decode(t.quantizer->encode(w), w.shape()));
+  }
+  for (auto& reset : transform_resets_) reset();
+  deployed_ = true;
+}
+
+std::vector<fault::FaultTarget> LstmForecaster::fault_targets() {
+  return targets_;
+}
+
+}  // namespace ripple::models

@@ -1,0 +1,58 @@
+// Two-layer LSTM autoregressive forecaster for the CO2 task (W/A = 8/8).
+//
+// Matches the paper's "two LSTM layers and a classifier layer". The
+// variant norm stack is applied feature-wise to each timestep's hidden
+// state between the LSTM layers, and once more to the final hidden state
+// before the regression head — the LSTM analogue of "inverted norm after
+// every conv layer".
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/block_factory.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "quant/quantizer.h"
+
+namespace ripple::models {
+
+class LstmForecaster : public TaskModel {
+ public:
+  struct Topology {
+    int64_t hidden = 24;
+    int64_t window = 24;  // input timesteps
+    int weight_bits = 8;
+  };
+
+  LstmForecaster(Topology topo, VariantConfig config, Rng* rng = nullptr);
+
+  /// x is [N, window, 1]; returns [N, 1].
+  autograd::Variable forward(const Tensor& x) override;
+  void set_mc_mode(bool on) override;
+  void deploy() override;
+  std::vector<fault::FaultTarget> fault_targets() override;
+  bool binary_weights() const override { return false; }
+  const char* name() const override { return "lstm"; }
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  void quantize_cell(nn::LstmCell& cell);
+
+  Topology topo_;
+  BlockFactory factory_;
+  std::vector<std::unique_ptr<quant::Quantizer>> quantizers_;
+  std::vector<fault::FaultTarget> targets_;
+  std::vector<std::function<void()>> transform_resets_;
+
+  std::unique_ptr<nn::LstmCell> cell1_;
+  std::unique_ptr<nn::LstmCell> cell2_;
+  nn::Sequential norm1_;  // between LSTM layers (per timestep)
+  nn::Sequential drop1_;
+  nn::Sequential norm2_;  // on the final hidden state
+  nn::Sequential drop2_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace ripple::models

@@ -1,0 +1,82 @@
+#include "models/m5.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::models {
+
+namespace ag = ripple::autograd;
+
+template <typename LayerT>
+void M5::quantize_weight(LayerT& layer) {
+  quantizers_.push_back(
+      std::make_unique<quant::IntQuantizer>(topo_.weight_bits));
+  quant::Quantizer* q = quantizers_.back().get();
+  layer.set_weight_transform(
+      [q](const ag::Variable& w) { return q->apply(w); });
+  targets_.push_back({&layer.weight(), q});
+  transform_resets_.push_back(
+      [&layer] { layer.set_weight_transform(nullptr); });
+}
+
+M5::M5(Topology topo, VariantConfig config, Rng* rng)
+    : TaskModel(config), topo_(topo), factory_(config, rng) {
+  const int64_t w = topo_.width;
+
+  auto& conv1 = body_.emplace<nn::Conv1d>(1, w, 16, /*stride=*/4,
+                                          /*pad=*/6, /*bias=*/false);
+  quantize_weight(conv1);
+  factory_.add_norm(body_, w);
+  body_.emplace<quant::PactActivation>(topo_.activation_bits, 6.0f, noise_);
+  factory_.add_dropout(body_);
+  body_.emplace<nn::MaxPool1d>(4);
+
+  auto& conv2 = body_.emplace<nn::Conv1d>(w, 2 * w, 3, /*stride=*/1,
+                                          /*pad=*/1, /*bias=*/false);
+  quantize_weight(conv2);
+  factory_.add_norm(body_, 2 * w);
+  body_.emplace<quant::PactActivation>(topo_.activation_bits, 6.0f, noise_);
+  factory_.add_dropout(body_);
+  body_.emplace<nn::MaxPool1d>(4);
+
+  auto& conv3 = body_.emplace<nn::Conv1d>(2 * w, 2 * w, 3, /*stride=*/1,
+                                          /*pad=*/1, /*bias=*/false);
+  quantize_weight(conv3);
+  factory_.add_norm(body_, 2 * w);
+  body_.emplace<quant::PactActivation>(topo_.activation_bits, 6.0f, noise_);
+  factory_.add_dropout(body_);
+  body_.emplace<nn::MaxPool1d>(2);
+
+  body_.emplace<nn::GlobalAvgPool1d>();
+
+  head_ = std::make_unique<nn::Linear>(2 * w, topo_.classes, /*bias=*/true);
+  quantize_weight(*head_);
+
+  register_module("body", body_);
+  register_module("head", *head_);
+}
+
+ag::Variable M5::forward(const Tensor& x) {
+  RIPPLE_CHECK(x.rank() == 3 && x.dim(1) == 1)
+      << "M5 expects [N,1,L], got " << shape_to_string(x.shape());
+  ag::Variable v(x);
+  v = body_.forward(v);
+  return head_->forward(v);
+}
+
+void M5::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
+
+void M5::deploy() {
+  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
+  for (fault::FaultTarget& t : targets_) {
+    if (t.quantizer == nullptr) continue;
+    Tensor& w = t.param->var.value();
+    t.quantizer->calibrate(w);
+    w.copy_from(t.quantizer->decode(t.quantizer->encode(w), w.shape()));
+  }
+  for (auto& reset : transform_resets_) reset();
+  deployed_ = true;
+}
+
+std::vector<fault::FaultTarget> M5::fault_targets() { return targets_; }
+
+}  // namespace ripple::models

@@ -1,0 +1,57 @@
+// M5 1-D convolutional network for keyword spotting (W/A = 8/8).
+//
+// Scaled version of the five-layer M5 of the paper's audio experiment: a
+// wide-kernel strided first conv followed by two 3-tap convs, each with the
+// variant norm stack, PACT 8-bit activations and max-pooling; classifier
+// head on global average pooled features. All conv/linear weights train
+// with 8-bit fake quantization (IntQuantizer).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/block_factory.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "quant/pact.h"
+#include "quant/quantizer.h"
+
+namespace ripple::models {
+
+class M5 : public TaskModel {
+ public:
+  struct Topology {
+    int64_t classes = 8;
+    int64_t width = 12;       // first-stage channels; later stages double
+    int64_t input_length = 512;
+    int weight_bits = 8;
+    int activation_bits = 8;
+  };
+
+  M5(Topology topo, VariantConfig config, Rng* rng = nullptr);
+
+  autograd::Variable forward(const Tensor& x) override;
+  void set_mc_mode(bool on) override;
+  void deploy() override;
+  std::vector<fault::FaultTarget> fault_targets() override;
+  bool binary_weights() const override { return false; }
+  const char* name() const override { return "m5"; }
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  template <typename LayerT>
+  void quantize_weight(LayerT& layer);
+
+  Topology topo_;
+  BlockFactory factory_;
+  std::vector<std::unique_ptr<quant::Quantizer>> quantizers_;
+  std::vector<fault::FaultTarget> targets_;
+  std::vector<std::function<void()>> transform_resets_;
+
+  nn::Sequential body_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace ripple::models

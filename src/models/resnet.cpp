@@ -1,0 +1,133 @@
+#include "models/resnet.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::models {
+
+namespace ag = ripple::autograd;
+
+std::unique_ptr<nn::Conv2d> BinaryResNet::make_binary_conv(
+    int64_t cin, int64_t cout, int64_t k, int64_t stride, int64_t pad) {
+  auto conv = std::make_unique<nn::Conv2d>(cin, cout, k, stride, pad,
+                                           /*bias=*/false);
+  quantizers_.push_back(std::make_unique<quant::BinaryQuantizer>());
+  quant::Quantizer* q = quantizers_.back().get();
+  conv->set_weight_transform(
+      [q](const ag::Variable& w) { return q->apply(w); });
+  targets_.push_back({&conv->weight(), q});
+  return conv;
+}
+
+BinaryResNet::BinaryResNet(Topology topo, VariantConfig config, Rng* rng)
+    : TaskModel(config), topo_(topo), factory_(config, rng) {
+  RIPPLE_CHECK(topo_.width >= 4) << "width too small";
+  const int64_t w = topo_.width;
+
+  stem_conv_ = std::make_unique<nn::Conv2d>(topo_.in_channels, w, 3, 1, 1,
+                                            /*bias=*/false);
+  targets_.push_back({&stem_conv_->weight(), nullptr});
+  factory_.add_norm(stem_norm_, w);
+  stem_sign_ = std::make_unique<nn::SignActivation>(noise_);
+
+  b1_conv1_ = make_binary_conv(w, w, 3, 1, 1);
+  factory_.add_norm(b1_norm1_, w);
+  b1_sign1_ = std::make_unique<nn::SignActivation>(noise_);
+  factory_.add_dropout(b1_drop1_);
+  b1_conv2_ = make_binary_conv(w, w, 3, 1, 1);
+  factory_.add_norm(b1_norm2_, w);
+  b1_sign2_ = std::make_unique<nn::SignActivation>(noise_);
+  factory_.add_dropout(b1_drop2_);
+
+  b2_conv1_ = make_binary_conv(w, 2 * w, 3, 2, 1);
+  factory_.add_norm(b2_norm1_, 2 * w);
+  b2_sign1_ = std::make_unique<nn::SignActivation>(noise_);
+  factory_.add_dropout(b2_drop1_);
+  b2_conv2_ = make_binary_conv(2 * w, 2 * w, 3, 1, 1);
+  factory_.add_norm(b2_norm2_, 2 * w);
+  b2_skip_conv_ = make_binary_conv(w, 2 * w, 1, 2, 0);
+  factory_.add_norm(b2_skip_norm_, 2 * w);
+  b2_sign2_ = std::make_unique<nn::SignActivation>(noise_);
+  factory_.add_dropout(b2_drop2_);
+
+  head_ = std::make_unique<nn::Linear>(2 * w, topo_.classes, /*bias=*/true);
+  targets_.push_back({&head_->weight(), nullptr});
+
+  register_module("stem_conv", *stem_conv_);
+  register_module("stem_norm", stem_norm_);
+  register_module("b1_conv1", *b1_conv1_);
+  register_module("b1_norm1", b1_norm1_);
+  register_module("b1_drop1", b1_drop1_);
+  register_module("b1_conv2", *b1_conv2_);
+  register_module("b1_norm2", b1_norm2_);
+  register_module("b1_drop2", b1_drop2_);
+  register_module("b2_conv1", *b2_conv1_);
+  register_module("b2_norm1", b2_norm1_);
+  register_module("b2_drop1", b2_drop1_);
+  register_module("b2_conv2", *b2_conv2_);
+  register_module("b2_norm2", b2_norm2_);
+  register_module("b2_skip_conv", *b2_skip_conv_);
+  register_module("b2_skip_norm", b2_skip_norm_);
+  register_module("b2_drop2", b2_drop2_);
+  register_module("head", *head_);
+}
+
+ag::Variable BinaryResNet::forward(const Tensor& x) {
+  RIPPLE_CHECK(x.rank() == 4 && x.dim(1) == topo_.in_channels)
+      << "BinaryResNet expects [N," << topo_.in_channels << ",H,W], got "
+      << shape_to_string(x.shape());
+  ag::Variable v(x);
+
+  // Stem (full precision weights, binary output activation).
+  v = stem_sign_->forward(stem_norm_.forward(stem_conv_->forward(v)));
+
+  // Stage 1: two binary convs with identity shortcut.
+  {
+    ag::Variable identity = v;
+    ag::Variable y = b1_sign1_->forward(b1_norm1_.forward(
+        b1_conv1_->forward(v)));
+    y = b1_drop1_.forward(y);
+    y = b1_norm2_.forward(b1_conv2_->forward(y));
+    v = b1_sign2_->forward(ag::add(y, identity));
+    v = b1_drop2_.forward(v);
+  }
+
+  // Stage 2: downsampling block with projection shortcut.
+  {
+    ag::Variable y = b2_sign1_->forward(b2_norm1_.forward(
+        b2_conv1_->forward(v)));
+    y = b2_drop1_.forward(y);
+    y = b2_norm2_.forward(b2_conv2_->forward(y));
+    ag::Variable skip = b2_skip_norm_.forward(b2_skip_conv_->forward(v));
+    v = b2_sign2_->forward(ag::add(y, skip));
+    v = b2_drop2_.forward(v);
+  }
+
+  v = ag::global_avg_pool2d(v);
+  return head_->forward(v);
+}
+
+void BinaryResNet::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
+
+void BinaryResNet::deploy() {
+  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
+  for (fault::FaultTarget& t : targets_) {
+    if (t.quantizer == nullptr) continue;
+    Tensor& w = t.param->var.value();
+    t.quantizer->calibrate(w);
+    w.copy_from(
+        t.quantizer->decode(t.quantizer->encode(w), w.shape()));
+  }
+  // Weight transforms become identity: the deployed values already are the
+  // hardware weights.
+  for (auto* conv :
+       {b1_conv1_.get(), b1_conv2_.get(), b2_conv1_.get(), b2_conv2_.get(),
+        b2_skip_conv_.get()})
+    conv->set_weight_transform(nullptr);
+  deployed_ = true;
+}
+
+std::vector<fault::FaultTarget> BinaryResNet::fault_targets() {
+  return targets_;
+}
+
+}  // namespace ripple::models

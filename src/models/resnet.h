@@ -1,0 +1,84 @@
+// Binarized residual CNN — the ResNet-18/CIFAR-10 stand-in (W/A = 1/1).
+//
+// Scaled to the synthetic 10-class image task: full-precision stem and
+// classifier head (standard binary-NN practice, cf. IR-Net [18]), two
+// residual stages of binary 3×3 convolutions with sign activations, and
+// the variant-dependent normalization stack from BlockFactory. Activations
+// binarize through SignActivation, whose pre-sign input is the injection
+// point for conductance variation (§IV-A2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/block_factory.h"
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "quant/quantizer.h"
+
+namespace ripple::models {
+
+class BinaryResNet : public TaskModel {
+ public:
+  struct Topology {
+    int64_t in_channels = 3;
+    int64_t classes = 10;
+    int64_t width = 12;  // stage-1 channels; stage 2 doubles
+  };
+
+  BinaryResNet(Topology topo, VariantConfig config, Rng* rng = nullptr);
+
+  autograd::Variable forward(const Tensor& x) override;
+  void set_mc_mode(bool on) override;
+  void deploy() override;
+  std::vector<fault::FaultTarget> fault_targets() override;
+  bool binary_weights() const override { return true; }
+  const char* name() const override { return "resnet"; }
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  /// Binary conv: registers an owned BinaryQuantizer as weight transform.
+  std::unique_ptr<nn::Conv2d> make_binary_conv(int64_t cin, int64_t cout,
+                                               int64_t k, int64_t stride,
+                                               int64_t pad);
+
+  Topology topo_;
+  BlockFactory factory_;
+  std::vector<std::unique_ptr<quant::Quantizer>> quantizers_;
+  std::vector<fault::FaultTarget> targets_;
+
+  // Stem (full precision).
+  std::unique_ptr<nn::Conv2d> stem_conv_;
+  nn::Sequential stem_norm_;
+  std::unique_ptr<nn::SignActivation> stem_sign_;
+
+  // Stage 1 (width → width).
+  std::unique_ptr<nn::Conv2d> b1_conv1_;
+  nn::Sequential b1_norm1_;
+  std::unique_ptr<nn::SignActivation> b1_sign1_;
+  nn::Sequential b1_drop1_;
+  std::unique_ptr<nn::Conv2d> b1_conv2_;
+  nn::Sequential b1_norm2_;
+  std::unique_ptr<nn::SignActivation> b1_sign2_;
+  nn::Sequential b1_drop2_;
+
+  // Stage 2 (width → 2·width, stride 2) with projection shortcut.
+  std::unique_ptr<nn::Conv2d> b2_conv1_;
+  nn::Sequential b2_norm1_;
+  std::unique_ptr<nn::SignActivation> b2_sign1_;
+  nn::Sequential b2_drop1_;
+  std::unique_ptr<nn::Conv2d> b2_conv2_;
+  nn::Sequential b2_norm2_;
+  std::unique_ptr<nn::Conv2d> b2_skip_conv_;
+  nn::Sequential b2_skip_norm_;
+  std::unique_ptr<nn::SignActivation> b2_sign2_;
+  nn::Sequential b2_drop2_;
+
+  // Head (full precision).
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace ripple::models

@@ -1,0 +1,12 @@
+#include "models/task_model.h"
+
+#include "autograd/variable.h"
+
+namespace ripple::models {
+
+Tensor TaskModel::predict(const Tensor& x) {
+  autograd::NoGradGuard no_grad;
+  return forward(x).value();
+}
+
+}  // namespace ripple::models

@@ -1,0 +1,77 @@
+// Common interface of the four evaluated topologies.
+//
+// Lifecycle of a fault experiment:
+//   construct → train (QAT transforms active) → deploy() → FaultInjector
+//   over fault_targets() → MC evaluation with set_mc_mode(true).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/module.h"
+#include "core/affine_dropout.h"
+#include "core/init.h"
+#include "fault/injector.h"
+#include "models/variants.h"
+#include "nn/noise.h"
+
+namespace ripple::models {
+
+/// Hyper-parameters shared by every topology/variant combination.
+struct VariantConfig {
+  Variant variant = Variant::kProposed;
+  /// Dropout probability for both conventional MC-Dropout baselines and the
+  /// proposed affine dropout (paper: 0.3 everywhere).
+  float dropout_p = 0.3f;
+  /// Affine-parameter init for the proposed inverted norm (paper: N, σ=0.3).
+  core::AffineInit init;
+  /// Granularity of the affine dropout (paper deploys vector-wise).
+  core::DropGranularity granularity = core::DropGranularity::kVectorWise;
+  /// Ablation switch: affine before (true, paper) or after normalization.
+  bool affine_first = true;
+};
+
+class TaskModel : public autograd::Module {
+ public:
+  explicit TaskModel(VariantConfig config)
+      : config_(config),
+        noise_(std::make_shared<nn::ActivationNoiseConfig>()) {}
+
+  const VariantConfig& config() const { return config_; }
+  Variant variant() const { return config_.variant; }
+
+  /// Builds the autograd graph; output semantics depend on the task
+  /// (class logits / pixel logits / regression value).
+  virtual autograd::Variable forward(const Tensor& x) = 0;
+
+  /// Inference without graph construction.
+  Tensor predict(const Tensor& x);
+
+  /// Keeps the stochastic layers sampling in eval mode (MC inference).
+  virtual void set_mc_mode(bool on) = 0;
+
+  /// Freezes quantizers and replaces latent weights with their deployed
+  /// quantized values; weight transforms become identity afterwards.
+  virtual void deploy() = 0;
+  bool deployed() const { return deployed_; }
+
+  /// Parameters eligible for fault injection with their bit codecs.
+  virtual std::vector<fault::FaultTarget> fault_targets() = 0;
+
+  /// Activation-noise hook shared by this model's activation layers.
+  const nn::ActivationNoisePtr& noise() const { return noise_; }
+
+  /// True when the deployed weights are 1-bit — variation is then injected
+  /// into pre-activation values rather than weights (§IV-A2).
+  virtual bool binary_weights() const = 0;
+
+  /// Short identifier for caching/reporting, e.g. "resnet".
+  virtual const char* name() const = 0;
+
+ protected:
+  VariantConfig config_;
+  nn::ActivationNoisePtr noise_;
+  bool deployed_ = false;
+};
+
+}  // namespace ripple::models

@@ -1,0 +1,97 @@
+#include "models/trainer.h"
+
+#include <cstdio>
+
+#include "autograd/loss.h"
+#include "autograd/optimizer.h"
+
+namespace ripple::models {
+namespace {
+
+namespace ag = ripple::autograd;
+
+/// Generic epoch loop; `step` consumes one batch index list and returns the
+/// batch loss.
+TrainLog run_epochs(TaskModel& model, int64_t n, const TrainConfig& config,
+                    const std::function<double(const std::vector<int64_t>&)>&
+                        step) {
+  RIPPLE_CHECK(n > 0) << "empty training set";
+  model.set_training(true);
+  Rng shuffle_rng(config.seed);
+  TrainLog log;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<int64_t> order = data::shuffled_indices(n, shuffle_rng);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    for (auto [begin, end] : data::batch_ranges(n, config.batch_size)) {
+      std::vector<int64_t> idx(order.begin() + begin, order.begin() + end);
+      epoch_loss += step(idx);
+      ++batches;
+    }
+    log.epoch_losses.push_back(epoch_loss / static_cast<double>(batches));
+    if (config.verbose)
+      std::fprintf(stderr, "  epoch %d/%d loss %.4f\n", epoch + 1,
+                   config.epochs, log.epoch_losses.back());
+  }
+  model.set_training(false);
+  return log;
+}
+
+}  // namespace
+
+TrainLog train_classifier(TaskModel& model,
+                          const data::ClassificationData& train,
+                          const TrainConfig& config) {
+  ag::Adam opt(model.parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+               config.weight_decay);
+  return run_epochs(model, train.size(), config,
+                    [&](const std::vector<int64_t>& idx) {
+                      Tensor xb = data::take_rows(train.x, idx);
+                      std::vector<int64_t> yb;
+                      yb.reserve(idx.size());
+                      for (int64_t i : idx)
+                        yb.push_back(train.y[static_cast<size_t>(i)]);
+                      opt.zero_grad();
+                      ag::Variable loss =
+                          ag::cross_entropy_loss(model.forward(xb), yb);
+                      loss.backward();
+                      opt.step();
+                      return static_cast<double>(loss.value().item());
+                    });
+}
+
+TrainLog train_regressor(TaskModel& model, const data::SeriesData& train,
+                         const TrainConfig& config) {
+  ag::Adam opt(model.parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+               config.weight_decay);
+  return run_epochs(model, train.size(), config,
+                    [&](const std::vector<int64_t>& idx) {
+                      Tensor xb = data::take_rows(train.windows, idx);
+                      Tensor yb = data::take_rows(train.targets, idx);
+                      opt.zero_grad();
+                      ag::Variable loss = ag::mse_loss(model.forward(xb), yb);
+                      loss.backward();
+                      opt.step();
+                      return static_cast<double>(loss.value().item());
+                    });
+}
+
+TrainLog train_segmenter(TaskModel& model,
+                         const data::SegmentationData& train,
+                         const TrainConfig& config) {
+  ag::Adam opt(model.parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+               config.weight_decay);
+  return run_epochs(model, train.size(), config,
+                    [&](const std::vector<int64_t>& idx) {
+                      Tensor xb = data::take_rows(train.images, idx);
+                      Tensor yb = data::take_rows(train.masks, idx);
+                      opt.zero_grad();
+                      ag::Variable loss =
+                          ag::bce_with_logits_loss(model.forward(xb), yb);
+                      loss.backward();
+                      opt.step();
+                      return static_cast<double>(loss.value().item());
+                    });
+}
+
+}  // namespace ripple::models

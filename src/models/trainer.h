@@ -1,0 +1,44 @@
+// Shared training loops (Adam + task loss) for the four topologies.
+//
+// Weight decay is part of the Bayesian story: MC-Dropout training with L2
+// regularization approximates a Gaussian-process posterior (Gal &
+// Ghahramani, 2016), so a small weight_decay stays on by default.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/task_model.h"
+
+namespace ripple::models {
+
+struct TrainConfig {
+  int epochs = 8;
+  int64_t batch_size = 32;
+  float lr = 2e-3f;
+  float weight_decay = 1e-4f;
+  uint64_t seed = 1234;
+  bool verbose = false;
+};
+
+struct TrainLog {
+  std::vector<double> epoch_losses;
+  double final_loss() const {
+    return epoch_losses.empty() ? 0.0 : epoch_losses.back();
+  }
+};
+
+/// Softmax cross-entropy on class logits.
+TrainLog train_classifier(TaskModel& model,
+                          const data::ClassificationData& train,
+                          const TrainConfig& config);
+
+/// MSE on the normalized next-step target.
+TrainLog train_regressor(TaskModel& model, const data::SeriesData& train,
+                         const TrainConfig& config);
+
+/// Pixel-wise BCE-with-logits on segmentation masks.
+TrainLog train_segmenter(TaskModel& model, const data::SegmentationData& train,
+                         const TrainConfig& config);
+
+}  // namespace ripple::models

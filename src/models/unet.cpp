@@ -1,0 +1,83 @@
+#include "models/unet.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::models {
+
+namespace ag = ripple::autograd;
+
+int64_t UNet::groups_for(int64_t channels) const {
+  // Paper: groups of C_out/8 channels together → 8 groups when divisible.
+  return channels % 8 == 0 ? 8 : 1;
+}
+
+void UNet::make_stage(nn::Sequential& stage, int64_t cin, int64_t cout) {
+  auto& conv = stage.emplace<nn::Conv2d>(cin, cout, 3, /*stride=*/1,
+                                         /*pad=*/1, /*bias=*/false);
+  quantizers_.push_back(std::make_unique<quant::BinaryQuantizer>());
+  quant::Quantizer* q = quantizers_.back().get();
+  conv.set_weight_transform(
+      [q](const ag::Variable& w) { return q->apply(w); });
+  targets_.push_back({&conv.weight(), q});
+  transform_resets_.push_back(
+      [&conv] { conv.set_weight_transform(nullptr); });
+
+  factory_.add_norm(stage, cout, groups_for(cout));
+  stage.emplace<quant::PactActivation>(topo_.activation_bits, 4.0f, noise_);
+  factory_.add_dropout(stage);
+}
+
+UNet::UNet(Topology topo, VariantConfig config, Rng* rng)
+    : TaskModel(config), topo_(topo), factory_(config, rng) {
+  const int64_t c = topo_.base_channels;
+  make_stage(enc1_, 1, c);
+  make_stage(enc2_, c, 2 * c);
+  make_stage(bottleneck_, 2 * c, 4 * c);
+  make_stage(dec2_, 4 * c + 2 * c, 2 * c);
+  make_stage(dec1_, 2 * c + c, c);
+  pool_ = std::make_unique<nn::MaxPool2d>(2);
+  out_conv_ = std::make_unique<nn::Conv2d>(c, 1, 1, /*stride=*/1, /*pad=*/0,
+                                           /*bias=*/true);
+  targets_.push_back({&out_conv_->weight(), nullptr});
+
+  register_module("enc1", enc1_);
+  register_module("enc2", enc2_);
+  register_module("bottleneck", bottleneck_);
+  register_module("dec2", dec2_);
+  register_module("dec1", dec1_);
+  register_module("out_conv", *out_conv_);
+}
+
+ag::Variable UNet::forward(const Tensor& x) {
+  RIPPLE_CHECK(x.rank() == 4 && x.dim(1) == 1)
+      << "UNet expects [N,1,H,W], got " << shape_to_string(x.shape());
+  RIPPLE_CHECK(x.dim(2) % 4 == 0 && x.dim(3) % 4 == 0)
+      << "UNet needs H,W divisible by 4";
+  ag::Variable v(x);
+  ag::Variable e1 = enc1_.forward(v);                    // [N, c,  H,  W]
+  ag::Variable e2 = enc2_.forward(pool_->forward(e1));   // [N, 2c, H/2,W/2]
+  ag::Variable b = bottleneck_.forward(pool_->forward(e2));  // [N,4c,H/4,..]
+  ag::Variable u2 = ag::upsample_nearest2x(b);            // [N,4c,H/2,..]
+  ag::Variable d2 = dec2_.forward(ag::concat_channels(u2, e2));
+  ag::Variable u1 = ag::upsample_nearest2x(d2);           // [N,2c,H,W]
+  ag::Variable d1 = dec1_.forward(ag::concat_channels(u1, e1));
+  return out_conv_->forward(d1);
+}
+
+void UNet::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
+
+void UNet::deploy() {
+  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
+  for (fault::FaultTarget& t : targets_) {
+    if (t.quantizer == nullptr) continue;
+    Tensor& w = t.param->var.value();
+    t.quantizer->calibrate(w);
+    w.copy_from(t.quantizer->decode(t.quantizer->encode(w), w.shape()));
+  }
+  for (auto& reset : transform_resets_) reset();
+  deployed_ = true;
+}
+
+std::vector<fault::FaultTarget> UNet::fault_targets() { return targets_; }
+
+}  // namespace ripple::models

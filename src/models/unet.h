@@ -1,0 +1,64 @@
+// Small U-Net for vessel segmentation — the DRIVE stand-in (W/A = 1/4).
+//
+// Encoder-decoder with skip connections: two encoder stages, a bottleneck,
+// and two decoder stages consuming nearest-neighbour-upsampled features
+// concatenated with the matching encoder output. Conv weights are binary
+// (BinaryQuantizer); activations quantize to 4 bits via PACT, matching the
+// paper's U-Net precision. The proposed variant normalizes over channel
+// groups of C_out/8 (GroupNorm-style, §IV-A1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "models/block_factory.h"
+#include "nn/conv.h"
+#include "nn/pooling.h"
+#include "quant/pact.h"
+#include "quant/quantizer.h"
+
+namespace ripple::models {
+
+class UNet : public TaskModel {
+ public:
+  struct Topology {
+    int64_t base_channels = 8;  // encoder stage 1; deeper stages double
+    int activation_bits = 4;
+  };
+
+  UNet(Topology topo, VariantConfig config, Rng* rng = nullptr);
+
+  /// x is [N,1,H,W] (H, W divisible by 4); returns per-pixel logits of the
+  /// same shape.
+  autograd::Variable forward(const Tensor& x) override;
+  void set_mc_mode(bool on) override;
+  void deploy() override;
+  std::vector<fault::FaultTarget> fault_targets() override;
+  bool binary_weights() const override { return true; }
+  const char* name() const override { return "unet"; }
+
+  const Topology& topology() const { return topo_; }
+
+ private:
+  /// conv(binary) → variant norm (grouped for proposed) → PACT → dropout,
+  /// packaged as one Sequential stage.
+  void make_stage(nn::Sequential& stage, int64_t cin, int64_t cout);
+
+  int64_t groups_for(int64_t channels) const;
+
+  Topology topo_;
+  BlockFactory factory_;
+  std::vector<std::unique_ptr<quant::Quantizer>> quantizers_;
+  std::vector<fault::FaultTarget> targets_;
+  std::vector<std::function<void()>> transform_resets_;
+
+  nn::Sequential enc1_;
+  nn::Sequential enc2_;
+  nn::Sequential bottleneck_;
+  nn::Sequential dec2_;
+  nn::Sequential dec1_;
+  std::unique_ptr<nn::MaxPool2d> pool_;
+  std::unique_ptr<nn::Conv2d> out_conv_;  // full precision 1×1 head
+};
+
+}  // namespace ripple::models

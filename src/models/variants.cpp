@@ -1,0 +1,28 @@
+#include "models/variants.h"
+
+namespace ripple::models {
+
+const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::kConventional:
+      return "NN";
+    case Variant::kSpinDrop:
+      return "SpinDrop";
+    case Variant::kSpatialSpinDrop:
+      return "SpatialSpinDrop";
+    case Variant::kProposed:
+      return "Proposed";
+  }
+  return "unknown";
+}
+
+std::vector<Variant> all_variants() {
+  return {Variant::kConventional, Variant::kSpinDrop,
+          Variant::kSpatialSpinDrop, Variant::kProposed};
+}
+
+int mc_samples_for(Variant v, int requested) {
+  return v == Variant::kConventional ? 1 : requested;
+}
+
+}  // namespace ripple::models

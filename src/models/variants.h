@@ -1,0 +1,29 @@
+// The four method variants compared throughout the paper's evaluation
+// (Table I, Figs. 5-6):
+//   Conventional      — plain NN: BatchNorm, no dropout, deterministic.
+//   SpinDrop [8]      — Dropout-based Bayesian NN (element-wise MC-Dropout).
+//   SpatialSpinDrop [7]— spatial (channel-wise) MC-Dropout.
+//   Proposed          — inverted normalization + affine dropout (this paper).
+#pragma once
+
+#include <vector>
+
+namespace ripple::models {
+
+enum class Variant {
+  kConventional,
+  kSpinDrop,
+  kSpatialSpinDrop,
+  kProposed,
+};
+
+const char* variant_name(Variant v);
+
+/// All four, in the paper's table order.
+std::vector<Variant> all_variants();
+
+/// Bayesian variants sample multiple stochastic passes; the conventional
+/// NN is deterministic, so one pass suffices.
+int mc_samples_for(Variant v, int requested);
+
+}  // namespace ripple::models

@@ -1,0 +1,132 @@
+#include "models/zoo.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "tensor/check.h"
+#include "tensor/env.h"
+
+namespace ripple::models {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'P', 'L', 'M'};
+
+void write_string(std::ofstream& out, const std::string& s) {
+  const auto len = static_cast<uint32_t>(s.size());
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in) {
+  uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!in || len > (1u << 20)) throw std::runtime_error("corrupt state file");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  return s;
+}
+
+void write_tensor(std::ofstream& out, const Tensor& t) {
+  const int32_t rank = t.rank();
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int64_t d : t.shape())
+    out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+void read_tensor_into(std::ifstream& in, Tensor& t, const std::string& name) {
+  int32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || rank != t.rank())
+    throw std::runtime_error("state rank mismatch for " + name);
+  for (int i = 0; i < rank; ++i) {
+    int64_t d = 0;
+    in.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!in || d != t.dim(i))
+      throw std::runtime_error("state shape mismatch for " + name);
+  }
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("truncated state for " + name);
+}
+
+}  // namespace
+
+std::string model_cache_dir() {
+  return env_string("RIPPLE_MODEL_CACHE", "ripple_model_cache");
+}
+
+void save_state(autograd::Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_state: cannot open " + path);
+  out.write(kMagic, 4);
+  const auto params = module.parameters();
+  const auto buffers = module.buffers();
+  const auto n_params = static_cast<uint32_t>(params.size());
+  const auto n_buffers = static_cast<uint32_t>(buffers.size());
+  out.write(reinterpret_cast<const char*>(&n_params), sizeof(n_params));
+  for (auto* p : params) {
+    write_string(out, p->name);
+    write_tensor(out, p->var.value());
+  }
+  out.write(reinterpret_cast<const char*>(&n_buffers), sizeof(n_buffers));
+  for (auto& b : buffers) {
+    write_string(out, b.name);
+    write_tensor(out, *b.tensor);
+  }
+  if (!out) throw std::runtime_error("save_state: write failed " + path);
+}
+
+bool load_state(autograd::Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_state: bad magic in " + path);
+  const auto params = module.parameters();
+  const auto buffers = module.buffers();
+  uint32_t n_params = 0;
+  in.read(reinterpret_cast<char*>(&n_params), sizeof(n_params));
+  if (n_params != params.size())
+    throw std::runtime_error("load_state: parameter count mismatch in " +
+                             path);
+  for (auto* p : params) {
+    const std::string name = read_string(in);
+    if (name != p->name)
+      throw std::runtime_error("load_state: expected parameter " + p->name +
+                               ", found " + name);
+    read_tensor_into(in, p->var.value(), name);
+  }
+  uint32_t n_buffers = 0;
+  in.read(reinterpret_cast<char*>(&n_buffers), sizeof(n_buffers));
+  if (n_buffers != buffers.size())
+    throw std::runtime_error("load_state: buffer count mismatch in " + path);
+  for (auto& b : buffers) {
+    const std::string name = read_string(in);
+    if (name != b.name)
+      throw std::runtime_error("load_state: expected buffer " + b.name +
+                               ", found " + name);
+    read_tensor_into(in, *b.tensor, name);
+  }
+  return true;
+}
+
+bool train_or_load(autograd::Module& model, const std::string& cache_key,
+                   const std::function<void()>& train_fn) {
+  const std::string dir = model_cache_dir();
+  if (dir.empty()) {
+    train_fn();
+    return false;
+  }
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + cache_key + ".rplm";
+  if (load_state(model, path)) return true;
+  train_fn();
+  save_state(model, path);
+  return false;
+}
+
+}  // namespace ripple::models

@@ -1,0 +1,33 @@
+// Model state persistence and the train-or-load cache used by benches.
+//
+// Bench binaries share trained models (e.g. Table I and Fig. 5a both need
+// the four image classifiers); caching trained state under
+// RIPPLE_MODEL_CACHE (default "ripple_model_cache/") makes each subsequent
+// bench start from the same trained weights instantly and keeps the whole
+// suite reproducible.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "autograd/module.h"
+
+namespace ripple::models {
+
+/// Directory for cached model state; created on demand. Set
+/// RIPPLE_MODEL_CACHE=  (empty) to disable caching.
+std::string model_cache_dir();
+
+/// Serializes all parameters and buffers (names + tensors).
+void save_state(autograd::Module& module, const std::string& path);
+
+/// Restores state saved by save_state. Returns false when the file is
+/// missing; throws on name/shape mismatch (stale cache — delete it).
+bool load_state(autograd::Module& module, const std::string& path);
+
+/// Loads `<cache_dir>/<cache_key>.rplm` if present, otherwise runs
+/// train_fn and saves. Returns true when the cache was hit.
+bool train_or_load(autograd::Module& model, const std::string& cache_key,
+                   const std::function<void()>& train_fn);
+
+}  // namespace ripple::models

@@ -1,0 +1,56 @@
+#include "nn/activation.h"
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+
+namespace ripple::nn {
+
+autograd::Variable Relu::forward(const autograd::Variable& x) {
+  return autograd::relu(x);
+}
+
+autograd::Variable Sigmoid::forward(const autograd::Variable& x) {
+  return autograd::sigmoid(x);
+}
+
+autograd::Variable Tanh::forward(const autograd::Variable& x) {
+  return autograd::tanh_op(x);
+}
+
+autograd::Variable Identity::forward(const autograd::Variable& x) {
+  return x;
+}
+
+autograd::Variable apply_activation_noise(const autograd::Variable& x,
+                                          ActivationNoiseConfig& cfg) {
+  autograd::Variable y = x;
+  Rng& rng = cfg.generator();
+  if (cfg.multiplicative_std > 0.0f) {
+    // y *= (1 + n), n ~ N(0, σ_mul)
+    Tensor factor =
+        Tensor::randn(y.shape(), rng, 1.0f, cfg.multiplicative_std);
+    y = autograd::mul(y, autograd::Variable(std::move(factor)));
+  }
+  if (cfg.additive_std > 0.0f) {
+    Tensor offset = Tensor::randn(y.shape(), rng, 0.0f, cfg.additive_std);
+    y = autograd::add(y, autograd::Variable(std::move(offset)));
+  }
+  if (cfg.uniform_range > 0.0f) {
+    Tensor offset = Tensor::uniform(y.shape(), rng, -cfg.uniform_range,
+                                    cfg.uniform_range);
+    y = autograd::add(y, autograd::Variable(std::move(offset)));
+  }
+  return y;
+}
+
+SignActivation::SignActivation(ActivationNoisePtr noise, float ste_clip)
+    : noise_(std::move(noise)), ste_clip_(ste_clip) {}
+
+autograd::Variable SignActivation::forward(const autograd::Variable& x) {
+  autograd::Variable y = x;
+  if (noise_ != nullptr && noise_->enabled)
+    y = apply_activation_noise(y, *noise_);
+  return autograd::sign_ste(y, ste_clip_);
+}
+
+}  // namespace ripple::nn

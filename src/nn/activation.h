@@ -1,0 +1,52 @@
+// Activation layers.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/noise.h"
+
+namespace ripple::nn {
+
+class Relu : public Layer {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+};
+
+class Sigmoid : public Layer {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+};
+
+class Tanh : public Layer {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+};
+
+class Identity : public Layer {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+};
+
+/// Binary activation sign(x) ∈ {-1,+1} with clipped straight-through
+/// gradient. If an ActivationNoiseConfig is attached and enabled, noise is
+/// injected into the pre-sign activation — the paper's injection point for
+/// conductance variation in binary networks (§IV-A2).
+class SignActivation : public Layer {
+ public:
+  explicit SignActivation(ActivationNoisePtr noise = nullptr,
+                          float ste_clip = 1.0f);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  const ActivationNoisePtr& noise() const { return noise_; }
+
+ private:
+  ActivationNoisePtr noise_;
+  float ste_clip_;
+};
+
+/// Applies the configured noise (additive / multiplicative / uniform) to x
+/// as a graph constant; shared by SignActivation and quantized activations.
+autograd::Variable apply_activation_noise(const autograd::Variable& x,
+                                          ActivationNoiseConfig& cfg);
+
+}  // namespace ripple::nn

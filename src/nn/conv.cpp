@@ -1,0 +1,75 @@
+#include "nn/conv.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::nn {
+namespace {
+
+float kaiming_bound(int64_t fan_in) {
+  return 1.0f / std::sqrt(static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  RIPPLE_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0)
+      << "Conv2d dims must be positive";
+  const float bound = kaiming_bound(in_channels * kernel * kernel);
+  weight_ = &register_parameter(
+      "weight",
+      Tensor::uniform({out_channels, in_channels, kernel, kernel},
+                      global_rng(), -bound, bound),
+      autograd::ParamKind::kWeight);
+  if (bias) {
+    bias_ = &register_parameter(
+        "bias", Tensor::uniform({out_channels}, global_rng(), -bound, bound),
+        autograd::ParamKind::kBias);
+  }
+}
+
+autograd::Variable Conv2d::forward(const autograd::Variable& x) {
+  autograd::Variable w = transform_ ? transform_(weight_->var) : weight_->var;
+  return autograd::conv2d(
+      x, w, bias_ != nullptr ? bias_->var : autograd::Variable(), stride_,
+      pad_);
+}
+
+Conv1d::Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+               int64_t stride, int64_t pad, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  RIPPLE_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0)
+      << "Conv1d dims must be positive";
+  const float bound = kaiming_bound(in_channels * kernel);
+  weight_ = &register_parameter(
+      "weight",
+      Tensor::uniform({out_channels, in_channels, kernel}, global_rng(),
+                      -bound, bound),
+      autograd::ParamKind::kWeight);
+  if (bias) {
+    bias_ = &register_parameter(
+        "bias", Tensor::uniform({out_channels}, global_rng(), -bound, bound),
+        autograd::ParamKind::kBias);
+  }
+}
+
+autograd::Variable Conv1d::forward(const autograd::Variable& x) {
+  autograd::Variable w = transform_ ? transform_(weight_->var) : weight_->var;
+  return autograd::conv1d(
+      x, w, bias_ != nullptr ? bias_->var : autograd::Variable(), stride_,
+      pad_);
+}
+
+}  // namespace ripple::nn

@@ -1,0 +1,60 @@
+// 1-d and 2-d convolution layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ripple::nn {
+
+/// 2-d convolution over [N,Cin,H,W] with square kernels.
+class Conv2d : public Layer {
+ public:
+  Conv2d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride = 1, int64_t pad = 0, bool bias = true);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  void set_weight_transform(WeightTransform t) { transform_ = std::move(t); }
+  autograd::Parameter& weight() { return *weight_; }
+  autograd::Parameter* bias() { return bias_; }
+
+  int64_t in_channels() const { return in_channels_; }
+  int64_t out_channels() const { return out_channels_; }
+  int64_t kernel() const { return kernel_; }
+  int64_t stride() const { return stride_; }
+  int64_t pad() const { return pad_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t pad_;
+  autograd::Parameter* weight_ = nullptr;
+  autograd::Parameter* bias_ = nullptr;
+  WeightTransform transform_;
+};
+
+/// 1-d convolution over [N,Cin,L].
+class Conv1d : public Layer {
+ public:
+  Conv1d(int64_t in_channels, int64_t out_channels, int64_t kernel,
+         int64_t stride = 1, int64_t pad = 0, bool bias = true);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  void set_weight_transform(WeightTransform t) { transform_ = std::move(t); }
+  autograd::Parameter& weight() { return *weight_; }
+  autograd::Parameter* bias() { return bias_; }
+
+ private:
+  int64_t in_channels_;
+  int64_t out_channels_;
+  int64_t kernel_;
+  int64_t stride_;
+  int64_t pad_;
+  autograd::Parameter* weight_ = nullptr;
+  autograd::Parameter* bias_ = nullptr;
+  WeightTransform transform_;
+};
+
+}  // namespace ripple::nn

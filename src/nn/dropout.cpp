@@ -1,0 +1,42 @@
+#include "nn/dropout.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::nn {
+
+Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {
+  RIPPLE_CHECK(p >= 0.0f && p < 1.0f) << "dropout p must be in [0,1), got "
+                                      << p;
+}
+
+autograd::Variable Dropout::forward(const autograd::Variable& x) {
+  if (!active() || p_ == 0.0f) return x;
+  Rng& rng = rng_ != nullptr ? *rng_ : global_rng();
+  Tensor mask = Tensor::bernoulli(x.shape(), rng, 1.0f - p_);
+  return autograd::apply_mask(x, mask, 1.0f / (1.0f - p_));
+}
+
+SpatialDropout::SpatialDropout(float p, Rng* rng) : p_(p), rng_(rng) {
+  RIPPLE_CHECK(p >= 0.0f && p < 1.0f)
+      << "spatial dropout p must be in [0,1), got " << p;
+}
+
+autograd::Variable SpatialDropout::forward(const autograd::Variable& x) {
+  if (!active() || p_ == 0.0f) return x;
+  RIPPLE_CHECK(x.value().rank() >= 2)
+      << "SpatialDropout needs [N,C,...] input";
+  Rng& rng = rng_ != nullptr ? *rng_ : global_rng();
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  int64_t inner = 1;
+  for (int d = 2; d < x.value().rank(); ++d) inner *= x.dim(d);
+  Tensor mask(x.shape());
+  float* pm = mask.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float keep = rng.bernoulli(1.0f - p_) ? 1.0f : 0.0f;
+    for (int64_t k = 0; k < inner; ++k) pm[i * inner + k] = keep;
+  }
+  return autograd::apply_mask(x, mask, 1.0f / (1.0f - p_));
+}
+
+}  // namespace ripple::nn

@@ -1,0 +1,56 @@
+// Dropout layers.
+//
+// Dropout is the Bayesian-approximation mechanism of the baselines the
+// paper compares against: element-wise MC-Dropout corresponds to
+// SpinDrop [8]; channel-wise spatial dropout corresponds to
+// SpatialSpinDrop [7]. Both use inverted scaling (·1/(1−p)) and stay
+// *active at inference* when `mc_mode` is on, which is how Bayesian
+// MC-sampling is realized.
+#pragma once
+
+#include "nn/layer.h"
+#include "tensor/random.h"
+
+namespace ripple::nn {
+
+/// Element-wise Bernoulli dropout.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float p, Rng* rng = nullptr);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  /// When true, masks are sampled in eval mode too (MC-Dropout inference).
+  void set_mc_mode(bool on) { mc_mode_ = on; }
+  bool mc_mode() const { return mc_mode_; }
+  float p() const { return p_; }
+
+ private:
+  bool active() const { return training() || mc_mode_; }
+
+  float p_;
+  bool mc_mode_ = false;
+  Rng* rng_;
+};
+
+/// Spatial (channel-wise) dropout: drops whole feature maps of [N,C,...]
+/// tensors — one Bernoulli draw per (sample, channel).
+class SpatialDropout : public Layer {
+ public:
+  explicit SpatialDropout(float p, Rng* rng = nullptr);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  void set_mc_mode(bool on) { mc_mode_ = on; }
+  bool mc_mode() const { return mc_mode_; }
+  float p() const { return p_; }
+
+ private:
+  bool active() const { return training() || mc_mode_; }
+
+  float p_;
+  bool mc_mode_ = false;
+  Rng* rng_;
+};
+
+}  // namespace ripple::nn

@@ -1,0 +1,53 @@
+// Layer interface and Sequential container.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "autograd/module.h"
+#include "autograd/variable.h"
+
+namespace ripple::nn {
+
+/// A module with a single-tensor forward. Recurrent layers (LSTM) do not
+/// implement this interface; they operate on sequences.
+class Layer : public autograd::Module {
+ public:
+  virtual autograd::Variable forward(const autograd::Variable& x) = 0;
+};
+
+/// Owns an ordered list of layers and applies them in sequence.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Constructs L in place, registers it, and returns a reference.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    register_module("layer" + std::to_string(layers_.size()), ref);
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  autograd::Variable forward(const autograd::Variable& x) override {
+    autograd::Variable y = x;
+    for (auto& layer : layers_) y = layer->forward(y);
+    return y;
+  }
+
+  size_t size() const { return layers_.size(); }
+  Layer& at(size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Weight transformation hook applied at every forward (e.g. binarization
+/// or fake quantization for QAT). Null means identity.
+using WeightTransform =
+    std::function<autograd::Variable(const autograd::Variable&)>;
+
+}  // namespace ripple::nn

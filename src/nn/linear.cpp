@@ -1,0 +1,35 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  RIPPLE_CHECK(in_features > 0 && out_features > 0)
+      << "Linear dims must be positive";
+  const float bound =
+      1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = &register_parameter(
+      "weight",
+      Tensor::uniform({out_features, in_features}, global_rng(), -bound,
+                      bound),
+      autograd::ParamKind::kWeight);
+  if (bias) {
+    bias_ = &register_parameter(
+        "bias", Tensor::uniform({out_features}, global_rng(), -bound, bound),
+        autograd::ParamKind::kBias);
+  }
+}
+
+autograd::Variable Linear::forward(const autograd::Variable& x) {
+  autograd::Variable w =
+      transform_ ? transform_(weight_->var) : weight_->var;
+  return autograd::linear(x, w,
+                          bias_ != nullptr ? bias_->var : autograd::Variable());
+}
+
+}  // namespace ripple::nn

@@ -1,0 +1,33 @@
+// Fully-connected layer.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ripple::nn {
+
+/// y = x · Wᵀ + b, with an optional weight transform (binarize / quantize)
+/// applied to W on every forward.
+class Linear : public Layer {
+ public:
+  /// Kaiming-uniform initialization. `bias=false` omits the bias term.
+  Linear(int64_t in_features, int64_t out_features, bool bias = true);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  void set_weight_transform(WeightTransform t) { transform_ = std::move(t); }
+
+  autograd::Parameter& weight() { return *weight_; }
+  autograd::Parameter* bias() { return bias_; }
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  autograd::Parameter* weight_ = nullptr;
+  autograd::Parameter* bias_ = nullptr;
+  WeightTransform transform_;
+};
+
+}  // namespace ripple::nn

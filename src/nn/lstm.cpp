@@ -1,0 +1,105 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  RIPPLE_CHECK(input_size > 0 && hidden_size > 0)
+      << "LstmCell dims must be positive";
+  const float bound = 1.0f / std::sqrt(static_cast<float>(hidden_size));
+  w_ih_ = &register_parameter(
+      "weight_ih",
+      Tensor::uniform({4 * hidden_size, input_size}, global_rng(), -bound,
+                      bound),
+      autograd::ParamKind::kWeight);
+  w_hh_ = &register_parameter(
+      "weight_hh",
+      Tensor::uniform({4 * hidden_size, hidden_size}, global_rng(), -bound,
+                      bound),
+      autograd::ParamKind::kWeight);
+  // Forget-gate bias starts at +1 (standard trick for gradient flow).
+  Tensor bih = Tensor::uniform({4 * hidden_size}, global_rng(), -bound, bound);
+  for (int64_t i = hidden_size; i < 2 * hidden_size; ++i)
+    bih.data()[i] += 1.0f;
+  b_ih_ = &register_parameter("bias_ih", std::move(bih),
+                              autograd::ParamKind::kBias);
+  b_hh_ = &register_parameter(
+      "bias_hh", Tensor::uniform({4 * hidden_size}, global_rng(), -bound,
+                                 bound),
+      autograd::ParamKind::kBias);
+}
+
+LstmCell::State LstmCell::initial_state(int64_t n) const {
+  return {autograd::Variable(Tensor::zeros({n, hidden_size_})),
+          autograd::Variable(Tensor::zeros({n, hidden_size_}))};
+}
+
+LstmCell::State LstmCell::forward(const autograd::Variable& x,
+                                  const State& prev) {
+  namespace ag = ripple::autograd;
+  ag::Variable wih = transform_ ? transform_(w_ih_->var) : w_ih_->var;
+  ag::Variable whh = transform_ ? transform_(w_hh_->var) : w_hh_->var;
+  ag::Variable gates =
+      ag::add(ag::linear(x, wih, b_ih_->var),
+              ag::linear(prev.h, whh, b_hh_->var));  // [N, 4H]
+  const int64_t h = hidden_size_;
+  ag::Variable i_gate = ag::sigmoid(ag::slice_cols(gates, 0, h));
+  ag::Variable f_gate = ag::sigmoid(ag::slice_cols(gates, h, 2 * h));
+  ag::Variable g_gate = ag::tanh_op(ag::slice_cols(gates, 2 * h, 3 * h));
+  ag::Variable o_gate = ag::sigmoid(ag::slice_cols(gates, 3 * h, 4 * h));
+  ag::Variable c_next =
+      ag::add(ag::mul(f_gate, prev.c), ag::mul(i_gate, g_gate));
+  ag::Variable h_next = ag::mul(o_gate, ag::tanh_op(c_next));
+  return {h_next, c_next};
+}
+
+Lstm::Lstm(int64_t input_size, int64_t hidden_size, int64_t num_layers) {
+  RIPPLE_CHECK(num_layers >= 1) << "Lstm needs >= 1 layer";
+  for (int64_t l = 0; l < num_layers; ++l) {
+    cells_.push_back(std::make_unique<LstmCell>(
+        l == 0 ? input_size : hidden_size, hidden_size));
+    register_module("cell" + std::to_string(l), *cells_.back());
+  }
+}
+
+std::vector<autograd::Variable> Lstm::forward(const autograd::Variable& seq) {
+  namespace ag = ripple::autograd;
+  RIPPLE_CHECK(seq.value().rank() == 3) << "Lstm expects [N,T,F], got "
+                                        << shape_to_string(seq.shape());
+  const int64_t n = seq.dim(0);
+  const int64_t steps = seq.dim(1);
+
+  std::vector<ag::Variable> layer_in;
+  layer_in.reserve(static_cast<size_t>(steps));
+  for (int64_t t = 0; t < steps; ++t)
+    layer_in.push_back(ag::select_time(seq, t));
+
+  for (auto& cell : cells_) {
+    LstmCell::State state = cell->initial_state(n);
+    std::vector<ag::Variable> layer_out;
+    layer_out.reserve(layer_in.size());
+    for (const ag::Variable& x_t : layer_in) {
+      state = cell->forward(x_t, state);
+      layer_out.push_back(state.h);
+    }
+    layer_in = std::move(layer_out);
+  }
+  return layer_in;
+}
+
+autograd::Variable Lstm::forward_last(const autograd::Variable& seq) {
+  std::vector<autograd::Variable> hs = forward(seq);
+  RIPPLE_CHECK(!hs.empty()) << "empty sequence";
+  return hs.back();
+}
+
+void Lstm::set_weight_transform(const WeightTransform& t) {
+  for (auto& cell : cells_) cell->set_weight_transform(t);
+}
+
+}  // namespace ripple::nn

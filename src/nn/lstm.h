@@ -1,0 +1,68 @@
+// LSTM cell and multi-layer LSTM over [N,T,F] sequences.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace ripple::nn {
+
+/// Single LSTM cell (gate order i, f, g, o). Weights are stored packed as
+/// W_ih [4H, In] and W_hh [4H, H] so a weight transform (e.g. 8-bit
+/// fake-quant) can be applied to each matrix as a unit.
+class LstmCell : public autograd::Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size);
+
+  struct State {
+    autograd::Variable h;
+    autograd::Variable c;
+  };
+
+  /// One step: returns the new (h, c).
+  State forward(const autograd::Variable& x, const State& prev);
+
+  /// Zero initial state for a batch of n.
+  State initial_state(int64_t n) const;
+
+  void set_weight_transform(WeightTransform t) { transform_ = std::move(t); }
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+  autograd::Parameter& weight_ih() { return *w_ih_; }
+  autograd::Parameter& weight_hh() { return *w_hh_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  autograd::Parameter* w_ih_ = nullptr;
+  autograd::Parameter* w_hh_ = nullptr;
+  autograd::Parameter* b_ih_ = nullptr;
+  autograd::Parameter* b_hh_ = nullptr;
+  WeightTransform transform_;
+};
+
+/// Stack of LSTM layers consuming a [N,T,F] sequence; exposes the hidden
+/// sequence of the top layer.
+class Lstm : public autograd::Module {
+ public:
+  Lstm(int64_t input_size, int64_t hidden_size, int64_t num_layers);
+
+  /// Hidden states of the top layer for every timestep (length T).
+  std::vector<autograd::Variable> forward(const autograd::Variable& seq);
+
+  /// Convenience: last hidden state of the top layer, shape [N, H].
+  autograd::Variable forward_last(const autograd::Variable& seq);
+
+  void set_weight_transform(const WeightTransform& t);
+
+  LstmCell& cell(size_t layer) { return *cells_.at(layer); }
+  size_t num_layers() const { return cells_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<LstmCell>> cells_;
+};
+
+}  // namespace ripple::nn

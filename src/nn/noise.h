@@ -1,0 +1,32 @@
+// Activation-level noise injection hook.
+//
+// The paper injects NVM conductance variation into *normalized activations
+// before the Sign function* for binary networks (§IV-A2). Layers that
+// support this (SignActivation, InvertedNorm) hold a shared
+// ActivationNoiseConfig; the fault-injection harness flips `enabled` and
+// sets the strengths, so no layer rewiring is needed per experiment.
+#pragma once
+
+#include <memory>
+
+#include "tensor/random.h"
+
+namespace ripple::nn {
+
+struct ActivationNoiseConfig {
+  bool enabled = false;
+  /// N(0, additive_std) added to the activation.
+  float additive_std = 0.0f;
+  /// Activation multiplied by (1 + N(0, multiplicative_std)).
+  float multiplicative_std = 0.0f;
+  /// U(-uniform_range, +uniform_range) added to the activation.
+  float uniform_range = 0.0f;
+  /// Generator used for draws; falls back to global_rng() when null.
+  Rng* rng = nullptr;
+
+  Rng& generator() { return rng != nullptr ? *rng : global_rng(); }
+};
+
+using ActivationNoisePtr = std::shared_ptr<ActivationNoiseConfig>;
+
+}  // namespace ripple::nn

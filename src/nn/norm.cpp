@@ -1,0 +1,74 @@
+#include "nn/norm.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::nn {
+
+BatchNorm::BatchNorm(int64_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps) {
+  RIPPLE_CHECK(channels > 0) << "BatchNorm channels must be positive";
+  gamma_ = &register_parameter("gamma", Tensor::ones({channels}),
+                               autograd::ParamKind::kAffineWeight);
+  beta_ = &register_parameter("beta", Tensor::zeros({channels}),
+                              autograd::ParamKind::kAffineBias);
+  running_mean_ = Tensor::zeros({channels});
+  running_var_ = Tensor::ones({channels});
+  register_buffer("running_mean", running_mean_);
+  register_buffer("running_var", running_var_);
+}
+
+autograd::Variable BatchNorm::forward(const autograd::Variable& x) {
+  RIPPLE_CHECK(x.dim(1) == channels_)
+      << "BatchNorm expects " << channels_ << " channels, got " << x.dim(1);
+  autograd::Variable xhat = autograd::batch_normalize(
+      x, running_mean_, running_var_, training(), momentum_, eps_);
+  return autograd::add_channel(autograd::mul_channel(xhat, gamma_->var),
+                               beta_->var);
+}
+
+LayerNorm::LayerNorm(int64_t channels, float eps)
+    : channels_(channels), eps_(eps) {
+  RIPPLE_CHECK(channels > 0) << "LayerNorm channels must be positive";
+  gamma_ = &register_parameter("gamma", Tensor::ones({channels}),
+                               autograd::ParamKind::kAffineWeight);
+  beta_ = &register_parameter("beta", Tensor::zeros({channels}),
+                              autograd::ParamKind::kAffineBias);
+}
+
+autograd::Variable LayerNorm::forward(const autograd::Variable& x) {
+  RIPPLE_CHECK(x.dim(1) == channels_)
+      << "LayerNorm expects " << channels_ << " channels, got " << x.dim(1);
+  autograd::Variable xhat = autograd::group_normalize(x, /*groups=*/1, eps_);
+  return autograd::add_channel(autograd::mul_channel(xhat, gamma_->var),
+                               beta_->var);
+}
+
+GroupNorm::GroupNorm(int64_t channels, int64_t groups, float eps)
+    : channels_(channels), groups_(groups), eps_(eps) {
+  RIPPLE_CHECK(channels > 0 && groups > 0 && channels % groups == 0)
+      << "GroupNorm: " << channels << " channels not divisible by " << groups
+      << " groups";
+  gamma_ = &register_parameter("gamma", Tensor::ones({channels}),
+                               autograd::ParamKind::kAffineWeight);
+  beta_ = &register_parameter("beta", Tensor::zeros({channels}),
+                              autograd::ParamKind::kAffineBias);
+}
+
+autograd::Variable GroupNorm::forward(const autograd::Variable& x) {
+  RIPPLE_CHECK(x.dim(1) == channels_)
+      << "GroupNorm expects " << channels_ << " channels, got " << x.dim(1);
+  autograd::Variable xhat = autograd::group_normalize(x, groups_, eps_);
+  return autograd::add_channel(autograd::mul_channel(xhat, gamma_->var),
+                               beta_->var);
+}
+
+InstanceNorm::InstanceNorm(int64_t channels, float eps)
+    : inner_(channels, /*groups=*/channels, eps) {
+  register_module("inner", inner_);
+}
+
+autograd::Variable InstanceNorm::forward(const autograd::Variable& x) {
+  return inner_.forward(x);
+}
+
+}  // namespace ripple::nn

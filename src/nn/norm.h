@@ -1,0 +1,75 @@
+// Conventional normalization layers (normalize first, affine after).
+//
+// These are the baselines the paper's InvertedNorm (src/core/inverted_norm.h)
+// is compared against. All four share the per-channel affine pair (γ, β)
+// initialized to ones/zeros, the standard deep-learning convention.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ripple::nn {
+
+/// BatchNorm over (N, spatial) per channel, with running statistics for
+/// eval mode. Supports [N,C], [N,C,L] and [N,C,H,W].
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(int64_t channels, float momentum = 0.1f,
+                     float eps = 1e-5f);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+  autograd::Parameter& gamma() { return *gamma_; }
+  autograd::Parameter& beta() { return *beta_; }
+
+ private:
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+  autograd::Parameter* gamma_ = nullptr;
+  autograd::Parameter* beta_ = nullptr;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+/// LayerNorm: per-instance statistics over all non-batch dims (groups=1),
+/// then per-channel affine.
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(int64_t channels, float eps = 1e-5f);
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+ private:
+  int64_t channels_;
+  float eps_;
+  autograd::Parameter* gamma_ = nullptr;
+  autograd::Parameter* beta_ = nullptr;
+};
+
+/// GroupNorm: statistics per (instance, channel group).
+class GroupNorm : public Layer {
+ public:
+  GroupNorm(int64_t channels, int64_t groups, float eps = 1e-5f);
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+ private:
+  int64_t channels_;
+  int64_t groups_;
+  float eps_;
+  autograd::Parameter* gamma_ = nullptr;
+  autograd::Parameter* beta_ = nullptr;
+};
+
+/// InstanceNorm: statistics per (instance, channel) = GroupNorm with
+/// groups == channels.
+class InstanceNorm : public Layer {
+ public:
+  explicit InstanceNorm(int64_t channels, float eps = 1e-5f);
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+ private:
+  GroupNorm inner_;
+};
+
+}  // namespace ripple::nn

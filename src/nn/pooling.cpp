@@ -1,0 +1,27 @@
+#include "nn/pooling.h"
+
+#include "autograd/ops.h"
+
+namespace ripple::nn {
+
+autograd::Variable MaxPool2d::forward(const autograd::Variable& x) {
+  return autograd::maxpool2d(x, kernel_, stride_);
+}
+
+autograd::Variable MaxPool1d::forward(const autograd::Variable& x) {
+  return autograd::maxpool1d(x, kernel_, stride_);
+}
+
+autograd::Variable AvgPool2d::forward(const autograd::Variable& x) {
+  return autograd::avgpool2d(x, kernel_, stride_);
+}
+
+autograd::Variable GlobalAvgPool2d::forward(const autograd::Variable& x) {
+  return autograd::global_avg_pool2d(x);
+}
+
+autograd::Variable GlobalAvgPool1d::forward(const autograd::Variable& x) {
+  return autograd::global_avg_pool1d(x);
+}
+
+}  // namespace ripple::nn

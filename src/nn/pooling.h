@@ -1,0 +1,53 @@
+// Pooling layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace ripple::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int64_t kernel, int64_t stride = -1)
+      : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+};
+
+class MaxPool1d : public Layer {
+ public:
+  explicit MaxPool1d(int64_t kernel, int64_t stride = -1)
+      : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+};
+
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(int64_t kernel, int64_t stride = -1)
+      : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+ private:
+  int64_t kernel_;
+  int64_t stride_;
+};
+
+/// [N,C,H,W] -> [N,C].
+class GlobalAvgPool2d : public Layer {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+};
+
+/// [N,C,L] -> [N,C].
+class GlobalAvgPool1d : public Layer {
+ public:
+  autograd::Variable forward(const autograd::Variable& x) override;
+};
+
+}  // namespace ripple::nn

@@ -1,0 +1,60 @@
+#include "quant/bitcodec.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace ripple::quant {
+
+int64_t flip_random_bits(std::vector<int32_t>& codes, int bits, float p,
+                         Rng& rng) {
+  RIPPLE_CHECK(bits >= 1 && bits <= 31) << "bits out of range";
+  RIPPLE_CHECK(p >= 0.0f && p <= 1.0f) << "flip probability out of range";
+  if (p == 0.0f || codes.empty()) return 0;
+  int64_t flipped = 0;
+  for (int32_t& code : codes) {
+    for (int b = 0; b < bits; ++b) {
+      if (rng.bernoulli(p)) {
+        code ^= (1 << b);
+        ++flipped;
+      }
+    }
+  }
+  return flipped;
+}
+
+void flip_exact_bits(std::vector<int32_t>& codes, int bits, int64_t count,
+                     Rng& rng) {
+  RIPPLE_CHECK(bits >= 1 && bits <= 31) << "bits out of range";
+  const int64_t total = static_cast<int64_t>(codes.size()) * bits;
+  RIPPLE_CHECK(count >= 0 && count <= total)
+      << "cannot flip " << count << " of " << total << " bits";
+  if (count == 0) return;
+  // Sample positions without replacement via partial Fisher-Yates over the
+  // flattened (code, bit) index space.
+  std::vector<int64_t> positions(static_cast<size_t>(total));
+  for (int64_t i = 0; i < total; ++i) positions[static_cast<size_t>(i)] = i;
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t j = rng.randint(i, total - 1);
+    std::swap(positions[static_cast<size_t>(i)],
+              positions[static_cast<size_t>(j)]);
+    const int64_t pos = positions[static_cast<size_t>(i)];
+    codes[static_cast<size_t>(pos / bits)] ^=
+        (1 << static_cast<int>(pos % bits));
+  }
+}
+
+int64_t hamming_distance(const std::vector<int32_t>& a,
+                         const std::vector<int32_t>& b, int bits) {
+  RIPPLE_CHECK(a.size() == b.size()) << "code vectors differ in length";
+  const uint32_t mask = bits >= 31 ? 0x7fffffffu : ((1u << bits) - 1u);
+  int64_t dist = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint32_t x = (static_cast<uint32_t>(a[i]) ^ static_cast<uint32_t>(b[i])) &
+                 mask;
+    dist += __builtin_popcount(x);
+  }
+  return dist;
+}
+
+}  // namespace ripple::quant

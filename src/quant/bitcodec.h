@@ -1,0 +1,31 @@
+// Bit-level manipulation of deployed weight codes.
+//
+// Retention faults and programming errors in NVM cells manifest as bit
+// flips in the stored weight codes (§IV-A2). flip_random_bits applies an
+// i.i.d. per-bit flip with probability p across every bit of every code —
+// the fault model behind the paper's "x% bit flips" sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/random.h"
+
+namespace ripple::quant {
+
+/// Flips each of the low `bits` bits of every code independently with
+/// probability `p`. Returns the number of bits flipped.
+int64_t flip_random_bits(std::vector<int32_t>& codes, int bits, float p,
+                         Rng& rng);
+
+/// Flips exactly `count` uniformly chosen (code, bit) positions without
+/// replacement (used for deterministic fault-count experiments).
+void flip_exact_bits(std::vector<int32_t>& codes, int bits, int64_t count,
+                     Rng& rng);
+
+/// Number of differing bits between two code vectors (restricted to the low
+/// `bits` bits).
+int64_t hamming_distance(const std::vector<int32_t>& a,
+                         const std::vector<int32_t>& b, int bits);
+
+}  // namespace ripple::quant

@@ -1,0 +1,29 @@
+#include "quant/pact.h"
+
+#include "nn/activation.h"
+#include "quant/ste_ops.h"
+
+namespace ripple::quant {
+
+PactActivation::PactActivation(int bits, float alpha_init,
+                               nn::ActivationNoisePtr noise)
+    : bits_(bits), noise_(std::move(noise)) {
+  RIPPLE_CHECK(alpha_init > 0.0f) << "PACT alpha must start positive";
+  alpha_ = &register_parameter("alpha", Tensor::scalar(alpha_init),
+                               autograd::ParamKind::kOther);
+}
+
+autograd::Variable PactActivation::forward(const autograd::Variable& x) {
+  autograd::Variable y = x;
+  if (noise_ != nullptr && noise_->enabled)
+    y = nn::apply_activation_noise(y, *noise_);
+  // Keep alpha positive: hardware clipping cannot be negative. The check in
+  // pact_quant throws if training drives it <= 0; clamp defensively first.
+  if (alpha_->var.value().item() < 1e-3f)
+    alpha_->var.value().fill(1e-3f);
+  return pact_quant(y, alpha_->var, bits_);
+}
+
+float PactActivation::alpha() const { return alpha_->var.value().item(); }
+
+}  // namespace ripple::quant

@@ -1,0 +1,30 @@
+// PACT activation quantization layer (Choi et al., arXiv:1805.06085).
+//
+// Learns the clipping threshold α jointly with the network; activations are
+// clipped to [0, α] and uniformly quantized to 2^bits − 1 levels. Used for
+// the U-Net's 4-bit activations and M5's 8-bit activations.
+#pragma once
+
+#include "nn/layer.h"
+#include "nn/noise.h"
+
+namespace ripple::quant {
+
+class PactActivation : public nn::Layer {
+ public:
+  /// `alpha_init` of 6.0 mirrors the common ReLU6-style starting point.
+  explicit PactActivation(int bits, float alpha_init = 6.0f,
+                          nn::ActivationNoisePtr noise = nullptr);
+
+  autograd::Variable forward(const autograd::Variable& x) override;
+
+  float alpha() const;
+  int bits() const { return bits_; }
+
+ private:
+  int bits_;
+  autograd::Parameter* alpha_ = nullptr;
+  nn::ActivationNoisePtr noise_;
+};
+
+}  // namespace ripple::quant

@@ -1,0 +1,111 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace ripple::quant {
+
+// ---- BinaryQuantizer -------------------------------------------------------
+
+float BinaryQuantizer::dynamic_alpha(const Tensor& w) const {
+  const float a = ops::mean(ops::abs(w));
+  // Degenerate all-zero weights: fall back to 1 so sign() output is usable.
+  return a > 0.0f ? a : 1.0f;
+}
+
+autograd::Variable BinaryQuantizer::apply(const autograd::Variable& w) {
+  const float alpha = calibrated_ ? alpha_ : dynamic_alpha(w.value());
+  return binarize_ste(w, alpha);
+}
+
+void BinaryQuantizer::calibrate(const Tensor& w) {
+  alpha_ = dynamic_alpha(w);
+  calibrated_ = true;
+}
+
+std::vector<int32_t> BinaryQuantizer::encode(const Tensor& w) const {
+  std::vector<int32_t> codes(static_cast<size_t>(w.numel()));
+  const float* p = w.data();
+  for (int64_t i = 0; i < w.numel(); ++i)
+    codes[static_cast<size_t>(i)] = p[i] < 0.0f ? 0 : 1;
+  return codes;
+}
+
+Tensor BinaryQuantizer::decode(const std::vector<int32_t>& codes,
+                               const Shape& shape) const {
+  RIPPLE_CHECK(calibrated_) << "BinaryQuantizer::decode before calibrate()";
+  RIPPLE_CHECK(static_cast<int64_t>(codes.size()) == shape_numel(shape))
+      << "code count does not match shape";
+  Tensor w(shape);
+  float* p = w.data();
+  for (size_t i = 0; i < codes.size(); ++i)
+    p[i] = (codes[i] & 1) != 0 ? alpha_ : -alpha_;
+  return w;
+}
+
+// ---- IntQuantizer --------------------------------------------------------
+
+IntQuantizer::IntQuantizer(int bits)
+    : bits_(bits), qmax_((1 << (bits - 1)) - 1) {
+  RIPPLE_CHECK(bits >= 2 && bits <= 16)
+      << "IntQuantizer bits must be in [2,16], got " << bits;
+}
+
+float IntQuantizer::dynamic_scale(const Tensor& w) const {
+  const float mx = ops::max(ops::abs(w));
+  return mx > 0.0f ? mx / static_cast<float>(qmax_) : 1.0f;
+}
+
+autograd::Variable IntQuantizer::apply(const autograd::Variable& w) {
+  const float scale = calibrated_ ? scale_ : dynamic_scale(w.value());
+  return fake_quant_ste(w, scale, bits_);
+}
+
+void IntQuantizer::calibrate(const Tensor& w) {
+  scale_ = dynamic_scale(w);
+  calibrated_ = true;
+}
+
+std::vector<int32_t> IntQuantizer::encode(const Tensor& w) const {
+  RIPPLE_CHECK(calibrated_) << "IntQuantizer::encode before calibrate()";
+  std::vector<int32_t> codes(static_cast<size_t>(w.numel()));
+  const float* p = w.data();
+  const uint32_t mask = (1u << bits_) - 1u;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    const float q = std::round(p[i] / scale_);
+    const auto qi = static_cast<int32_t>(
+        std::clamp(q, -static_cast<float>(qmax_), static_cast<float>(qmax_)));
+    // Two's complement restricted to the low `bits_` bits.
+    codes[static_cast<size_t>(i)] =
+        static_cast<int32_t>(static_cast<uint32_t>(qi) & mask);
+  }
+  return codes;
+}
+
+Tensor IntQuantizer::decode(const std::vector<int32_t>& codes,
+                            const Shape& shape) const {
+  RIPPLE_CHECK(calibrated_) << "IntQuantizer::decode before calibrate()";
+  RIPPLE_CHECK(static_cast<int64_t>(codes.size()) == shape_numel(shape))
+      << "code count does not match shape";
+  Tensor w(shape);
+  float* p = w.data();
+  const auto sign_bit = static_cast<uint32_t>(1u << (bits_ - 1));
+  const uint32_t mask = (1u << bits_) - 1u;
+  for (size_t i = 0; i < codes.size(); ++i) {
+    uint32_t u = static_cast<uint32_t>(codes[i]) & mask;
+    int32_t v = static_cast<int32_t>(u);
+    if ((u & sign_bit) != 0)
+      v -= static_cast<int32_t>(1u << bits_);  // sign-extend
+    p[i] = static_cast<float>(v) * scale_;
+  }
+  return w;
+}
+
+std::unique_ptr<Quantizer> make_quantizer(int bits) {
+  if (bits == 1) return std::make_unique<BinaryQuantizer>();
+  return std::make_unique<IntQuantizer>(bits);
+}
+
+}  // namespace ripple::quant

@@ -1,0 +1,88 @@
+// Weight quantizers: QAT forward transform + deployment bit codec.
+//
+// During training, apply() fake-quantizes with a *dynamic* scale recomputed
+// from the latent weights each step. At deployment time calibrate() freezes
+// the scale; encode()/decode() then round-trip weights through their
+// integer hardware representation so fault injectors can flip individual
+// bits of the deployed codes (the scale itself lives in digital logic and
+// is not a fault target).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "quant/ste_ops.h"
+
+namespace ripple::quant {
+
+class Quantizer {
+ public:
+  virtual ~Quantizer() = default;
+
+  /// QAT transform applied to the latent weight every forward.
+  virtual autograd::Variable apply(const autograd::Variable& w) = 0;
+
+  /// Freezes the dynamic scale from the trained latent weights.
+  virtual void calibrate(const Tensor& w) = 0;
+  virtual bool calibrated() const = 0;
+
+  /// Bit width of one deployed weight.
+  virtual int bits() const = 0;
+
+  /// Integer codes of the deployed weights (low `bits()` bits meaningful).
+  virtual std::vector<int32_t> encode(const Tensor& w) const = 0;
+  /// Deployed weight values corresponding to codes.
+  virtual Tensor decode(const std::vector<int32_t>& codes,
+                        const Shape& shape) const = 0;
+};
+
+/// 1-bit: w_b = sign(w)·α with α = mean(|w|). Code: bit0 = 1 for positive.
+class BinaryQuantizer : public Quantizer {
+ public:
+  autograd::Variable apply(const autograd::Variable& w) override;
+  void calibrate(const Tensor& w) override;
+  bool calibrated() const override { return calibrated_; }
+  int bits() const override { return 1; }
+  std::vector<int32_t> encode(const Tensor& w) const override;
+  Tensor decode(const std::vector<int32_t>& codes,
+                const Shape& shape) const override;
+
+  float alpha() const { return alpha_; }
+
+ private:
+  float dynamic_alpha(const Tensor& w) const;
+  bool calibrated_ = false;
+  float alpha_ = 1.0f;
+};
+
+/// k-bit symmetric (two's complement, range [-qmax, qmax]) with per-tensor
+/// scale = max|w| / qmax.
+class IntQuantizer : public Quantizer {
+ public:
+  explicit IntQuantizer(int bits);
+  autograd::Variable apply(const autograd::Variable& w) override;
+  void calibrate(const Tensor& w) override;
+  bool calibrated() const override { return calibrated_; }
+  int bits() const override { return bits_; }
+  std::vector<int32_t> encode(const Tensor& w) const override;
+  Tensor decode(const std::vector<int32_t>& codes,
+                const Shape& shape) const override;
+
+  float scale() const { return scale_; }
+  int32_t qmax() const { return qmax_; }
+
+ private:
+  float dynamic_scale(const Tensor& w) const;
+  int bits_;
+  int32_t qmax_;
+  bool calibrated_ = false;
+  float scale_ = 1.0f;
+};
+
+/// Factory for the per-model weight precisions used in the paper
+/// (1 = binary, 4/8 = integer).
+std::unique_ptr<Quantizer> make_quantizer(int bits);
+
+}  // namespace ripple::quant

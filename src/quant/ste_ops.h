@@ -1,0 +1,25 @@
+// Straight-through-estimator (STE) autograd ops for quantization-aware
+// training.
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace ripple::quant {
+
+/// Binarization w_b = sign(w)·alpha with clipped STE backward
+/// (gradient passes where |w| <= 1, the IR-Net clip region).
+autograd::Variable binarize_ste(const autograd::Variable& w, float alpha);
+
+/// Symmetric uniform fake quantization:
+///   q = clamp(round(x/scale), -qmax, qmax) · scale,  qmax = 2^(bits-1)-1.
+/// Backward passes gradient where |x| <= qmax·scale.
+autograd::Variable fake_quant_ste(const autograd::Variable& x, float scale,
+                                  int bits);
+
+/// PACT activation quantization: y = clamp(x, 0, α) quantized to `bits`
+/// levels with Δ = α / (2^bits − 1). Gradients: dx passes where 0 < x < α;
+/// dα collects the gradient of the clipped region (x >= α).
+autograd::Variable pact_quant(const autograd::Variable& x,
+                              const autograd::Variable& alpha, int bits);
+
+}  // namespace ripple::quant

@@ -1,0 +1,13 @@
+#include "tensor/check.h"
+
+namespace ripple::detail {
+
+void throw_check_failure(const char* cond, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "RIPPLE_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace ripple::detail

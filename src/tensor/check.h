@@ -1,0 +1,64 @@
+// Error-checking macros for the ripple library.
+//
+// All precondition violations throw ripple::CheckError (derived from
+// std::logic_error) so callers can distinguish programming errors from
+// environmental failures (std::runtime_error).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ripple {
+
+/// Thrown when a RIPPLE_CHECK precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* cond, const char* file,
+                                      int line, const std::string& msg);
+
+/// Builds the optional message from stream-style arguments.
+class MessageBuilder {
+ public:
+  template <typename T>
+  MessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ripple
+
+/// RIPPLE_CHECK(cond) or RIPPLE_CHECK(cond) << "context " << value;
+/// Evaluates `cond`; on failure throws ripple::CheckError with file/line and
+/// any streamed context.
+#define RIPPLE_CHECK(cond)                                                   \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::ripple::detail::CheckFailer{#cond, __FILE__, __LINE__} =               \
+        ::ripple::detail::MessageBuilder{}
+
+namespace ripple::detail {
+
+/// Receives the finished MessageBuilder and throws. operator= has lower
+/// precedence than operator<<, so all streamed args are collected first.
+struct CheckFailer {
+  const char* cond;
+  const char* file;
+  int line;
+  [[noreturn]] void operator=(const MessageBuilder& mb) const {
+    throw_check_failure(cond, file, line, mb.str());
+  }
+};
+
+}  // namespace ripple::detail

@@ -1,0 +1,36 @@
+#include "tensor/env.h"
+
+#include <cstdlib>
+
+#include "tensor/check.h"
+
+namespace ripple {
+
+int env_int(const char* name, int fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  RIPPLE_CHECK(end != raw && *end == '\0')
+      << "env var " << name << "='" << raw << "' is not an integer";
+  return static_cast<int>(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  RIPPLE_CHECK(end != raw && *end == '\0')
+      << "env var " << name << "='" << raw << "' is not a number";
+  return v;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+bool fast_mode() { return env_int("RIPPLE_FAST", 0) != 0; }
+
+}  // namespace ripple

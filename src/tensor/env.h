@@ -1,0 +1,25 @@
+// Environment-variable configuration knobs.
+//
+// Benches and examples read workload sizes from RIPPLE_* environment
+// variables so the same binaries can run both in a fast CI mode and in a
+// closer-to-paper-fidelity mode.
+#pragma once
+
+#include <string>
+
+namespace ripple {
+
+/// Integer env var with default; throws CheckError on unparsable values.
+int env_int(const char* name, int fallback);
+
+/// Double env var with default.
+double env_double(const char* name, double fallback);
+
+/// String env var with default.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// True when RIPPLE_FAST is set to a non-zero value: benches shrink their
+/// workloads (fewer Monte-Carlo runs, fewer epochs, fewer samples).
+bool fast_mode();
+
+}  // namespace ripple

@@ -1,0 +1,91 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+
+#include "tensor/threadpool.h"
+
+namespace ripple {
+namespace {
+
+// Cache blocking sizes tuned for a small L1/L2 CPU; the i-k-j loop order in
+// the inner kernel lets the compiler vectorize over j.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockK = 256;
+
+void gemm_nn_rows(int64_t row_begin, int64_t row_end, int64_t n, int64_t k,
+                  const float* a, const float* b, float* c) {
+  for (int64_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
+    const int64_t i1 = std::min(row_end, i0 + kBlockM);
+    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const int64_t k1 = std::min(k, k0 + kBlockK);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (int64_t kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;  // binary/sparse weights hit this often
+          const float* brow = b + kk * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  parallel_for(
+      m, [&](int64_t begin, int64_t end) { gemm_nn_rows(begin, end, n, k, a, b, c); },
+      /*grain=*/std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n * k / 64)));
+}
+
+void gemm_nt(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  parallel_for(m, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += acc;
+      }
+    }
+  });
+}
+
+void gemm_tn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  // C[i,j] += sum_kk A[kk,i] * B[kk,j]; iterate kk outer to stream both
+  // operands row-wise.
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  RIPPLE_CHECK(a.rank() == 2 && b.rank() == 2)
+      << "matmul needs 2-d operands, got " << shape_to_string(a.shape())
+      << " and " << shape_to_string(b.shape());
+  RIPPLE_CHECK(a.dim(1) == b.dim(0))
+      << "matmul inner dims differ: " << shape_to_string(a.shape()) << " · "
+      << shape_to_string(b.shape());
+  Tensor c({a.dim(0), b.dim(1)});
+  gemm_nn(a.dim(0), b.dim(1), a.dim(1), a.data(), b.data(), c.data());
+  return c;
+}
+
+}  // namespace ripple

@@ -1,0 +1,32 @@
+// Blocked single-precision GEMM kernels (row-major).
+//
+// Three transpose variants cover everything the autograd engine needs:
+//   gemm_nn:  C += A · B        (M×K, K×N)
+//   gemm_nt:  C += A · Bᵀ       (M×K, N×K)
+//   gemm_tn:  C += Aᵀ · B       (K×M, K×N)
+// All kernels accumulate into C (callers zero C first when needed) so the
+// same routine serves both forward passes and gradient accumulation.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace ripple {
+
+/// C[M,N] += A[M,K] · B[K,N]
+void gemm_nn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c);
+
+/// C[M,N] += A[M,K] · B[N,K]ᵀ
+void gemm_nt(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c);
+
+/// C[M,N] += A[K,M]ᵀ · B[K,N]
+void gemm_tn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c);
+
+/// out = a · b for 2-d tensors; allocates the result and zeroes it first.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace ripple

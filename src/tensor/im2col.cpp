@@ -1,0 +1,100 @@
+#include "tensor/im2col.h"
+
+namespace ripple {
+
+int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride,
+                      int64_t pad) {
+  RIPPLE_CHECK(stride >= 1) << "stride must be >= 1";
+  const int64_t padded = in + 2 * pad;
+  RIPPLE_CHECK(padded >= kernel)
+      << "kernel " << kernel << " larger than padded input " << padded;
+  return (padded - kernel) / stride + 1;
+}
+
+void im2col_2d(const float* image, int64_t c, int64_t h, int64_t w, int64_t kh,
+               int64_t kw, int64_t stride, int64_t pad, float* cols) {
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w, kw, stride, pad);
+  const int64_t out_area = oh * ow;
+  int64_t row = 0;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* plane = image + ch * h * w;
+    for (int64_t dy = 0; dy < kh; ++dy) {
+      for (int64_t dx = 0; dx < kw; ++dx, ++row) {
+        float* out_row = cols + row * out_area;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride + dy - pad;
+          if (iy < 0 || iy >= h) {
+            for (int64_t ox = 0; ox < ow; ++ox) out_row[oy * ow + ox] = 0.0f;
+            continue;
+          }
+          const float* src = plane + iy * w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride + dx - pad;
+            out_row[oy * ow + ox] =
+                (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_2d(const float* cols, int64_t c, int64_t h, int64_t w, int64_t kh,
+               int64_t kw, int64_t stride, int64_t pad, float* image) {
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w, kw, stride, pad);
+  const int64_t out_area = oh * ow;
+  int64_t row = 0;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    float* plane = image + ch * h * w;
+    for (int64_t dy = 0; dy < kh; ++dy) {
+      for (int64_t dx = 0; dx < kw; ++dx, ++row) {
+        const float* in_row = cols + row * out_area;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * stride + dy - pad;
+          if (iy < 0 || iy >= h) continue;
+          float* dst = plane + iy * w;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * stride + dx - pad;
+            if (ix >= 0 && ix < w) dst[ix] += in_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2col_1d(const float* signal, int64_t c, int64_t l, int64_t k,
+               int64_t stride, int64_t pad, float* cols) {
+  const int64_t ol = conv_out_size(l, k, stride, pad);
+  int64_t row = 0;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    const float* line = signal + ch * l;
+    for (int64_t dx = 0; dx < k; ++dx, ++row) {
+      float* out_row = cols + row * ol;
+      for (int64_t ox = 0; ox < ol; ++ox) {
+        const int64_t ix = ox * stride + dx - pad;
+        out_row[ox] = (ix >= 0 && ix < l) ? line[ix] : 0.0f;
+      }
+    }
+  }
+}
+
+void col2im_1d(const float* cols, int64_t c, int64_t l, int64_t k,
+               int64_t stride, int64_t pad, float* signal) {
+  const int64_t ol = conv_out_size(l, k, stride, pad);
+  int64_t row = 0;
+  for (int64_t ch = 0; ch < c; ++ch) {
+    float* line = signal + ch * l;
+    for (int64_t dx = 0; dx < k; ++dx, ++row) {
+      const float* in_row = cols + row * ol;
+      for (int64_t ox = 0; ox < ol; ++ox) {
+        const int64_t ix = ox * stride + dx - pad;
+        if (ix >= 0 && ix < l) line[ix] += in_row[ox];
+      }
+    }
+  }
+}
+
+}  // namespace ripple

@@ -1,0 +1,83 @@
+#include "tensor/io.h"
+
+#include <cstdint>
+#include <sstream>
+
+#include "tensor/env.h"
+
+namespace ripple {
+namespace {
+constexpr char kMagic[4] = {'R', 'P', 'L', 'T'};
+}
+
+void save_tensor(const Tensor& t, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_tensor: cannot open " + path);
+  out.write(kMagic, 4);
+  const int32_t rank = t.rank();
+  out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int64_t d : t.shape())
+    out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!out) throw std::runtime_error("save_tensor: write failed for " + path);
+}
+
+Tensor load_tensor(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_tensor: cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_tensor: bad magic in " + path);
+  int32_t rank = 0;
+  in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  if (!in || rank < 0 || rank > 16)
+    throw std::runtime_error("load_tensor: bad rank in " + path);
+  Shape shape(static_cast<size_t>(rank));
+  for (auto& d : shape) in.read(reinterpret_cast<char*>(&d), sizeof(d));
+  if (!in) throw std::runtime_error("load_tensor: truncated header " + path);
+  Tensor t(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) throw std::runtime_error("load_tensor: truncated payload " + path);
+  return t;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : path_(path), out_(path), columns_(columns.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  RIPPLE_CHECK(cells.size() == columns_)
+      << "CSV row has " << cells.size() << " cells, header has " << columns_;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os.precision(10);
+    os << v;
+    s.push_back(os.str());
+  }
+  row(s);
+}
+
+std::string csv_output_dir() { return env_string("RIPPLE_CSV_DIR", "."); }
+
+}  // namespace ripple

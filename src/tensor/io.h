@@ -1,0 +1,42 @@
+// Tensor serialization and CSV output for benchmark harnesses.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ripple {
+
+/// Writes a tensor in a simple binary container ("RPLT" magic, rank, dims,
+/// raw float32 payload). Throws std::runtime_error on I/O failure.
+void save_tensor(const Tensor& t, const std::string& path);
+
+/// Reads a tensor written by save_tensor.
+Tensor load_tensor(const std::string& path);
+
+/// Append-style CSV writer used by the bench binaries: one header, then
+/// value rows. Numeric cells are formatted with enough digits to round-trip.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Writes one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+  /// Convenience: formats doubles.
+  void row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  size_t columns_ = 0;
+};
+
+/// Directory where bench CSVs are written (env RIPPLE_CSV_DIR, default ".").
+std::string csv_output_dir();
+
+}  // namespace ripple

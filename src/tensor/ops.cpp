@@ -1,0 +1,293 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ripple::ops {
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  RIPPLE_CHECK(a.same_shape(b))
+      << op << " shape mismatch: " << shape_to_string(a.shape()) << " vs "
+      << shape_to_string(b.shape());
+}
+
+template <typename F>
+Tensor binary(const Tensor& a, const Tensor& b, F f, const char* op) {
+  check_same_shape(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+template <typename F>
+Tensor unary(const Tensor& a, F f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x + y; }, "add");
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x / y; }, "div");
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  float* pa = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) pa[i] *= s;
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x * s; });
+}
+
+Tensor map(const Tensor& a, const std::function<float(float)>& fn) {
+  return unary(a, [&fn](float x) { return fn(x); });
+}
+
+Tensor abs(const Tensor& a) {
+  return unary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor sign(const Tensor& a) {
+  return unary(a, [](float x) { return x < 0.0f ? -1.0f : 1.0f; });
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  RIPPLE_CHECK(lo <= hi) << "clamp bounds inverted";
+  return unary(a, [lo, hi](float x) { return std::clamp(x, lo, hi); });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary(a, [](float x) { return std::sqrt(x); });
+}
+
+float sum(const Tensor& a) {
+  // Pairwise-ish accumulation in double for numerical robustness.
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  RIPPLE_CHECK(a.numel() > 0) << "mean of empty tensor";
+  return sum(a) / static_cast<float>(a.numel());
+}
+
+float min(const Tensor& a) {
+  RIPPLE_CHECK(a.numel() > 0) << "min of empty tensor";
+  return *std::min_element(a.data(), a.data() + a.numel());
+}
+
+float max(const Tensor& a) {
+  RIPPLE_CHECK(a.numel() > 0) << "max of empty tensor";
+  return *std::max_element(a.data(), a.data() + a.numel());
+}
+
+float variance(const Tensor& a) {
+  RIPPLE_CHECK(a.numel() > 0) << "variance of empty tensor";
+  const double m = mean(a);
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = p[i] - m;
+    acc += d * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(a.numel()));
+}
+
+Tensor transpose2d(const Tensor& a) {
+  RIPPLE_CHECK(a.rank() == 2) << "transpose2d needs rank 2, got "
+                              << shape_to_string(a.shape());
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out({n, m});
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  return out;
+}
+
+Tensor concat_channels(const Tensor& a, const Tensor& b) {
+  RIPPLE_CHECK(a.rank() == b.rank() && a.rank() >= 2)
+      << "concat_channels rank mismatch";
+  RIPPLE_CHECK(a.dim(0) == b.dim(0)) << "concat_channels batch mismatch";
+  int64_t inner_a = 1;
+  int64_t inner_b = 1;
+  for (int d = 2; d < a.rank(); ++d) {
+    RIPPLE_CHECK(a.dim(d) == b.dim(d))
+        << "concat_channels spatial mismatch at dim " << d;
+    inner_a *= a.dim(d);
+    inner_b *= b.dim(d);
+  }
+  const int64_t n = a.dim(0);
+  const int64_t ca = a.dim(1);
+  const int64_t cb = b.dim(1);
+  Shape out_shape = a.shape();
+  out_shape[1] = ca + cb;
+  Tensor out(out_shape);
+  const int64_t slab_a = ca * inner_a;
+  const int64_t slab_b = cb * inner_b;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(pa + i * slab_a, pa + (i + 1) * slab_a,
+              po + i * (slab_a + slab_b));
+    std::copy(pb + i * slab_b, pb + (i + 1) * slab_b,
+              po + i * (slab_a + slab_b) + slab_a);
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> split_channels(const Tensor& x, int64_t c0) {
+  RIPPLE_CHECK(x.rank() >= 2) << "split_channels needs rank >= 2";
+  const int64_t c = x.dim(1);
+  RIPPLE_CHECK(c0 > 0 && c0 < c)
+      << "split point " << c0 << " out of range for " << c << " channels";
+  int64_t inner = 1;
+  for (int d = 2; d < x.rank(); ++d) inner *= x.dim(d);
+  Shape sa = x.shape();
+  sa[1] = c0;
+  Shape sb = x.shape();
+  sb[1] = c - c0;
+  Tensor a(sa);
+  Tensor b(sb);
+  const int64_t n = x.dim(0);
+  const float* px = x.data();
+  float* pa = a.data();
+  float* pb = b.data();
+  const int64_t slab = c * inner;
+  const int64_t slab_a = c0 * inner;
+  const int64_t slab_b = (c - c0) * inner;
+  for (int64_t i = 0; i < n; ++i) {
+    std::copy(px + i * slab, px + i * slab + slab_a, pa + i * slab_a);
+    std::copy(px + i * slab + slab_a, px + (i + 1) * slab, pb + i * slab_b);
+  }
+  return {a, b};
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  RIPPLE_CHECK(logits.rank() == 2) << "softmax_rows needs [N,C]";
+  const int64_t n = logits.dim(0);
+  const int64_t c = logits.dim(1);
+  Tensor out(logits.shape());
+  const float* pl = logits.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pl + i * c;
+    float* orow = po + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    for (int64_t j = 0; j < c; ++j)
+      orow[j] = static_cast<float>(orow[j] / denom);
+  }
+  return out;
+}
+
+Tensor log_softmax_rows(const Tensor& logits) {
+  RIPPLE_CHECK(logits.rank() == 2) << "log_softmax_rows needs [N,C]";
+  const int64_t n = logits.dim(0);
+  const int64_t c = logits.dim(1);
+  Tensor out(logits.shape());
+  const float* pl = logits.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pl + i * c;
+    float* orow = po + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const float log_denom = static_cast<float>(std::log(denom)) + mx;
+    for (int64_t j = 0; j < c; ++j) orow[j] = row[j] - log_denom;
+  }
+  return out;
+}
+
+std::vector<int64_t> argmax_rows(const Tensor& x) {
+  RIPPLE_CHECK(x.rank() == 2) << "argmax_rows needs [N,C]";
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  std::vector<int64_t> idx(static_cast<size_t>(n));
+  const float* p = x.data();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = p + i * c;
+    idx[static_cast<size_t>(i)] = std::max_element(row, row + c) - row;
+  }
+  return idx;
+}
+
+std::vector<double> Histogram::density() const {
+  const int64_t total =
+      std::accumulate(counts.begin(), counts.end(), int64_t{0});
+  const double width =
+      (hi - lo) / static_cast<double>(std::max<size_t>(1, counts.size()));
+  std::vector<double> d(counts.size(), 0.0);
+  if (total == 0) return d;
+  for (size_t i = 0; i < counts.size(); ++i)
+    d[i] = static_cast<double>(counts[i]) /
+           (static_cast<double>(total) * width);
+  return d;
+}
+
+float Histogram::bin_center(size_t i) const {
+  const float width = (hi - lo) / static_cast<float>(counts.size());
+  return lo + (static_cast<float>(i) + 0.5f) * width;
+}
+
+Histogram histogram(const Tensor& a, int bins, float lo, float hi) {
+  RIPPLE_CHECK(bins > 0) << "histogram needs bins > 0";
+  RIPPLE_CHECK(lo < hi) << "histogram bounds inverted";
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(static_cast<size_t>(bins), 0);
+  const float scale = static_cast<float>(bins) / (hi - lo);
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    int b = static_cast<int>((p[i] - lo) * scale);
+    b = std::clamp(b, 0, bins - 1);
+    ++h.counts[static_cast<size_t>(b)];
+  }
+  return h;
+}
+
+}  // namespace ripple::ops

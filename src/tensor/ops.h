@@ -1,0 +1,80 @@
+// Raw (non-differentiable) tensor operations.
+//
+// These are the building blocks used by the autograd layer, the fault
+// injectors and the evaluation metrics. Everything here is pure and
+// shape-checked; autograd wrappers live in src/autograd/ops.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace ripple::ops {
+
+// ---- elementwise (same shape) ----------------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+/// a += b (in place, same shape).
+void add_inplace(Tensor& a, const Tensor& b);
+/// a *= s (in place).
+void scale_inplace(Tensor& a, float s);
+
+// ---- scalar ------------------------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+/// Elementwise map with an arbitrary function (slow path, tests/metrics).
+Tensor map(const Tensor& a, const std::function<float(float)>& fn);
+
+// ---- unary -------------------------------------------------------------
+Tensor abs(const Tensor& a);
+Tensor sign(const Tensor& a);  // sign(0) = +1 (hardware convention)
+Tensor clamp(const Tensor& a, float lo, float hi);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+
+// ---- reductions ----------------------------------------------------------
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+float min(const Tensor& a);
+float max(const Tensor& a);
+/// Population variance (divide by N).
+float variance(const Tensor& a);
+
+// ---- shape / layout ------------------------------------------------------
+/// [M,N] -> [N,M].
+Tensor transpose2d(const Tensor& a);
+/// Concatenate [N,C1,...] and [N,C2,...] along dim 1 (channels).
+Tensor concat_channels(const Tensor& a, const Tensor& b);
+/// Split the inverse of concat_channels: first c0 channels and the rest.
+std::pair<Tensor, Tensor> split_channels(const Tensor& x, int64_t c0);
+
+// ---- rows (2-d helpers) ----------------------------------------------------
+/// Row-wise softmax of [N,C].
+Tensor softmax_rows(const Tensor& logits);
+/// Row-wise log-softmax of [N,C] (numerically stable).
+Tensor log_softmax_rows(const Tensor& logits);
+/// Index of the max element in each row of [N,C].
+std::vector<int64_t> argmax_rows(const Tensor& x);
+
+// ---- analysis ----------------------------------------------------------
+struct Histogram {
+  float lo = 0.0f;
+  float hi = 1.0f;
+  std::vector<int64_t> counts;  // one bin per entry
+  /// Density normalized so that sum(density * bin_width) == 1.
+  std::vector<double> density() const;
+  float bin_center(size_t i) const;
+};
+
+/// Histogram of all elements over [lo, hi]; out-of-range values clamp into
+/// the edge bins.
+Histogram histogram(const Tensor& a, int bins, float lo, float hi);
+
+}  // namespace ripple::ops

@@ -1,0 +1,60 @@
+#include "tensor/random.h"
+
+#include "tensor/check.h"
+#include "tensor/env.h"
+
+namespace ripple {
+
+uint64_t splitmix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed), engine_(seed) {}
+
+Rng Rng::fork(uint64_t stream_id) const {
+  // Mix the base seed with the stream id so fork(0) != the parent stream.
+  return Rng(splitmix64(seed_ ^ splitmix64(stream_id + 1)));
+}
+
+float Rng::uniform(float lo, float hi) {
+  RIPPLE_CHECK(lo <= hi) << "uniform bounds inverted: " << lo << " > " << hi;
+  std::uniform_real_distribution<float> d(lo, hi);
+  return d(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  RIPPLE_CHECK(stddev >= 0.0f) << "negative stddev " << stddev;
+  if (stddev == 0.0f) return mean;
+  std::normal_distribution<float> d(mean, stddev);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(float p) {
+  if (p <= 0.0f) return false;
+  if (p >= 1.0f) return true;
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+int64_t Rng::randint(int64_t lo, int64_t hi) {
+  RIPPLE_CHECK(lo <= hi) << "randint bounds inverted: " << lo << " > " << hi;
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+uint64_t Rng::next_u64() { return engine_(); }
+
+void Rng::reseed(uint64_t seed) {
+  seed_ = seed;
+  engine_.seed(seed);
+}
+
+Rng& global_rng() {
+  static Rng rng(static_cast<uint64_t>(env_int("RIPPLE_SEED", 42)));
+  return rng;
+}
+
+}  // namespace ripple

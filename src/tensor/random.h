@@ -1,0 +1,54 @@
+// Seeded random number generation.
+//
+// All stochastic components of the library (affine dropout masks, fault
+// injection, dataset synthesis, weight init) draw from an explicitly passed
+// Rng so experiments are reproducible run-to-run. A process-wide generator
+// (global_rng) exists for convenience and is seeded from RIPPLE_SEED.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ripple {
+
+/// Wrapper around std::mt19937_64 with convenience draws. Not thread-safe;
+/// create one per thread (see Rng::fork for deterministic sub-streams).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Deterministically derive an independent sub-stream (e.g. one per
+  /// Monte-Carlo chip instance) without disturbing this generator's state.
+  Rng fork(uint64_t stream_id) const;
+
+  /// U[lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f);
+  /// N(mean, stddev^2).
+  float normal(float mean = 0.0f, float stddev = 1.0f);
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(float p);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t randint(int64_t lo, int64_t hi);
+
+  /// Raw 64-bit draw (for hashing / sub-seeding).
+  uint64_t next_u64();
+
+  /// Resets the stream to a fresh seed (reproducible re-evaluation).
+  void reseed(uint64_t seed);
+
+  uint64_t seed() const { return seed_; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+/// Process-wide generator, seeded from env RIPPLE_SEED (default 42).
+Rng& global_rng();
+
+/// splitmix64 — used for deriving fork seeds.
+uint64_t splitmix64(uint64_t x);
+
+}  // namespace ripple

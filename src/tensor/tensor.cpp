@@ -1,0 +1,177 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "tensor/random.h"
+
+namespace ripple {
+
+int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    RIPPLE_CHECK(d >= 0) << "negative dimension in shape "
+                         << shape_to_string(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor() = default;
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(shape_numel(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
+  RIPPLE_CHECK(static_cast<int64_t>(values.size()) == numel_)
+      << "value count " << values.size() << " does not match shape "
+      << shape_to_string(shape_);
+  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::scalar(float v) { return Tensor({}, {v}); }
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float v) {
+  Tensor t(std::move(shape));
+  t.fill(v);
+  return t;
+}
+
+Tensor Tensor::arange(int64_t n) {
+  RIPPLE_CHECK(n >= 0) << "arange size must be non-negative, got " << n;
+  Tensor t({n});
+  float* p = t.data();
+  for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::bernoulli(Shape shape, Rng& rng, float p_one) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i)
+    p[i] = rng.bernoulli(p_one) ? 1.0f : 0.0f;
+  return t;
+}
+
+int64_t Tensor::dim(int i) const {
+  const int r = rank();
+  if (i < 0) i += r;
+  RIPPLE_CHECK(i >= 0 && i < r)
+      << "dim index " << i << " out of range for shape "
+      << shape_to_string(shape_);
+  return shape_[static_cast<size_t>(i)];
+}
+
+float* Tensor::data() {
+  RIPPLE_CHECK(storage_ != nullptr) << "data() on undefined tensor";
+  return storage_->data();
+}
+
+const float* Tensor::data() const {
+  RIPPLE_CHECK(storage_ != nullptr) << "data() on undefined tensor";
+  return storage_->data();
+}
+
+std::span<float> Tensor::span() {
+  return {data(), static_cast<size_t>(numel_)};
+}
+
+std::span<const float> Tensor::span() const {
+  return {data(), static_cast<size_t>(numel_)};
+}
+
+float Tensor::item() const {
+  RIPPLE_CHECK(numel_ == 1) << "item() requires a 1-element tensor, shape is "
+                            << shape_to_string(shape_);
+  return (*storage_)[0];
+}
+
+float& Tensor::at(std::initializer_list<int64_t> idx) {
+  RIPPLE_CHECK(static_cast<int>(idx.size()) == rank())
+      << "index rank " << idx.size() << " vs tensor rank " << rank();
+  int64_t off = 0;
+  int d = 0;
+  for (int64_t i : idx) {
+    RIPPLE_CHECK(i >= 0 && i < shape_[static_cast<size_t>(d)])
+        << "index " << i << " out of range at dim " << d << " for shape "
+        << shape_to_string(shape_);
+    off = off * shape_[static_cast<size_t>(d)] + i;
+    ++d;
+  }
+  return (*storage_)[static_cast<size_t>(off)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  RIPPLE_CHECK(storage_ != nullptr) << "reshaped() on undefined tensor";
+  const int64_t n = shape_numel(new_shape);
+  RIPPLE_CHECK(n == numel_) << "reshape " << shape_to_string(shape_) << " -> "
+                            << shape_to_string(new_shape)
+                            << " changes element count";
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = n;
+  t.storage_ = storage_;
+  return t;
+}
+
+Tensor Tensor::flattened() const { return reshaped({numel_}); }
+
+Tensor Tensor::clone() const {
+  if (!defined()) return Tensor();
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+void Tensor::fill(float v) {
+  RIPPLE_CHECK(storage_ != nullptr) << "fill() on undefined tensor";
+  std::fill(storage_->begin(), storage_->end(), v);
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  RIPPLE_CHECK(same_shape(src))
+      << "copy_from shape mismatch: " << shape_to_string(shape_) << " vs "
+      << shape_to_string(src.shape_);
+  std::copy(src.data(), src.data() + numel_, data());
+}
+
+}  // namespace ripple

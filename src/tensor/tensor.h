@@ -1,0 +1,109 @@
+// Dense N-dimensional float tensor.
+//
+// ripple::Tensor is a *handle* type (like torch::Tensor): copying a Tensor
+// shares the underlying storage; use clone() for a deep copy. All tensors
+// are contiguous row-major; shape-changing ops either reinterpret the same
+// storage (reshaped) or produce fresh tensors (transpose, pad, ...).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace ripple {
+
+class Rng;
+
+using Shape = std::vector<int64_t>;
+
+/// Number of elements implied by a shape (product of dims; empty shape = 1,
+/// interpreted as a scalar).
+int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form for error messages.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense, contiguous, row-major float tensor with shared-storage handle
+/// semantics.
+class Tensor {
+ public:
+  /// Empty 0-element tensor (shape []). numel()==1 only for explicit scalar
+  /// construction; a default tensor has no storage and numel()==0.
+  Tensor();
+
+  /// Uninitialized tensor of the given shape (values are zero).
+  explicit Tensor(Shape shape);
+
+  /// Tensor with the given shape adopting `values` (size must match).
+  Tensor(Shape shape, std::vector<float> values);
+
+  /// 0-d scalar tensor.
+  static Tensor scalar(float v);
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float v);
+  /// [0, 1, ..., n-1] as a 1-d tensor.
+  static Tensor arange(int64_t n);
+  /// i.i.d. N(mean, stddev^2).
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// i.i.d. U(lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo = 0.0f,
+                        float hi = 1.0f);
+  /// i.i.d. Bernoulli(p_one) in {0, 1}.
+  static Tensor bernoulli(Shape shape, Rng& rng, float p_one);
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return numel_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  bool defined() const { return storage_ != nullptr; }
+
+  /// Dimension i; negative i counts from the back (dim(-1) = last).
+  int64_t dim(int i) const;
+
+  float* data();
+  const float* data() const;
+  std::span<float> span();
+  std::span<const float> span() const;
+
+  /// Value of a 0-d / 1-element tensor.
+  float item() const;
+
+  /// Element access by multi-index (bounds-checked; for tests and small
+  /// tensors — hot loops should use data()).
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  /// Same storage, new shape (numel must match).
+  Tensor reshaped(Shape new_shape) const;
+  /// Same storage viewed as [numel()].
+  Tensor flattened() const;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  /// True if shapes are identical.
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// Fill all elements with v.
+  void fill(float v);
+  /// Copy values from src (shapes must match exactly).
+  void copy_from(const Tensor& src);
+
+  /// True if both handles share the same storage.
+  bool shares_storage_with(const Tensor& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+ private:
+  Shape shape_;
+  int64_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace ripple

@@ -1,0 +1,92 @@
+#include "tensor/threadpool.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+#include "tensor/env.h"
+
+namespace ripple {
+
+ThreadPool::ThreadPool(int num_threads) {
+  RIPPLE_CHECK(num_threads >= 1) << "pool needs >= 1 thread";
+  // With one thread, jobs run inline in enqueue(); no workers are spawned.
+  if (num_threads == 1) return;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push(std::move(job));
+    ++in_flight_;
+  }
+  cv_job_.notify_one();
+}
+
+void ThreadPool::wait_all() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_ && jobs_.empty()) return;
+      job = std::move(jobs_.front());
+      jobs_.pop();
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return env_int("RIPPLE_THREADS", std::max(1, hw));
+  }());
+  return pool;
+}
+
+void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
+                  int64_t grain) {
+  if (n <= 0) return;
+  ThreadPool& pool = ThreadPool::global();
+  const int workers = std::max(1, pool.size());
+  if (workers == 1 || n <= grain) {
+    body(0, n);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(workers, (n + grain - 1) / grain);
+  const int64_t step = (n + chunks - 1) / chunks;
+  for (int64_t begin = 0; begin < n; begin += step) {
+    const int64_t end = std::min(n, begin + step);
+    pool.enqueue([&body, begin, end] { body(begin, end); });
+  }
+  pool.wait_all();
+}
+
+}  // namespace ripple

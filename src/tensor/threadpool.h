@@ -1,0 +1,53 @@
+// Minimal work-sharing thread pool with a parallel_for helper.
+//
+// On single-core machines (or with RIPPLE_THREADS=1) parallel_for degrades
+// to an inline serial loop with zero synchronization overhead.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ripple {
+
+/// Fixed-size pool of worker threads executing enqueued jobs.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a job; wait_all() blocks until every enqueued job finished.
+  void enqueue(std::function<void()> job);
+  void wait_all();
+
+  /// Process-wide pool sized from RIPPLE_THREADS (default:
+  /// hardware_concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous chunks and runs body(begin, end) on the
+/// global pool. Serial when the pool has one thread or n is small.
+void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
+                  int64_t grain = 1024);
+
+}  // namespace ripple

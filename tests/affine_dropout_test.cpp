@@ -1,0 +1,144 @@
+#include "core/affine_dropout.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/init.h"
+#include "tensor/ops.h"
+
+namespace ripple::core {
+namespace {
+
+namespace ag = ripple::autograd;
+
+TEST(AffineMask, VectorWiseIsAllOrNothing) {
+  Rng rng(1);
+  bool saw_keep = false;
+  bool saw_drop = false;
+  for (int i = 0; i < 100; ++i) {
+    Tensor m = sample_affine_mask(16, 0.5f, DropGranularity::kVectorWise, rng);
+    const float first = m.at({0});
+    for (int64_t k = 0; k < 16; ++k) EXPECT_FLOAT_EQ(m.at({k}), first);
+    if (first == 1.0f) saw_keep = true;
+    if (first == 0.0f) saw_drop = true;
+  }
+  EXPECT_TRUE(saw_keep);
+  EXPECT_TRUE(saw_drop);
+}
+
+TEST(AffineMask, VectorWiseDropRate) {
+  Rng rng(2);
+  int drops = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Tensor m = sample_affine_mask(4, 0.3f, DropGranularity::kVectorWise, rng);
+    if (m.at({0}) == 0.0f) ++drops;
+  }
+  EXPECT_NEAR(drops / 2000.0, 0.3, 0.03);
+}
+
+TEST(AffineMask, ElementWiseIsIndependentPerChannel) {
+  Rng rng(3);
+  Tensor m =
+      sample_affine_mask(10000, 0.3f, DropGranularity::kElementWise, rng);
+  int64_t drops = 0;
+  for (float v : m.span()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    if (v == 0.0f) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / 10000.0, 0.3, 0.03);
+}
+
+TEST(AffineMask, ZeroProbabilityKeepsEverything) {
+  Rng rng(4);
+  Tensor m = sample_affine_mask(32, 0.0f, DropGranularity::kElementWise, rng);
+  for (float v : m.span()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(AffineMask, InvalidArgsThrow) {
+  Rng rng(5);
+  EXPECT_THROW(sample_affine_mask(0, 0.3f, DropGranularity::kVectorWise, rng),
+               CheckError);
+  EXPECT_THROW(sample_affine_mask(4, 1.0f, DropGranularity::kVectorWise, rng),
+               CheckError);
+}
+
+TEST(DropGamma, DroppedEntriesBecomeExactlyOne) {
+  // §III-B: γ multiplies the weighted sum, so it drops to one (not zero).
+  Tensor gamma({4}, {2.0f, -0.5f, 3.0f, 0.7f});
+  Tensor mask({4}, {1.0f, 0.0f, 0.0f, 1.0f});
+  ag::Variable out = drop_gamma_to_one(ag::Variable(gamma), mask);
+  EXPECT_FLOAT_EQ(out.value().at({0}), 2.0f);
+  EXPECT_FLOAT_EQ(out.value().at({1}), 1.0f);
+  EXPECT_FLOAT_EQ(out.value().at({2}), 1.0f);
+  EXPECT_FLOAT_EQ(out.value().at({3}), 0.7f);
+}
+
+TEST(DropBeta, DroppedEntriesBecomeExactlyZero) {
+  Tensor beta({3}, {0.5f, -1.5f, 2.0f});
+  Tensor mask({3}, {0.0f, 1.0f, 0.0f});
+  ag::Variable out = drop_beta_to_zero(ag::Variable(beta), mask);
+  EXPECT_FLOAT_EQ(out.value().at({0}), 0.0f);
+  EXPECT_FLOAT_EQ(out.value().at({1}), -1.5f);
+  EXPECT_FLOAT_EQ(out.value().at({2}), 0.0f);
+}
+
+TEST(DropGamma, GradientOnlyThroughKeptEntries) {
+  Tensor gamma({2}, {2.0f, 3.0f});
+  Tensor mask({2}, {1.0f, 0.0f});
+  ag::Variable g(gamma, true);
+  ag::Variable out = drop_gamma_to_one(g, mask);
+  ag::sum_all(out).backward();
+  EXPECT_FLOAT_EQ(g.grad().at({0}), 1.0f);
+  EXPECT_FLOAT_EQ(g.grad().at({1}), 0.0f);
+}
+
+TEST(DropGamma, MaskShapeMismatchThrows) {
+  ag::Variable g(Tensor({3}));
+  EXPECT_THROW(drop_gamma_to_one(g, Tensor({4})), CheckError);
+}
+
+TEST(GranularityName, Strings) {
+  EXPECT_STREQ(drop_granularity_name(DropGranularity::kVectorWise),
+               "vector-wise");
+  EXPECT_STREQ(drop_granularity_name(DropGranularity::kElementWise),
+               "element-wise");
+}
+
+TEST(AffineInit, NormalStatistics) {
+  Rng rng(6);
+  AffineInit init = AffineInit::normal(0.3f, 0.2f);
+  Tensor gamma = init.make_gamma(10000, rng);
+  Tensor beta = init.make_beta(10000, rng);
+  EXPECT_NEAR(ops::mean(gamma), 1.0f, 0.02f);
+  EXPECT_NEAR(std::sqrt(ops::variance(gamma)), 0.3f, 0.02f);
+  EXPECT_NEAR(ops::mean(beta), 0.0f, 0.02f);
+  EXPECT_NEAR(std::sqrt(ops::variance(beta)), 0.2f, 0.02f);
+}
+
+TEST(AffineInit, UniformRanges) {
+  Rng rng(7);
+  AffineInit init = AffineInit::uniform(2.0f, 0.5f);
+  Tensor gamma = init.make_gamma(1000, rng);
+  Tensor beta = init.make_beta(1000, rng);
+  EXPECT_GE(ops::min(gamma), 0.0f);
+  EXPECT_LE(ops::max(gamma), 2.0f);
+  EXPECT_GE(ops::min(beta), -0.5f);
+  EXPECT_LE(ops::max(beta), 0.5f);
+}
+
+TEST(AffineInit, ConstantMatchesConventionalNorm) {
+  Rng rng(8);
+  AffineInit init = AffineInit::constant();
+  Tensor gamma = init.make_gamma(8, rng);
+  Tensor beta = init.make_beta(8, rng);
+  for (float v : gamma.span()) EXPECT_FLOAT_EQ(v, 1.0f);
+  for (float v : beta.span()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(AffineInit, ZeroChannelsThrow) {
+  Rng rng(9);
+  EXPECT_THROW(AffineInit{}.make_gamma(0, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::core

@@ -1,0 +1,117 @@
+#include "autograd/variable.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::autograd {
+namespace {
+
+TEST(Variable, DefaultUndefined) {
+  Variable v;
+  EXPECT_FALSE(v.defined());
+}
+
+TEST(Variable, LeafHoldsValue) {
+  Variable v(Tensor({2}, {1, 2}), true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FLOAT_EQ(v.value().at({0}), 1.0f);
+}
+
+TEST(Variable, BackwardOnNonScalarThrows) {
+  Variable v(Tensor({2}), true);
+  EXPECT_THROW(v.backward(), CheckError);
+}
+
+TEST(Variable, SimpleChainRule) {
+  // y = (2x)·x = 2x²; dy/dx = 4x at x=3 → 12.
+  Variable x(Tensor::scalar(3.0f), true);
+  Variable y = mul(mul_scalar(x, 2.0f), x);
+  y.backward();
+  EXPECT_FLOAT_EQ(y.value().item(), 18.0f);
+  EXPECT_FLOAT_EQ(x.grad().item(), 12.0f);
+}
+
+TEST(Variable, DiamondGraphAccumulates) {
+  // y = x + x → dy/dx = 2.
+  Variable x(Tensor::scalar(5.0f), true);
+  Variable y = add(x, x);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 2.0f);
+}
+
+TEST(Variable, GradAccumulatesAcrossBackwardCalls) {
+  Variable x(Tensor::scalar(1.0f), true);
+  for (int i = 0; i < 3; ++i) {
+    Variable y = mul_scalar(x, 4.0f);
+    y.backward();
+  }
+  EXPECT_FLOAT_EQ(x.grad().item(), 12.0f);
+  x.zero_grad();
+  EXPECT_FLOAT_EQ(x.grad().item(), 0.0f);
+}
+
+TEST(Variable, NoGradThroughConstants) {
+  Variable x(Tensor::scalar(2.0f), true);
+  Variable c(Tensor::scalar(10.0f), false);
+  Variable y = mul(x, c);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 10.0f);
+  EXPECT_FALSE(c.has_grad());
+}
+
+TEST(Variable, DetachCutsGraph) {
+  Variable x(Tensor::scalar(2.0f), true);
+  Variable d = mul_scalar(x, 3.0f).detach();
+  EXPECT_FALSE(d.requires_grad());
+  Variable y = mul(d, d);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(NoGradGuard, SuppressesGraphConstruction) {
+  Variable x(Tensor::scalar(2.0f), true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(grad_enabled());
+    Variable y = mul_scalar(x, 3.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(grad_enabled());
+  Variable y = mul_scalar(x, 3.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(NoGradGuard, Nests) {
+  NoGradGuard a;
+  {
+    NoGradGuard b;
+    EXPECT_FALSE(grad_enabled());
+  }
+  EXPECT_FALSE(grad_enabled());
+}
+
+TEST(Variable, BackwardWithSeed) {
+  Variable x(Tensor({2}, {1, 2}), true);
+  Variable y = mul_scalar(x, 3.0f);
+  y.backward(Tensor({2}, {1.0f, 10.0f}));
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 3.0f);
+  EXPECT_FLOAT_EQ(x.grad().at({1}), 30.0f);
+}
+
+TEST(Variable, DeepChainDoesNotOverflowStack) {
+  // Iterative DFS must handle very deep graphs.
+  Variable x(Tensor::scalar(1.0f), true);
+  Variable y = x;
+  for (int i = 0; i < 20000; ++i) y = add_scalar(y, 1.0f);
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().item(), 1.0f);
+}
+
+TEST(Node, GradShapeMismatchThrows) {
+  Variable x(Tensor({2}), true);
+  EXPECT_THROW(x.node()->accumulate_grad(Tensor({3})), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::autograd

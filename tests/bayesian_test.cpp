@@ -1,0 +1,96 @@
+#include "core/bayesian.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+#include "tensor/random.h"
+
+namespace ripple::core {
+namespace {
+
+TEST(McClassify, DeterministicForwardGivesZeroVariance) {
+  auto forward = [](const Tensor& x) {
+    Tensor logits({x.dim(0), 3});
+    logits.fill(0.0f);
+    for (int64_t i = 0; i < x.dim(0); ++i) logits.at({i, 1}) = 2.0f;
+    return logits;
+  };
+  McClassification mc = mc_classify(forward, Tensor({4, 2}), 8);
+  EXPECT_EQ(mc.samples, 8);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(mc.predictions[i], 1);
+  for (float v : mc.variance.span()) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(McClassify, MeanProbsAreNormalized) {
+  Rng rng(1);
+  auto forward = [&rng](const Tensor& x) {
+    return Tensor::randn({x.dim(0), 5}, rng);
+  };
+  McClassification mc = mc_classify(forward, Tensor({3, 2}), 16);
+  for (int64_t i = 0; i < 3; ++i) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < 5; ++c) sum += mc.mean_probs.at({i, c});
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+}
+
+TEST(McClassify, StochasticForwardGivesPositiveVariance) {
+  Rng rng(2);
+  auto forward = [&rng](const Tensor& x) {
+    return Tensor::randn({x.dim(0), 4}, rng, 0.0f, 3.0f);
+  };
+  McClassification mc = mc_classify(forward, Tensor({2, 2}), 32);
+  float max_var = 0.0f;
+  for (float v : mc.variance.span()) max_var = std::max(max_var, v);
+  EXPECT_GT(max_var, 1e-3f);
+}
+
+TEST(McClassify, AveragingSharpensNoisyVotes) {
+  // Logits favour class 0 but with heavy noise; MC averaging recovers the
+  // majority class more reliably than a single pass.
+  Rng rng(3);
+  auto forward = [&rng](const Tensor& x) {
+    Tensor logits = Tensor::randn({x.dim(0), 2}, rng, 0.0f, 2.0f);
+    for (int64_t i = 0; i < x.dim(0); ++i) logits.at({i, 0}) += 1.0f;
+    return logits;
+  };
+  int correct = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    McClassification mc = mc_classify(forward, Tensor({1, 1}), 32);
+    if (mc.predictions[0] == 0) ++correct;
+  }
+  EXPECT_GT(correct, trials * 8 / 10);
+}
+
+TEST(McClassify, RequiresAtLeastOneSample) {
+  auto forward = [](const Tensor& x) { return Tensor({x.dim(0), 2}); };
+  EXPECT_THROW(mc_classify(forward, Tensor({1, 1}), 0), CheckError);
+}
+
+TEST(McRegress, MeanAndStddev) {
+  int call = 0;
+  auto forward = [&call](const Tensor& x) {
+    Tensor out({x.dim(0), 1});
+    // Alternates between 1 and 3 → mean 2, std 1.
+    out.fill(call++ % 2 == 0 ? 1.0f : 3.0f);
+    return out;
+  };
+  McRegression mc = mc_regress(forward, Tensor({2, 4, 1}), 100);
+  EXPECT_NEAR(mc.mean.at({0, 0}), 2.0f, 1e-4f);
+  EXPECT_NEAR(mc.stddev.at({0, 0}), 1.0f, 1e-4f);
+}
+
+TEST(McSegment, AveragesSigmoidProbabilities) {
+  int call = 0;
+  auto forward = [&call](const Tensor& x) {
+    Tensor logits(x.shape());
+    logits.fill(call++ % 2 == 0 ? 100.0f : -100.0f);  // prob 1 then 0
+    return logits;
+  };
+  Tensor probs = mc_segment(forward, Tensor({1, 1, 2, 2}), 10);
+  for (float v : probs.span()) EXPECT_NEAR(v, 0.5f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace ripple::core

@@ -1,0 +1,87 @@
+#include "quant/bitcodec.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+namespace ripple::quant {
+namespace {
+
+TEST(FlipRandomBits, ZeroProbabilityFlipsNothing) {
+  std::vector<int32_t> codes = {1, 2, 3};
+  const auto original = codes;
+  Rng rng(1);
+  EXPECT_EQ(flip_random_bits(codes, 8, 0.0f, rng), 0);
+  EXPECT_EQ(codes, original);
+}
+
+TEST(FlipRandomBits, ProbabilityOneFlipsEveryBit) {
+  std::vector<int32_t> codes = {0, 0};
+  Rng rng(2);
+  const int64_t flipped = flip_random_bits(codes, 4, 1.0f, rng);
+  EXPECT_EQ(flipped, 8);
+  EXPECT_EQ(codes[0], 0xF);
+  EXPECT_EQ(codes[1], 0xF);
+}
+
+class FlipRate : public ::testing::TestWithParam<float> {};
+
+TEST_P(FlipRate, ObservedRateMatches) {
+  const float p = GetParam();
+  std::vector<int32_t> codes(2000, 0);
+  Rng rng(3);
+  const int64_t flipped = flip_random_bits(codes, 8, p, rng);
+  const double rate = static_cast<double>(flipped) / (2000.0 * 8.0);
+  EXPECT_NEAR(rate, p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FlipRate,
+                         ::testing::Values(0.01f, 0.05f, 0.1f, 0.2f, 0.5f));
+
+TEST(FlipRandomBits, OnlyTouchesLowBits) {
+  std::vector<int32_t> codes(100, 0);
+  Rng rng(4);
+  flip_random_bits(codes, 3, 1.0f, rng);
+  for (int32_t c : codes) EXPECT_EQ(c, 0b111);
+}
+
+TEST(FlipRandomBits, InvalidArgsThrow) {
+  std::vector<int32_t> codes = {0};
+  Rng rng(5);
+  EXPECT_THROW(flip_random_bits(codes, 0, 0.1f, rng), CheckError);
+  EXPECT_THROW(flip_random_bits(codes, 8, 1.5f, rng), CheckError);
+}
+
+TEST(FlipExactBits, FlipsExactCount) {
+  std::vector<int32_t> codes(50, 0);
+  Rng rng(6);
+  flip_exact_bits(codes, 8, 37, rng);
+  EXPECT_EQ(hamming_distance(codes, std::vector<int32_t>(50, 0), 8), 37);
+}
+
+TEST(FlipExactBits, WithoutReplacement) {
+  // Flipping all bits exactly once yields all-ones.
+  std::vector<int32_t> codes(10, 0);
+  Rng rng(7);
+  flip_exact_bits(codes, 4, 40, rng);
+  for (int32_t c : codes) EXPECT_EQ(c, 0xF);
+}
+
+TEST(FlipExactBits, TooManyThrows) {
+  std::vector<int32_t> codes(2, 0);
+  Rng rng(8);
+  EXPECT_THROW(flip_exact_bits(codes, 4, 9, rng), CheckError);
+}
+
+TEST(HammingDistance, CountsBitDifferences) {
+  EXPECT_EQ(hamming_distance({0b1010}, {0b0101}, 4), 4);
+  EXPECT_EQ(hamming_distance({0b1010}, {0b1010}, 4), 0);
+  EXPECT_EQ(hamming_distance({0xFF}, {0x00}, 4), 4);  // masked to low bits
+}
+
+TEST(HammingDistance, LengthMismatchThrows) {
+  EXPECT_THROW(hamming_distance({1, 2}, {1}, 8), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::quant

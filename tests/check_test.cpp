@@ -1,0 +1,55 @@
+#include "tensor/check.h"
+
+#include <gtest/gtest.h>
+
+namespace ripple {
+namespace {
+
+// RIPPLE_CHECK expands to multiple comma-separated tokens, so wrap it in a
+// callable before handing it to EXPECT_THROW-style macros.
+void check_false() { RIPPLE_CHECK(false); }
+void check_true() { RIPPLE_CHECK(1 + 1 == 2); }
+
+TEST(Check, PassingConditionDoesNotThrow) { EXPECT_NO_THROW(check_true()); }
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(check_false(), CheckError);
+}
+
+TEST(Check, MessageContainsConditionAndContext) {
+  try {
+    RIPPLE_CHECK(2 < 1) << "value was " << 42;
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("value was 42"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckErrorIsLogicError) {
+  EXPECT_THROW(check_false(), std::logic_error);
+}
+
+TEST(Check, StreamedArgumentsNotEvaluatedOnSuccess) {
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return 1;
+  };
+  RIPPLE_CHECK(true) << count();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(Check, WorksInsideIfWithBraces) {
+  const bool flag = true;
+  if (flag) {
+    RIPPLE_CHECK(flag) << "ok";
+  } else {
+    FAIL();
+  }
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,94 @@
+#include "imc/crossbar_linear.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace ripple::imc {
+namespace {
+
+namespace ag = ripple::autograd;
+
+CrossbarConfig config_16x8() {
+  CrossbarConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 8;
+  cfg.dac_bits = 10;
+  cfg.adc_bits = 10;
+  return cfg;
+}
+
+TEST(CrossbarLinear, ForwardBeforeProgramThrows) {
+  CrossbarLinear layer(config_16x8());
+  EXPECT_THROW(layer.forward(ag::Variable(Tensor({2, 16}))), CheckError);
+}
+
+TEST(CrossbarLinear, MatchesDigitalLinearWithinAnalogError) {
+  Rng rng(1);
+  nn::Linear digital(16, 8);
+  CrossbarLinear analog(config_16x8());
+  analog.program(digital.weight().var.value(), digital.bias()->var.value(),
+                 rng);
+
+  Tensor x = Tensor::randn({8, 16}, rng);
+  ag::NoGradGuard no_grad;
+  Tensor want = digital.forward(ag::Variable(x)).value();
+  Tensor got = analog.forward(ag::Variable(x)).value();
+  const float scale = ops::max(ops::abs(want)) + 1e-6f;
+  for (int64_t i = 0; i < want.numel(); ++i)
+    EXPECT_NEAR(got.data()[i] / scale, want.data()[i] / scale, 0.05f);
+}
+
+TEST(CrossbarLinear, WorksWithoutBias) {
+  Rng rng(2);
+  CrossbarLinear layer(config_16x8());
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  layer.program(w, Tensor(), rng);
+  Tensor y = layer.forward(ag::Variable(Tensor::zeros({1, 16}))).value();
+  for (float v : y.span()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(CrossbarLinear, BiasShapeMismatchThrows) {
+  Rng rng(3);
+  CrossbarLinear layer(config_16x8());
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  EXPECT_THROW(layer.program(w, Tensor({5}), rng), CheckError);
+}
+
+TEST(CrossbarLinear, OutputIsGraphConstant) {
+  Rng rng(4);
+  CrossbarLinear layer(config_16x8());
+  layer.program(Tensor::randn({8, 16}, rng, 0.0f, 0.3f), Tensor(), rng);
+  ag::Variable x(Tensor::randn({2, 16}, rng), true);
+  ag::Variable y = layer.forward(x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(CrossbarLinear, VariationDegradesAgreement) {
+  Rng rng(5);
+  nn::Linear digital(16, 8, /*bias=*/false);
+  CrossbarLinear analog(config_16x8());
+  analog.program(digital.weight().var.value(), Tensor(), rng);
+
+  Tensor x = Tensor::randn({16, 16}, rng);
+  ag::NoGradGuard no_grad;
+  Tensor want = digital.forward(ag::Variable(x)).value();
+  auto rmse_vs_digital = [&] {
+    Tensor got = analog.forward(ag::Variable(x)).value();
+    double acc = 0.0;
+    for (int64_t i = 0; i < want.numel(); ++i) {
+      const double d = got.data()[i] - want.data()[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(want.numel()));
+  };
+  const double clean = rmse_vs_digital();
+  Rng var_rng(6);
+  analog.crossbar().apply_conductance_variation(0.3, 0.1, var_rng);
+  EXPECT_GT(rmse_vs_digital(), clean);
+}
+
+}  // namespace
+}  // namespace ripple::imc

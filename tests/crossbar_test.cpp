@@ -1,0 +1,146 @@
+#include "imc/crossbar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::imc {
+namespace {
+
+CrossbarConfig small_config() {
+  CrossbarConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 8;
+  cfg.dac_bits = 12;
+  cfg.adc_bits = 12;
+  return cfg;
+}
+
+TEST(Crossbar, MatvecBeforeProgramThrows) {
+  Crossbar xb(small_config());
+  EXPECT_THROW(xb.matvec(Tensor({16})), CheckError);
+}
+
+TEST(Crossbar, AnalogMatchesIdealWithFineConverters) {
+  Crossbar xb(small_config());
+  Rng rng(1);
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  xb.program(w, rng);
+  Tensor x = Tensor::randn({4, 16}, rng);
+  Tensor analog = xb.matvec(x);
+  Tensor ideal = xb.matvec_ideal(x);
+  const float scale = ops::max(ops::abs(ideal)) + 1e-6f;
+  for (int64_t i = 0; i < analog.numel(); ++i)
+    EXPECT_NEAR(analog.data()[i] / scale, ideal.data()[i] / scale, 0.03f)
+        << "element " << i;
+}
+
+TEST(Crossbar, CoarseAdcIncreasesError) {
+  Rng rng(2);
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  Tensor probe = Tensor::randn({16, 16}, rng);
+
+  CrossbarConfig fine = small_config();
+  Crossbar xb_fine(fine);
+  xb_fine.program(w, rng);
+
+  CrossbarConfig coarse = small_config();
+  coarse.adc_bits = 3;
+  Crossbar xb_coarse(coarse);
+  Rng rng2(2);
+  xb_coarse.program(w, rng2);
+
+  EXPECT_GT(xb_coarse.fidelity_rmse(probe), xb_fine.fidelity_rmse(probe));
+}
+
+TEST(Crossbar, ProgrammingNoiseDegradesFidelity) {
+  Rng rng(3);
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  Tensor probe = Tensor::randn({16, 16}, rng);
+
+  Crossbar clean(small_config());
+  Rng rng_a(7);
+  clean.program(w, rng_a);
+
+  CrossbarConfig noisy_cfg = small_config();
+  noisy_cfg.sigma_programming = 0.2;
+  Crossbar noisy(noisy_cfg);
+  Rng rng_b(7);
+  noisy.program(w, rng_b);
+
+  EXPECT_GT(noisy.fidelity_rmse(probe), clean.fidelity_rmse(probe));
+}
+
+TEST(Crossbar, ConductanceVariationDegradesAndRestoreRecovers) {
+  Rng rng(4);
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  Tensor probe = Tensor::randn({8, 16}, rng);
+  Crossbar xb(small_config());
+  xb.program(w, rng);
+  const double base = xb.fidelity_rmse(probe);
+  xb.apply_conductance_variation(0.3, 0.1, rng);
+  const double degraded = xb.fidelity_rmse(probe);
+  EXPECT_GT(degraded, base);
+  xb.restore();
+  EXPECT_NEAR(xb.fidelity_rmse(probe), base, 1e-12);
+}
+
+TEST(Crossbar, StuckCellsDegrade) {
+  Rng rng(5);
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  Tensor probe = Tensor::randn({8, 16}, rng);
+  Crossbar xb(small_config());
+  xb.program(w, rng);
+  const double base = xb.fidelity_rmse(probe);
+  xb.apply_stuck_cells(0.3, rng);
+  EXPECT_GT(xb.fidelity_rmse(probe), base);
+}
+
+TEST(Crossbar, SingleVectorInput) {
+  Rng rng(6);
+  Tensor w = Tensor::randn({8, 16}, rng, 0.0f, 0.3f);
+  Crossbar xb(small_config());
+  xb.program(w, rng);
+  Tensor x = Tensor::randn({16}, rng);
+  Tensor y = xb.matvec(x);
+  EXPECT_EQ(y.shape(), Shape({8}));
+}
+
+TEST(Crossbar, WrongInputSizeThrows) {
+  Rng rng(7);
+  Crossbar xb(small_config());
+  xb.program(Tensor::randn({8, 16}, rng, 0.0f, 0.3f), rng);
+  EXPECT_THROW(xb.matvec(Tensor({4, 10})), CheckError);
+}
+
+TEST(Crossbar, WrongWeightShapeThrows) {
+  Rng rng(8);
+  Crossbar xb(small_config());
+  EXPECT_THROW(xb.program(Tensor({16, 8}), rng), CheckError);
+}
+
+TEST(Crossbar, ZeroInputGivesZeroOutput) {
+  Rng rng(9);
+  Crossbar xb(small_config());
+  xb.program(Tensor::randn({8, 16}, rng, 0.0f, 0.3f), rng);
+  Tensor y = xb.matvec(Tensor::zeros({16}));
+  for (float v : y.span()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Crossbar, ConfigValidation) {
+  CrossbarConfig bad = small_config();
+  bad.adc_bits = 0;
+  EXPECT_THROW(Crossbar{bad}, CheckError);
+  CrossbarConfig bad2 = small_config();
+  bad2.g_off = bad2.g_on;
+  EXPECT_THROW(Crossbar{bad2}, CheckError);
+  CrossbarConfig bad3 = small_config();
+  bad3.adc_fullscale_fraction = 0.0;
+  EXPECT_THROW(Crossbar{bad3}, CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::imc

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "data/co2_series.h"
+#include "data/synthetic_audio.h"
+#include "data/synthetic_images.h"
+#include "data/transforms.h"
+#include "data/vessel_segmentation.h"
+#include "tensor/ops.h"
+
+namespace ripple::data {
+namespace {
+
+TEST(Batching, TakeRows) {
+  Tensor x({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor out = take_rows(x, {2, 0});
+  EXPECT_EQ(out.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(out.at({0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(out.at({1, 1}), 2.0f);
+  EXPECT_THROW(take_rows(x, {3}), CheckError);
+}
+
+TEST(Batching, SliceRows) {
+  Tensor x({4, 2});
+  Tensor out = slice_rows(x, 1, 2);
+  EXPECT_EQ(out.shape(), Shape({2, 2}));
+  EXPECT_THROW(slice_rows(x, 3, 2), CheckError);
+}
+
+TEST(Batching, ShuffledIndicesArePermutation) {
+  Rng rng(1);
+  auto idx = shuffled_indices(100, rng);
+  std::sort(idx.begin(), idx.end());
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(idx[static_cast<size_t>(i)], i);
+}
+
+TEST(Batching, BatchRangesCoverAll) {
+  const auto ranges = batch_ranges(10, 3);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges[0], std::make_pair(int64_t{0}, int64_t{3}));
+  EXPECT_EQ(ranges[3], std::make_pair(int64_t{9}, int64_t{10}));
+}
+
+TEST(Images, ShapeAndBalance) {
+  Rng rng(2);
+  ImageConfig cfg;
+  ClassificationData d = make_images(200, cfg, rng);
+  EXPECT_EQ(d.x.shape(), Shape({200, 3, 16, 16}));
+  EXPECT_EQ(d.size(), 200);
+  std::vector<int> counts(10, 0);
+  for (int64_t y : d.y) ++counts[static_cast<size_t>(y)];
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(Images, DeterministicGivenSeed) {
+  ImageConfig cfg;
+  Rng a(5);
+  Rng b(5);
+  ClassificationData da = make_images(20, cfg, a);
+  ClassificationData db = make_images(20, cfg, b);
+  for (int64_t i = 0; i < da.x.numel(); ++i)
+    EXPECT_FLOAT_EQ(da.x.data()[i], db.x.data()[i]);
+  EXPECT_EQ(da.y, db.y);
+}
+
+TEST(Images, ClassesAreStatisticallyDistinct) {
+  // Per-sample phase is random, so mean images wash out; class identity
+  // lives in amplitude structure. Check that per-class channel-energy
+  // signatures separate the three dominant-channel groups.
+  Rng rng(3);
+  ImageConfig cfg;
+  cfg.pixel_noise = 0.05f;
+  ClassificationData d = make_images(400, cfg, rng);
+  const int64_t plane = 16 * 16;
+  // energy[class][channel] = mean |pixel|.
+  std::vector<std::array<double, 3>> energy(10, {0.0, 0.0, 0.0});
+  std::vector<int> counts(10, 0);
+  for (int64_t i = 0; i < d.size(); ++i) {
+    const auto c = static_cast<size_t>(d.y[static_cast<size_t>(i)]);
+    for (int64_t ch = 0; ch < 3; ++ch) {
+      double e = 0.0;
+      for (int64_t k = 0; k < plane; ++k)
+        e += std::fabs(d.x.data()[(i * 3 + ch) * plane + k]);
+      energy[c][static_cast<size_t>(ch)] += e / plane;
+    }
+    ++counts[c];
+  }
+  for (size_t c = 0; c < 10; ++c)
+    for (double& v : energy[c]) v /= counts[c];
+  // Each class's dominant channel (c % 3) must carry clearly more energy
+  // than its other channels.
+  for (size_t c = 0; c < 10; ++c) {
+    const size_t dom = c % 3;
+    for (size_t ch = 0; ch < 3; ++ch) {
+      if (ch == dom) continue;
+      EXPECT_GT(energy[c][dom], energy[c][ch] * 1.5)
+          << "class " << c << " channel " << ch;
+    }
+  }
+}
+
+TEST(Audio, ShapeAndBalance) {
+  Rng rng(4);
+  AudioConfig cfg;
+  ClassificationData d = make_audio(160, cfg, rng);
+  EXPECT_EQ(d.x.shape(), Shape({160, 1, 512}));
+  std::vector<int> counts(8, 0);
+  for (int64_t y : d.y) ++counts[static_cast<size_t>(y)];
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(Audio, SignalHasEnvelopeStructure) {
+  Rng rng(5);
+  AudioConfig cfg;
+  cfg.noise_std = 0.0f;
+  ClassificationData d = make_audio(8, cfg, rng);
+  // Early samples (attack) start near zero; energy later decays.
+  const float* clip = d.x.data();
+  EXPECT_LT(std::fabs(clip[0]), 0.2f);
+  double head = 0.0;
+  double tail = 0.0;
+  for (int64_t t = 100; t < 200; ++t) head += clip[t] * clip[t];
+  for (int64_t t = 412; t < 512; ++t) tail += clip[t] * clip[t];
+  EXPECT_GT(head, tail);
+}
+
+TEST(Co2, SeriesHasTrendAndSeasonality) {
+  Rng rng(6);
+  Co2Config cfg;
+  const auto series = make_co2_series(cfg, rng);
+  ASSERT_EQ(series.size(), 600u);
+  // Trend: decade averages increase.
+  double first_decade = 0.0;
+  double last_decade = 0.0;
+  for (int t = 0; t < 120; ++t) first_decade += series[static_cast<size_t>(t)];
+  for (int t = 480; t < 600; ++t) last_decade += series[static_cast<size_t>(t)];
+  EXPECT_GT(last_decade / 120.0, first_decade / 120.0 + 10.0);
+  // Seasonality: lag-12 autocorrelation of detrended series is high.
+  std::vector<double> detrended(600);
+  for (int t = 0; t < 600; ++t)
+    detrended[static_cast<size_t>(t)] =
+        series[static_cast<size_t>(t)] -
+        (t >= 6 && t < 594
+             ? std::accumulate(series.begin() + t - 6, series.begin() + t + 6,
+                               0.0) /
+                   12.0
+             : series[static_cast<size_t>(t)]);
+  double num = 0.0;
+  double den = 0.0;
+  for (int t = 12; t < 594; ++t) {
+    num += detrended[static_cast<size_t>(t)] *
+           detrended[static_cast<size_t>(t - 12)];
+    den += detrended[static_cast<size_t>(t)] *
+           detrended[static_cast<size_t>(t)];
+  }
+  EXPECT_GT(num / den, 0.5);
+}
+
+TEST(Co2, WindowsAlignWithTargets) {
+  Rng rng(7);
+  Co2Config cfg;
+  cfg.months = 100;
+  cfg.window = 12;
+  Co2Split split = make_co2_windows(cfg, 0.7f, rng);
+  EXPECT_EQ(split.train.windows.dim(1), 12);
+  EXPECT_EQ(split.train.windows.dim(2), 1);
+  // The target of window i equals the first element of window i+window? No —
+  // it equals the last element of window i+1's input at position window-1.
+  // Check directly: window i shifted by one starts with window i's second
+  // element.
+  const float* w = split.train.windows.data();
+  const float* t = split.train.targets.data();
+  // target[i] == windows[i+1][11]
+  EXPECT_FLOAT_EQ(t[0], w[1 * 12 + 11]);
+}
+
+TEST(Co2, NormalizationFromTrainOnly) {
+  Rng rng(8);
+  Co2Config cfg;
+  Co2Split split = make_co2_windows(cfg, 0.8f, rng);
+  // Train windows are roughly standardized; test (later in time, rising
+  // trend) sits above.
+  EXPECT_NEAR(ops::mean(split.train.windows), 0.0f, 0.5f);
+  EXPECT_GT(ops::mean(split.test.windows), 0.5f);
+  EXPECT_EQ(split.train.std, split.test.std);
+}
+
+TEST(Vessels, MaskFractionIsVessselLike) {
+  Rng rng(9);
+  VesselConfig cfg;
+  SegmentationData d = make_vessels(20, cfg, rng);
+  EXPECT_EQ(d.images.shape(), Shape({20, 1, 32, 32}));
+  EXPECT_EQ(d.masks.shape(), d.images.shape());
+  const double frac = ops::mean(d.masks);
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST(Vessels, MaskIsBinaryAndImagesBounded) {
+  Rng rng(10);
+  SegmentationData d = make_vessels(5, VesselConfig{}, rng);
+  for (float v : d.masks.span()) EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  for (float v : d.images.span()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Vessels, VesselPixelsAreDarker) {
+  Rng rng(11);
+  VesselConfig cfg;
+  cfg.noise_std = 0.0f;
+  SegmentationData d = make_vessels(10, cfg, rng);
+  double vessel_sum = 0.0;
+  double bg_sum = 0.0;
+  int64_t vessel_n = 0;
+  int64_t bg_n = 0;
+  for (int64_t i = 0; i < d.images.numel(); ++i) {
+    if (d.masks.data()[i] > 0.5f) {
+      vessel_sum += d.images.data()[i];
+      ++vessel_n;
+    } else {
+      bg_sum += d.images.data()[i];
+      ++bg_n;
+    }
+  }
+  ASSERT_GT(vessel_n, 0);
+  EXPECT_LT(vessel_sum / vessel_n, bg_sum / bg_n - 0.2);
+}
+
+TEST(Transforms, ZeroRotationIsIdentity) {
+  Rng rng(12);
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  Tensor y = rotate_images(x, 0.0f);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(y.data()[i], x.data()[i], 1e-5f);
+}
+
+TEST(Transforms, Rotation90MovesPixels) {
+  Tensor x = Tensor::zeros({1, 1, 5, 5});
+  x.at({0, 0, 0, 2}) = 1.0f;  // top-center
+  Tensor y = rotate_images(x, 90.0f);
+  // After 90° the bright pixel moves to a side-center position.
+  EXPECT_LT(y.at({0, 0, 0, 2}), 0.5f);
+  const float side = std::max(y.at({0, 0, 2, 0}), y.at({0, 0, 2, 4}));
+  EXPECT_GT(side, 0.5f);
+}
+
+TEST(Transforms, RotationPreservesEnergyApproximately) {
+  Rng rng(13);
+  Tensor x = Tensor::randn({1, 1, 16, 16}, rng);
+  Tensor y = rotate_images(x, 30.0f);
+  // Interior mass is preserved up to boundary clipping.
+  EXPECT_LT(ops::mean(ops::abs(y)), ops::mean(ops::abs(x)) * 1.1f);
+  EXPECT_GT(ops::mean(ops::abs(y)), ops::mean(ops::abs(x)) * 0.4f);
+}
+
+TEST(Transforms, UniformNoiseLevel) {
+  Rng rng(14);
+  Tensor x = Tensor::zeros({10000});
+  Tensor y = add_uniform_noise(x, 0.5f, rng);
+  EXPECT_GE(ops::min(y), -0.5f);
+  EXPECT_LE(ops::max(y), 0.5f);
+  EXPECT_NEAR(ops::mean(y), 0.0f, 0.02f);
+  // Uniform on [-a,a] has variance a²/3.
+  EXPECT_NEAR(ops::variance(y), 0.25f / 3.0f, 0.01f);
+}
+
+TEST(Transforms, GaussianNoiseStd) {
+  Rng rng(15);
+  Tensor x = Tensor::zeros({10000});
+  Tensor y = add_gaussian_noise(x, 0.3f, rng);
+  EXPECT_NEAR(std::sqrt(ops::variance(y)), 0.3f, 0.02f);
+}
+
+TEST(Transforms, ZeroNoiseIsIdentity) {
+  Rng rng(16);
+  Tensor x = Tensor::randn({100}, rng);
+  Tensor y = add_uniform_noise(x, 0.0f, rng);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+}
+
+}  // namespace
+}  // namespace ripple::data

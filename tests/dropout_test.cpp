@@ -1,0 +1,131 @@
+#include "nn/dropout.h"
+
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::nn {
+namespace {
+
+namespace ag = ripple::autograd;
+
+TEST(Dropout, InvalidProbabilityThrows) {
+  EXPECT_THROW(Dropout(1.0f), CheckError);
+  EXPECT_THROW(Dropout(-0.1f), CheckError);
+  EXPECT_NO_THROW(Dropout(0.0f));
+}
+
+TEST(Dropout, TrainingDropsApproximatelyPFraction) {
+  Rng rng(1);
+  Dropout drop(0.3f, &rng);
+  Tensor x = Tensor::ones({10000});
+  ag::Variable y = drop.forward(ag::Variable(x));
+  int64_t zeros = 0;
+  for (float v : y.value().span())
+    if (v == 0.0f) ++zeros;
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Dropout, InvertedScalingPreservesExpectation) {
+  Rng rng(2);
+  Dropout drop(0.5f, &rng);
+  Tensor x = Tensor::ones({20000});
+  ag::Variable y = drop.forward(ag::Variable(x));
+  EXPECT_NEAR(ops::mean(y.value()), 1.0f, 0.05f);
+  // Kept units are scaled to 1/(1-p) = 2.
+  float max_v = ops::max(y.value());
+  EXPECT_FLOAT_EQ(max_v, 2.0f);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Rng rng(3);
+  Dropout drop(0.5f, &rng);
+  drop.set_training(false);
+  Tensor x = Tensor::ones({100});
+  ag::Variable y = drop.forward(ag::Variable(x));
+  for (float v : y.value().span()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(Dropout, McModeSamplesInEval) {
+  Rng rng(4);
+  Dropout drop(0.5f, &rng);
+  drop.set_training(false);
+  drop.set_mc_mode(true);
+  Tensor x = Tensor::ones({1000});
+  ag::Variable a = drop.forward(ag::Variable(x));
+  ag::Variable b = drop.forward(ag::Variable(x));
+  // Two MC passes draw different masks.
+  bool differ = false;
+  for (int64_t i = 0; i < 1000; ++i)
+    if (a.value().data()[i] != b.value().data()[i]) differ = true;
+  EXPECT_TRUE(differ);
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityEvenInTraining) {
+  Dropout drop(0.0f);
+  Tensor x = Tensor::ones({10});
+  ag::Variable y = drop.forward(ag::Variable(x));
+  for (float v : y.value().span()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(SpatialDropout, DropsWholeChannels) {
+  Rng rng(5);
+  SpatialDropout drop(0.5f, &rng);
+  Tensor x = Tensor::ones({4, 8, 6, 6});
+  ag::Variable y = drop.forward(ag::Variable(x));
+  // Every (sample, channel) plane is either all zero or all 1/(1-p).
+  const float* p = y.value().data();
+  int64_t dropped = 0;
+  for (int64_t nc = 0; nc < 32; ++nc) {
+    const float first = p[nc * 36];
+    EXPECT_TRUE(first == 0.0f || first == 2.0f);
+    for (int64_t i = 1; i < 36; ++i) EXPECT_FLOAT_EQ(p[nc * 36 + i], first);
+    if (first == 0.0f) ++dropped;
+  }
+  EXPECT_GT(dropped, 4);
+  EXPECT_LT(dropped, 28);
+}
+
+TEST(SpatialDropout, Rank1InputThrows) {
+  SpatialDropout drop(0.5f);
+  EXPECT_THROW(drop.forward(ag::Variable(Tensor({4}))), CheckError);
+}
+
+TEST(SpatialDropout, EvalIdentityAndMcMode) {
+  Rng rng(6);
+  SpatialDropout drop(0.4f, &rng);
+  drop.set_training(false);
+  Tensor x = Tensor::ones({2, 4, 3, 3});
+  ag::Variable y = drop.forward(ag::Variable(x));
+  for (float v : y.value().span()) EXPECT_FLOAT_EQ(v, 1.0f);
+  drop.set_mc_mode(true);
+  bool any_zero = false;
+  for (int i = 0; i < 10 && !any_zero; ++i) {
+    ag::Variable z = drop.forward(ag::Variable(x));
+    for (float v : z.value().span())
+      if (v == 0.0f) any_zero = true;
+  }
+  EXPECT_TRUE(any_zero);
+}
+
+TEST(Dropout, GradientFlowsThroughKeptUnits) {
+  Rng rng(7);
+  Dropout drop(0.5f, &rng);
+  ag::Variable x(Tensor::ones({100}), true);
+  ag::Variable y = drop.forward(x);
+  ag::sum_all(y).backward();
+  const float* g = x.grad().data();
+  const float* v = y.value().data();
+  for (int64_t i = 0; i < 100; ++i) {
+    if (v[i] == 0.0f)
+      EXPECT_FLOAT_EQ(g[i], 0.0f);
+    else
+      EXPECT_FLOAT_EQ(g[i], 2.0f);
+  }
+}
+
+}  // namespace
+}  // namespace ripple::nn

@@ -1,0 +1,72 @@
+#include "tensor/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "tensor/check.h"
+
+namespace ripple {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("RIPPLE_TEST_VAR");
+    unsetenv("RIPPLE_FAST");
+  }
+};
+
+TEST_F(EnvTest, IntFallbackWhenUnset) {
+  unsetenv("RIPPLE_TEST_VAR");
+  EXPECT_EQ(env_int("RIPPLE_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, IntParsesValue) {
+  setenv("RIPPLE_TEST_VAR", "42", 1);
+  EXPECT_EQ(env_int("RIPPLE_TEST_VAR", 7), 42);
+}
+
+TEST_F(EnvTest, IntParsesNegative) {
+  setenv("RIPPLE_TEST_VAR", "-3", 1);
+  EXPECT_EQ(env_int("RIPPLE_TEST_VAR", 7), -3);
+}
+
+TEST_F(EnvTest, IntRejectsGarbage) {
+  setenv("RIPPLE_TEST_VAR", "12abc", 1);
+  EXPECT_THROW(env_int("RIPPLE_TEST_VAR", 7), CheckError);
+}
+
+TEST_F(EnvTest, EmptyStringUsesFallback) {
+  setenv("RIPPLE_TEST_VAR", "", 1);
+  EXPECT_EQ(env_int("RIPPLE_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsesValue) {
+  setenv("RIPPLE_TEST_VAR", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("RIPPLE_TEST_VAR", 1.0), 0.25);
+}
+
+TEST_F(EnvTest, DoubleRejectsGarbage) {
+  setenv("RIPPLE_TEST_VAR", "x", 1);
+  EXPECT_THROW(env_double("RIPPLE_TEST_VAR", 1.0), CheckError);
+}
+
+TEST_F(EnvTest, StringFallbackAndValue) {
+  unsetenv("RIPPLE_TEST_VAR");
+  EXPECT_EQ(env_string("RIPPLE_TEST_VAR", "dflt"), "dflt");
+  setenv("RIPPLE_TEST_VAR", "hello", 1);
+  EXPECT_EQ(env_string("RIPPLE_TEST_VAR", "dflt"), "hello");
+}
+
+TEST_F(EnvTest, FastModeReflectsEnv) {
+  unsetenv("RIPPLE_FAST");
+  EXPECT_FALSE(fast_mode());
+  setenv("RIPPLE_FAST", "1", 1);
+  EXPECT_TRUE(fast_mode());
+  setenv("RIPPLE_FAST", "0", 1);
+  EXPECT_FALSE(fast_mode());
+}
+
+}  // namespace
+}  // namespace ripple

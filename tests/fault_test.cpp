@@ -1,0 +1,252 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/monte_carlo.h"
+#include "tensor/ops.h"
+
+namespace ripple::fault {
+namespace {
+
+namespace ag = ripple::autograd;
+
+/// Minimal module with one quantized and one full-precision parameter.
+class ToyModel : public ag::Module {
+ public:
+  ToyModel() {
+    Rng rng(3);
+    quant_param_ =
+        &register_parameter("qw", Tensor::randn({64}, rng, 0.0f, 0.2f));
+    float_param_ =
+        &register_parameter("fw", Tensor::randn({16}, rng, 0.0f, 0.2f));
+    quantizer_ = std::make_unique<quant::IntQuantizer>(8);
+    quantizer_->calibrate(quant_param_->var.value());
+    // Deploy: move the latent weights onto the quantization grid.
+    Tensor& w = quant_param_->var.value();
+    w.copy_from(quantizer_->decode(quantizer_->encode(w), w.shape()));
+  }
+  std::vector<FaultTarget> targets() {
+    return {{quant_param_, quantizer_.get()}, {float_param_, nullptr}};
+  }
+  ag::Parameter* quant_param_;
+  ag::Parameter* float_param_;
+  std::unique_ptr<quant::IntQuantizer> quantizer_;
+};
+
+TEST(FaultSpec, DescribeAndFactories) {
+  EXPECT_EQ(FaultSpec{}.describe(), "clean");
+  EXPECT_TRUE(FaultSpec{}.is_clean());
+  EXPECT_NE(FaultSpec::bitflips(0.1f).describe().find("bitflip"),
+            std::string::npos);
+  EXPECT_FALSE(FaultSpec::additive(0.2f).is_clean());
+  EXPECT_TRUE(FaultSpec::additive(0.2f, true).noise_on_activations);
+  EXPECT_NE(FaultSpec::stuck_at(0.1f).describe().find("stuck"),
+            std::string::npos);
+}
+
+TEST(Injector, CleanSpecKeepsWeights) {
+  ToyModel m;
+  Tensor before = m.quant_param_->var.value().clone();
+  FaultInjector inj(m.targets());
+  Rng rng(1);
+  inj.apply(FaultSpec{}, rng);
+  for (int64_t i = 0; i < before.numel(); ++i)
+    EXPECT_FLOAT_EQ(m.quant_param_->var.value().data()[i], before.data()[i]);
+  inj.restore();
+}
+
+TEST(Injector, BitflipsHitOnlyQuantizedTargets) {
+  ToyModel m;
+  Tensor q_before = m.quant_param_->var.value().clone();
+  Tensor f_before = m.float_param_->var.value().clone();
+  FaultInjector inj(m.targets());
+  Rng rng(2);
+  inj.apply(FaultSpec::bitflips(0.2f), rng);
+  EXPECT_GT(inj.last_flipped_bits(), 0);
+  bool q_changed = false;
+  for (int64_t i = 0; i < q_before.numel(); ++i)
+    if (m.quant_param_->var.value().data()[i] != q_before.data()[i])
+      q_changed = true;
+  EXPECT_TRUE(q_changed);
+  for (int64_t i = 0; i < f_before.numel(); ++i)
+    EXPECT_FLOAT_EQ(m.float_param_->var.value().data()[i],
+                    f_before.data()[i]);
+  inj.restore();
+}
+
+TEST(Injector, RestoreIsExact) {
+  ToyModel m;
+  Tensor q_before = m.quant_param_->var.value().clone();
+  FaultInjector inj(m.targets());
+  Rng rng(3);
+  inj.apply(FaultSpec::bitflips(0.3f), rng);
+  inj.restore();
+  for (int64_t i = 0; i < q_before.numel(); ++i)
+    EXPECT_FLOAT_EQ(m.quant_param_->var.value().data()[i],
+                    q_before.data()[i]);
+}
+
+TEST(Injector, DoubleApplyThrows) {
+  ToyModel m;
+  FaultInjector inj(m.targets());
+  Rng rng(4);
+  inj.apply(FaultSpec::bitflips(0.1f), rng);
+  EXPECT_THROW(inj.apply(FaultSpec::bitflips(0.1f), rng), CheckError);
+  inj.restore();
+  EXPECT_THROW(inj.restore(), CheckError);
+}
+
+TEST(Injector, AdditiveNoiseScalesWithSigma) {
+  ToyModel m;
+  Tensor before = m.quant_param_->var.value().clone();
+  const float wstd = std::sqrt(ops::variance(before));
+  FaultInjector inj(m.targets());
+  Rng rng(5);
+  inj.apply(FaultSpec::additive(0.5f), rng);
+  Tensor delta =
+      ops::sub(m.quant_param_->var.value(), before);
+  const float observed = std::sqrt(ops::variance(delta));
+  EXPECT_NEAR(observed, 0.5f * wstd, 0.15f * wstd);
+  inj.restore();
+}
+
+TEST(Injector, MultiplicativeNoisePreservesZeros) {
+  ToyModel m;
+  m.quant_param_->var.value().fill(0.0f);
+  FaultInjector inj(m.targets());
+  Rng rng(6);
+  inj.apply(FaultSpec::multiplicative(0.5f), rng);
+  for (float v : m.quant_param_->var.value().span()) EXPECT_FLOAT_EQ(v, 0.0f);
+  inj.restore();
+}
+
+TEST(Injector, ActivationRoutingSetsNoiseConfig) {
+  ToyModel m;
+  auto noise = std::make_shared<nn::ActivationNoiseConfig>();
+  FaultInjector inj(m.targets(), noise);
+  Rng rng(7);
+  Tensor before = m.quant_param_->var.value().clone();
+  inj.apply(FaultSpec::additive(0.4f, /*on_activations=*/true), rng);
+  EXPECT_TRUE(noise->enabled);
+  EXPECT_FLOAT_EQ(noise->additive_std, 0.4f);
+  // Weights untouched when noise routes to activations.
+  for (int64_t i = 0; i < before.numel(); ++i)
+    EXPECT_FLOAT_EQ(m.quant_param_->var.value().data()[i],
+                    before.data()[i]);
+  inj.restore();
+  EXPECT_FALSE(noise->enabled);
+  EXPECT_FLOAT_EQ(noise->additive_std, 0.0f);
+}
+
+TEST(Injector, ActivationRoutingWithoutHookThrows) {
+  ToyModel m;
+  FaultInjector inj(m.targets());
+  Rng rng(8);
+  EXPECT_THROW(inj.apply(FaultSpec::additive(0.1f, true), rng), CheckError);
+}
+
+TEST(Injector, StuckAtForcesExtremes) {
+  ToyModel m;
+  const float wmax = ops::max(ops::abs(m.quant_param_->var.value()));
+  FaultInjector inj(m.targets());
+  Rng rng(9);
+  inj.apply(FaultSpec::stuck_at(1.0f), rng);
+  for (float v : m.quant_param_->var.value().span())
+    EXPECT_NEAR(std::fabs(v), wmax, 1e-6f);
+  inj.restore();
+}
+
+TEST(Injector, DestructorRestores) {
+  ToyModel m;
+  Tensor before = m.quant_param_->var.value().clone();
+  {
+    FaultInjector inj(m.targets());
+    Rng rng(10);
+    inj.apply(FaultSpec::bitflips(0.3f), rng);
+  }
+  for (int64_t i = 0; i < before.numel(); ++i)
+    EXPECT_FLOAT_EQ(m.quant_param_->var.value().data()[i],
+                    before.data()[i]);
+}
+
+TEST(Injector, RetentionDriftShrinksMagnitudes) {
+  ToyModel m;
+  Tensor before = m.quant_param_->var.value().clone();
+  FaultInjector inj(m.targets());
+  Rng rng(11);
+  inj.apply(FaultSpec::drift(1.0f), rng);
+  const Tensor& after = m.quant_param_->var.value();
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    EXPECT_LE(std::fabs(after.data()[i]),
+              std::fabs(before.data()[i]) + 1e-7f);
+    // Sign never flips under pure decay.
+    if (before.data()[i] != 0.0f)
+      EXPECT_GE(after.data()[i] * before.data()[i], 0.0f);
+  }
+  // Mean decay factor lands near exp(-1).
+  double ratio_sum = 0.0;
+  int64_t counted = 0;
+  for (int64_t i = 0; i < before.numel(); ++i) {
+    if (std::fabs(before.data()[i]) < 1e-6f) continue;
+    ratio_sum += after.data()[i] / before.data()[i];
+    ++counted;
+  }
+  EXPECT_NEAR(ratio_sum / static_cast<double>(counted), std::exp(-1.0),
+              0.15);
+  inj.restore();
+}
+
+TEST(Injector, ZeroDriftTimeIsIdentity) {
+  ToyModel m;
+  Tensor before = m.quant_param_->var.value().clone();
+  FaultInjector inj(m.targets());
+  Rng rng(12);
+  inj.apply(FaultSpec::drift(0.0f), rng);
+  for (int64_t i = 0; i < before.numel(); ++i)
+    EXPECT_FLOAT_EQ(m.quant_param_->var.value().data()[i],
+                    before.data()[i]);
+  inj.restore();
+}
+
+TEST(FaultSpec, DriftDescribe) {
+  EXPECT_NE(FaultSpec::drift(0.5f).describe().find("drift"),
+            std::string::npos);
+  EXPECT_FALSE(FaultSpec::drift(0.5f).is_clean());
+}
+
+TEST(MonteCarlo, StatsAreCorrect) {
+  const MonteCarloStats s = run_monte_carlo(
+      4, 123, [](int run, Rng&) { return static_cast<double>(run); });
+  EXPECT_EQ(s.runs, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 1.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3.0), 1e-12);
+}
+
+TEST(MonteCarlo, RunsAreReproducibleAndIndependent) {
+  auto trial = [](int, Rng& rng) {
+    return static_cast<double>(rng.uniform());
+  };
+  const MonteCarloStats a = run_monte_carlo(5, 42, trial);
+  const MonteCarloStats b = run_monte_carlo(5, 42, trial);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a.values[i], b.values[i]);
+  // Different runs draw different randomness.
+  EXPECT_NE(a.values[0], a.values[1]);
+}
+
+TEST(MonteCarlo, SingleRunStddevIsZero) {
+  const MonteCarloStats s =
+      run_monte_carlo(1, 7, [](int, Rng&) { return 3.0; });
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(MonteCarlo, ZeroRunsThrow) {
+  EXPECT_THROW(run_monte_carlo(0, 1, [](int, Rng&) { return 0.0; }),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::fault

@@ -1,0 +1,109 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/random.h"
+
+namespace ripple {
+namespace {
+
+void naive_gemm(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += a[i * k + kk] * b[kk * n + j];
+      c[i * n + j] += static_cast<float>(acc);
+    }
+}
+
+class GemmSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, NnMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(17);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c({m, n});
+  Tensor ref({m, n});
+  gemm_nn(m, n, k, a.data(), b.data(), c.data());
+  naive_gemm(m, n, k, a.data(), b.data(), ref.data());
+  for (int64_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-3f) << "at " << i;
+}
+
+TEST_P(GemmSizes, NtMatchesNaiveOnTransposedB) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(18);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor bt = Tensor::randn({n, k}, rng);  // B stored transposed
+  Tensor c({m, n});
+  gemm_nt(m, n, k, a.data(), bt.data(), c.data());
+  // Reference: build B = btᵀ then naive.
+  Tensor b({k, n});
+  for (int64_t j = 0; j < n; ++j)
+    for (int64_t kk = 0; kk < k; ++kk)
+      b.data()[kk * n + j] = bt.data()[j * k + kk];
+  Tensor ref({m, n});
+  naive_gemm(m, n, k, a.data(), b.data(), ref.data());
+  for (int64_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-3f);
+}
+
+TEST_P(GemmSizes, TnMatchesNaiveOnTransposedA) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(19);
+  Tensor at = Tensor::randn({k, m}, rng);  // A stored transposed
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c({m, n});
+  gemm_tn(m, n, k, at.data(), b.data(), c.data());
+  Tensor a({m, k});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t kk = 0; kk < k; ++kk)
+      a.data()[i * k + kk] = at.data()[kk * m + i];
+  Tensor ref({m, n});
+  naive_gemm(m, n, k, a.data(), b.data(), ref.data());
+  for (int64_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 9), std::make_tuple(16, 16, 16),
+                      std::make_tuple(33, 17, 65),
+                      std::make_tuple(64, 128, 72),
+                      std::make_tuple(1, 64, 300)));
+
+TEST(Gemm, AccumulatesIntoC) {
+  Tensor a({1, 1}, {2.0f});
+  Tensor b({1, 1}, {3.0f});
+  Tensor c({1, 1}, {10.0f});
+  gemm_nn(1, 1, 1, a.data(), b.data(), c.data());
+  EXPECT_FLOAT_EQ(c.item(), 16.0f);
+}
+
+TEST(Gemm, SkipsZeroWeights) {
+  // The nn kernel short-circuits zero A entries (binary nets are sparse in
+  // sums); verify correctness is unaffected.
+  Tensor a({2, 2}, {0.0f, 1.0f, -1.0f, 0.0f});
+  Tensor b({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor c = matmul(Tensor({2, 2}, {0, 1, -1, 0}), b);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), -1.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), -2.0f);
+}
+
+TEST(Gemm, MatmulShapeChecks) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), CheckError);
+  Tensor c({3});
+  EXPECT_THROW(matmul(a, c), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,177 @@
+// Numerical gradient checks for convolution, pooling and resampling ops.
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::autograd {
+namespace {
+
+constexpr double kTol = 5e-2;
+
+Variable weighted_sum(const Variable& v, uint64_t seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(v.shape(), rng);
+  return sum_all(mul(v, Variable(w)));
+}
+
+struct Conv2dCase {
+  int64_t stride;
+  int64_t pad;
+};
+
+class Conv2dGrad : public ::testing::TestWithParam<Conv2dCase> {};
+
+TEST_P(Conv2dGrad, InputWeightBias) {
+  const auto [stride, pad] = GetParam();
+  Rng rng(31);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 2, 5, 5}, rng), true),   // x
+      Variable(Tensor::randn({3, 2, 3, 3}, rng), true),   // w
+      Variable(Tensor::randn({3}, rng), true)};           // b
+  auto r = gradcheck(
+      [stride, pad](std::vector<Variable>& v) {
+        return weighted_sum(conv2d(v[0], v[1], v[2], stride, pad), 41);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol)
+      << "worst input " << r.worst_input << " elem " << r.worst_element;
+}
+
+INSTANTIATE_TEST_SUITE_P(StridePad, Conv2dGrad,
+                         ::testing::Values(Conv2dCase{1, 0}, Conv2dCase{1, 1},
+                                           Conv2dCase{2, 1}));
+
+TEST(GradCheck, Conv2dNoBias) {
+  Rng rng(32);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({1, 1, 4, 4}, rng), true),
+      Variable(Tensor::randn({2, 1, 3, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(conv2d(v[0], v[1], Variable(), 1, 1), 42);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, Conv1d) {
+  Rng rng(33);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 2, 8}, rng), true),
+      Variable(Tensor::randn({3, 2, 3}, rng), true),
+      Variable(Tensor::randn({3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(conv1d(v[0], v[1], v[2], 2, 1), 43);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, MaxPool2d) {
+  // Distinct values so the argmax is stable under perturbation.
+  Tensor t({1, 1, 4, 4});
+  for (int64_t i = 0; i < 16; ++i)
+    t.data()[i] = static_cast<float>(i) * 0.37f;
+  std::vector<Variable> in = {Variable(t, true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(maxpool2d(v[0], 2, 2), 44);
+      },
+      in, /*perturbation=*/1e-3f);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, MaxPool1d) {
+  Tensor t({1, 2, 8});
+  for (int64_t i = 0; i < 16; ++i)
+    t.data()[i] = static_cast<float>((i * 7) % 16) * 0.3f;
+  std::vector<Variable> in = {Variable(t, true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(maxpool1d(v[0], 2, 2), 45);
+      },
+      in, /*perturbation=*/1e-3f);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, AvgPool2d) {
+  Rng rng(34);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 2, 4, 4}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(avgpool2d(v[0], 2, 2), 46);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, GlobalAvgPool2d) {
+  Rng rng(35);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 3, 3, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(global_avg_pool2d(v[0]), 47);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, GlobalAvgPool1d) {
+  Rng rng(36);
+  std::vector<Variable> in = {Variable(Tensor::randn({2, 3, 5}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(global_avg_pool1d(v[0]), 48);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, UpsampleNearest2x) {
+  Rng rng(37);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 2, 3, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(upsample_nearest2x(v[0]), 49);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(ConvOps, Conv2dOutputShape) {
+  Rng rng(38);
+  Variable x(Tensor::randn({2, 3, 9, 9}, rng));
+  Variable w(Tensor::randn({5, 3, 3, 3}, rng));
+  Variable y = conv2d(x, w, Variable(), 2, 1);
+  EXPECT_EQ(y.shape(), Shape({2, 5, 5, 5}));
+}
+
+TEST(ConvOps, ChannelMismatchThrows) {
+  Variable x(Tensor({1, 2, 4, 4}));
+  Variable w(Tensor({3, 4, 3, 3}));
+  EXPECT_THROW(conv2d(x, w, Variable(), 1, 1), CheckError);
+}
+
+TEST(ConvOps, UpsampleValues) {
+  Tensor t({1, 1, 2, 2}, {1, 2, 3, 4});
+  Variable y = upsample_nearest2x(Variable(t));
+  EXPECT_EQ(y.shape(), Shape({1, 1, 4, 4}));
+  EXPECT_FLOAT_EQ(y.value().at({0, 0, 0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(y.value().at({0, 0, 3, 3}), 4.0f);
+}
+
+TEST(ConvOps, MaxPoolValues) {
+  Tensor t({1, 1, 2, 2}, {1, 5, 3, 2});
+  Variable y = maxpool2d(Variable(t), 2, 2);
+  EXPECT_EQ(y.shape(), Shape({1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.value().item(), 5.0f);
+}
+
+}  // namespace
+}  // namespace ripple::autograd

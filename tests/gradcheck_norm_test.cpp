@@ -1,0 +1,186 @@
+// Gradient and statistics checks for the fused normalization ops.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::autograd {
+namespace {
+
+constexpr double kTol = 5e-2;
+
+Variable weighted_sum(const Variable& v, uint64_t seed) {
+  Rng rng(seed);
+  Tensor w = Tensor::randn(v.shape(), rng);
+  return sum_all(mul(v, Variable(w)));
+}
+
+class GroupNormGroups : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupNormGroups, GradCheck4d) {
+  const int groups = GetParam();
+  Rng rng(51);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 4, 3, 3}, rng, 0.0f, 2.0f), true)};
+  auto r = gradcheck(
+      [groups](std::vector<Variable>& v) {
+        return weighted_sum(group_normalize(v[0], groups), 61);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol) << "groups=" << groups;
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, GroupNormGroups, ::testing::Values(1, 2, 4));
+
+TEST(GroupNormalize, GradCheck2d) {
+  Rng rng(52);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({3, 6}, rng, 1.0f, 3.0f), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(group_normalize(v[0], 1), 62);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GroupNormalize, OutputIsStandardizedPerSlab) {
+  Rng rng(53);
+  Variable x(Tensor::randn({3, 4, 5, 5}, rng, 5.0f, 2.0f));
+  Variable y = group_normalize(x, 2);
+  // Each (sample, group) slab must be ~N(0,1).
+  const int64_t slab = 2 * 25;
+  const float* p = y.value().data();
+  for (int64_t s = 0; s < 3 * 2; ++s) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < slab; ++i) mean += p[s * slab + i];
+    mean /= slab;
+    double var = 0.0;
+    for (int64_t i = 0; i < slab; ++i)
+      var += (p[s * slab + i] - mean) * (p[s * slab + i] - mean);
+    var /= slab;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(GroupNormalize, ReStandardizesShiftedInput) {
+  // The paper's robustness mechanism: per-instance statistics absorb
+  // additive/multiplicative distribution shifts (Fig. 1).
+  Rng rng(54);
+  Tensor x = Tensor::randn({2, 4, 4, 4}, rng);
+  Tensor shifted = ops::add_scalar(ops::mul_scalar(x, 3.0f), 7.0f);
+  Variable y0 = group_normalize(Variable(x), 1);
+  Variable y1 = group_normalize(Variable(shifted), 1);
+  for (int64_t i = 0; i < y0.numel(); ++i)
+    EXPECT_NEAR(y0.value().data()[i], y1.value().data()[i], 1e-3f);
+}
+
+TEST(GroupNormalize, IndivisibleGroupsThrow) {
+  Variable x(Tensor({2, 5, 2, 2}));
+  EXPECT_THROW(group_normalize(x, 2), CheckError);
+}
+
+TEST(GroupNormalize, SingleElementSlabThrows) {
+  Variable x(Tensor({2, 1}));
+  EXPECT_THROW(group_normalize(x, 1), CheckError);
+}
+
+TEST(BatchNormalize, TrainingGradCheck) {
+  Rng rng(55);
+  Tensor rm = Tensor::zeros({3});
+  Tensor rv = Tensor::ones({3});
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({4, 3, 2, 2}, rng, 0.0f, 2.0f), true)};
+  auto r = gradcheck(
+      [&rm, &rv](std::vector<Variable>& v) {
+        return weighted_sum(
+            batch_normalize(v[0], rm, rv, /*training=*/true, 0.1f), 63);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(BatchNormalize, EvalGradCheck) {
+  Rng rng(56);
+  Tensor rm({3}, {0.5f, -0.2f, 1.0f});
+  Tensor rv({3}, {1.5f, 0.8f, 2.0f});
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({4, 3}, rng), true)};
+  auto r = gradcheck(
+      [&rm, &rv](std::vector<Variable>& v) {
+        return weighted_sum(
+            batch_normalize(v[0], rm, rv, /*training=*/false, 0.1f), 64);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(BatchNormalize, UpdatesRunningStats) {
+  Rng rng(57);
+  Tensor rm = Tensor::zeros({2});
+  Tensor rv = Tensor::ones({2});
+  Variable x(Tensor::randn({64, 2}, rng, 3.0f, 1.0f));
+  batch_normalize(x, rm, rv, /*training=*/true, /*momentum=*/1.0f);
+  // momentum=1 → running stats equal batch stats.
+  EXPECT_NEAR(rm.at({0}), 3.0f, 0.5f);
+  EXPECT_NEAR(rv.at({0}), 1.0f, 0.5f);
+}
+
+TEST(BatchNormalize, EvalUsesRunningStats) {
+  Tensor rm({1}, {10.0f});
+  Tensor rv({1}, {4.0f});
+  Tensor x({2, 1}, {10.0f, 14.0f});
+  Variable y = batch_normalize(Variable(x), rm, rv, /*training=*/false, 0.1f);
+  EXPECT_NEAR(y.value().at({0, 0}), 0.0f, 1e-3f);
+  EXPECT_NEAR(y.value().at({1, 0}), 2.0f, 1e-2f);
+}
+
+TEST(BatchNormalize, TrainingOutputStandardized) {
+  Rng rng(58);
+  Tensor rm = Tensor::zeros({4});
+  Tensor rv = Tensor::ones({4});
+  Variable x(Tensor::randn({16, 4, 3, 3}, rng, -2.0f, 3.0f));
+  Variable y = batch_normalize(x, rm, rv, true, 0.1f);
+  // Per channel, over (N, H, W).
+  const float* p = y.value().data();
+  for (int64_t c = 0; c < 4; ++c) {
+    double mean = 0.0;
+    int64_t count = 0;
+    for (int64_t n = 0; n < 16; ++n)
+      for (int64_t i = 0; i < 9; ++i) {
+        mean += p[(n * 4 + c) * 9 + i];
+        ++count;
+      }
+    mean /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+  }
+}
+
+TEST(GradCheck, SignSte) {
+  // Gradient is the clipped identity; check the pass-through region only
+  // (the sign value itself is piecewise constant, so compare against the
+  // STE convention, not the true derivative).
+  Tensor t({4}, {-0.5f, 0.3f, -2.0f, 1.5f});
+  Variable x(t, true);
+  Variable y = sum_all(sign_ste(x, 1.0f));
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 1.0f);   // |x| <= 1 → passes
+  EXPECT_FLOAT_EQ(x.grad().at({1}), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().at({2}), 0.0f);   // clipped
+  EXPECT_FLOAT_EQ(x.grad().at({3}), 0.0f);
+}
+
+TEST(SignSte, ValuesAreBinary) {
+  Rng rng(59);
+  Variable x(Tensor::randn({100}, rng));
+  Variable y = sign_ste(x);
+  for (float v : y.value().span()) EXPECT_TRUE(v == 1.0f || v == -1.0f);
+}
+
+}  // namespace
+}  // namespace ripple::autograd

@@ -1,0 +1,283 @@
+// Numerical gradient checks for the elementwise / broadcast / shape /
+// linear-algebra ops. Each check builds a scalar loss through the op under
+// test and compares analytic gradients against central differences.
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/loss.h"
+#include "autograd/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::autograd {
+namespace {
+
+constexpr double kTol = 5e-2;  // float32 central differences
+
+Variable weighted_sum(const Variable& v, uint64_t seed) {
+  // Random linear functional → scalar, so every output element matters.
+  Rng rng(seed);
+  Tensor w = Tensor::randn(v.shape(), rng);
+  return sum_all(mul(v, Variable(w)));
+}
+
+TEST(GradCheck, Add) {
+  Rng rng(1);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 4}, rng), true),
+                              Variable(Tensor::randn({3, 4}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(add(v[0], v[1]), 10);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, Sub) {
+  Rng rng(2);
+  std::vector<Variable> in = {Variable(Tensor::randn({2, 5}, rng), true),
+                              Variable(Tensor::randn({2, 5}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(sub(v[0], v[1]), 11);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, Mul) {
+  Rng rng(3);
+  std::vector<Variable> in = {Variable(Tensor::randn({4, 3}, rng), true),
+                              Variable(Tensor::randn({4, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(mul(v[0], v[1]), 12);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, ScalarOps) {
+  Rng rng(4);
+  std::vector<Variable> in = {Variable(Tensor::randn({6}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(add_scalar(mul_scalar(v[0], -2.5f), 1.0f), 13);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, MulChannel4d) {
+  Rng rng(5);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 3, 2, 2}, rng), true),
+      Variable(Tensor::randn({3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(mul_channel(v[0], v[1]), 14);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, AddChannel2d) {
+  Rng rng(6);
+  std::vector<Variable> in = {Variable(Tensor::randn({4, 5}, rng), true),
+                              Variable(Tensor::randn({5}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(add_channel(v[0], v[1]), 15);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, AddChannel3d) {
+  Rng rng(7);
+  std::vector<Variable> in = {Variable(Tensor::randn({2, 3, 4}, rng), true),
+                              Variable(Tensor::randn({3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(add_channel(v[0], v[1]), 16);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, Sigmoid) {
+  Rng rng(8);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(sigmoid(v[0]), 17);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, Tanh) {
+  Rng rng(9);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(tanh_op(v[0]), 18);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  // Keep inputs away from 0 where the subgradient is ambiguous.
+  Rng rng(10);
+  Tensor t = Tensor::randn({4, 4}, rng);
+  for (int64_t i = 0; i < t.numel(); ++i)
+    if (std::fabs(t.data()[i]) < 0.2f) t.data()[i] = 0.5f;
+  std::vector<Variable> in = {Variable(t, true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) { return weighted_sum(relu(v[0]), 19); },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, Reshape) {
+  Rng rng(11);
+  std::vector<Variable> in = {Variable(Tensor::randn({2, 6}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(reshape(v[0], {3, 4}), 20);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, ConcatChannels) {
+  Rng rng(12);
+  std::vector<Variable> in = {
+      Variable(Tensor::randn({2, 2, 3, 3}, rng), true),
+      Variable(Tensor::randn({2, 3, 3, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(concat_channels(v[0], v[1]), 21);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, SliceCols) {
+  Rng rng(13);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 8}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(slice_cols(v[0], 2, 6), 22);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, SelectTime) {
+  Rng rng(14);
+  std::vector<Variable> in = {Variable(Tensor::randn({2, 5, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(select_time(v[0], 2), 23);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, SumAllMeanAll) {
+  Rng rng(15);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 4}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return add(sum_all(v[0]), mean_all(v[0]));
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, Matmul) {
+  Rng rng(16);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 4}, rng), true),
+                              Variable(Tensor::randn({4, 2}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(matmul(v[0], v[1]), 24);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, LinearWithBias) {
+  Rng rng(17);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 4}, rng), true),
+                              Variable(Tensor::randn({5, 4}, rng), true),
+                              Variable(Tensor::randn({5}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(linear(v[0], v[1], v[2]), 25);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, LinearNoBias) {
+  Rng rng(18);
+  std::vector<Variable> in = {Variable(Tensor::randn({2, 3}, rng), true),
+                              Variable(Tensor::randn({4, 3}, rng), true)};
+  auto r = gradcheck(
+      [](std::vector<Variable>& v) {
+        return weighted_sum(linear(v[0], v[1], Variable()), 26);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, ApplyMask) {
+  Rng rng(19);
+  Tensor mask = Tensor::bernoulli({3, 4}, rng, 0.5f);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 4}, rng), true)};
+  auto r = gradcheck(
+      [mask](std::vector<Variable>& v) {
+        return weighted_sum(apply_mask(v[0], mask, 2.0f), 27);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, CrossEntropyLoss) {
+  Rng rng(20);
+  std::vector<Variable> in = {Variable(Tensor::randn({4, 5}, rng), true)};
+  const std::vector<int64_t> targets = {0, 2, 4, 1};
+  auto r = gradcheck(
+      [&targets](std::vector<Variable>& v) {
+        return cross_entropy_loss(v[0], targets);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, MseLoss) {
+  Rng rng(21);
+  Tensor target = Tensor::randn({3, 2}, rng);
+  std::vector<Variable> in = {Variable(Tensor::randn({3, 2}, rng), true)};
+  auto r = gradcheck(
+      [&target](std::vector<Variable>& v) { return mse_loss(v[0], target); },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheck, BceWithLogitsLoss) {
+  Rng rng(22);
+  Tensor target = Tensor::bernoulli({4, 3}, rng, 0.5f);
+  std::vector<Variable> in = {Variable(Tensor::randn({4, 3}, rng), true)};
+  auto r = gradcheck(
+      [&target](std::vector<Variable>& v) {
+        return bce_with_logits_loss(v[0], target);
+      },
+      in);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+}  // namespace
+}  // namespace ripple::autograd

@@ -1,0 +1,172 @@
+#include "tensor/im2col.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/random.h"
+
+namespace ripple {
+namespace {
+
+TEST(ConvOutSize, BasicCases) {
+  EXPECT_EQ(conv_out_size(5, 3, 1, 0), 3);
+  EXPECT_EQ(conv_out_size(5, 3, 1, 1), 5);   // "same" padding
+  EXPECT_EQ(conv_out_size(8, 2, 2, 0), 4);   // pooling-style
+  EXPECT_EQ(conv_out_size(16, 3, 2, 1), 8);  // strided downsample
+}
+
+TEST(ConvOutSize, KernelLargerThanPaddedInputThrows) {
+  EXPECT_THROW(conv_out_size(2, 5, 1, 0), CheckError);
+}
+
+TEST(ConvOutSize, BadStrideThrows) {
+  EXPECT_THROW(conv_out_size(5, 3, 0, 0), CheckError);
+}
+
+/// Direct (quadruple-loop) 2-d convolution used as ground truth.
+void naive_conv2d(const float* x, int64_t c, int64_t h, int64_t w,
+                  const float* kernel, int64_t cout, int64_t kh, int64_t kw,
+                  int64_t stride, int64_t pad, float* out) {
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w, kw, stride, pad);
+  for (int64_t co = 0; co < cout; ++co)
+    for (int64_t oy = 0; oy < oh; ++oy)
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        double acc = 0.0;
+        for (int64_t ci = 0; ci < c; ++ci)
+          for (int64_t dy = 0; dy < kh; ++dy)
+            for (int64_t dx = 0; dx < kw; ++dx) {
+              const int64_t iy = oy * stride + dy - pad;
+              const int64_t ix = ox * stride + dx - pad;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+              acc += x[(ci * h + iy) * w + ix] *
+                     kernel[((co * c + ci) * kh + dy) * kw + dx];
+            }
+        out[(co * oh + oy) * ow + ox] = static_cast<float>(acc);
+      }
+}
+
+class Im2colParams
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int, int>> {};
+
+TEST_P(Im2colParams, GemmOverColsMatchesNaiveConv) {
+  const auto [c, hw, k, stride, pad] = GetParam();
+  Rng rng(11);
+  Tensor x = Tensor::randn({c, hw, hw}, rng);
+  const int64_t cout = 3;
+  Tensor kernel = Tensor::randn({cout, c, k, k}, rng);
+  const int64_t oh = conv_out_size(hw, k, stride, pad);
+  const int64_t ow = conv_out_size(hw, k, stride, pad);
+
+  Tensor cols({c * k * k, oh * ow});
+  im2col_2d(x.data(), c, hw, hw, k, k, stride, pad, cols.data());
+
+  // GEMM: kernel [cout, c·k·k] × cols.
+  Tensor got({cout, oh * ow});
+  for (int64_t co = 0; co < cout; ++co)
+    for (int64_t p = 0; p < oh * ow; ++p) {
+      double acc = 0.0;
+      for (int64_t r = 0; r < c * k * k; ++r)
+        acc += kernel.data()[co * c * k * k + r] *
+               cols.data()[r * oh * ow + p];
+      got.data()[co * oh * ow + p] = static_cast<float>(acc);
+    }
+
+  Tensor want({cout, oh, ow});
+  naive_conv2d(x.data(), c, hw, hw, kernel.data(), cout, k, k, stride, pad,
+               want.data());
+  for (int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, Im2colParams,
+    ::testing::Values(std::make_tuple(1, 5, 3, 1, 0),
+                      std::make_tuple(2, 6, 3, 1, 1),
+                      std::make_tuple(3, 8, 3, 2, 1),
+                      std::make_tuple(2, 7, 1, 1, 0),
+                      std::make_tuple(1, 9, 5, 2, 2)));
+
+TEST(Im2col, Col2imIsAdjointOfIm2col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining property that makes the
+  // conv backward correct.
+  Rng rng(13);
+  const int64_t c = 2;
+  const int64_t h = 6;
+  const int64_t w = 5;
+  const int64_t k = 3;
+  const int64_t stride = 2;
+  const int64_t pad = 1;
+  const int64_t oh = conv_out_size(h, k, stride, pad);
+  const int64_t ow = conv_out_size(w, k, stride, pad);
+  Tensor x = Tensor::randn({c, h, w}, rng);
+  Tensor y = Tensor::randn({c * k * k, oh * ow}, rng);
+
+  Tensor cols({c * k * k, oh * ow});
+  im2col_2d(x.data(), c, h, w, k, k, stride, pad, cols.data());
+  Tensor xt = Tensor::zeros({c, h, w});
+  col2im_2d(y.data(), c, h, w, k, k, stride, pad, xt.data());
+
+  double lhs = 0.0;
+  for (int64_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols.data()[i]) * y.data()[i];
+  double rhs = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x.data()[i]) * xt.data()[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Im2col1d, MatchesNaiveConv1d) {
+  Rng rng(14);
+  const int64_t c = 2;
+  const int64_t l = 10;
+  const int64_t k = 4;
+  const int64_t stride = 2;
+  const int64_t pad = 1;
+  Tensor x = Tensor::randn({c, l}, rng);
+  Tensor kernel = Tensor::randn({1, c, k}, rng);
+  const int64_t ol = conv_out_size(l, k, stride, pad);
+
+  Tensor cols({c * k, ol});
+  im2col_1d(x.data(), c, l, k, stride, pad, cols.data());
+  for (int64_t p = 0; p < ol; ++p) {
+    double got = 0.0;
+    for (int64_t r = 0; r < c * k; ++r)
+      got += kernel.data()[r] * cols.data()[r * ol + p];
+    double want = 0.0;
+    for (int64_t ci = 0; ci < c; ++ci)
+      for (int64_t dx = 0; dx < k; ++dx) {
+        const int64_t ix = p * stride + dx - pad;
+        if (ix < 0 || ix >= l) continue;
+        want += x.data()[ci * l + ix] * kernel.data()[ci * k + dx];
+      }
+    EXPECT_NEAR(got, want, 1e-4);
+  }
+}
+
+TEST(Im2col1d, Col2imAdjoint) {
+  Rng rng(15);
+  const int64_t c = 3;
+  const int64_t l = 12;
+  const int64_t k = 3;
+  const int64_t stride = 1;
+  const int64_t pad = 1;
+  const int64_t ol = conv_out_size(l, k, stride, pad);
+  Tensor x = Tensor::randn({c, l}, rng);
+  Tensor y = Tensor::randn({c * k, ol}, rng);
+  Tensor cols({c * k, ol});
+  im2col_1d(x.data(), c, l, k, stride, pad, cols.data());
+  Tensor xt = Tensor::zeros({c, l});
+  col2im_1d(y.data(), c, l, k, stride, pad, xt.data());
+  double lhs = 0.0;
+  for (int64_t i = 0; i < cols.numel(); ++i)
+    lhs += static_cast<double>(cols.data()[i]) * y.data()[i];
+  double rhs = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i)
+    rhs += static_cast<double>(x.data()[i]) * xt.data()[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,130 @@
+// End-to-end integration: train → deploy → inject → MC-evaluate, asserting
+// the qualitative properties the paper claims. Kept small (tiny model, few
+// epochs, generous margins) so it is robust and fast.
+#include <gtest/gtest.h>
+
+#include "data/synthetic_images.h"
+#include "fault/injector.h"
+#include "models/evaluate.h"
+#include "models/resnet.h"
+#include "models/trainer.h"
+
+namespace ripple::models {
+namespace {
+
+struct Trained {
+  std::unique_ptr<BinaryResNet> model;
+  data::ClassificationData test;
+  double clean_accuracy = 0.0;
+};
+
+Trained train_variant(Variant variant) {
+  Rng data_rng(11);
+  data::ImageConfig icfg;
+  data::ClassificationData train = data::make_images(320, icfg, data_rng);
+  data::ClassificationData test = data::make_images(160, icfg, data_rng);
+
+  VariantConfig vc;
+  vc.variant = variant;
+  auto model = std::make_unique<BinaryResNet>(
+      BinaryResNet::Topology{.in_channels = 3, .classes = 10, .width = 8},
+      vc);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.seed = 77;
+  train_classifier(*model, train, tc);
+  model->deploy();
+
+  Trained out;
+  out.clean_accuracy =
+      accuracy_mc(*model, test, mc_samples_for(variant, 8));
+  out.model = std::move(model);
+  out.test = std::move(test);
+  return out;
+}
+
+TEST(Integration, TrainingReducesLoss) {
+  Rng data_rng(12);
+  data::ClassificationData train =
+      data::make_images(160, data::ImageConfig{}, data_rng);
+  VariantConfig vc;
+  vc.variant = Variant::kProposed;
+  BinaryResNet model({.in_channels = 3, .classes = 10, .width = 8}, vc);
+  TrainConfig tc;
+  tc.epochs = 5;
+  const TrainLog log = train_classifier(model, train, tc);
+  ASSERT_EQ(log.epoch_losses.size(), 5u);
+  EXPECT_LT(log.epoch_losses.back(), log.epoch_losses.front());
+}
+
+TEST(Integration, ProposedLearnsAboveChance) {
+  Trained t = train_variant(Variant::kProposed);
+  EXPECT_GT(t.clean_accuracy, 0.5);  // chance is 0.10
+}
+
+TEST(Integration, ProposedSurvivesBitFlipsBetterThanConventional) {
+  // The headline claim (Figs. 5-6): under bit flips the proposed BayNN
+  // degrades gracefully while the conventional NN collapses. Averaged over
+  // a few fault seeds with wide margins to stay deterministic-ish.
+  Trained proposed = train_variant(Variant::kProposed);
+  Trained conventional = train_variant(Variant::kConventional);
+  ASSERT_GT(proposed.clean_accuracy, 0.5);
+  ASSERT_GT(conventional.clean_accuracy, 0.5);
+
+  auto faulty_accuracy = [](Trained& t, int samples) {
+    double total = 0.0;
+    const int runs = 3;
+    for (int r = 0; r < runs; ++r) {
+      fault::FaultInjector inj(t.model->fault_targets(), t.model->noise());
+      Rng rng(100 + static_cast<uint64_t>(r));
+      inj.apply(fault::FaultSpec::bitflips(0.10f), rng);
+      total += accuracy_mc(*t.model, t.test, samples);
+      inj.restore();
+    }
+    return total / runs;
+  };
+  const double acc_proposed = faulty_accuracy(proposed, 8);
+  const double acc_conventional = faulty_accuracy(conventional, 1);
+
+  const double drop_proposed = proposed.clean_accuracy - acc_proposed;
+  const double drop_conventional =
+      conventional.clean_accuracy - acc_conventional;
+  // Proposed must lose clearly less accuracy (paper reports tens of points
+  // of separation at 10% flips; we only require a margin).
+  EXPECT_LT(drop_proposed, drop_conventional + 0.05)
+      << "proposed dropped " << drop_proposed << ", conventional "
+      << drop_conventional;
+  EXPECT_GT(acc_proposed, 0.3);
+}
+
+TEST(Integration, ActivationNoiseDegradesGracefullyForProposed) {
+  Trained proposed = train_variant(Variant::kProposed);
+  fault::FaultInjector inj(proposed.model->fault_targets(),
+                           proposed.model->noise());
+  Rng rng(200);
+  inj.apply(fault::FaultSpec::additive(0.4f, /*on_activations=*/true), rng);
+  const double noisy = accuracy_mc(*proposed.model, proposed.test, 8);
+  inj.restore();
+  const double clean = accuracy_mc(*proposed.model, proposed.test, 8);
+  EXPECT_GT(noisy, 0.3);          // still far above chance
+  EXPECT_GE(clean + 1e-9, noisy - 0.05);  // noise does not help
+}
+
+TEST(Integration, InjectionIsFullyReversible) {
+  // MC evaluation draws dropout masks from the global generator, so a
+  // deterministic before/after comparison must reseed around each call.
+  Trained t = train_variant(Variant::kProposed);
+  global_rng().reseed(4242);
+  const double before = accuracy_mc(*t.model, t.test, 8);
+  {
+    fault::FaultInjector inj(t.model->fault_targets(), t.model->noise());
+    Rng rng(300);
+    inj.apply(fault::FaultSpec::bitflips(0.3f), rng);
+  }
+  global_rng().reseed(4242);
+  const double after = accuracy_mc(*t.model, t.test, 8);
+  EXPECT_NEAR(before, after, 1e-9);
+}
+
+}  // namespace
+}  // namespace ripple::models

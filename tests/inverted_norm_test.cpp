@@ -1,0 +1,249 @@
+// Tests for the paper's core layer: inverted normalization with stochastic
+// affine transformations.
+#include "core/inverted_norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::core {
+namespace {
+
+namespace ag = ripple::autograd;
+
+InvertedNorm::Options deterministic_opts() {
+  InvertedNorm::Options o;
+  o.dropout_p = 0.0f;
+  return o;
+}
+
+TEST(InvertedNorm, OutputIsStandardizedPerInstance) {
+  Rng rng(1);
+  InvertedNorm norm(4, deterministic_opts(), &rng);
+  Rng data_rng(2);
+  ag::Variable y = norm.forward(
+      ag::Variable(Tensor::randn({3, 4, 5, 5}, data_rng, 10.0f, 4.0f)));
+  // Affine-first + normalize → every instance is zero-mean/unit-var.
+  const float* p = y.value().data();
+  const int64_t slab = 4 * 25;
+  for (int64_t n = 0; n < 3; ++n) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int64_t i = 0; i < slab; ++i) mean += p[n * slab + i];
+    mean /= slab;
+    for (int64_t i = 0; i < slab; ++i)
+      var += (p[n * slab + i] - mean) * (p[n * slab + i] - mean);
+    var /= slab;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(InvertedNorm, RandomInitializationDiffersFromConventional) {
+  Rng rng(3);
+  InvertedNorm norm(16, deterministic_opts(), &rng);
+  // γ ~ N(1, 0.3), β ~ N(0, 0.3): not all ones/zeros.
+  const Tensor& gamma = norm.gamma().var.value();
+  const Tensor& beta = norm.beta().var.value();
+  float gamma_spread = ops::max(gamma) - ops::min(gamma);
+  float beta_spread = ops::max(beta) - ops::min(beta);
+  EXPECT_GT(gamma_spread, 0.1f);
+  EXPECT_GT(beta_spread, 0.1f);
+  EXPECT_NEAR(ops::mean(gamma), 1.0f, 0.3f);
+  EXPECT_NEAR(ops::mean(beta), 0.0f, 0.3f);
+}
+
+TEST(InvertedNorm, ConstantInitMatchesPlainNormalization) {
+  Rng rng(4);
+  InvertedNorm::Options o = deterministic_opts();
+  o.init = AffineInit::constant();
+  InvertedNorm norm(4, o, &rng);
+  norm.set_training(false);
+  Rng data_rng(5);
+  Tensor x = Tensor::randn({2, 4, 3, 3}, data_rng);
+  ag::Variable y = norm.forward(ag::Variable(x));
+  ag::Variable ref = ag::group_normalize(ag::Variable(x), 1);
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(y.value().data()[i], ref.value().data()[i], 1e-5f);
+}
+
+TEST(InvertedNorm, TrainEvalIdenticalWithoutDropout) {
+  // Batch-independent statistics → same behaviour train vs eval (§III).
+  Rng rng(6);
+  InvertedNorm norm(4, deterministic_opts(), &rng);
+  Rng data_rng(7);
+  Tensor x = Tensor::randn({2, 4, 3, 3}, data_rng);
+  norm.set_training(true);
+  ag::Variable y_train = norm.forward(ag::Variable(x));
+  norm.set_training(false);
+  ag::Variable y_eval = norm.forward(ag::Variable(x));
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(y_train.value().data()[i], y_eval.value().data()[i]);
+}
+
+TEST(InvertedNorm, DropoutMakesTrainingStochastic) {
+  Rng rng(8);
+  InvertedNorm::Options o;
+  o.dropout_p = 0.5f;
+  o.granularity = DropGranularity::kVectorWise;
+  InvertedNorm norm(8, o, &rng);
+  norm.set_training(true);
+  Rng data_rng(9);
+  Tensor x = Tensor::randn({2, 8, 4, 4}, data_rng);
+  // Across many passes, outputs must differ (masks resample).
+  ag::Variable first = norm.forward(ag::Variable(x));
+  bool any_difference = false;
+  for (int i = 0; i < 10 && !any_difference; ++i) {
+    ag::Variable again = norm.forward(ag::Variable(x));
+    for (int64_t k = 0; k < x.numel(); ++k)
+      if (std::fabs(first.value().data()[k] - again.value().data()[k]) >
+          1e-6f) {
+        any_difference = true;
+        break;
+      }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(InvertedNorm, EvalIsDeterministicWithoutMcMode) {
+  Rng rng(10);
+  InvertedNorm::Options o;
+  o.dropout_p = 0.5f;
+  InvertedNorm norm(8, o, &rng);
+  norm.set_training(false);
+  Rng data_rng(11);
+  Tensor x = Tensor::randn({2, 8, 3, 3}, data_rng);
+  ag::Variable a = norm.forward(ag::Variable(x));
+  ag::Variable b = norm.forward(ag::Variable(x));
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_FLOAT_EQ(a.value().data()[i], b.value().data()[i]);
+}
+
+TEST(InvertedNorm, McModeSamplesInEval) {
+  Rng rng(12);
+  InvertedNorm::Options o;
+  o.dropout_p = 0.5f;
+  InvertedNorm norm(8, o, &rng);
+  norm.set_training(false);
+  norm.set_mc_mode(true);
+  Rng data_rng(13);
+  Tensor x = Tensor::randn({2, 8, 3, 3}, data_rng);
+  bool any_difference = false;
+  ag::Variable first = norm.forward(ag::Variable(x));
+  for (int i = 0; i < 10 && !any_difference; ++i) {
+    ag::Variable again = norm.forward(ag::Variable(x));
+    for (int64_t k = 0; k < x.numel(); ++k)
+      if (std::fabs(first.value().data()[k] - again.value().data()[k]) >
+          1e-6f) {
+        any_difference = true;
+        break;
+      }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(InvertedNorm, GroupedNormalizationStatistics) {
+  Rng rng(14);
+  InvertedNorm::Options o = deterministic_opts();
+  o.groups = 2;
+  o.init = AffineInit::constant();
+  InvertedNorm norm(4, o, &rng);
+  Rng data_rng(15);
+  ag::Variable y = norm.forward(
+      ag::Variable(Tensor::randn({2, 4, 4, 4}, data_rng, 3.0f, 2.0f)));
+  // Per (instance, group of 2 channels) statistics.
+  const float* p = y.value().data();
+  const int64_t slab = 2 * 16;
+  for (int64_t s = 0; s < 4; ++s) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < slab; ++i) mean += p[s * slab + i];
+    EXPECT_NEAR(mean / slab, 0.0, 1e-4);
+  }
+}
+
+TEST(InvertedNorm, AffineFirstDiffersFromAffineAfter) {
+  // The ordering is the paper's central claim — verify it changes the
+  // computation (with non-trivial γ the normalization cancels part of the
+  // affine effect only in the inverted order).
+  Rng rng(16);
+  InvertedNorm::Options inv = deterministic_opts();
+  InvertedNorm::Options conv = deterministic_opts();
+  conv.affine_first = false;
+  InvertedNorm norm_inv(4, inv, &rng);
+  InvertedNorm norm_conv(4, conv, &rng);
+  // Same affine parameters in both.
+  norm_conv.gamma().var.value().copy_from(norm_inv.gamma().var.value());
+  norm_conv.beta().var.value().copy_from(norm_inv.beta().var.value());
+  Rng data_rng(17);
+  Tensor x = Tensor::randn({2, 4, 3, 3}, data_rng);
+  ag::Variable yi = norm_inv.forward(ag::Variable(x));
+  ag::Variable yc = norm_conv.forward(ag::Variable(x));
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < x.numel(); ++i)
+    max_diff = std::max(
+        max_diff, std::fabs(static_cast<double>(yi.value().data()[i]) -
+                            yc.value().data()[i]));
+  EXPECT_GT(max_diff, 0.01);
+}
+
+TEST(InvertedNorm, RobustToInputDistributionShift) {
+  // Fig. 1 mechanism: per-instance standardization cancels global
+  // scale/shift corruption of the weighted sum.
+  Rng rng(18);
+  InvertedNorm::Options o = deterministic_opts();
+  o.init = AffineInit::constant();
+  InvertedNorm norm(4, o, &rng);
+  Rng data_rng(19);
+  Tensor x = Tensor::randn({2, 4, 4, 4}, data_rng);
+  Tensor corrupted = ops::add_scalar(ops::mul_scalar(x, 2.5f), -4.0f);
+  ag::Variable y0 = norm.forward(ag::Variable(x));
+  ag::Variable y1 = norm.forward(ag::Variable(corrupted));
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(y0.value().data()[i], y1.value().data()[i], 1e-3f);
+}
+
+TEST(InvertedNorm, GradientsFlowToAffineParams) {
+  Rng rng(20);
+  InvertedNorm norm(4, deterministic_opts(), &rng);
+  Rng data_rng(21);
+  ag::Variable y =
+      norm.forward(ag::Variable(Tensor::randn({2, 4, 3, 3}, data_rng)));
+  // Weighted loss so γ receives nonzero gradient through normalization.
+  Rng w_rng(22);
+  Tensor w = Tensor::randn(y.value().shape(), w_rng);
+  ag::sum_all(ag::mul(y, ag::Variable(w))).backward();
+  EXPECT_TRUE(norm.gamma().var.has_grad());
+  EXPECT_TRUE(norm.beta().var.has_grad());
+  EXPECT_GT(ops::max(ops::abs(norm.gamma().var.grad())), 0.0f);
+}
+
+TEST(InvertedNorm, ParamKindsAreAffine) {
+  Rng rng(23);
+  InvertedNorm norm(4, deterministic_opts(), &rng);
+  EXPECT_EQ(norm.parameters(ag::ParamKind::kAffineWeight).size(), 1u);
+  EXPECT_EQ(norm.parameters(ag::ParamKind::kAffineBias).size(), 1u);
+}
+
+TEST(InvertedNorm, InvalidConfigThrows) {
+  Rng rng(24);
+  InvertedNorm::Options o;
+  o.groups = 3;
+  EXPECT_THROW(InvertedNorm(4, o, &rng), CheckError);
+  InvertedNorm::Options o2;
+  o2.dropout_p = 1.0f;
+  EXPECT_THROW(InvertedNorm(4, o2, &rng), CheckError);
+  EXPECT_THROW(InvertedNorm(0, InvertedNorm::Options{}, &rng), CheckError);
+}
+
+TEST(InvertedNorm, ChannelMismatchThrows) {
+  Rng rng(25);
+  InvertedNorm norm(4, deterministic_opts(), &rng);
+  EXPECT_THROW(norm.forward(ag::Variable(Tensor({1, 5, 2, 2}))), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::core

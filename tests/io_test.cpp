@@ -1,0 +1,87 @@
+#include "tensor/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "tensor/random.h"
+
+namespace ripple {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TensorIo, RoundTrip) {
+  const std::string path = temp_path("ripple_io_test.rplt");
+  Rng rng(3);
+  Tensor t = Tensor::randn({2, 3, 4}, rng);
+  save_tensor(t, path);
+  Tensor u = load_tensor(path);
+  ASSERT_EQ(u.shape(), t.shape());
+  for (int64_t i = 0; i < t.numel(); ++i)
+    EXPECT_FLOAT_EQ(u.data()[i], t.data()[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, ScalarRoundTrip) {
+  const std::string path = temp_path("ripple_io_scalar.rplt");
+  save_tensor(Tensor::scalar(7.5f), path);
+  EXPECT_FLOAT_EQ(load_tensor(path).item(), 7.5f);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, MissingFileThrows) {
+  EXPECT_THROW(load_tensor(temp_path("ripple_does_not_exist.rplt")),
+               std::runtime_error);
+}
+
+TEST(TensorIo, BadMagicThrows) {
+  const std::string path = temp_path("ripple_bad_magic.rplt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE1234";
+  }
+  EXPECT_THROW(load_tensor(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TensorIo, TruncatedPayloadThrows) {
+  const std::string path = temp_path("ripple_trunc.rplt");
+  Tensor t({100});
+  save_tensor(t, path);
+  std::filesystem::resize_file(path, 30);
+  EXPECT_THROW(load_tensor(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = temp_path("ripple_csv_test.csv");
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.row(std::vector<std::string>{"x", "y"});
+    csv.row(std::vector<double>{1.5, 2.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.5,2");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WrongCellCountThrows) {
+  const std::string path = temp_path("ripple_csv_test2.csv");
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}), CheckError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,143 @@
+#include "nn/lstm.h"
+
+#include "nn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/loss.h"
+#include "autograd/ops.h"
+#include "autograd/optimizer.h"
+#include "tensor/random.h"
+
+namespace ripple::nn {
+namespace {
+
+namespace ag = ripple::autograd;
+
+TEST(LstmCell, StateShapes) {
+  LstmCell cell(3, 5);
+  auto s0 = cell.initial_state(2);
+  EXPECT_EQ(s0.h.shape(), Shape({2, 5}));
+  EXPECT_EQ(s0.c.shape(), Shape({2, 5}));
+  Rng rng(1);
+  auto s1 = cell.forward(ag::Variable(Tensor::randn({2, 3}, rng)), s0);
+  EXPECT_EQ(s1.h.shape(), Shape({2, 5}));
+  EXPECT_EQ(s1.c.shape(), Shape({2, 5}));
+}
+
+TEST(LstmCell, HiddenStateBounded) {
+  // h = o·tanh(c) ∈ (-1, 1).
+  LstmCell cell(2, 4);
+  Rng rng(2);
+  auto s = cell.initial_state(3);
+  for (int t = 0; t < 10; ++t)
+    s = cell.forward(ag::Variable(Tensor::randn({3, 2}, rng, 0.0f, 5.0f)), s);
+  for (float v : s.h.value().span()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(LstmCell, ParameterInventory) {
+  LstmCell cell(3, 4);
+  const auto params = cell.parameters();
+  ASSERT_EQ(params.size(), 4u);  // W_ih, W_hh, b_ih, b_hh
+  EXPECT_EQ(params[0]->var.shape(), Shape({16, 3}));
+  EXPECT_EQ(params[1]->var.shape(), Shape({16, 4}));
+}
+
+TEST(LstmCell, ForgetBiasInitializedPositive) {
+  LstmCell cell(2, 4);
+  // Forget-gate slice of b_ih is [h, 2h) = [4, 8).
+  const Tensor& b = cell.parameters()[2]->var.value();
+  float forget_mean = 0.0f;
+  for (int64_t i = 4; i < 8; ++i) forget_mean += b.at({i});
+  EXPECT_GT(forget_mean / 4.0f, 0.5f);
+}
+
+TEST(Lstm, SequenceOutputs) {
+  Lstm lstm(1, 6, 2);
+  Rng rng(3);
+  const auto hs =
+      lstm.forward(ag::Variable(Tensor::randn({4, 7, 1}, rng)));
+  EXPECT_EQ(hs.size(), 7u);
+  for (const auto& h : hs) EXPECT_EQ(h.shape(), Shape({4, 6}));
+}
+
+TEST(Lstm, ForwardLastMatchesSequenceBack) {
+  Lstm lstm(2, 4, 1);
+  Rng rng(4);
+  Tensor x = Tensor::randn({2, 5, 2}, rng);
+  const auto hs = lstm.forward(ag::Variable(x));
+  ag::Variable last = lstm.forward_last(ag::Variable(x));
+  for (int64_t i = 0; i < last.numel(); ++i)
+    EXPECT_FLOAT_EQ(last.value().data()[i], hs.back().value().data()[i]);
+}
+
+TEST(Lstm, WrongRankThrows) {
+  Lstm lstm(1, 4, 1);
+  EXPECT_THROW(lstm.forward(ag::Variable(Tensor({2, 5}))), CheckError);
+}
+
+TEST(Lstm, GradientsReachAllParameters) {
+  Lstm lstm(1, 4, 2);
+  Rng rng(5);
+  ag::Variable h = lstm.forward_last(ag::Variable(Tensor::randn({3, 6, 1}, rng)));
+  ag::sum_all(h).backward();
+  for (auto* p : lstm.parameters())
+    EXPECT_TRUE(p->var.has_grad()) << p->name;
+}
+
+TEST(Lstm, LearnsSignOfMean) {
+  // Tiny sanity task: predict the sign of the input-sequence mean.
+  Rng rng(6);
+  Lstm lstm(1, 8, 1);
+  Linear head(8, 1);
+  std::vector<ag::Parameter*> params = lstm.parameters();
+  for (auto* p : head.parameters()) params.push_back(p);
+  ag::Adam opt(params, 0.02f);
+
+  const int64_t n = 32;
+  const int64_t t_len = 6;
+  auto make_batch = [&](Tensor& x, Tensor& y) {
+    x = Tensor({n, t_len, 1});
+    y = Tensor({n, 1});
+    for (int64_t i = 0; i < n; ++i) {
+      const float mean = (i % 2 == 0) ? 0.8f : -0.8f;
+      y.data()[i] = mean > 0 ? 1.0f : -1.0f;
+      for (int64_t t = 0; t < t_len; ++t)
+        x.data()[i * t_len + t] = rng.normal(mean, 0.3f);
+    }
+  };
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    Tensor x;
+    Tensor y;
+    make_batch(x, y);
+    opt.zero_grad();
+    ag::Variable pred = head.forward(lstm.forward_last(ag::Variable(x)));
+    ag::Variable loss = ag::mse_loss(pred, y);
+    loss.backward();
+    opt.step();
+    if (step == 0) first_loss = loss.value().item();
+    last_loss = loss.value().item();
+  }
+  EXPECT_LT(last_loss, 0.5 * first_loss);
+}
+
+TEST(Lstm, WeightTransformAppliesToAllCells) {
+  Lstm lstm(1, 3, 2);
+  int calls = 0;
+  lstm.set_weight_transform([&calls](const ag::Variable& w) {
+    ++calls;
+    return w;
+  });
+  Rng rng(7);
+  lstm.forward_last(ag::Variable(Tensor::randn({1, 2, 1}, rng)));
+  // 2 cells × 2 matrices × 2 timesteps.
+  EXPECT_EQ(calls, 8);
+}
+
+}  // namespace
+}  // namespace ripple::nn

@@ -1,0 +1,93 @@
+#include "imc/mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+#include "tensor/random.h"
+
+namespace ripple::imc {
+namespace {
+
+constexpr double kGOn = 1.0 / 4e3;
+constexpr double kGOff = 1.0 / 12e3;
+
+TEST(Mapping, PositiveWeightUsesPositiveBranch) {
+  const ConductancePair p = map_weight(0.5, kGOn, kGOff);
+  EXPECT_GT(p.g_pos, kGOff);
+  EXPECT_DOUBLE_EQ(p.g_neg, kGOff);
+}
+
+TEST(Mapping, NegativeWeightUsesNegativeBranch) {
+  const ConductancePair p = map_weight(-0.5, kGOn, kGOff);
+  EXPECT_DOUBLE_EQ(p.g_pos, kGOff);
+  EXPECT_GT(p.g_neg, kGOff);
+}
+
+TEST(Mapping, ZeroWeightIsBalanced) {
+  const ConductancePair p = map_weight(0.0, kGOn, kGOff);
+  EXPECT_DOUBLE_EQ(p.g_pos, p.g_neg);
+}
+
+TEST(Mapping, ClampsOutOfRange) {
+  const ConductancePair p = map_weight(3.0, kGOn, kGOff);
+  EXPECT_DOUBLE_EQ(p.g_pos, kGOn);
+}
+
+class MappingRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(MappingRoundTrip, UnmapInvertsMap) {
+  const double w = GetParam();
+  const ConductancePair p = map_weight(w, kGOn, kGOff);
+  EXPECT_NEAR(unmap_pair(p, kGOn, kGOff), w, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, MappingRoundTrip,
+                         ::testing::Values(-1.0, -0.7, -0.1, 0.0, 0.3, 0.99,
+                                           1.0));
+
+TEST(Mapping, BadConductanceOrderThrows) {
+  EXPECT_THROW(map_weight(0.5, kGOff, kGOn), CheckError);
+}
+
+TEST(BitSlices, DecomposesAndRecombines) {
+  const std::vector<int32_t> codes = {0, 1, 5, 7, 9, 15};  // 4-bit codes
+  const auto slices = bit_slices(codes, 4);
+  ASSERT_EQ(slices.size(), 4u);
+  // LSB plane of 5 (0b0101) is 1.
+  EXPECT_EQ(slices[0][2], 1);
+  EXPECT_EQ(slices[1][2], 0);
+  EXPECT_EQ(slices[2][2], 1);
+  const auto back = combine_slices(slices);
+  // Two's complement: 9 (0b1001) = -7; 15 = -1.
+  EXPECT_EQ(back[0], 0);
+  EXPECT_EQ(back[1], 1);
+  EXPECT_EQ(back[2], 5);
+  EXPECT_EQ(back[3], 7);
+  EXPECT_EQ(back[4], -7);
+  EXPECT_EQ(back[5], -1);
+}
+
+TEST(BitSlices, RandomRoundTripThroughTwosComplement) {
+  Rng rng(9);
+  std::vector<int32_t> codes;
+  for (int i = 0; i < 100; ++i)
+    codes.push_back(static_cast<int32_t>(rng.randint(0, 255)));
+  const auto slices = bit_slices(codes, 8);
+  const auto back = combine_slices(slices);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    const int32_t expected =
+        codes[i] >= 128 ? codes[i] - 256 : codes[i];
+    EXPECT_EQ(back[i], expected);
+  }
+}
+
+TEST(BitSlices, EmptySlicesThrow) {
+  EXPECT_THROW(combine_slices({}), CheckError);
+}
+
+TEST(BitSlices, RaggedPlanesThrow) {
+  EXPECT_THROW(combine_slices({{1, 0}, {1}}), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::imc

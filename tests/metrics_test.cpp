@@ -1,0 +1,77 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ripple::core {
+namespace {
+
+TEST(Accuracy, AllCorrect) {
+  Tensor scores({2, 3}, {1, 5, 2, 9, 1, 0});
+  EXPECT_DOUBLE_EQ(accuracy(scores, {1, 0}), 1.0);
+}
+
+TEST(Accuracy, Half) {
+  Tensor scores({2, 2}, {1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(accuracy(scores, {0, 0}), 0.5);
+}
+
+TEST(Accuracy, CountMismatchThrows) {
+  Tensor scores({2, 2});
+  EXPECT_THROW(accuracy(scores, {0}), CheckError);
+}
+
+TEST(MiouBinary, PerfectPrediction) {
+  Tensor target({1, 1, 2, 2}, {1, 0, 0, 1});
+  Tensor probs({1, 1, 2, 2}, {0.9f, 0.1f, 0.2f, 0.8f});
+  EXPECT_DOUBLE_EQ(miou_binary(probs, target), 1.0);
+}
+
+TEST(MiouBinary, AllWrongIsZero) {
+  Tensor target({1, 1, 1, 2}, {1, 0});
+  Tensor probs({1, 1, 1, 2}, {0.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(miou_binary(probs, target), 0.0);
+}
+
+TEST(MiouBinary, KnownPartialOverlap) {
+  // fg: pred {a}, truth {a, b} → IoU_fg = 1/2.
+  // bg: pred {b, c, d}, truth {c, d} → IoU_bg = 2/3.
+  Tensor target({1, 1, 2, 2}, {1, 1, 0, 0});
+  Tensor probs({1, 1, 2, 2}, {0.9f, 0.1f, 0.1f, 0.1f});
+  EXPECT_NEAR(miou_binary(probs, target), 0.5 * (0.5 + 2.0 / 3.0), 1e-9);
+}
+
+TEST(MiouBinary, EmptyForegroundHandled) {
+  Tensor target = Tensor::zeros({1, 1, 2, 2});
+  Tensor probs = Tensor::zeros({1, 1, 2, 2});
+  // fg union empty → fg IoU defined as 1; bg perfect.
+  EXPECT_DOUBLE_EQ(miou_binary(probs, target), 1.0);
+}
+
+TEST(MiouBinary, ThresholdRespected) {
+  Tensor target({1, 1, 1, 2}, {1, 0});
+  Tensor probs({1, 1, 1, 2}, {0.4f, 0.1f});
+  EXPECT_LT(miou_binary(probs, target, 0.5f), 1.0);
+  EXPECT_DOUBLE_EQ(miou_binary(probs, target, 0.3f), 1.0);
+}
+
+TEST(Rmse, KnownValue) {
+  Tensor a({2}, {1.0f, 2.0f});
+  Tensor b({2}, {2.0f, 4.0f});
+  EXPECT_NEAR(rmse(a, b), std::sqrt((1.0 + 4.0) / 2.0), 1e-7);
+}
+
+TEST(Rmse, ZeroForIdentical) {
+  Tensor a({3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Rmse, ShapeMismatchThrows) {
+  EXPECT_THROW(rmse(Tensor({2}), Tensor({3})), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::core

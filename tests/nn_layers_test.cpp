@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/layer.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "tensor/random.h"
+
+namespace ripple::nn {
+namespace {
+
+namespace ag = ripple::autograd;
+
+TEST(Linear, OutputShape) {
+  Linear fc(4, 3);
+  Rng rng(1);
+  ag::Variable y = fc.forward(ag::Variable(Tensor::randn({5, 4}, rng)));
+  EXPECT_EQ(y.shape(), Shape({5, 3}));
+}
+
+TEST(Linear, NoBiasHasOneParameter) {
+  Linear fc(4, 3, /*bias=*/false);
+  EXPECT_EQ(fc.parameters().size(), 1u);
+  EXPECT_EQ(fc.parameters()[0]->kind, ag::ParamKind::kWeight);
+}
+
+TEST(Linear, BiasKindIsBias) {
+  Linear fc(4, 3);
+  auto biases = fc.parameters(ag::ParamKind::kBias);
+  ASSERT_EQ(biases.size(), 1u);
+  EXPECT_EQ(biases[0]->name, "bias");
+}
+
+TEST(Linear, WeightTransformApplied) {
+  Linear fc(2, 2, /*bias=*/false);
+  fc.weight().var.value().fill(0.5f);
+  fc.set_weight_transform(
+      [](const ag::Variable& w) { return ag::mul_scalar(w, 2.0f); });
+  Tensor x({1, 2}, {1.0f, 1.0f});
+  ag::Variable y = fc.forward(ag::Variable(x));
+  EXPECT_FLOAT_EQ(y.value().at({0, 0}), 2.0f);  // (0.5*2)·1 + (0.5*2)·1
+}
+
+TEST(Linear, InvalidDimsThrow) {
+  EXPECT_THROW(Linear(0, 3), CheckError);
+}
+
+TEST(Conv2d, OutputShape) {
+  Conv2d conv(3, 8, 3, /*stride=*/2, /*pad=*/1);
+  Rng rng(2);
+  ag::Variable y = conv.forward(ag::Variable(Tensor::randn({2, 3, 8, 8}, rng)));
+  EXPECT_EQ(y.shape(), Shape({2, 8, 4, 4}));
+}
+
+TEST(Conv2d, ParameterCount) {
+  Conv2d conv(3, 8, 3, 1, 1, /*bias=*/true);
+  EXPECT_EQ(conv.parameter_count(), 3 * 8 * 9 + 8);
+}
+
+TEST(Conv1d, OutputShape) {
+  Conv1d conv(1, 4, 16, /*stride=*/4, /*pad=*/6);
+  Rng rng(3);
+  ag::Variable y = conv.forward(ag::Variable(Tensor::randn({2, 1, 512}, rng)));
+  EXPECT_EQ(y.shape(), Shape({2, 4, 128}));
+}
+
+TEST(Activations, Values) {
+  Tensor x({3}, {-1.0f, 0.0f, 2.0f});
+  Relu relu;
+  EXPECT_FLOAT_EQ(relu.forward(ag::Variable(x)).value().at({0}), 0.0f);
+  EXPECT_FLOAT_EQ(relu.forward(ag::Variable(x)).value().at({2}), 2.0f);
+  Sigmoid sig;
+  EXPECT_NEAR(sig.forward(ag::Variable(x)).value().at({1}), 0.5f, 1e-6f);
+  Tanh th;
+  EXPECT_NEAR(th.forward(ag::Variable(x)).value().at({1}), 0.0f, 1e-6f);
+  Identity id;
+  EXPECT_FLOAT_EQ(id.forward(ag::Variable(x)).value().at({2}), 2.0f);
+}
+
+TEST(SignActivation, BinaryOutput) {
+  SignActivation sign;
+  Tensor x({4}, {-0.1f, 0.2f, -3.0f, 0.0f});
+  ag::Variable y = sign.forward(ag::Variable(x));
+  EXPECT_FLOAT_EQ(y.value().at({0}), -1.0f);
+  EXPECT_FLOAT_EQ(y.value().at({1}), 1.0f);
+  EXPECT_FLOAT_EQ(y.value().at({3}), 1.0f);
+}
+
+TEST(SignActivation, NoiseInjectionChangesMarginalValues) {
+  auto noise = std::make_shared<ActivationNoiseConfig>();
+  SignActivation sign(noise);
+  // Values near the decision boundary flip under noise.
+  Tensor x = Tensor::full({1000}, 0.05f);
+  ag::Variable clean = sign.forward(ag::Variable(x));
+  for (float v : clean.value().span()) EXPECT_FLOAT_EQ(v, 1.0f);
+
+  noise->enabled = true;
+  noise->additive_std = 1.0f;
+  Rng rng(5);
+  noise->rng = &rng;
+  ag::Variable noisy = sign.forward(ag::Variable(x));
+  int64_t flipped = 0;
+  for (float v : noisy.value().span())
+    if (v < 0.0f) ++flipped;
+  // With sigma=1 and threshold at -0.05, just under half flip.
+  EXPECT_GT(flipped, 300);
+  EXPECT_LT(flipped, 700);
+}
+
+TEST(SignActivation, DisabledNoiseIsDeterministic) {
+  auto noise = std::make_shared<ActivationNoiseConfig>();
+  noise->additive_std = 5.0f;  // configured but not enabled
+  SignActivation sign(noise);
+  Tensor x = Tensor::full({10}, 0.5f);
+  ag::Variable a = sign.forward(ag::Variable(x));
+  ag::Variable b = sign.forward(ag::Variable(x));
+  for (int64_t i = 0; i < 10; ++i)
+    EXPECT_FLOAT_EQ(a.value().data()[i], b.value().data()[i]);
+}
+
+TEST(ActivationNoise, MultiplicativeAndUniform) {
+  ActivationNoiseConfig cfg;
+  cfg.enabled = true;
+  cfg.multiplicative_std = 0.1f;
+  cfg.uniform_range = 0.05f;
+  Rng rng(6);
+  cfg.rng = &rng;
+  Tensor x = Tensor::full({1000}, 2.0f);
+  ag::Variable y = apply_activation_noise(ag::Variable(x), cfg);
+  double mean = 0.0;
+  for (float v : y.value().span()) mean += v;
+  mean /= 1000.0;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  // Not all equal anymore.
+  EXPECT_NE(y.value().at({0}), y.value().at({1}));
+}
+
+TEST(Pooling, Shapes) {
+  Rng rng(7);
+  ag::Variable x(Tensor::randn({2, 3, 8, 8}, rng));
+  MaxPool2d mp(2);
+  EXPECT_EQ(mp.forward(x).shape(), Shape({2, 3, 4, 4}));
+  AvgPool2d ap(2);
+  EXPECT_EQ(ap.forward(x).shape(), Shape({2, 3, 4, 4}));
+  GlobalAvgPool2d gap;
+  EXPECT_EQ(gap.forward(x).shape(), Shape({2, 3}));
+  ag::Variable x1(Tensor::randn({2, 3, 12}, rng));
+  MaxPool1d mp1(3);
+  EXPECT_EQ(mp1.forward(x1).shape(), Shape({2, 3, 4}));
+  GlobalAvgPool1d gap1;
+  EXPECT_EQ(gap1.forward(x1).shape(), Shape({2, 3}));
+}
+
+TEST(Sequential, AppliesInOrder) {
+  Sequential seq;
+  seq.emplace<Relu>();
+  auto& fc = seq.emplace<Linear>(2, 2, false);
+  fc.weight().var.value().copy_from(Tensor({2, 2}, {1, 0, 0, 1}));
+  Tensor x({1, 2}, {-3.0f, 2.0f});
+  ag::Variable y = seq.forward(ag::Variable(x));
+  EXPECT_FLOAT_EQ(y.value().at({0, 0}), 0.0f);  // relu first
+  EXPECT_FLOAT_EQ(y.value().at({0, 1}), 2.0f);
+  EXPECT_EQ(seq.size(), 2u);
+}
+
+TEST(Sequential, EmptyIsIdentity) {
+  Sequential seq;
+  Tensor x({2}, {1, 2});
+  ag::Variable y = seq.forward(ag::Variable(x));
+  EXPECT_FLOAT_EQ(y.value().at({1}), 2.0f);
+}
+
+TEST(Sequential, CollectsChildParameters) {
+  Sequential seq;
+  seq.emplace<Linear>(2, 3);
+  seq.emplace<Linear>(3, 4);
+  EXPECT_EQ(seq.parameters().size(), 4u);  // 2 weights + 2 biases
+}
+
+TEST(Module, SetTrainingRecurses) {
+  Sequential seq;
+  seq.emplace<Linear>(2, 2);
+  seq.set_training(false);
+  EXPECT_FALSE(seq.at(0).training());
+  seq.set_training(true);
+  EXPECT_TRUE(seq.at(0).training());
+}
+
+}  // namespace
+}  // namespace ripple::nn

@@ -1,0 +1,121 @@
+#include "imc/nvm_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ripple::imc {
+namespace {
+
+TEST(SttMram, SwitchingProbabilityMonotoneInVoltage) {
+  SttMramDevice dev;
+  double prev = -1.0;
+  for (double v = 0.0; v <= 1.2; v += 0.05) {
+    const double p = dev.switching_probability(v, 10.0);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(SttMram, SwitchingProbabilityMonotoneInPulseWidth) {
+  SttMramDevice dev;
+  const double p_short = dev.switching_probability(0.55, 1.0);
+  const double p_long = dev.switching_probability(0.55, 100.0);
+  EXPECT_GT(p_long, p_short);
+}
+
+TEST(SttMram, NoSwitchingAtZeroVoltage) {
+  SttMramDevice dev;
+  EXPECT_DOUBLE_EQ(dev.switching_probability(0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(dev.switching_probability(-0.3, 10.0), 0.0);
+}
+
+TEST(SttMram, OverdriveSaturatesToOne) {
+  SttMramDevice dev;
+  EXPECT_NEAR(dev.switching_probability(2.0, 10.0), 1.0, 1e-9);
+}
+
+TEST(SttMram, WriteErrorComplementsSwitching) {
+  SttMramDevice dev;
+  const double p = dev.switching_probability(0.6, 5.0);
+  EXPECT_NEAR(dev.write_error_rate(0.6, 5.0), 1.0 - p, 1e-12);
+}
+
+TEST(SttMram, TmrDecreasesWithTemperature) {
+  SttMramDevice dev;
+  EXPECT_GT(dev.tmr(250.0), dev.tmr(300.0));
+  EXPECT_GT(dev.tmr(300.0), dev.tmr(400.0));
+  // Floor prevents total window collapse.
+  EXPECT_GE(dev.tmr(2000.0), 0.05);
+}
+
+TEST(SttMram, ResistanceWindowShrinksWithTemperature) {
+  SttMramDevice dev;
+  const double window_cold =
+      dev.mean_r_ap(250.0) - dev.mean_r_p(250.0);
+  const double window_hot = dev.mean_r_ap(400.0) - dev.mean_r_p(400.0);
+  EXPECT_GT(window_cold, window_hot);
+}
+
+TEST(SttMram, SampledResistancesClusterAroundMean) {
+  SttMramDevice dev;
+  Rng rng(1);
+  const auto s = sample_resistances(dev, 300.0, 2000, rng);
+  double mean_p = 0.0;
+  for (double r : s.r_p) mean_p += r;
+  mean_p /= 2000.0;
+  EXPECT_NEAR(mean_p, dev.mean_r_p(300.0), 0.01 * dev.mean_r_p(300.0));
+  // AP distribution sits above P with a clear margin at room temperature.
+  double min_ap = 1e18;
+  double max_p = 0.0;
+  for (double r : s.r_ap) min_ap = std::min(min_ap, r);
+  for (double r : s.r_p) max_p = std::max(max_p, r);
+  EXPECT_GT(min_ap, max_p * 0.8);
+}
+
+TEST(SttMram, SamplesArePositive) {
+  SttMramDevice dev;
+  Rng rng(2);
+  const auto s = sample_resistances(dev, 400.0, 500, rng);
+  for (double r : s.r_p) EXPECT_GT(r, 0.0);
+  for (double r : s.r_ap) EXPECT_GT(r, 0.0);
+}
+
+TEST(SttMram, AttemptSwitchMatchesProbability) {
+  SttMramDevice dev;
+  Rng rng(3);
+  const double p = dev.switching_probability(0.58, 10.0);
+  ASSERT_GT(p, 0.05);
+  ASSERT_LT(p, 0.95);
+  int hits = 0;
+  for (int i = 0; i < 5000; ++i)
+    if (dev.attempt_switch(0.58, 10.0, rng)) ++hits;
+  EXPECT_NEAR(hits / 5000.0, p, 0.03);
+}
+
+TEST(SttMram, InvalidParamsThrow) {
+  auto make_bad_rp = [] {
+    SttMramParams bad;
+    bad.r_p = -1.0;
+    return SttMramDevice(bad);
+  };
+  EXPECT_THROW(make_bad_rp(), CheckError);
+  auto make_bad_vc = [] {
+    SttMramParams bad;
+    bad.v_c = 0.0;
+    return SttMramDevice(bad);
+  };
+  EXPECT_THROW(make_bad_vc(), CheckError);
+}
+
+TEST(SttMram, ZeroPulseWidthThrows) {
+  SttMramDevice dev;
+  EXPECT_THROW(dev.switching_probability(0.5, 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple::imc

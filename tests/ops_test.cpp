@@ -1,0 +1,148 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ripple::ops {
+namespace {
+
+TEST(RawOps, ElementwiseBinary) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {4, 5, 6});
+  EXPECT_FLOAT_EQ(add(a, b).at({1}), 7.0f);
+  EXPECT_FLOAT_EQ(sub(a, b).at({0}), -3.0f);
+  EXPECT_FLOAT_EQ(mul(a, b).at({2}), 18.0f);
+  EXPECT_FLOAT_EQ(div(b, a).at({1}), 2.5f);
+}
+
+TEST(RawOps, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(add(a, b), CheckError);
+}
+
+TEST(RawOps, InplaceOps) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 4});
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a.at({0}), 4.0f);
+  scale_inplace(a, 0.5f);
+  EXPECT_FLOAT_EQ(a.at({1}), 3.0f);
+}
+
+TEST(RawOps, ScalarOps) {
+  Tensor a({2}, {1, -2});
+  EXPECT_FLOAT_EQ(add_scalar(a, 1.0f).at({1}), -1.0f);
+  EXPECT_FLOAT_EQ(mul_scalar(a, -2.0f).at({0}), -2.0f);
+}
+
+TEST(RawOps, UnaryOps) {
+  Tensor a({3}, {-2, 0, 2});
+  EXPECT_FLOAT_EQ(abs(a).at({0}), 2.0f);
+  EXPECT_FLOAT_EQ(sign(a).at({0}), -1.0f);
+  // Hardware convention: sign(0) = +1.
+  EXPECT_FLOAT_EQ(sign(a).at({1}), 1.0f);
+  EXPECT_FLOAT_EQ(clamp(a, -1.0f, 1.0f).at({0}), -1.0f);
+  EXPECT_FLOAT_EQ(exp(Tensor({1}, {0.0f})).at({0}), 1.0f);
+  EXPECT_NEAR(log(Tensor({1}, {std::exp(2.0f)})).at({0}), 2.0f, 1e-5);
+  EXPECT_FLOAT_EQ(sqrt(Tensor({1}, {9.0f})).at({0}), 3.0f);
+}
+
+TEST(RawOps, Reductions) {
+  Tensor a({4}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(sum(a), 10.0f);
+  EXPECT_FLOAT_EQ(mean(a), 2.5f);
+  EXPECT_FLOAT_EQ(min(a), 1.0f);
+  EXPECT_FLOAT_EQ(max(a), 4.0f);
+  EXPECT_FLOAT_EQ(variance(a), 1.25f);
+}
+
+TEST(RawOps, Transpose2d) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose2d(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.at({2, 1}), 6.0f);
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0f);
+}
+
+TEST(RawOps, ConcatAndSplitChannelsRoundTrip) {
+  Tensor a({2, 2, 2, 2});
+  Tensor b({2, 3, 2, 2});
+  for (int64_t i = 0; i < a.numel(); ++i) a.data()[i] = static_cast<float>(i);
+  for (int64_t i = 0; i < b.numel(); ++i)
+    b.data()[i] = 100.0f + static_cast<float>(i);
+  Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 5, 2, 2}));
+  auto [a2, b2] = split_channels(c, 2);
+  for (int64_t i = 0; i < a.numel(); ++i)
+    EXPECT_FLOAT_EQ(a2.data()[i], a.data()[i]);
+  for (int64_t i = 0; i < b.numel(); ++i)
+    EXPECT_FLOAT_EQ(b2.data()[i], b.data()[i]);
+}
+
+TEST(RawOps, ConcatChannelsRank2) {
+  Tensor a({1, 2}, {1, 2});
+  Tensor b({1, 1}, {3});
+  Tensor c = concat_channels(a, b);
+  EXPECT_EQ(c.shape(), Shape({1, 3}));
+  EXPECT_FLOAT_EQ(c.at({0, 2}), 3.0f);
+}
+
+TEST(RawOps, SoftmaxRowsSumToOne) {
+  Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = softmax_rows(logits);
+  for (int64_t i = 0; i < 2; ++i) {
+    float row_sum = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) row_sum += p.at({i, j});
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5);
+  }
+  EXPECT_GT(p.at({0, 2}), p.at({0, 0}));
+}
+
+TEST(RawOps, SoftmaxIsShiftInvariantAndStable) {
+  Tensor big({1, 2}, {1000.0f, 1001.0f});
+  Tensor p = softmax_rows(big);
+  EXPECT_NEAR(p.at({0, 0}) + p.at({0, 1}), 1.0f, 1e-5);
+  EXPECT_GT(p.at({0, 1}), p.at({0, 0}));
+}
+
+TEST(RawOps, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor logits({1, 4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  Tensor ls = log_softmax_rows(logits);
+  Tensor p = softmax_rows(logits);
+  for (int64_t j = 0; j < 4; ++j)
+    EXPECT_NEAR(ls.at({0, j}), std::log(p.at({0, j})), 1e-5);
+}
+
+TEST(RawOps, ArgmaxRows) {
+  Tensor x({2, 3}, {1, 5, 2, 7, 0, 3});
+  const auto idx = argmax_rows(x);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(RawOps, HistogramCountsAndDensity) {
+  Tensor a({6}, {0.1f, 0.1f, 0.5f, 0.9f, -5.0f, 5.0f});
+  Histogram h = histogram(a, 10, 0.0f, 1.0f);
+  int64_t total = 0;
+  for (int64_t c : h.counts) total += c;
+  EXPECT_EQ(total, 6);
+  // Out-of-range values clamp into edge bins.
+  EXPECT_GE(h.counts.front(), 1);
+  EXPECT_GE(h.counts.back(), 1);
+  const auto d = h.density();
+  double integral = 0.0;
+  for (double v : d) integral += v * 0.1;
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+  EXPECT_NEAR(h.bin_center(0), 0.05f, 1e-6);
+}
+
+TEST(RawOps, MapApplies) {
+  Tensor a({2}, {1, 2});
+  Tensor b = map(a, [](float x) { return x * x; });
+  EXPECT_FLOAT_EQ(b.at({1}), 4.0f);
+}
+
+}  // namespace
+}  // namespace ripple::ops

@@ -1,0 +1,114 @@
+#include "autograd/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/loss.h"
+#include "autograd/ops.h"
+
+namespace ripple::autograd {
+namespace {
+
+/// Minimal module exposing one scalar parameter.
+class ScalarModule : public Module {
+ public:
+  explicit ScalarModule(float init) {
+    p_ = &register_parameter("w", Tensor::scalar(init));
+  }
+  Parameter* p() { return p_; }
+
+ private:
+  Parameter* p_ = nullptr;
+};
+
+/// One step of minimizing f(w) = (w - target)².
+double quadratic_step(Optimizer& opt, Parameter* p, float target) {
+  opt.zero_grad();
+  Variable diff = add_scalar(p->var, -target);
+  Variable loss = mul(diff, diff);
+  loss.backward();
+  opt.step();
+  return loss.value().item();
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  ScalarModule m(10.0f);
+  Sgd opt(m.parameters(), /*lr=*/0.1f);
+  for (int i = 0; i < 100; ++i) quadratic_step(opt, m.p(), 3.0f);
+  EXPECT_NEAR(m.p()->var.value().item(), 3.0f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  ScalarModule plain(10.0f);
+  ScalarModule heavy(10.0f);
+  Sgd opt_plain(plain.parameters(), 0.02f, 0.0f);
+  Sgd opt_heavy(heavy.parameters(), 0.02f, 0.9f);
+  for (int i = 0; i < 20; ++i) {
+    quadratic_step(opt_plain, plain.p(), 0.0f);
+    quadratic_step(opt_heavy, heavy.p(), 0.0f);
+  }
+  EXPECT_LT(std::fabs(heavy.p()->var.value().item()),
+            std::fabs(plain.p()->var.value().item()));
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  ScalarModule m(1.0f);
+  Sgd opt(m.parameters(), 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // Gradient-free steps: loss gradient is 0 at the optimum, but decay pulls
+  // the weight toward 0.
+  for (int i = 0; i < 10; ++i) quadratic_step(opt, m.p(), m.p()->var.value().item());
+  EXPECT_LT(m.p()->var.value().item(), 1.0f);
+}
+
+TEST(Sgd, SkipsParamsWithoutGrad) {
+  ScalarModule m(2.0f);
+  Sgd opt(m.parameters(), 0.1f);
+  opt.step();  // no backward happened — must be a no-op
+  EXPECT_FLOAT_EQ(m.p()->var.value().item(), 2.0f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  ScalarModule m(10.0f);
+  Adam opt(m.parameters(), /*lr=*/0.3f);
+  for (int i = 0; i < 200; ++i) quadratic_step(opt, m.p(), -2.0f);
+  EXPECT_NEAR(m.p()->var.value().item(), -2.0f, 1e-2f);
+}
+
+TEST(Adam, FirstStepIsLrSized) {
+  // Bias correction makes the very first Adam step ≈ lr in magnitude.
+  ScalarModule m(1.0f);
+  Adam opt(m.parameters(), 0.01f);
+  quadratic_step(opt, m.p(), 0.0f);
+  EXPECT_NEAR(m.p()->var.value().item(), 1.0f - 0.01f, 1e-4f);
+}
+
+TEST(Adam, HandlesSparseGradientsAcrossSteps) {
+  ScalarModule m(5.0f);
+  Adam opt(m.parameters(), 0.5f);
+  quadratic_step(opt, m.p(), 0.0f);
+  opt.zero_grad();
+  opt.step();  // step with zero grad must not blow up
+  const float w = m.p()->var.value().item();
+  EXPECT_TRUE(std::isfinite(w));
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  ScalarModule m(1.0f);
+  Sgd opt(m.parameters(), 0.1f);
+  Variable loss = mul(m.p()->var, m.p()->var);
+  loss.backward();
+  EXPECT_TRUE(m.p()->var.has_grad());
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(m.p()->var.grad().item(), 0.0f);
+}
+
+TEST(Optimizer, SetLr) {
+  ScalarModule m(1.0f);
+  Sgd opt(m.parameters(), 0.1f);
+  opt.set_lr(0.5f);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+}
+
+}  // namespace
+}  // namespace ripple::autograd

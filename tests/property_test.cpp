@@ -1,0 +1,184 @@
+// Property-style parameterized sweeps: invariants that must hold across
+// the whole configuration space of the core layer and its substrates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "core/inverted_norm.h"
+#include "data/synthetic_images.h"
+#include "data/transforms.h"
+#include "models/resnet.h"
+#include "models/trainer.h"
+#include "quant/bitcodec.h"
+#include "quant/quantizer.h"
+#include "tensor/ops.h"
+
+namespace ripple {
+namespace {
+
+namespace ag = ripple::autograd;
+
+// ---- InvertedNorm invariants across (channels, groups, rank) --------------
+
+using NormCase = std::tuple<int64_t, int64_t, int>;  // channels, groups, rank
+
+class InvertedNormSpace : public ::testing::TestWithParam<NormCase> {
+ protected:
+  Tensor make_input(int64_t channels, int rank, Rng& rng) {
+    if (rank == 2) return Tensor::randn({4, channels}, rng, 2.0f, 3.0f);
+    if (rank == 3) return Tensor::randn({3, channels, 6}, rng, 2.0f, 3.0f);
+    return Tensor::randn({2, channels, 4, 4}, rng, 2.0f, 3.0f);
+  }
+};
+
+TEST_P(InvertedNormSpace, OutputSlabsAreStandardized) {
+  const auto [channels, groups, rank] = GetParam();
+  Rng rng(1);
+  core::InvertedNorm::Options opts;
+  opts.groups = groups;
+  opts.dropout_p = 0.0f;
+  core::InvertedNorm norm(channels, opts, &rng);
+  Rng data_rng(2);
+  Tensor x = make_input(channels, rank, data_rng);
+  ag::Variable y = norm.forward(ag::Variable(x));
+  ASSERT_EQ(y.shape(), x.shape());
+  int64_t inner = 1;
+  for (int d = 2; d < x.rank(); ++d) inner *= x.dim(d);
+  const int64_t slab = (channels / groups) * inner;
+  const int64_t slabs = x.dim(0) * groups;
+  const float* p = y.value().data();
+  for (int64_t s = 0; s < slabs; ++s) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < slab; ++i) mean += p[s * slab + i];
+    mean /= static_cast<double>(slab);
+    EXPECT_NEAR(mean, 0.0, 1e-3) << "slab " << s;
+  }
+}
+
+TEST_P(InvertedNormSpace, ScaleShiftInvarianceOfComposition) {
+  // For groups == 1 the whole-instance standardization must cancel any
+  // global affine corruption of the input (the Fig. 1 mechanism). For
+  // grouped norms this holds per group as well since the corruption is
+  // global.
+  const auto [channels, groups, rank] = GetParam();
+  Rng rng(3);
+  core::InvertedNorm::Options opts;
+  opts.groups = groups;
+  opts.dropout_p = 0.0f;
+  opts.init = core::AffineInit::constant();
+  core::InvertedNorm norm(channels, opts, &rng);
+  Rng data_rng(4);
+  Tensor x = make_input(channels, rank, data_rng);
+  Tensor corrupted = ops::add_scalar(ops::mul_scalar(x, 1.7f), -3.0f);
+  ag::Variable y0 = norm.forward(ag::Variable(x));
+  ag::Variable y1 = norm.forward(ag::Variable(corrupted));
+  for (int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(y0.value().data()[i], y1.value().data()[i], 2e-3f);
+}
+
+TEST_P(InvertedNormSpace, GradCheck) {
+  const auto [channels, groups, rank] = GetParam();
+  Rng rng(5);
+  core::InvertedNorm::Options opts;
+  opts.groups = groups;
+  opts.dropout_p = 0.0f;
+  core::InvertedNorm norm(channels, opts, &rng);
+  Rng data_rng(6);
+  Tensor x = make_input(channels, rank, data_rng);
+  Rng w_rng(7);
+  Tensor w = Tensor::randn(x.shape(), w_rng);
+  std::vector<ag::Variable> inputs = {ag::Variable(x, true)};
+  auto r = ag::gradcheck(
+      [&norm, &w](std::vector<ag::Variable>& v) {
+        return ag::sum_all(ag::mul(norm.forward(v[0]), ag::Variable(w)));
+      },
+      inputs);
+  EXPECT_LT(r.max_rel_error, 5e-2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Space, InvertedNormSpace,
+    ::testing::Values(NormCase{4, 1, 2}, NormCase{8, 1, 3},
+                      NormCase{8, 2, 4}, NormCase{8, 8, 4},
+                      NormCase{6, 3, 3}, NormCase{4, 2, 2}));
+
+// ---- quantizer round-trip across bit widths --------------------------------
+
+class QuantizerBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizerBits, BitFlipNeverEscapesRepresentableRange) {
+  const int bits = GetParam();
+  auto q = quant::make_quantizer(bits);
+  Rng rng(8);
+  Tensor w = Tensor::randn({128}, rng, 0.0f, 0.2f);
+  q->calibrate(w);
+  Tensor deployed = q->decode(q->encode(w), w.shape());
+  const float wmax = ops::max(ops::abs(deployed));
+  // Two's complement is asymmetric: the most negative code is
+  // −2^(b−1) = −(qmax+1), so the representable magnitude exceeds the
+  // positive max by (qmax+1)/qmax.
+  const float qmax =
+      bits == 1 ? 1.0f : static_cast<float>((1 << (bits - 1)) - 1);
+  const float bound = wmax * (qmax + (bits == 1 ? 0.0f : 1.0f)) / qmax;
+  auto codes = q->encode(deployed);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto flipped = codes;
+    quant::flip_random_bits(flipped, bits, 0.3f, rng);
+    Tensor faulty = q->decode(flipped, w.shape());
+    EXPECT_LE(ops::max(ops::abs(faulty)), bound + 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantizerBits, ::testing::Values(1, 2, 4, 8));
+
+// ---- rotation transform properties across angles ---------------------------
+
+class RotationAngles : public ::testing::TestWithParam<float> {};
+
+TEST_P(RotationAngles, CenterPixelIsStable) {
+  const float deg = GetParam();
+  Rng rng(9);
+  Tensor x = Tensor::randn({1, 1, 9, 9}, rng);
+  Tensor y = data::rotate_images(x, deg);
+  EXPECT_NEAR(y.at({0, 0, 4, 4}), x.at({0, 0, 4, 4}), 1e-4f);
+}
+
+TEST_P(RotationAngles, OutputStaysBoundedByInputRange) {
+  const float deg = GetParam();
+  Rng rng(10);
+  Tensor x = Tensor::uniform({2, 1, 8, 8}, rng, -1.0f, 1.0f);
+  Tensor y = data::rotate_images(x, deg);
+  // Bilinear interpolation is a convex combination (plus zero padding).
+  EXPECT_GE(ops::min(y), -1.0f - 1e-5f);
+  EXPECT_LE(ops::max(y), 1.0f + 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationAngles,
+                         ::testing::Values(7.0f, 21.0f, 45.0f, 84.0f,
+                                           -30.0f, 180.0f));
+
+// ---- training-loop invariants ----------------------------------------------
+
+TEST(TrainerProperty, LossCurveIsFiniteAndBounded) {
+  Rng data_rng(11);
+  data::ClassificationData train =
+      data::make_images(80, data::ImageConfig{}, data_rng);
+  models::VariantConfig vc;
+  vc.variant = models::Variant::kProposed;
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             vc);
+  models::TrainConfig tc;
+  tc.epochs = 3;
+  const models::TrainLog log = models::train_classifier(model, train, tc);
+  for (double l : log.epoch_losses) {
+    EXPECT_TRUE(std::isfinite(l));
+    EXPECT_GT(l, 0.0);
+    EXPECT_LT(l, 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace ripple

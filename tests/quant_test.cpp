@@ -1,0 +1,187 @@
+#include "quant/quantizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "quant/pact.h"
+#include "tensor/ops.h"
+#include "tensor/random.h"
+
+namespace ripple::quant {
+namespace {
+
+namespace ag = ripple::autograd;
+
+TEST(BinaryQuantizer, ApplyProducesSignTimesAlpha) {
+  BinaryQuantizer q;
+  Tensor w({4}, {0.5f, -0.25f, 0.75f, -0.5f});
+  ag::Variable out = q.apply(ag::Variable(w));
+  const float alpha = 0.5f;  // mean |w|
+  EXPECT_FLOAT_EQ(out.value().at({0}), alpha);
+  EXPECT_FLOAT_EQ(out.value().at({1}), -alpha);
+}
+
+TEST(BinaryQuantizer, EncodeDecodeRoundTrip) {
+  BinaryQuantizer q;
+  Tensor w({4}, {0.5f, -0.25f, 0.75f, -0.5f});
+  q.calibrate(w);
+  const auto codes = q.encode(w);
+  Tensor back = q.decode(codes, w.shape());
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_FLOAT_EQ(std::fabs(back.data()[i]), q.alpha());
+    EXPECT_EQ(back.data()[i] > 0, w.data()[i] > 0);
+  }
+}
+
+TEST(BinaryQuantizer, DecodeBeforeCalibrateThrows) {
+  BinaryQuantizer q;
+  EXPECT_THROW(q.decode({1}, {1}), CheckError);
+}
+
+TEST(BinaryQuantizer, FlippedCodeFlipsSign) {
+  BinaryQuantizer q;
+  Tensor w({2}, {0.5f, -0.5f});
+  q.calibrate(w);
+  auto codes = q.encode(w);
+  codes[0] ^= 1;
+  Tensor back = q.decode(codes, w.shape());
+  EXPECT_LT(back.at({0}), 0.0f);
+  EXPECT_LT(back.at({1}), 0.0f);
+}
+
+TEST(BinaryQuantizer, AllZeroWeightsFallBack) {
+  BinaryQuantizer q;
+  Tensor w = Tensor::zeros({3});
+  ag::Variable out = q.apply(ag::Variable(w));
+  for (float v : out.value().span()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(IntQuantizer, BitRangeValidation) {
+  EXPECT_THROW(IntQuantizer(1), CheckError);
+  EXPECT_THROW(IntQuantizer(17), CheckError);
+  EXPECT_NO_THROW(IntQuantizer(4));
+}
+
+class IntQuantizerBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntQuantizerBits, EncodeDecodeRoundTripOnGrid) {
+  const int bits = GetParam();
+  IntQuantizer q(bits);
+  Rng rng(5);
+  Tensor w = Tensor::randn({64}, rng, 0.0f, 0.2f);
+  q.calibrate(w);
+  // Apply → values on grid; encode/decode must reproduce them exactly.
+  ag::Variable fq = q.apply(ag::Variable(w));
+  const auto codes = q.encode(fq.value());
+  Tensor back = q.decode(codes, w.shape());
+  for (int64_t i = 0; i < w.numel(); ++i)
+    EXPECT_NEAR(back.data()[i], fq.value().data()[i], 1e-6f);
+}
+
+TEST_P(IntQuantizerBits, QuantizationErrorBounded) {
+  const int bits = GetParam();
+  IntQuantizer q(bits);
+  Rng rng(6);
+  Tensor w = Tensor::randn({256}, rng, 0.0f, 0.1f);
+  ag::Variable fq = q.apply(ag::Variable(w));
+  const float scale = ops::max(ops::abs(w)) / static_cast<float>(q.qmax());
+  for (int64_t i = 0; i < w.numel(); ++i)
+    EXPECT_LE(std::fabs(fq.value().data()[i] - w.data()[i]),
+              0.5f * scale + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, IntQuantizerBits, ::testing::Values(2, 4, 8));
+
+TEST(IntQuantizer, CalibrationFreezesScale) {
+  IntQuantizer q(8);
+  Tensor w({3}, {-1.0f, 0.5f, 1.0f});
+  q.calibrate(w);
+  const float s = q.scale();
+  EXPECT_NEAR(s, 1.0f / 127.0f, 1e-6f);
+  // Later tensors use the frozen scale even if their range differs.
+  Tensor w2({3}, {-2.0f, 1.0f, 2.0f});
+  ag::Variable fq = q.apply(ag::Variable(w2));
+  EXPECT_NEAR(ops::max(fq.value()), 127.0f * s, 1e-5f);  // clamped
+}
+
+TEST(IntQuantizer, TwosComplementNegativeCodes) {
+  IntQuantizer q(4);  // range [-7, 7]
+  Tensor w({2}, {-0.7f, 0.7f});
+  q.calibrate(w);
+  const auto codes = q.encode(w);
+  // -7 in 4-bit two's complement = 0b1001 = 9.
+  EXPECT_EQ(codes[0], 9);
+  EXPECT_EQ(codes[1], 7);
+  Tensor back = q.decode(codes, {2});
+  EXPECT_NEAR(back.at({0}), -0.7f, 1e-5f);
+  EXPECT_NEAR(back.at({1}), 0.7f, 1e-5f);
+}
+
+TEST(MakeQuantizer, DispatchesOnBits) {
+  EXPECT_EQ(make_quantizer(1)->bits(), 1);
+  EXPECT_EQ(make_quantizer(8)->bits(), 8);
+}
+
+TEST(SteOps, FakeQuantGradientWindow) {
+  // Gradient passes inside the representable range, blocked outside.
+  Tensor t({3}, {0.1f, 5.0f, -5.0f});
+  ag::Variable x(t, true);
+  ag::Variable y = ag::sum_all(fake_quant_ste(x, 0.01f, 8));  // limit 1.27
+  y.backward();
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().at({1}), 0.0f);
+  EXPECT_FLOAT_EQ(x.grad().at({2}), 0.0f);
+}
+
+TEST(SteOps, BinarizeGradientClipWindow) {
+  Tensor t({2}, {0.5f, 3.0f});
+  ag::Variable x(t, true);
+  ag::sum_all(binarize_ste(x, 1.0f)).backward();
+  EXPECT_FLOAT_EQ(x.grad().at({0}), 1.0f);
+  EXPECT_FLOAT_EQ(x.grad().at({1}), 0.0f);
+}
+
+TEST(Pact, ForwardClipsAndQuantizes) {
+  PactActivation pact(2, /*alpha_init=*/3.0f);  // 3 levels above zero
+  Tensor x({4}, {-1.0f, 0.5f, 2.9f, 10.0f});
+  ag::Variable y = pact.forward(ag::Variable(x));
+  EXPECT_FLOAT_EQ(y.value().at({0}), 0.0f);   // clipped below
+  EXPECT_FLOAT_EQ(y.value().at({3}), 3.0f);   // clipped above
+  // Step size is 1.0 → 0.5 rounds to either 0 or 1.
+  const float v = y.value().at({1});
+  EXPECT_TRUE(v == 0.0f || v == 1.0f);
+}
+
+TEST(Pact, AlphaReceivesGradientFromClippedRegion) {
+  PactActivation pact(8, 1.0f);
+  Tensor x({3}, {0.5f, 2.0f, 3.0f});  // two samples clipped at alpha
+  ag::Variable y = ag::sum_all(pact.forward(ag::Variable(x)));
+  y.backward();
+  auto params = pact.parameters();
+  ASSERT_EQ(params.size(), 1u);
+  EXPECT_TRUE(params[0]->var.has_grad());
+  EXPECT_FLOAT_EQ(params[0]->var.grad().item(), 2.0f);
+}
+
+TEST(Pact, QuantizedOutputLandsOnGrid) {
+  PactActivation pact(4, 1.5f);
+  Rng rng(7);
+  Tensor x = Tensor::uniform({100}, rng, 0.0f, 1.5f);
+  ag::Variable y = pact.forward(ag::Variable(x));
+  const float delta = 1.5f / 15.0f;
+  for (float v : y.value().span()) {
+    const float steps = v / delta;
+    EXPECT_NEAR(steps, std::round(steps), 1e-4f);
+  }
+}
+
+TEST(Pact, AlphaAccessor) {
+  PactActivation pact(8, 2.5f);
+  EXPECT_FLOAT_EQ(pact.alpha(), 2.5f);
+}
+
+}  // namespace
+}  // namespace ripple::quant

@@ -1,0 +1,114 @@
+#include "tensor/random.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/check.h"
+
+namespace ripple {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(5);
+  Rng b(6);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIsIndependentOfParentState) {
+  Rng a(5);
+  Rng fork_before = a.fork(3);
+  a.next_u64();
+  a.next_u64();
+  Rng fork_after = a.fork(3);
+  EXPECT_EQ(fork_before.next_u64(), fork_after.next_u64());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng a(5);
+  EXPECT_NE(a.fork(0).next_u64(), a.fork(1).next_u64());
+}
+
+TEST(Rng, ForkZeroDiffersFromParent) {
+  Rng a(5);
+  Rng f = a.fork(0);
+  Rng a2(5);
+  EXPECT_NE(f.next_u64(), a2.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng a(1);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = a.uniform(-2.0f, 2.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 2.0f);
+  }
+}
+
+TEST(Rng, UniformInvertedBoundsThrow) {
+  Rng a(1);
+  EXPECT_THROW(a.uniform(1.0f, 0.0f), CheckError);
+}
+
+TEST(Rng, NormalZeroStddevIsMean) {
+  Rng a(1);
+  EXPECT_FLOAT_EQ(a.normal(3.0f, 0.0f), 3.0f);
+}
+
+TEST(Rng, NormalNegativeStddevThrows) {
+  Rng a(1);
+  EXPECT_THROW(a.normal(0.0f, -1.0f), CheckError);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng a(1);
+  EXPECT_FALSE(a.bernoulli(0.0f));
+  EXPECT_TRUE(a.bernoulli(1.0f));
+  EXPECT_FALSE(a.bernoulli(-0.5f));
+  EXPECT_TRUE(a.bernoulli(1.5f));
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng a(42);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i)
+    if (a.bernoulli(0.7f)) ++hits;
+  EXPECT_NEAR(hits / 20000.0, 0.7, 0.02);
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng a(1);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = a.randint(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    if (v == 0) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GlobalRngIsStable) {
+  Rng& g1 = global_rng();
+  Rng& g2 = global_rng();
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(SplitMix, KnownGoodDispersion) {
+  // Nearby inputs map to wildly different outputs.
+  const uint64_t a = splitmix64(1);
+  const uint64_t b = splitmix64(2);
+  EXPECT_NE(a, b);
+  int differing_bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing_bits, 10);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,163 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/random.h"
+
+namespace ripple {
+namespace {
+
+TEST(Shape, NumelOfEmptyShapeIsOne) { EXPECT_EQ(shape_numel({}), 1); }
+
+TEST(Shape, NumelProduct) { EXPECT_EQ(shape_numel({2, 3, 4}), 24); }
+
+TEST(Shape, NumelZeroDim) { EXPECT_EQ(shape_numel({2, 0, 4}), 0); }
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW(shape_numel({2, -1}), CheckError);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  for (float v : t.span()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, FromValues) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(Tensor, FromValuesSizeMismatchThrows) {
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_FLOAT_EQ(Tensor::scalar(3.5f).item(), 3.5f);
+}
+
+TEST(Tensor, ItemOnMultiElementThrows) {
+  Tensor t({2});
+  EXPECT_THROW(t.item(), CheckError);
+}
+
+TEST(Tensor, FullAndOnes) {
+  EXPECT_FLOAT_EQ(Tensor::full({3}, 2.5f).at({1}), 2.5f);
+  EXPECT_FLOAT_EQ(Tensor::ones({3}).at({2}), 1.0f);
+}
+
+TEST(Tensor, Arange) {
+  Tensor t = Tensor::arange(4);
+  EXPECT_EQ(t.shape(), Shape({4}));
+  EXPECT_FLOAT_EQ(t.at({3}), 3.0f);
+}
+
+TEST(Tensor, NegativeDimIndex) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), CheckError);
+  EXPECT_THROW(t.dim(-4), CheckError);
+}
+
+TEST(Tensor, CopyIsShallowHandle) {
+  Tensor a({2});
+  Tensor b = a;
+  b.data()[0] = 5.0f;
+  EXPECT_FLOAT_EQ(a.at({0}), 5.0f);
+  EXPECT_TRUE(a.shares_storage_with(b));
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a({2}, {1, 2});
+  Tensor b = a.clone();
+  b.data()[0] = 9.0f;
+  EXPECT_FLOAT_EQ(a.at({0}), 1.0f);
+  EXPECT_FALSE(a.shares_storage_with(b));
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor a({2, 3});
+  Tensor b = a.reshaped({3, 2});
+  EXPECT_TRUE(a.shares_storage_with(b));
+  b.data()[5] = 1.0f;
+  EXPECT_FLOAT_EQ(a.at({1, 2}), 1.0f);
+}
+
+TEST(Tensor, ReshapeCountMismatchThrows) {
+  Tensor a({2, 3});
+  EXPECT_THROW(a.reshaped({4, 2}), CheckError);
+}
+
+TEST(Tensor, Flatten) {
+  Tensor a({2, 3});
+  EXPECT_EQ(a.flattened().shape(), Shape({6}));
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor a({2, 2});
+  EXPECT_THROW(a.at({2, 0}), CheckError);
+  EXPECT_THROW(a.at({0}), CheckError);
+}
+
+TEST(Tensor, FillAndCopyFrom) {
+  Tensor a({3});
+  a.fill(2.0f);
+  EXPECT_FLOAT_EQ(a.at({1}), 2.0f);
+  Tensor b({3}, {1, 2, 3});
+  a.copy_from(b);
+  EXPECT_FLOAT_EQ(a.at({2}), 3.0f);
+  Tensor c({4});
+  EXPECT_THROW(a.copy_from(c), CheckError);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({10000}, rng, 2.0f, 0.5f);
+  double sum = 0.0;
+  for (float v : t.span()) sum += v;
+  const double mean = sum / 10000.0;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  double ss = 0.0;
+  for (float v : t.span()) ss += (v - mean) * (v - mean);
+  EXPECT_NEAR(std::sqrt(ss / 10000.0), 0.5, 0.05);
+}
+
+TEST(Tensor, UniformBounds) {
+  Rng rng(2);
+  Tensor t = Tensor::uniform({1000}, rng, -1.0f, 3.0f);
+  for (float v : t.span()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Tensor, BernoulliIsBinaryWithRightRate) {
+  Rng rng(3);
+  Tensor t = Tensor::bernoulli({10000}, rng, 0.3f);
+  int64_t ones = 0;
+  for (float v : t.span()) {
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+    if (v == 1.0f) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / 10000.0, 0.3, 0.03);
+}
+
+TEST(Tensor, DataOnUndefinedThrows) {
+  Tensor t;
+  EXPECT_THROW(t.data(), CheckError);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,88 @@
+#include "tensor/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tensor/check.h"
+
+namespace ripple {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0);  // no workers spawned
+  int value = 0;
+  pool.enqueue([&value] { value = 42; });
+  EXPECT_EQ(value, 42);  // ran synchronously
+}
+
+TEST(ThreadPool, MultiThreadRunsAllJobs) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.enqueue([&counter] { ++counter; });
+  pool.wait_all();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitAllIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.enqueue([&counter] { ++counter; });
+  pool.wait_all();
+  pool.enqueue([&counter] { ++counter; });
+  pool.wait_all();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ZeroThreadsThrows) {
+  EXPECT_THROW(ThreadPool pool(0), CheckError);
+}
+
+TEST(ParallelFor, CoversWholeRangeExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(1000, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerial) {
+  // n <= grain runs inline as one chunk.
+  int chunks = 0;
+  parallel_for(
+      10, [&](int64_t begin, int64_t end) {
+        ++chunks;
+        EXPECT_EQ(begin, 0);
+        EXPECT_EQ(end, 10);
+      },
+      1024);
+  EXPECT_EQ(chunks, 1);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  std::vector<int64_t> values(5000);
+  std::iota(values.begin(), values.end(), 0);
+  std::atomic<int64_t> total{0};
+  parallel_for(
+      static_cast<int64_t>(values.size()),
+      [&](int64_t begin, int64_t end) {
+        int64_t local = 0;
+        for (int64_t i = begin; i < end; ++i)
+          local += values[static_cast<size_t>(i)];
+        total += local;
+      },
+      64);
+  EXPECT_EQ(total.load(), 5000LL * 4999 / 2);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -1,0 +1,116 @@
+#include "core/uncertainty.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/check.h"
+
+namespace ripple::core {
+namespace {
+
+TEST(Nll, PerfectPredictionIsZero) {
+  Tensor probs({1, 2}, {1.0f, 0.0f});
+  EXPECT_NEAR(nll(probs, {0}), 0.0, 1e-6);
+}
+
+TEST(Nll, UniformPredictionIsLogC) {
+  Tensor probs({1, 4}, {0.25f, 0.25f, 0.25f, 0.25f});
+  EXPECT_NEAR(nll(probs, {2}), std::log(4.0), 1e-5);
+}
+
+TEST(Nll, WrongConfidentPredictionIsLarge) {
+  Tensor probs({1, 2}, {0.999f, 0.001f});
+  EXPECT_GT(nll(probs, {1}), 5.0);
+}
+
+TEST(Nll, ZeroProbabilityIsClampedFinite) {
+  Tensor probs({1, 2}, {1.0f, 0.0f});
+  EXPECT_TRUE(std::isfinite(nll(probs, {1})));
+}
+
+TEST(Nll, TargetOutOfRangeThrows) {
+  Tensor probs({1, 2}, {0.5f, 0.5f});
+  EXPECT_THROW(nll(probs, {2}), CheckError);
+}
+
+TEST(PerSampleNll, MatchesMean) {
+  Tensor probs({2, 2}, {0.9f, 0.1f, 0.2f, 0.8f});
+  const auto scores = per_sample_nll(probs, {0, 1});
+  EXPECT_NEAR((scores[0] + scores[1]) / 2.0, nll(probs, {0, 1}), 1e-9);
+}
+
+TEST(ConfidenceNll, UsesMaxProbability) {
+  Tensor probs({1, 3}, {0.2f, 0.7f, 0.1f});
+  const auto scores = per_sample_confidence_nll(probs);
+  EXPECT_NEAR(scores[0], -std::log(0.7), 1e-5);
+}
+
+TEST(Entropy, UniformIsMaximal) {
+  Tensor uniform({1, 4}, {0.25f, 0.25f, 0.25f, 0.25f});
+  Tensor peaked({1, 4}, {0.97f, 0.01f, 0.01f, 0.01f});
+  const auto hu = per_sample_entropy(uniform);
+  const auto hp = per_sample_entropy(peaked);
+  EXPECT_NEAR(hu[0], std::log(4.0), 1e-5);
+  EXPECT_LT(hp[0], hu[0]);
+}
+
+TEST(Auroc, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(auroc({1.0, 2.0}, {3.0, 4.0}), 1.0);
+}
+
+TEST(Auroc, NoSeparation) {
+  EXPECT_DOUBLE_EQ(auroc({1.0, 2.0}, {1.0, 2.0}), 0.5);
+}
+
+TEST(Auroc, Inverted) { EXPECT_DOUBLE_EQ(auroc({3.0, 4.0}, {1.0, 2.0}), 0.0); }
+
+TEST(Auroc, EmptyThrows) { EXPECT_THROW(auroc({}, {1.0}), CheckError); }
+
+TEST(DetectOod, ThresholdIsMeanIdScore) {
+  const OodDetection d = detect_ood({1.0, 3.0}, {5.0, 1.5});
+  EXPECT_DOUBLE_EQ(d.threshold, 2.0);
+  EXPECT_DOUBLE_EQ(d.detection_rate, 0.5);  // only 5.0 > 2.0
+  EXPECT_DOUBLE_EQ(d.false_positive_rate, 0.5);  // 3.0 > 2.0
+}
+
+TEST(Ece, PerfectCalibrationIsZero) {
+  // Confidence 1.0 and always right → ECE 0.
+  Tensor probs({2, 2}, {1.0f, 0.0f, 0.0f, 1.0f});
+  EXPECT_NEAR(expected_calibration_error(probs, {0, 1}), 0.0, 1e-9);
+}
+
+TEST(Ece, OverconfidentWrongPredictionsScoreHigh) {
+  // Confidence ~1.0 but always wrong → ECE ~1.
+  Tensor probs({2, 2}, {0.99f, 0.01f, 0.99f, 0.01f});
+  EXPECT_GT(expected_calibration_error(probs, {1, 1}), 0.9);
+}
+
+TEST(Ece, KnownMixedValue) {
+  // Two samples at confidence 0.8, one right and one wrong → the bin's
+  // accuracy is 0.5, |0.8 − 0.5| = 0.3.
+  Tensor probs({2, 2}, {0.8f, 0.2f, 0.8f, 0.2f});
+  EXPECT_NEAR(expected_calibration_error(probs, {0, 1}), 0.3, 1e-6);
+}
+
+TEST(Ece, InvalidArgsThrow) {
+  Tensor probs({1, 2}, {0.5f, 0.5f});
+  EXPECT_THROW(expected_calibration_error(probs, {0}, 0), CheckError);
+  EXPECT_THROW(expected_calibration_error(probs, {0, 1}), CheckError);
+}
+
+TEST(DetectOod, WellSeparatedScoresDetectFully) {
+  std::vector<double> id_scores;
+  std::vector<double> ood_scores;
+  for (int i = 0; i < 50; ++i) {
+    id_scores.push_back(0.1 + 0.001 * i);
+    ood_scores.push_back(2.0 + 0.001 * i);
+  }
+  const OodDetection d = detect_ood(id_scores, ood_scores);
+  EXPECT_DOUBLE_EQ(d.detection_rate, 1.0);
+  EXPECT_NEAR(d.auroc, 1.0, 1e-12);
+  EXPECT_LT(d.false_positive_rate, 0.6);
+}
+
+}  // namespace
+}  // namespace ripple::core
