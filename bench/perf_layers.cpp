@@ -27,8 +27,96 @@ void BM_GemmNN(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(gemm_backend_name());
 }
 BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmRefNN(benchmark::State& state) {
+  // The pre-optimization blocked kernel — the BENCH_gemm.json baseline the
+  // packed micro-kernel is measured against.
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_ref_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmRefNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  // The linear-layer forward shape (out = x · wᵀ).
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_nt(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  // The gradient shapes (dW = dYᵀ·X); previously the only serial variant.
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_tn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(256);
+
+void BM_GemmNNBiasEpilogue(benchmark::State& state) {
+  // Fused bias+ReLU epilogue (conv/linear forward path).
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  Tensor c({n, n});
+  GemmEpilogue ep;
+  ep.row_bias = bias.data();
+  ep.relu = true;
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_nn_ex(n, n, n, a.data(), b.data(), c.data(), ep);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNNBiasEpilogue)->Arg(256);
+
+void BM_GemmPrepackedNN(benchmark::State& state) {
+  // Conv-shaped GEMM with the weight matrix packed once outside the loop
+  // (the per-batch reuse pattern of conv2d).
+  const int64_t cout = 24, ck = 108, oa = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({cout, ck}, rng);
+  Tensor b = Tensor::randn({ck, oa}, rng);
+  Tensor c({cout, oa});
+  const PackedGemmA packed = pack_gemm_a(cout, ck, a.data());
+  for (auto _ : state) {
+    c.fill(0.0f);
+    gemm_nn_prepacked(packed, oa, b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * cout * ck * oa);
+}
+BENCHMARK(BM_GemmPrepackedNN)->Arg(256)->Arg(2048);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const int64_t c = state.range(0);

@@ -1,0 +1,141 @@
+// Monte-Carlo inference throughput (google-benchmark): the serial T-pass
+// loop vs the batched forward that folds the T samples into the batch
+// dimension (fault/mc_batch.h). items/sec counts stochastic samples
+// (T × batch) per wall-clock second — the serving cost of one uncertainty
+// estimate is T samples, so this ratio is the speedup of the paper's
+// inference path. scripts/bench.sh captures the JSON as BENCH_mc.json.
+#include <benchmark/benchmark.h>
+
+#include "models/evaluate.h"
+#include "models/lstm_forecaster.h"
+#include "models/m5.h"
+#include "models/resnet.h"
+#include "tensor/random.h"
+
+using namespace ripple;
+
+namespace {
+
+constexpr uint64_t kSeed = 0xABCD;
+
+models::BinaryResNet::Topology resnet_topo() {
+  return {.in_channels = 3, .classes = 10, .width = 12};
+}
+
+models::VariantConfig proposed() {
+  return {.variant = models::Variant::kProposed};
+}
+
+void BM_McResNetSerial(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::BinaryResNet model(resnet_topo(), proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = models::mc_forward_serial(model, x, t, kSeed);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_McResNetSerial)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_McResNetBatched(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::BinaryResNet model(resnet_topo(), proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = models::mc_forward_batched(model, x, t, kSeed);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_McResNetBatched)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_McM5Serial(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::M5 model({.classes = 8, .width = 12, .input_length = 512},
+                   proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 1, 512}, rng);
+  for (auto _ : state) {
+    Tensor y = models::mc_forward_serial(model, x, t, kSeed);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_McM5Serial)->Arg(8);
+
+void BM_McM5Batched(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::M5 model({.classes = 8, .width = 12, .input_length = 512},
+                   proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 1, 512}, rng);
+  for (auto _ : state) {
+    Tensor y = models::mc_forward_batched(model, x, t, kSeed);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_McM5Batched)->Arg(8);
+
+void BM_McLstmSerial(benchmark::State& state) {
+  // The recurrent forecaster: dozens of tiny per-timestep ops, so the
+  // per-pass overhead dominates and batching pays off the most.
+  const int t = static_cast<int>(state.range(0));
+  models::LstmForecaster model({.hidden = 24, .window = 24}, proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  for (auto _ : state) {
+    Tensor y = models::mc_forward_serial(model, x, t, kSeed);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_McLstmSerial)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_McLstmBatched(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::LstmForecaster model({.hidden = 24, .window = 24}, proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  for (auto _ : state) {
+    Tensor y = models::mc_forward_batched(model, x, t, kSeed);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_McLstmBatched)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ProbsMcBatched(benchmark::State& state) {
+  // End-to-end classifier uncertainty estimate (softmax + replica moments).
+  const int t = static_cast<int>(state.range(0));
+  models::BinaryResNet model(resnet_topo(), proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(3);
+  Tensor x = Tensor::randn({4, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    core::McClassification mc = models::probs_mc_batched(model, x, t, kSeed);
+    benchmark::DoNotOptimize(mc.mean_probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_ProbsMcBatched)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

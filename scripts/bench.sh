@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the perf benchmarks in Release and records the JSON baselines the
+# repo tracks across PRs:
+#   BENCH_gemm.json — kernel micro-benchmarks (bench/perf_layers.cpp);
+#                     compare BM_GemmNN vs BM_GemmRefNN for the packed
+#                     micro-kernel speedup over the pre-optimization loops.
+#   BENCH_mc.json   — Monte-Carlo inference throughput
+#                     (bench/perf_mc_inference.cpp); compare BM_Mc*Batched
+#                     vs BM_Mc*Serial at the same T.
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build-bench)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-bench}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)" --target perf_layers perf_mc_inference
+
+min_time="${RIPPLE_BENCH_MIN_TIME:-0.5}"
+
+"$build_dir/perf_layers" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out_format=json \
+  --benchmark_out="$repo_root/BENCH_gemm.json"
+
+"$build_dir/perf_mc_inference" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out_format=json \
+  --benchmark_out="$repo_root/BENCH_mc.json"
+
+echo "wrote $repo_root/BENCH_gemm.json and $repo_root/BENCH_mc.json"

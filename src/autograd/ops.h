@@ -31,6 +31,14 @@ Variable mul_channel(const Variable& x, const Variable& gamma);
 /// x + beta[c].
 Variable add_channel(const Variable& x, const Variable& beta);
 
+// ---- replica-grouped per-channel broadcast (batched Monte-Carlo forward:
+// the batch dim folds R stochastic replicas, replica-major; gamma/beta hold
+// one affine vector per replica) --------------------------------------------
+/// x[R·n, C, ...] * gamma[R, C]: rows [r·n, (r+1)·n) scale by gamma[r].
+Variable mul_channel_replicated(const Variable& x, const Variable& gamma);
+/// x[R·n, C, ...] + beta[R, C].
+Variable add_channel_replicated(const Variable& x, const Variable& beta);
+
 // ---- activations -----------------------------------------------------------
 Variable relu(const Variable& a);
 Variable sigmoid(const Variable& a);

@@ -90,7 +90,7 @@ Variable mul_channel(const Variable& x, const Variable& gamma) {
   RIPPLE_CHECK(gamma.value().rank() == 1 && gamma.dim(0) == v.c)
       << "mul_channel: gamma shape " << shape_to_string(gamma.shape())
       << " does not match " << v.c << " channels";
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   const float* px = x.value().data();
   const float* pg = gamma.value().data();
   float* po = out.data();
@@ -142,7 +142,7 @@ Variable add_channel(const Variable& x, const Variable& beta) {
   RIPPLE_CHECK(beta.value().rank() == 1 && beta.dim(0) == v.c)
       << "add_channel: beta shape " << shape_to_string(beta.shape())
       << " does not match " << v.c << " channels";
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   const float* px = x.value().data();
   const float* pb = beta.value().data();
   float* po = out.data();
@@ -171,6 +171,115 @@ Variable add_channel(const Variable& x, const Variable& beta) {
         }
       },
       "add_channel");
+}
+
+Variable mul_channel_replicated(const Variable& x, const Variable& gamma) {
+  const ChannelView v = channel_view(x.value());
+  RIPPLE_CHECK(gamma.value().rank() == 2 && gamma.dim(1) == v.c)
+      << "mul_channel_replicated: gamma shape "
+      << shape_to_string(gamma.shape()) << " does not match " << v.c
+      << " channels";
+  const int64_t r = gamma.dim(0);
+  RIPPLE_CHECK(r >= 1 && v.n % r == 0)
+      << "mul_channel_replicated: batch " << v.n << " not divisible into "
+      << r << " replicas";
+  const int64_t rows = v.n / r;  // samples per replica
+  Tensor out = Tensor::empty(x.shape());
+  const float* px = x.value().data();
+  const float* pg = gamma.value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < v.n; ++i) {
+    const float* grow = pg + (i / rows) * v.c;
+    for (int64_t ch = 0; ch < v.c; ++ch) {
+      const float g = grow[ch];
+      const int64_t base = (i * v.c + ch) * v.inner;
+      for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] * g;
+    }
+  }
+  Tensor xv = x.value();
+  Tensor gv = gamma.value();
+  return make_op_node(
+      std::move(out), {x.node(), gamma.node()},
+      [xv, gv, v, r, rows](Node& n) {
+        const float* pdy = n.grad.data();
+        if (n.parents[0]->requires_grad) {
+          Tensor dx(xv.shape());
+          float* pdx = dx.data();
+          const float* pg = gv.data();
+          for (int64_t i = 0; i < v.n; ++i) {
+            const float* grow = pg + (i / rows) * v.c;
+            for (int64_t ch = 0; ch < v.c; ++ch) {
+              const float g = grow[ch];
+              const int64_t base = (i * v.c + ch) * v.inner;
+              for (int64_t k = 0; k < v.inner; ++k)
+                pdx[base + k] = pdy[base + k] * g;
+            }
+          }
+          n.parents[0]->accumulate_grad(dx);
+        }
+        if (n.parents[1]->requires_grad) {
+          Tensor dg = Tensor::zeros({r, v.c});
+          float* pdg = dg.data();
+          const float* px = xv.data();
+          for (int64_t i = 0; i < v.n; ++i) {
+            float* grow = pdg + (i / rows) * v.c;
+            for (int64_t ch = 0; ch < v.c; ++ch) {
+              const int64_t base = (i * v.c + ch) * v.inner;
+              double acc = 0.0;
+              for (int64_t k = 0; k < v.inner; ++k)
+                acc += static_cast<double>(pdy[base + k]) * px[base + k];
+              grow[ch] += static_cast<float>(acc);
+            }
+          }
+          n.parents[1]->accumulate_grad(dg);
+        }
+      },
+      "mul_channel_replicated");
+}
+
+Variable add_channel_replicated(const Variable& x, const Variable& beta) {
+  const ChannelView v = channel_view(x.value());
+  RIPPLE_CHECK(beta.value().rank() == 2 && beta.dim(1) == v.c)
+      << "add_channel_replicated: beta shape " << shape_to_string(beta.shape())
+      << " does not match " << v.c << " channels";
+  const int64_t r = beta.dim(0);
+  RIPPLE_CHECK(r >= 1 && v.n % r == 0)
+      << "add_channel_replicated: batch " << v.n << " not divisible into "
+      << r << " replicas";
+  const int64_t rows = v.n / r;
+  Tensor out = Tensor::empty(x.shape());
+  const float* px = x.value().data();
+  const float* pb = beta.value().data();
+  float* po = out.data();
+  for (int64_t i = 0; i < v.n; ++i) {
+    const float* brow = pb + (i / rows) * v.c;
+    for (int64_t ch = 0; ch < v.c; ++ch) {
+      const float bval = brow[ch];
+      const int64_t base = (i * v.c + ch) * v.inner;
+      for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] + bval;
+    }
+  }
+  return make_op_node(
+      std::move(out), {x.node(), beta.node()},
+      [v, r, rows](Node& n) {
+        const float* pdy = n.grad.data();
+        if (n.parents[0]->requires_grad) n.parents[0]->accumulate_grad(n.grad);
+        if (n.parents[1]->requires_grad) {
+          Tensor db = Tensor::zeros({r, v.c});
+          float* pdb = db.data();
+          for (int64_t i = 0; i < v.n; ++i) {
+            float* brow = pdb + (i / rows) * v.c;
+            for (int64_t ch = 0; ch < v.c; ++ch) {
+              const int64_t base = (i * v.c + ch) * v.inner;
+              double acc = 0.0;
+              for (int64_t k = 0; k < v.inner; ++k) acc += pdy[base + k];
+              brow[ch] += static_cast<float>(acc);
+            }
+          }
+          n.parents[1]->accumulate_grad(db);
+        }
+      },
+      "add_channel_replicated");
 }
 
 Variable relu(const Variable& a) {

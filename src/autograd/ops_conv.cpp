@@ -1,8 +1,15 @@
 // Convolution, pooling and resampling ops.
 //
-// Convolutions lower to GEMM via im2col per sample; the patch matrix is
-// recomputed in the backward pass instead of cached, trading a little
-// compute for a much smaller autograd graph footprint.
+// Convolution forwards lower to one batched GEMM per sample group: weights
+// are packed once per call (PackedGemmA) and reused across the whole batch
+// — and therefore across all T folded Monte-Carlo replicas — while im2col
+// writes each sample's patch matrix as a column block of a shared
+// [C·k², G·OA] matrix. The per-channel bias is fused into the GEMM epilogue
+// instead of re-walking the output. The patch matrix is recomputed in the
+// backward pass instead of cached, trading a little compute for a much
+// smaller autograd graph footprint.
+#include <algorithm>
+#include <cstring>
 #include <limits>
 
 #include "autograd/ops.h"
@@ -12,6 +19,17 @@
 #include "tensor/threadpool.h"
 
 namespace ripple::autograd {
+
+namespace {
+
+// Samples fused into one GEMM, bounded so the shared cols buffer stays
+// cache/memory friendly (~8 MB).
+int64_t conv_group_size(int64_t n, int64_t ck, int64_t oa) {
+  const int64_t budget = int64_t{1} << 21;  // floats
+  return std::clamp<int64_t>(budget / std::max<int64_t>(1, ck * oa), 1, n);
+}
+
+}  // namespace
 
 Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
                 int64_t stride, int64_t pad) {
@@ -37,27 +55,35 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
         << "conv2d: bias shape " << shape_to_string(b.shape());
   }
 
-  Tensor out({n, cout, oh, ow});
+  Tensor out = Tensor::empty({n, cout, oh, ow});
   {
     const float* px = x.value().data();
-    const float* pw = w.value().data();
     float* po = out.data();
-    parallel_for(n, [&](int64_t begin, int64_t end) {
-      Tensor cols({ck, oa});
-      for (int64_t i = begin; i < end; ++i) {
-        im2col_2d(px + i * cin * h * wd, cin, h, wd, kh, kw, stride, pad,
-                  cols.data());
-        gemm_nn(cout, oa, ck, pw, cols.data(), po + i * cout * oa);
-      }
-    }, /*grain=*/1);
-    if (has_bias) {
-      const float* pb = b.value().data();
-      for (int64_t i = 0; i < n; ++i)
-        for (int64_t c = 0; c < cout; ++c) {
-          float* row = po + (i * cout + c) * oa;
-          const float bias = pb[c];
-          for (int64_t k = 0; k < oa; ++k) row[k] += bias;
-        }
+    const PackedGemmA pw = pack_gemm_a(cout, ck, w.value().data());
+    GemmEpilogue ep;
+    ep.row_bias = has_bias ? b.value().data() : nullptr;
+    const int64_t group = conv_group_size(n, ck, oa);
+    Tensor cols = Tensor::empty({ck, group * oa});
+    Tensor stage = Tensor::empty({cout, group * oa});
+    for (int64_t g0 = 0; g0 < n; g0 += group) {
+      const int64_t gn = std::min(group, n - g0);
+      const int64_t ldc = gn * oa;
+      float* pc = cols.data();
+      parallel_for(gn, [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s)
+          im2col_2d_ld(px + (g0 + s) * cin * h * wd, cin, h, wd, kh, kw,
+                       stride, pad, pc + s * oa, ldc);
+      }, /*grain=*/1);
+      std::memset(stage.data(), 0, sizeof(float) * cout * ldc);
+      gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
+      // Scatter the [Cout, G·OA] GEMM block back to [N, Cout, OA] layout.
+      const float* ps = stage.data();
+      parallel_for(gn, [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s)
+          for (int64_t c = 0; c < cout; ++c)
+            std::memcpy(po + ((g0 + s) * cout + c) * oa,
+                        ps + c * ldc + s * oa, sizeof(float) * oa);
+      }, /*grain=*/1);
     }
   }
 
@@ -128,23 +154,34 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
         << "conv1d: bias shape " << shape_to_string(b.shape());
   }
 
-  Tensor out({n, cout, ol});
+  Tensor out = Tensor::empty({n, cout, ol});
   {
     const float* px = x.value().data();
-    const float* pw = w.value().data();
     float* po = out.data();
-    Tensor cols({ck, ol});
-    for (int64_t i = 0; i < n; ++i) {
-      im2col_1d(px + i * cin * l, cin, l, k, stride, pad, cols.data());
-      gemm_nn(cout, ol, ck, pw, cols.data(), po + i * cout * ol);
-    }
-    if (has_bias) {
-      const float* pb = b.value().data();
-      for (int64_t i = 0; i < n; ++i)
-        for (int64_t c = 0; c < cout; ++c) {
-          float* row = po + (i * cout + c) * ol;
-          for (int64_t j = 0; j < ol; ++j) row[j] += pb[c];
-        }
+    const PackedGemmA pw = pack_gemm_a(cout, ck, w.value().data());
+    GemmEpilogue ep;
+    ep.row_bias = has_bias ? b.value().data() : nullptr;
+    const int64_t group = conv_group_size(n, ck, ol);
+    Tensor cols = Tensor::empty({ck, group * ol});
+    Tensor stage = Tensor::empty({cout, group * ol});
+    for (int64_t g0 = 0; g0 < n; g0 += group) {
+      const int64_t gn = std::min(group, n - g0);
+      const int64_t ldc = gn * ol;
+      float* pc = cols.data();
+      parallel_for(gn, [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s)
+          im2col_1d_ld(px + (g0 + s) * cin * l, cin, l, k, stride, pad,
+                       pc + s * ol, ldc);
+      }, /*grain=*/1);
+      std::memset(stage.data(), 0, sizeof(float) * cout * ldc);
+      gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
+      const float* ps = stage.data();
+      parallel_for(gn, [&](int64_t s0, int64_t s1) {
+        for (int64_t s = s0; s < s1; ++s)
+          for (int64_t c = 0; c < cout; ++c)
+            std::memcpy(po + ((g0 + s) * cout + c) * ol,
+                        ps + c * ldc + s * ol, sizeof(float) * ol);
+      }, /*grain=*/1);
     }
   }
 

@@ -48,14 +48,11 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
   }
 
   Tensor out({n, fout});
-  // out = x · wᵀ
-  gemm_nt(n, fout, fin, x.value().data(), w.value().data(), out.data());
-  if (has_bias) {
-    const float* pb = b.value().data();
-    float* po = out.data();
-    for (int64_t i = 0; i < n; ++i)
-      for (int64_t j = 0; j < fout; ++j) po[i * fout + j] += pb[j];
-  }
+  // out = x · wᵀ + b, bias fused into the GEMM epilogue (per-column: the
+  // feature axis of the [N, Fout] output).
+  GemmEpilogue ep;
+  ep.col_bias = has_bias ? b.value().data() : nullptr;
+  gemm_nt_ex(n, fout, fin, x.value().data(), w.value().data(), out.data(), ep);
 
   Tensor xv = x.value();
   Tensor wv = w.value();

@@ -46,4 +46,71 @@ autograd::Variable drop_beta_to_zero(const autograd::Variable& beta,
   return autograd::mul(beta, autograd::Variable(mask));
 }
 
+namespace {
+
+void check_replicated_mask(const autograd::Variable& param,
+                           const Tensor& mask, const char* name) {
+  RIPPLE_CHECK(param.value().rank() == 1)
+      << name << ": parameter must be a [C] vector, got "
+      << shape_to_string(param.shape());
+  RIPPLE_CHECK(mask.rank() == 2 && mask.dim(1) == param.dim(0))
+      << name << ": mask shape " << shape_to_string(mask.shape())
+      << " incompatible with " << param.dim(0) << " channels";
+}
+
+}  // namespace
+
+autograd::Variable drop_gamma_to_one_replicated(const autograd::Variable& gamma,
+                                                const Tensor& mask) {
+  check_replicated_mask(gamma, mask, "drop_gamma_to_one_replicated");
+  const int64_t r = mask.dim(0);
+  const int64_t c = mask.dim(1);
+  Tensor out({r, c});
+  const float* pg = gamma.value().data();
+  const float* pm = mask.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < r * c; ++i) {
+    const float m = pm[i];
+    po[i] = pg[i % c] * m + (1.0f - m);
+  }
+  Tensor mk = mask;
+  return autograd::make_op_node(
+      std::move(out), {gamma.node()},
+      [mk, r, c](autograd::Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor dg = Tensor::zeros({c});
+        float* pdg = dg.data();
+        const float* pdy = n.grad.data();
+        const float* pm = mk.data();
+        for (int64_t i = 0; i < r * c; ++i) pdg[i % c] += pdy[i] * pm[i];
+        n.parents[0]->accumulate_grad(dg);
+      },
+      "drop_gamma_replicated");
+}
+
+autograd::Variable drop_beta_to_zero_replicated(const autograd::Variable& beta,
+                                                const Tensor& mask) {
+  check_replicated_mask(beta, mask, "drop_beta_to_zero_replicated");
+  const int64_t r = mask.dim(0);
+  const int64_t c = mask.dim(1);
+  Tensor out({r, c});
+  const float* pb = beta.value().data();
+  const float* pm = mask.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < r * c; ++i) po[i] = pb[i % c] * pm[i];
+  Tensor mk = mask;
+  return autograd::make_op_node(
+      std::move(out), {beta.node()},
+      [mk, r, c](autograd::Node& n) {
+        if (!n.parents[0]->requires_grad) return;
+        Tensor db = Tensor::zeros({c});
+        float* pdb = db.data();
+        const float* pdy = n.grad.data();
+        const float* pm = mk.data();
+        for (int64_t i = 0; i < r * c; ++i) pdb[i % c] += pdy[i] * pm[i];
+        n.parents[0]->accumulate_grad(db);
+      },
+      "drop_beta_replicated");
+}
+
 }  // namespace ripple::core

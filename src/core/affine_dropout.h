@@ -33,4 +33,14 @@ autograd::Variable drop_gamma_to_one(const autograd::Variable& gamma,
 autograd::Variable drop_beta_to_zero(const autograd::Variable& beta,
                                      const Tensor& mask);
 
+// Replicated variants for the batched Monte-Carlo forward: mask is [R, C]
+// (one independently sampled mask per folded replica) and the result is the
+// [R, C] matrix of per-replica effective affine vectors.
+/// out[r,c] = γ[c]·m[r,c] + (1 − m[r,c]).
+autograd::Variable drop_gamma_to_one_replicated(const autograd::Variable& gamma,
+                                                const Tensor& mask);
+/// out[r,c] = β[c]·m[r,c].
+autograd::Variable drop_beta_to_zero_replicated(const autograd::Variable& beta,
+                                                const Tensor& mask);
+
 }  // namespace ripple::core

@@ -1,5 +1,7 @@
 #include "core/inverted_norm.h"
 
+#include <algorithm>
+
 #include "autograd/ops.h"
 
 namespace ripple::core {
@@ -22,6 +24,26 @@ InvertedNorm::InvertedNorm(int64_t channels, Options options, Rng* rng)
                               autograd::ParamKind::kAffineBias);
 }
 
+void InvertedNorm::set_mc_replicas(int64_t t) {
+  RIPPLE_CHECK(t >= 1) << "InvertedNorm replicas must be >= 1";
+  mc_replicas_ = t;
+}
+
+void InvertedNorm::set_mask_stream(uint64_t seed) {
+  has_mask_stream_ = true;
+  mask_stream_seed_ = seed;
+  mask_invocation_ = 0;
+  mask_replica_offset_ = 0;
+}
+
+void InvertedNorm::set_mask_replica_offset(int64_t r) {
+  RIPPLE_CHECK(r >= 0) << "mask replica offset must be >= 0";
+  mask_replica_offset_ = r;
+  mask_invocation_ = 0;
+}
+
+void InvertedNorm::clear_mask_stream() { has_mask_stream_ = false; }
+
 autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
   namespace ag = ripple::autograd;
   RIPPLE_CHECK(x.dim(1) == channels_)
@@ -29,26 +51,78 @@ autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
 
   ag::Variable gamma_eff = gamma_->var;
   ag::Variable beta_eff = beta_->var;
+  bool replicated = false;
   if (stochastic() && options_.dropout_p > 0.0f) {
-    Rng& gen = rng_ != nullptr ? *rng_ : global_rng();
-    // Independent masks for weight and bias (§III-B, Fig. 3).
-    const Tensor gamma_mask = sample_affine_mask(
-        channels_, options_.dropout_p, options_.granularity, gen);
-    const Tensor beta_mask = sample_affine_mask(
-        channels_, options_.dropout_p, options_.granularity, gen);
-    gamma_eff = drop_gamma_to_one(gamma_eff, gamma_mask);
-    beta_eff = drop_beta_to_zero(beta_eff, beta_mask);
+    Rng invocation_stream(0);
+    Rng* genp = rng_ != nullptr ? rng_ : &global_rng();
+    if (has_mask_stream_) {
+      // Per-invocation sub-stream (recurrent models invoke the layer once
+      // per timestep; each invocation owns a replica-ordered stream).
+      invocation_stream.reseed(
+          splitmix64(mask_stream_seed_ ^
+                     (0x517cc1b727220a95ull *
+                      (static_cast<uint64_t>(mask_invocation_) + 1))));
+      ++mask_invocation_;
+      genp = &invocation_stream;
+      if (mc_replicas_ == 1) {
+        // Serial reference pass for replica r: burn the first r mask pairs
+        // so the pair drawn below is the one the batched pass hands to r.
+        for (int64_t s = 0; s < mask_replica_offset_; ++s) {
+          (void)sample_affine_mask(channels_, options_.dropout_p,
+                                   options_.granularity, *genp);
+          (void)sample_affine_mask(channels_, options_.dropout_p,
+                                   options_.granularity, *genp);
+        }
+      }
+    }
+    Rng& gen = *genp;
+    if (mc_replicas_ > 1) {
+      // Batched MC: one independent mask pair per folded replica, consumed
+      // in replica order — the order serial passes would draw them.
+      const int64_t t = mc_replicas_;
+      RIPPLE_CHECK(x.dim(0) % t == 0)
+          << "InvertedNorm: batch " << x.dim(0) << " not divisible into "
+          << t << " MC replicas";
+      Tensor gamma_mask({t, channels_});
+      Tensor beta_mask({t, channels_});
+      for (int64_t r = 0; r < t; ++r) {
+        const Tensor gm = sample_affine_mask(channels_, options_.dropout_p,
+                                             options_.granularity, gen);
+        const Tensor bm = sample_affine_mask(channels_, options_.dropout_p,
+                                             options_.granularity, gen);
+        std::copy(gm.data(), gm.data() + channels_,
+                  gamma_mask.data() + r * channels_);
+        std::copy(bm.data(), bm.data() + channels_,
+                  beta_mask.data() + r * channels_);
+      }
+      gamma_eff = drop_gamma_to_one_replicated(gamma_eff, gamma_mask);
+      beta_eff = drop_beta_to_zero_replicated(beta_eff, beta_mask);
+      replicated = true;
+    } else {
+      // Independent masks for weight and bias (§III-B, Fig. 3).
+      const Tensor gamma_mask = sample_affine_mask(
+          channels_, options_.dropout_p, options_.granularity, gen);
+      const Tensor beta_mask = sample_affine_mask(
+          channels_, options_.dropout_p, options_.granularity, gen);
+      gamma_eff = drop_gamma_to_one(gamma_eff, gamma_mask);
+      beta_eff = drop_beta_to_zero(beta_eff, beta_mask);
+    }
   }
+
+  const auto apply_affine = [&](const ag::Variable& v) {
+    if (replicated)
+      return ag::add_channel_replicated(ag::mul_channel_replicated(v, gamma_eff),
+                                        beta_eff);
+    return ag::add_channel(ag::mul_channel(v, gamma_eff), beta_eff);
+  };
 
   if (options_.affine_first) {
     // Paper order: affine transformation, then normalization (Fig. 2b).
-    ag::Variable z =
-        ag::add_channel(ag::mul_channel(x, gamma_eff), beta_eff);
-    return ag::group_normalize(z, options_.groups, options_.eps);
+    return ag::group_normalize(apply_affine(x), options_.groups, options_.eps);
   }
   // Ablation order: normalize, then stochastic affine (conventional flow).
   ag::Variable z = ag::group_normalize(x, options_.groups, options_.eps);
-  return ag::add_channel(ag::mul_channel(z, gamma_eff), beta_eff);
+  return apply_affine(z);
 }
 
 }  // namespace ripple::core

@@ -50,6 +50,28 @@ class InvertedNorm : public nn::Layer {
   void set_mc_mode(bool on) { mc_mode_ = on; }
   bool mc_mode() const { return mc_mode_; }
 
+  /// Batched Monte-Carlo forward: with t > 1, forward() treats the batch as
+  /// t replica blocks (replica-major, dim 0 divisible by t) and samples an
+  /// independent affine mask pair per replica, so one pass yields t
+  /// stochastic samples. t == 1 restores the ordinary path.
+  void set_mc_replicas(int64_t t);
+  int64_t mc_replicas() const { return mc_replicas_; }
+
+  /// Routes mask sampling through a deterministic per-layer stream: each
+  /// forward invocation i derives an independent sub-stream from (seed, i)
+  /// and draws the replicas' mask pairs from it in replica order. The
+  /// batched pass draws all t pairs of invocation i at once; a serial pass
+  /// for replica r skips r pairs first (set_mask_replica_offset). Either
+  /// way replica r sees the same masks — even for recurrent models that
+  /// invoke the layer once per timestep — so batched and serial MC agree
+  /// to float rounding for the same seed (fault::layer_stream_seed).
+  void set_mask_stream(uint64_t seed);
+  /// Serial reference path: subsequent invocations draw the mask pair of
+  /// replica r. Resets the invocation counter (call before each pass).
+  void set_mask_replica_offset(int64_t r);
+  /// Returns mask sampling to the shared constructor-time Rng.
+  void clear_mask_stream();
+
   autograd::Parameter& gamma() { return *gamma_; }
   autograd::Parameter& beta() { return *beta_; }
   const Options& options() const { return options_; }
@@ -61,6 +83,11 @@ class InvertedNorm : public nn::Layer {
   int64_t channels_;
   Options options_;
   bool mc_mode_ = false;
+  int64_t mc_replicas_ = 1;
+  bool has_mask_stream_ = false;
+  uint64_t mask_stream_seed_ = 0;
+  int64_t mask_invocation_ = 0;
+  int64_t mask_replica_offset_ = 0;
   Rng* rng_;
   autograd::Parameter* gamma_ = nullptr;
   autograd::Parameter* beta_ = nullptr;

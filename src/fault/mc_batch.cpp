@@ -1,0 +1,80 @@
+#include "fault/mc_batch.h"
+
+#include <cstring>
+
+#include "tensor/check.h"
+#include "tensor/random.h"
+
+namespace ripple::fault {
+
+Tensor replicate_batch(const Tensor& x, int t) {
+  RIPPLE_CHECK(t >= 1) << "replicate_batch needs t >= 1";
+  RIPPLE_CHECK(x.rank() >= 1) << "replicate_batch needs a batched tensor";
+  Shape shape = x.shape();
+  shape[0] *= t;
+  Tensor out(shape);
+  const size_t block = sizeof(float) * static_cast<size_t>(x.numel());
+  for (int r = 0; r < t; ++r)
+    std::memcpy(out.data() + static_cast<int64_t>(r) * x.numel(), x.data(),
+                block);
+  return out;
+}
+
+namespace {
+
+Shape replica_shape(const Tensor& stacked, int t) {
+  RIPPLE_CHECK(t >= 1) << "replica reduction needs t >= 1";
+  RIPPLE_CHECK(stacked.rank() >= 1 && stacked.dim(0) % t == 0)
+      << "stacked dim 0 (" << (stacked.rank() >= 1 ? stacked.dim(0) : 0)
+      << ") not divisible into " << t << " replicas";
+  Shape shape = stacked.shape();
+  shape[0] /= t;
+  return shape;
+}
+
+}  // namespace
+
+Tensor replica_mean(const Tensor& stacked, int t) {
+  Tensor mean = Tensor::zeros(replica_shape(stacked, t));
+  const int64_t block = mean.numel();
+  const float* ps = stacked.data();
+  float* pm = mean.data();
+  for (int r = 0; r < t; ++r) {
+    const float* src = ps + static_cast<int64_t>(r) * block;
+    for (int64_t i = 0; i < block; ++i) pm[i] += src[i];
+  }
+  const float inv = 1.0f / static_cast<float>(t);
+  for (int64_t i = 0; i < block; ++i) pm[i] *= inv;
+  return mean;
+}
+
+ReplicaMoments replica_moments(const Tensor& stacked, int t) {
+  ReplicaMoments out;
+  out.mean = Tensor::zeros(replica_shape(stacked, t));
+  out.variance = Tensor::zeros(out.mean.shape());
+  const int64_t block = out.mean.numel();
+  const float* ps = stacked.data();
+  float* pm = out.mean.data();
+  float* pv = out.variance.data();
+  for (int r = 0; r < t; ++r) {
+    const float* src = ps + static_cast<int64_t>(r) * block;
+    for (int64_t i = 0; i < block; ++i) {
+      pm[i] += src[i];
+      pv[i] += src[i] * src[i];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(t);
+  for (int64_t i = 0; i < block; ++i) {
+    pm[i] *= inv;
+    const float var = pv[i] * inv - pm[i] * pm[i];
+    pv[i] = var > 0.0f ? var : 0.0f;
+  }
+  return out;
+}
+
+uint64_t layer_stream_seed(uint64_t base_seed, size_t layer_index) {
+  return splitmix64(base_seed ^
+                    (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(layer_index) + 1)));
+}
+
+}  // namespace ripple::fault

@@ -42,4 +42,8 @@ void BlockFactory::set_mc_mode(bool on) {
   for (auto* l : spatial_) l->set_mc_mode(on);
 }
 
+void BlockFactory::set_mc_replicas(int64_t t) {
+  for (auto* l : inverted_) l->set_mc_replicas(t);
+}
+
 }  // namespace ripple::models

@@ -36,6 +36,17 @@ class BlockFactory {
   /// Toggles MC sampling on every stochastic layer created so far.
   void set_mc_mode(bool on);
 
+  /// Folds t Monte-Carlo replicas into the batch dimension of every
+  /// InvertedNorm created so far (element-wise dropout layers already
+  /// sample independent masks per batch row, so they need no hook).
+  void set_mc_replicas(int64_t t);
+
+  /// The InvertedNorm layers created so far, in construction order —
+  /// used to seed deterministic per-layer mask streams for batched MC.
+  const std::vector<core::InvertedNorm*>& inverted_norms() const {
+    return inverted_;
+  }
+
  private:
   VariantConfig config_;
   Rng* rng_;

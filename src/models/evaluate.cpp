@@ -1,6 +1,10 @@
 #include "models/evaluate.h"
 
+#include <cstring>
+
+#include "core/inverted_norm.h"
 #include "core/metrics.h"
+#include "fault/mc_batch.h"
 #include "tensor/ops.h"
 
 namespace ripple::models {
@@ -17,6 +21,28 @@ class McScope {
 
  private:
   TaskModel& model_;
+};
+
+/// RAII: MC mode + deterministic per-layer mask streams + replica fold.
+/// `replicas` is t for the batched pass and 1 for the serial reference.
+class McBatchScope {
+ public:
+  McBatchScope(TaskModel& model, int64_t replicas, uint64_t seed)
+      : model_(model), mc_(model) {
+    layers_ = model_.inverted_norm_layers();
+    for (size_t i = 0; i < layers_.size(); ++i)
+      layers_[i]->set_mask_stream(fault::layer_stream_seed(seed, i));
+    model_.set_mc_replicas(replicas);
+  }
+  ~McBatchScope() {
+    model_.set_mc_replicas(1);
+    for (auto* l : layers_) l->clear_mask_stream();
+  }
+
+ private:
+  TaskModel& model_;
+  McScope mc_;
+  std::vector<core::InvertedNorm*> layers_;
 };
 
 }  // namespace
@@ -98,6 +124,47 @@ double miou_mc(TaskModel& model, const data::SegmentationData& test,
   const double iou_bg =
       union_bg > 0 ? static_cast<double>(inter_bg) / union_bg : 1.0;
   return 0.5 * (iou_fg + iou_bg);
+}
+
+Tensor mc_forward_batched(TaskModel& model, const Tensor& x, int t,
+                          uint64_t seed) {
+  RIPPLE_CHECK(t >= 1) << "mc_forward_batched needs t >= 1";
+  McBatchScope scope(model, t, seed);
+  return model.predict(fault::replicate_batch(x, t));
+}
+
+Tensor mc_forward_serial(TaskModel& model, const Tensor& x, int t,
+                         uint64_t seed) {
+  RIPPLE_CHECK(t >= 1) << "mc_forward_serial needs t >= 1";
+  McBatchScope scope(model, /*replicas=*/1, seed);
+  std::vector<core::InvertedNorm*> layers = model.inverted_norm_layers();
+  Tensor stacked;
+  for (int r = 0; r < t; ++r) {
+    for (auto* l : layers) l->set_mask_replica_offset(r);
+    Tensor y = model.predict(x);
+    if (!stacked.defined()) {
+      Shape shape = y.shape();
+      shape[0] *= t;
+      stacked = Tensor(shape);
+    }
+    std::memcpy(stacked.data() + static_cast<int64_t>(r) * y.numel(),
+                y.data(), sizeof(float) * static_cast<size_t>(y.numel()));
+  }
+  return stacked;
+}
+
+core::McClassification probs_mc_batched(TaskModel& model, const Tensor& x,
+                                        int t, uint64_t seed) {
+  Tensor logits = mc_forward_batched(model, x, t, seed);
+  RIPPLE_CHECK(logits.rank() == 2) << "classifier must return [N,C] logits";
+  Tensor probs = ops::softmax_rows(logits);
+  fault::ReplicaMoments moments = fault::replica_moments(probs, t);
+  core::McClassification out;
+  out.samples = t;
+  out.mean_probs = std::move(moments.mean);
+  out.variance = std::move(moments.variance);
+  out.predictions = ops::argmax_rows(out.mean_probs);
+  return out;
 }
 
 }  // namespace ripple::models

@@ -27,4 +27,26 @@ double rmse_mc(TaskModel& model, const data::SeriesData& test, int mc_samples,
 double miou_mc(TaskModel& model, const data::SegmentationData& test,
                int mc_samples, int64_t batch_size = 16);
 
+// ---- batched Monte-Carlo forward (fault/mc_batch.h) ------------------------
+// The T stochastic samples fold into the batch dimension: the input is
+// replicated once and ONE forward pass runs, with only the InvertedNorm
+// layers diverging per replica. Each InvertedNorm draws its masks from a
+// deterministic per-layer stream, so the batched and serial paths sample
+// identical masks for the same seed and agree to float rounding.
+
+/// One batched MC pass: returns the stacked raw model outputs [t·N, ...],
+/// replica-major.
+Tensor mc_forward_batched(TaskModel& model, const Tensor& x, int t,
+                          uint64_t seed);
+
+/// Serial reference path (t separate passes) under the same mask-stream
+/// convention; kept as the cross-check oracle for the batched path.
+Tensor mc_forward_serial(TaskModel& model, const Tensor& x, int t,
+                         uint64_t seed);
+
+/// Batched analogue of probs_mc for classifiers: softmax per stacked row,
+/// then across-replica mean/variance — all from a single forward pass.
+core::McClassification probs_mc_batched(TaskModel& model, const Tensor& x,
+                                        int t, uint64_t seed);
+
 }  // namespace ripple::models

@@ -85,6 +85,12 @@ ag::Variable LstmForecaster::forward(const Tensor& x) {
 
 void LstmForecaster::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
 
+void LstmForecaster::set_mc_replicas(int64_t t) { factory_.set_mc_replicas(t); }
+
+std::vector<core::InvertedNorm*> LstmForecaster::inverted_norm_layers() {
+  return factory_.inverted_norms();
+}
+
 void LstmForecaster::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

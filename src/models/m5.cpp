@@ -65,6 +65,12 @@ ag::Variable M5::forward(const Tensor& x) {
 
 void M5::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
 
+void M5::set_mc_replicas(int64_t t) { factory_.set_mc_replicas(t); }
+
+std::vector<core::InvertedNorm*> M5::inverted_norm_layers() {
+  return factory_.inverted_norms();
+}
+
 void M5::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

@@ -33,6 +33,8 @@ class M5 : public TaskModel {
 
   autograd::Variable forward(const Tensor& x) override;
   void set_mc_mode(bool on) override;
+  void set_mc_replicas(int64_t t) override;
+  std::vector<core::InvertedNorm*> inverted_norm_layers() override;
   void deploy() override;
   std::vector<fault::FaultTarget> fault_targets() override;
   bool binary_weights() const override { return false; }

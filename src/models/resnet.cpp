@@ -108,6 +108,12 @@ ag::Variable BinaryResNet::forward(const Tensor& x) {
 
 void BinaryResNet::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
 
+void BinaryResNet::set_mc_replicas(int64_t t) { factory_.set_mc_replicas(t); }
+
+std::vector<core::InvertedNorm*> BinaryResNet::inverted_norm_layers() {
+  return factory_.inverted_norms();
+}
+
 void BinaryResNet::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

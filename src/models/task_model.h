@@ -15,6 +15,10 @@
 #include "models/variants.h"
 #include "nn/noise.h"
 
+namespace ripple::core {
+class InvertedNorm;
+}
+
 namespace ripple::models {
 
 /// Hyper-parameters shared by every topology/variant combination.
@@ -49,6 +53,17 @@ class TaskModel : public autograd::Module {
 
   /// Keeps the stochastic layers sampling in eval mode (MC inference).
   virtual void set_mc_mode(bool on) = 0;
+
+  /// Batched Monte-Carlo: fold t replicas into the batch dimension of the
+  /// stochastic norm layers (see fault/mc_batch.h). Default: no stochastic
+  /// norm layers to configure.
+  virtual void set_mc_replicas(int64_t t) { (void)t; }
+
+  /// InvertedNorm layers in construction order, for seeding deterministic
+  /// per-layer mask streams. Empty for variants without them.
+  virtual std::vector<core::InvertedNorm*> inverted_norm_layers() {
+    return {};
+  }
 
   /// Freezes quantizers and replaces latent weights with their deployed
   /// quantized values; weight transforms become identity afterwards.

@@ -66,6 +66,12 @@ ag::Variable UNet::forward(const Tensor& x) {
 
 void UNet::set_mc_mode(bool on) { factory_.set_mc_mode(on); }
 
+void UNet::set_mc_replicas(int64_t t) { factory_.set_mc_replicas(t); }
+
+std::vector<core::InvertedNorm*> UNet::inverted_norm_layers() {
+  return factory_.inverted_norms();
+}
+
 void UNet::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

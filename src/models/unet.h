@@ -32,6 +32,8 @@ class UNet : public TaskModel {
   /// same shape.
   autograd::Variable forward(const Tensor& x) override;
   void set_mc_mode(bool on) override;
+  void set_mc_replicas(int64_t t) override;
+  std::vector<core::InvertedNorm*> inverted_norm_layers() override;
   void deploy() override;
   std::vector<fault::FaultTarget> fault_targets() override;
   bool binary_weights() const override { return true; }

@@ -1,29 +1,438 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 
+#include "tensor/env.h"
 #include "tensor/threadpool.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define RIPPLE_X86 1
+#endif
 
 namespace ripple {
 namespace {
 
-// Cache blocking sizes tuned for a small L1/L2 CPU; the i-k-j loop order in
-// the inner kernel lets the compiler vectorize over j.
-constexpr int64_t kBlockM = 64;
-constexpr int64_t kBlockK = 256;
+// BLIS-style blocking: the micro-kernel computes a MR×nr tile of C from an
+// A panel packed as [kc][MR] and a B panel packed as [kc][nr]. kc is capped
+// at kKC so both panels stay L1/L2-resident; A blocks are repacked per kMC
+// rows, B blocks per kNC columns.
+constexpr int64_t kMR = 6;
+constexpr int64_t kMaxNR = 32;  // widest kernel (avx512)
+constexpr int64_t kKC = 256;
+constexpr int64_t kMC = 96;  // multiple of kMR
+constexpr int64_t kNC = 2048;
 
-void gemm_nn_rows(int64_t row_begin, int64_t row_end, int64_t n, int64_t k,
-                  const float* a, const float* b, float* c) {
-  for (int64_t i0 = row_begin; i0 < row_end; i0 += kBlockM) {
-    const int64_t i1 = std::min(row_end, i0 + kBlockM);
-    for (int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-      const int64_t k1 = std::min(k, k0 + kBlockK);
+using MicroKernel = void (*)(int64_t kc, const float* ap, const float* bp,
+                             float* c, int64_t ldc);
+
+struct KernelInfo {
+  int64_t nr;
+  MicroKernel fn;
+  const char* name;
+};
+
+// ---- portable micro-kernel (always compiled) -------------------------------
+
+void kernel_scalar_6x16(int64_t kc, const float* ap, const float* bp, float* c,
+                        int64_t ldc) {
+  float acc[kMR][16];
+  for (int64_t i = 0; i < kMR; ++i)
+    for (int64_t j = 0; j < 16; ++j) acc[i][j] = c[i * ldc + j];
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* a = ap + kk * kMR;
+    const float* b = bp + kk * 16;
+    for (int64_t i = 0; i < kMR; ++i) {
+      const float av = a[i];
+      for (int64_t j = 0; j < 16; ++j) acc[i][j] += av * b[j];
+    }
+  }
+  for (int64_t i = 0; i < kMR; ++i)
+    for (int64_t j = 0; j < 16; ++j) c[i * ldc + j] = acc[i][j];
+}
+
+// ---- SIMD micro-kernels (per-function target; selected via CPUID) ----------
+
+#ifdef RIPPLE_X86
+
+__attribute__((target("avx2,fma"))) void kernel_avx2_6x16(int64_t kc,
+                                                          const float* ap,
+                                                          const float* bp,
+                                                          float* c,
+                                                          int64_t ldc) {
+  __m256 acc[kMR][2];
+  for (int64_t i = 0; i < kMR; ++i) {
+    acc[i][0] = _mm256_loadu_ps(c + i * ldc);
+    acc[i][1] = _mm256_loadu_ps(c + i * ldc + 8);
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b0 = _mm256_loadu_ps(bp + kk * 16);
+    const __m256 b1 = _mm256_loadu_ps(bp + kk * 16 + 8);
+    const float* a = ap + kk * kMR;
+    for (int64_t i = 0; i < kMR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(a + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  for (int64_t i = 0; i < kMR; ++i) {
+    _mm256_storeu_ps(c + i * ldc, acc[i][0]);
+    _mm256_storeu_ps(c + i * ldc + 8, acc[i][1]);
+  }
+}
+
+__attribute__((target("avx512f"))) void kernel_avx512_6x32(int64_t kc,
+                                                           const float* ap,
+                                                           const float* bp,
+                                                           float* c,
+                                                           int64_t ldc) {
+  __m512 acc[kMR][2];
+  for (int64_t i = 0; i < kMR; ++i) {
+    acc[i][0] = _mm512_loadu_ps(c + i * ldc);
+    acc[i][1] = _mm512_loadu_ps(c + i * ldc + 16);
+  }
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const __m512 b0 = _mm512_loadu_ps(bp + kk * 32);
+    const __m512 b1 = _mm512_loadu_ps(bp + kk * 32 + 16);
+    const float* a = ap + kk * kMR;
+    for (int64_t i = 0; i < kMR; ++i) {
+      const __m512 av = _mm512_set1_ps(a[i]);
+      acc[i][0] = _mm512_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm512_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  for (int64_t i = 0; i < kMR; ++i) {
+    _mm512_storeu_ps(c + i * ldc, acc[i][0]);
+    _mm512_storeu_ps(c + i * ldc + 16, acc[i][1]);
+  }
+}
+
+#endif  // RIPPLE_X86
+
+// ---- kernel selection ------------------------------------------------------
+
+const KernelInfo kScalarKernel = {16, kernel_scalar_6x16, "scalar"};
+
+KernelInfo best_simd_kernel() {
+#ifdef RIPPLE_X86
+  if (__builtin_cpu_supports("avx512f"))
+    return {32, kernel_avx512_6x32, "avx512"};
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+    return {16, kernel_avx2_6x16, "avx2"};
+#endif
+  return kScalarKernel;
+}
+
+KernelInfo detect_kernel() {
+  if (env_int("RIPPLE_SIMD", 1) == 0) return kScalarKernel;
+  return best_simd_kernel();
+}
+
+// Not synchronized against in-flight GEMM calls; set_gemm_backend is a
+// test/bench hook, not a hot-path API.
+KernelInfo g_kernel = detect_kernel();
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// ---- packing ---------------------------------------------------------------
+// A panels: ap[p * kb * kMR + kk * kMR + i] = A(i0 + p*kMR + i, k0 + kk),
+// rows past m padded with zeros. B panels: bp[q * kb * nr + kk * nr + j] =
+// B(k0 + kk, j0 + q*nr + j), columns past n padded with zeros.
+
+void pack_a_nn(const float* a, int64_t lda, int64_t i0, int64_t mb, int64_t k0,
+               int64_t kb, float* dst) {
+  const int64_t panels = ceil_div(mb, kMR);
+  for (int64_t p = 0; p < panels; ++p) {
+    float* out = dst + p * kb * kMR;
+    const int64_t iw = std::min(kMR, mb - p * kMR);
+    for (int64_t i = 0; i < iw; ++i) {
+      const float* src = a + (i0 + p * kMR + i) * lda + k0;
+      for (int64_t kk = 0; kk < kb; ++kk) out[kk * kMR + i] = src[kk];
+    }
+    for (int64_t i = iw; i < kMR; ++i)
+      for (int64_t kk = 0; kk < kb; ++kk) out[kk * kMR + i] = 0.0f;
+  }
+}
+
+// A stored transposed ([K, M] row-major): panel reads are contiguous in m.
+void pack_a_tn(const float* a, int64_t lda /* = m */, int64_t i0, int64_t mb,
+               int64_t k0, int64_t kb, float* dst) {
+  const int64_t panels = ceil_div(mb, kMR);
+  for (int64_t p = 0; p < panels; ++p) {
+    float* out = dst + p * kb * kMR;
+    const int64_t iw = std::min(kMR, mb - p * kMR);
+    for (int64_t kk = 0; kk < kb; ++kk) {
+      const float* src = a + (k0 + kk) * lda + i0 + p * kMR;
+      float* orow = out + kk * kMR;
+      for (int64_t i = 0; i < iw; ++i) orow[i] = src[i];
+      for (int64_t i = iw; i < kMR; ++i) orow[i] = 0.0f;
+    }
+  }
+}
+
+void pack_b_nn(const float* b, int64_t ldb /* = n */, int64_t k0, int64_t kb,
+               int64_t j0, int64_t nb, int64_t nr, float* dst) {
+  const int64_t panels = ceil_div(nb, nr);
+  for (int64_t q = 0; q < panels; ++q) {
+    float* out = dst + q * kb * nr;
+    const int64_t jw = std::min(nr, nb - q * nr);
+    for (int64_t kk = 0; kk < kb; ++kk) {
+      const float* src = b + (k0 + kk) * ldb + j0 + q * nr;
+      float* orow = out + kk * nr;
+      for (int64_t j = 0; j < jw; ++j) orow[j] = src[j];
+      for (int64_t j = jw; j < nr; ++j) orow[j] = 0.0f;
+    }
+  }
+}
+
+// B stored transposed ([N, K] row-major): gather one source row per column.
+void pack_b_nt(const float* b, int64_t ldb /* = k */, int64_t k0, int64_t kb,
+               int64_t j0, int64_t nb, int64_t nr, float* dst) {
+  const int64_t panels = ceil_div(nb, nr);
+  for (int64_t q = 0; q < panels; ++q) {
+    float* out = dst + q * kb * nr;
+    const int64_t jw = std::min(nr, nb - q * nr);
+    for (int64_t j = 0; j < jw; ++j) {
+      const float* src = b + (j0 + q * nr + j) * ldb + k0;
+      for (int64_t kk = 0; kk < kb; ++kk) out[kk * nr + j] = src[kk];
+    }
+    for (int64_t j = jw; j < nr; ++j)
+      for (int64_t kk = 0; kk < kb; ++kk) out[kk * nr + j] = 0.0f;
+  }
+}
+
+// ---- epilogue --------------------------------------------------------------
+
+void apply_epilogue(int64_t m, int64_t n, float* c, const GemmEpilogue& ep) {
+  if (!ep.active()) return;
+  parallel_for(
+      m,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          float* row = c + i * n;
+          const float rb = ep.row_bias != nullptr ? ep.row_bias[i] : 0.0f;
+          if (ep.col_bias != nullptr) {
+            for (int64_t j = 0; j < n; ++j) row[j] += rb + ep.col_bias[j];
+          } else if (ep.row_bias != nullptr) {
+            for (int64_t j = 0; j < n; ++j) row[j] += rb;
+          }
+          if (ep.relu)
+            for (int64_t j = 0; j < n; ++j) row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+        }
+      },
+      /*grain=*/std::max<int64_t>(1, 4096 / std::max<int64_t>(1, n)));
+}
+
+// ---- macro-kernel over one packed (A block, B block) pair ------------------
+
+void run_block(const KernelInfo& ki, int64_t kb, const float* apbuf,
+               int64_t mb, const float* bpbuf, int64_t nb, float* cblock,
+               int64_t ldc) {
+  const int64_t mpanels = ceil_div(mb, kMR);
+  const int64_t npanels = ceil_div(nb, ki.nr);
+  float ct[kMR * kMaxNR];
+  for (int64_t q = 0; q < npanels; ++q) {
+    const float* bp = bpbuf + q * kb * ki.nr;
+    const int64_t jw = std::min(ki.nr, nb - q * ki.nr);
+    for (int64_t p = 0; p < mpanels; ++p) {
+      const float* ap = apbuf + p * kb * kMR;
+      const int64_t iw = std::min(kMR, mb - p * kMR);
+      float* cdst = cblock + p * kMR * ldc + q * ki.nr;
+      if (iw == kMR && jw == ki.nr) {
+        ki.fn(kb, ap, bp, cdst, ldc);
+      } else {
+        // Edge tile: compute into a zeroed scratch tile, add the valid part.
+        std::memset(ct, 0, sizeof(float) * kMR * ki.nr);
+        ki.fn(kb, ap, bp, ct, ki.nr);
+        for (int64_t i = 0; i < iw; ++i)
+          for (int64_t j = 0; j < jw; ++j)
+            cdst[i * ldc + j] += ct[i * ki.nr + j];
+      }
+    }
+  }
+}
+
+// Shared driver: PackA(dst, i0, mb, k0, kb), PackB(dst, k0, kb, j0, nb, nr).
+template <class PackA, class PackB>
+void gemm_driver(int64_t m, int64_t n, int64_t k, PackA&& pack_a_fn,
+                 PackB&& pack_b_fn, float* c, const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0 || k <= 0) {
+    apply_epilogue(m, n, c, ep);
+    return;
+  }
+  const KernelInfo ki = g_kernel;
+  thread_local std::vector<float> bpbuf;
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nb = std::min(kNC, n - jc);
+    for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+      const int64_t kb = std::min(kKC, k - k0);
+      bpbuf.resize(static_cast<size_t>(ceil_div(nb, ki.nr) * kb * ki.nr));
+      float* bp = bpbuf.data();
+      pack_b_fn(bp, k0, kb, jc, nb, ki.nr);
+      const int64_t mblocks = ceil_div(m, kMC);
+      parallel_for(
+          mblocks,
+          [&](int64_t blk0, int64_t blk1) {
+            thread_local std::vector<float> apbuf;
+            apbuf.resize(static_cast<size_t>((kMC / kMR) * kb * kMR));
+            for (int64_t blk = blk0; blk < blk1; ++blk) {
+              const int64_t i0 = blk * kMC;
+              const int64_t mb = std::min(kMC, m - i0);
+              pack_a_fn(apbuf.data(), i0, mb, k0, kb);
+              run_block(ki, kb, apbuf.data(), mb, bp, nb,
+                        c + i0 * n + jc, n);
+            }
+          },
+          /*grain=*/1);
+    }
+  }
+  apply_epilogue(m, n, c, ep);
+}
+
+}  // namespace
+
+// ---- public API ------------------------------------------------------------
+
+void gemm_nn_ex(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c, const GemmEpilogue& ep) {
+  gemm_driver(
+      m, n, k,
+      [&](float* dst, int64_t i0, int64_t mb, int64_t k0, int64_t kb) {
+        pack_a_nn(a, k, i0, mb, k0, kb, dst);
+      },
+      [&](float* dst, int64_t k0, int64_t kb, int64_t j0, int64_t nb,
+          int64_t nr) { pack_b_nn(b, n, k0, kb, j0, nb, nr, dst); },
+      c, ep);
+}
+
+void gemm_nt_ex(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c, const GemmEpilogue& ep) {
+  gemm_driver(
+      m, n, k,
+      [&](float* dst, int64_t i0, int64_t mb, int64_t k0, int64_t kb) {
+        pack_a_nn(a, k, i0, mb, k0, kb, dst);
+      },
+      [&](float* dst, int64_t k0, int64_t kb, int64_t j0, int64_t nb,
+          int64_t nr) { pack_b_nt(b, k, k0, kb, j0, nb, nr, dst); },
+      c, ep);
+}
+
+void gemm_tn_ex(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c, const GemmEpilogue& ep) {
+  gemm_driver(
+      m, n, k,
+      [&](float* dst, int64_t i0, int64_t mb, int64_t k0, int64_t kb) {
+        pack_a_tn(a, m, i0, mb, k0, kb, dst);
+      },
+      [&](float* dst, int64_t k0, int64_t kb, int64_t j0, int64_t nb,
+          int64_t nr) { pack_b_nn(b, n, k0, kb, j0, nb, nr, dst); },
+      c, ep);
+}
+
+void gemm_nn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  gemm_nn_ex(m, n, k, a, b, c, {});
+}
+
+void gemm_nt(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  gemm_nt_ex(m, n, k, a, b, c, {});
+}
+
+void gemm_tn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
+             float* c) {
+  gemm_tn_ex(m, n, k, a, b, c, {});
+}
+
+PackedGemmA pack_gemm_a(int64_t m, int64_t k, const float* a) {
+  PackedGemmA packed;
+  packed.m = m;
+  packed.k = k;
+  if (m <= 0 || k <= 0) return packed;
+  const int64_t mpanels = ceil_div(m, kMR);
+  packed.panels.resize(static_cast<size_t>(mpanels * kMR * k));
+  // Per-k-block layout matching the driver: block t holds all m panels for
+  // k ∈ [t·kKC, t·kKC + kb); full blocks have stride mpanels·kMR·kKC.
+  float* dst = packed.panels.data();
+  for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+    const int64_t kb = std::min(kKC, k - k0);
+    pack_a_nn(a, k, 0, m, k0, kb, dst);
+    dst += mpanels * kMR * kb;
+  }
+  return packed;
+}
+
+void gemm_nn_prepacked(const PackedGemmA& a, int64_t n, const float* b,
+                       float* c, const GemmEpilogue& ep) {
+  const int64_t m = a.m;
+  const int64_t k = a.k;
+  if (m <= 0 || n <= 0 || k <= 0) {
+    apply_epilogue(m, n, c, ep);
+    return;
+  }
+  const KernelInfo ki = g_kernel;
+  const int64_t mpanels = ceil_div(m, kMR);
+  thread_local std::vector<float> bpbuf;
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nb = std::min(kNC, n - jc);
+    int64_t kblock_offset = 0;
+    for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+      const int64_t kb = std::min(kKC, k - k0);
+      bpbuf.resize(static_cast<size_t>(ceil_div(nb, ki.nr) * kb * ki.nr));
+      float* bp = bpbuf.data();
+      pack_b_nn(b, n, k0, kb, jc, nb, ki.nr, bp);
+      const float* apblock = a.panels.data() + kblock_offset;
+      parallel_for(
+          mpanels,
+          [&](int64_t p0, int64_t p1) {
+            run_block(ki, kb, apblock + p0 * kb * kMR,
+                      std::min(m - p0 * kMR, (p1 - p0) * kMR), bp, nb,
+                      c + p0 * kMR * n + jc, n);
+          },
+          /*grain=*/1);
+      kblock_offset += mpanels * kMR * kb;
+    }
+  }
+  apply_epilogue(m, n, c, ep);
+}
+
+void set_gemm_backend(GemmBackend backend) {
+  switch (backend) {
+    case GemmBackend::kAuto:
+      g_kernel = detect_kernel();
+      break;
+    case GemmBackend::kScalar:
+      g_kernel = kScalarKernel;
+      break;
+    case GemmBackend::kSimd:
+      g_kernel = best_simd_kernel();
+      break;
+  }
+}
+
+const char* gemm_backend_name() { return g_kernel.name; }
+
+// ---- reference kernels (pre-optimization implementations) ------------------
+
+namespace {
+constexpr int64_t kRefBlockM = 64;
+constexpr int64_t kRefBlockK = 256;
+}  // namespace
+
+void gemm_ref_nn(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c) {
+  for (int64_t i0 = 0; i0 < m; i0 += kRefBlockM) {
+    const int64_t i1 = std::min(m, i0 + kRefBlockM);
+    for (int64_t k0 = 0; k0 < k; k0 += kRefBlockK) {
+      const int64_t k1 = std::min(k, k0 + kRefBlockK);
       for (int64_t i = i0; i < i1; ++i) {
         const float* arow = a + i * k;
         float* crow = c + i * n;
         for (int64_t kk = k0; kk < k1; ++kk) {
           const float av = arow[kk];
-          if (av == 0.0f) continue;  // binary/sparse weights hit this often
+          if (av == 0.0f) continue;
           const float* brow = b + kk * n;
           for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
         }
@@ -32,38 +441,22 @@ void gemm_nn_rows(int64_t row_begin, int64_t row_end, int64_t n, int64_t k,
   }
 }
 
-}  // namespace
-
-void gemm_nn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
-             float* c) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-  parallel_for(
-      m, [&](int64_t begin, int64_t end) { gemm_nn_rows(begin, end, n, k, a, b, c); },
-      /*grain=*/std::max<int64_t>(1, 16384 / std::max<int64_t>(1, n * k / 64)));
-}
-
-void gemm_nt(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
-             float* c) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-  parallel_for(m, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] += acc;
-      }
+void gemm_ref_nt(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
     }
-  });
+  }
 }
 
-void gemm_tn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
-             float* c) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-  // C[i,j] += sum_kk A[kk,i] * B[kk,j]; iterate kk outer to stream both
-  // operands row-wise.
+void gemm_ref_tn(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c) {
   for (int64_t kk = 0; kk < k; ++kk) {
     const float* arow = a + kk * m;
     const float* brow = b + kk * n;

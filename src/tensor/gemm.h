@@ -1,4 +1,4 @@
-// Blocked single-precision GEMM kernels (row-major).
+// Packed single-precision GEMM kernels (row-major).
 //
 // Three transpose variants cover everything the autograd engine needs:
 //   gemm_nn:  C += A · B        (M×K, K×N)
@@ -6,13 +6,49 @@
 //   gemm_tn:  C += Aᵀ · B       (K×M, K×N)
 // All kernels accumulate into C (callers zero C first when needed) so the
 // same routine serves both forward passes and gradient accumulation.
+//
+// Implementation: BLIS-style register-blocked micro-kernel over packed A/B
+// panels held in per-thread scratch buffers. A portable scalar micro-kernel
+// is always compiled; AVX2/FMA and AVX-512 kernels are compiled with
+// per-function target attributes and selected at runtime from CPUID
+// (override with RIPPLE_SIMD=0 or set_gemm_backend). The `_ex` entry points
+// take a pluggable epilogue (bias add along rows or columns, optional ReLU)
+// applied while the output block is cache-hot, so conv2d/linear fuse their
+// bias/activation pass instead of re-walking the output.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "tensor/tensor.h"
 
 namespace ripple {
+
+/// Fused output transform applied after the C += A·B accumulation.
+/// row_bias[i] is added to every element of row i (conv: per-out-channel
+/// bias of a [Cout, OH*OW] output); col_bias[j] to every element of column
+/// j (linear: per-feature bias of an [N, Fout] output). relu clamps at 0.
+struct GemmEpilogue {
+  const float* row_bias = nullptr;
+  const float* col_bias = nullptr;
+  bool relu = false;
+
+  bool active() const {
+    return row_bias != nullptr || col_bias != nullptr || relu;
+  }
+};
+
+/// C[M,N] += A[M,K] · B[K,N], then epilogue.
+void gemm_nn_ex(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c, const GemmEpilogue& ep);
+
+/// C[M,N] += A[M,K] · B[N,K]ᵀ, then epilogue.
+void gemm_nt_ex(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c, const GemmEpilogue& ep);
+
+/// C[M,N] += A[K,M]ᵀ · B[K,N], then epilogue.
+void gemm_tn_ex(int64_t m, int64_t n, int64_t k, const float* a,
+                const float* b, float* c, const GemmEpilogue& ep);
 
 /// C[M,N] += A[M,K] · B[K,N]
 void gemm_nn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
@@ -25,6 +61,40 @@ void gemm_nt(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
 /// C[M,N] += A[K,M]ᵀ · B[K,N]
 void gemm_tn(int64_t m, int64_t n, int64_t k, const float* a, const float* b,
              float* c);
+
+/// A matrix pre-packed into micro-kernel panels. Pack conv/linear weights
+/// once per call and reuse across the batch (and across the T folded
+/// Monte-Carlo replicas) instead of re-packing per sample.
+struct PackedGemmA {
+  int64_t m = 0;
+  int64_t k = 0;
+  std::vector<float> panels;  // internal layout; see gemm.cpp
+};
+
+/// Packs row-major A[M,K] for repeated gemm_nn_prepacked calls.
+PackedGemmA pack_gemm_a(int64_t m, int64_t k, const float* a);
+
+/// C[M,N] += packed_A · B[K,N], then epilogue.
+void gemm_nn_prepacked(const PackedGemmA& a, int64_t n, const float* b,
+                       float* c, const GemmEpilogue& ep = {});
+
+/// Kernel selection. kAuto probes CPUID once (honouring RIPPLE_SIMD=0);
+/// kScalar/kSimd force a backend — used by tests to cross-check the SIMD
+/// kernels against the portable one.
+enum class GemmBackend { kAuto, kScalar, kSimd };
+void set_gemm_backend(GemmBackend backend);
+/// Name of the micro-kernel currently dispatched: "scalar", "avx2", or
+/// "avx512".
+const char* gemm_backend_name();
+
+/// Reference kernels (the pre-optimization blocked loops, serial). Kept as
+/// the correctness oracle for tests and the baseline for BENCH_gemm.json.
+void gemm_ref_nn(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c);
+void gemm_ref_nt(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c);
+void gemm_ref_tn(int64_t m, int64_t n, int64_t k, const float* a,
+                 const float* b, float* c);
 
 /// out = a · b for 2-d tensors; allocates the result and zeroes it first.
 Tensor matmul(const Tensor& a, const Tensor& b);

@@ -1,6 +1,24 @@
 #include "tensor/im2col.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace ripple {
+namespace {
+
+/// First output index whose input index ox·stride + offset is >= 0.
+inline int64_t first_valid(int64_t offset, int64_t stride) {
+  if (offset >= 0) return 0;
+  return (-offset + stride - 1) / stride;
+}
+
+/// One past the last output index whose input index stays < extent.
+inline int64_t last_valid(int64_t extent, int64_t offset, int64_t stride) {
+  if (offset >= extent) return 0;
+  return (extent - 1 - offset) / stride + 1;
+}
+
+}  // namespace
 
 int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride,
                       int64_t pad) {
@@ -15,25 +33,44 @@ void im2col_2d(const float* image, int64_t c, int64_t h, int64_t w, int64_t kh,
                int64_t kw, int64_t stride, int64_t pad, float* cols) {
   const int64_t oh = conv_out_size(h, kh, stride, pad);
   const int64_t ow = conv_out_size(w, kw, stride, pad);
-  const int64_t out_area = oh * ow;
+  im2col_2d_ld(image, c, h, w, kh, kw, stride, pad, cols, oh * ow);
+}
+
+void im2col_2d_ld(const float* image, int64_t c, int64_t h, int64_t w,
+                  int64_t kh, int64_t kw, int64_t stride, int64_t pad,
+                  float* cols, int64_t ld) {
+  const int64_t oh = conv_out_size(h, kh, stride, pad);
+  const int64_t ow = conv_out_size(w, kw, stride, pad);
   int64_t row = 0;
   for (int64_t ch = 0; ch < c; ++ch) {
     const float* plane = image + ch * h * w;
     for (int64_t dy = 0; dy < kh; ++dy) {
       for (int64_t dx = 0; dx < kw; ++dx, ++row) {
-        float* out_row = cols + row * out_area;
+        float* out_row = cols + row * ld;
+        // Valid-x window for this kernel column: padding contributes only
+        // at the edges, so the interior copies without per-pixel checks
+        // (contiguous memcpy when stride == 1).
+        const int64_t ox_lo = std::min(ow, first_valid(dx - pad, stride));
+        const int64_t ox_hi =
+            std::max(ox_lo, std::min(ow, last_valid(w, dx - pad, stride)));
         for (int64_t oy = 0; oy < oh; ++oy) {
           const int64_t iy = oy * stride + dy - pad;
+          float* dst = out_row + oy * ow;
           if (iy < 0 || iy >= h) {
-            for (int64_t ox = 0; ox < ow; ++ox) out_row[oy * ow + ox] = 0.0f;
+            std::memset(dst, 0, sizeof(float) * ow);
             continue;
           }
-          const float* src = plane + iy * w;
-          for (int64_t ox = 0; ox < ow; ++ox) {
-            const int64_t ix = ox * stride + dx - pad;
-            out_row[oy * ow + ox] =
-                (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+          const float* src = plane + iy * w + dx - pad;
+          if (ox_lo > 0) std::memset(dst, 0, sizeof(float) * ox_lo);
+          if (stride == 1) {
+            std::memcpy(dst + ox_lo, src + ox_lo,
+                        sizeof(float) * (ox_hi - ox_lo));
+          } else {
+            for (int64_t ox = ox_lo; ox < ox_hi; ++ox)
+              dst[ox] = src[ox * stride];
           }
+          if (ox_hi < ow)
+            std::memset(dst + ox_hi, 0, sizeof(float) * (ow - ox_hi));
         }
       }
     }
@@ -67,16 +104,32 @@ void col2im_2d(const float* cols, int64_t c, int64_t h, int64_t w, int64_t kh,
 
 void im2col_1d(const float* signal, int64_t c, int64_t l, int64_t k,
                int64_t stride, int64_t pad, float* cols) {
+  im2col_1d_ld(signal, c, l, k, stride, pad, cols,
+               conv_out_size(l, k, stride, pad));
+}
+
+void im2col_1d_ld(const float* signal, int64_t c, int64_t l, int64_t k,
+                  int64_t stride, int64_t pad, float* cols, int64_t ld) {
   const int64_t ol = conv_out_size(l, k, stride, pad);
   int64_t row = 0;
   for (int64_t ch = 0; ch < c; ++ch) {
     const float* line = signal + ch * l;
     for (int64_t dx = 0; dx < k; ++dx, ++row) {
-      float* out_row = cols + row * ol;
-      for (int64_t ox = 0; ox < ol; ++ox) {
-        const int64_t ix = ox * stride + dx - pad;
-        out_row[ox] = (ix >= 0 && ix < l) ? line[ix] : 0.0f;
+      float* out_row = cols + row * ld;
+      const int64_t ox_lo = std::min(ol, first_valid(dx - pad, stride));
+      const int64_t ox_hi =
+          std::max(ox_lo, std::min(ol, last_valid(l, dx - pad, stride)));
+      if (ox_lo > 0) std::memset(out_row, 0, sizeof(float) * ox_lo);
+      const float* src = line + dx - pad;
+      if (stride == 1) {
+        std::memcpy(out_row + ox_lo, src + ox_lo,
+                    sizeof(float) * (ox_hi - ox_lo));
+      } else {
+        for (int64_t ox = ox_lo; ox < ox_hi; ++ox)
+          out_row[ox] = src[ox * stride];
       }
+      if (ox_hi < ol)
+        std::memset(out_row + ox_hi, 0, sizeof(float) * (ol - ox_hi));
     }
   }
 }

@@ -16,7 +16,7 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 template <typename F>
 Tensor binary(const Tensor& a, const Tensor& b, F f, const char* op) {
   check_same_shape(a, b, op);
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -26,7 +26,7 @@ Tensor binary(const Tensor& a, const Tensor& b, F f, const char* op) {
 
 template <typename F>
 Tensor unary(const Tensor& a, F f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i]);

@@ -34,17 +34,28 @@ Tensor::Tensor() = default;
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       numel_(shape_numel(shape_)),
-      storage_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+      storage_(std::make_shared<detail::FloatStorage>(numel_, 0.0f)) {}
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)), numel_(shape_numel(shape_)) {
   RIPPLE_CHECK(static_cast<int64_t>(values.size()) == numel_)
       << "value count " << values.size() << " does not match shape "
       << shape_to_string(shape_);
-  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  storage_ =
+      std::make_shared<detail::FloatStorage>(values.begin(), values.end());
 }
 
 Tensor Tensor::scalar(float v) { return Tensor({}, {v}); }
+
+Tensor Tensor::empty(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = shape_numel(t.shape_);
+  // Default-init allocator: no zero-fill.
+  t.storage_ = std::make_shared<detail::FloatStorage>(
+      static_cast<size_t>(t.numel_));
+  return t;
+}
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
 
@@ -158,7 +169,7 @@ Tensor Tensor::clone() const {
   Tensor t;
   t.shape_ = shape_;
   t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  t.storage_ = std::make_shared<detail::FloatStorage>(*storage_);
   return t;
 }
 

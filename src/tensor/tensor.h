@@ -21,6 +21,32 @@ class Rng;
 
 using Shape = std::vector<int64_t>;
 
+namespace detail {
+
+/// std::allocator variant whose no-argument construct() default-initializes
+/// instead of value-initializing: vector<float, …>(n) skips the zero-fill.
+/// Tensor storage uses it so Tensor::empty can allocate without touching
+/// every element (the zeroing constructors pass an explicit 0.0f).
+template <class T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <class U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <class U>
+  void construct(U* p) noexcept(noexcept(::new (static_cast<void*>(p)) U)) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+using FloatStorage = std::vector<float, DefaultInitAllocator<float>>;
+
+}  // namespace detail
+
 /// Number of elements implied by a shape (product of dims; empty shape = 1,
 /// interpreted as a scalar).
 int64_t shape_numel(const Shape& shape);
@@ -44,6 +70,10 @@ class Tensor {
 
   /// 0-d scalar tensor.
   static Tensor scalar(float v);
+  /// Uninitialized tensor: contents are indeterminate. Only for buffers
+  /// the caller fully overwrites before reading (hot-path allocation that
+  /// skips the zero-fill).
+  static Tensor empty(Shape shape);
   static Tensor zeros(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float v);
@@ -103,7 +133,7 @@ class Tensor {
  private:
   Shape shape_;
   int64_t numel_ = 0;
-  std::shared_ptr<std::vector<float>> storage_;
+  std::shared_ptr<detail::FloatStorage> storage_;
 };
 
 }  // namespace ripple

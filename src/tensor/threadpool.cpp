@@ -6,10 +6,27 @@
 #include "tensor/env.h"
 
 namespace ripple {
+namespace {
+
+// Set while a thread executes chunks of a parallel region; nested
+// parallel_run calls from such a thread run inline.
+thread_local bool tl_in_parallel = false;
+
+struct InParallelScope {
+  // Save/restore (not set/clear): nested inline parallel_for calls create
+  // nested scopes on the region-owning thread, and the flag must survive
+  // until the outermost scope exits (a cleared flag would let a later
+  // nested call try_lock the run_mutex_ its own thread already holds).
+  bool previous = tl_in_parallel;
+  InParallelScope() { tl_in_parallel = true; }
+  ~InParallelScope() { tl_in_parallel = previous; }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   RIPPLE_CHECK(num_threads >= 1) << "pool needs >= 1 thread";
-  // With one thread, jobs run inline in enqueue(); no workers are spawned.
+  // With one thread, jobs and loops run inline; no workers are spawned.
   if (num_threads == 1) return;
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i)
@@ -44,13 +61,50 @@ void ThreadPool::wait_all() {
   cv_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void ThreadPool::run_task_chunks() {
+  InParallelScope scope;
+  const int64_t n = task_n_;
+  const int64_t chunk = task_chunk_;
+  const auto* body = task_body_;
+  for (;;) {
+    const int64_t begin = task_next_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= n) break;
+    const int64_t end = std::min(n, begin + chunk);
+    try {
+      (*body)(begin, end);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(task_error_mutex_);
+        if (!task_error_) task_error_ = std::current_exception();
+      }
+      // Abandon the remaining chunks; participants drain out.
+      task_next_.store(n, std::memory_order_relaxed);
+    }
+  }
+}
+
 void ThreadPool::worker_loop() {
+  uint64_t seen_epoch = 0;
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      cv_job_.wait(lock, [&] {
+        return stop_ || !jobs_.empty() ||
+               (task_active_ && task_epoch_ != seen_epoch);
+      });
       if (stop_ && jobs_.empty()) return;
+      if (jobs_.empty()) {
+        // Join the active parallel region (at most once per epoch).
+        seen_epoch = task_epoch_;
+        ++task_running_;
+        lock.unlock();
+        run_task_chunks();
+        lock.lock();
+        --task_running_;
+        if (task_running_ == 0) cv_done_.notify_all();
+        continue;
+      }
       job = std::move(jobs_.front());
       jobs_.pop();
     }
@@ -63,6 +117,53 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::parallel_run(
+    int64_t n, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  if (workers_.empty() || n <= grain || tl_in_parallel) {
+    InParallelScope scope;
+    body(0, n);
+    return;
+  }
+  std::unique_lock<std::mutex> region(run_mutex_, std::try_to_lock);
+  if (!region.owns_lock()) {
+    // Another thread's parallel region is active; run inline rather than
+    // blocking (keeps concurrent callers deadlock-free).
+    InParallelScope scope;
+    body(0, n);
+    return;
+  }
+  // ~4 chunks per participant give dynamic balancing without excessive
+  // atomic traffic.
+  const int64_t participants = size() + 1;
+  const int64_t chunk =
+      std::max(grain, (n + participants * 4 - 1) / (participants * 4));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_body_ = &body;
+    task_n_ = n;
+    task_chunk_ = chunk;
+    task_next_.store(0, std::memory_order_relaxed);
+    task_error_ = nullptr;
+    task_active_ = true;
+    ++task_epoch_;
+  }
+  cv_job_.notify_all();
+  run_task_chunks();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] {
+      return task_next_.load(std::memory_order_relaxed) >= task_n_ &&
+             task_running_ == 0;
+    });
+    task_active_ = false;
+    task_body_ = nullptr;
+  }
+  if (task_error_) std::rethrow_exception(task_error_);
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -73,20 +174,7 @@ ThreadPool& ThreadPool::global() {
 
 void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
                   int64_t grain) {
-  if (n <= 0) return;
-  ThreadPool& pool = ThreadPool::global();
-  const int workers = std::max(1, pool.size());
-  if (workers == 1 || n <= grain) {
-    body(0, n);
-    return;
-  }
-  const int64_t chunks = std::min<int64_t>(workers, (n + grain - 1) / grain);
-  const int64_t step = (n + chunks - 1) / chunks;
-  for (int64_t begin = 0; begin < n; begin += step) {
-    const int64_t end = std::min(n, begin + step);
-    pool.enqueue([&body, begin, end] { body(begin, end); });
-  }
-  pool.wait_all();
+  ThreadPool::global().parallel_run(n, grain, body);
 }
 
 }  // namespace ripple

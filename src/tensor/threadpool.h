@@ -1,11 +1,25 @@
-// Minimal work-sharing thread pool with a parallel_for helper.
+// Persistent-worker thread pool with a low-overhead parallel_for.
 //
-// On single-core machines (or with RIPPLE_THREADS=1) parallel_for degrades
-// to an inline serial loop with zero synchronization overhead.
+// parallel_for runs through a persistent parallel region: the calling
+// thread publishes one task descriptor, wakes the workers once, and every
+// participant (workers + caller) claims chunked index ranges from a single
+// atomic counter. Compared to the previous design (one heap-allocated
+// std::function enqueued per chunk through a mutex-guarded queue), a
+// fork-join costs one condition-variable broadcast plus a handful of atomic
+// fetch-adds, so fine-grained loops (GEMM row panels, per-sample im2col)
+// stop paying per-chunk queueing overhead.
+//
+// Nested parallel_for calls run inline in the calling worker (no deadlock,
+// no oversubscription); concurrent parallel_for calls from different
+// threads serialize by letting the loser run its range inline. On
+// single-core machines (or with RIPPLE_THREADS=1) parallel_for degrades to
+// an inline serial loop with zero synchronization overhead.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -14,7 +28,7 @@
 
 namespace ripple {
 
-/// Fixed-size pool of worker threads executing enqueued jobs.
+/// Fixed-size pool of persistent worker threads.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -25,9 +39,20 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueue a job; wait_all() blocks until every enqueued job finished.
+  /// Enqueue a standalone job; wait_all() blocks until every enqueued job
+  /// finished. (Legacy API — prefer parallel_run for loops.)
   void enqueue(std::function<void()> job);
   void wait_all();
+
+  /// Runs body over [0, n) split into chunks of at least `grain` indices,
+  /// distributed to workers via an atomic claim counter. The calling thread
+  /// participates. Blocks until the whole range is processed; the first
+  /// exception thrown by any chunk is rethrown here (remaining chunks are
+  /// abandoned). Runs inline when the pool has no workers, n <= grain, the
+  /// caller is already inside a parallel region, or another thread holds
+  /// the region.
+  void parallel_run(int64_t n, int64_t grain,
+                    const std::function<void(int64_t, int64_t)>& body);
 
   /// Process-wide pool sized from RIPPLE_THREADS (default:
   /// hardware_concurrency).
@@ -35,14 +60,36 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Claims and runs chunks of the active task until the range is
+  /// exhausted. Marks the calling thread as inside a parallel region.
+  void run_task_chunks();
 
   std::vector<std::thread> workers_;
+
+  // Legacy job queue (enqueue/wait_all).
   std::queue<std::function<void()>> jobs_;
+  int in_flight_ = 0;
+
+  // Active parallel-region descriptor. Written by parallel_run under
+  // mutex_; next index claimed lock-free.
+  const std::function<void(int64_t, int64_t)>* task_body_ = nullptr;
+  std::atomic<int64_t> task_next_{0};
+  int64_t task_n_ = 0;
+  int64_t task_chunk_ = 1;
+  uint64_t task_epoch_ = 0;
+  int task_running_ = 0;  // workers currently executing chunks
+  bool task_active_ = false;
+  std::exception_ptr task_error_;
+  std::mutex task_error_mutex_;
+
   std::mutex mutex_;
   std::condition_variable cv_job_;
   std::condition_variable cv_done_;
-  int in_flight_ = 0;
   bool stop_ = false;
+
+  // Owned by the thread whose parallel_run is active; contenders that fail
+  // try_lock run their range inline instead of blocking.
+  std::mutex run_mutex_;
 };
 
 /// Splits [0, n) into contiguous chunks and runs body(begin, end) on the

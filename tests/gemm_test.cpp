@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
 #include <tuple>
+#include <utility>
 
 #include "tensor/random.h"
 
@@ -75,7 +78,128 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(7, 5, 9), std::make_tuple(16, 16, 16),
                       std::make_tuple(33, 17, 65),
                       std::make_tuple(64, 128, 72),
-                      std::make_tuple(1, 64, 300)));
+                      std::make_tuple(1, 64, 300),
+                      // Micro-kernel edges: one off either side of the
+                      // 6-row / 16-col / 256-k blocking boundaries.
+                      std::make_tuple(3, 17, 63), std::make_tuple(5, 15, 1),
+                      std::make_tuple(6, 16, 256),
+                      std::make_tuple(7, 33, 257),
+                      std::make_tuple(13, 31, 129),
+                      std::make_tuple(65, 63, 64),
+                      std::make_tuple(97, 1, 300),
+                      std::make_tuple(2, 300, 520)));
+
+TEST(GemmBackends, SimdMatchesScalarKernel) {
+  // Whatever CPUID picked must agree with the portable kernel bit-for-bit
+  // modulo float reassociation (FMA keeps per-element k-order, so the
+  // tolerance is tight).
+  Rng rng(23);
+  const int64_t m = 37, n = 53, k = 129;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  set_gemm_backend(GemmBackend::kSimd);
+  const std::string simd_name = gemm_backend_name();
+  Tensor c_simd({m, n});
+  gemm_nn(m, n, k, a.data(), b.data(), c_simd.data());
+  set_gemm_backend(GemmBackend::kScalar);
+  EXPECT_STREQ(gemm_backend_name(), "scalar");
+  Tensor c_scalar({m, n});
+  gemm_nn(m, n, k, a.data(), b.data(), c_scalar.data());
+  set_gemm_backend(GemmBackend::kAuto);
+  for (int64_t i = 0; i < c_simd.numel(); ++i)
+    EXPECT_NEAR(c_simd.data()[i], c_scalar.data()[i], 1e-4f)
+        << "backend " << simd_name << " at " << i;
+}
+
+TEST(GemmEpilogue, RowBiasMatchesManual) {
+  Rng rng(29);
+  const int64_t m = 11, n = 40, k = 23;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor bias = Tensor::randn({m}, rng);
+  Tensor c({m, n});
+  GemmEpilogue ep;
+  ep.row_bias = bias.data();
+  gemm_nn_ex(m, n, k, a.data(), b.data(), c.data(), ep);
+  Tensor ref({m, n});
+  gemm_ref_nn(m, n, k, a.data(), b.data(), ref.data());
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      EXPECT_NEAR(c.at({i, j}), ref.at({i, j}) + bias.data()[i], 1e-3f);
+}
+
+TEST(GemmEpilogue, ColBiasReluMatchesManual) {
+  Rng rng(31);
+  const int64_t m = 9, n = 21, k = 17;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor bt = Tensor::randn({n, k}, rng);
+  Tensor bias = Tensor::randn({n}, rng);
+  Tensor c({m, n});
+  GemmEpilogue ep;
+  ep.col_bias = bias.data();
+  ep.relu = true;
+  gemm_nt_ex(m, n, k, a.data(), bt.data(), c.data(), ep);
+  Tensor ref({m, n});
+  gemm_ref_nt(m, n, k, a.data(), bt.data(), ref.data());
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      const float want =
+          std::max(0.0f, ref.at({i, j}) + bias.data()[j]);
+      EXPECT_NEAR(c.at({i, j}), want, 1e-3f);
+    }
+}
+
+TEST(GemmPrepacked, MatchesUnpacked) {
+  Rng rng(37);
+  for (const auto [m, k] : {std::pair<int64_t, int64_t>{12, 108},
+                            {6, 256}, {5, 300}, {23, 64}, {1, 7}}) {
+    const int64_t n = 65;
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    const PackedGemmA packed = pack_gemm_a(m, k, a.data());
+    Tensor c({m, n});
+    gemm_nn_prepacked(packed, n, b.data(), c.data());
+    Tensor ref({m, n});
+    gemm_nn(m, n, k, a.data(), b.data(), ref.data());
+    for (int64_t i = 0; i < c.numel(); ++i)
+      EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-4f)
+          << "m=" << m << " k=" << k << " at " << i;
+  }
+}
+
+TEST(GemmPrepacked, ReusableAcrossCalls) {
+  // Packing once and calling twice (the conv-over-batch pattern) must give
+  // the same result both times.
+  Rng rng(41);
+  const int64_t m = 8, n = 30, k = 45;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b1 = Tensor::randn({k, n}, rng);
+  Tensor b2 = Tensor::randn({k, n}, rng);
+  const PackedGemmA packed = pack_gemm_a(m, k, a.data());
+  Tensor c1({m, n}), c2({m, n}), r1({m, n}), r2({m, n});
+  gemm_nn_prepacked(packed, n, b1.data(), c1.data());
+  gemm_nn_prepacked(packed, n, b2.data(), c2.data());
+  gemm_nn(m, n, k, a.data(), b1.data(), r1.data());
+  gemm_nn(m, n, k, a.data(), b2.data(), r2.data());
+  for (int64_t i = 0; i < c1.numel(); ++i) {
+    EXPECT_FLOAT_EQ(c1.data()[i], r1.data()[i]);
+    EXPECT_FLOAT_EQ(c2.data()[i], r2.data()[i]);
+  }
+}
+
+TEST(GemmReference, RefKernelsMatchNaive) {
+  // The retained pre-optimization kernels are the oracle elsewhere; check
+  // them against the triple loop once here.
+  Rng rng(43);
+  const int64_t m = 14, n = 19, k = 33;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c({m, n}), ref({m, n});
+  gemm_ref_nn(m, n, k, a.data(), b.data(), c.data());
+  naive_gemm(m, n, k, a.data(), b.data(), ref.data());
+  for (int64_t i = 0; i < c.numel(); ++i)
+    EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-3f);
+}
 
 TEST(Gemm, AccumulatesIntoC) {
   Tensor a({1, 1}, {2.0f});
