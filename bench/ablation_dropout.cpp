@@ -51,13 +51,14 @@ int main() {
                                   core::DropGranularity::kElementWise}) {
     for (float p : {0.1f, 0.3f, 0.5f}) {
       auto model = trained(task, w, p, g);
-      const double clean =
-          models::accuracy_mc(*model, task.test, w.mc_samples);
+      serve::InferenceSession session(
+          *model, serving_options(serve::TaskKind::kClassification, w,
+                                  models::Variant::kProposed));
+      const double clean = serve::accuracy(session, task.test);
       const double f10 =
-          sweep_point(*model, fault::FaultSpec::bitflips(0.10f), w.mc_runs,
-                      [&] {
-                        return models::accuracy_mc(*model, task.test,
-                                                   w.mc_samples);
+          sweep_point(session, fault::FaultSpec::bitflips(0.10f), w.mc_runs,
+                      [&](serve::InferenceSession& s) {
+                        return serve::accuracy(s, task.test);
                       })
               .mean;
       std::printf("%-14s %-8.2f %12.4f %18.4f\n",

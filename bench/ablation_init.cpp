@@ -51,13 +51,14 @@ int main() {
     const std::string tag = "sg" + std::to_string(static_cast<int>(
                                        sigma * 100.0f + 0.5f));
     auto model = trained_proposed(task, w, sigma, true, tag.c_str());
-    const double clean =
-        models::accuracy_mc(*model, task.test, w.mc_samples);
+    serve::InferenceSession session(
+        *model, serving_options(serve::TaskKind::kClassification, w,
+                                models::Variant::kProposed));
+    const double clean = serve::accuracy(session, task.test);
     auto flips = [&](float p) {
-      return sweep_point(*model, fault::FaultSpec::bitflips(p), w.mc_runs,
-                         [&] {
-                           return models::accuracy_mc(*model, task.test,
-                                                      w.mc_samples);
+      return sweep_point(session, fault::FaultSpec::bitflips(p), w.mc_runs,
+                         [&](serve::InferenceSession& s) {
+                           return serve::accuracy(s, task.test);
                          })
           .mean;
     };
@@ -72,13 +73,14 @@ int main() {
   for (bool affine_first : {true, false}) {
     const char* tag = affine_first ? "order_inv" : "order_conv";
     auto model = trained_proposed(task, w, 0.3f, affine_first, tag);
-    const double clean =
-        models::accuracy_mc(*model, task.test, w.mc_samples);
+    serve::InferenceSession session(
+        *model, serving_options(serve::TaskKind::kClassification, w,
+                                models::Variant::kProposed));
+    const double clean = serve::accuracy(session, task.test);
     const double f10 =
-        sweep_point(*model, fault::FaultSpec::bitflips(0.10f), w.mc_runs,
-                    [&] {
-                      return models::accuracy_mc(*model, task.test,
-                                                 w.mc_samples);
+        sweep_point(session, fault::FaultSpec::bitflips(0.10f), w.mc_runs,
+                    [&](serve::InferenceSession& s) {
+                      return serve::accuracy(s, task.test);
                     })
             .mean;
     std::printf("%-16s %12.4f %18.4f\n",

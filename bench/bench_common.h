@@ -18,15 +18,17 @@
 #include "data/synthetic_audio.h"
 #include "data/synthetic_images.h"
 #include "data/vessel_segmentation.h"
+#include "fault/evaluation.h"
 #include "fault/injector.h"
 #include "fault/monte_carlo.h"
-#include "models/evaluate.h"
 #include "models/lstm_forecaster.h"
 #include "models/m5.h"
 #include "models/resnet.h"
 #include "models/trainer.h"
 #include "models/unet.h"
 #include "models/zoo.h"
+#include "serve/metrics.h"
+#include "serve/session.h"
 #include "tensor/env.h"
 #include "tensor/io.h"
 
@@ -233,18 +235,28 @@ inline std::unique_ptr<models::UNet> vessel_model(models::Variant v,
 
 // ---- sweeps --------------------------------------------------------------
 
-/// Metric under one fault spec, averaged over Monte-Carlo chip instances.
+/// Serving options for one deployed variant: the session owns T (clamped
+/// to 1 for the deterministic variant), the mask streams and the packed
+/// weights for the whole sweep — chip instances differ only in the
+/// injected faults (common random numbers across runs).
+inline serve::SessionOptions serving_options(serve::TaskKind task,
+                                             const Workload& w,
+                                             models::Variant v) {
+  serve::SessionOptions options;
+  options.task = task;
+  options.mc_samples = w.mc_samples;
+  options.seed = 0x5eed0000ull + static_cast<uint64_t>(v);
+  return options;
+}
+
+/// Metric under one fault spec, averaged over Monte-Carlo chip instances —
+/// the session-based fault-injection evaluation loop (fault/evaluation.h).
 inline fault::MonteCarloStats sweep_point(
-    models::TaskModel& model, const fault::FaultSpec& spec, int mc_runs,
-    const std::function<double()>& evaluate) {
-  fault::FaultInjector injector(model.fault_targets(), model.noise());
-  return fault::run_monte_carlo(
-      mc_runs, /*base_seed=*/9000, [&](int, Rng& rng) {
-        injector.apply(spec, rng);
-        const double metric = evaluate();
-        injector.restore();
-        return metric;
-      });
+    serve::InferenceSession& session, const fault::FaultSpec& spec,
+    int mc_runs,
+    const std::function<double(serve::InferenceSession&)>& evaluate) {
+  return fault::evaluate_under_faults(session, spec, mc_runs,
+                                      /*base_seed=*/9000, evaluate);
 }
 
 /// Paper-style sweep table: one row per fault level, one mean±std column

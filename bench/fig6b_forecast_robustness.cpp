@@ -20,9 +20,12 @@ int main() {
               w.mc_samples, w.mc_runs);
 
   std::vector<std::unique_ptr<models::LstmForecaster>> zoo;
+  std::vector<std::unique_ptr<serve::InferenceSession>> sessions;
   std::vector<std::string> names;
   for (models::Variant v : models::all_variants()) {
     zoo.push_back(series_model(v, split, w));
+    sessions.push_back(std::make_unique<serve::InferenceSession>(
+        *zoo.back(), serving_options(serve::TaskKind::kRegression, w, v)));
     names.emplace_back(models::variant_name(v));
   }
 
@@ -35,13 +38,12 @@ int main() {
     table.variant_names = names;
     for (double level : levels) {
       std::vector<fault::MonteCarloStats> row;
-      for (auto& model : zoo) {
-        const int samples =
-            models::mc_samples_for(model->variant(), w.mc_samples);
-        row.push_back(sweep_point(*model, spec(level), w.mc_runs, [&] {
-          return models::rmse_mc(*model, split.test, samples);
-        }));
-      }
+      for (auto& session : sessions)
+        row.push_back(sweep_point(
+            *session, spec(level), w.mc_runs,
+            [&](serve::InferenceSession& s) {
+              return serve::rmse(s, split.test);
+            }));
       table.stats.push_back(std::move(row));
     }
     return table;

@@ -30,10 +30,14 @@ int main() {
   const Workload w = image_workload();
   const ImageTask task = make_image_task(w);
   auto model = image_model(models::Variant::kProposed, task, w);
-  const int samples = w.mc_samples * 2;  // uncertainty needs more MC passes
+  Workload uw = w;
+  uw.mc_samples = w.mc_samples * 2;  // uncertainty needs more MC passes
+  serve::InferenceSession session(
+      *model, serving_options(serve::TaskKind::kClassification, uw,
+                              models::Variant::kProposed));
 
   // ID reference scores (label-free confidence NLL).
-  Tensor id_probs = models::probs_mc(*model, task.test.x, samples);
+  Tensor id_probs = session.classify(task.test.x).mean_probs;
   const std::vector<double> id_scores =
       core::per_sample_confidence_nll(id_probs);
   const double id_acc = core::accuracy(id_probs, task.test.y);
@@ -42,7 +46,7 @@ int main() {
 
   Rng noise_rng(55);
   auto evaluate_shift = [&](const Tensor& shifted, double level) {
-    Tensor probs = models::probs_mc(*model, shifted, samples);
+    Tensor probs = session.classify(shifted).mean_probs;
     OodPoint pt;
     pt.level = level;
     pt.accuracy = core::accuracy(probs, task.test.y);

@@ -1,0 +1,150 @@
+// Serving-layer overhead (google-benchmark): one uncertainty-aware
+// predict() through serve::InferenceSession vs the raw batched MC forward
+// it wraps. The session adds stream-context setup, softmax + moments
+// aggregation and the (frozen, lock-free) pack-cache lookup — this bench
+// keeps that overhead visible. items/sec counts stochastic samples
+// (T × batch) per second, matching perf_mc_inference.cpp, so
+// BM_SessionPredict* is directly comparable against BM_Mc*Batched.
+// scripts/bench.sh captures the JSON as BENCH_serve.json.
+#include <benchmark/benchmark.h>
+
+#include "models/evaluate.h"
+#include "models/lstm_forecaster.h"
+#include "models/m5.h"
+#include "models/resnet.h"
+#include "models/unet.h"
+#include "serve/session.h"
+#include "tensor/random.h"
+
+using namespace ripple;
+
+namespace {
+
+constexpr uint64_t kSeed = 0xABCD;
+
+models::VariantConfig proposed() {
+  return {.variant = models::Variant::kProposed};
+}
+
+serve::SessionOptions session_options(serve::TaskKind task, int t) {
+  serve::SessionOptions opts;
+  opts.task = task;
+  opts.mc_samples = t;
+  opts.seed = kSeed;
+  return opts;
+}
+
+void BM_SessionPredictResNet(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 12},
+                             proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::InferenceSession session(
+      model, session_options(serve::TaskKind::kClassification, t));
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    serve::Classification mc = session.classify(x);
+    benchmark::DoNotOptimize(mc.mean_probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_SessionPredictResNet)->Arg(4)->Arg(8)->Arg(16);
+
+// Same model/shape via the deprecated raw helper (no aggregation): the
+// reference the session overhead is measured against.
+void BM_RawMcForwardBatchedResNet(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 12},
+                             proposed());
+  model.set_training(false);
+  model.deploy();
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    Tensor y = models::mc_forward_batched(model, x, t, kSeed);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_RawMcForwardBatchedResNet)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SessionPredictM5(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::M5 model({.classes = 8, .width = 12, .input_length = 512},
+                   proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::InferenceSession session(
+      model, session_options(serve::TaskKind::kClassification, t));
+  Rng rng(2);
+  Tensor x = Tensor::randn({1, 1, 512}, rng);
+  for (auto _ : state) {
+    serve::Classification mc = session.classify(x);
+    benchmark::DoNotOptimize(mc.mean_probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_SessionPredictM5)->Arg(8);
+
+void BM_SessionPredictLstm(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::LstmForecaster model({.hidden = 24, .window = 24}, proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::InferenceSession session(
+      model, session_options(serve::TaskKind::kRegression, t));
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  for (auto _ : state) {
+    serve::Regression mc = session.regress(x);
+    benchmark::DoNotOptimize(mc.mean.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_SessionPredictLstm)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SessionPredictUNet(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::UNet model({.base_channels = 8, .activation_bits = 4}, proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::InferenceSession session(
+      model, session_options(serve::TaskKind::kSegmentation, t));
+  Rng rng(5);
+  Tensor x = Tensor::randn({1, 1, 32, 32}, rng);
+  for (auto _ : state) {
+    serve::Segmentation mc = session.segment(x);
+    benchmark::DoNotOptimize(mc.mean_probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_SessionPredictUNet)->Arg(8);
+
+void BM_SessionPredictMany(benchmark::State& state) {
+  // Micro-batching front door: 8 single-row requests coalesced into the
+  // session's batch versus served one by one.
+  const int t = static_cast<int>(state.range(0));
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 12},
+                             proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::InferenceSession session(
+      model, session_options(serve::TaskKind::kClassification, t));
+  Rng rng(3);
+  std::vector<Tensor> requests;
+  for (int i = 0; i < 8; ++i)
+    requests.push_back(Tensor::randn({1, 3, 16, 16}, rng));
+  for (auto _ : state) {
+    std::vector<serve::Prediction> out = session.predict_many(requests);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t *
+                          static_cast<int64_t>(requests.size()));
+}
+BENCHMARK(BM_SessionPredictMany)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -28,8 +28,9 @@ int main() {
     std::vector<double> row;
     for (models::Variant v : models::all_variants()) {
       auto model = image_model(v, task, w);
-      row.push_back(models::accuracy_mc(
-          *model, task.test, models::mc_samples_for(v, w.mc_samples)));
+      serve::InferenceSession session(
+          *model, serving_options(serve::TaskKind::kClassification, w, v));
+      row.push_back(serve::accuracy(session, task.test));
     }
     rows.push_back(row);
     row_names.push_back("ResNet / images      acc");
@@ -41,8 +42,9 @@ int main() {
     std::vector<double> row;
     for (models::Variant v : models::all_variants()) {
       auto model = audio_model(v, task, w);
-      row.push_back(models::accuracy_mc(
-          *model, task.test, models::mc_samples_for(v, w.mc_samples)));
+      serve::InferenceSession session(
+          *model, serving_options(serve::TaskKind::kClassification, w, v));
+      row.push_back(serve::accuracy(session, task.test));
     }
     rows.push_back(row);
     row_names.push_back("M5 / audio           acc");
@@ -54,8 +56,9 @@ int main() {
     std::vector<double> row;
     for (models::Variant v : models::all_variants()) {
       auto model = vessel_model(v, task, w);
-      row.push_back(models::miou_mc(
-          *model, task.test, models::mc_samples_for(v, w.mc_samples)));
+      serve::InferenceSession session(
+          *model, serving_options(serve::TaskKind::kSegmentation, w, v));
+      row.push_back(serve::miou(session, task.test));
     }
     rows.push_back(row);
     row_names.push_back("U-Net / vessels     mIoU");
@@ -67,8 +70,9 @@ int main() {
     std::vector<double> row;
     for (models::Variant v : models::all_variants()) {
       auto model = series_model(v, split, w);
-      row.push_back(models::rmse_mc(
-          *model, split.test, models::mc_samples_for(v, w.mc_samples)));
+      serve::InferenceSession session(
+          *model, serving_options(serve::TaskKind::kRegression, w, v));
+      row.push_back(serve::rmse(session, split.test));
     }
     rows.push_back(row);
     row_names.push_back("LSTM / CO2          RMSE");

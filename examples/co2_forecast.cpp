@@ -4,12 +4,12 @@
 //   $ ./examples/co2_forecast
 #include <cstdio>
 
-#include "core/bayesian.h"
 #include "data/co2_series.h"
-#include "fault/injector.h"
-#include "models/evaluate.h"
+#include "fault/evaluation.h"
 #include "models/lstm_forecaster.h"
 #include "models/trainer.h"
+#include "serve/metrics.h"
+#include "serve/session.h"
 #include "tensor/env.h"
 
 using namespace ripple;
@@ -35,18 +35,18 @@ int main() {
   model.deploy();
 
   const int samples = env_int("RIPPLE_MC_SAMPLES", 12);
-  const double clean_rmse = models::rmse_mc(model, split.test, samples);
+  serve::SessionOptions opts;
+  opts.task = serve::TaskKind::kRegression;
+  opts.mc_samples = samples;
+  serve::InferenceSession session(model, opts);
+  const double clean_rmse = serve::rmse(session, split.test);
   std::printf("test RMSE (normalized): %.4f  (~%.2f ppm)\n", clean_rmse,
               clean_rmse * split.test.std);
 
-  // Show a few forecasts with MC uncertainty bands.
-  model.set_mc_mode(true);
+  // Show a few forecasts with MC uncertainty bands — one typed predict().
   Tensor probe = data::slice_rows(split.test.windows, 0, 6);
   Tensor truth = data::slice_rows(split.test.targets, 0, 6);
-  core::McRegression mc = core::mc_regress(
-      [&model](const Tensor& x) { return model.predict(x); }, probe,
-      samples);
-  model.set_mc_mode(false);
+  const serve::Regression mc = session.regress(probe);
   std::printf("\n%-8s %12s %16s %10s\n", "window", "truth[ppm]",
               "forecast[ppm]", "+-1sigma");
   for (int64_t i = 0; i < 6; ++i) {
@@ -61,12 +61,12 @@ int main() {
   std::printf("\nRMSE under multiplicative weight variation:\n");
   std::printf("%-8s %12s\n", "sigma", "RMSE");
   for (float sigma : {0.0f, 0.1f, 0.2f, 0.3f}) {
-    fault::FaultInjector inj(model.fault_targets(), model.noise());
-    Rng fault_rng(32);
-    inj.apply(fault::FaultSpec::multiplicative(sigma), fault_rng);
-    std::printf("%-8.2f %12.4f\n", sigma,
-                models::rmse_mc(model, split.test, samples));
-    inj.restore();
+    const fault::MonteCarloStats stats = fault::evaluate_under_faults(
+        session, fault::FaultSpec::multiplicative(sigma), /*runs=*/1,
+        /*base_seed=*/32, [&](serve::InferenceSession& s) {
+          return serve::rmse(s, split.test);
+        });
+    std::printf("%-8.2f %12.4f\n", sigma, stats.mean);
   }
   std::printf("graceful degradation: the stochastic affine training keeps "
               "the forecast usable under variation.\n");

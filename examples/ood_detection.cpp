@@ -12,9 +12,9 @@
 #include "core/uncertainty.h"
 #include "data/synthetic_images.h"
 #include "data/transforms.h"
-#include "models/evaluate.h"
 #include "models/resnet.h"
 #include "models/trainer.h"
+#include "serve/session.h"
 #include "tensor/env.h"
 
 using namespace ripple;
@@ -39,7 +39,11 @@ int main() {
   model.deploy();
 
   const int samples = env_int("RIPPLE_MC_SAMPLES", 12);
-  Tensor id_probs = models::probs_mc(model, test.x, samples);
+  serve::SessionOptions opts;
+  opts.task = serve::TaskKind::kClassification;
+  opts.mc_samples = samples;
+  serve::InferenceSession session(model, opts);
+  Tensor id_probs = session.classify(test.x).mean_probs;
   const auto id_scores = core::per_sample_confidence_nll(id_probs);
   std::printf("in-distribution: accuracy %.1f%%, mean NLL score %.3f\n",
               100.0 * core::accuracy(id_probs, test.y),
@@ -49,7 +53,7 @@ int main() {
   std::printf("\n%-24s %10s %10s %10s %8s\n", "shift", "accuracy", "NLL",
               "AUROC", "flagged");
   auto report = [&](const char* name, const Tensor& shifted) {
-    Tensor probs = models::probs_mc(model, shifted, samples);
+    Tensor probs = session.classify(shifted).mean_probs;
     const auto scores = core::per_sample_confidence_nll(probs);
     const core::OodDetection det = core::detect_ood(id_scores, scores);
     std::printf("%-24s %9.1f%% %10.3f %10.3f %7.1f%%\n", name,

@@ -10,9 +10,10 @@
 
 #include "data/synthetic_images.h"
 #include "fault/injector.h"
-#include "models/evaluate.h"
 #include "models/resnet.h"
 #include "models/trainer.h"
+#include "serve/metrics.h"
+#include "serve/session.h"
 #include "tensor/env.h"
 
 using namespace ripple;
@@ -50,35 +51,45 @@ int main() {
   models::TrainLog log = models::train_classifier(model, train, tc);
   std::printf("final train loss: %.4f\n", log.final_loss());
 
-  // 4. Deploy: freeze quantizers, weights become their hardware values.
+  // 4. Deploy, then open a serving session: the session freezes the
+  //    Bayesian sampling state (T samples, per-layer mask streams, packed
+  //    GEMM weights) once, and its predict() is thread-safe — this is the
+  //    deployment front door (serve/session.h).
   model.deploy();
   const int mc_samples = env_int("RIPPLE_MC_SAMPLES", 8);
-  const double clean = models::accuracy_mc(model, test, mc_samples);
-  std::printf("clean accuracy (T=%d MC samples): %.1f%%\n", mc_samples,
+  serve::SessionOptions opts;
+  opts.task = serve::TaskKind::kClassification;
+  opts.mc_samples = mc_samples;
+  serve::InferenceSession session(model, opts);
+  const double clean = serve::accuracy(session, test);
+  std::printf("clean accuracy (T=%d MC samples): %.1f%%\n", session.samples(),
               100.0 * clean);
 
   // 5. Inject 10%% bit flips into the deployed binary weights — a strong
-  //    retention-fault scenario — and re-evaluate.
+  //    retention-fault scenario — and re-evaluate. In-place weight
+  //    mutation invalidates the session's packed-weight cache.
   fault::FaultInjector injector(model.fault_targets(), model.noise());
   Rng fault_rng(99);
   injector.apply(fault::FaultSpec::bitflips(0.10f), fault_rng);
-  const double faulty = models::accuracy_mc(model, test, mc_samples);
+  session.invalidate_packed_weights();
+  const double faulty = serve::accuracy(session, test);
   std::printf("accuracy with 10%% bit flips: %.1f%% (degradation %.1f pts)\n",
               100.0 * faulty, 100.0 * (clean - faulty));
   injector.restore();
+  session.invalidate_packed_weights();
 
-  // 6. Uncertainty: the Bayesian output distribution flags low-confidence
-  //    predictions.
+  // 6. Uncertainty: one typed predict() gives the MC-mean probabilities
+  //    with their spread and predictive entropy — low confidence / high
+  //    entropy flags the predictions not to trust.
   Tensor one = data::slice_rows(test.x, 0, 8);
-  Tensor probs = models::probs_mc(model, one, mc_samples);
-  std::printf("first 8 test samples, predicted class (confidence):\n  ");
+  const serve::Classification mc = session.classify(one);
+  std::printf("first 8 test samples, predicted class (confidence, entropy):\n  ");
   for (int64_t i = 0; i < 8; ++i) {
-    const float* row = probs.data() + i * 10;
-    int64_t best = 0;
-    for (int64_t c = 1; c < 10; ++c)
-      if (row[c] > row[best]) best = c;
-    std::printf("%lld(%.2f) ", static_cast<long long>(best), row[best]);
+    const int64_t best = mc.predictions[static_cast<size_t>(i)];
+    std::printf("%lld(%.2f, H=%.2f) ", static_cast<long long>(best),
+                mc.mean_probs.at({i, best}), mc.entropy.data()[i]);
   }
-  std::printf("\ndone.\n");
+  std::printf("\nserved %llu requests in this session.\ndone.\n",
+              static_cast<unsigned long long>(session.requests_served()));
   return 0;
 }

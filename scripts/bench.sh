@@ -7,6 +7,9 @@
 #   BENCH_mc.json   — Monte-Carlo inference throughput
 #                     (bench/perf_mc_inference.cpp); compare BM_Mc*Batched
 #                     vs BM_Mc*Serial at the same T.
+#   BENCH_serve.json— serving-layer overhead (bench/perf_serve.cpp);
+#                     compare BM_SessionPredict* against the raw
+#                     BM_RawMcForwardBatched*/BM_Mc*Batched numbers.
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
 set -euo pipefail
@@ -15,7 +18,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build-bench}"
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" -j"$(nproc)" --target perf_layers perf_mc_inference
+cmake --build "$build_dir" -j"$(nproc)" --target perf_layers perf_mc_inference perf_serve
 
 min_time="${RIPPLE_BENCH_MIN_TIME:-0.5}"
 
@@ -29,4 +32,9 @@ min_time="${RIPPLE_BENCH_MIN_TIME:-0.5}"
   --benchmark_out_format=json \
   --benchmark_out="$repo_root/BENCH_mc.json"
 
-echo "wrote $repo_root/BENCH_gemm.json and $repo_root/BENCH_mc.json"
+"$build_dir/perf_serve" \
+  --benchmark_min_time="$min_time" \
+  --benchmark_out_format=json \
+  --benchmark_out="$repo_root/BENCH_serve.json"
+
+echo "wrote $repo_root/BENCH_gemm.json, $repo_root/BENCH_mc.json and $repo_root/BENCH_serve.json"

@@ -1,7 +1,9 @@
 // Convolution, pooling and resampling ops.
 //
 // Convolution forwards lower to one batched GEMM per sample group: weights
-// are packed once per call (PackedGemmA) and reused across the whole batch
+// are packed once per call (PackedGemmA) — or fetched from the serving
+// session's frozen PackedACache when one is installed — and reused across
+// the whole batch
 // — and therefore across all T folded Monte-Carlo replicas — while im2col
 // writes each sample's patch matrix as a column block of a shared
 // [C·k², G·OA] matrix. The per-channel bias is fused into the GEMM epilogue
@@ -59,7 +61,9 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
   {
     const float* px = x.value().data();
     float* po = out.data();
-    const PackedGemmA pw = pack_gemm_a(cout, ck, w.value().data());
+    PackedGemmA pw_local;
+    const PackedGemmA& pw = pack_gemm_a_cached(cout, ck, w.value().data(),
+                                               pw_local);
     GemmEpilogue ep;
     ep.row_bias = has_bias ? b.value().data() : nullptr;
     const int64_t group = conv_group_size(n, ck, oa);
@@ -158,7 +162,9 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
   {
     const float* px = x.value().data();
     float* po = out.data();
-    const PackedGemmA pw = pack_gemm_a(cout, ck, w.value().data());
+    PackedGemmA pw_local;
+    const PackedGemmA& pw = pack_gemm_a_cached(cout, ck, w.value().data(),
+                                               pw_local);
     GemmEpilogue ep;
     ep.row_bias = has_bias ? b.value().data() : nullptr;
     const int64_t group = conv_group_size(n, ck, ol);

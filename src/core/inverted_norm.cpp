@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autograd/ops.h"
+#include "core/mc_stream.h"
 
 namespace ripple::core {
 
@@ -53,20 +54,37 @@ autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
   ag::Variable beta_eff = beta_->var;
   bool replicated = false;
   if (stochastic() && options_.dropout_p > 0.0f) {
+    // Stream state comes from the caller's thread-local context when this
+    // layer is bound to a slot (the serving path — no member mutation, safe
+    // under concurrent passes); otherwise from the deprecated member-based
+    // stream or the constructor-time Rng.
+    McStreamContext* ctx = active_mc_stream();
+    const bool use_ctx = ctx != nullptr && stream_slot_ >= 0;
+    const int64_t replicas = use_ctx ? ctx->replicas() : mc_replicas_;
     Rng invocation_stream(0);
     Rng* genp = rng_ != nullptr ? rng_ : &global_rng();
-    if (has_mask_stream_) {
+    if (use_ctx) {
+      invocation_stream.reseed(
+          ctx->next_invocation_seed(static_cast<size_t>(stream_slot_)));
+      genp = &invocation_stream;
+      if (replicas == 1) {
+        // Serial reference pass for replica r: burn the first r mask pairs
+        // so the pair drawn below is the one the batched pass hands to r.
+        for (int64_t s = 0; s < ctx->replica_offset(); ++s) {
+          (void)sample_affine_mask(channels_, options_.dropout_p,
+                                   options_.granularity, *genp);
+          (void)sample_affine_mask(channels_, options_.dropout_p,
+                                   options_.granularity, *genp);
+        }
+      }
+    } else if (has_mask_stream_) {
       // Per-invocation sub-stream (recurrent models invoke the layer once
       // per timestep; each invocation owns a replica-ordered stream).
       invocation_stream.reseed(
-          splitmix64(mask_stream_seed_ ^
-                     (0x517cc1b727220a95ull *
-                      (static_cast<uint64_t>(mask_invocation_) + 1))));
+          mc_invocation_seed(mask_stream_seed_, mask_invocation_));
       ++mask_invocation_;
       genp = &invocation_stream;
       if (mc_replicas_ == 1) {
-        // Serial reference pass for replica r: burn the first r mask pairs
-        // so the pair drawn below is the one the batched pass hands to r.
         for (int64_t s = 0; s < mask_replica_offset_; ++s) {
           (void)sample_affine_mask(channels_, options_.dropout_p,
                                    options_.granularity, *genp);
@@ -76,10 +94,10 @@ autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
       }
     }
     Rng& gen = *genp;
-    if (mc_replicas_ > 1) {
+    if (replicas > 1) {
       // Batched MC: one independent mask pair per folded replica, consumed
       // in replica order — the order serial passes would draw them.
-      const int64_t t = mc_replicas_;
+      const int64_t t = replicas;
       RIPPLE_CHECK(x.dim(0) % t == 0)
           << "InvertedNorm: batch " << x.dim(0) << " not divisible into "
           << t << " MC replicas";

@@ -57,6 +57,15 @@ class InvertedNorm : public nn::Layer {
   void set_mc_replicas(int64_t t);
   int64_t mc_replicas() const { return mc_replicas_; }
 
+  /// Binds this layer to slot `slot` of any active McStreamContext
+  /// (core/mc_stream.h): while a context is installed on the calling
+  /// thread, mask sampling, replica count and replica offset all come from
+  /// the context instead of the members below, so concurrent passes never
+  /// share mutable state. -1 (default) unbinds. Set once by the serving
+  /// session, not per pass.
+  void set_stream_slot(int slot) { stream_slot_ = slot; }
+  int stream_slot() const { return stream_slot_; }
+
   /// Routes mask sampling through a deterministic per-layer stream: each
   /// forward invocation i derives an independent sub-stream from (seed, i)
   /// and draws the replicas' mask pairs from it in replica order. The
@@ -65,6 +74,8 @@ class InvertedNorm : public nn::Layer {
   /// way replica r sees the same masks — even for recurrent models that
   /// invoke the layer once per timestep — so batched and serial MC agree
   /// to float rounding for the same seed (fault::layer_stream_seed).
+  /// Deprecated in favour of binding a stream slot and installing an
+  /// McStreamContext; kept for single-threaded callers and tests.
   void set_mask_stream(uint64_t seed);
   /// Serial reference path: subsequent invocations draw the mask pair of
   /// replica r. Resets the invocation counter (call before each pass).
@@ -84,6 +95,7 @@ class InvertedNorm : public nn::Layer {
   Options options_;
   bool mc_mode_ = false;
   int64_t mc_replicas_ = 1;
+  int stream_slot_ = -1;
   bool has_mask_stream_ = false;
   uint64_t mask_stream_seed_ = 0;
   int64_t mask_invocation_ = 0;

@@ -1,0 +1,76 @@
+#include "core/mc_stream.h"
+
+#include "tensor/check.h"
+#include "tensor/random.h"
+
+namespace ripple::core {
+
+namespace {
+
+// Mixing constants. K1/K2 predate this file (fault::layer_stream_seed and
+// InvertedNorm's invocation derivation) and must not change, or the serving
+// path stops reproducing the masks the legacy helpers sampled.
+constexpr uint64_t kLayerMix = 0x9e3779b97f4a7c15ull;       // K1
+constexpr uint64_t kInvocationMix = 0x517cc1b727220a95ull;  // K2
+constexpr uint64_t kReplicaMix = 0x2545f4914f6cdd1dull;     // K3
+constexpr uint64_t kChunkMix = 0xd6e8feb86659fd93ull;       // K4
+
+thread_local McStreamContext* tl_active_stream = nullptr;
+
+}  // namespace
+
+uint64_t mc_layer_seed(uint64_t base_seed, size_t slot) {
+  return splitmix64(base_seed ^
+                    (kLayerMix * (static_cast<uint64_t>(slot) + 1)));
+}
+
+uint64_t mc_invocation_seed(uint64_t layer_seed, int64_t invocation) {
+  return splitmix64(layer_seed ^
+                    (kInvocationMix * (static_cast<uint64_t>(invocation) + 1)));
+}
+
+uint64_t mc_replica_seed(uint64_t invocation_seed, int64_t replica) {
+  return splitmix64(invocation_seed ^
+                    (kReplicaMix * (static_cast<uint64_t>(replica) + 1)));
+}
+
+uint64_t mc_chunk_seed(uint64_t replica_seed, int64_t chunk_offset) {
+  if (chunk_offset == 0) return replica_seed;
+  return splitmix64(replica_seed ^
+                    (kChunkMix * static_cast<uint64_t>(chunk_offset)));
+}
+
+McStreamContext::McStreamContext(uint64_t base_seed, int64_t replicas,
+                                 int64_t replica_offset, size_t slots)
+    : replicas_(replicas), replica_offset_(replica_offset) {
+  RIPPLE_CHECK(replicas >= 1) << "MC stream context needs replicas >= 1";
+  RIPPLE_CHECK(replica_offset >= 0) << "MC replica offset must be >= 0";
+  layer_seeds_.reserve(slots);
+  for (size_t s = 0; s < slots; ++s)
+    layer_seeds_.push_back(mc_layer_seed(base_seed, s));
+  invocations_.assign(slots, 0);
+}
+
+uint64_t McStreamContext::next_invocation_seed(size_t slot) {
+  RIPPLE_CHECK(slot < layer_seeds_.size())
+      << "stream slot " << slot << " out of range (" << layer_seeds_.size()
+      << " bound)";
+  return mc_invocation_seed(layer_seeds_[slot], invocations_[slot]++);
+}
+
+void McStreamContext::rewind(int64_t replica_offset) {
+  RIPPLE_CHECK(replica_offset >= 0) << "MC replica offset must be >= 0";
+  replica_offset_ = replica_offset;
+  invocations_.assign(invocations_.size(), 0);
+}
+
+McStreamContext* active_mc_stream() { return tl_active_stream; }
+
+McStreamScope::McStreamScope(McStreamContext& ctx)
+    : previous_(tl_active_stream) {
+  tl_active_stream = &ctx;
+}
+
+McStreamScope::~McStreamScope() { tl_active_stream = previous_; }
+
+}  // namespace ripple::core

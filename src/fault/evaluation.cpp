@@ -1,0 +1,42 @@
+#include "fault/evaluation.h"
+
+namespace ripple::fault {
+
+namespace {
+
+/// RAII: un-faults the model and re-packs the session's weights even when
+/// the score callback throws, so a failed run never leaves a corrupted
+/// model behind a frozen cache.
+class InjectionScope {
+ public:
+  InjectionScope(FaultInjector& injector, serve::InferenceSession& session,
+                 const FaultSpec& spec, Rng& rng)
+      : injector_(injector), session_(session) {
+    injector_.apply(spec, rng);
+    session_.invalidate_packed_weights();
+  }
+  ~InjectionScope() {
+    injector_.restore();
+    session_.invalidate_packed_weights();
+  }
+
+ private:
+  FaultInjector& injector_;
+  serve::InferenceSession& session_;
+};
+
+}  // namespace
+
+MonteCarloStats evaluate_under_faults(
+    serve::InferenceSession& session, const FaultSpec& spec, int runs,
+    uint64_t base_seed,
+    const std::function<double(serve::InferenceSession&)>& score) {
+  models::TaskModel& model = session.model();
+  FaultInjector injector(model.fault_targets(), model.noise());
+  return run_monte_carlo(runs, base_seed, [&](int, Rng& rng) {
+    InjectionScope scope(injector, session, spec, rng);
+    return score(session);
+  });
+}
+
+}  // namespace ripple::fault

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/mc_stream.h"
 #include "tensor/check.h"
 #include "tensor/random.h"
 
@@ -73,8 +74,9 @@ ReplicaMoments replica_moments(const Tensor& stacked, int t) {
 }
 
 uint64_t layer_stream_seed(uint64_t base_seed, size_t layer_index) {
-  return splitmix64(base_seed ^
-                    (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(layer_index) + 1)));
+  // Single source of truth for the derivation: the serving path
+  // (core/mc_stream.h) must sample the same streams.
+  return core::mc_layer_seed(base_seed, layer_index);
 }
 
 }  // namespace ripple::fault

@@ -47,6 +47,14 @@ class BlockFactory {
     return inverted_;
   }
 
+  /// Element-wise / spatial dropout layers created so far, in construction
+  /// order — the serving session binds each to a deterministic mask-stream
+  /// slot so MC-Dropout baselines replay bit-exactly batched vs serial.
+  const std::vector<nn::Dropout*>& dropouts() const { return dropouts_; }
+  const std::vector<nn::SpatialDropout*>& spatial_dropouts() const {
+    return spatial_;
+  }
+
  private:
   VariantConfig config_;
   Rng* rng_;

@@ -1,169 +1,111 @@
+// Deprecated shims over the serving API — see evaluate.h for the
+// migration table. Each helper builds a short-lived InferenceSession with
+// the legacy call's semantics (batch size, samples, seed source) and
+// forwards to it.
 #include "models/evaluate.h"
 
-#include <cstring>
-
-#include "core/inverted_norm.h"
-#include "core/metrics.h"
-#include "fault/mc_batch.h"
-#include "tensor/ops.h"
+#include "serve/metrics.h"
+#include "serve/session.h"
+#include "tensor/random.h"
 
 namespace ripple::models {
+
 namespace {
 
-/// RAII: eval mode + MC sampling for the scope of one evaluation.
-class McScope {
- public:
-  explicit McScope(TaskModel& model) : model_(model) {
-    model_.set_training(false);
-    model_.set_mc_mode(true);
-  }
-  ~McScope() { model_.set_mc_mode(false); }
+serve::SessionOptions legacy_options(serve::TaskKind task, int mc_samples,
+                                     uint64_t seed, int64_t batch_rows) {
+  serve::SessionOptions opts;
+  opts.task = task;
+  opts.mc_samples = mc_samples;
+  opts.seed = seed;
+  // Legacy helpers evaluated `batch_rows` inputs per forward regardless of
+  // T; max_batch counts stacked rows, so scale it by the effective T.
+  opts.max_batch = batch_rows;
+  return opts;
+}
 
- private:
-  TaskModel& model_;
-};
+/// Session whose chunking reproduces the legacy per-batch evaluation and
+/// whose seed comes from the global generator — reseeding global_rng()
+/// still makes consecutive evaluations reproducible.
+serve::SessionOptions dataset_options(serve::TaskKind task, TaskModel& model,
+                                      int mc_samples, int64_t batch_size) {
+  const int eff = mc_samples_for(model.variant(), mc_samples);
+  return legacy_options(task, mc_samples, global_rng().next_u64(),
+                        batch_size * eff);
+}
 
-/// RAII: MC mode + deterministic per-layer mask streams + replica fold.
-/// `replicas` is t for the batched pass and 1 for the serial reference.
-class McBatchScope {
- public:
-  McBatchScope(TaskModel& model, int64_t replicas, uint64_t seed)
-      : model_(model), mc_(model) {
-    layers_ = model_.inverted_norm_layers();
-    for (size_t i = 0; i < layers_.size(); ++i)
-      layers_[i]->set_mask_stream(fault::layer_stream_seed(seed, i));
-    model_.set_mc_replicas(replicas);
-  }
-  ~McBatchScope() {
-    model_.set_mc_replicas(1);
-    for (auto* l : layers_) l->clear_mask_stream();
-  }
-
- private:
-  TaskModel& model_;
-  McScope mc_;
-  std::vector<core::InvertedNorm*> layers_;
-};
+serve::SessionOptions raw_options(serve::TaskKind task, const Tensor& x,
+                                  int t, uint64_t seed,
+                                  serve::ExecutionPolicy policy) {
+  serve::SessionOptions opts = legacy_options(
+      task, t, seed, x.dim(0) * static_cast<int64_t>(t));  // never chunk
+  opts.policy = policy;
+  opts.clamp_samples = false;  // stack exactly t replicas, like the original
+  return opts;
+}
 
 }  // namespace
 
-Tensor probs_mc(TaskModel& model, const Tensor& x, int mc_samples) {
-  McScope scope(model);
-  const core::McClassification mc = core::mc_classify(
-      [&model](const Tensor& batch) { return model.predict(batch); }, x,
-      mc_samples);
-  return mc.mean_probs;
-}
-
 double accuracy_mc(TaskModel& model, const data::ClassificationData& test,
                    int mc_samples, int64_t batch_size) {
-  McScope scope(model);
-  int64_t correct = 0;
-  for (auto [begin, end] : data::batch_ranges(test.size(), batch_size)) {
-    Tensor xb = data::slice_rows(test.x, begin, end - begin);
-    const core::McClassification mc = core::mc_classify(
-        [&model](const Tensor& batch) { return model.predict(batch); }, xb,
-        mc_samples);
-    for (int64_t i = begin; i < end; ++i)
-      if (mc.predictions[static_cast<size_t>(i - begin)] ==
-          test.y[static_cast<size_t>(i)])
-        ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(test.size());
+  serve::InferenceSession session(
+      model, dataset_options(serve::TaskKind::kClassification, model,
+                             mc_samples, batch_size));
+  return serve::accuracy(session, test);
+}
+
+Tensor probs_mc(TaskModel& model, const Tensor& x, int mc_samples) {
+  serve::InferenceSession session(
+      model, dataset_options(serve::TaskKind::kClassification, model,
+                             mc_samples, x.dim(0)));
+  return session.classify(x).mean_probs;
 }
 
 double rmse_mc(TaskModel& model, const data::SeriesData& test, int mc_samples,
                int64_t batch_size) {
-  McScope scope(model);
-  double sq_sum = 0.0;
-  int64_t count = 0;
-  for (auto [begin, end] : data::batch_ranges(test.size(), batch_size)) {
-    Tensor xb = data::slice_rows(test.windows, begin, end - begin);
-    Tensor yb = data::slice_rows(test.targets, begin, end - begin);
-    const core::McRegression mc = core::mc_regress(
-        [&model](const Tensor& batch) { return model.predict(batch); }, xb,
-        mc_samples);
-    const float* pp = mc.mean.data();
-    const float* pt = yb.data();
-    for (int64_t i = 0; i < yb.numel(); ++i) {
-      const double d = pp[i] - pt[i];
-      sq_sum += d * d;
-      ++count;
-    }
-  }
-  return std::sqrt(sq_sum / static_cast<double>(count));
+  serve::InferenceSession session(
+      model, dataset_options(serve::TaskKind::kRegression, model, mc_samples,
+                             batch_size));
+  return serve::rmse(session, test);
 }
 
 double miou_mc(TaskModel& model, const data::SegmentationData& test,
                int mc_samples, int64_t batch_size) {
-  McScope scope(model);
-  // Aggregate intersection/union over the whole set, not per batch.
-  int64_t inter_fg = 0;
-  int64_t union_fg = 0;
-  int64_t inter_bg = 0;
-  int64_t union_bg = 0;
-  for (auto [begin, end] : data::batch_ranges(test.size(), batch_size)) {
-    Tensor xb = data::slice_rows(test.images, begin, end - begin);
-    Tensor yb = data::slice_rows(test.masks, begin, end - begin);
-    Tensor probs = core::mc_segment(
-        [&model](const Tensor& batch) { return model.predict(batch); }, xb,
-        mc_samples);
-    const float* pp = probs.data();
-    const float* pt = yb.data();
-    for (int64_t i = 0; i < probs.numel(); ++i) {
-      const bool p = pp[i] >= 0.5f;
-      const bool t = pt[i] >= 0.5f;
-      if (p && t) ++inter_fg;
-      if (p || t) ++union_fg;
-      if (!p && !t) ++inter_bg;
-      if (!p || !t) ++union_bg;
-    }
-  }
-  const double iou_fg =
-      union_fg > 0 ? static_cast<double>(inter_fg) / union_fg : 1.0;
-  const double iou_bg =
-      union_bg > 0 ? static_cast<double>(inter_bg) / union_bg : 1.0;
-  return 0.5 * (iou_fg + iou_bg);
+  serve::InferenceSession session(
+      model, dataset_options(serve::TaskKind::kSegmentation, model,
+                             mc_samples, batch_size));
+  return serve::miou(session, test);
 }
 
 Tensor mc_forward_batched(TaskModel& model, const Tensor& x, int t,
                           uint64_t seed) {
   RIPPLE_CHECK(t >= 1) << "mc_forward_batched needs t >= 1";
-  McBatchScope scope(model, t, seed);
-  return model.predict(fault::replicate_batch(x, t));
+  serve::InferenceSession session(
+      model, raw_options(serve::TaskKind::kClassification, x, t, seed,
+                         serve::ExecutionPolicy::kBatched));
+  return session.mc_outputs(x);
 }
 
 Tensor mc_forward_serial(TaskModel& model, const Tensor& x, int t,
                          uint64_t seed) {
   RIPPLE_CHECK(t >= 1) << "mc_forward_serial needs t >= 1";
-  McBatchScope scope(model, /*replicas=*/1, seed);
-  std::vector<core::InvertedNorm*> layers = model.inverted_norm_layers();
-  Tensor stacked;
-  for (int r = 0; r < t; ++r) {
-    for (auto* l : layers) l->set_mask_replica_offset(r);
-    Tensor y = model.predict(x);
-    if (!stacked.defined()) {
-      Shape shape = y.shape();
-      shape[0] *= t;
-      stacked = Tensor(shape);
-    }
-    std::memcpy(stacked.data() + static_cast<int64_t>(r) * y.numel(),
-                y.data(), sizeof(float) * static_cast<size_t>(y.numel()));
-  }
-  return stacked;
+  serve::InferenceSession session(
+      model, raw_options(serve::TaskKind::kClassification, x, t, seed,
+                         serve::ExecutionPolicy::kSerial));
+  return session.mc_outputs(x);
 }
 
 core::McClassification probs_mc_batched(TaskModel& model, const Tensor& x,
                                         int t, uint64_t seed) {
-  Tensor logits = mc_forward_batched(model, x, t, seed);
-  RIPPLE_CHECK(logits.rank() == 2) << "classifier must return [N,C] logits";
-  Tensor probs = ops::softmax_rows(logits);
-  fault::ReplicaMoments moments = fault::replica_moments(probs, t);
+  serve::InferenceSession session(
+      model, raw_options(serve::TaskKind::kClassification, x, t, seed,
+                         serve::ExecutionPolicy::kBatched));
+  const serve::Classification mc = session.classify(x);
   core::McClassification out;
-  out.samples = t;
-  out.mean_probs = std::move(moments.mean);
-  out.variance = std::move(moments.variance);
-  out.predictions = ops::argmax_rows(out.mean_probs);
+  out.samples = mc.samples;
+  out.mean_probs = mc.mean_probs;
+  out.variance = mc.variance;
+  out.predictions = mc.predictions;
   return out;
 }
 

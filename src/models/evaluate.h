@@ -1,8 +1,25 @@
-// Bayesian MC evaluation of a deployed model on each task's metric.
+// DEPRECATED Bayesian MC evaluation helpers.
 //
-// All helpers switch the model to eval mode with MC sampling enabled
-// (set_mc_mode(true)); pass mc_samples_for(variant, T) so the
-// deterministic conventional NN runs a single pass.
+// This was the original research-harness evaluation surface: free
+// functions that mutate the model's MC flags per call. It has been
+// replaced by the thread-safe serving API (serve/session.h +
+// serve/metrics.h); every helper below is now a thin shim that constructs
+// a temporary serve::InferenceSession, and the declarations are kept for
+// one release only — migrate:
+//
+//   accuracy_mc(model, test, T)        → serve::accuracy(session, test)
+//   probs_mc(model, x, T)              → session.classify(x).mean_probs
+//   rmse_mc(model, test, T)            → serve::rmse(session, test)
+//   miou_mc(model, test, T)            → serve::miou(session, test)
+//   mc_forward_batched(model, x, T, s) → session.mc_outputs(x)   (kBatched)
+//   mc_forward_serial(model, x, T, s)  → session.mc_outputs(x)   (kSerial)
+//   probs_mc_batched(model, x, T, s)   → session.classify(x)
+//
+// The dataset helpers (accuracy_mc/probs_mc/rmse_mc/miou_mc) draw their
+// session seed from global_rng(), preserving the legacy contract that
+// reseeding the global generator makes consecutive evaluations
+// reproducible. The mc_forward_* shims take the seed explicitly and still
+// stack exactly t replicas for deterministic variants.
 #pragma once
 
 #include "core/bayesian.h"
@@ -12,40 +29,45 @@
 namespace ripple::models {
 
 /// Classification accuracy with `mc_samples`-pass averaging, evaluated in
-/// batches of `batch_size`.
+/// batches of `batch_size`. Deprecated: serve::accuracy.
 double accuracy_mc(TaskModel& model, const data::ClassificationData& test,
                    int mc_samples, int64_t batch_size = 64);
 
 /// MC-averaged class probabilities [N, C] for a batch of inputs.
+/// Deprecated: serve::InferenceSession::classify.
 Tensor probs_mc(TaskModel& model, const Tensor& x, int mc_samples);
 
 /// Forecast RMSE (normalized units) with MC-mean predictions.
+/// Deprecated: serve::rmse.
 double rmse_mc(TaskModel& model, const data::SeriesData& test, int mc_samples,
                int64_t batch_size = 256);
 
 /// Binary segmentation mIoU with MC-averaged pixel probabilities.
+/// Deprecated: serve::miou.
 double miou_mc(TaskModel& model, const data::SegmentationData& test,
                int mc_samples, int64_t batch_size = 16);
 
 // ---- batched Monte-Carlo forward (fault/mc_batch.h) ------------------------
 // The T stochastic samples fold into the batch dimension: the input is
-// replicated once and ONE forward pass runs, with only the InvertedNorm
-// layers diverging per replica. Each InvertedNorm draws its masks from a
+// replicated once and ONE forward pass runs, with only the stochastic
+// layers diverging per replica. Each layer draws its masks from a
 // deterministic per-layer stream, so the batched and serial paths sample
 // identical masks for the same seed and agree to float rounding.
 
 /// One batched MC pass: returns the stacked raw model outputs [t·N, ...],
-/// replica-major.
+/// replica-major. Deprecated: session.mc_outputs with kBatched.
 Tensor mc_forward_batched(TaskModel& model, const Tensor& x, int t,
                           uint64_t seed);
 
 /// Serial reference path (t separate passes) under the same mask-stream
 /// convention; kept as the cross-check oracle for the batched path.
+/// Deprecated: session.mc_outputs with kSerial.
 Tensor mc_forward_serial(TaskModel& model, const Tensor& x, int t,
                          uint64_t seed);
 
 /// Batched analogue of probs_mc for classifiers: softmax per stacked row,
 /// then across-replica mean/variance — all from a single forward pass.
+/// Deprecated: session.classify.
 core::McClassification probs_mc_batched(TaskModel& model, const Tensor& x,
                                         int t, uint64_t seed);
 

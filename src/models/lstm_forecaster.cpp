@@ -91,6 +91,14 @@ std::vector<core::InvertedNorm*> LstmForecaster::inverted_norm_layers() {
   return factory_.inverted_norms();
 }
 
+std::vector<nn::Dropout*> LstmForecaster::dropout_layers() {
+  return factory_.dropouts();
+}
+
+std::vector<nn::SpatialDropout*> LstmForecaster::spatial_dropout_layers() {
+  return factory_.spatial_dropouts();
+}
+
 void LstmForecaster::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

@@ -32,6 +32,8 @@ class LstmForecaster : public TaskModel {
   void set_mc_mode(bool on) override;
   void set_mc_replicas(int64_t t) override;
   std::vector<core::InvertedNorm*> inverted_norm_layers() override;
+  std::vector<nn::Dropout*> dropout_layers() override;
+  std::vector<nn::SpatialDropout*> spatial_dropout_layers() override;
   void deploy() override;
   std::vector<fault::FaultTarget> fault_targets() override;
   bool binary_weights() const override { return false; }

@@ -71,6 +71,14 @@ std::vector<core::InvertedNorm*> M5::inverted_norm_layers() {
   return factory_.inverted_norms();
 }
 
+std::vector<nn::Dropout*> M5::dropout_layers() {
+  return factory_.dropouts();
+}
+
+std::vector<nn::SpatialDropout*> M5::spatial_dropout_layers() {
+  return factory_.spatial_dropouts();
+}
+
 void M5::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

@@ -114,6 +114,14 @@ std::vector<core::InvertedNorm*> BinaryResNet::inverted_norm_layers() {
   return factory_.inverted_norms();
 }
 
+std::vector<nn::Dropout*> BinaryResNet::dropout_layers() {
+  return factory_.dropouts();
+}
+
+std::vector<nn::SpatialDropout*> BinaryResNet::spatial_dropout_layers() {
+  return factory_.spatial_dropouts();
+}
+
 void BinaryResNet::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

@@ -19,6 +19,11 @@ namespace ripple::core {
 class InvertedNorm;
 }
 
+namespace ripple::nn {
+class Dropout;
+class SpatialDropout;
+}  // namespace ripple::nn
+
 namespace ripple::models {
 
 /// Hyper-parameters shared by every topology/variant combination.
@@ -62,6 +67,14 @@ class TaskModel : public autograd::Module {
   /// InvertedNorm layers in construction order, for seeding deterministic
   /// per-layer mask streams. Empty for variants without them.
   virtual std::vector<core::InvertedNorm*> inverted_norm_layers() {
+    return {};
+  }
+
+  /// MC-Dropout layers (element-wise / spatial) in construction order; the
+  /// serving session binds each stochastic layer — inverted norms first,
+  /// then these — to a mask-stream slot. Empty for variants without them.
+  virtual std::vector<nn::Dropout*> dropout_layers() { return {}; }
+  virtual std::vector<nn::SpatialDropout*> spatial_dropout_layers() {
     return {};
   }
 

@@ -72,6 +72,14 @@ std::vector<core::InvertedNorm*> UNet::inverted_norm_layers() {
   return factory_.inverted_norms();
 }
 
+std::vector<nn::Dropout*> UNet::dropout_layers() {
+  return factory_.dropouts();
+}
+
+std::vector<nn::SpatialDropout*> UNet::spatial_dropout_layers() {
+  return factory_.spatial_dropouts();
+}
+
 void UNet::deploy() {
   RIPPLE_CHECK(!deployed_) << "deploy() called twice";
   for (fault::FaultTarget& t : targets_) {

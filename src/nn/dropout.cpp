@@ -1,8 +1,55 @@
 #include "nn/dropout.h"
 
 #include "autograd/ops.h"
+#include "core/mc_stream.h"
 
 namespace ripple::nn {
+
+namespace {
+
+/// Fills mask[0..numel) element-wise with Bernoulli(1−p) keep indicators.
+void fill_element_mask(float* mask, int64_t numel, float p, Rng& rng) {
+  for (int64_t i = 0; i < numel; ++i)
+    mask[i] = rng.bernoulli(1.0f - p) ? 1.0f : 0.0f;
+}
+
+/// Fills a [rows, inner] block with one Bernoulli(1−p) draw per row,
+/// broadcast across the row (spatial dropout: row = (sample, channel)).
+void fill_row_mask(float* mask, int64_t rows, int64_t inner, float p,
+                   Rng& rng) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float keep = rng.bernoulli(1.0f - p) ? 1.0f : 0.0f;
+    for (int64_t k = 0; k < inner; ++k) mask[r * inner + k] = keep;
+  }
+}
+
+/// Draws the context-mode mask: one independent sub-stream per folded MC
+/// replica, so replica r's block is bit-identical whether it is part of a
+/// batched [t·N, ...] pass (replicas > 1) or its own serial [N, ...] pass
+/// (replicas == 1, replica_offset == r). The chunk offset folds in so a
+/// request split into chunks never repeats masks across them (these masks
+/// are row-dependent, unlike the affine pairs). `fill` writes one replica
+/// block from one Rng.
+template <typename Fill>
+Tensor context_mask(const Shape& shape, int64_t rows,
+                    core::McStreamContext& ctx, uint64_t invocation_seed,
+                    const Fill& fill) {
+  const int64_t t = ctx.replicas();
+  RIPPLE_CHECK(rows % t == 0) << "dropout: batch " << rows
+                              << " not divisible into " << t
+                              << " MC replicas";
+  Tensor mask = Tensor::empty(shape);
+  const int64_t block = mask.numel() / t;
+  for (int64_t r = 0; r < t; ++r) {
+    Rng sub(core::mc_chunk_seed(
+        core::mc_replica_seed(invocation_seed, ctx.replica_offset() + r),
+        ctx.chunk_offset()));
+    fill(mask.data() + r * block, block, sub);
+  }
+  return mask;
+}
+
+}  // namespace
 
 Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {
   RIPPLE_CHECK(p >= 0.0f && p < 1.0f) << "dropout p must be in [0,1), got "
@@ -11,9 +58,21 @@ Dropout::Dropout(float p, Rng* rng) : p_(p), rng_(rng) {
 
 autograd::Variable Dropout::forward(const autograd::Variable& x) {
   if (!active() || p_ == 0.0f) return x;
+  const float scale = 1.0f / (1.0f - p_);
+  core::McStreamContext* ctx = core::active_mc_stream();
+  if (ctx != nullptr && stream_slot_ >= 0) {
+    const uint64_t inv_seed =
+        ctx->next_invocation_seed(static_cast<size_t>(stream_slot_));
+    Tensor mask = context_mask(
+        x.shape(), x.dim(0), *ctx, inv_seed,
+        [this](float* m, int64_t numel, Rng& rng) {
+          fill_element_mask(m, numel, p_, rng);
+        });
+    return autograd::apply_mask(x, mask, scale);
+  }
   Rng& rng = rng_ != nullptr ? *rng_ : global_rng();
   Tensor mask = Tensor::bernoulli(x.shape(), rng, 1.0f - p_);
-  return autograd::apply_mask(x, mask, 1.0f / (1.0f - p_));
+  return autograd::apply_mask(x, mask, scale);
 }
 
 SpatialDropout::SpatialDropout(float p, Rng* rng) : p_(p), rng_(rng) {
@@ -25,18 +84,27 @@ autograd::Variable SpatialDropout::forward(const autograd::Variable& x) {
   if (!active() || p_ == 0.0f) return x;
   RIPPLE_CHECK(x.value().rank() >= 2)
       << "SpatialDropout needs [N,C,...] input";
-  Rng& rng = rng_ != nullptr ? *rng_ : global_rng();
+  const float scale = 1.0f / (1.0f - p_);
   const int64_t n = x.dim(0);
   const int64_t c = x.dim(1);
   int64_t inner = 1;
   for (int d = 2; d < x.value().rank(); ++d) inner *= x.dim(d);
+  core::McStreamContext* ctx = core::active_mc_stream();
+  if (ctx != nullptr && stream_slot_ >= 0) {
+    const uint64_t inv_seed =
+        ctx->next_invocation_seed(static_cast<size_t>(stream_slot_));
+    Tensor mask = context_mask(
+        x.shape(), n, *ctx, inv_seed,
+        [this, inner](float* m, int64_t numel, Rng& rng) {
+          fill_row_mask(m, numel / inner, inner, p_, rng);
+        });
+    return autograd::apply_mask(x, mask, scale);
+  }
+  Rng& rng = rng_ != nullptr ? *rng_ : global_rng();
   Tensor mask(x.shape());
   float* pm = mask.data();
-  for (int64_t i = 0; i < n * c; ++i) {
-    const float keep = rng.bernoulli(1.0f - p_) ? 1.0f : 0.0f;
-    for (int64_t k = 0; k < inner; ++k) pm[i * inner + k] = keep;
-  }
-  return autograd::apply_mask(x, mask, 1.0f / (1.0f - p_));
+  fill_row_mask(pm, n * c, inner, p_, rng);
+  return autograd::apply_mask(x, mask, scale);
 }
 
 }  // namespace ripple::nn

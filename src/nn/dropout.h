@@ -6,6 +6,13 @@
 // SpatialSpinDrop [7]. Both use inverted scaling (·1/(1−p)) and stay
 // *active at inference* when `mc_mode` is on, which is how Bayesian
 // MC-sampling is realized.
+//
+// Like core::InvertedNorm, both layers can be bound to a slot of a
+// thread-local McStreamContext (core/mc_stream.h). While a context is
+// active, masks come from deterministic per-layer/per-invocation streams
+// with one sub-stream per folded Monte-Carlo replica, so the batched MC
+// forward samples bit-identical masks to the serial reference — and
+// concurrent passes never share RNG state.
 #pragma once
 
 #include "nn/layer.h"
@@ -23,6 +30,12 @@ class Dropout : public Layer {
   /// When true, masks are sampled in eval mode too (MC-Dropout inference).
   void set_mc_mode(bool on) { mc_mode_ = on; }
   bool mc_mode() const { return mc_mode_; }
+
+  /// Binds this layer to slot `slot` of any active McStreamContext; -1
+  /// (default) unbinds. Set once by the serving session, not per pass.
+  void set_stream_slot(int slot) { stream_slot_ = slot; }
+  int stream_slot() const { return stream_slot_; }
+
   float p() const { return p_; }
 
  private:
@@ -30,6 +43,7 @@ class Dropout : public Layer {
 
   float p_;
   bool mc_mode_ = false;
+  int stream_slot_ = -1;
   Rng* rng_;
 };
 
@@ -43,6 +57,10 @@ class SpatialDropout : public Layer {
 
   void set_mc_mode(bool on) { mc_mode_ = on; }
   bool mc_mode() const { return mc_mode_; }
+
+  void set_stream_slot(int slot) { stream_slot_ = slot; }
+  int stream_slot() const { return stream_slot_; }
+
   float p() const { return p_; }
 
  private:
@@ -50,6 +68,7 @@ class SpatialDropout : public Layer {
 
   float p_;
   bool mc_mode_ = false;
+  int stream_slot_ = -1;
   Rng* rng_;
 };
 

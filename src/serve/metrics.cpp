@@ -1,0 +1,75 @@
+#include "serve/metrics.h"
+
+#include <cmath>
+
+namespace ripple::serve {
+
+// Each metric walks the test set in batches of the session's chunk size
+// and reduces as it goes, so peak memory is one chunk's stacked outputs —
+// not the whole set's — matching the legacy per-batch evaluation loops.
+
+double accuracy(const InferenceSession& session,
+                const data::ClassificationData& test) {
+  int64_t correct = 0;
+  for (auto [begin, end] :
+       data::batch_ranges(test.size(), session.chunk_rows())) {
+    Tensor xb = data::slice_rows(test.x, begin, end - begin);
+    const Classification mc = session.classify(xb);
+    for (int64_t i = begin; i < end; ++i)
+      if (mc.predictions[static_cast<size_t>(i - begin)] ==
+          test.y[static_cast<size_t>(i)])
+        ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+double rmse(const InferenceSession& session, const data::SeriesData& test) {
+  double sq_sum = 0.0;
+  int64_t count = 0;
+  for (auto [begin, end] :
+       data::batch_ranges(test.size(), session.chunk_rows())) {
+    Tensor xb = data::slice_rows(test.windows, begin, end - begin);
+    Tensor yb = data::slice_rows(test.targets, begin, end - begin);
+    const Regression mc = session.regress(xb);
+    const float* pp = mc.mean.data();
+    const float* pt = yb.data();
+    for (int64_t i = 0; i < yb.numel(); ++i) {
+      const double d = pp[i] - pt[i];
+      sq_sum += d * d;
+      ++count;
+    }
+  }
+  return std::sqrt(sq_sum / static_cast<double>(count));
+}
+
+double miou(const InferenceSession& session,
+            const data::SegmentationData& test) {
+  // Aggregate intersection/union over the whole set, not per batch.
+  int64_t inter_fg = 0;
+  int64_t union_fg = 0;
+  int64_t inter_bg = 0;
+  int64_t union_bg = 0;
+  for (auto [begin, end] :
+       data::batch_ranges(test.size(), session.chunk_rows())) {
+    Tensor xb = data::slice_rows(test.images, begin, end - begin);
+    Tensor yb = data::slice_rows(test.masks, begin, end - begin);
+    const Segmentation mc = session.segment(xb);
+    const float* pp = mc.mean_probs.data();
+    const float* pt = yb.data();
+    for (int64_t i = 0; i < mc.mean_probs.numel(); ++i) {
+      const bool p = pp[i] >= 0.5f;
+      const bool t = pt[i] >= 0.5f;
+      if (p && t) ++inter_fg;
+      if (p || t) ++union_fg;
+      if (!p && !t) ++inter_bg;
+      if (!p || !t) ++union_bg;
+    }
+  }
+  const double iou_fg =
+      union_fg > 0 ? static_cast<double>(inter_fg) / union_fg : 1.0;
+  const double iou_bg =
+      union_bg > 0 ? static_cast<double>(inter_bg) / union_bg : 1.0;
+  return 0.5 * (iou_fg + iou_bg);
+}
+
+}  // namespace ripple::serve

@@ -1,0 +1,27 @@
+// Dataset-level evaluation through a serving session — the session-based
+// replacements for the deprecated models/evaluate.h free functions.
+//
+// Each helper streams the test set through session.predict in chunks of
+// the session's batch size and aggregates the task metric; the session
+// owns the MC sampling (T, seed, policy), so the same session reports the
+// same number every time.
+#pragma once
+
+#include "data/dataset.h"
+#include "serve/session.h"
+
+namespace ripple::serve {
+
+/// Classification accuracy of the MC-mean prediction over `test`.
+double accuracy(const InferenceSession& session,
+                const data::ClassificationData& test);
+
+/// Forecast RMSE (normalized units) of the MC-mean prediction.
+double rmse(const InferenceSession& session, const data::SeriesData& test);
+
+/// Binary segmentation mIoU of the thresholded MC-mean probabilities,
+/// aggregated over the whole set (not per batch).
+double miou(const InferenceSession& session,
+            const data::SegmentationData& test);
+
+}  // namespace ripple::serve

@@ -1,0 +1,340 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/inverted_norm.h"
+#include "core/mc_stream.h"
+#include "core/uncertainty.h"
+#include "data/dataset.h"
+#include "fault/mc_batch.h"
+#include "models/variants.h"
+#include "nn/dropout.h"
+#include "tensor/ops.h"
+
+namespace ripple::serve {
+
+namespace {
+
+Tensor entropy_tensor(const Tensor& mean_probs) {
+  const std::vector<double> h = core::per_sample_entropy(mean_probs);
+  Tensor out = Tensor::empty({static_cast<int64_t>(h.size())});
+  for (size_t i = 0; i < h.size(); ++i)
+    out.data()[i] = static_cast<float>(h[i]);
+  return out;
+}
+
+}  // namespace
+
+const char* task_kind_name(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kClassification:
+      return "classification";
+    case TaskKind::kRegression:
+      return "regression";
+    case TaskKind::kSegmentation:
+      return "segmentation";
+  }
+  return "unknown";
+}
+
+InferenceSession::InferenceSession(models::TaskModel& model,
+                                   SessionOptions options)
+    : model_(model), options_(options) {
+  RIPPLE_CHECK(options_.mc_samples >= 1)
+      << "InferenceSession needs mc_samples >= 1";
+  RIPPLE_CHECK(options_.max_batch >= 1)
+      << "InferenceSession needs max_batch >= 1";
+  samples_ = options_.clamp_samples
+                 ? models::mc_samples_for(model_.variant(), options_.mc_samples)
+                 : options_.mc_samples;
+  policy_ = options_.policy == ExecutionPolicy::kAuto
+                ? ExecutionPolicy::kBatched
+                : options_.policy;
+  chunk_rows_ = std::max<int64_t>(1, options_.max_batch / samples_);
+
+  // Freeze the model's serving state: eval statistics, MC sampling on, and
+  // one mask-stream slot per stochastic layer (inverted norms first — their
+  // slot must equal their inverted_norm_layers() index so the session
+  // reproduces the streams the legacy helpers seeded).
+  model_.set_training(false);
+  model_.set_mc_mode(true);
+  inverted_ = model_.inverted_norm_layers();
+  dropouts_ = model_.dropout_layers();
+  spatial_ = model_.spatial_dropout_layers();
+  int slot = 0;
+  for (auto* l : inverted_) l->set_stream_slot(slot++);
+  for (auto* l : dropouts_) l->set_stream_slot(slot++);
+  for (auto* l : spatial_) l->set_stream_slot(slot++);
+  stream_slots_ = static_cast<size_t>(slot);
+}
+
+InferenceSession::~InferenceSession() {
+  for (auto* l : inverted_) l->set_stream_slot(-1);
+  for (auto* l : dropouts_) l->set_stream_slot(-1);
+  for (auto* l : spatial_) l->set_stream_slot(-1);
+  model_.set_mc_mode(false);
+}
+
+Tensor InferenceSession::forward_cached(const Tensor& x) const {
+  // Activation-noise experiments draw from the process-wide RNG inside the
+  // forward; serialize those passes so concurrent serving stays defined
+  // (results are then sampling-order dependent — fault experiments run
+  // single-threaded anyway; normal serving never takes this lock).
+  std::unique_lock<std::mutex> noise_lock;
+  if (model_.noise() != nullptr && model_.noise()->enabled)
+    noise_lock = std::unique_lock<std::mutex>(noise_mutex_);
+  // Weight packs are only cacheable once the model is deployed: before
+  // deploy(), weight transforms (binarization / fake quantization) emit a
+  // freshly allocated tensor per forward, so a pointer key could alias a
+  // dead allocation. Deployed models hand stable parameter storage to the
+  // GEMM, which is exactly what the cache keys on.
+  if (!model_.deployed()) return model_.predict(x);
+  {
+    // Fast path: frozen cache, shared lock — concurrent with every other
+    // predict, excluded only against invalidate/warm-up which hold the
+    // lock exclusively (so clear() can never race an in-flight lookup).
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    if (pack_cache_.frozen()) {
+      PackCacheScope cache_scope(&pack_cache_);
+      return model_.predict(x);
+    }
+  }
+  // Warm-up: one pass records every conv weight packing, then the cache
+  // freezes and later calls take the shared path above. Threads that lost
+  // the warm-up race find the cache frozen once they get the lock and drop
+  // back to the concurrent path instead of serializing their forwards.
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  if (pack_cache_.frozen()) {
+    lock.unlock();
+    std::shared_lock<std::shared_mutex> shared(cache_mutex_);
+    PackCacheScope cache_scope(&pack_cache_);
+    return model_.predict(x);
+  }
+  PackCacheScope cache_scope(&pack_cache_);
+  Tensor y = model_.predict(x);
+  pack_cache_.freeze();
+  return y;
+}
+
+void InferenceSession::invalidate_packed_weights() const {
+  std::unique_lock<std::shared_mutex> lock(cache_mutex_);
+  pack_cache_.clear();
+}
+
+Tensor InferenceSession::run_chunk(const Tensor& xc,
+                                   int64_t chunk_offset) const {
+  const int64_t t = samples_;
+  if (policy_ == ExecutionPolicy::kSerial && t > 1) {
+    core::McStreamContext ctx(options_.seed, /*replicas=*/1,
+                              /*replica_offset=*/0, stream_slots_);
+    ctx.set_chunk_offset(chunk_offset);
+    Tensor stacked;
+    int64_t block = 0;
+    for (int64_t r = 0; r < t; ++r) {
+      ctx.rewind(r);
+      core::McStreamScope scope(ctx);
+      Tensor y = forward_cached(xc);
+      if (!stacked.defined()) {
+        Shape shape = y.shape();
+        shape[0] *= t;
+        stacked = Tensor::empty(shape);
+        block = y.numel();
+      }
+      std::memcpy(stacked.data() + r * block, y.data(),
+                  sizeof(float) * static_cast<size_t>(block));
+    }
+    return stacked;
+  }
+  core::McStreamContext ctx(options_.seed, t, /*replica_offset=*/0,
+                            stream_slots_);
+  ctx.set_chunk_offset(chunk_offset);
+  core::McStreamScope scope(ctx);
+  return forward_cached(t > 1 ? fault::replicate_batch(xc, static_cast<int>(t))
+                              : xc);
+}
+
+Tensor InferenceSession::mc_outputs(const Tensor& x) const {
+  RIPPLE_CHECK(x.rank() >= 1 && x.dim(0) >= 1)
+      << "predict needs a batched input, got shape "
+      << shape_to_string(x.shape());
+  const int64_t n = x.dim(0);
+  const int64_t t = samples_;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  rows_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  if (n <= chunk_rows_) return run_chunk(x, /*chunk_offset=*/0);
+
+  // Split oversized requests into chunks and reassemble replica-major.
+  // For the proposed variant this is indistinguishable from one giant pass
+  // (its affine masks derive from (seed, slot, invocation) and are
+  // row-independent); row-dependent MC-Dropout masks fold the chunk offset
+  // into their sub-streams instead, so chunks draw fresh — never repeated —
+  // masks and the result is a different but equally valid MC draw.
+  Tensor out;
+  int64_t row_numel = 0;
+  for (int64_t c0 = 0; c0 < n; c0 += chunk_rows_) {
+    const int64_t cn = std::min(chunk_rows_, n - c0);
+    Tensor yc = run_chunk(data::slice_rows(x, c0, cn), /*chunk_offset=*/c0);
+    if (!out.defined()) {
+      Shape shape = yc.shape();
+      shape[0] = t * n;
+      out = Tensor::empty(shape);
+      row_numel = yc.numel() / (t * cn);
+    }
+    for (int64_t r = 0; r < t; ++r)
+      std::memcpy(out.data() + (r * n + c0) * row_numel,
+                  yc.data() + r * cn * row_numel,
+                  sizeof(float) * static_cast<size_t>(cn * row_numel));
+  }
+  return out;
+}
+
+Classification InferenceSession::aggregate_classification(
+    const Tensor& stacked, int64_t /*n*/) const {
+  RIPPLE_CHECK(stacked.rank() == 2)
+      << "classification expects [N,C] logits, model returned "
+      << shape_to_string(stacked.shape());
+  Tensor probs = ops::softmax_rows(stacked);
+  fault::ReplicaMoments moments =
+      fault::replica_moments(probs, static_cast<int>(samples_));
+  Classification out;
+  out.samples = samples_;
+  out.mean_probs = std::move(moments.mean);
+  out.variance = std::move(moments.variance);
+  out.entropy = entropy_tensor(out.mean_probs);
+  out.predictions = ops::argmax_rows(out.mean_probs);
+  return out;
+}
+
+Regression InferenceSession::aggregate_regression(const Tensor& stacked) const {
+  fault::ReplicaMoments moments =
+      fault::replica_moments(stacked, static_cast<int>(samples_));
+  Regression out;
+  out.samples = samples_;
+  out.mean = std::move(moments.mean);
+  out.stddev = ops::map(moments.variance,
+                        [](float v) { return v > 0.0f ? std::sqrt(v) : 0.0f; });
+  return out;
+}
+
+Segmentation InferenceSession::aggregate_segmentation(
+    const Tensor& stacked) const {
+  Tensor probs = ops::map(
+      stacked, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  Segmentation out;
+  out.samples = samples_;
+  out.mean_probs = fault::replica_mean(probs, static_cast<int>(samples_));
+  return out;
+}
+
+Classification InferenceSession::classify(const Tensor& x) const {
+  RIPPLE_CHECK(options_.task == TaskKind::kClassification)
+      << "classify() on a " << task_kind_name(options_.task) << " session";
+  return aggregate_classification(mc_outputs(x), x.dim(0));
+}
+
+Regression InferenceSession::regress(const Tensor& x) const {
+  RIPPLE_CHECK(options_.task == TaskKind::kRegression)
+      << "regress() on a " << task_kind_name(options_.task) << " session";
+  return aggregate_regression(mc_outputs(x));
+}
+
+Segmentation InferenceSession::segment(const Tensor& x) const {
+  RIPPLE_CHECK(options_.task == TaskKind::kSegmentation)
+      << "segment() on a " << task_kind_name(options_.task) << " session";
+  return aggregate_segmentation(mc_outputs(x));
+}
+
+Prediction InferenceSession::predict(const Tensor& x) const {
+  switch (options_.task) {
+    case TaskKind::kClassification:
+      return classify(x);
+    case TaskKind::kRegression:
+      return regress(x);
+    case TaskKind::kSegmentation:
+      return segment(x);
+  }
+  RIPPLE_CHECK(false) << "unknown task kind";
+  return Prediction{};
+}
+
+namespace {
+
+/// Per-request views of one aggregated result (rows [begin, begin+count)).
+Prediction slice_prediction(const Prediction& agg, int64_t begin,
+                            int64_t count) {
+  if (const auto* c = std::get_if<Classification>(&agg)) {
+    Classification out;
+    out.samples = c->samples;
+    out.mean_probs = data::slice_rows(c->mean_probs, begin, count);
+    out.variance = data::slice_rows(c->variance, begin, count);
+    out.entropy = data::slice_rows(c->entropy, begin, count);
+    out.predictions.assign(c->predictions.begin() + begin,
+                           c->predictions.begin() + begin + count);
+    return out;
+  }
+  if (const auto* r = std::get_if<Regression>(&agg)) {
+    Regression out;
+    out.samples = r->samples;
+    out.mean = data::slice_rows(r->mean, begin, count);
+    out.stddev = data::slice_rows(r->stddev, begin, count);
+    return out;
+  }
+  const auto& s = std::get<Segmentation>(agg);
+  Segmentation out;
+  out.samples = s.samples;
+  out.mean_probs = data::slice_rows(s.mean_probs, begin, count);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Prediction> InferenceSession::predict_many(
+    const std::vector<Tensor>& requests) const {
+  std::vector<Prediction> out;
+  if (requests.empty()) return out;
+  if (requests.size() == 1) {
+    out.push_back(predict(requests.front()));
+    return out;
+  }
+
+  // Coalesce: all requests must share the per-row shape.
+  const Shape& ref = requests.front().shape();
+  int64_t total = 0;
+  for (const Tensor& r : requests) {
+    RIPPLE_CHECK(r.rank() == requests.front().rank() && r.dim(0) >= 1)
+        << "predict_many: request shape " << shape_to_string(r.shape())
+        << " incompatible with " << shape_to_string(ref);
+    for (int d = 1; d < r.rank(); ++d)
+      RIPPLE_CHECK(r.dim(d) == ref[static_cast<size_t>(d)])
+          << "predict_many: request shape " << shape_to_string(r.shape())
+          << " incompatible with " << shape_to_string(ref);
+    total += r.dim(0);
+  }
+  Shape shape = ref;
+  shape[0] = total;
+  Tensor all = Tensor::empty(shape);
+  int64_t row = 1;
+  for (size_t d = 1; d < ref.size(); ++d) row *= ref[d];
+  int64_t at = 0;
+  for (const Tensor& r : requests) {
+    std::memcpy(all.data() + at * row, r.data(),
+                sizeof(float) * static_cast<size_t>(r.numel()));
+    at += r.dim(0);
+  }
+
+  // One aggregated pass (mc_outputs counts it as one request; credit the
+  // coalesced ones), then split back per request.
+  requests_.fetch_add(requests.size() - 1, std::memory_order_relaxed);
+  const Prediction agg = predict(all);
+  int64_t begin = 0;
+  out.reserve(requests.size());
+  for (const Tensor& r : requests) {
+    out.push_back(slice_prediction(agg, begin, r.dim(0)));
+    begin += r.dim(0);
+  }
+  return out;
+}
+
+}  // namespace ripple::serve

@@ -1,0 +1,202 @@
+// ripple::serve — the deployment-facing inference API.
+//
+// The research harness exposes Monte-Carlo uncertainty through *mutable
+// model state*: callers flip set_mc_mode / set_mc_replicas, seed per-layer
+// mask streams by hand, and pick among free functions with inconsistent
+// signatures. That surface cannot serve concurrent traffic — two threads
+// would race on the layer flags and RNG counters.
+//
+// InferenceSession freezes all of that at construction time:
+//   • the model is switched to eval + MC-sampling mode once and never
+//     toggled again;
+//   • every stochastic layer (InvertedNorm affine dropout, MC-Dropout
+//     element/spatial dropout) is bound to a mask-stream *slot*; per-pass
+//     stream state lives in a thread-local McStreamContext owned by each
+//     predict() call, so requests never share RNG state;
+//   • conv weight panels are GEMM-packed once (first predict warms a
+//     PackedACache, then lookups are lock-free) instead of per call.
+//
+// After construction, predict() is safe to call from any number of threads
+// concurrently, and — because the per-layer streams derive only from the
+// session seed — a given input always produces the same result, regardless
+// of thread interleaving or request order.
+//
+// Lifecycle:  construct model → train → deploy() → InferenceSession →
+// predict() / predict_many().  One session owns its model's serving state:
+// do not drive the model through the legacy set_mc_* surface, or through a
+// second session, while a session is alive. If fault injection mutates the
+// deployed weights in place, call invalidate_packed_weights() so the packed
+// panels are rebuilt (see fault/evaluation.h for a harness that does this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <variant>
+#include <vector>
+
+#include "models/task_model.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace ripple::core {
+class InvertedNorm;
+}
+
+namespace ripple::serve {
+
+/// Output semantics of the served model — selects what predict() computes
+/// from the T stacked stochastic outputs.
+enum class TaskKind { kClassification, kRegression, kSegmentation };
+
+const char* task_kind_name(TaskKind kind);
+
+/// How the T Monte-Carlo samples are executed.
+///   kBatched — fold the T samples into the batch dimension: one forward
+///              pass, per-replica masks (fast path, see fault/mc_batch.h).
+///   kSerial  — T separate passes under the same mask streams; the
+///              reference path (agrees with kBatched to float rounding).
+///   kAuto    — currently kBatched; the knob exists so deployments can pin
+///              the reference path without an API change.
+enum class ExecutionPolicy { kBatched, kSerial, kAuto };
+
+struct SessionOptions {
+  TaskKind task = TaskKind::kClassification;
+  /// Stochastic samples T per uncertainty estimate. Deterministic variants
+  /// (Conventional) are clamped to 1 unless clamp_samples is false.
+  int mc_samples = 8;
+  /// Base seed of the deterministic per-layer mask streams. Fixed per
+  /// session: the same input always yields the same prediction.
+  uint64_t seed = 0x5eedf00dull;
+  ExecutionPolicy policy = ExecutionPolicy::kAuto;
+  /// Upper bound on stacked rows (T·n) per forward pass; larger requests
+  /// are split into input chunks of max(1, max_batch / T) rows. Both
+  /// policies chunk identically so they sample identical masks. Chunking
+  /// is exact for the proposed variant (its affine masks are per-replica,
+  /// not per-row); element/spatial MC-Dropout masks are row-dependent, so
+  /// for those variants a chunked request is a different — equally valid,
+  /// still deterministic — Monte-Carlo draw than the unchunked one.
+  int64_t max_batch = 256;
+  /// Clamp mc_samples to 1 for deterministic variants (mc_samples_for).
+  /// The deprecated mc_forward_* shims disable this to preserve their
+  /// stack-t-replicas-regardless contract.
+  bool clamp_samples = true;
+};
+
+/// Classifier result: MC-averaged probabilities with spread.
+struct Classification {
+  Tensor mean_probs;                 // [N, C] mean softmax probabilities
+  Tensor variance;                   // [N, C] across-sample variance
+  Tensor entropy;                    // [N] predictive entropy of mean_probs
+  std::vector<int64_t> predictions;  // argmax of mean_probs
+  int samples = 0;
+};
+
+/// Regressor result: MC mean with predictive spread.
+struct Regression {
+  Tensor mean;    // MC mean prediction
+  Tensor stddev;  // across-sample standard deviation (population)
+  int samples = 0;
+};
+
+/// Dense binary segmentation result: MC-averaged pixel probabilities.
+struct Segmentation {
+  Tensor mean_probs;  // sigmoid probabilities, logits' shape
+  int samples = 0;
+};
+
+using Prediction = std::variant<Classification, Regression, Segmentation>;
+
+class InferenceSession {
+ public:
+  /// Binds the session to `model` (which must outlive it) and freezes the
+  /// serving state. The model should be deployed; the session switches it
+  /// to eval + MC mode and assigns mask-stream slots to every stochastic
+  /// layer. One session per model at a time.
+  InferenceSession(models::TaskModel& model, SessionOptions options);
+  ~InferenceSession();
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// One uncertainty-aware prediction for a batch x [N, ...]; the held
+  /// alternative matches options().task. Thread-safe and deterministic:
+  /// same input ⇒ same result, from any thread.
+  Prediction predict(const Tensor& x) const;
+
+  /// Micro-batching front door: coalesces the requests into chunks of the
+  /// session's batch size, runs them through the folded MC forward, and
+  /// splits the aggregated results back per request.
+  std::vector<Prediction> predict_many(const std::vector<Tensor>& requests) const;
+
+  /// Typed entry points; RIPPLE_CHECK the session's task kind.
+  Classification classify(const Tensor& x) const;
+  Regression regress(const Tensor& x) const;
+  Segmentation segment(const Tensor& x) const;
+
+  /// The stacked raw model outputs [T·N, ...], replica-major — the
+  /// uncertainty estimate before aggregation. Building block of the
+  /// deprecated mc_forward_* shims and of cross-policy tests.
+  Tensor mc_outputs(const Tensor& x) const;
+
+  /// Rebuilds the frozen packed-weight cache. Required after anything
+  /// mutates the deployed weights in place (fault injection): the cache is
+  /// keyed by data pointer, which such mutation preserves. Safe to call
+  /// while other threads predict (they hold the cache's shared lock), but
+  /// remember the *weights* themselves are not guarded — mutate + serve
+  /// concurrently and the predictions are torn regardless of the cache.
+  void invalidate_packed_weights() const;
+
+  models::TaskModel& model() const { return model_; }
+  const SessionOptions& options() const { return options_; }
+  /// Effective stochastic samples T (after deterministic clamping).
+  int samples() const { return samples_; }
+  /// Resolved execution policy (kAuto → kBatched).
+  ExecutionPolicy policy() const { return policy_; }
+  /// Input rows per forward chunk: max(1, max_batch / T).
+  int64_t chunk_rows() const { return chunk_rows_; }
+
+  /// Served-request counters (predict_many counts each request).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t rows_served() const {
+    return rows_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Runs one already-chunk-sized forward [n ≤ chunk_rows_] and returns
+  /// the stacked [T·n, ...] outputs under this session's mask streams.
+  /// `chunk_offset` is the chunk's starting row within its request (0 for
+  /// unchunked) — row-dependent dropout masks mix it in so chunks never
+  /// repeat masks.
+  Tensor run_chunk(const Tensor& xc, int64_t chunk_offset) const;
+  /// Forward under the pack cache; first call records + freezes it.
+  Tensor forward_cached(const Tensor& stacked_or_chunk) const;
+
+  Classification aggregate_classification(const Tensor& stacked,
+                                          int64_t n) const;
+  Regression aggregate_regression(const Tensor& stacked) const;
+  Segmentation aggregate_segmentation(const Tensor& stacked) const;
+
+  models::TaskModel& model_;
+  SessionOptions options_;
+  int samples_ = 1;
+  ExecutionPolicy policy_ = ExecutionPolicy::kBatched;
+  int64_t chunk_rows_ = 1;
+  size_t stream_slots_ = 0;
+  std::vector<core::InvertedNorm*> inverted_;
+  std::vector<nn::Dropout*> dropouts_;
+  std::vector<nn::SpatialDropout*> spatial_;
+
+  mutable PackedACache pack_cache_;
+  /// Shared by every frozen-path predict, exclusive for the one-time
+  /// warm-up recording and for invalidate_packed_weights(), so clearing
+  /// the cache cannot race in-flight lookups.
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::mutex noise_mutex_;  // serializes passes w/ global-RNG noise
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> rows_{0};
+};
+
+}  // namespace ripple::serve

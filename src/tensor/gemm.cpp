@@ -364,6 +364,64 @@ PackedGemmA pack_gemm_a(int64_t m, int64_t k, const float* a) {
   return packed;
 }
 
+size_t PackedACache::KeyHash::operator()(const Key& key) const {
+  const uint64_t p = reinterpret_cast<uintptr_t>(key.a);
+  uint64_t h = p * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<uint64_t>(key.m) * 0xff51afd7ed558ccdull;
+  h ^= static_cast<uint64_t>(key.k) * 0xc4ceb9fe1a85ec53ull;
+  return static_cast<size_t>(h ^ (h >> 29));
+}
+
+const PackedGemmA* PackedACache::find(const float* a, int64_t m,
+                                      int64_t k) const {
+  const auto it = map_.find(Key{a, m, k});
+  return it != map_.end() ? &it->second : nullptr;
+}
+
+const PackedGemmA* PackedACache::insert(const float* a, int64_t m, int64_t k,
+                                        PackedGemmA packed) {
+  RIPPLE_CHECK(!frozen()) << "PackedACache::insert after freeze()";
+  return &map_.insert_or_assign(Key{a, m, k}, std::move(packed))
+              .first->second;
+}
+
+void PackedACache::freeze() { frozen_.store(true, std::memory_order_release); }
+
+bool PackedACache::frozen() const {
+  return frozen_.load(std::memory_order_acquire);
+}
+
+void PackedACache::clear() {
+  map_.clear();
+  frozen_.store(false, std::memory_order_release);
+}
+
+size_t PackedACache::size() const { return map_.size(); }
+
+namespace {
+thread_local PackedACache* tl_pack_cache = nullptr;
+}  // namespace
+
+PackedACache* active_pack_cache() { return tl_pack_cache; }
+
+PackCacheScope::PackCacheScope(PackedACache* cache)
+    : previous_(tl_pack_cache) {
+  tl_pack_cache = cache;
+}
+
+PackCacheScope::~PackCacheScope() { tl_pack_cache = previous_; }
+
+const PackedGemmA& pack_gemm_a_cached(int64_t m, int64_t k, const float* a,
+                                      PackedGemmA& local) {
+  if (PackedACache* cache = tl_pack_cache; cache != nullptr) {
+    if (const PackedGemmA* hit = cache->find(a, m, k)) return *hit;
+    if (!cache->frozen())
+      return *cache->insert(a, m, k, pack_gemm_a(m, k, a));
+  }
+  local = pack_gemm_a(m, k, a);
+  return local;
+}
+
 void gemm_nn_prepacked(const PackedGemmA& a, int64_t n, const float* b,
                        float* c, const GemmEpilogue& ep) {
   const int64_t m = a.m;

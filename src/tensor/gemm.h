@@ -17,7 +17,9 @@
 // bias/activation pass instead of re-walking the output.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -77,6 +79,63 @@ PackedGemmA pack_gemm_a(int64_t m, int64_t k, const float* a);
 /// C[M,N] += packed_A · B[K,N], then epilogue.
 void gemm_nn_prepacked(const PackedGemmA& a, int64_t n, const float* b,
                        float* c, const GemmEpilogue& ep = {});
+
+/// Read-mostly cache of packed A panels keyed by (data pointer, M, K) —
+/// deployed conv/linear weights are packed once per *session* instead of
+/// once per forward call. Lifecycle: a single-threaded warm-up pass runs
+/// with the cache installed (PackCacheScope) and records every packing,
+/// then freeze() makes lookups lock-free and the cache safe to share
+/// across any number of concurrently serving threads. clear() empties and
+/// re-opens recording — required after in-place weight mutation (fault
+/// injection), which keeps the data pointer while changing the values.
+class PackedACache {
+ public:
+  /// Cached panels for A, or nullptr. Lock-free once frozen; during
+  /// recording only the (single) warm-up thread may call.
+  const PackedGemmA* find(const float* a, int64_t m, int64_t k) const;
+  /// Records a packing (recording phase only); returns the stored copy.
+  const PackedGemmA* insert(const float* a, int64_t m, int64_t k,
+                            PackedGemmA packed);
+  void freeze();
+  bool frozen() const;
+  void clear();
+  size_t size() const;
+
+ private:
+  struct Key {
+    const float* a;
+    int64_t m;
+    int64_t k;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  std::atomic<bool> frozen_{false};
+  std::unordered_map<Key, PackedGemmA, KeyHash> map_;
+};
+
+/// The pack cache installed on this thread (nullptr outside any scope).
+/// Ops that pack weights consult it via pack_gemm_a_cached.
+PackedACache* active_pack_cache();
+
+/// RAII: installs `cache` as this thread's active pack cache.
+class PackCacheScope {
+ public:
+  explicit PackCacheScope(PackedACache* cache);
+  ~PackCacheScope();
+  PackCacheScope(const PackCacheScope&) = delete;
+  PackCacheScope& operator=(const PackCacheScope&) = delete;
+
+ private:
+  PackedACache* previous_;
+};
+
+/// Packs A[M,K] or fetches it from the active cache. `local` is scratch for
+/// the uncached path; the returned reference is valid for the current call.
+const PackedGemmA& pack_gemm_a_cached(int64_t m, int64_t k, const float* a,
+                                      PackedGemmA& local);
 
 /// Kernel selection. kAuto probes CPUID once (honouring RIPPLE_SIMD=0);
 /// kScalar/kSimd force a backend — used by tests to cross-check the SIMD

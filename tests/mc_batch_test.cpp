@@ -8,10 +8,12 @@
 #include <cmath>
 
 #include "core/inverted_norm.h"
+#include "core/mc_stream.h"
 #include "models/evaluate.h"
 #include "models/lstm_forecaster.h"
 #include "models/m5.h"
 #include "models/resnet.h"
+#include "nn/dropout.h"
 #include "tensor/ops.h"
 
 namespace ripple {
@@ -132,6 +134,99 @@ TEST(McBatch, LstmBatchedMatchesSerial) {
   const int t = 4;
   Tensor batched = models::mc_forward_batched(model, x, t, 21);
   Tensor serial = models::mc_forward_serial(model, x, t, 21);
+  ASSERT_EQ(batched.shape(), serial.shape());
+  for (int64_t i = 0; i < batched.numel(); ++i)
+    ASSERT_NEAR(batched.data()[i], serial.data()[i], 1e-4f) << "at " << i;
+}
+
+TEST(McBatch, DropoutLayerBatchedMatchesSerialBitExact) {
+  // Element-wise MC-Dropout under a stream context: one sub-stream per
+  // folded replica, so the batched [t·N, ...] mask equals the t serial
+  // [N, ...] masks bit-for-bit (no GEMM in the layer, so outputs are
+  // bit-equal too).
+  const int t = 4;
+  nn::Dropout layer(0.4f);
+  layer.set_training(false);
+  layer.set_mc_mode(true);
+  layer.set_stream_slot(0);
+  Rng rng(31);
+  Tensor x = Tensor::randn({3, 6, 5}, rng);
+  autograd::NoGradGuard no_grad;
+
+  Tensor batched;
+  {
+    core::McStreamContext ctx(/*base_seed=*/99, t, /*replica_offset=*/0, 1);
+    core::McStreamScope scope(ctx);
+    batched = layer.forward(autograd::Variable(replicate_batch(x, t))).value();
+  }
+  core::McStreamContext ctx(/*base_seed=*/99, /*replicas=*/1, 0, 1);
+  for (int r = 0; r < t; ++r) {
+    ctx.rewind(r);
+    core::McStreamScope scope(ctx);
+    Tensor serial = layer.forward(autograd::Variable(x)).value();
+    const float* pb = batched.data() + r * serial.numel();
+    for (int64_t i = 0; i < serial.numel(); ++i)
+      ASSERT_FLOAT_EQ(serial.data()[i], pb[i]) << "replica " << r << " at "
+                                               << i;
+  }
+  layer.set_stream_slot(-1);
+}
+
+TEST(McBatch, SpatialDropoutLayerBatchedMatchesSerialBitExact) {
+  const int t = 3;
+  nn::SpatialDropout layer(0.5f);
+  layer.set_training(false);
+  layer.set_mc_mode(true);
+  layer.set_stream_slot(0);
+  Rng rng(32);
+  Tensor x = Tensor::randn({2, 4, 3, 3}, rng);
+  autograd::NoGradGuard no_grad;
+
+  Tensor batched;
+  {
+    core::McStreamContext ctx(/*base_seed=*/77, t, /*replica_offset=*/0, 1);
+    core::McStreamScope scope(ctx);
+    batched = layer.forward(autograd::Variable(replicate_batch(x, t))).value();
+  }
+  core::McStreamContext ctx(/*base_seed=*/77, /*replicas=*/1, 0, 1);
+  for (int r = 0; r < t; ++r) {
+    ctx.rewind(r);
+    core::McStreamScope scope(ctx);
+    Tensor serial = layer.forward(autograd::Variable(x)).value();
+    const float* pb = batched.data() + r * serial.numel();
+    for (int64_t i = 0; i < serial.numel(); ++i)
+      ASSERT_FLOAT_EQ(serial.data()[i], pb[i]) << "replica " << r << " at "
+                                               << i;
+  }
+  layer.set_stream_slot(-1);
+}
+
+TEST(McBatch, SpinDropModelBatchedMatchesSerial) {
+  // The MC-Dropout baselines now share the deterministic stream hooks, so
+  // their batched and serial passes sample identical masks (ROADMAP open
+  // item) and agree like the proposed variant does.
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kSpinDrop});
+  model.set_training(false);
+  Rng rng(33);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  const int t = 4;
+  Tensor batched = models::mc_forward_batched(model, x, t, 55);
+  Tensor serial = models::mc_forward_serial(model, x, t, 55);
+  ASSERT_EQ(batched.shape(), serial.shape());
+  for (int64_t i = 0; i < batched.numel(); ++i)
+    ASSERT_NEAR(batched.data()[i], serial.data()[i], 1e-4f) << "at " << i;
+}
+
+TEST(McBatch, SpatialSpinDropModelBatchedMatchesSerial) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kSpatialSpinDrop});
+  model.set_training(false);
+  Rng rng(34);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  const int t = 3;
+  Tensor batched = models::mc_forward_batched(model, x, t, 66);
+  Tensor serial = models::mc_forward_serial(model, x, t, 66);
   ASSERT_EQ(batched.shape(), serial.shape());
   for (int64_t i = 0; i < batched.numel(); ++i)
     ASSERT_NEAR(batched.data()[i], serial.data()[i], 1e-4f) << "at " << i;
