@@ -5,6 +5,12 @@
 // keeps that overhead visible. items/sec counts stochastic samples
 // (T × batch) per second, matching perf_mc_inference.cpp, so
 // BM_SessionPredict* is directly comparable against BM_Mc*Batched.
+//
+// BM_AsyncBatcher* measures the multi-client story: 8 producer threads
+// each submit single-row requests through serve::AsyncBatcher and block on
+// the future, sweeping (max_batch, max_delay_us). Compare the summed
+// items/sec against the single-client BM_SessionPredict*/8 rate to see
+// what cross-request coalescing of the MC ensemble buys.
 // scripts/bench.sh captures the JSON as BENCH_serve.json.
 #include <benchmark/benchmark.h>
 
@@ -13,6 +19,7 @@
 #include "models/m5.h"
 #include "models/resnet.h"
 #include "models/unet.h"
+#include "serve/batcher.h"
 #include "serve/session.h"
 #include "tensor/random.h"
 
@@ -105,6 +112,26 @@ void BM_SessionPredictLstm(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionPredictLstm)->Arg(4)->Arg(8)->Arg(16);
 
+// Edge-sized forecaster: per-pass overheads dominate the tiny GEMMs, which
+// is exactly the regime cross-request coalescing pays off in — the
+// BM_AsyncBatcherLstmSmall counterpart is the acceptance ratio's numerator.
+void BM_SessionPredictLstmSmall(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::LstmForecaster model({.hidden = 8, .window = 24}, proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::InferenceSession session(
+      model, session_options(serve::TaskKind::kRegression, t));
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  for (auto _ : state) {
+    serve::Regression mc = session.regress(x);
+    benchmark::DoNotOptimize(mc.mean.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_SessionPredictLstmSmall)->Arg(8);
+
 void BM_SessionPredictUNet(benchmark::State& state) {
   const int t = static_cast<int>(state.range(0));
   models::UNet model({.base_channels = 8, .activation_bits = 4}, proposed());
@@ -144,6 +171,104 @@ void BM_SessionPredictMany(benchmark::State& state) {
                           static_cast<int64_t>(requests.size()));
 }
 BENCHMARK(BM_SessionPredictMany)->Arg(8);
+
+// ---- async batching under concurrent producers -----------------------------
+// 8 client threads, each submitting 1-row requests and blocking on the
+// future (closed-loop producers). Args: {batch_max_requests, max_delay_us}.
+// items/sec sums the producers' T·rows, so the number is directly
+// comparable against the matching single-client BM_SessionPredict*/8 —
+// the acceptance ratio in BENCH_serve.json.
+
+constexpr int kBatcherThreads = 8;
+constexpr int kBatcherSamples = 8;
+
+template <class MakeModel>
+void run_async_batcher(benchmark::State& state, MakeModel&& make_model,
+                       serve::TaskKind task, const Shape& input_shape,
+                       uint64_t input_seed) {
+  static models::TaskModel* model = nullptr;
+  static serve::InferenceSession* session = nullptr;
+  static serve::AsyncBatcher* batcher = nullptr;
+  if (state.thread_index() == 0) {
+    model = make_model();
+    model->set_training(false);
+    model->deploy();
+    serve::SessionOptions opts = session_options(task, kBatcherSamples);
+    opts.batch_max_requests = static_cast<int>(state.range(0));
+    opts.batch_max_delay_us = state.range(1);
+    opts.batcher_threads = 1;
+    session = new serve::InferenceSession(*model, opts);
+    batcher = new serve::AsyncBatcher(*session);
+  }
+  // Distinct per-producer input (benchmark's barrier at the loop head
+  // guarantees thread 0's setup happened before any thread iterates).
+  Rng rng(input_seed + static_cast<uint64_t>(state.thread_index()));
+  Tensor x = Tensor::randn(input_shape, rng);
+  for (auto _ : state) {
+    serve::Prediction p = batcher->submit(x).get();
+    benchmark::DoNotOptimize(&p);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatcherSamples * x.dim(0));
+  if (state.thread_index() == 0) {
+    delete batcher;
+    delete session;
+    delete model;
+    batcher = nullptr;
+    session = nullptr;
+    model = nullptr;
+  }
+}
+
+void BM_AsyncBatcherResNet(benchmark::State& state) {
+  run_async_batcher(
+      state,
+      [] {
+        return new models::BinaryResNet(
+            {.in_channels = 3, .classes = 10, .width = 12}, proposed());
+      },
+      serve::TaskKind::kClassification, {1, 3, 16, 16}, 1);
+}
+BENCHMARK(BM_AsyncBatcherResNet)
+    ->Args({8, 1000})
+    ->Args({8, 200})
+    ->Args({4, 1000})
+    ->Args({16, 2000})
+    ->Threads(kBatcherThreads)
+    ->UseRealTime();
+
+void BM_AsyncBatcherLstm(benchmark::State& state) {
+  run_async_batcher(
+      state,
+      [] {
+        return new models::LstmForecaster({.hidden = 24, .window = 24},
+                                          proposed());
+      },
+      serve::TaskKind::kRegression, {1, 24, 1}, 4);
+}
+BENCHMARK(BM_AsyncBatcherLstm)
+    ->Args({8, 1000})
+    ->Args({8, 200})
+    ->Args({4, 1000})
+    ->Args({16, 2000})
+    ->Threads(kBatcherThreads)
+    ->UseRealTime();
+
+void BM_AsyncBatcherLstmSmall(benchmark::State& state) {
+  run_async_batcher(
+      state,
+      [] {
+        return new models::LstmForecaster({.hidden = 8, .window = 24},
+                                          proposed());
+      },
+      serve::TaskKind::kRegression, {1, 24, 1}, 4);
+}
+BENCHMARK(BM_AsyncBatcherLstmSmall)
+    ->Args({8, 1000})
+    ->Args({8, 200})
+    ->Args({4, 1000})
+    ->Args({16, 2000})
+    ->Threads(kBatcherThreads)
+    ->UseRealTime();
 
 }  // namespace
 

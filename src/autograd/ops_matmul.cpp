@@ -52,7 +52,18 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
   // feature axis of the [N, Fout] output).
   GemmEpilogue ep;
   ep.col_bias = has_bias ? b.value().data() : nullptr;
-  gemm_nt_ex(n, fout, fin, x.value().data(), w.value().data(), out.data(), ep);
+  if (active_pack_cache() != nullptr) {
+    // Serving path: the session's frozen cache holds the weight panels, so
+    // coalesced LSTM/MLP batches stop re-packing B every call. Identical
+    // arithmetic to the gemm_nt_ex path (packing is pure data movement).
+    PackedGemmB local;
+    const PackedGemmB& pw =
+        pack_gemm_b_nt_cached(fout, fin, w.value().data(), local);
+    gemm_nt_prepacked(n, x.value().data(), pw, out.data(), ep);
+  } else {
+    gemm_nt_ex(n, fout, fin, x.value().data(), w.value().data(), out.data(),
+               ep);
+  }
 
   Tensor xv = x.value();
   Tensor wv = w.value();

@@ -14,6 +14,7 @@ constexpr uint64_t kLayerMix = 0x9e3779b97f4a7c15ull;       // K1
 constexpr uint64_t kInvocationMix = 0x517cc1b727220a95ull;  // K2
 constexpr uint64_t kReplicaMix = 0x2545f4914f6cdd1dull;     // K3
 constexpr uint64_t kChunkMix = 0xd6e8feb86659fd93ull;       // K4
+constexpr uint64_t kSaltMix = 0x94d049bb133111ebull;        // K5
 
 thread_local McStreamContext* tl_active_stream = nullptr;
 
@@ -38,6 +39,11 @@ uint64_t mc_chunk_seed(uint64_t replica_seed, int64_t chunk_offset) {
   if (chunk_offset == 0) return replica_seed;
   return splitmix64(replica_seed ^
                     (kChunkMix * static_cast<uint64_t>(chunk_offset)));
+}
+
+uint64_t mc_salted_seed(uint64_t seed, uint64_t salt) {
+  if (salt == 0) return seed;
+  return splitmix64(seed ^ (kSaltMix * salt));
 }
 
 McStreamContext::McStreamContext(uint64_t base_seed, int64_t replicas,

@@ -47,6 +47,12 @@ uint64_t mc_replica_seed(uint64_t invocation_seed, int64_t replica);
 /// the first chunk — keep the original derivation.
 uint64_t mc_chunk_seed(uint64_t replica_seed, int64_t chunk_offset);
 
+/// Mixes an experiment-level salt into a stream seed. Identity at salt == 0.
+/// The fault injector stamps a fresh salt per chip instance so stream-bound
+/// activation noise still varies run-to-run while staying deterministic —
+/// and therefore concurrency-safe — within one run.
+uint64_t mc_salted_seed(uint64_t seed, uint64_t salt);
+
 /// Stream state for ONE forward pass. Not shared between passes: construct
 /// (or rewind) a fresh context per pass so invocation counters start at 0.
 class McStreamContext {

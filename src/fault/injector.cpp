@@ -83,6 +83,10 @@ void FaultInjector::apply(const FaultSpec& spec, Rng& rng) {
     noise_->multiplicative_std = spec.multiplicative_std;
     noise_->uniform_range = spec.uniform_range;
     noise_->rng = &rng;
+    // When a serving session has bound the config to a stream slot, draws
+    // derive from the session's streams instead of `rng`; salt them with
+    // this chip instance so runs stay independent draws.
+    noise_->stream_salt = rng.next_u64();
   }
 }
 
@@ -96,6 +100,7 @@ void FaultInjector::restore() {
     noise_->multiplicative_std = 0.0f;
     noise_->uniform_range = 0.0f;
     noise_->rng = nullptr;
+    noise_->stream_salt = 0;
   }
   applied_ = false;
 }

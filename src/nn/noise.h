@@ -5,8 +5,16 @@
 // support this (SignActivation, InvertedNorm) hold a shared
 // ActivationNoiseConfig; the fault-injection harness flips `enabled` and
 // sets the strengths, so no layer rewiring is needed per experiment.
+//
+// Like the stochastic layers, the config can be bound to a slot of a
+// thread-local McStreamContext (core/mc_stream.h). While a context is
+// active and the slot is bound, draws come from deterministic
+// per-invocation streams with one sub-stream per folded Monte-Carlo
+// replica — noisy serving is then concurrency-safe and reproducible
+// per request, instead of serializing on the shared generator below.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "tensor/random.h"
@@ -21,8 +29,16 @@ struct ActivationNoiseConfig {
   float multiplicative_std = 0.0f;
   /// U(-uniform_range, +uniform_range) added to the activation.
   float uniform_range = 0.0f;
-  /// Generator used for draws; falls back to global_rng() when null.
+  /// Generator used for draws when no stream context is active; falls back
+  /// to global_rng() when null.
   Rng* rng = nullptr;
+  /// Slot in any active McStreamContext; -1 (default) unbound. Set once by
+  /// the serving session, like the stochastic layers' stream slots.
+  int stream_slot = -1;
+  /// Experiment-level salt mixed into the stream derivation (identity at
+  /// 0). The fault injector stamps a fresh value per chip instance so
+  /// stream-bound noise still varies across Monte-Carlo runs.
+  uint64_t stream_salt = 0;
 
   Rng& generator() { return rng != nullptr ? *rng : global_rng(); }
 };

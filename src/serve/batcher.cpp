@@ -1,0 +1,156 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ripple::serve {
+
+namespace {
+
+/// Requests coalesce only when every non-batch dimension agrees (the
+/// predict_many contract). Degenerate inputs (undefined / rank 0) form
+/// singleton groups so their failure stays theirs.
+bool same_row_shape(const Tensor& a, const Tensor& b) {
+  if (!a.defined() || !b.defined()) return false;
+  if (a.rank() != b.rank() || a.rank() < 1) return false;
+  for (int d = 1; d < a.rank(); ++d)
+    if (a.dim(d) != b.dim(d)) return false;
+  return true;
+}
+
+}  // namespace
+
+AsyncBatcher::AsyncBatcher(const InferenceSession& session)
+    : session_(session),
+      max_batch_(session.options().batch_max_requests),
+      max_delay_(std::max<int64_t>(0, session.options().batch_max_delay_us)),
+      worker_count_(static_cast<size_t>(
+          std::max(1, session.options().batcher_threads))) {
+  RIPPLE_CHECK(max_batch_ >= 1)
+      << "AsyncBatcher needs batch_max_requests >= 1";
+  workers_.reserve(worker_count_);
+  for (size_t i = 0; i < worker_count_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+AsyncBatcher::~AsyncBatcher() { close(); }
+
+std::future<Prediction> AsyncBatcher::submit(Tensor input) {
+  std::promise<Prediction> promise;
+  std::future<Prediction> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      counters_.on_reject();
+      RIPPLE_CHECK(false) << "AsyncBatcher::submit after close()";
+    }
+    queue_.push_back(Pending{std::move(input), std::move(promise),
+                             std::chrono::steady_clock::now() + max_delay_});
+    counters_.on_submit();
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<Prediction>> AsyncBatcher::submit_many(
+    std::vector<Tensor> inputs) {
+  std::vector<std::future<Prediction>> futures;
+  futures.reserve(inputs.size());
+  for (Tensor& x : inputs) futures.push_back(submit(std::move(x)));
+  return futures;
+}
+
+void AsyncBatcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  // Hold join_mutex_ across the join: a concurrent close() then blocks
+  // here until the first closer finished draining, so *every* close()
+  // returns only once the queue is empty and the workers have exited
+  // (the destructor relies on this postcondition).
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  std::vector<std::thread> workers;
+  workers.swap(workers_);
+  for (std::thread& w : workers) w.join();
+}
+
+bool AsyncBatcher::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::vector<AsyncBatcher::Pending> AsyncBatcher::take_batch() {
+  std::vector<Pending> batch;
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  // By value: push_back below reallocates `batch`, so a reference into it
+  // would dangle (Tensor is a cheap shared handle).
+  const Tensor ref = batch.front().input;
+  for (auto it = queue_.begin();
+       it != queue_.end() && static_cast<int64_t>(batch.size()) < max_batch_;) {
+    if (same_row_shape(it->input, ref)) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  counters_.on_dispatch(batch.size());
+  return batch;
+}
+
+void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
+  std::vector<Tensor> inputs;
+  inputs.reserve(batch.size());
+  for (const Pending& p : batch) inputs.push_back(p.input);
+  bool coalesced_ok = false;
+  try {
+    std::vector<Prediction> results = session_.predict_many(inputs);
+    coalesced_ok = true;
+    for (size_t i = 0; i < batch.size(); ++i)
+      batch[i].promise.set_value(std::move(results[i]));
+  } catch (...) {
+    if (coalesced_ok) throw;  // a promise was already consumed; don't retry
+    // The coalesced forward failed; retry request-by-request so the
+    // exception lands only in the offending request's future and the rest
+    // of the batch still completes.
+    for (Pending& p : batch) {
+      try {
+        p.promise.set_value(session_.predict(p.input));
+      } catch (...) {
+        p.promise.set_exception(std::current_exception());
+      }
+    }
+  }
+  counters_.on_complete(batch.size());
+}
+
+void AsyncBatcher::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (closed_ && queue_.empty()) return;
+    // Coalescing wait: hold the batch open until max_batch requests are
+    // queued or the oldest request's deadline passes. Closing skips
+    // straight to dispatch (drain semantics). The front can change under
+    // us (another worker dispatched), so every wakeup re-reads it.
+    while (!closed_ && !queue_.empty() &&
+           static_cast<int64_t>(queue_.size()) < max_batch_) {
+      // Copy the deadline out: wait_until holds it by reference across the
+      // unlocked wait, and another worker may dispatch (and free) the
+      // front entry meanwhile.
+      const std::chrono::steady_clock::time_point deadline =
+          queue_.front().deadline;
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
+    if (queue_.empty()) continue;
+    std::vector<Pending> batch = take_batch();
+    lock.unlock();
+    run_batch(batch);
+    lock.lock();
+  }
+}
+
+}  // namespace ripple::serve

@@ -1,0 +1,118 @@
+// ripple::serve — deadline-driven cross-thread request batching.
+//
+// InferenceSession::predict_many coalesces requests only when a single
+// caller assembles the vector; independent client threads each pay a full
+// Monte-Carlo forward, wasting the batched-replica speedups. AsyncBatcher
+// closes that gap: clients submit() individual requests and get a
+// std::future; worker threads drain a shared queue and dispatch coalesced
+// batches through the session under a (max_batch, max_delay) policy —
+//
+//   • a batch goes out as soon as `batch_max_requests` requests are
+//     queued, or
+//   • when the oldest queued request's deadline (enqueue time +
+//     `batch_max_delay_us`) expires, whichever comes first;
+//   • close() drains: everything already queued is dispatched immediately
+//     (deadlines ignored), then the workers join. submit() after close()
+//     throws — requests are never silently dropped.
+//
+// Batches run through the session's predict_many path. For the proposed
+// variant served without activation noise — the paper's deployment
+// configuration — the mask streams are row-independent, coalescing is
+// pure batch assembly, and per-request results are bit-exact against the
+// single-thread predict oracle (tests/batcher_test.cpp asserts this for
+// all four task kinds). Row-dependent draws (element/spatial MC-Dropout
+// masks, stream-bound activation noise) instead depend on where a
+// request's rows land in the coalesced batch, so those configurations
+// get a different — equally valid, per-batch deterministic — Monte-Carlo
+// draw than a solo predict(): the same caveat a caller-assembled
+// predict_many already carries (see SessionOptions::max_batch).
+//
+// Mixed-shape traffic is grouped: a dispatch takes the oldest request plus
+// every queued request with the same per-row shape (FIFO within the
+// group); other shapes stay queued for the next dispatch. If a coalesced
+// forward throws, the batch is retried request-by-request so the
+// exception reaches only the offending request's future — batchmates
+// still complete.
+//
+// Thread safety: submit/submit_many/close may be called from any thread.
+// The batcher only *reads* the session (predict_many is const and
+// thread-safe), so serving through a batcher and calling session.predict
+// directly from other threads at the same time is fine.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/session.h"
+
+namespace ripple::serve {
+
+/// Asynchronous batching front door over one InferenceSession. The
+/// session (which must outlive the batcher) supplies the policy knobs via
+/// SessionOptions: batch_max_requests, batch_max_delay_us,
+/// batcher_threads.
+class AsyncBatcher {
+ public:
+  explicit AsyncBatcher(const InferenceSession& session);
+  /// Destruction closes: drains the queue, then joins the workers.
+  ~AsyncBatcher();
+  AsyncBatcher(const AsyncBatcher&) = delete;
+  AsyncBatcher& operator=(const AsyncBatcher&) = delete;
+
+  /// Enqueues one request batch x [N, ...] and returns the future of its
+  /// prediction (the same typed result session.predict(x) yields).
+  /// Throws CheckError after close().
+  std::future<Prediction> submit(Tensor input);
+
+  /// Enqueues several requests at once (they may still be split across
+  /// dispatched batches); one future per request, in order.
+  std::vector<std::future<Prediction>> submit_many(std::vector<Tensor> inputs);
+
+  /// Idempotent graceful shutdown: already-queued requests are dispatched
+  /// (deadlines ignored), workers join, later submits are rejected.
+  void close();
+  bool closed() const;
+
+  const InferenceSession& session() const { return session_; }
+  const BatcherCounters& counters() const { return counters_; }
+  int64_t max_batch() const { return max_batch_; }
+  int64_t max_delay_us() const { return max_delay_.count(); }
+  int workers() const { return static_cast<int>(worker_count_); }
+
+ private:
+  struct Pending {
+    Tensor input;
+    std::promise<Prediction> promise;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void worker_loop();
+  /// Pops the dispatch group (oldest request + same-per-row-shape
+  /// followers, ≤ max_batch_). Caller holds mutex_.
+  std::vector<Pending> take_batch();
+  /// Runs one dispatched group and fulfills its promises. No locks held.
+  void run_batch(std::vector<Pending>& batch);
+
+  const InferenceSession& session_;
+  const int64_t max_batch_;
+  const std::chrono::microseconds max_delay_;
+  const size_t worker_count_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool closed_ = false;
+  std::vector<std::thread> workers_;
+  std::mutex join_mutex_;  // serializes concurrent close() calls
+
+  BatcherCounters counters_;
+};
+
+}  // namespace ripple::serve

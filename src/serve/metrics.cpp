@@ -4,6 +4,62 @@
 
 namespace ripple::serve {
 
+namespace {
+
+/// Monotonic max update without a CAS loop footgun.
+void update_max(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t BatcherCounters::bucket_for(size_t requests) {
+  if (requests <= 1) return 0;
+  size_t bucket = 1;
+  size_t upper = 2;  // inclusive upper bound of `bucket`
+  while (requests > upper && bucket + 1 < kHistogramBuckets) {
+    upper *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void BatcherCounters::on_submit() {
+  submitted_.fetch_add(1, relaxed);
+  const int64_t depth = queue_depth_.fetch_add(1, relaxed) + 1;
+  update_max(max_queue_depth_, static_cast<uint64_t>(depth));
+}
+
+void BatcherCounters::on_reject() { rejected_.fetch_add(1, relaxed); }
+
+void BatcherCounters::on_dispatch(size_t batch_requests) {
+  batches_.fetch_add(1, relaxed);
+  dispatched_.fetch_add(batch_requests, relaxed);
+  queue_depth_.fetch_sub(static_cast<int64_t>(batch_requests), relaxed);
+  update_max(max_batch_, batch_requests);
+  histogram_[bucket_for(batch_requests)].fetch_add(1, relaxed);
+}
+
+void BatcherCounters::on_complete(size_t batch_requests) {
+  completed_.fetch_add(batch_requests, relaxed);
+}
+
+double BatcherCounters::mean_batch_requests() const {
+  const uint64_t batches = batches_.load(relaxed);
+  if (batches == 0) return 0.0;
+  return static_cast<double>(dispatched_.load(relaxed)) /
+         static_cast<double>(batches);
+}
+
+uint64_t BatcherCounters::histogram_bucket(size_t bucket) const {
+  RIPPLE_CHECK(bucket < kHistogramBuckets)
+      << "histogram bucket " << bucket << " out of range";
+  return histogram_[bucket].load(relaxed);
+}
+
 // Each metric walks the test set in batches of the session's chunk size
 // and reduces as it goes, so peak memory is one chunk's stacked outputs —
 // not the whole set's — matching the legacy per-batch evaluation loops.

@@ -1,16 +1,70 @@
-// Dataset-level evaluation through a serving session — the session-based
-// replacements for the deprecated models/evaluate.h free functions.
+// Serving observability: dataset-level evaluation through a session (the
+// session-based replacements for the deprecated models/evaluate.h free
+// functions) and the lock-free counters of the async batching front door.
 //
-// Each helper streams the test set through session.predict in chunks of
-// the session's batch size and aggregates the task metric; the session
-// owns the MC sampling (T, seed, policy), so the same session reports the
-// same number every time.
+// Each dataset helper streams the test set through session.predict in
+// chunks of the session's batch size and aggregates the task metric; the
+// session owns the MC sampling (T, seed, policy), so the same session
+// reports the same number every time.
 #pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
 
 #include "data/dataset.h"
 #include "serve/session.h"
 
 namespace ripple::serve {
+
+/// Counters of one serve::AsyncBatcher — queue depth, dispatch counts, and
+/// a power-of-two batch-size histogram. Everything is atomic: the submit
+/// path and the workers update them, and any thread may read at any time
+/// (values are monotonic except queue_depth). Exposed by
+/// AsyncBatcher::counters() for dashboards and the coalescing tests.
+class BatcherCounters {
+ public:
+  /// Histogram buckets by dispatched batch size (requests): 1, 2, 3–4,
+  /// 5–8, 9–16, 17–32, 33–64, 65+.
+  static constexpr size_t kHistogramBuckets = 8;
+
+  /// Bucket index for a dispatched batch of `requests`.
+  static size_t bucket_for(size_t requests);
+
+  void on_submit();
+  void on_reject();
+  void on_dispatch(size_t batch_requests);
+  void on_complete(size_t batch_requests);
+
+  uint64_t submitted() const { return submitted_.load(relaxed); }
+  uint64_t rejected() const { return rejected_.load(relaxed); }
+  /// Requests whose future has been fulfilled (value or exception).
+  uint64_t completed() const { return completed_.load(relaxed); }
+  uint64_t batches() const { return batches_.load(relaxed); }
+  /// Requests queued but not yet dispatched into a batch.
+  int64_t queue_depth() const { return queue_depth_.load(relaxed); }
+  uint64_t max_queue_depth() const { return max_queue_depth_.load(relaxed); }
+  /// Largest batch dispatched so far — the coalescing tests assert this
+  /// never exceeds the configured max.
+  uint64_t max_batch_requests() const { return max_batch_.load(relaxed); }
+  /// Mean dispatched batch size (0 before the first dispatch).
+  double mean_batch_requests() const;
+  uint64_t histogram_bucket(size_t bucket) const;
+
+ private:
+  static constexpr std::memory_order relaxed = std::memory_order_relaxed;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> dispatched_{0};
+  std::atomic<int64_t> queue_depth_{0};
+  std::atomic<uint64_t> max_queue_depth_{0};
+  std::atomic<uint64_t> max_batch_{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> histogram_{};
+};
 
 /// Classification accuracy of the MC-mean prediction over `test`.
 double accuracy(const InferenceSession& session,

@@ -67,6 +67,10 @@ InferenceSession::InferenceSession(models::TaskModel& model,
   for (auto* l : inverted_) l->set_stream_slot(slot++);
   for (auto* l : dropouts_) l->set_stream_slot(slot++);
   for (auto* l : spatial_) l->set_stream_slot(slot++);
+  // The activation-noise hook gets the last slot: noisy passes then draw
+  // from the per-request stream context instead of the shared generator,
+  // so they serve concurrently and deterministically like everything else.
+  if (model_.noise() != nullptr) model_.noise()->stream_slot = slot++;
   stream_slots_ = static_cast<size_t>(slot);
 }
 
@@ -74,17 +78,11 @@ InferenceSession::~InferenceSession() {
   for (auto* l : inverted_) l->set_stream_slot(-1);
   for (auto* l : dropouts_) l->set_stream_slot(-1);
   for (auto* l : spatial_) l->set_stream_slot(-1);
+  if (model_.noise() != nullptr) model_.noise()->stream_slot = -1;
   model_.set_mc_mode(false);
 }
 
 Tensor InferenceSession::forward_cached(const Tensor& x) const {
-  // Activation-noise experiments draw from the process-wide RNG inside the
-  // forward; serialize those passes so concurrent serving stays defined
-  // (results are then sampling-order dependent — fault experiments run
-  // single-threaded anyway; normal serving never takes this lock).
-  std::unique_lock<std::mutex> noise_lock;
-  if (model_.noise() != nullptr && model_.noise()->enabled)
-    noise_lock = std::unique_lock<std::mutex>(noise_mutex_);
   // Weight packs are only cacheable once the model is deployed: before
   // deploy(), weight transforms (binarization / fake quantization) emit a
   // freshly allocated tensor per forward, so a pointer key could alias a

@@ -9,10 +9,11 @@
 // InferenceSession freezes all of that at construction time:
 //   • the model is switched to eval + MC-sampling mode once and never
 //     toggled again;
-//   • every stochastic layer (InvertedNorm affine dropout, MC-Dropout
-//     element/spatial dropout) is bound to a mask-stream *slot*; per-pass
-//     stream state lives in a thread-local McStreamContext owned by each
-//     predict() call, so requests never share RNG state;
+//   • every stochastic component (InvertedNorm affine dropout, MC-Dropout
+//     element/spatial dropout, the model's ActivationNoiseConfig) is bound
+//     to a mask-stream *slot*; per-pass stream state lives in a
+//     thread-local McStreamContext owned by each predict() call, so
+//     requests never share RNG state — noisy serving included;
 //   • conv weight panels are GEMM-packed once (first predict warms a
 //     PackedACache, then lookups are lock-free) instead of per call.
 //
@@ -82,6 +83,16 @@ struct SessionOptions {
   /// The deprecated mc_forward_* shims disable this to preserve their
   /// stack-t-replicas-regardless contract.
   bool clamp_samples = true;
+
+  // ---- AsyncBatcher knobs (serve/batcher.h) --------------------------------
+  /// Dispatch a coalesced batch as soon as this many requests are queued…
+  int batch_max_requests = 16;
+  /// …or once the oldest queued request has waited this long (the request's
+  /// deadline). 0 dispatches immediately (no coalescing beyond what is
+  /// already queued when a worker wakes).
+  int64_t batch_max_delay_us = 1000;
+  /// Worker threads draining the batcher queue.
+  int batcher_threads = 1;
 };
 
 /// Classifier result: MC-averaged probabilities with spread.
@@ -194,7 +205,6 @@ class InferenceSession {
   /// warm-up recording and for invalidate_packed_weights(), so clearing
   /// the cache cannot race in-flight lookups.
   mutable std::shared_mutex cache_mutex_;
-  mutable std::mutex noise_mutex_;  // serializes passes w/ global-RNG noise
   mutable std::atomic<uint64_t> requests_{0};
   mutable std::atomic<uint64_t> rows_{0};
 };

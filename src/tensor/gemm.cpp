@@ -254,7 +254,11 @@ void run_block(const KernelInfo& ki, int64_t kb, const float* apbuf,
   }
 }
 
-// Shared driver: PackA(dst, i0, mb, k0, kb), PackB(dst, k0, kb, j0, nb, nr).
+// Shared driver: PackA(dst, i0, mb, k0, kb) packs one A block;
+// PackB(scratch, k0, kb, j0, nb, nr) returns the packed B panels for one
+// (k, n) block — either by packing into `scratch` or by pointing into
+// pre-packed storage. Blocks are visited jc-major then k0, the layout
+// pack_gemm_b_nt records.
 template <class PackA, class PackB>
 void gemm_driver(int64_t m, int64_t n, int64_t k, PackA&& pack_a_fn,
                  PackB&& pack_b_fn, float* c, const GemmEpilogue& ep) {
@@ -268,9 +272,7 @@ void gemm_driver(int64_t m, int64_t n, int64_t k, PackA&& pack_a_fn,
     const int64_t nb = std::min(kNC, n - jc);
     for (int64_t k0 = 0; k0 < k; k0 += kKC) {
       const int64_t kb = std::min(kKC, k - k0);
-      bpbuf.resize(static_cast<size_t>(ceil_div(nb, ki.nr) * kb * ki.nr));
-      float* bp = bpbuf.data();
-      pack_b_fn(bp, k0, kb, jc, nb, ki.nr);
+      const float* bp = pack_b_fn(bpbuf, k0, kb, jc, nb, ki.nr);
       const int64_t mblocks = ceil_div(m, kMC);
       parallel_for(
           mblocks,
@@ -295,6 +297,22 @@ void gemm_driver(int64_t m, int64_t n, int64_t k, PackA&& pack_a_fn,
 
 // ---- public API ------------------------------------------------------------
 
+namespace {
+
+/// Adapts a pack_b_* call to the driver's provider signature: packs into
+/// the driver's scratch buffer and returns it.
+template <class Pack>
+auto pack_b_into_scratch(Pack&& pack) {
+  return [pack](std::vector<float>& scratch, int64_t k0, int64_t kb,
+                int64_t j0, int64_t nb, int64_t nr) -> const float* {
+    scratch.resize(static_cast<size_t>(ceil_div(nb, nr) * kb * nr));
+    pack(scratch.data(), k0, kb, j0, nb, nr);
+    return scratch.data();
+  };
+}
+
+}  // namespace
+
 void gemm_nn_ex(int64_t m, int64_t n, int64_t k, const float* a,
                 const float* b, float* c, const GemmEpilogue& ep) {
   gemm_driver(
@@ -302,8 +320,10 @@ void gemm_nn_ex(int64_t m, int64_t n, int64_t k, const float* a,
       [&](float* dst, int64_t i0, int64_t mb, int64_t k0, int64_t kb) {
         pack_a_nn(a, k, i0, mb, k0, kb, dst);
       },
-      [&](float* dst, int64_t k0, int64_t kb, int64_t j0, int64_t nb,
-          int64_t nr) { pack_b_nn(b, n, k0, kb, j0, nb, nr, dst); },
+      pack_b_into_scratch([&](float* dst, int64_t k0, int64_t kb, int64_t j0,
+                              int64_t nb, int64_t nr) {
+        pack_b_nn(b, n, k0, kb, j0, nb, nr, dst);
+      }),
       c, ep);
 }
 
@@ -314,8 +334,10 @@ void gemm_nt_ex(int64_t m, int64_t n, int64_t k, const float* a,
       [&](float* dst, int64_t i0, int64_t mb, int64_t k0, int64_t kb) {
         pack_a_nn(a, k, i0, mb, k0, kb, dst);
       },
-      [&](float* dst, int64_t k0, int64_t kb, int64_t j0, int64_t nb,
-          int64_t nr) { pack_b_nt(b, k, k0, kb, j0, nb, nr, dst); },
+      pack_b_into_scratch([&](float* dst, int64_t k0, int64_t kb, int64_t j0,
+                              int64_t nb, int64_t nr) {
+        pack_b_nt(b, k, k0, kb, j0, nb, nr, dst);
+      }),
       c, ep);
 }
 
@@ -326,8 +348,10 @@ void gemm_tn_ex(int64_t m, int64_t n, int64_t k, const float* a,
       [&](float* dst, int64_t i0, int64_t mb, int64_t k0, int64_t kb) {
         pack_a_tn(a, m, i0, mb, k0, kb, dst);
       },
-      [&](float* dst, int64_t k0, int64_t kb, int64_t j0, int64_t nb,
-          int64_t nr) { pack_b_nn(b, n, k0, kb, j0, nb, nr, dst); },
+      pack_b_into_scratch([&](float* dst, int64_t k0, int64_t kb, int64_t j0,
+                              int64_t nb, int64_t nr) {
+        pack_b_nn(b, n, k0, kb, j0, nb, nr, dst);
+      }),
       c, ep);
 }
 
@@ -364,6 +388,54 @@ PackedGemmA pack_gemm_a(int64_t m, int64_t k, const float* a) {
   return packed;
 }
 
+PackedGemmB pack_gemm_b_nt(int64_t n, int64_t k, const float* b) {
+  PackedGemmB packed;
+  packed.n = n;
+  packed.k = k;
+  packed.nr = g_kernel.nr;
+  if (n <= 0 || k <= 0) return packed;
+  // Blocks stored in the driver's visit order (jc-major, then k0), each
+  // ceil(nb/nr) panels of kb·nr floats, so gemm_nt_prepacked walks the
+  // buffer with a running offset.
+  size_t total = 0;
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nb = std::min(kNC, n - jc);
+    total += static_cast<size_t>(ceil_div(nb, packed.nr) * packed.nr * k);
+  }
+  packed.panels.resize(total);
+  float* dst = packed.panels.data();
+  for (int64_t jc = 0; jc < n; jc += kNC) {
+    const int64_t nb = std::min(kNC, n - jc);
+    for (int64_t k0 = 0; k0 < k; k0 += kKC) {
+      const int64_t kb = std::min(kKC, k - k0);
+      pack_b_nt(b, k, k0, kb, jc, nb, packed.nr, dst);
+      dst += ceil_div(nb, packed.nr) * kb * packed.nr;
+    }
+  }
+  return packed;
+}
+
+void gemm_nt_prepacked(int64_t m, const float* a, const PackedGemmB& b,
+                       float* c, const GemmEpilogue& ep) {
+  RIPPLE_CHECK(b.nr == g_kernel.nr)
+      << "gemm_nt_prepacked: panels packed for nr=" << b.nr
+      << " but the dispatched kernel uses nr=" << g_kernel.nr;
+  const float* panels = b.panels.data();
+  int64_t offset = 0;
+  gemm_driver(
+      m, b.n, b.k,
+      [&](float* dst, int64_t i0, int64_t mb, int64_t k0, int64_t kb) {
+        pack_a_nn(a, b.k, i0, mb, k0, kb, dst);
+      },
+      [&](std::vector<float>&, int64_t /*k0*/, int64_t kb, int64_t /*j0*/,
+          int64_t nb, int64_t nr) -> const float* {
+        const float* bp = panels + offset;
+        offset += ceil_div(nb, nr) * kb * nr;
+        return bp;
+      },
+      c, ep);
+}
+
 size_t PackedACache::KeyHash::operator()(const Key& key) const {
   const uint64_t p = reinterpret_cast<uintptr_t>(key.a);
   uint64_t h = p * 0x9e3779b97f4a7c15ull;
@@ -385,6 +457,19 @@ const PackedGemmA* PackedACache::insert(const float* a, int64_t m, int64_t k,
               .first->second;
 }
 
+const PackedGemmB* PackedACache::find_b(const float* b, int64_t n,
+                                        int64_t k) const {
+  const auto it = bmap_.find(Key{b, n, k});
+  return it != bmap_.end() ? &it->second : nullptr;
+}
+
+const PackedGemmB* PackedACache::insert_b(const float* b, int64_t n, int64_t k,
+                                          PackedGemmB packed) {
+  RIPPLE_CHECK(!frozen()) << "PackedACache::insert_b after freeze()";
+  return &bmap_.insert_or_assign(Key{b, n, k}, std::move(packed))
+              .first->second;
+}
+
 void PackedACache::freeze() { frozen_.store(true, std::memory_order_release); }
 
 bool PackedACache::frozen() const {
@@ -393,10 +478,11 @@ bool PackedACache::frozen() const {
 
 void PackedACache::clear() {
   map_.clear();
+  bmap_.clear();
   frozen_.store(false, std::memory_order_release);
 }
 
-size_t PackedACache::size() const { return map_.size(); }
+size_t PackedACache::size() const { return map_.size() + bmap_.size(); }
 
 namespace {
 thread_local PackedACache* tl_pack_cache = nullptr;
@@ -419,6 +505,19 @@ const PackedGemmA& pack_gemm_a_cached(int64_t m, int64_t k, const float* a,
       return *cache->insert(a, m, k, pack_gemm_a(m, k, a));
   }
   local = pack_gemm_a(m, k, a);
+  return local;
+}
+
+const PackedGemmB& pack_gemm_b_nt_cached(int64_t n, int64_t k, const float* b,
+                                         PackedGemmB& local) {
+  if (PackedACache* cache = tl_pack_cache; cache != nullptr) {
+    if (const PackedGemmB* hit = cache->find_b(b, n, k);
+        hit != nullptr && hit->nr == g_kernel.nr)
+      return *hit;
+    if (!cache->frozen())
+      return *cache->insert_b(b, n, k, pack_gemm_b_nt(n, k, b));
+  }
+  local = pack_gemm_b_nt(n, k, b);
   return local;
 }
 

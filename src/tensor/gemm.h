@@ -80,14 +80,38 @@ PackedGemmA pack_gemm_a(int64_t m, int64_t k, const float* a);
 void gemm_nn_prepacked(const PackedGemmA& a, int64_t n, const float* b,
                        float* c, const GemmEpilogue& ep = {});
 
-/// Read-mostly cache of packed A panels keyed by (data pointer, M, K) —
-/// deployed conv/linear weights are packed once per *session* instead of
-/// once per forward call. Lifecycle: a single-threaded warm-up pass runs
-/// with the cache installed (PackCacheScope) and records every packing,
-/// then freeze() makes lookups lock-free and the cache safe to share
-/// across any number of concurrently serving threads. clear() empties and
-/// re-opens recording — required after in-place weight mutation (fault
-/// injection), which keeps the data pointer while changing the values.
+/// The B operand of gemm_nt (row-major B[N,K], used as Bᵀ) pre-packed into
+/// micro-kernel panels. Unlike A panels (always kMR wide), B panels are nr
+/// elements wide where nr depends on the dispatched kernel; `nr` records
+/// which kernel the panels were packed for, and consumers must re-pack when
+/// it no longer matches (see pack_gemm_b_nt_cached).
+struct PackedGemmB {
+  int64_t n = 0;
+  int64_t k = 0;
+  int64_t nr = 0;
+  std::vector<float> panels;  // internal layout; see gemm.cpp
+};
+
+/// Packs row-major B[N,K] for repeated gemm_nt_prepacked calls with the
+/// currently dispatched kernel width.
+PackedGemmB pack_gemm_b_nt(int64_t n, int64_t k, const float* b);
+
+/// C[M,N] += A[M,K] · packed_Bᵀ, then epilogue. Bit-identical to
+/// gemm_nt_ex on the same operands (packing is pure data movement; the
+/// block loop and micro-kernel are shared). Requires b.nr to match the
+/// dispatched kernel.
+void gemm_nt_prepacked(int64_t m, const float* a, const PackedGemmB& b,
+                       float* c, const GemmEpilogue& ep = {});
+
+/// Read-mostly cache of packed weight panels keyed by (data pointer, dims)
+/// — deployed conv weights (A of gemm_nn) and linear/LSTM weights (B of
+/// gemm_nt) are packed once per *session* instead of once per forward
+/// call. Lifecycle: a single-threaded warm-up pass runs with the cache
+/// installed (PackCacheScope) and records every packing, then freeze()
+/// makes lookups lock-free and the cache safe to share across any number
+/// of concurrently serving threads. clear() empties and re-opens recording
+/// — required after in-place weight mutation (fault injection), which
+/// keeps the data pointer while changing the values.
 class PackedACache {
  public:
   /// Cached panels for A, or nullptr. Lock-free once frozen; during
@@ -96,6 +120,10 @@ class PackedACache {
   /// Records a packing (recording phase only); returns the stored copy.
   const PackedGemmA* insert(const float* a, int64_t m, int64_t k,
                             PackedGemmA packed);
+  /// Cached gemm_nt B panels for `b`, or nullptr; same locking contract.
+  const PackedGemmB* find_b(const float* b, int64_t n, int64_t k) const;
+  const PackedGemmB* insert_b(const float* b, int64_t n, int64_t k,
+                              PackedGemmB packed);
   void freeze();
   bool frozen() const;
   void clear();
@@ -114,6 +142,7 @@ class PackedACache {
 
   std::atomic<bool> frozen_{false};
   std::unordered_map<Key, PackedGemmA, KeyHash> map_;
+  std::unordered_map<Key, PackedGemmB, KeyHash> bmap_;
 };
 
 /// The pack cache installed on this thread (nullptr outside any scope).
@@ -136,6 +165,13 @@ class PackCacheScope {
 /// the uncached path; the returned reference is valid for the current call.
 const PackedGemmA& pack_gemm_a_cached(int64_t m, int64_t k, const float* a,
                                       PackedGemmA& local);
+
+/// Packs the gemm_nt B[N,K] operand or fetches it from the active cache.
+/// A cached entry whose `nr` no longer matches the dispatched kernel is
+/// ignored (re-packed into `local`), so a backend switch after freeze()
+/// degrades to per-call packing instead of wrong results.
+const PackedGemmB& pack_gemm_b_nt_cached(int64_t n, int64_t k, const float* b,
+                                         PackedGemmB& local);
 
 /// Kernel selection. kAuto probes CPUID once (honouring RIPPLE_SIMD=0);
 /// kScalar/kSimd force a backend — used by tests to cross-check the SIMD

@@ -1,0 +1,318 @@
+// serve::AsyncBatcher — deadline-driven cross-thread batching. The
+// assertions are deliberately wall-clock independent: correctness is
+// "every future completes, bit-exactly equal to the single-thread predict
+// oracle, exactly once", regardless of how arrivals and deadlines
+// interleave into batches; timing knobs only shape *which* batches form,
+// which the counters bound (no batch exceeds max), never the results.
+#include "serve/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "models/lstm_forecaster.h"
+#include "models/m5.h"
+#include "models/resnet.h"
+#include "models/unet.h"
+#include "serve/metrics.h"
+
+namespace ripple {
+namespace {
+
+using serve::AsyncBatcher;
+using serve::BatcherCounters;
+using serve::Classification;
+using serve::InferenceSession;
+using serve::Prediction;
+using serve::Regression;
+using serve::Segmentation;
+using serve::SessionOptions;
+using serve::TaskKind;
+
+models::VariantConfig proposed() {
+  return {.variant = models::Variant::kProposed};
+}
+
+SessionOptions batcher_options(TaskKind task, int samples, uint64_t seed,
+                               int max_requests, int64_t max_delay_us,
+                               int threads) {
+  SessionOptions opts;
+  opts.task = task;
+  opts.mc_samples = samples;
+  opts.seed = seed;
+  opts.batch_max_requests = max_requests;
+  opts.batch_max_delay_us = max_delay_us;
+  opts.batcher_threads = threads;
+  return opts;
+}
+
+bool tensors_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+/// Bitwise comparison of two predictions of the same task kind.
+bool predictions_equal(const Prediction& got, const Prediction& want) {
+  if (got.index() != want.index()) return false;
+  if (const auto* c = std::get_if<Classification>(&want)) {
+    const auto& g = std::get<Classification>(got);
+    return g.samples == c->samples && g.predictions == c->predictions &&
+           tensors_equal(g.mean_probs, c->mean_probs) &&
+           tensors_equal(g.variance, c->variance) &&
+           tensors_equal(g.entropy, c->entropy);
+  }
+  if (const auto* r = std::get_if<Regression>(&want)) {
+    const auto& g = std::get<Regression>(got);
+    return g.samples == r->samples && tensors_equal(g.mean, r->mean) &&
+           tensors_equal(g.stddev, r->stddev);
+  }
+  const auto& s = std::get<Segmentation>(want);
+  const auto& g = std::get<Segmentation>(got);
+  return g.samples == s.samples && tensors_equal(g.mean_probs, s.mean_probs);
+}
+
+// ---- async vs single-thread oracle, all four task kinds -------------------
+// The serve_test hammer pattern lifted to the async path: N client threads
+// submit interleaved single requests; every result must be bit-identical
+// to what session.predict returned single-threaded before the batcher
+// existed. Coalescing is pure batch assembly for the proposed variant
+// (row-independent affine masks), so there is no tolerance to hide behind.
+
+void hammer_bit_exact(models::TaskModel& model, TaskKind task,
+                      const std::vector<Tensor>& inputs, uint64_t seed) {
+  InferenceSession session(
+      model, batcher_options(task, 4, seed, /*max_requests=*/3,
+                             /*max_delay_us=*/200, /*threads=*/2));
+  std::vector<Prediction> oracle;
+  for (const Tensor& x : inputs) oracle.push_back(session.predict(x));
+
+  AsyncBatcher batcher(session);
+  const int kIters = 6;
+  std::vector<std::atomic<int>> mismatches(inputs.size());
+  std::vector<std::thread> clients;
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    clients.emplace_back([&, ti] {
+      for (int it = 0; it < kIters; ++it) {
+        Prediction got = batcher.submit(inputs[ti]).get();
+        if (!predictions_equal(got, oracle[ti])) ++mismatches[ti];
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (size_t ti = 0; ti < inputs.size(); ++ti)
+    EXPECT_EQ(mismatches[ti].load(), 0) << "client " << ti;
+  batcher.close();
+  const BatcherCounters& c = batcher.counters();
+  EXPECT_EQ(c.submitted(), inputs.size() * kIters);
+  EXPECT_EQ(c.completed(), c.submitted());
+  EXPECT_EQ(c.queue_depth(), 0);
+  EXPECT_LE(c.max_batch_requests(), 3u);
+}
+
+TEST(Batcher, ResNetClassificationBitExact) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             proposed());
+  Rng rng(1);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i)
+    inputs.push_back(Tensor::randn({2, 3, 16, 16}, rng));
+  hammer_bit_exact(model, TaskKind::kClassification, inputs, 11);
+}
+
+TEST(Batcher, M5ClassificationBitExact) {
+  models::M5 model({.classes = 8, .width = 4, .input_length = 256},
+                   proposed());
+  Rng rng(2);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(Tensor::randn({1, 1, 256}, rng));
+  hammer_bit_exact(model, TaskKind::kClassification, inputs, 21);
+}
+
+TEST(Batcher, LstmRegressionBitExact) {
+  models::LstmForecaster model({.hidden = 8, .window = 12}, proposed());
+  Rng rng(3);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i) inputs.push_back(Tensor::randn({2, 12, 1}, rng));
+  hammer_bit_exact(model, TaskKind::kRegression, inputs, 31);
+}
+
+TEST(Batcher, UNetSegmentationBitExact) {
+  models::UNet model({.base_channels = 4, .activation_bits = 4}, proposed());
+  Rng rng(4);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 4; ++i)
+    inputs.push_back(Tensor::randn({1, 1, 16, 16}, rng));
+  hammer_bit_exact(model, TaskKind::kSegmentation, inputs, 41);
+}
+
+// ---- property-style coalescing --------------------------------------------
+
+TEST(Batcher, RandomizedArrivalsCompleteExactlyOnceAndBitExact) {
+  // Seeded property test: randomized arrival order, request sizes, and
+  // deadlines. Whatever batches form, every request completes exactly
+  // once with the oracle result, and no dispatched batch exceeds
+  // max_batch. Nothing here asserts on elapsed time.
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             proposed());
+  InferenceSession session(
+      model, batcher_options(TaskKind::kClassification, 3, 71,
+                             /*max_requests=*/3, /*max_delay_us=*/500,
+                             /*threads=*/2));
+  // Pool of distinct request tensors with 1..3 rows each.
+  Rng data_rng(72);
+  std::vector<Tensor> pool;
+  std::vector<Prediction> oracle;
+  for (int64_t rows = 1; rows <= 3; ++rows)
+    for (int rep = 0; rep < 2; ++rep)
+      pool.push_back(Tensor::randn({rows, 3, 16, 16}, data_rng));
+  for (const Tensor& x : pool) oracle.push_back(session.predict(x));
+
+  AsyncBatcher batcher(session);
+  const int kProducers = 3;
+  const int kPerProducer = 12;
+  std::vector<std::atomic<int>> mismatches(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      // Deterministic per-producer choice sequence (seeded, not sampled
+      // from wall clock); the OS scheduler provides the arrival shuffle.
+      Rng choice(1000 + static_cast<uint64_t>(p));
+      for (int i = 0; i < kPerProducer; ++i) {
+        const size_t pick = static_cast<size_t>(
+            choice.randint(0, static_cast<int64_t>(pool.size()) - 1));
+        Prediction got = batcher.submit(pool[pick]).get();
+        if (!predictions_equal(got, oracle[pick])) ++mismatches[p];
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (int p = 0; p < kProducers; ++p)
+    EXPECT_EQ(mismatches[p].load(), 0) << "producer " << p;
+
+  batcher.close();
+  const BatcherCounters& c = batcher.counters();
+  const uint64_t total =
+      static_cast<uint64_t>(kProducers) * static_cast<uint64_t>(kPerProducer);
+  EXPECT_EQ(c.submitted(), total);
+  EXPECT_EQ(c.completed(), total);  // exactly once: futures are single-shot
+  EXPECT_EQ(c.queue_depth(), 0);
+  EXPECT_LE(c.max_batch_requests(), 3u);
+  EXPECT_GE(c.batches(), (total + 2) / 3);  // ≥ ceil(total / max_batch)
+  uint64_t histogram_total = 0;
+  for (size_t b = 0; b < BatcherCounters::kHistogramBuckets; ++b)
+    histogram_total += c.histogram_bucket(b);
+  EXPECT_EQ(histogram_total, c.batches());
+}
+
+TEST(Batcher, CloseDrainsQueuedRequestsInsteadOfDropping) {
+  // Deadlines far in the future and a batch size nothing reaches: without
+  // drain semantics these requests would sit until the deadline. close()
+  // must dispatch them all (the futures complete with real results), not
+  // drop them.
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             proposed());
+  InferenceSession session(
+      model, batcher_options(TaskKind::kClassification, 2, 81,
+                             /*max_requests=*/64,
+                             /*max_delay_us=*/30'000'000, /*threads=*/1));
+  Rng rng(82);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < 7; ++i)
+    inputs.push_back(Tensor::randn({1, 3, 16, 16}, rng));
+  std::vector<Prediction> oracle;
+  for (const Tensor& x : inputs) oracle.push_back(session.predict(x));
+
+  AsyncBatcher batcher(session);
+  std::vector<std::future<Prediction>> futures =
+      batcher.submit_many(inputs);
+  batcher.close();
+  for (size_t i = 0; i < futures.size(); ++i)
+    EXPECT_TRUE(predictions_equal(futures[i].get(), oracle[i]))
+        << "request " << i;
+  EXPECT_EQ(batcher.counters().completed(), inputs.size());
+  EXPECT_EQ(batcher.counters().queue_depth(), 0);
+
+  // Reject-after-close: the request is refused, never silently dropped.
+  EXPECT_TRUE(batcher.closed());
+  EXPECT_THROW(batcher.submit(inputs[0]), CheckError);
+  EXPECT_EQ(batcher.counters().rejected(), 1u);
+}
+
+TEST(Batcher, ExceptionReachesOnlyTheOffendingFuture) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             proposed());
+  InferenceSession session(
+      model, batcher_options(TaskKind::kClassification, 2, 91,
+                             /*max_requests=*/8,
+                             /*max_delay_us=*/20'000, /*threads=*/1));
+  Rng rng(92);
+  std::vector<Tensor> good;
+  for (int i = 0; i < 3; ++i)
+    good.push_back(Tensor::randn({1, 3, 16, 16}, rng));
+  std::vector<Prediction> oracle;
+  for (const Tensor& x : good) oracle.push_back(session.predict(x));
+
+  AsyncBatcher batcher(session);
+  // Bad request #1: wrong channel count — groups separately (different
+  // per-row shape) and its forward throws.
+  std::future<Prediction> bad_shape =
+      batcher.submit(Tensor::randn({1, 2, 16, 16}, rng));
+  std::future<Prediction> good0 = batcher.submit(good[0]);
+  // Bad request #2: zero rows but the *same* per-row shape — it coalesces
+  // with the good requests, the coalesced forward throws, and the
+  // per-request retry must deliver the exception to this future only.
+  std::future<Prediction> bad_empty =
+      batcher.submit(Tensor::zeros({0, 3, 16, 16}));
+  std::future<Prediction> good1 = batcher.submit(good[1]);
+  std::future<Prediction> good2 = batcher.submit(good[2]);
+
+  EXPECT_TRUE(predictions_equal(good0.get(), oracle[0]));
+  EXPECT_TRUE(predictions_equal(good1.get(), oracle[1]));
+  EXPECT_TRUE(predictions_equal(good2.get(), oracle[2]));
+  EXPECT_THROW(bad_shape.get(), CheckError);
+  EXPECT_THROW(bad_empty.get(), CheckError);
+  batcher.close();
+  EXPECT_EQ(batcher.counters().completed(), 5u);
+}
+
+// ---- counters --------------------------------------------------------------
+
+TEST(BatcherCountersTest, HistogramBucketsArePowerOfTwoRanges) {
+  EXPECT_EQ(BatcherCounters::bucket_for(1), 0u);
+  EXPECT_EQ(BatcherCounters::bucket_for(2), 1u);
+  EXPECT_EQ(BatcherCounters::bucket_for(3), 2u);
+  EXPECT_EQ(BatcherCounters::bucket_for(4), 2u);
+  EXPECT_EQ(BatcherCounters::bucket_for(5), 3u);
+  EXPECT_EQ(BatcherCounters::bucket_for(8), 3u);
+  EXPECT_EQ(BatcherCounters::bucket_for(16), 4u);
+  EXPECT_EQ(BatcherCounters::bucket_for(64), 6u);
+  EXPECT_EQ(BatcherCounters::bucket_for(65), 7u);
+  EXPECT_EQ(BatcherCounters::bucket_for(100000), 7u);
+}
+
+TEST(BatcherCountersTest, DispatchAccounting) {
+  BatcherCounters c;
+  for (int i = 0; i < 5; ++i) c.on_submit();
+  EXPECT_EQ(c.submitted(), 5u);
+  EXPECT_EQ(c.queue_depth(), 5);
+  EXPECT_EQ(c.max_queue_depth(), 5u);
+  c.on_dispatch(3);
+  c.on_dispatch(2);
+  c.on_complete(3);
+  c.on_complete(2);
+  EXPECT_EQ(c.batches(), 2u);
+  EXPECT_EQ(c.queue_depth(), 0);
+  EXPECT_EQ(c.completed(), 5u);
+  EXPECT_EQ(c.max_batch_requests(), 3u);
+  EXPECT_DOUBLE_EQ(c.mean_batch_requests(), 2.5);
+  EXPECT_EQ(c.histogram_bucket(BatcherCounters::bucket_for(3)), 1u);
+  EXPECT_EQ(c.histogram_bucket(BatcherCounters::bucket_for(2)), 1u);
+}
+
+}  // namespace
+}  // namespace ripple

@@ -405,6 +405,83 @@ TEST(Serve, ConcurrentMixedBatchSizes) {
     EXPECT_EQ(mismatches[ti], 0) << "thread " << ti;
 }
 
+TEST(Serve, ConcurrentNoisyPredictsMatchSerialExecution) {
+  // Regression test for the global-RNG serialization fix: the session
+  // binds the model's ActivationNoiseConfig to a mask-stream slot, so
+  // noisy draws derive from the pinned per-request streams. Two threads
+  // hammering predict must then reproduce the serial execution bit-exactly
+  // — under the old global-RNG draws the results were sampling-order
+  // dependent (and the passes had to serialize on a mutex).
+  models::BinaryResNet model(small_resnet(), variant());
+  model.noise()->enabled = true;
+  model.noise()->additive_std = 0.2f;
+  model.noise()->multiplicative_std = 0.1f;
+  {
+    InferenceSession session(model,
+                             options_for(TaskKind::kClassification, 4, 515));
+    Rng rng(22);
+    std::vector<Tensor> inputs = {Tensor::randn({2, 3, 16, 16}, rng),
+                                  Tensor::randn({2, 3, 16, 16}, rng)};
+    std::vector<Classification> oracle;
+    for (const Tensor& x : inputs) oracle.push_back(session.classify(x));
+    // Serial replay first: noise is deterministic per (seed, input).
+    for (size_t i = 0; i < inputs.size(); ++i)
+      expect_tensors_near(session.classify(inputs[i]).mean_probs,
+                          oracle[i].mean_probs, 0.0f,
+                          "noisy predict is deterministic");
+
+    std::vector<int> mismatches(inputs.size(), 0);
+    std::vector<std::thread> threads;
+    for (size_t ti = 0; ti < inputs.size(); ++ti) {
+      threads.emplace_back([&, ti] {
+        for (int it = 0; it < 6; ++it) {
+          const Classification got = session.classify(inputs[ti]);
+          for (int64_t j = 0; j < got.mean_probs.numel(); ++j)
+            if (got.mean_probs.data()[j] !=
+                oracle[ti].mean_probs.data()[j]) {
+              ++mismatches[ti];
+              break;
+            }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (size_t ti = 0; ti < inputs.size(); ++ti)
+      EXPECT_EQ(mismatches[ti], 0) << "thread " << ti;
+  }
+  model.noise()->enabled = false;
+  model.noise()->additive_std = 0.0f;
+  model.noise()->multiplicative_std = 0.0f;
+}
+
+TEST(Serve, NoisyBatchedPolicyMatchesSerialPolicy) {
+  // Stream-bound noise follows the dropout layers' replica sub-stream
+  // contract, so the batched MC fold and the serial reference sample the
+  // same noise per replica.
+  models::BinaryResNet model(small_resnet(), variant());
+  model.noise()->enabled = true;
+  model.noise()->additive_std = 0.3f;
+  Rng rng(23);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor batched;
+  {
+    InferenceSession session(
+        model, options_for(TaskKind::kClassification, 5, 616,
+                           ExecutionPolicy::kBatched));
+    batched = session.mc_outputs(x);
+  }
+  Tensor serial;
+  {
+    InferenceSession session(
+        model, options_for(TaskKind::kClassification, 5, 616,
+                           ExecutionPolicy::kSerial));
+    serial = session.mc_outputs(x);
+  }
+  expect_tensors_near(batched, serial, 1e-4f, "noisy batched vs serial");
+  model.noise()->enabled = false;
+  model.noise()->additive_std = 0.0f;
+}
+
 // ---- lifecycle ------------------------------------------------------------
 
 TEST(Serve, SessionRestoresModelStateOnDestruction) {
