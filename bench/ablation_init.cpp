@@ -30,8 +30,8 @@ std::unique_ptr<models::BinaryResNet> trained_proposed(
         tc.seed = 5000;
         models::train_classifier(*model, task.train, tc);
       });
+  // train_or_load hands back a deployed model (artifact cache).
   model->set_training(false);
-  model->deploy();
   return model;
 }
 

@@ -149,7 +149,8 @@ inline std::string cache_key(const char* task, models::Variant v,
          std::to_string(w.train_n) + "_e" + std::to_string(w.epochs);
 }
 
-/// Trains (or loads) and deploys one image-classifier variant.
+/// Trains (or loads the cached artifact of) one image-classifier variant;
+/// train_or_load hands the model back deployed either way.
 inline std::unique_ptr<models::BinaryResNet> image_model(
     models::Variant v, const ImageTask& task, const Workload& w) {
   auto model = std::make_unique<models::BinaryResNet>(
@@ -166,7 +167,6 @@ inline std::unique_ptr<models::BinaryResNet> image_model(
   std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
                cached ? "loaded from cache" : "trained");
   model->set_training(false);
-  model->deploy();
   return model;
 }
 
@@ -186,7 +186,6 @@ inline std::unique_ptr<models::M5> audio_model(models::Variant v,
   std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
                cached ? "loaded from cache" : "trained");
   model->set_training(false);
-  model->deploy();
   return model;
 }
 
@@ -208,7 +207,6 @@ inline std::unique_ptr<models::LstmForecaster> series_model(
   std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
                cached ? "loaded from cache" : "trained");
   model->set_training(false);
-  model->deploy();
   return model;
 }
 
@@ -229,7 +227,6 @@ inline std::unique_ptr<models::UNet> vessel_model(models::Variant v,
   std::fprintf(stderr, "  [%s] %s\n", models::variant_name(v),
                cached ? "loaded from cache" : "trained");
   model->set_training(false);
-  model->deploy();
   return model;
 }
 

@@ -14,6 +14,10 @@
 // scripts/bench.sh captures the JSON as BENCH_serve.json.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
+#include "deploy/deploy.h"
 #include "models/evaluate.h"
 #include "models/lstm_forecaster.h"
 #include "models/m5.h"
@@ -269,6 +273,66 @@ BENCHMARK(BM_AsyncBatcherLstmSmall)
     ->Args({16, 2000})
     ->Threads(kBatcherThreads)
     ->UseRealTime();
+
+// ---- deployment backends ---------------------------------------------------
+// One .rpla artifact opened on each execution substrate
+// (deploy/deploy.h): the per-backend session.predict baselines. kFp32 is
+// the digital reference; kQuantSim opens with weights decoded from the
+// integer codes (identical arithmetic once open — the delta to kFp32 is
+// pure noise); kCrossbar runs the classifier head through the analog
+// DAC→conductance→ADC simulator per call, pre-programmed once by the
+// frozen crossbar cache.
+
+const std::string& backend_artifact() {
+  static const std::string path = [] {
+    models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 12},
+                               proposed());
+    model.set_training(false);
+    model.deploy();
+    std::string p =
+        std::filesystem::temp_directory_path() / "ripple_perf_resnet.rpla";
+    deploy::save_artifact(model, p,
+                          session_options(serve::TaskKind::kClassification, 8));
+    return p;
+  }();
+  return path;
+}
+
+void run_backend_predict(benchmark::State& state,
+                         const deploy::DeployOptions& dopts) {
+  const int t = static_cast<int>(state.range(0));
+  serve::SessionOptions opts =
+      session_options(serve::TaskKind::kClassification, t);
+  deploy::DeployOptions with_session = dopts;
+  with_session.session = opts;
+  auto session = serve::InferenceSession::open(backend_artifact(),
+                                               with_session);
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  for (auto _ : state) {
+    serve::Classification mc = session->classify(x);
+    benchmark::DoNotOptimize(mc.mean_probs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+
+void BM_SessionPredictFp32(benchmark::State& state) {
+  run_backend_predict(state, {.backend = deploy::Backend::kFp32});
+}
+BENCHMARK(BM_SessionPredictFp32)->Arg(8);
+
+void BM_SessionPredictQuantSim(benchmark::State& state) {
+  run_backend_predict(state, {.backend = deploy::Backend::kQuantSim});
+}
+BENCHMARK(BM_SessionPredictQuantSim)->Arg(8);
+
+void BM_SessionPredictCrossbar(benchmark::State& state) {
+  deploy::DeployOptions dopts;
+  dopts.backend = deploy::Backend::kCrossbar;
+  dopts.crossbar.device.sigma_programming = 0.02;
+  run_backend_predict(state, dopts);
+}
+BENCHMARK(BM_SessionPredictCrossbar)->Arg(8);
 
 }  // namespace
 

@@ -1,0 +1,119 @@
+// Cross-configuration deployment check, driven by CI:
+//
+//   artifact_cross_check save   <dir>   — train a small classifier, deploy,
+//                                         write <dir>/model.rpla plus the
+//                                         reference predictions computed by
+//                                         a session over the artifact;
+//   artifact_cross_check verify <dir>   — open the artifact in THIS build
+//                                         configuration (e.g. RIPPLE_SIMD=0
+//                                         scalar GEMM vs the SIMD save run),
+//                                         predict the same probe batch and
+//                                         assert the predictions match the
+//                                         saved reference.
+//
+// "Match" is max|Δ mean_probs| ≤ RIPPLE_XCHECK_TOL (default 1e-3): the
+// artifact bytes round-trip bit-exactly, while the two GEMM kernels round
+// differently, so predictions agree to float-accumulation tolerance. The
+// verify step also opens the kQuantSim backend and asserts it is
+// bit-identical to fp32 within its own build — the codes decode to exactly
+// the deployed values everywhere.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/synthetic_images.h"
+#include "deploy/deploy.h"
+#include "models/resnet.h"
+#include "models/trainer.h"
+#include "serve/session.h"
+#include "tensor/env.h"
+#include "tensor/io.h"
+
+using namespace ripple;
+
+namespace {
+
+Tensor probe_batch() {
+  Rng rng(555);  // same software RNG in every build configuration
+  return Tensor::randn({8, 3, 16, 16}, rng);
+}
+
+serve::SessionOptions session_options() {
+  serve::SessionOptions opts;
+  opts.task = serve::TaskKind::kClassification;
+  opts.mc_samples = 4;
+  opts.seed = 0xC0FFEE;
+  return opts;
+}
+
+int do_save(const std::string& dir) {
+  Rng data_rng(7);
+  data::ClassificationData train = data::make_images(
+      env_int("RIPPLE_TRAIN_N", 160), data::ImageConfig{}, data_rng);
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 8},
+                             {.variant = models::Variant::kProposed});
+  models::TrainConfig tc;
+  tc.epochs = env_int("RIPPLE_EPOCHS", 2);
+  tc.seed = 42;
+  models::train_classifier(model, train, tc);
+  model.set_training(false);
+  model.deploy();
+  deploy::save_artifact(model, dir + "/model.rpla", session_options());
+
+  auto session = serve::InferenceSession::open(dir + "/model.rpla");
+  const serve::Classification ref = session->classify(probe_batch());
+  save_tensor(ref.mean_probs, dir + "/reference_probs.rplt");
+  std::printf("saved %s/model.rpla and reference predictions\n",
+              dir.c_str());
+  return 0;
+}
+
+int do_verify(const std::string& dir) {
+  const double tol = env_double("RIPPLE_XCHECK_TOL", 1e-3);
+  Tensor reference = load_tensor(dir + "/reference_probs.rplt");
+
+  auto fp32 = serve::InferenceSession::open(dir + "/model.rpla");
+  const serve::Classification got = fp32->classify(probe_batch());
+  if (got.mean_probs.shape() != reference.shape()) {
+    std::fprintf(stderr, "FAIL: prediction shape changed across configs\n");
+    return 1;
+  }
+  double max_diff = 0.0;
+  for (int64_t i = 0; i < reference.numel(); ++i)
+    max_diff = std::max<double>(
+        max_diff, std::fabs(got.mean_probs.data()[i] - reference.data()[i]));
+  std::printf("cross-config max|Δ mean_probs| = %.3g (tolerance %.3g)\n",
+              max_diff, tol);
+  if (max_diff > tol) {
+    std::fprintf(stderr,
+                 "FAIL: artifact predictions diverge across build "
+                 "configurations\n");
+    return 1;
+  }
+
+  // Within this build, serving from the integer codes must be bit-exact.
+  auto quantsim = serve::InferenceSession::open(
+      dir + "/model.rpla", {.backend = deploy::Backend::kQuantSim});
+  const serve::Classification sim = quantsim->classify(probe_batch());
+  if (std::memcmp(sim.mean_probs.data(), got.mean_probs.data(),
+                  sizeof(float) * static_cast<size_t>(reference.numel())) !=
+      0) {
+    std::fprintf(stderr, "FAIL: kQuantSim != kFp32 in this build\n");
+    return 1;
+  }
+  std::printf("OK: artifact serves identically (quantsim bit-exact)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3 || (std::string(argv[1]) != "save" &&
+                    std::string(argv[1]) != "verify")) {
+    std::fprintf(stderr, "usage: %s save|verify <dir>\n", argv[0]);
+    return 2;
+  }
+  return std::string(argv[1]) == "save" ? do_save(argv[2])
+                                        : do_verify(argv[2]);
+}

@@ -5,13 +5,15 @@
 //   $ ./examples/quickstart
 //
 // Walks through the full library lifecycle: data → model → train → deploy →
-// fault injection → Bayesian MC evaluation with uncertainty.
+// fault injection → Bayesian MC evaluation with uncertainty → one .rpla
+// deployment artifact served on three execution backends.
 #include <cstdio>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "data/synthetic_images.h"
+#include "deploy/deploy.h"
 #include "fault/injector.h"
 #include "models/resnet.h"
 #include "models/trainer.h"
@@ -118,6 +120,30 @@ int main() {
     std::printf("async: %llu requests served in %llu coalesced batches\n",
                 static_cast<unsigned long long>(batcher.counters().completed()),
                 static_cast<unsigned long long>(batcher.counters().batches()));
+  }
+
+  // 8. Ship it: one .rpla deployment artifact (architecture descriptor,
+  //    deployed weights, frozen quantizer scales + integer codes, serving
+  //    defaults) serves the same model on three execution substrates —
+  //    no retraining, no in-process training in the serving path.
+  const std::string artifact = "quickstart_resnet.rpla";
+  deploy::save_artifact(model, artifact, opts);
+  std::printf("saved deployment artifact: %s\n", artifact.c_str());
+  {
+    auto fp32 = serve::InferenceSession::open(artifact);
+    auto quantsim = serve::InferenceSession::open(
+        artifact, {.backend = deploy::Backend::kQuantSim});
+    deploy::DeployOptions xbar;
+    xbar.backend = deploy::Backend::kCrossbar;
+    xbar.crossbar.device.sigma_programming = 0.05;
+    auto crossbar = serve::InferenceSession::open(artifact, xbar);
+    std::printf("reopened on three backends:\n");
+    std::printf("  fp32     accuracy %.1f%%\n",
+                100.0 * serve::accuracy(*fp32, test));
+    std::printf("  quantsim accuracy %.1f%%  (weights decoded from codes)\n",
+                100.0 * serve::accuracy(*quantsim, test));
+    std::printf("  crossbar accuracy %.1f%%  (analog DAC→G-pairs→ADC head)\n",
+                100.0 * serve::accuracy(*crossbar, test));
   }
   std::printf("done.\n");
   return 0;

@@ -15,6 +15,7 @@
 #include <limits>
 
 #include "autograd/ops.h"
+#include "deploy/exec_backend.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -66,6 +67,7 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
                                                pw_local);
     GemmEpilogue ep;
     ep.row_bias = has_bias ? b.value().data() : nullptr;
+    deploy::ExecutionBackend* backend = deploy::active_exec_backend();
     const int64_t group = conv_group_size(n, ck, oa);
     Tensor cols = Tensor::empty({ck, group * oa});
     Tensor stage = Tensor::empty({cout, group * oa});
@@ -79,7 +81,13 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
                        stride, pad, pc + s * oa, ldc);
       }, /*grain=*/1);
       std::memset(stage.data(), 0, sizeof(float) * cout * ldc);
-      gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
+      // A serving session's execution backend may claim the lowered block
+      // (crossbar-mapped convs); otherwise the packed digital GEMM runs.
+      if (backend == nullptr ||
+          !backend->conv_cols(cout, ldc, ck, w.value().data(), pc,
+                              stage.data(), ep.row_bias)) {
+        gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
+      }
       // Scatter the [Cout, G·OA] GEMM block back to [N, Cout, OA] layout.
       const float* ps = stage.data();
       parallel_for(gn, [&](int64_t s0, int64_t s1) {
@@ -167,6 +175,7 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
                                                pw_local);
     GemmEpilogue ep;
     ep.row_bias = has_bias ? b.value().data() : nullptr;
+    deploy::ExecutionBackend* backend = deploy::active_exec_backend();
     const int64_t group = conv_group_size(n, ck, ol);
     Tensor cols = Tensor::empty({ck, group * ol});
     Tensor stage = Tensor::empty({cout, group * ol});
@@ -180,7 +189,13 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
                        pc + s * ol, ldc);
       }, /*grain=*/1);
       std::memset(stage.data(), 0, sizeof(float) * cout * ldc);
-      gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
+      // A serving session's execution backend may claim the lowered block
+      // (crossbar-mapped convs); otherwise the packed digital GEMM runs.
+      if (backend == nullptr ||
+          !backend->conv_cols(cout, ldc, ck, w.value().data(), pc,
+                              stage.data(), ep.row_bias)) {
+        gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
+      }
       const float* ps = stage.data();
       parallel_for(gn, [&](int64_t s0, int64_t s1) {
         for (int64_t s = s0; s < s1; ++s)

@@ -1,5 +1,6 @@
 // Dense linear-algebra ops: matmul and the fused linear layer op.
 #include "autograd/ops.h"
+#include "deploy/exec_backend.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -52,7 +53,13 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
   // feature axis of the [N, Fout] output).
   GemmEpilogue ep;
   ep.col_bias = has_bias ? b.value().data() : nullptr;
-  if (active_pack_cache() != nullptr) {
+  deploy::ExecutionBackend* backend = deploy::active_exec_backend();
+  if (backend != nullptr &&
+      backend->linear(x.value(), w.value(),
+                      has_bias ? b.value().data() : nullptr, out)) {
+    // A serving session routed this layer to its execution substrate
+    // (e.g. the IMC crossbar); `out` holds that substrate's result.
+  } else if (active_pack_cache() != nullptr) {
     // Serving path: the session's frozen cache holds the weight panels, so
     // coalesced LSTM/MLP batches stop re-packing B every call. Identical
     // arithmetic to the gemm_nt_ex path (packing is pure data movement).

@@ -1,0 +1,424 @@
+#include "deploy/artifact.h"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "models/lstm_forecaster.h"
+#include "models/m5.h"
+#include "models/resnet.h"
+#include "models/unet.h"
+#include "tensor/check.h"
+
+namespace ripple::deploy {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'P', 'L', 'A'};
+// Sanity bounds for length fields so corrupt files fail fast instead of
+// attempting gigabyte allocations.
+constexpr uint32_t kMaxString = 1u << 20;
+constexpr uint32_t kMaxCount = 1u << 20;
+constexpr int64_t kMaxTensorNumel = int64_t{1} << 31;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("artifact " + path + ": " + what);
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in, const std::string& path) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) fail(path, "truncated file");
+  return v;
+}
+
+void write_string(std::ofstream& out, const std::string& s) {
+  write_pod(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& in, const std::string& path) {
+  const uint32_t len = read_pod<uint32_t>(in, path);
+  if (len > kMaxString) fail(path, "corrupt string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) fail(path, "truncated file");
+  return s;
+}
+
+void write_tensor(std::ofstream& out, const Tensor& t) {
+  write_pod(out, static_cast<int32_t>(t.rank()));
+  for (int64_t d : t.shape()) write_pod(out, d);
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+Tensor read_tensor(std::ifstream& in, const std::string& path) {
+  const int32_t rank = read_pod<int32_t>(in, path);
+  if (rank < 0 || rank > 8) fail(path, "corrupt tensor rank");
+  Shape shape;
+  int64_t numel = 1;
+  for (int32_t i = 0; i < rank; ++i) {
+    const int64_t d = read_pod<int64_t>(in, path);
+    if (d < 0 || d > kMaxTensorNumel) fail(path, "corrupt tensor dim");
+    shape.push_back(d);
+    numel *= d;
+  }
+  if (numel > kMaxTensorNumel) fail(path, "corrupt tensor size");
+  Tensor t = Tensor::empty(shape);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) fail(path, "truncated tensor payload");
+  return t;
+}
+
+void write_variant(std::ofstream& out, const models::VariantConfig& v) {
+  write_pod(out, static_cast<int32_t>(v.variant));
+  write_pod(out, v.dropout_p);
+  write_pod(out, static_cast<int32_t>(v.init.kind));
+  write_pod(out, v.init.sigma_gamma);
+  write_pod(out, v.init.sigma_beta);
+  write_pod(out, v.init.k_gamma);
+  write_pod(out, v.init.k_beta);
+  write_pod(out, static_cast<int32_t>(v.granularity));
+  write_pod(out, static_cast<uint8_t>(v.affine_first ? 1 : 0));
+}
+
+models::VariantConfig read_variant(std::ifstream& in,
+                                   const std::string& path) {
+  models::VariantConfig v;
+  v.variant = static_cast<models::Variant>(read_pod<int32_t>(in, path));
+  v.dropout_p = read_pod<float>(in, path);
+  v.init.kind = static_cast<core::AffineInit::Kind>(read_pod<int32_t>(in, path));
+  v.init.sigma_gamma = read_pod<float>(in, path);
+  v.init.sigma_beta = read_pod<float>(in, path);
+  v.init.k_gamma = read_pod<float>(in, path);
+  v.init.k_beta = read_pod<float>(in, path);
+  v.granularity = static_cast<core::DropGranularity>(read_pod<int32_t>(in, path));
+  v.affine_first = read_pod<uint8_t>(in, path) != 0;
+  return v;
+}
+
+void write_session_options(std::ofstream& out,
+                           const serve::SessionOptions& o) {
+  write_pod(out, static_cast<int32_t>(o.task));
+  write_pod(out, static_cast<int32_t>(o.mc_samples));
+  write_pod(out, o.seed);
+  write_pod(out, static_cast<int32_t>(o.policy));
+  write_pod(out, o.max_batch);
+  write_pod(out, static_cast<uint8_t>(o.clamp_samples ? 1 : 0));
+  write_pod(out, static_cast<int32_t>(o.batch_max_requests));
+  write_pod(out, o.batch_max_delay_us);
+  write_pod(out, o.batch_max_rows);
+  write_pod(out, static_cast<int32_t>(o.batcher_threads));
+}
+
+serve::SessionOptions read_session_options(std::ifstream& in,
+                                           const std::string& path) {
+  serve::SessionOptions o;
+  o.task = static_cast<serve::TaskKind>(read_pod<int32_t>(in, path));
+  o.mc_samples = read_pod<int32_t>(in, path);
+  o.seed = read_pod<uint64_t>(in, path);
+  o.policy = static_cast<serve::ExecutionPolicy>(read_pod<int32_t>(in, path));
+  o.max_batch = read_pod<int64_t>(in, path);
+  o.clamp_samples = read_pod<uint8_t>(in, path) != 0;
+  o.batch_max_requests = read_pod<int32_t>(in, path);
+  o.batch_max_delay_us = read_pod<int64_t>(in, path);
+  o.batch_max_rows = read_pod<int64_t>(in, path);
+  o.batcher_threads = read_pod<int32_t>(in, path);
+  return o;
+}
+
+int64_t dim_of(const ModelSpec& spec, const char* key) {
+  for (const auto& [k, v] : spec.dims)
+    if (k == key) return v;
+  throw std::runtime_error("artifact spec for '" + spec.arch +
+                           "' is missing topology field '" + key + "'");
+}
+
+/// Loads named tensors into the live target list (zoo::load_state
+/// semantics: same registration order, names and shapes must agree).
+template <typename GetName, typename GetTensor, typename Item>
+void read_tensors_into(std::ifstream& in, const std::string& path,
+                       const char* what, std::vector<Item>& items,
+                       GetName get_name, GetTensor get_tensor) {
+  const uint32_t count = read_pod<uint32_t>(in, path);
+  if (count != items.size())
+    fail(path, std::string(what) + " count mismatch: file has " +
+                   std::to_string(count) + ", model has " +
+                   std::to_string(items.size()));
+  for (auto& item : items) {
+    const std::string name = read_string(in, path);
+    if (name != get_name(item))
+      fail(path, std::string("expected ") + what + " '" + get_name(item) +
+                     "', found '" + name + "'");
+    Tensor loaded = read_tensor(in, path);
+    Tensor& dst = get_tensor(item);
+    if (loaded.shape() != dst.shape())
+      fail(path, std::string(what) + " '" + name + "' shape mismatch");
+    dst.copy_from(loaded);
+  }
+}
+
+}  // namespace
+
+ModelSpec spec_of(const models::TaskModel& model) {
+  ModelSpec spec;
+  spec.arch = model.name();
+  spec.variant = model.config();
+  if (const auto* m = dynamic_cast<const models::BinaryResNet*>(&model)) {
+    const auto& t = m->topology();
+    spec.dims = {{"in_channels", t.in_channels},
+                 {"classes", t.classes},
+                 {"width", t.width}};
+  } else if (const auto* m = dynamic_cast<const models::M5*>(&model)) {
+    const auto& t = m->topology();
+    spec.dims = {{"classes", t.classes},
+                 {"width", t.width},
+                 {"input_length", t.input_length},
+                 {"weight_bits", t.weight_bits},
+                 {"activation_bits", t.activation_bits}};
+  } else if (const auto* m =
+                 dynamic_cast<const models::LstmForecaster*>(&model)) {
+    const auto& t = m->topology();
+    spec.dims = {{"hidden", t.hidden},
+                 {"window", t.window},
+                 {"weight_bits", t.weight_bits}};
+  } else if (const auto* m = dynamic_cast<const models::UNet*>(&model)) {
+    const auto& t = m->topology();
+    spec.dims = {{"base_channels", t.base_channels},
+                 {"activation_bits", t.activation_bits}};
+  } else {
+    throw std::runtime_error(std::string("spec_of: unknown architecture '") +
+                             model.name() + "'");
+  }
+  return spec;
+}
+
+std::unique_ptr<models::TaskModel> build_model(const ModelSpec& spec) {
+  if (spec.arch == "resnet") {
+    models::BinaryResNet::Topology t;
+    t.in_channels = dim_of(spec, "in_channels");
+    t.classes = dim_of(spec, "classes");
+    t.width = dim_of(spec, "width");
+    return std::make_unique<models::BinaryResNet>(t, spec.variant);
+  }
+  if (spec.arch == "m5") {
+    models::M5::Topology t;
+    t.classes = dim_of(spec, "classes");
+    t.width = dim_of(spec, "width");
+    t.input_length = dim_of(spec, "input_length");
+    t.weight_bits = static_cast<int>(dim_of(spec, "weight_bits"));
+    t.activation_bits = static_cast<int>(dim_of(spec, "activation_bits"));
+    return std::make_unique<models::M5>(t, spec.variant);
+  }
+  if (spec.arch == "lstm") {
+    models::LstmForecaster::Topology t;
+    t.hidden = dim_of(spec, "hidden");
+    t.window = dim_of(spec, "window");
+    t.weight_bits = static_cast<int>(dim_of(spec, "weight_bits"));
+    return std::make_unique<models::LstmForecaster>(t, spec.variant);
+  }
+  if (spec.arch == "unet") {
+    models::UNet::Topology t;
+    t.base_channels = dim_of(spec, "base_channels");
+    t.activation_bits = static_cast<int>(dim_of(spec, "activation_bits"));
+    return std::make_unique<models::UNet>(t, spec.variant);
+  }
+  throw std::runtime_error("build_model: unknown architecture '" + spec.arch +
+                           "'");
+}
+
+serve::SessionOptions default_session_options(
+    const models::TaskModel& model) {
+  serve::SessionOptions o;
+  const std::string arch = model.name();
+  if (arch == "lstm") {
+    o.task = serve::TaskKind::kRegression;
+  } else if (arch == "unet") {
+    o.task = serve::TaskKind::kSegmentation;
+  } else {
+    o.task = serve::TaskKind::kClassification;
+  }
+  return o;
+}
+
+void save_artifact(models::TaskModel& model, const std::string& path,
+                   const serve::SessionOptions& session_defaults) {
+  RIPPLE_CHECK(model.deployed())
+      << "save_artifact: model must be deployed (frozen quantizer scales)";
+  const ModelSpec spec = spec_of(model);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("artifact " + path + ": cannot open");
+
+  out.write(kMagic, 4);
+  write_pod(out, kArtifactVersion);
+  write_string(out, spec.arch);
+  write_pod(out, static_cast<uint32_t>(spec.dims.size()));
+  for (const auto& [key, value] : spec.dims) {
+    write_string(out, key);
+    write_pod(out, value);
+  }
+  write_variant(out, spec.variant);
+  write_session_options(out, session_defaults);
+
+  const auto params = model.parameters();
+  write_pod(out, static_cast<uint32_t>(params.size()));
+  for (auto* p : params) {
+    write_string(out, p->name);
+    write_tensor(out, p->var.value());
+  }
+  const auto buffers = model.buffers();
+  write_pod(out, static_cast<uint32_t>(buffers.size()));
+  for (const auto& b : buffers) {
+    write_string(out, b.name);
+    write_tensor(out, *b.tensor);
+  }
+
+  const auto targets = model.fault_targets();
+  write_pod(out, static_cast<uint32_t>(targets.size()));
+  for (const auto& t : targets) {
+    const bool quantized = t.quantizer != nullptr;
+    write_pod(out, static_cast<uint8_t>(quantized ? 1 : 0));
+    if (!quantized) continue;
+    write_pod(out, t.quantizer->calibration());
+    write_pod(out, static_cast<int32_t>(t.quantizer->bits()));
+    const std::vector<int32_t> codes =
+        t.quantizer->encode(t.param->var.value());
+    write_pod(out, static_cast<uint32_t>(codes.size()));
+    out.write(reinterpret_cast<const char*>(codes.data()),
+              static_cast<std::streamsize>(codes.size() * sizeof(int32_t)));
+  }
+  if (!out) throw std::runtime_error("artifact " + path + ": write failed");
+}
+
+namespace {
+
+/// Shared header + state reader; fills everything but the model.
+struct RawArtifact {
+  ModelSpec spec;
+  serve::SessionOptions session_defaults;
+};
+
+RawArtifact read_header(std::ifstream& in, const std::string& path) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0)
+    fail(path, "not a ripple deployment artifact (bad magic)");
+  const uint32_t version = read_pod<uint32_t>(in, path);
+  if (version != kArtifactVersion)
+    fail(path, "format version " + std::to_string(version) +
+                   " unsupported (this build reads version " +
+                   std::to_string(kArtifactVersion) + ")");
+  RawArtifact raw;
+  raw.spec.arch = read_string(in, path);
+  const uint32_t ndims = read_pod<uint32_t>(in, path);
+  if (ndims > kMaxCount) fail(path, "corrupt topology count");
+  for (uint32_t i = 0; i < ndims; ++i) {
+    std::string key = read_string(in, path);
+    const int64_t value = read_pod<int64_t>(in, path);
+    raw.spec.dims.emplace_back(std::move(key), value);
+  }
+  raw.spec.variant = read_variant(in, path);
+  raw.session_defaults = read_session_options(in, path);
+  return raw;
+}
+
+/// Everything after the header: tensors into `model`, then the frozen
+/// quantizer records, finishing with restore_deployed().
+std::vector<QuantRecord> read_state_into(std::ifstream& in,
+                                         const std::string& path,
+                                         models::TaskModel& model) {
+  auto params = model.parameters();
+  read_tensors_into(
+      in, path, "parameter", params,
+      [](autograd::Parameter* p) -> const std::string& { return p->name; },
+      [](autograd::Parameter* p) -> Tensor& { return p->var.value(); });
+  auto buffers = model.buffers();
+  read_tensors_into(
+      in, path, "buffer", buffers,
+      [](const autograd::Module::BufferRef& b) -> const std::string& {
+        return b.name;
+      },
+      [](const autograd::Module::BufferRef& b) -> Tensor& {
+        return *b.tensor;
+      });
+
+  const auto targets = model.fault_targets();
+  const uint32_t n_quant = read_pod<uint32_t>(in, path);
+  if (n_quant != targets.size())
+    fail(path, "fault-target count mismatch: file has " +
+                   std::to_string(n_quant) + ", model has " +
+                   std::to_string(targets.size()));
+  std::vector<QuantRecord> quant(n_quant);
+  std::vector<float> calibrations(n_quant, 0.0f);
+  for (uint32_t i = 0; i < n_quant; ++i) {
+    QuantRecord& q = quant[i];
+    q.quantized = read_pod<uint8_t>(in, path) != 0;
+    const bool live_quantized = targets[i].quantizer != nullptr;
+    if (q.quantized != live_quantized)
+      fail(path, "fault-target " + std::to_string(i) +
+                     " quantization mismatch with the live model");
+    if (!q.quantized) continue;
+    q.calibration = read_pod<float>(in, path);
+    q.bits = read_pod<int32_t>(in, path);
+    if (q.bits != targets[i].quantizer->bits())
+      fail(path, "fault-target " + std::to_string(i) + " bit-width mismatch");
+    const uint32_t ncodes = read_pod<uint32_t>(in, path);
+    if (ncodes != static_cast<uint32_t>(targets[i].param->var.value().numel()))
+      fail(path, "fault-target " + std::to_string(i) + " code count mismatch");
+    q.codes.resize(ncodes);
+    in.read(reinterpret_cast<char*>(q.codes.data()),
+            static_cast<std::streamsize>(ncodes * sizeof(int32_t)));
+    if (!in) fail(path, "truncated quantizer codes");
+    calibrations[i] = q.calibration;
+  }
+  model.restore_deployed(calibrations);
+  model.set_training(false);
+  return quant;
+}
+
+}  // namespace
+
+LoadedArtifact load_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "no such file");
+  RawArtifact raw = read_header(in, path);
+  LoadedArtifact art;
+  art.spec = std::move(raw.spec);
+  art.session_defaults = raw.session_defaults;
+  art.model = build_model(art.spec);
+  art.quant = read_state_into(in, path, *art.model);
+  return art;
+}
+
+bool load_artifact_into(models::TaskModel& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  RawArtifact raw = read_header(in, path);
+  const ModelSpec live = spec_of(model);
+  if (raw.spec.arch != live.arch || raw.spec.dims != live.dims ||
+      raw.spec.variant.variant != live.variant.variant)
+    fail(path, "descriptor does not match the live model (stale cache?)");
+  read_state_into(in, path, model);
+  return true;
+}
+
+void decode_quantized_weights(models::TaskModel& model,
+                              const std::vector<QuantRecord>& quant) {
+  const auto targets = model.fault_targets();
+  RIPPLE_CHECK(quant.size() == targets.size())
+      << "decode_quantized_weights: record/target count mismatch";
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (!quant[i].quantized) continue;
+    Tensor& w = targets[i].param->var.value();
+    w.copy_from(targets[i].quantizer->decode(quant[i].codes, w.shape()));
+  }
+}
+
+}  // namespace ripple::deploy

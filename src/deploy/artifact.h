@@ -1,0 +1,99 @@
+// The single-file deployment artifact (.rpla).
+//
+// The training pipeline ends in a *deployed* model: quantizer scales
+// frozen, latent weights replaced by their hardware values. Everything a
+// server needs to reconstruct that state — and nothing it doesn't — goes
+// into one file:
+//
+//   "RPLA" magic + format version
+//   architecture/variant descriptor   (ModelSpec: arch, topology dims,
+//                                      VariantConfig)
+//   default SessionOptions            (task kind, T, seed, batching knobs)
+//   named parameter & buffer tensors  (deployed fp32 values)
+//   frozen quantizer state            (per fault target: calibration
+//                                      scalar, bit width, integer codes)
+//
+// load_artifact() rebuilds the network object from the descriptor, loads
+// the tensors, and restores the deployed state — no in-process training,
+// no re-calibration. The integer codes let the kQuantSim backend serve the
+// hardware representation (decode through the bit codec) and give fault
+// injectors the exact deployed codes to flip. serve::InferenceSession::open
+// (deploy/deploy.h) is the one-call path from file to serving session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "models/task_model.h"
+#include "serve/session.h"
+
+namespace ripple::deploy {
+
+inline constexpr uint32_t kArtifactVersion = 1;
+inline constexpr const char* kArtifactExtension = ".rpla";
+
+/// Architecture + variant descriptor: everything needed to rebuild the
+/// network object the artifact's tensors load into.
+struct ModelSpec {
+  std::string arch;  // TaskModel::name(): "resnet" | "m5" | "lstm" | "unet"
+  /// Topology fields by name (e.g. {"width", 12}), in a fixed per-arch
+  /// order.
+  std::vector<std::pair<std::string, int64_t>> dims;
+  models::VariantConfig variant;
+};
+
+/// Extracts the descriptor of a live model.
+ModelSpec spec_of(const models::TaskModel& model);
+
+/// Constructs an untrained model matching `spec`. Throws on unknown arch
+/// or missing topology fields.
+std::unique_ptr<models::TaskModel> build_model(const ModelSpec& spec);
+
+/// Serving defaults appropriate for a model's task (classification for
+/// the classifiers, regression for the forecaster, segmentation for the
+/// U-Net) — what save_artifact embeds when the caller has no opinion.
+serve::SessionOptions default_session_options(const models::TaskModel& model);
+
+/// Frozen deployment state of one fault target (fault_targets() order).
+struct QuantRecord {
+  bool quantized = false;
+  float calibration = 0.0f;  // α (binary) / scale (k-bit)
+  int32_t bits = 0;
+  std::vector<int32_t> codes;  // deployed integer codes of the weight
+};
+
+struct LoadedArtifact {
+  ModelSpec spec;
+  std::unique_ptr<models::TaskModel> model;  // deployed, eval mode
+  serve::SessionOptions session_defaults;
+  std::vector<QuantRecord> quant;  // fault_targets() order
+};
+
+/// Serializes a deployed model into one .rpla file. `session_defaults`
+/// rides along as the artifact's serving configuration; pass
+/// default_session_options(model) when in doubt. Throws std::runtime_error
+/// on I/O failure; RIPPLE_CHECKs that the model is deployed.
+void save_artifact(models::TaskModel& model, const std::string& path,
+                   const serve::SessionOptions& session_defaults);
+
+/// Reads a .rpla file back into a freshly built, deployed, eval-mode
+/// model. Throws std::runtime_error on missing files, corrupt or truncated
+/// content, and format-version mismatch.
+LoadedArtifact load_artifact(const std::string& path);
+
+/// Restores an artifact into an existing undeployed model (whose spec must
+/// match the file's). Returns false when the file does not exist; throws
+/// on mismatch or corruption. The train-or-load cache path (models/zoo.h).
+bool load_artifact_into(models::TaskModel& model, const std::string& path);
+
+/// kQuantSim materialization: overwrite every quantized fault-target
+/// weight with quantizer->decode(codes) — the model then serves the
+/// integer hardware representation routed through the existing bit codec
+/// instead of the stored floats.
+void decode_quantized_weights(models::TaskModel& model,
+                              const std::vector<QuantRecord>& quant);
+
+}  // namespace ripple::deploy

@@ -1,0 +1,22 @@
+// Deployment execution substrates (ripple::deploy).
+//
+// One trained artifact (deploy/artifact.h) can be served on any of three
+// substrates; the choice is a deploy-time switch, not a different model:
+//   kFp32     — the digital fast path (packed SIMD GEMM), weights exactly
+//               as deployed.
+//   kQuantSim — weights reconstructed from the artifact's *integer codes*
+//               through the quantizer bit codec; serves the int8/PACT/1-bit
+//               hardware representation instead of the stored floats.
+//   kCrossbar — dense (and optionally conv) layers execute on the analog
+//               in-memory-compute crossbar simulator (imc/crossbar.h):
+//               DAC → programmed conductance pairs → ADC, with the
+//               crossbar's own non-idealities as fault-injection hooks.
+#pragma once
+
+namespace ripple::deploy {
+
+enum class Backend { kFp32, kQuantSim, kCrossbar };
+
+const char* backend_name(Backend b);
+
+}  // namespace ripple::deploy

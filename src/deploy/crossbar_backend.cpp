@@ -1,0 +1,112 @@
+#include "deploy/crossbar_backend.h"
+
+#include <cstring>
+
+#include "tensor/check.h"
+#include "tensor/random.h"
+
+namespace ripple::deploy {
+
+size_t CrossbarBackend::KeyHash::operator()(const Key& key) const {
+  uint64_t h = reinterpret_cast<uintptr_t>(key.w);
+  h = splitmix64(h ^ static_cast<uint64_t>(key.m) * 0x9e3779b97f4a7c15ull);
+  h = splitmix64(h ^ static_cast<uint64_t>(key.k));
+  return static_cast<size_t>(h);
+}
+
+CrossbarBackend::CrossbarBackend(CrossbarBackendOptions options)
+    : options_(options) {}
+
+const imc::Crossbar* CrossbarBackend::tile_for(const float* w, int64_t out,
+                                               int64_t in) const {
+  auto it = map_.find(Key{w, out, in});
+  return it == map_.end() ? nullptr : it->second.get();
+}
+
+const imc::Crossbar* CrossbarBackend::tile(const float* w, int64_t m,
+                                           int64_t k) {
+  const Key key{w, m, k};
+  auto it = map_.find(key);
+  if (it != map_.end()) return it->second.get();
+  // Unseen weight after freeze(): decline so the caller's digital path
+  // serves it deterministically. (Reaching this means weights were swapped
+  // without invalidate() — the same contract PackedACache documents.)
+  if (frozen()) return nullptr;
+
+  imc::CrossbarConfig cfg = options_.device;
+  cfg.rows = k;
+  cfg.cols = m;
+  auto xb = std::make_unique<imc::Crossbar>(cfg);
+  // One deterministic sub-stream per macro, in programming order (the
+  // warm-up forward's layer order, which is fixed for a given model).
+  Rng rng = Rng(options_.seed).fork(next_stream_++);
+  Tensor w2 = Tensor::empty({m, k});
+  std::memcpy(w2.data(), w, sizeof(float) * static_cast<size_t>(m * k));
+  xb->program(w2, rng);
+  if (options_.conductance_sigma_mult > 0.0 ||
+      options_.conductance_sigma_add > 0.0) {
+    xb->apply_conductance_variation(options_.conductance_sigma_mult,
+                                    options_.conductance_sigma_add, rng);
+  }
+  if (options_.stuck_fraction > 0.0)
+    xb->apply_stuck_cells(options_.stuck_fraction, rng);
+  const imc::Crossbar* out = xb.get();
+  map_.emplace(key, std::move(xb));
+  return out;
+}
+
+bool CrossbarBackend::linear(const Tensor& x, const Tensor& w,
+                             const float* bias, Tensor& out) {
+  const int64_t n = x.dim(0);
+  const int64_t fin = x.dim(1);
+  const int64_t fout = w.dim(0);
+  const imc::Crossbar* xb = tile(w.data(), fout, fin);
+  if (xb == nullptr) return false;
+  Tensor y = xb->matvec(x);  // [N, Fout], analog signal chain
+  float* po = out.data();
+  const float* py = y.data();
+  if (bias == nullptr) {
+    std::memcpy(po, py, sizeof(float) * static_cast<size_t>(n * fout));
+  } else {
+    // Digital bias addition, post-ADC (imc/crossbar_linear.h semantics).
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < fout; ++j)
+        po[i * fout + j] = py[i * fout + j] + bias[j];
+  }
+  return true;
+}
+
+bool CrossbarBackend::conv_cols(int64_t cout, int64_t l, int64_t ck,
+                                const float* w, const float* cols,
+                                float* stage, const float* row_bias) {
+  if (!options_.map_convs) return false;
+  const imc::Crossbar* xb = tile(w, cout, ck);
+  if (xb == nullptr) return false;
+  // The crossbar computes batched x·Wᵀ; the conv block wants
+  // W·cols = (colsᵀ·Wᵀ)ᵀ, so transpose the patch matrix through the macro.
+  Tensor xt = Tensor::empty({l, ck});
+  float* pxt = xt.data();
+  for (int64_t r = 0; r < ck; ++r)
+    for (int64_t c = 0; c < l; ++c) pxt[c * ck + r] = cols[r * l + c];
+  Tensor y = xb->matvec(xt);  // [L, Cout]
+  const float* py = y.data();
+  for (int64_t c = 0; c < cout; ++c) {
+    const float b = row_bias != nullptr ? row_bias[c] : 0.0f;
+    for (int64_t j = 0; j < l; ++j) stage[c * l + j] = py[j * cout + c] + b;
+  }
+  return true;
+}
+
+void CrossbarBackend::freeze() {
+  frozen_.store(true, std::memory_order_release);
+}
+
+void CrossbarBackend::invalidate() {
+  frozen_.store(false, std::memory_order_release);
+  map_.clear();
+  // Restart the sub-stream sequence: a re-programmed chip draws the same
+  // programming noise per layer (common random numbers across instances).
+  next_stream_ = 0;
+}
+
+}  // namespace ripple::deploy

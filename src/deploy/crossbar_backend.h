@@ -1,0 +1,95 @@
+// ExecutionBackend that runs dense layers on the analog IMC crossbar.
+//
+// Every distinct weight matrix a forward pass routes through linear()/
+// conv_cols() gets its own logically-sized crossbar macro (rows = fan-in,
+// cols = fan-out) sharing the configured device parameters (conductance
+// window, DAC/ADC resolution, programming noise). Crossbars are programmed
+// once, during the owning session's single-threaded warm-up pass, and the
+// map then freezes — the crossbar analogue of the frozen PackedACache, so
+// kCrossbar sessions stop re-programming (re-"packing") weights per call.
+//
+// Determinism: layer i (in first-forward programming order, which is fixed
+// for a given model) programs with the sub-stream Rng(seed).fork(i), and
+// the configured post-programming non-idealities (conductance variation,
+// stuck cells — the backend's fault-injection hooks) draw from the same
+// sub-stream. invalidate() resets the sub-stream counter with the map, so
+// a re-programmed chip (fault injection mutated the weights in place) sees
+// the same programming noise on the new weights — common random numbers
+// across chip instances, matching fault/evaluation.h's contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "deploy/exec_backend.h"
+#include "imc/crossbar.h"
+
+namespace ripple::deploy {
+
+struct CrossbarBackendOptions {
+  /// Device parameters shared by every per-layer macro; the geometry
+  /// (rows/cols) is overridden per layer.
+  imc::CrossbarConfig device;
+  /// Base seed of the per-layer programming streams.
+  uint64_t seed = 0x5eedcba5ull;
+  /// Post-programming conductance variation applied to every macro
+  /// (imc::Crossbar::apply_conductance_variation).
+  double conductance_sigma_mult = 0.0;
+  double conductance_sigma_add = 0.0;
+  /// Fraction of cells stuck at g_on/g_off (imc::Crossbar::apply_stuck_cells).
+  double stuck_fraction = 0.0;
+  /// Also map the im2col-lowered convolutions onto crossbars. Off by
+  /// default: the deployment the paper studies keeps convs digital and
+  /// maps the dense layers; turning this on runs every conv patch column
+  /// through the analog signal chain (slow, but exercises the full path).
+  bool map_convs = false;
+};
+
+class CrossbarBackend final : public ExecutionBackend {
+ public:
+  explicit CrossbarBackend(CrossbarBackendOptions options);
+
+  const char* name() const override { return "crossbar"; }
+
+  bool linear(const Tensor& x, const Tensor& w, const float* bias,
+              Tensor& out) override;
+  bool conv_cols(int64_t cout, int64_t l, int64_t ck, const float* w,
+                 const float* cols, float* stage,
+                 const float* row_bias) override;
+
+  void freeze() override;
+  void invalidate() override;
+
+  const CrossbarBackendOptions& options() const { return options_; }
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+  /// Programmed macros so far — tests assert this stays flat across
+  /// serving calls (no per-call re-programming).
+  size_t tiles() const { return map_.size(); }
+  /// The macro serving weight matrix (`w`, out×in) or nullptr.
+  const imc::Crossbar* tile_for(const float* w, int64_t out,
+                                int64_t in) const;
+
+ private:
+  struct Key {
+    const float* w;
+    int64_t m;
+    int64_t k;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  /// Looks up (frozen) or programs (recording) the macro for w[m,k].
+  /// Returns nullptr when frozen and unseen (caller falls back digital).
+  const imc::Crossbar* tile(const float* w, int64_t m, int64_t k);
+
+  CrossbarBackendOptions options_;
+  std::atomic<bool> frozen_{false};
+  uint64_t next_stream_ = 0;
+  std::unordered_map<Key, std::unique_ptr<imc::Crossbar>, KeyHash> map_;
+};
+
+}  // namespace ripple::deploy

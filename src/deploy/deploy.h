@@ -1,0 +1,39 @@
+// ripple::deploy — one artifact, pluggable execution substrates.
+//
+// The umbrella header for the deployment surface:
+//
+//   train → model.deploy() → save_artifact(model, "model.rpla", opts)
+//                                     │
+//        serve::InferenceSession::open("model.rpla", {.backend = …})
+//                                     │
+//             ┌───────────────┬───────┴────────┬────────────────┐
+//          kFp32          kQuantSim         kCrossbar
+//        digital GEMM   weights decoded    dense layers on the
+//        on the stored  from the integer   analog IMC crossbar
+//        fp32 values    codes (bit codec)  (DAC→G-pairs→ADC)
+//
+// One artifact serves all three substrates; the serve, batcher, fault-
+// evaluation and bench layers all speak the same InferenceSession API
+// regardless of the backend behind it.
+#pragma once
+
+#include <optional>
+
+#include "deploy/artifact.h"
+#include "deploy/backend_kind.h"
+#include "deploy/crossbar_backend.h"
+#include "deploy/exec_backend.h"
+#include "serve/session.h"
+
+namespace ripple::deploy {
+
+struct DeployOptions {
+  Backend backend = Backend::kFp32;
+  /// Overrides the artifact's embedded serving defaults when set.
+  std::optional<serve::SessionOptions> session;
+  /// kCrossbar substrate: device parameters, programming seed, and the
+  /// backend's fault-injection hooks (conductance variation, stuck cells).
+  CrossbarBackendOptions crossbar;
+};
+
+}  // namespace ripple::deploy

@@ -1,0 +1,30 @@
+#include "deploy/exec_backend.h"
+
+namespace ripple::deploy {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kFp32:
+      return "fp32";
+    case Backend::kQuantSim:
+      return "quantsim";
+    case Backend::kCrossbar:
+      return "crossbar";
+  }
+  return "unknown";
+}
+
+namespace {
+thread_local ExecutionBackend* t_active_backend = nullptr;
+}  // namespace
+
+ExecutionBackend* active_exec_backend() { return t_active_backend; }
+
+ExecBackendScope::ExecBackendScope(ExecutionBackend* backend)
+    : previous_(t_active_backend) {
+  t_active_backend = backend;
+}
+
+ExecBackendScope::~ExecBackendScope() { t_active_backend = previous_; }
+
+}  // namespace ripple::deploy

@@ -1,0 +1,38 @@
+// serve::InferenceSession::open — file → serving session, one call.
+// Lives in deploy/ so the serve layer itself stays independent of the
+// artifact reader and the concrete backends.
+#include "deploy/deploy.h"
+
+namespace ripple::serve {
+
+std::unique_ptr<InferenceSession> InferenceSession::open(
+    const std::string& path, const deploy::DeployOptions& options) {
+  deploy::LoadedArtifact art = deploy::load_artifact(path);
+  const SessionOptions session_options =
+      options.session.has_value() ? *options.session : art.session_defaults;
+
+  std::unique_ptr<deploy::ExecutionBackend> backend;
+  switch (options.backend) {
+    case deploy::Backend::kFp32:
+      break;  // stored fp32 values through the digital fast path
+    case deploy::Backend::kQuantSim:
+      // Serve the hardware representation: weights come from the frozen
+      // integer codes through the quantizer bit codec.
+      deploy::decode_quantized_weights(*art.model, art.quant);
+      break;
+    case deploy::Backend::kCrossbar:
+      backend = std::make_unique<deploy::CrossbarBackend>(options.crossbar);
+      break;
+  }
+  return std::make_unique<InferenceSession>(std::move(art.model),
+                                            session_options,
+                                            std::move(backend),
+                                            options.backend);
+}
+
+std::unique_ptr<InferenceSession> InferenceSession::open(
+    const std::string& path) {
+  return open(path, deploy::DeployOptions{});
+}
+
+}  // namespace ripple::serve

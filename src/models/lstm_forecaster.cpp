@@ -99,16 +99,8 @@ std::vector<nn::SpatialDropout*> LstmForecaster::spatial_dropout_layers() {
   return factory_.spatial_dropouts();
 }
 
-void LstmForecaster::deploy() {
-  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
-  for (fault::FaultTarget& t : targets_) {
-    if (t.quantizer == nullptr) continue;
-    Tensor& w = t.param->var.value();
-    t.quantizer->calibrate(w);
-    w.copy_from(t.quantizer->decode(t.quantizer->encode(w), w.shape()));
-  }
+void LstmForecaster::clear_weight_transforms() {
   for (auto& reset : transform_resets_) reset();
-  deployed_ = true;
 }
 
 std::vector<fault::FaultTarget> LstmForecaster::fault_targets() {

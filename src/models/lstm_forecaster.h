@@ -34,7 +34,6 @@ class LstmForecaster : public TaskModel {
   std::vector<core::InvertedNorm*> inverted_norm_layers() override;
   std::vector<nn::Dropout*> dropout_layers() override;
   std::vector<nn::SpatialDropout*> spatial_dropout_layers() override;
-  void deploy() override;
   std::vector<fault::FaultTarget> fault_targets() override;
   bool binary_weights() const override { return false; }
   const char* name() const override { return "lstm"; }
@@ -42,6 +41,7 @@ class LstmForecaster : public TaskModel {
   const Topology& topology() const { return topo_; }
 
  private:
+  void clear_weight_transforms() override;
   void quantize_cell(nn::LstmCell& cell);
 
   Topology topo_;

@@ -79,16 +79,8 @@ std::vector<nn::SpatialDropout*> M5::spatial_dropout_layers() {
   return factory_.spatial_dropouts();
 }
 
-void M5::deploy() {
-  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
-  for (fault::FaultTarget& t : targets_) {
-    if (t.quantizer == nullptr) continue;
-    Tensor& w = t.param->var.value();
-    t.quantizer->calibrate(w);
-    w.copy_from(t.quantizer->decode(t.quantizer->encode(w), w.shape()));
-  }
+void M5::clear_weight_transforms() {
   for (auto& reset : transform_resets_) reset();
-  deployed_ = true;
 }
 
 std::vector<fault::FaultTarget> M5::fault_targets() { return targets_; }

@@ -37,7 +37,6 @@ class M5 : public TaskModel {
   std::vector<core::InvertedNorm*> inverted_norm_layers() override;
   std::vector<nn::Dropout*> dropout_layers() override;
   std::vector<nn::SpatialDropout*> spatial_dropout_layers() override;
-  void deploy() override;
   std::vector<fault::FaultTarget> fault_targets() override;
   bool binary_weights() const override { return false; }
   const char* name() const override { return "m5"; }
@@ -45,6 +44,7 @@ class M5 : public TaskModel {
   const Topology& topology() const { return topo_; }
 
  private:
+  void clear_weight_transforms() override;
   template <typename LayerT>
   void quantize_weight(LayerT& layer);
 

@@ -122,22 +122,11 @@ std::vector<nn::SpatialDropout*> BinaryResNet::spatial_dropout_layers() {
   return factory_.spatial_dropouts();
 }
 
-void BinaryResNet::deploy() {
-  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
-  for (fault::FaultTarget& t : targets_) {
-    if (t.quantizer == nullptr) continue;
-    Tensor& w = t.param->var.value();
-    t.quantizer->calibrate(w);
-    w.copy_from(
-        t.quantizer->decode(t.quantizer->encode(w), w.shape()));
-  }
-  // Weight transforms become identity: the deployed values already are the
-  // hardware weights.
+void BinaryResNet::clear_weight_transforms() {
   for (auto* conv :
        {b1_conv1_.get(), b1_conv2_.get(), b2_conv1_.get(), b2_conv2_.get(),
         b2_skip_conv_.get()})
     conv->set_weight_transform(nullptr);
-  deployed_ = true;
 }
 
 std::vector<fault::FaultTarget> BinaryResNet::fault_targets() {

@@ -36,7 +36,6 @@ class BinaryResNet : public TaskModel {
   std::vector<core::InvertedNorm*> inverted_norm_layers() override;
   std::vector<nn::Dropout*> dropout_layers() override;
   std::vector<nn::SpatialDropout*> spatial_dropout_layers() override;
-  void deploy() override;
   std::vector<fault::FaultTarget> fault_targets() override;
   bool binary_weights() const override { return true; }
   const char* name() const override { return "resnet"; }
@@ -44,6 +43,7 @@ class BinaryResNet : public TaskModel {
   const Topology& topology() const { return topo_; }
 
  private:
+  void clear_weight_transforms() override;
   /// Binary conv: registers an owned BinaryQuantizer as weight transform.
   std::unique_ptr<nn::Conv2d> make_binary_conv(int64_t cin, int64_t cout,
                                                int64_t k, int64_t stride,

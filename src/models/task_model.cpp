@@ -1,12 +1,49 @@
 #include "models/task_model.h"
 
 #include "autograd/variable.h"
+#include "tensor/check.h"
 
 namespace ripple::models {
 
 Tensor TaskModel::predict(const Tensor& x) {
   autograd::NoGradGuard no_grad;
   return forward(x).value();
+}
+
+void TaskModel::deploy() {
+  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
+  for (fault::FaultTarget& t : fault_targets()) {
+    if (t.quantizer == nullptr) continue;
+    Tensor& w = t.param->var.value();
+    t.quantizer->calibrate(w);
+    w.copy_from(t.quantizer->decode(t.quantizer->encode(w), w.shape()));
+  }
+  // The deployed values already are the hardware weights; the transforms
+  // become identity.
+  clear_weight_transforms();
+  deployed_ = true;
+}
+
+std::vector<float> TaskModel::quantizer_calibrations() {
+  RIPPLE_CHECK(deployed_) << "quantizer_calibrations() before deploy()";
+  std::vector<float> out;
+  for (const fault::FaultTarget& t : fault_targets())
+    out.push_back(t.quantizer != nullptr ? t.quantizer->calibration() : 0.0f);
+  return out;
+}
+
+void TaskModel::restore_deployed(const std::vector<float>& calibrations) {
+  RIPPLE_CHECK(!deployed_) << "restore_deployed() on a deployed model";
+  const std::vector<fault::FaultTarget> targets = fault_targets();
+  RIPPLE_CHECK(calibrations.size() == targets.size())
+      << "restore_deployed: " << calibrations.size() << " calibrations for "
+      << targets.size() << " fault targets";
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i].quantizer == nullptr) continue;
+    targets[i].quantizer->set_calibration(calibrations[i]);
+  }
+  clear_weight_transforms();
+  deployed_ = true;
 }
 
 }  // namespace ripple::models

@@ -79,9 +79,22 @@ class TaskModel : public autograd::Module {
   }
 
   /// Freezes quantizers and replaces latent weights with their deployed
-  /// quantized values; weight transforms become identity afterwards.
-  virtual void deploy() = 0;
+  /// quantized values (calibrate → encode → decode over fault_targets());
+  /// weight transforms become identity afterwards. Shared by all
+  /// topologies — models only supply clear_weight_transforms().
+  void deploy();
   bool deployed() const { return deployed_; }
+
+  /// Frozen per-target quantizer calibrations (α / scale) in
+  /// fault_targets() order; 0 for full-precision targets. The digital-logic
+  /// constants a deployment artifact persists. Deployed models only.
+  std::vector<float> quantizer_calibrations();
+
+  /// Marks the model deployed from restored artifact state: the frozen
+  /// calibrations are installed instead of re-computed from weights (which
+  /// already hold the deployed values), and the QAT weight transforms are
+  /// cleared. `calibrations` follows fault_targets() order.
+  void restore_deployed(const std::vector<float>& calibrations);
 
   /// Parameters eligible for fault injection with their bit codecs.
   virtual std::vector<fault::FaultTarget> fault_targets() = 0;
@@ -97,6 +110,10 @@ class TaskModel : public autograd::Module {
   virtual const char* name() const = 0;
 
  protected:
+  /// Clears the QAT weight transforms once the deployed values live in the
+  /// parameter tensors (called by deploy()/restore_deployed()).
+  virtual void clear_weight_transforms() = 0;
+
   VariantConfig config_;
   nn::ActivationNoisePtr noise_;
   bool deployed_ = false;

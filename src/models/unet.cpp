@@ -80,16 +80,8 @@ std::vector<nn::SpatialDropout*> UNet::spatial_dropout_layers() {
   return factory_.spatial_dropouts();
 }
 
-void UNet::deploy() {
-  RIPPLE_CHECK(!deployed_) << "deploy() called twice";
-  for (fault::FaultTarget& t : targets_) {
-    if (t.quantizer == nullptr) continue;
-    Tensor& w = t.param->var.value();
-    t.quantizer->calibrate(w);
-    w.copy_from(t.quantizer->decode(t.quantizer->encode(w), w.shape()));
-  }
+void UNet::clear_weight_transforms() {
   for (auto& reset : transform_resets_) reset();
-  deployed_ = true;
 }
 
 std::vector<fault::FaultTarget> UNet::fault_targets() { return targets_; }

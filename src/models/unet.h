@@ -36,7 +36,6 @@ class UNet : public TaskModel {
   std::vector<core::InvertedNorm*> inverted_norm_layers() override;
   std::vector<nn::Dropout*> dropout_layers() override;
   std::vector<nn::SpatialDropout*> spatial_dropout_layers() override;
-  void deploy() override;
   std::vector<fault::FaultTarget> fault_targets() override;
   bool binary_weights() const override { return true; }
   const char* name() const override { return "unet"; }
@@ -44,6 +43,7 @@ class UNet : public TaskModel {
   const Topology& topology() const { return topo_; }
 
  private:
+  void clear_weight_transforms() override;
   /// conv(binary) → variant norm (grouped for proposed) → PACT → dropout,
   /// packaged as one Sequential stage.
   void make_stage(nn::Sequential& stage, int64_t cin, int64_t cout);

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "deploy/artifact.h"
 #include "tensor/check.h"
 #include "tensor/env.h"
 
@@ -114,18 +115,20 @@ bool load_state(autograd::Module& module, const std::string& path) {
   return true;
 }
 
-bool train_or_load(autograd::Module& model, const std::string& cache_key,
+bool train_or_load(TaskModel& model, const std::string& cache_key,
                    const std::function<void()>& train_fn) {
   const std::string dir = model_cache_dir();
   if (dir.empty()) {
     train_fn();
+    if (!model.deployed()) model.deploy();
     return false;
   }
   std::filesystem::create_directories(dir);
-  const std::string path = dir + "/" + cache_key + ".rplm";
-  if (load_state(model, path)) return true;
+  const std::string path = dir + "/" + cache_key + deploy::kArtifactExtension;
+  if (deploy::load_artifact_into(model, path)) return true;
   train_fn();
-  save_state(model, path);
+  if (!model.deployed()) model.deploy();
+  deploy::save_artifact(model, path, deploy::default_session_options(model));
   return false;
 }
 

@@ -1,16 +1,21 @@
 // Model state persistence and the train-or-load cache used by benches.
 //
 // Bench binaries share trained models (e.g. Table I and Fig. 5a both need
-// the four image classifiers); caching trained state under
+// the four image classifiers); caching deployment artifacts under
 // RIPPLE_MODEL_CACHE (default "ripple_model_cache/") makes each subsequent
-// bench start from the same trained weights instantly and keeps the whole
-// suite reproducible.
+// bench start from the same deployed weights instantly and keeps the whole
+// suite reproducible. Since the deploy/ redesign the cache stores .rpla
+// deployment artifacts (deploy/artifact.h) — the very files
+// serve::InferenceSession::open serves — instead of the old raw-state
+// .rplm dumps, so anything a bench trains is immediately servable without
+// retraining in-process.
 #pragma once
 
 #include <functional>
 #include <string>
 
 #include "autograd/module.h"
+#include "models/task_model.h"
 
 namespace ripple::models {
 
@@ -25,9 +30,12 @@ void save_state(autograd::Module& module, const std::string& path);
 /// missing; throws on name/shape mismatch (stale cache — delete it).
 bool load_state(autograd::Module& module, const std::string& path);
 
-/// Loads `<cache_dir>/<cache_key>.rplm` if present, otherwise runs
-/// train_fn and saves. Returns true when the cache was hit.
-bool train_or_load(autograd::Module& model, const std::string& cache_key,
+/// Loads the deployment artifact `<cache_dir>/<cache_key>.rpla` if
+/// present, otherwise runs train_fn, deploys the model (when train_fn did
+/// not) and saves the artifact. Either way the model comes back
+/// *deployed* — quantizer scales frozen, hardware weight values in place —
+/// ready for an InferenceSession. Returns true when the cache was hit.
+bool train_or_load(TaskModel& model, const std::string& cache_key,
                    const std::function<void()>& train_fn);
 
 }  // namespace ripple::models

@@ -28,6 +28,14 @@ class Quantizer {
   virtual void calibrate(const Tensor& w) = 0;
   virtual bool calibrated() const = 0;
 
+  /// The frozen calibration scalar (α for binary, scale for k-bit) — the
+  /// digital-logic constant a deployment artifact persists. Valid once
+  /// calibrated.
+  virtual float calibration() const = 0;
+  /// Restores a frozen calibration without re-reading weights (artifact
+  /// load path); the quantizer is calibrated afterwards.
+  virtual void set_calibration(float c) = 0;
+
   /// Bit width of one deployed weight.
   virtual int bits() const = 0;
 
@@ -44,6 +52,11 @@ class BinaryQuantizer : public Quantizer {
   autograd::Variable apply(const autograd::Variable& w) override;
   void calibrate(const Tensor& w) override;
   bool calibrated() const override { return calibrated_; }
+  float calibration() const override { return alpha_; }
+  void set_calibration(float c) override {
+    alpha_ = c;
+    calibrated_ = true;
+  }
   int bits() const override { return 1; }
   std::vector<int32_t> encode(const Tensor& w) const override;
   Tensor decode(const std::vector<int32_t>& codes,
@@ -65,6 +78,11 @@ class IntQuantizer : public Quantizer {
   autograd::Variable apply(const autograd::Variable& w) override;
   void calibrate(const Tensor& w) override;
   bool calibrated() const override { return calibrated_; }
+  float calibration() const override { return scale_; }
+  void set_calibration(float c) override {
+    scale_ = c;
+    calibrated_ = true;
+  }
   int bits() const override { return bits_; }
   std::vector<int32_t> encode(const Tensor& w) const override;
   Tensor decode(const std::vector<int32_t>& codes,

@@ -18,11 +18,18 @@ bool same_row_shape(const Tensor& a, const Tensor& b) {
   return true;
 }
 
+/// Rows a request contributes to a dispatched batch; degenerate inputs
+/// (undefined / rank 0) count 1 so they still move through the queue.
+int64_t rows_of(const Tensor& t) {
+  return t.defined() && t.rank() >= 1 ? t.dim(0) : 1;
+}
+
 }  // namespace
 
 AsyncBatcher::AsyncBatcher(const InferenceSession& session)
     : session_(session),
       max_batch_(session.options().batch_max_requests),
+      max_rows_(std::max<int64_t>(0, session.options().batch_max_rows)),
       max_delay_(std::max<int64_t>(0, session.options().batch_max_delay_us)),
       worker_count_(static_cast<size_t>(
           std::max(1, session.options().batcher_threads))) {
@@ -44,6 +51,7 @@ std::future<Prediction> AsyncBatcher::submit(Tensor input) {
       counters_.on_reject();
       RIPPLE_CHECK(false) << "AsyncBatcher::submit after close()";
     }
+    queued_rows_ += rows_of(input);
     queue_.push_back(Pending{std::move(input), std::move(promise),
                              std::chrono::steady_clock::now() + max_delay_});
     counters_.on_submit();
@@ -83,6 +91,7 @@ bool AsyncBatcher::closed() const {
 
 std::vector<AsyncBatcher::Pending> AsyncBatcher::take_batch() {
   std::vector<Pending> batch;
+  int64_t batch_rows = rows_of(queue_.front().input);
   batch.push_back(std::move(queue_.front()));
   queue_.pop_front();
   // By value: push_back below reallocates `batch`, so a reference into it
@@ -90,14 +99,24 @@ std::vector<AsyncBatcher::Pending> AsyncBatcher::take_batch() {
   const Tensor ref = batch.front().input;
   for (auto it = queue_.begin();
        it != queue_.end() && static_cast<int64_t>(batch.size()) < max_batch_;) {
+    const int64_t follower_rows = rows_of(it->input);
+    // Rows-based sizing: don't let a follower push the batch past the
+    // rows bound (the oldest request itself always dispatches, even when
+    // oversized). Skipped followers stay queued, FIFO, for the next batch.
+    if (max_rows_ > 0 && batch_rows + follower_rows > max_rows_) {
+      ++it;
+      continue;
+    }
     if (same_row_shape(it->input, ref)) {
+      batch_rows += follower_rows;
       batch.push_back(std::move(*it));
       it = queue_.erase(it);
     } else {
       ++it;
     }
   }
-  counters_.on_dispatch(batch.size());
+  queued_rows_ -= batch_rows;
+  counters_.on_dispatch(batch.size(), static_cast<size_t>(batch_rows));
   return batch;
 }
 
@@ -132,12 +151,14 @@ void AsyncBatcher::worker_loop() {
   for (;;) {
     cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
     if (closed_ && queue_.empty()) return;
-    // Coalescing wait: hold the batch open until max_batch requests are
-    // queued or the oldest request's deadline passes. Closing skips
-    // straight to dispatch (drain semantics). The front can change under
-    // us (another worker dispatched), so every wakeup re-reads it.
+    // Coalescing wait: hold the batch open until max_batch requests (or,
+    // with rows-based sizing, batch_max_rows rows) are queued or the
+    // oldest request's deadline passes. Closing skips straight to
+    // dispatch (drain semantics). The front can change under us (another
+    // worker dispatched), so every wakeup re-reads it.
     while (!closed_ && !queue_.empty() &&
-           static_cast<int64_t>(queue_.size()) < max_batch_) {
+           static_cast<int64_t>(queue_.size()) < max_batch_ &&
+           (max_rows_ == 0 || queued_rows_ < max_rows_)) {
       // Copy the deadline out: wait_until holds it by reference across the
       // unlocked wait, and another worker may dispatch (and free) the
       // front entry meanwhile.

@@ -34,6 +34,13 @@
 // exception reaches only the offending request's future — batchmates
 // still complete.
 //
+// Mixed-*size* traffic sizes batches in rows, not just requests: with
+// `batch_max_rows` set, a batch also dispatches once the queued rows reach
+// the bound, and coalescing stops before a request would push the
+// dispatched rows past it (a single oversized request still goes out
+// alone — it is the session's max_batch chunking's job to split it).
+// With the knob at 0 (default) only batch_max_requests sizes batches.
+//
 // Thread safety: submit/submit_many/close may be called from any thread.
 // The batcher only *reads* the session (predict_many is const and
 // thread-safe), so serving through a batcher and calling session.predict
@@ -83,6 +90,8 @@ class AsyncBatcher {
   const InferenceSession& session() const { return session_; }
   const BatcherCounters& counters() const { return counters_; }
   int64_t max_batch() const { return max_batch_; }
+  /// Rows bound per dispatched batch (0 = unbounded, requests-only sizing).
+  int64_t max_rows() const { return max_rows_; }
   int64_t max_delay_us() const { return max_delay_.count(); }
   int workers() const { return static_cast<int>(worker_count_); }
 
@@ -102,12 +111,14 @@ class AsyncBatcher {
 
   const InferenceSession& session_;
   const int64_t max_batch_;
+  const int64_t max_rows_;
   const std::chrono::microseconds max_delay_;
   const size_t worker_count_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
+  int64_t queued_rows_ = 0;  // rows across queue_, guarded by mutex_
   bool closed_ = false;
   std::vector<std::thread> workers_;
   std::mutex join_mutex_;  // serializes concurrent close() calls

@@ -35,11 +35,13 @@ void BatcherCounters::on_submit() {
 
 void BatcherCounters::on_reject() { rejected_.fetch_add(1, relaxed); }
 
-void BatcherCounters::on_dispatch(size_t batch_requests) {
+void BatcherCounters::on_dispatch(size_t batch_requests, size_t batch_rows) {
   batches_.fetch_add(1, relaxed);
   dispatched_.fetch_add(batch_requests, relaxed);
+  dispatched_rows_.fetch_add(batch_rows, relaxed);
   queue_depth_.fetch_sub(static_cast<int64_t>(batch_requests), relaxed);
   update_max(max_batch_, batch_requests);
+  update_max(max_rows_, batch_rows);
   histogram_[bucket_for(batch_requests)].fetch_add(1, relaxed);
 }
 
@@ -51,6 +53,13 @@ double BatcherCounters::mean_batch_requests() const {
   const uint64_t batches = batches_.load(relaxed);
   if (batches == 0) return 0.0;
   return static_cast<double>(dispatched_.load(relaxed)) /
+         static_cast<double>(batches);
+}
+
+double BatcherCounters::mean_batch_rows() const {
+  const uint64_t batches = batches_.load(relaxed);
+  if (batches == 0) return 0.0;
+  return static_cast<double>(dispatched_rows_.load(relaxed)) /
          static_cast<double>(batches);
 }
 

@@ -34,7 +34,7 @@ class BatcherCounters {
 
   void on_submit();
   void on_reject();
-  void on_dispatch(size_t batch_requests);
+  void on_dispatch(size_t batch_requests, size_t batch_rows);
   void on_complete(size_t batch_requests);
 
   uint64_t submitted() const { return submitted_.load(relaxed); }
@@ -48,8 +48,13 @@ class BatcherCounters {
   /// Largest batch dispatched so far — the coalescing tests assert this
   /// never exceeds the configured max.
   uint64_t max_batch_requests() const { return max_batch_.load(relaxed); }
+  /// Largest dispatched batch in *rows* — the rows-based sizing tests
+  /// assert this never exceeds batch_max_rows (oversized singletons
+  /// excepted).
+  uint64_t max_batch_rows() const { return max_rows_.load(relaxed); }
   /// Mean dispatched batch size (0 before the first dispatch).
   double mean_batch_requests() const;
+  double mean_batch_rows() const;
   uint64_t histogram_bucket(size_t bucket) const;
 
  private:
@@ -63,6 +68,8 @@ class BatcherCounters {
   std::atomic<int64_t> queue_depth_{0};
   std::atomic<uint64_t> max_queue_depth_{0};
   std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> max_rows_{0};
+  std::atomic<uint64_t> dispatched_rows_{0};
   std::array<std::atomic<uint64_t>, kHistogramBuckets> histogram_{};
 };
 

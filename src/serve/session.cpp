@@ -8,6 +8,7 @@
 #include "core/mc_stream.h"
 #include "core/uncertainty.h"
 #include "data/dataset.h"
+#include "deploy/exec_backend.h"
 #include "fault/mc_batch.h"
 #include "models/variants.h"
 #include "nn/dropout.h"
@@ -37,6 +38,17 @@ const char* task_kind_name(TaskKind kind) {
       return "segmentation";
   }
   return "unknown";
+}
+
+InferenceSession::InferenceSession(std::unique_ptr<models::TaskModel> model,
+                                   SessionOptions options,
+                                   std::unique_ptr<deploy::ExecutionBackend>
+                                       backend,
+                                   deploy::Backend backend_kind)
+    : InferenceSession(*model, options) {
+  owned_model_ = std::move(model);
+  backend_ = std::move(backend);
+  backend_kind_ = backend_kind;
 }
 
 InferenceSession::InferenceSession(models::TaskModel& model,
@@ -83,6 +95,10 @@ InferenceSession::~InferenceSession() {
 }
 
 Tensor InferenceSession::forward_cached(const Tensor& x) const {
+  // Route this pass's dense compute (linear / lowered conv) through the
+  // session's execution backend, if one is installed (kCrossbar). The
+  // backend shares the pack cache's record→freeze lifecycle below.
+  deploy::ExecBackendScope backend_scope(backend_.get());
   // Weight packs are only cacheable once the model is deployed: before
   // deploy(), weight transforms (binarization / fake quantization) emit a
   // freshly allocated tensor per forward, so a pointer key could alias a
@@ -113,12 +129,16 @@ Tensor InferenceSession::forward_cached(const Tensor& x) const {
   PackCacheScope cache_scope(&pack_cache_);
   Tensor y = model_.predict(x);
   pack_cache_.freeze();
+  if (backend_ != nullptr) backend_->freeze();
   return y;
 }
 
 void InferenceSession::invalidate_packed_weights() const {
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   pack_cache_.clear();
+  // The backend's per-layer state (programmed crossbars) is keyed the same
+  // way and goes just as stale on in-place mutation: re-record it too.
+  if (backend_ != nullptr) backend_->invalidate();
 }
 
 Tensor InferenceSession::run_chunk(const Tensor& xc,

@@ -32,11 +32,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <variant>
 #include <vector>
 
+#include "deploy/backend_kind.h"
 #include "models/task_model.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
@@ -44,6 +47,11 @@
 namespace ripple::core {
 class InvertedNorm;
 }
+
+namespace ripple::deploy {
+class ExecutionBackend;
+struct DeployOptions;
+}  // namespace ripple::deploy
 
 namespace ripple::serve {
 
@@ -91,6 +99,12 @@ struct SessionOptions {
   /// deadline). 0 dispatches immediately (no coalescing beyond what is
   /// already queued when a worker wakes).
   int64_t batch_max_delay_us = 1000;
+  /// Rows-based sizing for mixed-size traffic: a batch also dispatches
+  /// once the queued same-shape rows reach this bound, and coalescing
+  /// stops adding requests that would push the dispatched rows past it
+  /// (a single oversized request still dispatches alone). 0 = requests
+  /// only.
+  int64_t batch_max_rows = 0;
   /// Worker threads draining the batcher queue.
   int batcher_threads = 1;
 };
@@ -126,9 +140,26 @@ class InferenceSession {
   /// to eval + MC mode and assigns mask-stream slots to every stochastic
   /// layer. One session per model at a time.
   InferenceSession(models::TaskModel& model, SessionOptions options);
+
+  /// Owning form used by artifact deployment (InferenceSession::open): the
+  /// session owns the loaded model and, when `backend` is non-null, routes
+  /// every forward's dense compute through it (deploy/exec_backend.h).
+  InferenceSession(std::unique_ptr<models::TaskModel> model,
+                   SessionOptions options,
+                   std::unique_ptr<deploy::ExecutionBackend> backend,
+                   deploy::Backend backend_kind);
   ~InferenceSession();
   InferenceSession(const InferenceSession&) = delete;
   InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// Opens a deployment artifact (deploy/artifact.h) on the execution
+  /// substrate selected by `options.backend` — no in-process training, no
+  /// re-calibration. Defined in deploy/open.cpp; include deploy/deploy.h
+  /// to construct DeployOptions. The overload without options serves the
+  /// artifact's embedded defaults on the fp32 backend.
+  static std::unique_ptr<InferenceSession> open(
+      const std::string& path, const deploy::DeployOptions& options);
+  static std::unique_ptr<InferenceSession> open(const std::string& path);
 
   /// One uncertainty-aware prediction for a batch x [N, ...]; the held
   /// alternative matches options().task. Thread-safe and deterministic:
@@ -160,6 +191,11 @@ class InferenceSession {
 
   models::TaskModel& model() const { return model_; }
   const SessionOptions& options() const { return options_; }
+  /// Execution substrate this session serves on (kFp32 unless opened from
+  /// an artifact with a different choice).
+  deploy::Backend backend() const { return backend_kind_; }
+  /// The installed execution backend, or nullptr (fp32/quantsim digital).
+  deploy::ExecutionBackend* exec_backend() const { return backend_.get(); }
   /// Effective stochastic samples T (after deterministic clamping).
   int samples() const { return samples_; }
   /// Resolved execution policy (kAuto → kBatched).
@@ -190,6 +226,11 @@ class InferenceSession {
   Regression aggregate_regression(const Tensor& stacked) const;
   Segmentation aggregate_segmentation(const Tensor& stacked) const;
 
+  /// Owned when the session was opened from an artifact; model_ then
+  /// references *owned_model_. Declared first so model_ can bind to it.
+  std::unique_ptr<models::TaskModel> owned_model_;
+  std::unique_ptr<deploy::ExecutionBackend> backend_;
+  deploy::Backend backend_kind_ = deploy::Backend::kFp32;
   models::TaskModel& model_;
   SessionOptions options_;
   int samples_ = 1;

@@ -295,21 +295,79 @@ TEST(BatcherCountersTest, HistogramBucketsArePowerOfTwoRanges) {
   EXPECT_EQ(BatcherCounters::bucket_for(100000), 7u);
 }
 
+// ---- rows-based batch sizing ----------------------------------------------
+// Mixed-size traffic with batch_max_rows set: every future still completes
+// bit-exactly equal to the predict oracle, and no coalesced batch exceeds
+// the rows bound (a single oversized request is the allowed exception).
+
+TEST(BatcherRows, MixedSizesRespectRowsBound) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             proposed());
+  SessionOptions opts = batcher_options(TaskKind::kClassification, 3, 77,
+                                        /*max_requests=*/16,
+                                        /*max_delay_us=*/20'000,
+                                        /*threads=*/1);
+  opts.batch_max_rows = 4;
+  InferenceSession session(model, opts);
+  AsyncBatcher batcher(session);
+
+  Rng rng(12);
+  const std::vector<int64_t> sizes = {3, 2, 1, 4, 2, 2, 1, 3};
+  std::vector<Tensor> inputs;
+  for (int64_t n : sizes) inputs.push_back(Tensor::randn({n, 3, 16, 16}, rng));
+  std::vector<std::future<Prediction>> futures;
+  for (const Tensor& x : inputs) futures.push_back(batcher.submit(x));
+  for (size_t i = 0; i < futures.size(); ++i)
+    EXPECT_TRUE(predictions_equal(futures[i].get(), session.predict(inputs[i])))
+        << "request " << i;
+  batcher.close();
+  EXPECT_EQ(batcher.max_rows(), 4);
+  EXPECT_EQ(batcher.counters().completed(), sizes.size());
+  // No request exceeds the bound, so no dispatched batch may either.
+  EXPECT_LE(batcher.counters().max_batch_rows(), 4u);
+  EXPECT_GE(batcher.counters().batches(), 5u);  // ceil(18 rows / 4) batches
+}
+
+TEST(BatcherRows, OversizedRequestDispatchesAlone) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             proposed());
+  SessionOptions opts = batcher_options(TaskKind::kClassification, 3, 78,
+                                        /*max_requests=*/16,
+                                        /*max_delay_us=*/20'000,
+                                        /*threads=*/1);
+  opts.batch_max_rows = 4;
+  InferenceSession session(model, opts);
+  AsyncBatcher batcher(session);
+  Rng rng(13);
+  Tensor big = Tensor::randn({7, 3, 16, 16}, rng);
+  Tensor small = Tensor::randn({2, 3, 16, 16}, rng);
+  auto f1 = batcher.submit(big);
+  auto f2 = batcher.submit(small);
+  EXPECT_TRUE(predictions_equal(f1.get(), session.predict(big)));
+  EXPECT_TRUE(predictions_equal(f2.get(), session.predict(small)));
+  batcher.close();
+  // The 7-row request went out; it can only have gone out by itself.
+  EXPECT_GE(batcher.counters().max_batch_rows(), 7u);
+  EXPECT_GE(batcher.counters().batches(), 2u);
+}
+
 TEST(BatcherCountersTest, DispatchAccounting) {
   BatcherCounters c;
   for (int i = 0; i < 5; ++i) c.on_submit();
   EXPECT_EQ(c.submitted(), 5u);
   EXPECT_EQ(c.queue_depth(), 5);
   EXPECT_EQ(c.max_queue_depth(), 5u);
-  c.on_dispatch(3);
-  c.on_dispatch(2);
+  c.on_dispatch(3, 9);
+  c.on_dispatch(2, 3);
   c.on_complete(3);
   c.on_complete(2);
   EXPECT_EQ(c.batches(), 2u);
   EXPECT_EQ(c.queue_depth(), 0);
   EXPECT_EQ(c.completed(), 5u);
   EXPECT_EQ(c.max_batch_requests(), 3u);
+  EXPECT_EQ(c.max_batch_rows(), 9u);
   EXPECT_DOUBLE_EQ(c.mean_batch_requests(), 2.5);
+  EXPECT_DOUBLE_EQ(c.mean_batch_rows(), 6.0);
   EXPECT_EQ(c.histogram_bucket(BatcherCounters::bucket_for(3)), 1u);
   EXPECT_EQ(c.histogram_bucket(BatcherCounters::bucket_for(2)), 1u);
 }

@@ -1,0 +1,427 @@
+// ripple::deploy — the deployment artifact and the pluggable execution
+// backends: save→load→predict round-trips bit-exact against the live
+// model for all four task models (frozen quantizer scales included),
+// kQuantSim serving from the integer codes through the bit codec,
+// kCrossbar matching imc::crossbar_linear for the same seed (with the
+// frozen program cache and its fault-injection invalidate hook), the
+// corrupt/truncated/version-mismatch error paths, and the artifact-backed
+// models::zoo::train_or_load cache.
+#include "deploy/deploy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "imc/crossbar_linear.h"
+#include "models/lstm_forecaster.h"
+#include "models/m5.h"
+#include "models/resnet.h"
+#include "models/unet.h"
+#include "models/zoo.h"
+#include "serve/session.h"
+
+namespace ripple {
+namespace {
+
+using deploy::Backend;
+using deploy::CrossbarBackend;
+using deploy::DeployOptions;
+using serve::InferenceSession;
+using serve::SessionOptions;
+using serve::TaskKind;
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+SessionOptions options_for(TaskKind task, int samples = 4,
+                           uint64_t seed = 17) {
+  SessionOptions opts;
+  opts.task = task;
+  opts.mc_samples = samples;
+  opts.seed = seed;
+  return opts;
+}
+
+void expect_bit_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           sizeof(float) * static_cast<size_t>(a.numel())))
+      << what;
+}
+
+/// Deploys `model`, round-trips it through an artifact, and asserts the
+/// loaded session predicts bit-exactly what a session over the live model
+/// predicts — the acceptance contract of the deployment redesign.
+template <typename ModelT>
+void roundtrip_and_check(ModelT& model, const SessionOptions& opts,
+                         const Tensor& x, const char* tag) {
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path(tag);
+  deploy::save_artifact(model, path, opts);
+
+  deploy::LoadedArtifact art = deploy::load_artifact(path);
+  EXPECT_EQ(art.spec.arch, model.name());
+  EXPECT_TRUE(art.model->deployed());
+  EXPECT_EQ(art.session_defaults.task, opts.task);
+  EXPECT_EQ(art.session_defaults.seed, opts.seed);
+
+  // Every parameter, buffer and frozen calibration survives bit-exactly.
+  auto live_params = model.parameters();
+  auto loaded_params = art.model->parameters();
+  ASSERT_EQ(live_params.size(), loaded_params.size());
+  for (size_t i = 0; i < live_params.size(); ++i) {
+    EXPECT_EQ(live_params[i]->name, loaded_params[i]->name);
+    expect_bit_equal(live_params[i]->var.value(), loaded_params[i]->var.value(),
+                     live_params[i]->name.c_str());
+  }
+  auto live_buffers = model.buffers();
+  auto loaded_buffers = art.model->buffers();
+  ASSERT_EQ(live_buffers.size(), loaded_buffers.size());
+  for (size_t i = 0; i < live_buffers.size(); ++i)
+    expect_bit_equal(*live_buffers[i].tensor, *loaded_buffers[i].tensor,
+                     live_buffers[i].name.c_str());
+  EXPECT_EQ(model.quantizer_calibrations(),
+            art.model->quantizer_calibrations());
+
+  // One session over the live trained model, one opened from the file: the
+  // raw stacked MC outputs must agree to the bit — no in-process training
+  // anywhere in the serving path.
+  InferenceSession live(model, opts);
+  auto served = InferenceSession::open(path);
+  EXPECT_EQ(served->backend(), Backend::kFp32);
+  expect_bit_equal(live.mc_outputs(x), served->mc_outputs(x), tag);
+}
+
+TEST(Artifact, ResNetRoundTrip) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kProposed});
+  Rng rng(3);
+  roundtrip_and_check(model, options_for(TaskKind::kClassification),
+                      Tensor::randn({3, 3, 16, 16}, rng), "resnet.rpla");
+}
+
+TEST(Artifact, M5RoundTrip) {
+  models::M5 model({.classes = 8, .width = 4, .input_length = 256},
+                   {.variant = models::Variant::kSpinDrop});
+  Rng rng(4);
+  roundtrip_and_check(model, options_for(TaskKind::kClassification),
+                      Tensor::randn({2, 1, 256}, rng), "m5.rpla");
+}
+
+TEST(Artifact, LstmRoundTrip) {
+  models::LstmForecaster model({.hidden = 8, .window = 8},
+                               {.variant = models::Variant::kProposed});
+  Rng rng(5);
+  roundtrip_and_check(model, options_for(TaskKind::kRegression),
+                      Tensor::randn({4, 8, 1}, rng), "lstm.rpla");
+}
+
+TEST(Artifact, UNetRoundTrip) {
+  models::UNet model({.base_channels = 8, .activation_bits = 4},
+                     {.variant = models::Variant::kSpatialSpinDrop});
+  Rng rng(6);
+  roundtrip_and_check(model, options_for(TaskKind::kSegmentation, 3),
+                      Tensor::randn({2, 1, 8, 8}, rng), "unet.rpla");
+}
+
+TEST(Artifact, SaveRequiresDeployedModel) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kProposed});
+  EXPECT_THROW(deploy::save_artifact(model, temp_path("undeployed.rpla"),
+                                     SessionOptions{}),
+               std::exception);
+}
+
+// ---- backends --------------------------------------------------------------
+
+TEST(Backends, QuantSimMatchesEncodeDecodePath) {
+  models::M5 model({.classes = 8, .width = 4, .input_length = 256},
+                   {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path("m5_quantsim.rpla");
+  deploy::save_artifact(model, path,
+                        options_for(TaskKind::kClassification));
+
+  auto fp32 = InferenceSession::open(path);
+  auto quantsim =
+      InferenceSession::open(path, {.backend = Backend::kQuantSim});
+  EXPECT_EQ(quantsim->backend(), Backend::kQuantSim);
+
+  // The codes round-trip through the codec onto exactly the deployed
+  // values (deploy() already decoded them once), so serving from codes is
+  // bit-identical to serving the stored floats…
+  const auto live_targets = model.fault_targets();
+  const auto sim_targets = quantsim->model().fault_targets();
+  ASSERT_EQ(live_targets.size(), sim_targets.size());
+  for (size_t i = 0; i < live_targets.size(); ++i) {
+    if (live_targets[i].quantizer == nullptr) continue;
+    const Tensor& w = live_targets[i].param->var.value();
+    Tensor recoded = live_targets[i].quantizer->decode(
+        live_targets[i].quantizer->encode(w), w.shape());
+    expect_bit_equal(recoded, sim_targets[i].param->var.value(),
+                     "decode(encode(w)) == quantsim weights");
+  }
+  // …and so are the predictions.
+  Rng rng(7);
+  Tensor x = Tensor::randn({2, 1, 256}, rng);
+  expect_bit_equal(fp32->mc_outputs(x), quantsim->mc_outputs(x),
+                   "quantsim == fp32 outputs");
+}
+
+TEST(Backends, CrossbarLinearParity) {
+  // The backend's linear must reproduce imc::CrossbarLinear exactly for
+  // the same device config and programming seed.
+  const int64_t fin = 24, fout = 10, n = 5;
+  Rng rng(21);
+  Tensor w = Tensor::randn({fout, fin}, rng, 0.0f, 0.4f);
+  Tensor bias = Tensor::randn({fout}, rng, 0.0f, 0.1f);
+  Tensor x = Tensor::randn({n, fin}, rng);
+
+  deploy::CrossbarBackendOptions opts;
+  opts.device.sigma_programming = 0.05;
+  opts.seed = 99;
+  CrossbarBackend backend(opts);
+  Tensor out = Tensor::empty({n, fout});
+  ASSERT_TRUE(backend.linear(x, w, bias.data(), out));
+
+  imc::CrossbarConfig cfg = opts.device;
+  cfg.rows = fin;
+  cfg.cols = fout;
+  imc::CrossbarLinear reference(cfg);
+  Rng prog_rng = Rng(opts.seed).fork(0);  // the backend's first sub-stream
+  reference.program(w, bias, prog_rng);
+  Tensor expected = reference.forward(autograd::Variable(x)).value();
+  expect_bit_equal(expected, out, "CrossbarBackend == CrossbarLinear");
+
+  // Frozen cache: the same tile serves later calls (no re-programming)…
+  backend.freeze();
+  Tensor out2 = Tensor::empty({n, fout});
+  ASSERT_TRUE(backend.linear(x, w, bias.data(), out2));
+  expect_bit_equal(out, out2, "frozen tile is reused");
+  EXPECT_EQ(backend.tiles(), 1u);
+  // …and unseen weights decline instead of programming mid-serve.
+  Tensor w2 = Tensor::randn({fout, fin}, rng);
+  EXPECT_FALSE(backend.linear(x, w2, nullptr, out2));
+}
+
+TEST(Backends, CrossbarSessionDeterministicAndCached) {
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path("resnet_xbar.rpla");
+  deploy::save_artifact(model, path,
+                        options_for(TaskKind::kClassification));
+
+  DeployOptions dopts;
+  dopts.backend = Backend::kCrossbar;
+  dopts.crossbar.seed = 1234;
+  dopts.crossbar.device.sigma_programming = 0.05;
+  auto session = InferenceSession::open(path, dopts);
+  EXPECT_EQ(session->backend(), Backend::kCrossbar);
+
+  Rng rng(8);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor first = session->mc_outputs(x);
+  Tensor second = session->mc_outputs(x);
+  expect_bit_equal(first, second, "crossbar serving is deterministic");
+
+  // The ResNet maps one dense layer (the classifier head) onto one
+  // crossbar macro, programmed once per session — not per call.
+  auto* backend = dynamic_cast<CrossbarBackend*>(session->exec_backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_TRUE(backend->frozen());
+  EXPECT_EQ(backend->tiles(), 1u);
+
+  // Fault-injection hook: invalidation re-programs from the (unchanged)
+  // weights with the same per-layer streams — bit-identical results.
+  session->invalidate_packed_weights();
+  EXPECT_EQ(backend->tiles(), 0u);
+  expect_bit_equal(first, session->mc_outputs(x),
+                   "re-programmed chip instance matches");
+  EXPECT_EQ(backend->tiles(), 1u);
+
+  // A second open of the same artifact serves the same bits.
+  auto again = InferenceSession::open(path, dopts);
+  expect_bit_equal(first, again->mc_outputs(x), "reopen matches");
+}
+
+TEST(Backends, CrossbarConcurrentPredictsAreExact) {
+  // The serving contract extends to the analog substrate: any number of
+  // threads may predict through one kCrossbar session, all routed through
+  // the shared frozen tile map, and every result is bit-identical to the
+  // single-threaded oracle. (CI runs this under ThreadSanitizer.)
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path("resnet_xbar_mt.rpla");
+  deploy::save_artifact(model, path,
+                        options_for(TaskKind::kClassification));
+  DeployOptions dopts;
+  dopts.backend = Backend::kCrossbar;
+  dopts.crossbar.device.sigma_programming = 0.05;
+  auto session = InferenceSession::open(path, dopts);
+
+  constexpr int kThreads = 8;
+  Rng rng(14);
+  std::vector<Tensor> inputs;
+  for (int i = 0; i < kThreads; ++i)
+    inputs.push_back(Tensor::randn({2, 3, 16, 16}, rng));
+  std::vector<Tensor> expected;
+  expected.push_back(session->mc_outputs(inputs[0]));  // warm-up included
+  for (int i = 1; i < kThreads; ++i)
+    expected.push_back(session->mc_outputs(inputs[i]));
+
+  std::vector<Tensor> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&, t] { got[t] = session->mc_outputs(inputs[t]); });
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t)
+    expect_bit_equal(expected[t], got[t], "concurrent crossbar predict");
+  auto* backend = dynamic_cast<CrossbarBackend*>(session->exec_backend());
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->tiles(), 1u);
+}
+
+TEST(Backends, CrossbarMapsConvsWhenAsked) {
+  models::M5 model({.classes = 8, .width = 4, .input_length = 256},
+                   {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path("m5_xbar.rpla");
+  deploy::save_artifact(model, path,
+                        options_for(TaskKind::kClassification, 2));
+
+  DeployOptions dopts;
+  dopts.backend = Backend::kCrossbar;
+  dopts.crossbar.map_convs = true;
+  auto session = InferenceSession::open(path, dopts);
+  Rng rng(9);
+  Tensor x = Tensor::randn({2, 1, 256}, rng);
+  Tensor first = session->mc_outputs(x);
+  expect_bit_equal(first, session->mc_outputs(x),
+                   "conv-mapped serving is deterministic");
+  auto* backend = dynamic_cast<CrossbarBackend*>(session->exec_backend());
+  ASSERT_NE(backend, nullptr);
+  // Three convs + the head each own a macro.
+  EXPECT_EQ(backend->tiles(), 4u);
+  for (int64_t i = 0; i < first.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(first.data()[i]));
+}
+
+// ---- error paths -----------------------------------------------------------
+
+TEST(ArtifactErrors, MissingFile) {
+  EXPECT_THROW(deploy::load_artifact(temp_path("nope.rpla")),
+               std::runtime_error);
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kProposed});
+  EXPECT_FALSE(deploy::load_artifact_into(model, temp_path("nope.rpla")));
+}
+
+class ArtifactFileErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                               {.variant = models::Variant::kProposed});
+    model.set_training(false);
+    model.deploy();
+    path_ = temp_path("err.rpla");
+    deploy::save_artifact(model, path_,
+                          options_for(TaskKind::kClassification));
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  void write_bytes(size_t count) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes_.data(), static_cast<std::streamsize>(count));
+  }
+
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(ArtifactFileErrors, BadMagic) {
+  bytes_[0] = 'X';
+  write_bytes(bytes_.size());
+  EXPECT_THROW(deploy::load_artifact(path_), std::runtime_error);
+}
+
+TEST_F(ArtifactFileErrors, VersionMismatch) {
+  bytes_[4] = 99;  // u32 version little-endian low byte
+  write_bytes(bytes_.size());
+  try {
+    deploy::load_artifact(path_);
+    FAIL() << "expected a version error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+}
+
+TEST_F(ArtifactFileErrors, TruncatedHeader) {
+  write_bytes(16);
+  EXPECT_THROW(deploy::load_artifact(path_), std::runtime_error);
+}
+
+TEST_F(ArtifactFileErrors, TruncatedTensorPayload) {
+  write_bytes(bytes_.size() / 2);
+  EXPECT_THROW(deploy::load_artifact(path_), std::runtime_error);
+}
+
+TEST_F(ArtifactFileErrors, SpecMismatchOnLoadInto) {
+  write_bytes(bytes_.size());
+  models::BinaryResNet wider({.in_channels = 3, .classes = 10, .width = 6},
+                             {.variant = models::Variant::kProposed});
+  EXPECT_THROW(deploy::load_artifact_into(wider, path_), std::runtime_error);
+}
+
+// ---- zoo train-or-load over artifacts --------------------------------------
+
+TEST(Zoo, TrainOrLoadCachesDeploymentArtifacts) {
+  const std::string dir = temp_path("zoo_cache");
+  std::filesystem::remove_all(dir);  // hermetic across test runs
+  ASSERT_EQ(setenv("RIPPLE_MODEL_CACHE", dir.c_str(), 1), 0);
+
+  models::LstmForecaster a({.hidden = 8, .window = 8},
+                           {.variant = models::Variant::kProposed});
+  int trained = 0;
+  EXPECT_FALSE(models::train_or_load(a, "lstm_test", [&] { ++trained; }));
+  EXPECT_EQ(trained, 1);
+  EXPECT_TRUE(a.deployed());
+
+  // A second model with the same key loads the artifact — deployed, no
+  // training — and serves the exact same bits.
+  models::LstmForecaster b({.hidden = 8, .window = 8},
+                           {.variant = models::Variant::kProposed});
+  EXPECT_TRUE(models::train_or_load(b, "lstm_test", [&] { ++trained; }));
+  EXPECT_EQ(trained, 1);
+  EXPECT_TRUE(b.deployed());
+
+  const SessionOptions opts = options_for(TaskKind::kRegression);
+  InferenceSession sa(a, opts);
+  InferenceSession sb(b, opts);
+  Rng rng(10);
+  Tensor x = Tensor::randn({3, 8, 1}, rng);
+  expect_bit_equal(sa.mc_outputs(x), sb.mc_outputs(x),
+                   "cache hit serves identical bits");
+  ASSERT_EQ(unsetenv("RIPPLE_MODEL_CACHE"), 0);
+}
+
+}  // namespace
+}  // namespace ripple
