@@ -281,7 +281,8 @@ BENCHMARK(BM_AsyncBatcherLstmSmall)
 // integer codes (identical arithmetic once open — the delta to kFp32 is
 // pure noise); kCrossbar runs the classifier head through the analog
 // DAC→conductance→ADC simulator per call, pre-programmed once by the
-// frozen crossbar cache.
+// frozen crossbar cache — monolithic (unbounded geometry) vs tiled
+// (64×64 tiles, bit-sliced columns, shared ADCs).
 
 const std::string& backend_artifact() {
   static const std::string path = [] {
@@ -329,10 +330,30 @@ BENCHMARK(BM_SessionPredictQuantSim)->Arg(8);
 void BM_SessionPredictCrossbar(benchmark::State& state) {
   deploy::DeployOptions dopts;
   dopts.backend = deploy::Backend::kCrossbar;
+  // Unbounded geometry: the legacy monolithic one-macro-per-matrix
+  // mapping — the baseline the tiled variant below is compared against.
+  dopts.crossbar.geometry = imc::TileGeometry::unbounded();
   dopts.crossbar.device.sigma_programming = 0.02;
   run_backend_predict(state, dopts);
 }
 BENCHMARK(BM_SessionPredictCrossbar)->Arg(8);
+
+// Realistic hardware geometry: 64×64 physical tiles, 8-bit bit-sliced
+// columns (the head's 10 outputs span 80 physical columns across two
+// tiles) and 8-columns-per-ADC time multiplexing. The delta against
+// BM_SessionPredictCrossbar is the serving cost of the tiling compiler's
+// fidelity — per-tile partial sums, bit-plane recombine, shared-ADC
+// ranging (docs/PERF.md records the ratio).
+void BM_SessionPredictCrossbarTiled(benchmark::State& state) {
+  deploy::DeployOptions dopts;
+  dopts.backend = deploy::Backend::kCrossbar;
+  dopts.crossbar.geometry = imc::TileGeometry{64, 64};
+  dopts.crossbar.slice_bits = 8;
+  dopts.crossbar.adc_share = 8;
+  dopts.crossbar.device.sigma_programming = 0.02;
+  run_backend_predict(state, dopts);
+}
+BENCHMARK(BM_SessionPredictCrossbarTiled)->Arg(8);
 
 }  // namespace
 

@@ -9,7 +9,10 @@
 #                     vs BM_Mc*Serial at the same T.
 #   BENCH_serve.json— serving-layer overhead (bench/perf_serve.cpp);
 #                     compare BM_SessionPredict* against the raw
-#                     BM_RawMcForwardBatched*/BM_Mc*Batched numbers.
+#                     BM_RawMcForwardBatched*/BM_Mc*Batched numbers, and
+#                     BM_SessionPredictCrossbarTiled (64×64 tiles,
+#                     bit-sliced columns, shared ADCs) against the
+#                     monolithic BM_SessionPredictCrossbar baseline.
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
 set -euo pipefail

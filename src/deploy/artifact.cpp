@@ -104,8 +104,8 @@ models::VariantConfig read_variant(std::ifstream& in,
   return v;
 }
 
-void write_session_options(std::ofstream& out,
-                           const serve::SessionOptions& o) {
+void write_session_options(std::ofstream& out, const serve::SessionOptions& o,
+                           uint32_t version) {
   write_pod(out, static_cast<int32_t>(o.task));
   write_pod(out, static_cast<int32_t>(o.mc_samples));
   write_pod(out, o.seed);
@@ -116,10 +116,13 @@ void write_session_options(std::ofstream& out,
   write_pod(out, o.batch_max_delay_us);
   write_pod(out, o.batch_max_rows);
   write_pod(out, static_cast<int32_t>(o.batcher_threads));
+  if (version >= 2)
+    write_pod(out, static_cast<uint8_t>(o.batch_adaptive_delay ? 1 : 0));
 }
 
 serve::SessionOptions read_session_options(std::ifstream& in,
-                                           const std::string& path) {
+                                           const std::string& path,
+                                           uint32_t version) {
   serve::SessionOptions o;
   o.task = static_cast<serve::TaskKind>(read_pod<int32_t>(in, path));
   o.mc_samples = read_pod<int32_t>(in, path);
@@ -131,7 +134,54 @@ serve::SessionOptions read_session_options(std::ifstream& in,
   o.batch_max_delay_us = read_pod<int64_t>(in, path);
   o.batch_max_rows = read_pod<int64_t>(in, path);
   o.batcher_threads = read_pod<int32_t>(in, path);
+  // Version 1 predates the adaptive-delay knob; keep its default (off).
+  if (version >= 2) o.batch_adaptive_delay = read_pod<uint8_t>(in, path) != 0;
   return o;
+}
+
+// ---- bit-packed quantizer codes (format version >= 2) ----------------------
+// Every code occupies exactly its quantizer's low `bits` bits, packed
+// little-endian into uint32 words — a binary weight costs 1 bit on disk
+// instead of version 1's 32.
+
+size_t packed_code_words(size_t ncodes, int bits) {
+  return (ncodes * static_cast<size_t>(bits) + 31) / 32;
+}
+
+std::vector<uint32_t> pack_codes(const std::vector<int32_t>& codes,
+                                 int bits) {
+  std::vector<uint32_t> words(packed_code_words(codes.size(), bits), 0u);
+  const uint32_t mask =
+      bits >= 32 ? 0xffffffffu : (1u << bits) - 1u;
+  size_t bitpos = 0;
+  for (const int32_t code : codes) {
+    const uint32_t u = static_cast<uint32_t>(code) & mask;
+    const size_t word = bitpos >> 5;
+    const size_t off = bitpos & 31;
+    words[word] |= u << off;
+    if (off + static_cast<size_t>(bits) > 32)
+      words[word + 1] |= u >> (32 - off);
+    bitpos += static_cast<size_t>(bits);
+  }
+  return words;
+}
+
+std::vector<int32_t> unpack_codes(const std::vector<uint32_t>& words,
+                                  size_t ncodes, int bits) {
+  std::vector<int32_t> codes(ncodes, 0);
+  const uint32_t mask =
+      bits >= 32 ? 0xffffffffu : (1u << bits) - 1u;
+  size_t bitpos = 0;
+  for (size_t i = 0; i < ncodes; ++i) {
+    const size_t word = bitpos >> 5;
+    const size_t off = bitpos & 31;
+    uint32_t u = words[word] >> off;
+    if (off + static_cast<size_t>(bits) > 32)
+      u |= words[word + 1] << (32 - off);
+    codes[i] = static_cast<int32_t>(u & mask);
+    bitpos += static_cast<size_t>(bits);
+  }
+  return codes;
 }
 
 int64_t dim_of(const ModelSpec& spec, const char* key) {
@@ -249,15 +299,18 @@ serve::SessionOptions default_session_options(
 }
 
 void save_artifact(models::TaskModel& model, const std::string& path,
-                   const serve::SessionOptions& session_defaults) {
+                   const serve::SessionOptions& session_defaults,
+                   uint32_t version) {
   RIPPLE_CHECK(model.deployed())
       << "save_artifact: model must be deployed (frozen quantizer scales)";
+  RIPPLE_CHECK(version >= kMinArtifactVersion && version <= kArtifactVersion)
+      << "save_artifact: cannot write format version " << version;
   const ModelSpec spec = spec_of(model);
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("artifact " + path + ": cannot open");
 
   out.write(kMagic, 4);
-  write_pod(out, kArtifactVersion);
+  write_pod(out, version);
   write_string(out, spec.arch);
   write_pod(out, static_cast<uint32_t>(spec.dims.size()));
   for (const auto& [key, value] : spec.dims) {
@@ -265,7 +318,7 @@ void save_artifact(models::TaskModel& model, const std::string& path,
     write_pod(out, value);
   }
   write_variant(out, spec.variant);
-  write_session_options(out, session_defaults);
+  write_session_options(out, session_defaults, version);
 
   const auto params = model.parameters();
   write_pod(out, static_cast<uint32_t>(params.size()));
@@ -291,8 +344,15 @@ void save_artifact(models::TaskModel& model, const std::string& path,
     const std::vector<int32_t> codes =
         t.quantizer->encode(t.param->var.value());
     write_pod(out, static_cast<uint32_t>(codes.size()));
-    out.write(reinterpret_cast<const char*>(codes.data()),
-              static_cast<std::streamsize>(codes.size() * sizeof(int32_t)));
+    if (version >= 2) {
+      const std::vector<uint32_t> packed =
+          pack_codes(codes, t.quantizer->bits());
+      out.write(reinterpret_cast<const char*>(packed.data()),
+                static_cast<std::streamsize>(packed.size() * sizeof(uint32_t)));
+    } else {
+      out.write(reinterpret_cast<const char*>(codes.data()),
+                static_cast<std::streamsize>(codes.size() * sizeof(int32_t)));
+    }
   }
   if (!out) throw std::runtime_error("artifact " + path + ": write failed");
 }
@@ -301,6 +361,7 @@ namespace {
 
 /// Shared header + state reader; fills everything but the model.
 struct RawArtifact {
+  uint32_t version = kArtifactVersion;
   ModelSpec spec;
   serve::SessionOptions session_defaults;
 };
@@ -311,11 +372,13 @@ RawArtifact read_header(std::ifstream& in, const std::string& path) {
   if (!in || std::memcmp(magic, kMagic, 4) != 0)
     fail(path, "not a ripple deployment artifact (bad magic)");
   const uint32_t version = read_pod<uint32_t>(in, path);
-  if (version != kArtifactVersion)
+  if (version < kMinArtifactVersion || version > kArtifactVersion)
     fail(path, "format version " + std::to_string(version) +
-                   " unsupported (this build reads version " +
+                   " unsupported (this build reads versions " +
+                   std::to_string(kMinArtifactVersion) + ".." +
                    std::to_string(kArtifactVersion) + ")");
   RawArtifact raw;
+  raw.version = version;
   raw.spec.arch = read_string(in, path);
   const uint32_t ndims = read_pod<uint32_t>(in, path);
   if (ndims > kMaxCount) fail(path, "corrupt topology count");
@@ -325,7 +388,7 @@ RawArtifact read_header(std::ifstream& in, const std::string& path) {
     raw.spec.dims.emplace_back(std::move(key), value);
   }
   raw.spec.variant = read_variant(in, path);
-  raw.session_defaults = read_session_options(in, path);
+  raw.session_defaults = read_session_options(in, path, version);
   return raw;
 }
 
@@ -333,6 +396,7 @@ RawArtifact read_header(std::ifstream& in, const std::string& path) {
 /// quantizer records, finishing with restore_deployed().
 std::vector<QuantRecord> read_state_into(std::ifstream& in,
                                          const std::string& path,
+                                         uint32_t version,
                                          models::TaskModel& model) {
   auto params = model.parameters();
   read_tensors_into(
@@ -372,10 +436,19 @@ std::vector<QuantRecord> read_state_into(std::ifstream& in,
     const uint32_t ncodes = read_pod<uint32_t>(in, path);
     if (ncodes != static_cast<uint32_t>(targets[i].param->var.value().numel()))
       fail(path, "fault-target " + std::to_string(i) + " code count mismatch");
-    q.codes.resize(ncodes);
-    in.read(reinterpret_cast<char*>(q.codes.data()),
-            static_cast<std::streamsize>(ncodes * sizeof(int32_t)));
-    if (!in) fail(path, "truncated quantizer codes");
+    if (version >= 2) {
+      std::vector<uint32_t> packed(
+          packed_code_words(ncodes, static_cast<int>(q.bits)), 0u);
+      in.read(reinterpret_cast<char*>(packed.data()),
+              static_cast<std::streamsize>(packed.size() * sizeof(uint32_t)));
+      if (!in) fail(path, "truncated quantizer codes");
+      q.codes = unpack_codes(packed, ncodes, static_cast<int>(q.bits));
+    } else {
+      q.codes.resize(ncodes);
+      in.read(reinterpret_cast<char*>(q.codes.data()),
+              static_cast<std::streamsize>(ncodes * sizeof(int32_t)));
+      if (!in) fail(path, "truncated quantizer codes");
+    }
     calibrations[i] = q.calibration;
   }
   model.restore_deployed(calibrations);
@@ -393,7 +466,7 @@ LoadedArtifact load_artifact(const std::string& path) {
   art.spec = std::move(raw.spec);
   art.session_defaults = raw.session_defaults;
   art.model = build_model(art.spec);
-  art.quant = read_state_into(in, path, *art.model);
+  art.quant = read_state_into(in, path, raw.version, *art.model);
   return art;
 }
 
@@ -405,7 +478,7 @@ bool load_artifact_into(models::TaskModel& model, const std::string& path) {
   if (raw.spec.arch != live.arch || raw.spec.dims != live.dims ||
       raw.spec.variant.variant != live.variant.variant)
     fail(path, "descriptor does not match the live model (stale cache?)");
-  read_state_into(in, path, model);
+  read_state_into(in, path, raw.version, model);
   return true;
 }
 

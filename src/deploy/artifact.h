@@ -32,7 +32,12 @@
 
 namespace ripple::deploy {
 
-inline constexpr uint32_t kArtifactVersion = 1;
+/// Version 2 bit-packs the quantizer integer codes (version 1 spent an
+/// int32 per code — 32× the bits a binary weight needs) and carries the
+/// batch_adaptive_delay serving knob. Readers accept every version back to
+/// kMinArtifactVersion.
+inline constexpr uint32_t kArtifactVersion = 2;
+inline constexpr uint32_t kMinArtifactVersion = 1;
 inline constexpr const char* kArtifactExtension = ".rpla";
 
 /// Architecture + variant descriptor: everything needed to rebuild the
@@ -75,9 +80,13 @@ struct LoadedArtifact {
 /// Serializes a deployed model into one .rpla file. `session_defaults`
 /// rides along as the artifact's serving configuration; pass
 /// default_session_options(model) when in doubt. Throws std::runtime_error
-/// on I/O failure; RIPPLE_CHECKs that the model is deployed.
+/// on I/O failure; RIPPLE_CHECKs that the model is deployed. `version`
+/// selects the on-disk format (kMinArtifactVersion..kArtifactVersion) —
+/// the escape hatch for producing files older readers accept, and the
+/// backward-compat tests' fixture writer.
 void save_artifact(models::TaskModel& model, const std::string& path,
-                   const serve::SessionOptions& session_defaults);
+                   const serve::SessionOptions& session_defaults,
+                   uint32_t version = kArtifactVersion);
 
 /// Reads a .rpla file back into a freshly built, deployed, eval-mode
 /// model. Throws std::runtime_error on missing files, corrupt or truncated

@@ -1,5 +1,6 @@
 #include "deploy/crossbar_backend.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "tensor/check.h"
@@ -17,14 +18,34 @@ size_t CrossbarBackend::KeyHash::operator()(const Key& key) const {
 CrossbarBackend::CrossbarBackend(CrossbarBackendOptions options)
     : options_(options) {}
 
-const imc::Crossbar* CrossbarBackend::tile_for(const float* w, int64_t out,
-                                               int64_t in) const {
+const imc::TiledArray* CrossbarBackend::array_for(const float* w, int64_t out,
+                                                  int64_t in) const {
   auto it = map_.find(Key{w, out, in});
   return it == map_.end() ? nullptr : it->second.get();
 }
 
-const imc::Crossbar* CrossbarBackend::tile(const float* w, int64_t m,
-                                           int64_t k) {
+int64_t CrossbarBackend::physical_tiles() const {
+  int64_t tiles = 0;
+  for (const auto& [key, array] : map_) tiles += array->plan().tile_count();
+  return tiles;
+}
+
+imc::TileCost CrossbarBackend::total_cost() const {
+  imc::TileCost total;
+  for (const auto& [key, array] : map_) {
+    const imc::TileCost c = array->cost();
+    total.tiles += c.tiles;
+    total.cell_pairs += c.cell_pairs;
+    total.adcs += c.adcs;
+    total.conversions_per_mvm =
+        std::max(total.conversions_per_mvm, c.conversions_per_mvm);
+    total.row_blocks = std::max(total.row_blocks, c.row_blocks);
+  }
+  return total;
+}
+
+const imc::TiledArray* CrossbarBackend::array(const float* w, int64_t m,
+                                              int64_t k) {
   const Key key{w, m, k};
   auto it = map_.find(key);
   if (it != map_.end()) return it->second.get();
@@ -33,25 +54,28 @@ const imc::Crossbar* CrossbarBackend::tile(const float* w, int64_t m,
   // without invalidate() — the same contract PackedACache documents.)
   if (frozen()) return nullptr;
 
-  imc::CrossbarConfig cfg = options_.device;
-  cfg.rows = k;
-  cfg.cols = m;
-  auto xb = std::make_unique<imc::Crossbar>(cfg);
-  // One deterministic sub-stream per macro, in programming order (the
-  // warm-up forward's layer order, which is fixed for a given model).
+  imc::TiledArrayConfig cfg;
+  cfg.device = options_.device;
+  cfg.geometry = options_.geometry;
+  cfg.slice_bits = options_.slice_bits;
+  cfg.adc_share = options_.adc_share;
+  auto ta = std::make_unique<imc::TiledArray>(m, k, cfg);
+  // One deterministic sub-stream per array, in programming order (the
+  // warm-up forward's layer order, which is fixed for a given model);
+  // TiledArray derives the per-tile streams from it.
   Rng rng = Rng(options_.seed).fork(next_stream_++);
   Tensor w2 = Tensor::empty({m, k});
   std::memcpy(w2.data(), w, sizeof(float) * static_cast<size_t>(m * k));
-  xb->program(w2, rng);
+  ta->program(w2, rng);
   if (options_.conductance_sigma_mult > 0.0 ||
       options_.conductance_sigma_add > 0.0) {
-    xb->apply_conductance_variation(options_.conductance_sigma_mult,
+    ta->apply_conductance_variation(options_.conductance_sigma_mult,
                                     options_.conductance_sigma_add, rng);
   }
   if (options_.stuck_fraction > 0.0)
-    xb->apply_stuck_cells(options_.stuck_fraction, rng);
-  const imc::Crossbar* out = xb.get();
-  map_.emplace(key, std::move(xb));
+    ta->apply_stuck_cells(options_.stuck_fraction, rng);
+  const imc::TiledArray* out = ta.get();
+  map_.emplace(key, std::move(ta));
   return out;
 }
 
@@ -60,9 +84,9 @@ bool CrossbarBackend::linear(const Tensor& x, const Tensor& w,
   const int64_t n = x.dim(0);
   const int64_t fin = x.dim(1);
   const int64_t fout = w.dim(0);
-  const imc::Crossbar* xb = tile(w.data(), fout, fin);
-  if (xb == nullptr) return false;
-  Tensor y = xb->matvec(x);  // [N, Fout], analog signal chain
+  const imc::TiledArray* ta = array(w.data(), fout, fin);
+  if (ta == nullptr) return false;
+  Tensor y = ta->matvec(x);  // [N, Fout], analog signal chain
   float* po = out.data();
   const float* py = y.data();
   if (bias == nullptr) {
@@ -80,15 +104,15 @@ bool CrossbarBackend::conv_cols(int64_t cout, int64_t l, int64_t ck,
                                 const float* w, const float* cols,
                                 float* stage, const float* row_bias) {
   if (!options_.map_convs) return false;
-  const imc::Crossbar* xb = tile(w, cout, ck);
-  if (xb == nullptr) return false;
+  const imc::TiledArray* ta = array(w, cout, ck);
+  if (ta == nullptr) return false;
   // The crossbar computes batched x·Wᵀ; the conv block wants
-  // W·cols = (colsᵀ·Wᵀ)ᵀ, so transpose the patch matrix through the macro.
+  // W·cols = (colsᵀ·Wᵀ)ᵀ, so transpose the patch matrix through the array.
   Tensor xt = Tensor::empty({l, ck});
   float* pxt = xt.data();
   for (int64_t r = 0; r < ck; ++r)
     for (int64_t c = 0; c < l; ++c) pxt[c * ck + r] = cols[r * l + c];
-  Tensor y = xb->matvec(xt);  // [L, Cout]
+  Tensor y = ta->matvec(xt);  // [L, Cout]
   const float* py = y.data();
   for (int64_t c = 0; c < cout; ++c) {
     const float b = row_bias != nullptr ? row_bias[c] : 0.0f;

@@ -1,19 +1,24 @@
 // ExecutionBackend that runs dense layers on the analog IMC crossbar.
 //
 // Every distinct weight matrix a forward pass routes through linear()/
-// conv_cols() gets its own logically-sized crossbar macro (rows = fan-in,
-// cols = fan-out) sharing the configured device parameters (conductance
-// window, DAC/ADC resolution, programming noise). Crossbars are programmed
-// once, during the owning session's single-threaded warm-up pass, and the
-// map then freezes — the crossbar analogue of the frozen PackedACache, so
-// kCrossbar sessions stop re-programming (re-"packing") weights per call.
+// conv_cols() is *compiled* onto a grid of fixed-geometry physical crossbar
+// tiles (imc/tiling.h) and executed by an imc::TiledArray: row-blocked over
+// the input fan-in with fixed-point partial-sum accumulation, column-blocked
+// over the outputs (bit-sliced when slice_bits is set), and digitized
+// through time-multiplexed ADCs shared by adc_share columns. With an
+// unbounded TileGeometry the plan degenerates to the legacy one macro per
+// weight matrix, bit for bit. Arrays are programmed once, during the owning
+// session's single-threaded warm-up pass, and the map then freezes — the
+// crossbar analogue of the frozen PackedACache, so kCrossbar sessions stop
+// re-programming (re-"packing") weights per call.
 //
 // Determinism: layer i (in first-forward programming order, which is fixed
-// for a given model) programs with the sub-stream Rng(seed).fork(i), and
+// for a given model) programs with the sub-stream Rng(seed).fork(i); each
+// *tile* of that layer derives its own sub-stream from it (TiledArray), and
 // the configured post-programming non-idealities (conductance variation,
-// stuck cells — the backend's fault-injection hooks) draw from the same
-// sub-stream. invalidate() resets the sub-stream counter with the map, so
-// a re-programmed chip (fault injection mutated the weights in place) sees
+// stuck cells — the backend's fault-injection hooks) draw per tile the same
+// way. invalidate() resets the sub-stream counter with the map, so a
+// re-programmed chip (fault injection mutated the weights in place) sees
 // the same programming noise on the new weights — common random numbers
 // across chip instances, matching fault/evaluation.h's contract.
 #pragma once
@@ -24,21 +29,32 @@
 #include <unordered_map>
 
 #include "deploy/exec_backend.h"
-#include "imc/crossbar.h"
+#include "imc/tiled_array.h"
 
 namespace ripple::deploy {
 
 struct CrossbarBackendOptions {
-  /// Device parameters shared by every per-layer macro; the geometry
-  /// (rows/cols) is overridden per layer.
+  /// Device parameters shared by every physical tile; the geometry
+  /// (rows/cols) is overridden per tile by the plan.
   imc::CrossbarConfig device;
+  /// Physical tile geometry every weight matrix is compiled onto.
+  /// imc::TileGeometry::unbounded() reproduces the legacy monolithic
+  /// one-macro-per-matrix mapping bit-exactly.
+  imc::TileGeometry geometry{64, 64};
+  /// 0 = analog cells; 2..16 = bit-sliced columns of that width
+  /// (imc/tiled_array.h).
+  int slice_bits = 0;
+  /// Physical columns per time-multiplexed ADC (1 = dedicated, legacy
+  /// transfer).
+  int adc_share = 1;
   /// Base seed of the per-layer programming streams.
   uint64_t seed = 0x5eedcba5ull;
-  /// Post-programming conductance variation applied to every macro
-  /// (imc::Crossbar::apply_conductance_variation).
+  /// Post-programming conductance variation applied to every array
+  /// (imc::TiledArray::apply_conductance_variation, per-tile streams).
   double conductance_sigma_mult = 0.0;
   double conductance_sigma_add = 0.0;
-  /// Fraction of cells stuck at g_on/g_off (imc::Crossbar::apply_stuck_cells).
+  /// Fraction of cells stuck at g_on/g_off
+  /// (imc::TiledArray::apply_stuck_cells).
   double stuck_fraction = 0.0;
   /// Also map the im2col-lowered convolutions onto crossbars. Off by
   /// default: the deployment the paper studies keeps convs digital and
@@ -64,12 +80,17 @@ class CrossbarBackend final : public ExecutionBackend {
 
   const CrossbarBackendOptions& options() const { return options_; }
   bool frozen() const { return frozen_.load(std::memory_order_acquire); }
-  /// Programmed macros so far — tests assert this stays flat across
+  /// Compiled weight matrices so far — tests assert this stays flat across
   /// serving calls (no per-call re-programming).
-  size_t tiles() const { return map_.size(); }
-  /// The macro serving weight matrix (`w`, out×in) or nullptr.
-  const imc::Crossbar* tile_for(const float* w, int64_t out,
-                                int64_t in) const;
+  size_t arrays() const { return map_.size(); }
+  /// Physical tiles across every compiled array.
+  int64_t physical_tiles() const;
+  /// Summed hardware budget (tiles, cells, ADCs; conversions_per_mvm and
+  /// row_blocks report the worst array) of everything compiled so far.
+  imc::TileCost total_cost() const;
+  /// The array serving weight matrix (`w`, out×in) or nullptr.
+  const imc::TiledArray* array_for(const float* w, int64_t out,
+                                   int64_t in) const;
 
  private:
   struct Key {
@@ -82,14 +103,15 @@ class CrossbarBackend final : public ExecutionBackend {
     size_t operator()(const Key& key) const;
   };
 
-  /// Looks up (frozen) or programs (recording) the macro for w[m,k].
-  /// Returns nullptr when frozen and unseen (caller falls back digital).
-  const imc::Crossbar* tile(const float* w, int64_t m, int64_t k);
+  /// Looks up (frozen) or compiles+programs (recording) the array for
+  /// w[m,k]. Returns nullptr when frozen and unseen (caller falls back
+  /// digital).
+  const imc::TiledArray* array(const float* w, int64_t m, int64_t k);
 
   CrossbarBackendOptions options_;
   std::atomic<bool> frozen_{false};
   uint64_t next_stream_ = 0;
-  std::unordered_map<Key, std::unique_ptr<imc::Crossbar>, KeyHash> map_;
+  std::unordered_map<Key, std::unique_ptr<imc::TiledArray>, KeyHash> map_;
 };
 
 }  // namespace ripple::deploy

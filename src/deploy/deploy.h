@@ -31,8 +31,10 @@ struct DeployOptions {
   Backend backend = Backend::kFp32;
   /// Overrides the artifact's embedded serving defaults when set.
   std::optional<serve::SessionOptions> session;
-  /// kCrossbar substrate: device parameters, programming seed, and the
-  /// backend's fault-injection hooks (conductance variation, stuck cells).
+  /// kCrossbar substrate: device parameters, physical tile geometry /
+  /// bit slicing / ADC sharing (imc/tiling.h), programming seed, and the
+  /// backend's fault-injection hooks (conductance variation, stuck cells
+  /// — injected per tile).
   CrossbarBackendOptions crossbar;
 };
 

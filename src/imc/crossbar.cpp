@@ -8,6 +8,40 @@
 
 namespace ripple::imc {
 
+ConductancePair program_cell(double wn, const CrossbarConfig& cfg, Rng& rng) {
+  ConductancePair p = map_weight(wn, cfg.g_on, cfg.g_off);
+  if (cfg.sigma_programming > 0.0) {
+    // Write-verify leaves a residual relative error on each cell.
+    p.g_pos *=
+        std::exp(rng.normal(0.0f, static_cast<float>(cfg.sigma_programming)));
+    p.g_neg *=
+        std::exp(rng.normal(0.0f, static_cast<float>(cfg.sigma_programming)));
+  }
+  return p;
+}
+
+void vary_cell(ConductancePair& p, double sigma_mult, double sigma_add,
+               double g_span, Rng& rng) {
+  if (sigma_mult > 0.0) {
+    p.g_pos *= std::exp(rng.normal(0.0f, static_cast<float>(sigma_mult)));
+    p.g_neg *= std::exp(rng.normal(0.0f, static_cast<float>(sigma_mult)));
+  }
+  if (sigma_add > 0.0) {
+    p.g_pos += rng.normal(0.0f, static_cast<float>(sigma_add * g_span));
+    p.g_neg += rng.normal(0.0f, static_cast<float>(sigma_add * g_span));
+  }
+  p.g_pos = std::max(0.0, p.g_pos);
+  p.g_neg = std::max(0.0, p.g_neg);
+}
+
+void stick_cell(ConductancePair& p, double fraction, double g_on,
+                double g_off, Rng& rng) {
+  if (rng.bernoulli(static_cast<float>(fraction)))
+    p.g_pos = rng.bernoulli(0.5f) ? g_on : g_off;
+  if (rng.bernoulli(static_cast<float>(fraction)))
+    p.g_neg = rng.bernoulli(0.5f) ? g_on : g_off;
+}
+
 Crossbar::Crossbar(CrossbarConfig config) : config_(config) {
   RIPPLE_CHECK(config_.rows > 0 && config_.cols > 0)
       << "crossbar dims must be positive";
@@ -20,6 +54,19 @@ Crossbar::Crossbar(CrossbarConfig config) : config_(config) {
   RIPPLE_CHECK(config_.adc_fullscale_fraction > 0.0 &&
                config_.adc_fullscale_fraction <= 1.0)
       << "adc_fullscale_fraction must be in (0,1]";
+}
+
+double dac_quantize_value(double v, double fullscale, int dac_bits) {
+  if (fullscale <= 0.0) return 0.0;
+  const double levels = static_cast<double>((1 << dac_bits) - 1);
+  const double clamped = std::clamp(v / fullscale, -1.0, 1.0);
+  return std::round(clamped * levels) / levels * fullscale;
+}
+
+int64_t adc_code(double i, double i_fs, int adc_bits) {
+  const double levels = static_cast<double>((1 << adc_bits) - 1);
+  const double clamped = std::clamp(i / i_fs, -1.0, 1.0);
+  return std::llround(clamped * levels);
 }
 
 void Crossbar::program(const Tensor& weights, Rng& rng) {
@@ -36,25 +83,15 @@ void Crossbar::program(const Tensor& weights, Rng& rng) {
   for (int64_t c = 0; c < config_.cols; ++c) {
     for (int64_t r = 0; r < config_.rows; ++r) {
       const double wn = static_cast<double>(pw[c * config_.rows + r]) / scale_;
-      ConductancePair p = map_weight(wn, config_.g_on, config_.g_off);
-      if (config_.sigma_programming > 0.0) {
-        // Write-verify leaves a residual relative error on each cell.
-        p.g_pos *= std::exp(rng.normal(
-            0.0f, static_cast<float>(config_.sigma_programming)));
-        p.g_neg *= std::exp(rng.normal(
-            0.0f, static_cast<float>(config_.sigma_programming)));
-      }
-      programmed_[static_cast<size_t>(r * config_.cols + c)] = p;
+      programmed_[static_cast<size_t>(r * config_.cols + c)] =
+          program_cell(wn, config_, rng);
     }
   }
   current_ = programmed_;
 }
 
 double Crossbar::dac_quantize(double v, double fullscale) const {
-  if (fullscale <= 0.0) return 0.0;
-  const double levels = static_cast<double>((1 << config_.dac_bits) - 1);
-  const double clamped = std::clamp(v / fullscale, -1.0, 1.0);
-  return std::round(clamped * levels) / levels * fullscale;
+  return dac_quantize_value(v, fullscale, config_.dac_bits);
 }
 
 double Crossbar::adc_quantize(double i) const {
@@ -62,8 +99,8 @@ double Crossbar::adc_quantize(double i) const {
                       (config_.g_on - config_.g_off) *
                       static_cast<double>(config_.rows);
   const double levels = static_cast<double>((1 << config_.adc_bits) - 1);
-  const double clamped = std::clamp(i / i_fs, -1.0, 1.0);
-  return std::round(clamped * levels) / levels * i_fs;
+  return static_cast<double>(adc_code(i, i_fs, config_.adc_bits)) / levels *
+         i_fs;
 }
 
 Tensor Crossbar::matvec(const Tensor& x) const {
@@ -135,30 +172,16 @@ void Crossbar::apply_conductance_variation(double sigma_mult,
                                            double sigma_add, Rng& rng) {
   RIPPLE_CHECK(programmed()) << "variation before program()";
   const double g_span = config_.g_on - config_.g_off;
-  for (ConductancePair& p : current_) {
-    if (sigma_mult > 0.0) {
-      p.g_pos *= std::exp(rng.normal(0.0f, static_cast<float>(sigma_mult)));
-      p.g_neg *= std::exp(rng.normal(0.0f, static_cast<float>(sigma_mult)));
-    }
-    if (sigma_add > 0.0) {
-      p.g_pos += rng.normal(0.0f, static_cast<float>(sigma_add * g_span));
-      p.g_neg += rng.normal(0.0f, static_cast<float>(sigma_add * g_span));
-    }
-    p.g_pos = std::max(0.0, p.g_pos);
-    p.g_neg = std::max(0.0, p.g_neg);
-  }
+  for (ConductancePair& p : current_)
+    vary_cell(p, sigma_mult, sigma_add, g_span, rng);
 }
 
 void Crossbar::apply_stuck_cells(double fraction, Rng& rng) {
   RIPPLE_CHECK(programmed()) << "stuck cells before program()";
   RIPPLE_CHECK(fraction >= 0.0 && fraction <= 1.0)
       << "stuck fraction out of range";
-  for (ConductancePair& p : current_) {
-    if (rng.bernoulli(static_cast<float>(fraction)))
-      p.g_pos = rng.bernoulli(0.5f) ? config_.g_on : config_.g_off;
-    if (rng.bernoulli(static_cast<float>(fraction)))
-      p.g_neg = rng.bernoulli(0.5f) ? config_.g_on : config_.g_off;
-  }
+  for (ConductancePair& p : current_)
+    stick_cell(p, fraction, config_.g_on, config_.g_off, rng);
 }
 
 void Crossbar::restore() {

@@ -33,6 +33,27 @@ struct CrossbarConfig {
   double adc_fullscale_fraction = 0.25;
 };
 
+/// Cell-level primitives of the signal chain, shared by the monolithic
+/// Crossbar and the tiled executor (imc/tiled_array.h) so a cell programmed
+/// by either draws the exact same noise sequence from its stream.
+/// Maps a normalized weight and applies residual write noise
+/// (cfg.sigma_programming).
+ConductancePair program_cell(double wn, const CrossbarConfig& cfg, Rng& rng);
+/// Multiplicative lognormal-ish + additive conductance variation; clamps
+/// conductances at 0.
+void vary_cell(ConductancePair& p, double sigma_mult, double sigma_add,
+               double g_span, Rng& rng);
+/// Sticks either side of the pair at g_on/g_off with probability
+/// `fraction` (50/50 polarity).
+void stick_cell(ConductancePair& p, double fraction, double g_on,
+                double g_off, Rng& rng);
+
+/// DAC transfer: quantizes `v` against `fullscale` with `dac_bits` levels.
+double dac_quantize_value(double v, double fullscale, int dac_bits);
+/// ADC transfer, code domain: the signed integer conversion code of
+/// current `i` against full scale `i_fs` (clamped, `adc_bits` levels).
+int64_t adc_code(double i, double i_fs, int adc_bits);
+
 class Crossbar {
  public:
   explicit Crossbar(CrossbarConfig config);

@@ -1,0 +1,75 @@
+#include "imc/tiling.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace ripple::imc {
+
+namespace {
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+TilePlan plan_tiles(int64_t rows, int64_t cols, int bits,
+                    TileGeometry geometry) {
+  RIPPLE_CHECK(rows > 0 && cols > 0)
+      << "plan_tiles needs positive matrix dims, got " << rows << "x" << cols;
+  RIPPLE_CHECK(bits == 0 || (bits >= 2 && bits <= 16))
+      << "plan_tiles bits must be 0 (analog) or in [2,16], got " << bits;
+  const int64_t cols_per_group = bits == 0 ? 1 : bits;
+  if (geometry.cols_bounded()) {
+    RIPPLE_CHECK(geometry.cols >= cols_per_group)
+        << "tile geometry cols=" << geometry.cols
+        << " cannot fit one " << cols_per_group
+        << "-column bit-sliced output group";
+  }
+
+  TilePlan plan;
+  plan.rows = rows;
+  plan.cols = cols;
+  plan.bits = bits;
+  plan.geometry = geometry;
+
+  const int64_t tile_rows =
+      geometry.rows_bounded() ? std::min(geometry.rows, rows) : rows;
+  plan.cols_per_tile = geometry.cols_bounded()
+                           ? std::min(geometry.cols / cols_per_group, cols)
+                           : cols;
+  plan.grid_rows = ceil_div(rows, tile_rows);
+  plan.grid_cols = ceil_div(cols, plan.cols_per_tile);
+
+  plan.tiles.reserve(static_cast<size_t>(plan.grid_rows * plan.grid_cols));
+  for (int64_t gr = 0; gr < plan.grid_rows; ++gr) {
+    for (int64_t gc = 0; gc < plan.grid_cols; ++gc) {
+      TileSpec t;
+      t.grid_r = gr;
+      t.grid_c = gc;
+      t.row_begin = gr * tile_rows;
+      t.rows = std::min(tile_rows, rows - t.row_begin);
+      t.col_begin = gc * plan.cols_per_tile;
+      t.cols = std::min(plan.cols_per_tile, cols - t.col_begin);
+      t.phys_cols = t.cols * cols_per_group;
+      plan.tiles.push_back(t);
+    }
+  }
+  return plan;
+}
+
+TileCost plan_cost(const TilePlan& plan, int adc_share) {
+  RIPPLE_CHECK(adc_share >= 1) << "adc_share must be >= 1, got " << adc_share;
+  TileCost cost;
+  cost.tiles = plan.tile_count();
+  cost.row_blocks = plan.grid_rows;
+  for (const TileSpec& t : plan.tiles) {
+    cost.cell_pairs += t.rows * t.phys_cols;
+    cost.adcs += ceil_div(t.phys_cols, adc_share);
+  }
+  // Tiles convert concurrently; each shared ADC serializes over its columns
+  // and spends one extra cycle auto-ranging its group gain.
+  cost.conversions_per_mvm = adc_share == 1 ? 1 : adc_share + 1;
+  return cost;
+}
+
+}  // namespace ripple::imc

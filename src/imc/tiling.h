@@ -1,0 +1,94 @@
+// Crossbar tiling compiler: logical weight matrices onto physical arrays.
+//
+// Real IMC macros are built from small fixed-geometry crossbar tiles (e.g.
+// 64×64 STT-MRAM arrays), not from arbitrarily-sized monoliths: a layer's
+// weight matrix is *compiled* onto a grid of tiles — row-blocked over the
+// input fan-in (each tile sees a slice of the word lines; digitized partial
+// sums are accumulated across the row blocks) and column-blocked over the
+// outputs. With bit-sliced weights (mapping.h) every logical output column
+// occupies `bits` adjacent physical columns, one per bit plane, recombined
+// with binary weighting after the ADC.
+//
+// plan_tiles() is the pure compiler: geometry in, tile grid out. The
+// executor that programs and runs a plan is imc::TiledArray
+// (imc/tiled_array.h). plan_cost() derives the hardware budget of a plan —
+// tile/cell/ADC counts and the time-multiplex conversion latency of
+// ADC-per-N-columns sharing — so serving layers can report what a mapping
+// costs, not just what it computes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ripple::imc {
+
+/// Fixed dimensions of one physical crossbar tile. A non-positive value
+/// leaves that dimension unbounded — TileGeometry::unbounded() compiles any
+/// matrix onto a single logically-sized tile (the legacy monolithic
+/// mapping).
+struct TileGeometry {
+  int64_t rows = 64;  // word lines (input fan-in) per tile
+  int64_t cols = 64;  // bit lines (physical output columns) per tile
+
+  static TileGeometry unbounded() { return {0, 0}; }
+  bool rows_bounded() const { return rows > 0; }
+  bool cols_bounded() const { return cols > 0; }
+
+  bool operator==(const TileGeometry&) const = default;
+};
+
+/// One physical tile of a plan: which block of the logical matrix it holds.
+struct TileSpec {
+  int64_t grid_r = 0;    // row-block index (input fan-in blocking)
+  int64_t grid_c = 0;    // column-block index (output blocking)
+  int64_t row_begin = 0; // first logical input row held by this tile
+  int64_t rows = 0;      // input rows held (≤ geometry.rows)
+  int64_t col_begin = 0; // first logical output column held
+  int64_t cols = 0;      // logical output columns held
+  int64_t phys_cols = 0; // cols × max(1, bits) physical bit lines used
+};
+
+/// A compiled mapping of a rows×cols logical weight matrix (rows = input
+/// fan-in, cols = output fan-out) onto a grid_rows × grid_cols grid of
+/// physical tiles. Tiles are stored grid-row-major:
+/// tiles[gr * grid_cols + gc].
+struct TilePlan {
+  int64_t rows = 0;  // logical input fan-in
+  int64_t cols = 0;  // logical output fan-out
+  int bits = 0;      // 0 = analog conductance pairs; ≥2 = bit-sliced columns
+  TileGeometry geometry;
+  int64_t grid_rows = 0;
+  int64_t grid_cols = 0;
+  int64_t cols_per_tile = 0;  // logical output columns per full tile
+  std::vector<TileSpec> tiles;
+
+  int64_t tile_count() const { return static_cast<int64_t>(tiles.size()); }
+  bool single_tile() const { return tiles.size() == 1; }
+  const TileSpec& tile(int64_t gr, int64_t gc) const {
+    return tiles[static_cast<size_t>(gr * grid_cols + gc)];
+  }
+};
+
+/// Compiles a rows×cols logical matrix of `bits`-bit weights (0 = analog
+/// cells, no slicing; otherwise 2..16, one physical column per bit plane)
+/// onto `geometry`-sized tiles. Every logical weight lands on exactly one
+/// tile; a bounded geometry must fit at least one output column group
+/// (geometry.cols ≥ max(1, bits)).
+TilePlan plan_tiles(int64_t rows, int64_t cols, int bits, TileGeometry geometry);
+
+/// Hardware budget of a plan under ADC-per-`adc_share`-columns sharing.
+struct TileCost {
+  int64_t tiles = 0;       // physical arrays
+  int64_t cell_pairs = 0;  // programmed differential conductance pairs
+  int64_t adcs = 0;        // Σ per-tile ceil(phys_cols / adc_share)
+  /// Serial conversion cycles one MVM takes (tiles convert concurrently;
+  /// each shared ADC walks its `adc_share` columns, plus one auto-ranging
+  /// pass when shared).
+  int64_t conversions_per_mvm = 0;
+  int64_t row_blocks = 0;  // depth of the digital partial-sum accumulation
+};
+
+TileCost plan_cost(const TilePlan& plan, int adc_share);
+
+}  // namespace ripple::imc

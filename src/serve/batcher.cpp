@@ -1,6 +1,7 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace ripple::serve {
@@ -31,16 +32,50 @@ AsyncBatcher::AsyncBatcher(const InferenceSession& session)
       max_batch_(session.options().batch_max_requests),
       max_rows_(std::max<int64_t>(0, session.options().batch_max_rows)),
       max_delay_(std::max<int64_t>(0, session.options().batch_max_delay_us)),
+      adaptive_delay_(session.options().batch_adaptive_delay),
       worker_count_(static_cast<size_t>(
           std::max(1, session.options().batcher_threads))) {
   RIPPLE_CHECK(max_batch_ >= 1)
       << "AsyncBatcher needs batch_max_requests >= 1";
+  counters_.on_effective_delay(max_delay_.count());
   workers_.reserve(worker_count_);
   for (size_t i = 0; i < worker_count_; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
 AsyncBatcher::~AsyncBatcher() { close(); }
+
+std::chrono::microseconds AsyncBatcher::effective_delay(
+    std::chrono::steady_clock::time_point now) {
+  if (!adaptive_delay_) return max_delay_;
+  std::chrono::microseconds delay = max_delay_;
+  if (have_last_submit_) {
+    constexpr double kAlpha = 0.2;  // EWMA smoothing of inter-arrival time
+    // An idle gap longer than the configured cap carries no rate
+    // information (any batch would have dispatched long before): clamp it
+    // so one quiet period cannot pin the estimate high for dozens of
+    // subsequent arrivals.
+    const double dt_us = std::min(
+        std::chrono::duration<double, std::micro>(now - last_submit_).count(),
+        static_cast<double>(max_delay_.count()));
+    ewma_interarrival_us_ = ewma_interarrival_us_ <= 0.0
+                                ? dt_us
+                                : (1.0 - kAlpha) * ewma_interarrival_us_ +
+                                      kAlpha * dt_us;
+    // Waiting longer than the estimated batch fill time buys nothing: at
+    // the observed rate the count trigger fires first; past a burst the
+    // stragglers stop waiting for peers that are not coming.
+    const double fill_us =
+        ewma_interarrival_us_ * static_cast<double>(max_batch_ - 1);
+    delay = std::min(
+        max_delay_,
+        std::chrono::microseconds(std::llround(std::max(0.0, fill_us))));
+  }
+  last_submit_ = now;
+  have_last_submit_ = true;
+  counters_.on_effective_delay(delay.count());
+  return delay;
+}
 
 std::future<Prediction> AsyncBatcher::submit(Tensor input) {
   std::promise<Prediction> promise;
@@ -51,9 +86,11 @@ std::future<Prediction> AsyncBatcher::submit(Tensor input) {
       counters_.on_reject();
       RIPPLE_CHECK(false) << "AsyncBatcher::submit after close()";
     }
+    const auto now = std::chrono::steady_clock::now();
     queued_rows_ += rows_of(input);
-    queue_.push_back(Pending{std::move(input), std::move(promise),
-                             std::chrono::steady_clock::now() + max_delay_});
+    queue_.push_back(
+        Pending{std::move(input), std::move(promise),
+                now + effective_delay(now)});
     counters_.on_submit();
   }
   cv_.notify_one();
@@ -161,9 +198,16 @@ void AsyncBatcher::worker_loop() {
            (max_rows_ == 0 || queued_rows_ < max_rows_)) {
       // Copy the deadline out: wait_until holds it by reference across the
       // unlocked wait, and another worker may dispatch (and free) the
-      // front entry meanwhile.
-      const std::chrono::steady_clock::time_point deadline =
+      // front entry meanwhile. With a fixed delay the front (oldest)
+      // request always holds the earliest deadline; adaptive delays break
+      // that invariant — a later arrival may carry a shorter deadline than
+      // a no-history front — so there the whole queue is scanned.
+      std::chrono::steady_clock::time_point deadline =
           queue_.front().deadline;
+      if (adaptive_delay_) {
+        for (const Pending& p : queue_)
+          deadline = std::min(deadline, p.deadline);
+      }
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
     }
     if (queue_.empty()) continue;

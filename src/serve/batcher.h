@@ -34,6 +34,15 @@
 // exception reaches only the offending request's future — batchmates
 // still complete.
 //
+// With `batch_adaptive_delay` on, the coalescing delay *adapts* to the
+// observed traffic: an EWMA of the submit inter-arrival time estimates how
+// long filling batch_max_requests will take, and each request's deadline
+// uses min(batch_max_delay_us, estimate · (batch_max_requests − 1)) — so
+// the straggler batch after a burst stops waiting the full configured
+// delay for requests that are not coming. batch_max_delay_us remains the
+// hard upper bound; BatcherCounters::effective_delay_us gauges the delay
+// most recently applied.
+//
 // Mixed-*size* traffic sizes batches in rows, not just requests: with
 // `batch_max_rows` set, a batch also dispatches once the queued rows reach
 // the bound, and coalescing stops before a request would push the
@@ -93,6 +102,8 @@ class AsyncBatcher {
   /// Rows bound per dispatched batch (0 = unbounded, requests-only sizing).
   int64_t max_rows() const { return max_rows_; }
   int64_t max_delay_us() const { return max_delay_.count(); }
+  /// Whether the coalescing delay tracks the observed arrival rate.
+  bool adaptive_delay() const { return adaptive_delay_; }
   int workers() const { return static_cast<int>(worker_count_); }
 
  private:
@@ -109,16 +120,26 @@ class AsyncBatcher {
   /// Runs one dispatched group and fulfills its promises. No locks held.
   void run_batch(std::vector<Pending>& batch);
 
+  /// Coalescing delay for a request submitted now (EWMA-adapted when
+  /// enabled, else the configured max). Caller holds mutex_.
+  std::chrono::microseconds effective_delay(
+      std::chrono::steady_clock::time_point now);
+
   const InferenceSession& session_;
   const int64_t max_batch_;
   const int64_t max_rows_;
   const std::chrono::microseconds max_delay_;
+  const bool adaptive_delay_;
   const size_t worker_count_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Pending> queue_;
   int64_t queued_rows_ = 0;  // rows across queue_, guarded by mutex_
+  // Arrival-rate tracking (batch_adaptive_delay), guarded by mutex_.
+  std::chrono::steady_clock::time_point last_submit_{};
+  bool have_last_submit_ = false;
+  double ewma_interarrival_us_ = 0.0;
   bool closed_ = false;
   std::vector<std::thread> workers_;
   std::mutex join_mutex_;  // serializes concurrent close() calls

@@ -49,6 +49,10 @@ void BatcherCounters::on_complete(size_t batch_requests) {
   completed_.fetch_add(batch_requests, relaxed);
 }
 
+void BatcherCounters::on_effective_delay(int64_t us) {
+  effective_delay_us_.store(us, relaxed);
+}
+
 double BatcherCounters::mean_batch_requests() const {
   const uint64_t batches = batches_.load(relaxed);
   if (batches == 0) return 0.0;

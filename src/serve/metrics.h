@@ -36,6 +36,7 @@ class BatcherCounters {
   void on_reject();
   void on_dispatch(size_t batch_requests, size_t batch_rows);
   void on_complete(size_t batch_requests);
+  void on_effective_delay(int64_t us);
 
   uint64_t submitted() const { return submitted_.load(relaxed); }
   uint64_t rejected() const { return rejected_.load(relaxed); }
@@ -56,6 +57,10 @@ class BatcherCounters {
   double mean_batch_requests() const;
   double mean_batch_rows() const;
   uint64_t histogram_bucket(size_t bucket) const;
+  /// Gauge: the coalescing delay most recently applied to a submitted
+  /// request — the configured batch_max_delay_us, or the EWMA-tracked
+  /// effective delay when batch_adaptive_delay is on (serve/batcher.h).
+  int64_t effective_delay_us() const { return effective_delay_us_.load(relaxed); }
 
  private:
   static constexpr std::memory_order relaxed = std::memory_order_relaxed;
@@ -70,6 +75,7 @@ class BatcherCounters {
   std::atomic<uint64_t> max_batch_{0};
   std::atomic<uint64_t> max_rows_{0};
   std::atomic<uint64_t> dispatched_rows_{0};
+  std::atomic<int64_t> effective_delay_us_{0};
   std::array<std::atomic<uint64_t>, kHistogramBuckets> histogram_{};
 };
 

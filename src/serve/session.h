@@ -99,6 +99,14 @@ struct SessionOptions {
   /// deadline). 0 dispatches immediately (no coalescing beyond what is
   /// already queued when a worker wakes).
   int64_t batch_max_delay_us = 1000;
+  /// Adapt the coalescing delay to the observed request rate: an EWMA of
+  /// the submit inter-arrival time estimates how long filling a batch
+  /// will take, and each request's deadline uses
+  /// min(batch_max_delay_us, estimate · (batch_max_requests − 1)) — so
+  /// when a burst ends, the straggler batch stops waiting the full
+  /// configured delay for requests that are not coming.
+  /// batch_max_delay_us stays the hard upper bound.
+  bool batch_adaptive_delay = false;
   /// Rows-based sizing for mixed-size traffic: a batch also dispatches
   /// once the queued same-shape rows reach this bound, and coalescing
   /// stops adding requests that would push the dispatched rows past it

@@ -208,7 +208,7 @@ TEST(Backends, CrossbarLinearParity) {
   Tensor out2 = Tensor::empty({n, fout});
   ASSERT_TRUE(backend.linear(x, w, bias.data(), out2));
   expect_bit_equal(out, out2, "frozen tile is reused");
-  EXPECT_EQ(backend.tiles(), 1u);
+  EXPECT_EQ(backend.arrays(), 1u);
   // …and unseen weights decline instead of programming mid-serve.
   Tensor w2 = Tensor::randn({fout, fin}, rng);
   EXPECT_FALSE(backend.linear(x, w2, nullptr, out2));
@@ -241,15 +241,15 @@ TEST(Backends, CrossbarSessionDeterministicAndCached) {
   auto* backend = dynamic_cast<CrossbarBackend*>(session->exec_backend());
   ASSERT_NE(backend, nullptr);
   EXPECT_TRUE(backend->frozen());
-  EXPECT_EQ(backend->tiles(), 1u);
+  EXPECT_EQ(backend->arrays(), 1u);
 
   // Fault-injection hook: invalidation re-programs from the (unchanged)
   // weights with the same per-layer streams — bit-identical results.
   session->invalidate_packed_weights();
-  EXPECT_EQ(backend->tiles(), 0u);
+  EXPECT_EQ(backend->arrays(), 0u);
   expect_bit_equal(first, session->mc_outputs(x),
                    "re-programmed chip instance matches");
-  EXPECT_EQ(backend->tiles(), 1u);
+  EXPECT_EQ(backend->arrays(), 1u);
 
   // A second open of the same artifact serves the same bits.
   auto again = InferenceSession::open(path, dopts);
@@ -293,7 +293,7 @@ TEST(Backends, CrossbarConcurrentPredictsAreExact) {
     expect_bit_equal(expected[t], got[t], "concurrent crossbar predict");
   auto* backend = dynamic_cast<CrossbarBackend*>(session->exec_backend());
   ASSERT_NE(backend, nullptr);
-  EXPECT_EQ(backend->tiles(), 1u);
+  EXPECT_EQ(backend->arrays(), 1u);
 }
 
 TEST(Backends, CrossbarMapsConvsWhenAsked) {
@@ -317,9 +317,165 @@ TEST(Backends, CrossbarMapsConvsWhenAsked) {
   auto* backend = dynamic_cast<CrossbarBackend*>(session->exec_backend());
   ASSERT_NE(backend, nullptr);
   // Three convs + the head each own a macro.
-  EXPECT_EQ(backend->tiles(), 4u);
+  EXPECT_EQ(backend->arrays(), 4u);
   for (int64_t i = 0; i < first.numel(); ++i)
     ASSERT_TRUE(std::isfinite(first.data()[i]));
+}
+
+// ---- tiled crossbar deployment ---------------------------------------------
+
+/// Serves `model` end-to-end on the kCrossbar substrate with a 64×64
+/// physical tile geometry; returns the (deterministic) stacked MC outputs.
+template <typename ModelT>
+Tensor serve_tiled(ModelT& model, TaskKind task, const Tensor& x,
+                   const char* tag, bool map_convs,
+                   deploy::CrossbarBackend** backend_out = nullptr,
+                   std::unique_ptr<InferenceSession>* keep = nullptr,
+                   imc::TileGeometry geometry = imc::TileGeometry{64, 64}) {
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path(tag);
+  deploy::save_artifact(model, path, options_for(task, 2));
+
+  DeployOptions dopts;
+  dopts.backend = Backend::kCrossbar;
+  dopts.crossbar.geometry = geometry;
+  dopts.crossbar.device.sigma_programming = 0.02;
+  dopts.crossbar.map_convs = map_convs;
+  auto session = InferenceSession::open(path, dopts);
+  Tensor first = session->mc_outputs(x);
+  expect_bit_equal(first, session->mc_outputs(x), tag);
+  for (int64_t i = 0; i < first.numel(); ++i)
+    EXPECT_TRUE(std::isfinite(first.data()[i])) << tag;
+  if (backend_out != nullptr)
+    *backend_out =
+        dynamic_cast<deploy::CrossbarBackend*>(session->exec_backend());
+  if (keep != nullptr) *keep = std::move(session);
+  return first;
+}
+
+TEST(Tiled, SixtyFourBySixtyFourServesAllFourZooModels) {
+  // The acceptance sweep: every task model serves end-to-end through
+  // InferenceSession on 64×64 physical tiles.
+  Rng rng(51);
+  {
+    models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                               {.variant = models::Variant::kProposed});
+    deploy::CrossbarBackend* backend = nullptr;
+    std::unique_ptr<InferenceSession> session;
+    serve_tiled(model, TaskKind::kClassification,
+                Tensor::randn({2, 3, 16, 16}, rng), "tiled_resnet.rpla",
+                /*map_convs=*/false, &backend, &session);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->arrays(), 1u);  // the classifier head fits one tile
+    EXPECT_EQ(backend->physical_tiles(), 1);
+  }
+  {
+    models::M5 model({.classes = 8, .width = 4, .input_length = 256},
+                     {.variant = models::Variant::kProposed});
+    deploy::CrossbarBackend* backend = nullptr;
+    std::unique_ptr<InferenceSession> session;
+    serve_tiled(model, TaskKind::kClassification,
+                Tensor::randn({2, 1, 256}, rng), "tiled_m5.rpla",
+                /*map_convs=*/true, &backend, &session);
+    ASSERT_NE(backend, nullptr);
+    // Width-4 conv patch matrices (CK ≤ 24) all fit one 64×64 tile each.
+    EXPECT_EQ(backend->arrays(), 4u);
+    EXPECT_EQ(backend->physical_tiles(), 4);
+  }
+  {
+    // hidden=24 gate blocks are 96 outputs wide — column-blocked across
+    // two 64-column tiles each.
+    models::LstmForecaster model({.hidden = 24, .window = 8},
+                                 {.variant = models::Variant::kProposed});
+    deploy::CrossbarBackend* backend = nullptr;
+    std::unique_ptr<InferenceSession> session;
+    serve_tiled(model, TaskKind::kRegression, Tensor::randn({3, 8, 1}, rng),
+                "tiled_lstm.rpla", /*map_convs=*/false, &backend, &session);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_GT(backend->physical_tiles(),
+              static_cast<int64_t>(backend->arrays()));
+    const imc::TileCost cost = backend->total_cost();
+    EXPECT_EQ(cost.tiles, backend->physical_tiles());
+    EXPECT_GT(cost.adcs, 0);
+  }
+  {
+    // Narrow 16-row tiles force fan-in row blocking on the same LSTM: the
+    // gate matmuls accumulate digitized partial sums across row blocks.
+    models::LstmForecaster model({.hidden = 24, .window = 8},
+                                 {.variant = models::Variant::kProposed});
+    deploy::CrossbarBackend* backend = nullptr;
+    std::unique_ptr<InferenceSession> session;
+    serve_tiled(model, TaskKind::kRegression, Tensor::randn({3, 8, 1}, rng),
+                "tiled_lstm_rows.rpla", /*map_convs=*/false, &backend,
+                &session, imc::TileGeometry{16, 64});
+    ASSERT_NE(backend, nullptr);
+    EXPECT_GT(backend->total_cost().row_blocks, 1);
+  }
+  {
+    models::UNet model({.base_channels = 8, .activation_bits = 4},
+                       {.variant = models::Variant::kSpatialSpinDrop});
+    serve_tiled(model, TaskKind::kSegmentation, Tensor::randn({1, 1, 8, 8}, rng),
+                "tiled_unet.rpla", /*map_convs=*/false);
+  }
+}
+
+TEST(Tiled, UnboundedGeometryMatchesFittingBoundedGeometry) {
+  // A matrix that fits one bounded tile compiles to the same degenerate
+  // plan an unbounded geometry produces — predictions are bit-identical,
+  // and both reproduce the legacy monolithic kCrossbar path.
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path("tiled_degenerate.rpla");
+  deploy::save_artifact(model, path, options_for(TaskKind::kClassification));
+
+  DeployOptions unbounded;
+  unbounded.backend = Backend::kCrossbar;
+  unbounded.crossbar.geometry = imc::TileGeometry::unbounded();
+  unbounded.crossbar.device.sigma_programming = 0.05;
+  DeployOptions bounded = unbounded;
+  bounded.crossbar.geometry = imc::TileGeometry{64, 64};
+
+  auto a = InferenceSession::open(path, unbounded);
+  auto b = InferenceSession::open(path, bounded);
+  Rng rng(52);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  expect_bit_equal(a->mc_outputs(x), b->mc_outputs(x),
+                   "degenerate plan is geometry-independent");
+}
+
+TEST(Tiled, CleanHighResolutionChipTracksFp32) {
+  // The tiled ideal-mode acceptance: no programming noise, 16-bit
+  // converters at full scale — the analog session must match the digital
+  // kFp32 session within the crossbar fidelity tolerance.
+  models::LstmForecaster model({.hidden = 24, .window = 8},
+                               {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const std::string path = temp_path("tiled_ideal.rpla");
+  deploy::save_artifact(model, path, options_for(TaskKind::kRegression, 2));
+
+  DeployOptions dopts;
+  dopts.backend = Backend::kCrossbar;
+  dopts.crossbar.geometry = imc::TileGeometry{64, 64};
+  dopts.crossbar.device.dac_bits = 16;
+  dopts.crossbar.device.adc_bits = 16;
+  dopts.crossbar.device.adc_fullscale_fraction = 1.0;
+  auto analog = InferenceSession::open(path, dopts);
+  auto digital = InferenceSession::open(path);
+
+  Rng rng(53);
+  Tensor x = Tensor::randn({4, 8, 1}, rng);
+  Tensor ya = analog->mc_outputs(x);
+  Tensor yd = digital->mc_outputs(x);
+  ASSERT_EQ(ya.shape(), yd.shape());
+  float peak = 1e-6f;
+  for (int64_t i = 0; i < yd.numel(); ++i)
+    peak = std::max(peak, std::fabs(yd.data()[i]));
+  for (int64_t i = 0; i < ya.numel(); ++i)
+    EXPECT_NEAR(ya.data()[i], yd.data()[i], 5e-3 * peak) << "element " << i;
 }
 
 // ---- error paths -----------------------------------------------------------
@@ -389,6 +545,76 @@ TEST_F(ArtifactFileErrors, SpecMismatchOnLoadInto) {
   models::BinaryResNet wider({.in_channels = 3, .classes = 10, .width = 6},
                              {.variant = models::Variant::kProposed});
   EXPECT_THROW(deploy::load_artifact_into(wider, path_), std::runtime_error);
+}
+
+// ---- format v2: bit-packed quantizer codes ---------------------------------
+
+TEST(ArtifactFormat, PackedCodesShrinkTheFileByTheExpectedBytes) {
+  // M5 carries 4 quantized fault targets; v1 spends sizeof(int32) per
+  // code, v2 packs each code into its quantizer's bit width (plus one
+  // byte for the adaptive-delay serving knob v2 adds).
+  models::M5 model({.classes = 8, .width = 4, .input_length = 256},
+                   {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const SessionOptions opts = options_for(TaskKind::kClassification);
+  const std::string v1 = temp_path("m5_v1.rpla");
+  const std::string v2 = temp_path("m5_v2.rpla");
+  deploy::save_artifact(model, v1, opts, /*version=*/1);
+  deploy::save_artifact(model, v2, opts);  // current = version 2
+
+  int64_t raw_bytes = 0, packed_bytes = 0;
+  for (const auto& t : model.fault_targets()) {
+    if (t.quantizer == nullptr) continue;
+    const int64_t n = t.param->var.value().numel();
+    const int64_t bits = t.quantizer->bits();
+    raw_bytes += n * 4;
+    packed_bytes += (n * bits + 31) / 32 * 4;
+  }
+  ASSERT_GT(raw_bytes, packed_bytes);
+  const auto size_v1 = std::filesystem::file_size(v1);
+  const auto size_v2 = std::filesystem::file_size(v2);
+  EXPECT_EQ(static_cast<int64_t>(size_v1) - static_cast<int64_t>(size_v2),
+            raw_bytes - packed_bytes - 1);  // −1: v2's adaptive-delay byte
+
+  // The packed codes decode onto the exact same deployed weights.
+  deploy::LoadedArtifact a1 = deploy::load_artifact(v1);
+  deploy::LoadedArtifact a2 = deploy::load_artifact(v2);
+  ASSERT_EQ(a1.quant.size(), a2.quant.size());
+  for (size_t i = 0; i < a1.quant.size(); ++i)
+    EXPECT_EQ(a1.quant[i].codes, a2.quant[i].codes) << "target " << i;
+}
+
+TEST(ArtifactFormat, Version1FilesStillLoadAndServeIdentically) {
+  models::LstmForecaster model({.hidden = 8, .window = 8},
+                               {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const SessionOptions opts = options_for(TaskKind::kRegression);
+  const std::string v1 = temp_path("lstm_v1.rpla");
+  const std::string v2 = temp_path("lstm_v2.rpla");
+  deploy::save_artifact(model, v1, opts, /*version=*/1);
+  deploy::save_artifact(model, v2, opts);
+
+  auto s1 = InferenceSession::open(v1, {.backend = Backend::kQuantSim});
+  auto s2 = InferenceSession::open(v2, {.backend = Backend::kQuantSim});
+  Rng rng(54);
+  Tensor x = Tensor::randn({3, 8, 1}, rng);
+  expect_bit_equal(s1->mc_outputs(x), s2->mc_outputs(x),
+                   "v1 and v2 artifacts serve the same bits");
+  // Version 1 predates the knob: loads get its default (off).
+  EXPECT_FALSE(s1->options().batch_adaptive_delay);
+}
+
+TEST(ArtifactFormat, RejectsUnwritableVersions) {
+  models::LstmForecaster model({.hidden = 8, .window = 8},
+                               {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  EXPECT_THROW(deploy::save_artifact(model, temp_path("v9.rpla"),
+                                     options_for(TaskKind::kRegression),
+                                     /*version=*/9),
+               std::exception);
 }
 
 // ---- zoo train-or-load over artifacts --------------------------------------

@@ -1,0 +1,374 @@
+// imc::tiling / imc::TiledArray — the crossbar tiling compiler and its
+// executor: plan invariants (exact coverage, geometry limits), the
+// property sweep over (rows, cols, bits, tile geometry, ADC share ratio)
+// asserting the tiled ideal-mode output is bit-identical to the monolithic
+// Crossbar's, degenerate-plan bit-exactness against the legacy analog
+// signal chain, stuck-cell fault locality (a faulty tile only perturbs its
+// own row/column block), the shared-ADC auto-ranging transfer, and the
+// hardware cost model.
+#include "imc/tiled_array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/random.h"
+
+namespace ripple::imc {
+namespace {
+
+CrossbarConfig device(int64_t rows, int64_t cols) {
+  CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  return cfg;
+}
+
+TiledArrayConfig tiled(TileGeometry geometry, int slice_bits = 0,
+                       int adc_share = 1) {
+  TiledArrayConfig cfg;
+  cfg.geometry = geometry;
+  cfg.slice_bits = slice_bits;
+  cfg.adc_share = adc_share;
+  return cfg;
+}
+
+void expect_bit_equal(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  ASSERT_EQ(0, std::memcmp(a.data(), b.data(),
+                           sizeof(float) * static_cast<size_t>(a.numel())))
+      << what;
+}
+
+// ---- the compiler ----------------------------------------------------------
+
+TEST(TilePlan, CoversEveryWeightExactlyOnceWithinGeometry) {
+  const std::vector<TileGeometry> geometries = {
+      {64, 64}, {32, 16}, {16, 48}, {7, 5}, TileGeometry::unbounded()};
+  for (int64_t rows : {int64_t{1}, int64_t{7}, int64_t{64}, int64_t{65},
+                       int64_t{150}}) {
+    for (int64_t cols : {int64_t{1}, int64_t{10}, int64_t{64}, int64_t{130}}) {
+      for (int bits : {0, 2, 4, 8}) {
+        for (const TileGeometry& g : geometries) {
+          const int64_t group = bits == 0 ? 1 : bits;
+          if (g.cols_bounded() && g.cols < group) continue;
+          const TilePlan plan = plan_tiles(rows, cols, bits, g);
+          ASSERT_EQ(plan.tile_count(), plan.grid_rows * plan.grid_cols);
+          std::vector<int> covered(static_cast<size_t>(rows * cols), 0);
+          for (const TileSpec& t : plan.tiles) {
+            EXPECT_EQ(&t, &plan.tile(t.grid_r, t.grid_c));
+            EXPECT_GT(t.rows, 0);
+            EXPECT_GT(t.cols, 0);
+            EXPECT_EQ(t.phys_cols, t.cols * group);
+            if (g.rows_bounded()) EXPECT_LE(t.rows, g.rows);
+            if (g.cols_bounded()) EXPECT_LE(t.phys_cols, g.cols);
+            for (int64_t r = t.row_begin; r < t.row_begin + t.rows; ++r)
+              for (int64_t c = t.col_begin; c < t.col_begin + t.cols; ++c)
+                ++covered[static_cast<size_t>(r * cols + c)];
+          }
+          for (int v : covered) ASSERT_EQ(v, 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(TilePlan, UnboundedGeometryIsOneTile) {
+  const TilePlan plan = plan_tiles(512, 300, 0, TileGeometry::unbounded());
+  EXPECT_TRUE(plan.single_tile());
+  EXPECT_EQ(plan.tiles[0].rows, 512);
+  EXPECT_EQ(plan.tiles[0].phys_cols, 300);
+}
+
+TEST(TilePlan, RejectsInvalidBitsAndTooNarrowTiles) {
+  EXPECT_THROW(plan_tiles(8, 8, 1, {64, 64}), CheckError);
+  EXPECT_THROW(plan_tiles(8, 8, 17, {64, 64}), CheckError);
+  // An 8-bit-sliced output group needs 8 physical columns per tile.
+  EXPECT_THROW(plan_tiles(8, 8, 8, {64, 4}), CheckError);
+  EXPECT_THROW(plan_tiles(0, 8, 0, {64, 64}), CheckError);
+}
+
+TEST(TilePlan, CostModelCountsTilesAdcsAndConversions) {
+  // 100×20 analog weights on 32×16 tiles: 4 row blocks × 2 column blocks.
+  const TilePlan plan = plan_tiles(100, 20, 0, {32, 16});
+  EXPECT_EQ(plan.grid_rows, 4);
+  EXPECT_EQ(plan.grid_cols, 2);
+
+  const TileCost shared = plan_cost(plan, /*adc_share=*/4);
+  EXPECT_EQ(shared.tiles, 8);
+  EXPECT_EQ(shared.row_blocks, 4);
+  // Full-column tiles hold 16 phys cols → 4 shared ADCs; the edge column
+  // block holds 4 → 1. Four grid rows of (4 + 1).
+  EXPECT_EQ(shared.adcs, 4 * (4 + 1));
+  // Each shared ADC walks its 4 columns plus one auto-ranging pass.
+  EXPECT_EQ(shared.conversions_per_mvm, 5);
+  // (3 full + 1 edge row block of 4 rows) × (16 + 4 phys cols).
+  EXPECT_EQ(shared.cell_pairs, (3 * 32 + 4) * (16 + 4));
+
+  const TileCost dedicated = plan_cost(plan, /*adc_share=*/1);
+  EXPECT_EQ(dedicated.adcs, 4 * (16 + 4));
+  EXPECT_EQ(dedicated.conversions_per_mvm, 1);
+}
+
+// ---- the executor ----------------------------------------------------------
+
+TEST(TiledArray, IdealOutputMatchesMonolithicForAnyPlan) {
+  // The property the tiling must preserve: the reference digital
+  // computation is identical no matter how the matrix is carved up.
+  const int64_t in = 40, out = 30, n = 5;
+  Rng rng(11);
+  Tensor w = Tensor::randn({out, in}, rng, 0.0f, 0.5f);
+  Tensor x = Tensor::randn({n, in}, rng);
+
+  CrossbarConfig mono_cfg = device(in, out);
+  mono_cfg.sigma_programming = 0.05;
+  Crossbar mono(mono_cfg);
+  Rng mono_rng(3);
+  mono.program(w, mono_rng);
+  const Tensor ideal = mono.matvec_ideal(x);
+
+  const std::vector<TileGeometry> geometries = {
+      TileGeometry::unbounded(), {64, 64}, {16, 16}, {8, 24}, {32, 8}};
+  for (const TileGeometry& g : geometries) {
+    for (int bits : {0, 2, 4, 8}) {
+      for (int share : {1, 2, 8}) {
+        if (g.cols_bounded() && g.cols < (bits == 0 ? 1 : bits)) continue;
+        TiledArrayConfig cfg = tiled(g, bits, share);
+        cfg.device.sigma_programming = 0.05;
+        TiledArray array(out, in, cfg);
+        Rng prog_rng(3);
+        array.program(w, prog_rng);
+        expect_bit_equal(ideal, array.matvec_ideal(x),
+                         "tiled ideal == monolithic ideal");
+      }
+    }
+  }
+}
+
+TEST(TiledArray, DegeneratePlanIsBitExactAgainstMonolithicAnalog) {
+  // Unbounded geometry + analog cells must reproduce the legacy macro's
+  // whole signal chain — programming noise, variation, stuck cells, DAC,
+  // ADC — bit for bit, consuming the caller's Rng identically.
+  const int64_t in = 24, out = 10, n = 6;
+  Rng rng(21);
+  Tensor w = Tensor::randn({out, in}, rng, 0.0f, 0.4f);
+  Tensor x = Tensor::randn({n, in}, rng);
+
+  CrossbarConfig mono_cfg = device(in, out);
+  mono_cfg.sigma_programming = 0.05;
+  Crossbar mono(mono_cfg);
+  TiledArrayConfig cfg = tiled(TileGeometry::unbounded());
+  cfg.device.sigma_programming = 0.05;
+  TiledArray array(out, in, cfg);
+  EXPECT_TRUE(array.plan().single_tile());
+
+  Rng ra(99), rb(99);
+  mono.program(w, ra);
+  array.program(w, rb);
+  expect_bit_equal(mono.matvec(x), array.matvec(x), "clean chip");
+
+  mono.apply_conductance_variation(0.1, 0.02, ra);
+  array.apply_conductance_variation(0.1, 0.02, rb);
+  expect_bit_equal(mono.matvec(x), array.matvec(x), "variation");
+
+  mono.apply_stuck_cells(0.1, ra);
+  array.apply_stuck_cells(0.1, rb);
+  expect_bit_equal(mono.matvec(x), array.matvec(x), "stuck cells");
+
+  mono.restore();
+  array.restore();
+  expect_bit_equal(mono.matvec(x), array.matvec(x), "restore");
+
+  // A bounded geometry the matrix happens to fit compiles to the same
+  // degenerate plan — geometry only matters once it forces a split.
+  TiledArray fitting(out, in, tiled({64, 64}));
+  EXPECT_TRUE(fitting.plan().single_tile());
+}
+
+TEST(TiledArray, MultiTileAnalogTracksIdealAtHighResolution) {
+  // No noise + 16-bit converters + full-scale ADC: the tiled analog chain
+  // (per-tile partial sums, fixed-point accumulation) must track the
+  // digital reference closely even when split across many tiles.
+  const int64_t in = 40, out = 30, n = 8;
+  Rng rng(5);
+  Tensor w = Tensor::randn({out, in}, rng, 0.0f, 0.5f);
+  Tensor x = Tensor::randn({n, in}, rng);
+
+  TiledArrayConfig cfg = tiled({16, 16});
+  cfg.device.dac_bits = 16;
+  cfg.device.adc_bits = 16;
+  cfg.device.adc_fullscale_fraction = 1.0;
+  TiledArray array(out, in, cfg);
+  EXPECT_EQ(array.plan().tile_count(), 3 * 2);
+  Rng prog(7);
+  array.program(w, prog);
+
+  const Tensor ideal = array.matvec_ideal(x);
+  float peak = 0.0f;
+  for (int64_t i = 0; i < ideal.numel(); ++i)
+    peak = std::max(peak, std::fabs(ideal.data()[i]));
+  EXPECT_LT(array.fidelity_rmse(x), 1e-3 * peak);
+
+  // Determinism: the parallel tile MVMs accumulate in a fixed order.
+  expect_bit_equal(array.matvec(x), array.matvec(x), "repeatable matvec");
+}
+
+TEST(TiledArray, BitSlicedPlanesRecombineToQuantizedWeights) {
+  // With bit-sliced columns the array computes x·Ŵᵀ for the *quantized*
+  // weights (matrix-wide symmetric scale, mapping.h two's-complement
+  // planes). At high converter resolution the recombined output must
+  // track that quantized reference.
+  const int64_t in = 20, out = 12, n = 4;
+  const int bits = 4;
+  Rng rng(13);
+  Tensor w = Tensor::randn({out, in}, rng, 0.0f, 0.5f);
+  Tensor x = Tensor::randn({n, in}, rng);
+
+  TiledArrayConfig cfg = tiled({8, 16}, bits);
+  cfg.device.dac_bits = 16;
+  cfg.device.adc_bits = 16;
+  cfg.device.adc_fullscale_fraction = 1.0;
+  TiledArray array(out, in, cfg);
+  Rng prog(17);
+  array.program(w, prog);
+
+  // Digital reference with the quantized weights.
+  float mx = 0.0f;
+  for (int64_t i = 0; i < w.numel(); ++i)
+    mx = std::max(mx, std::fabs(w.data()[i]));
+  const double qmax = (1 << (bits - 1)) - 1;
+  const double scale = mx > 0.0f ? mx / qmax : 1.0;
+  Tensor wq = w.clone();
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    const double q = std::clamp(
+        std::round(static_cast<double>(w.data()[i]) / scale), -qmax, qmax);
+    wq.data()[i] = static_cast<float>(q * scale);
+  }
+  Tensor y = array.matvec(x);
+  double err = 0.0, ref = 0.0;
+  for (int64_t b = 0; b < n; ++b)
+    for (int64_t c = 0; c < out; ++c) {
+      double acc = 0.0;
+      for (int64_t r = 0; r < in; ++r)
+        acc += static_cast<double>(wq.data()[c * in + r]) *
+               x.data()[b * in + r];
+      const double d = y.data()[b * out + c] - acc;
+      err += d * d;
+      ref += acc * acc;
+    }
+  EXPECT_LT(std::sqrt(err), 1e-3 * std::sqrt(ref));
+}
+
+TEST(TiledArray, StuckCellsStayLocalToTheirTile) {
+  // Faults injected into one physical tile may only perturb that tile's
+  // output column block, and only through its input row block.
+  const int64_t in = 40, out = 30, n = 6;
+  Rng rng(23);
+  Tensor w = Tensor::randn({out, in}, rng, 0.0f, 0.5f);
+  Tensor x = Tensor::randn({n, in}, rng);
+
+  TiledArray array(out, in, tiled({16, 16}));
+  Rng prog(31);
+  array.program(w, prog);
+  const TilePlan& plan = array.plan();
+  ASSERT_EQ(plan.tile_count(), 6);
+  const int64_t target = 1 * plan.grid_cols + 1;  // grid (1,1)
+  const TileSpec& spec = plan.tiles[static_cast<size_t>(target)];
+
+  const Tensor clean = array.matvec(x);
+  Rng fault(41);
+  array.apply_stuck_cells(0.8, fault, /*only_tile=*/target);
+  const Tensor faulty = array.matvec(x);
+
+  bool in_block_changed = false;
+  for (int64_t b = 0; b < n; ++b)
+    for (int64_t c = 0; c < out; ++c) {
+      const float dc = clean.data()[b * out + c];
+      const float df = faulty.data()[b * out + c];
+      if (c >= spec.col_begin && c < spec.col_begin + spec.cols) {
+        in_block_changed |= dc != df;
+      } else {
+        ASSERT_EQ(dc, df) << "fault leaked outside its column block";
+      }
+    }
+  EXPECT_TRUE(in_block_changed);
+
+  // Inputs outside the faulty tile's row block never meet its cells: zero
+  // the block's rows and the stuck cells see zero voltage — the faulty
+  // chip answers exactly like the clean one.
+  Tensor x_zero = x.clone();
+  for (int64_t b = 0; b < n; ++b)
+    for (int64_t r = spec.row_begin; r < spec.row_begin + spec.rows; ++r)
+      x_zero.data()[b * in + r] = 0.0f;
+  Rng refault(41);
+  array.restore();
+  const Tensor clean_zero = array.matvec(x_zero);
+  array.apply_stuck_cells(0.8, refault, /*only_tile=*/target);
+  expect_bit_equal(clean_zero, array.matvec(x_zero),
+                   "fault invisible without its row block driven");
+}
+
+TEST(TiledArray, SharedAdcAutoRangesSparseGroups) {
+  // One big column pins the weight normalization; the rest are tiny, so
+  // their column currents sit far below the static full scale. A shared
+  // ADC's ranging pass gains them up before quantizing — the small
+  // columns come out closer to ideal than dedicated full-scale ADCs get
+  // them, at the cost of extra conversion cycles.
+  const int64_t in = 16, out = 8, n = 4;
+  Tensor w({out, in});
+  for (int64_t c = 0; c < out; ++c)
+    for (int64_t r = 0; r < in; ++r)
+      w.data()[c * in + r] = c == 0 ? 1.0f : 0.01f;
+  Rng rng(3);
+  Tensor x = Tensor::randn({n, in}, rng, 0.5f, 0.2f);
+
+  auto rmse_small_cols = [&](int share) {
+    TiledArrayConfig cfg = tiled({16, 16}, /*slice_bits=*/0, share);
+    TiledArray array(out, in, cfg);
+    Rng prog(5);
+    array.program(w, prog);
+    Tensor y = array.matvec(x);
+    Tensor ideal = array.matvec_ideal(x);
+    double acc = 0.0;
+    int64_t count = 0;
+    for (int64_t b = 0; b < n; ++b)
+      for (int64_t c = 1; c < out; ++c) {  // skip the ranging-pinning col 0
+        const double d = y.data()[b * out + c] - ideal.data()[b * out + c];
+        acc += d * d;
+        ++count;
+      }
+    return std::sqrt(acc / static_cast<double>(count));
+  };
+
+  const double dedicated = rmse_small_cols(1);
+  const double shared = rmse_small_cols(4);
+  EXPECT_LT(shared, dedicated);
+
+  TiledArray array(out, in, tiled({16, 16}, 0, 4));
+  EXPECT_EQ(array.cost().conversions_per_mvm, 5);
+}
+
+TEST(TiledArray, SingleRowVectorInputMatchesBatchRow) {
+  const int64_t in = 24, out = 12;
+  Rng rng(2);
+  Tensor w = Tensor::randn({out, in}, rng, 0.0f, 0.5f);
+  Tensor xv = Tensor::randn({in}, rng);
+  Tensor xb = Tensor::empty({1, in});
+  std::memcpy(xb.data(), xv.data(), sizeof(float) * static_cast<size_t>(in));
+
+  TiledArray array(out, in, tiled({8, 8}));
+  Rng prog(9);
+  array.program(w, prog);
+  Tensor yv = array.matvec(xv);
+  Tensor yb = array.matvec(xb);
+  ASSERT_EQ(yv.rank(), 1);
+  ASSERT_EQ(yb.rank(), 2);
+  ASSERT_EQ(0, std::memcmp(yv.data(), yb.data(),
+                           sizeof(float) * static_cast<size_t>(out)));
+}
+
+}  // namespace
+}  // namespace ripple::imc
