@@ -14,8 +14,13 @@
 // scripts/bench.sh captures the JSON as BENCH_serve.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <deque>
 #include <filesystem>
+#include <future>
 #include <string>
+#include <vector>
 
 #include "deploy/deploy.h"
 #include "models/evaluate.h"
@@ -24,6 +29,7 @@
 #include "models/resnet.h"
 #include "models/unet.h"
 #include "serve/batcher.h"
+#include "serve/cluster.h"
 #include "serve/session.h"
 #include "tensor/random.h"
 
@@ -272,6 +278,127 @@ BENCHMARK(BM_AsyncBatcherLstmSmall)
     ->Args({4, 1000})
     ->Args({16, 2000})
     ->Threads(kBatcherThreads)
+    ->UseRealTime();
+
+// ---- replica-fleet serving -------------------------------------------------
+// serve::ClusterController over the edge-sized forecaster artifact:
+// closed-loop producer threads submit through the fleet front door and
+// block on the future. On a single core the replicas cannot run in
+// parallel — the win measured here is coalescing efficiency (deep
+// cross-request batches fold more MC rows per forward pass) plus the
+// routing/retry overhead staying small. Compare items/sec against
+// BM_SessionPredictLstmSmall/8 (same model, same T): the acceptance
+// ratio recorded in BENCH_serve.json. The Chaos variant keeps one replica
+// crashing periodically — the robustness tax on throughput.
+
+// Closed-loop producers, each keeping kClusterPipeline requests in flight
+// (submit a burst of futures, then drain it). Fleet-wide inflight depth is
+// producers × pipeline without paying a thread per outstanding request on
+// the producer side; the controller still needs one dispatcher per inflight
+// request, so dispatch_threads is sized to the product below.
+constexpr int kClusterProducers = 16;
+constexpr int kClusterPipeline = 64;
+
+const std::string& cluster_artifact() {
+  static const std::string path = [] {
+    models::LstmForecaster model({.hidden = 8, .window = 24}, proposed());
+    model.set_training(false);
+    model.deploy();
+    std::string p =
+        std::filesystem::temp_directory_path() / "ripple_perf_cluster.rpla";
+    deploy::save_artifact(model, p,
+                          session_options(serve::TaskKind::kRegression, 8));
+    return p;
+  }();
+  return path;
+}
+
+void run_cluster_submit(benchmark::State& state, bool chaos) {
+  static serve::ClusterController* cluster = nullptr;
+  if (state.thread_index() == 0) {
+    serve::ClusterOptions copts;
+    copts.replicas = static_cast<int>(state.range(0));
+    serve::SessionOptions sopts =
+        session_options(serve::TaskKind::kRegression, kBatcherSamples);
+    // Dispatch on count, not on the delay timer: cap each coalesced batch
+    // at this replica's share of the closed-loop producers so a full batch
+    // triggers the moment the fleet's inflight requests land. A cap above
+    // the share would make every batch wait out the full delay
+    // (the BM_AsyncBatcherLstmSmall/16/2000 trap).
+    sopts.batch_max_requests = std::max(
+        1, kClusterProducers * kClusterPipeline / copts.replicas);
+    sopts.batch_max_delay_us = 200;
+    sopts.batcher_threads = 1;
+    copts.deploy.session = sopts;
+    // Chunked dispatch: producers × pipeline inflight requests carried by
+    // one dispatcher per producer, each popping a pipeline-sized chunk per
+    // wakeup — cluster-level concurrency is never the bottleneck,
+    // coalescing depth at the replicas is what's measured.
+    // 4× headroom on dispatchers: a dispatcher that wakes before the full
+    // burst is queued pops a partial chunk, so spare dispatchers are what
+    // keep fleet-wide inflight (and with it replica batch depth) at
+    // producers × pipeline.
+    copts.dispatch_threads = 4 * kClusterProducers;
+    copts.dispatch_chunk = kClusterPipeline;
+    copts.default_timeout_us = 30'000'000;
+    copts.max_inflight_per_replica = 2048;
+    copts.queue_limit = 4096;
+    cluster = new serve::ClusterController(cluster_artifact(), copts);
+    if (chaos) {
+      cluster->replica(0).set_forward_hook([](int64_t) {
+        static std::atomic<int64_t> forwards{0};
+        if (forwards.fetch_add(1) % 8 == 7)
+          throw std::runtime_error("bench chaos: crash");
+      });
+    }
+  }
+  Rng rng(7 + static_cast<uint64_t>(state.thread_index()));
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  int64_t failed = 0;
+  // Burst-and-drain: each iteration submits a pipeline-sized burst and
+  // then collects it. The bursts keep the controller queue deep enough
+  // that dispatchers pop real chunks (a steady one-at-a-time trickle
+  // would degenerate dispatch_chunk to 1).
+  std::vector<std::future<serve::Prediction>> burst;
+  burst.reserve(kClusterPipeline);
+  for (auto _ : state) {
+    burst.clear();
+    for (int i = 0; i < kClusterPipeline; ++i)
+      burst.push_back(cluster->submit(x));
+    for (auto& f : burst) {
+      try {
+        serve::Prediction p = f.get();
+        benchmark::DoNotOptimize(&p);
+      } catch (const serve::ServeError&) {
+        ++failed;  // retries exhausted under chaos — still one resolution
+      }
+    }
+  }
+  benchmark::DoNotOptimize(failed);
+  state.SetItemsProcessed(state.iterations() * kClusterPipeline *
+                          kBatcherSamples * x.dim(0));
+  if (state.thread_index() == 0) {
+    delete cluster;
+    cluster = nullptr;
+  }
+}
+
+void BM_ClusterSubmit(benchmark::State& state) {
+  run_cluster_submit(state, /*chaos=*/false);
+}
+BENCHMARK(BM_ClusterSubmit)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Threads(kClusterProducers)
+    ->UseRealTime();
+
+void BM_ClusterSubmitChaos(benchmark::State& state) {
+  run_cluster_submit(state, /*chaos=*/true);
+}
+BENCHMARK(BM_ClusterSubmitChaos)
+    ->Arg(4)
+    ->Threads(kClusterProducers)
     ->UseRealTime();
 
 // ---- deployment backends ---------------------------------------------------

@@ -482,6 +482,36 @@ bool load_artifact_into(models::TaskModel& model, const std::string& path) {
   return true;
 }
 
+LoadedArtifact replicate(const LoadedArtifact& art) {
+  RIPPLE_CHECK(art.model != nullptr) << "replicate: artifact holds no model";
+  LoadedArtifact copy;
+  copy.spec = art.spec;
+  copy.session_defaults = art.session_defaults;
+  copy.quant = art.quant;
+  copy.model = build_model(copy.spec);
+
+  const auto src_params = art.model->parameters();
+  auto dst_params = copy.model->parameters();
+  RIPPLE_CHECK(src_params.size() == dst_params.size())
+      << "replicate: parameter count mismatch";
+  for (size_t i = 0; i < src_params.size(); ++i)
+    dst_params[i]->var.value().copy_from(src_params[i]->var.value());
+  const auto src_buffers = art.model->buffers();
+  auto dst_buffers = copy.model->buffers();
+  RIPPLE_CHECK(src_buffers.size() == dst_buffers.size())
+      << "replicate: buffer count mismatch";
+  for (size_t i = 0; i < src_buffers.size(); ++i)
+    dst_buffers[i].tensor->copy_from(*src_buffers[i].tensor);
+
+  std::vector<float> calibrations;
+  calibrations.reserve(copy.quant.size());
+  for (const QuantRecord& q : copy.quant)
+    calibrations.push_back(q.quantized ? q.calibration : 0.0f);
+  copy.model->restore_deployed(calibrations);
+  copy.model->set_training(false);
+  return copy;
+}
+
 void decode_quantized_weights(models::TaskModel& model,
                               const std::vector<QuantRecord>& quant) {
   const auto targets = model.fault_targets();

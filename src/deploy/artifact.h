@@ -98,6 +98,14 @@ LoadedArtifact load_artifact(const std::string& path);
 /// on mismatch or corruption. The train-or-load cache path (models/zoo.h).
 bool load_artifact_into(models::TaskModel& model, const std::string& path);
 
+/// Deep-copies a loaded artifact: builds a second deployed, eval-mode
+/// model from the same descriptor and copies the tensors and frozen
+/// quantizer state across. The copy shares no mutable state with `art` —
+/// this is the multi-session path: one disk read serves a whole replica
+/// fleet (serve/cluster.h), each copy opened with its own seed/fault
+/// configuration.
+LoadedArtifact replicate(const LoadedArtifact& art);
+
 /// kQuantSim materialization: overwrite every quantized fault-target
 /// weight with quantizer->decode(codes) — the model then serves the
 /// integer hardware representation routed through the existing bit codec

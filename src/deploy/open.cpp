@@ -7,7 +7,11 @@ namespace ripple::serve {
 
 std::unique_ptr<InferenceSession> InferenceSession::open(
     const std::string& path, const deploy::DeployOptions& options) {
-  deploy::LoadedArtifact art = deploy::load_artifact(path);
+  return open(deploy::load_artifact(path), options);
+}
+
+std::unique_ptr<InferenceSession> InferenceSession::open(
+    deploy::LoadedArtifact art, const deploy::DeployOptions& options) {
   const SessionOptions session_options =
       options.session.has_value() ? *options.session : art.session_defaults;
 

@@ -78,23 +78,44 @@ std::chrono::microseconds AsyncBatcher::effective_delay(
 }
 
 std::future<Prediction> AsyncBatcher::submit(Tensor input) {
+  return enqueue(std::move(input),
+                 std::chrono::steady_clock::time_point::max());
+}
+
+std::future<Prediction> AsyncBatcher::submit(
+    Tensor input, std::chrono::microseconds timeout) {
+  return enqueue(std::move(input),
+                 std::chrono::steady_clock::now() + timeout);
+}
+
+std::future<Prediction> AsyncBatcher::enqueue(
+    Tensor input, std::chrono::steady_clock::time_point hard_deadline) {
   std::promise<Prediction> promise;
   std::future<Prediction> future = promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) {
       counters_.on_reject();
-      RIPPLE_CHECK(false) << "AsyncBatcher::submit after close()";
+      throw ServeError(Status::kClosed, "AsyncBatcher::submit after close()");
     }
     const auto now = std::chrono::steady_clock::now();
     queued_rows_ += rows_of(input);
-    queue_.push_back(
-        Pending{std::move(input), std::move(promise),
-                now + effective_delay(now)});
+    // The dispatch trigger never waits past the hard deadline: an expired
+    // request must surface as a prompt typed failure, not sit out the
+    // coalescing delay first.
+    queue_.push_back(Pending{std::move(input), std::move(promise),
+                             std::min(now + effective_delay(now),
+                                      hard_deadline),
+                             now, hard_deadline});
     counters_.on_submit();
   }
   cv_.notify_one();
   return future;
+}
+
+void AsyncBatcher::set_forward_hook(std::function<void(int64_t)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mutex_);
+  forward_hook_ = std::move(hook);
 }
 
 std::vector<std::future<Prediction>> AsyncBatcher::submit_many(
@@ -158,25 +179,67 @@ std::vector<AsyncBatcher::Pending> AsyncBatcher::take_batch() {
 }
 
 void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
-  std::vector<Tensor> inputs;
-  inputs.reserve(batch.size());
-  for (const Pending& p : batch) inputs.push_back(p.input);
-  bool coalesced_ok = false;
-  try {
-    std::vector<Prediction> results = session_.predict_many(inputs);
-    coalesced_ok = true;
-    for (size_t i = 0; i < batch.size(); ++i)
-      batch[i].promise.set_value(std::move(results[i]));
-  } catch (...) {
-    if (coalesced_ok) throw;  // a promise was already consumed; don't retry
-    // The coalesced forward failed; retry request-by-request so the
-    // exception lands only in the offending request's future and the rest
-    // of the batch still completes.
-    for (Pending& p : batch) {
-      try {
-        p.promise.set_value(session_.predict(p.input));
-      } catch (...) {
-        p.promise.set_exception(std::current_exception());
+  std::function<void(int64_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex_);
+    hook = forward_hook_;
+  }
+  const auto record = [this](const Pending& p) {
+    counters_.latency().record(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - p.enqueue)
+            .count());
+  };
+
+  // Deadline enforcement happens at dispatch: a request whose hard
+  // deadline already passed gets the typed timeout now and never reaches
+  // the session — late traffic must not burn a forward pass on answers
+  // nobody is waiting for.
+  const auto dispatch_time = std::chrono::steady_clock::now();
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    if (p.hard_deadline <= dispatch_time) {
+      counters_.on_timeout();
+      p.promise.set_exception(std::make_exception_ptr(ServeError(
+          Status::kTimeout, "request deadline expired before dispatch")));
+      record(p);
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+
+  if (!live.empty()) {
+    std::vector<Tensor> inputs;
+    inputs.reserve(live.size());
+    int64_t live_rows = 0;
+    for (const Pending& p : live) {
+      inputs.push_back(p.input);
+      live_rows += rows_of(p.input);
+    }
+    bool coalesced_ok = false;
+    try {
+      if (hook) hook(live_rows);
+      std::vector<Prediction> results = session_.predict_many(inputs);
+      coalesced_ok = true;
+      for (size_t i = 0; i < live.size(); ++i) {
+        live[i].promise.set_value(std::move(results[i]));
+        record(live[i]);
+      }
+    } catch (...) {
+      if (coalesced_ok) throw;  // a promise was already consumed; don't retry
+      // The coalesced forward failed; retry request-by-request so the
+      // exception lands only in the offending request's future and the
+      // rest of the batch still completes. The hook runs per retried
+      // forward too — an injected crash fails every request it serves.
+      for (Pending& p : live) {
+        try {
+          if (hook) hook(rows_of(p.input));
+          p.promise.set_value(session_.predict(p.input));
+        } catch (...) {
+          p.promise.set_exception(std::current_exception());
+        }
+        record(p);
       }
     }
   }
@@ -198,16 +261,14 @@ void AsyncBatcher::worker_loop() {
            (max_rows_ == 0 || queued_rows_ < max_rows_)) {
       // Copy the deadline out: wait_until holds it by reference across the
       // unlocked wait, and another worker may dispatch (and free) the
-      // front entry meanwhile. With a fixed delay the front (oldest)
-      // request always holds the earliest deadline; adaptive delays break
-      // that invariant — a later arrival may carry a shorter deadline than
-      // a no-history front — so there the whole queue is scanned.
+      // front entry meanwhile. The whole queue is scanned for the earliest
+      // dispatch deadline: adaptive delays and per-request hard deadlines
+      // both break the front-is-oldest-deadline invariant — a later
+      // arrival may carry a shorter deadline than the front.
       std::chrono::steady_clock::time_point deadline =
           queue_.front().deadline;
-      if (adaptive_delay_) {
-        for (const Pending& p : queue_)
-          deadline = std::min(deadline, p.deadline);
-      }
+      for (const Pending& p : queue_)
+        deadline = std::min(deadline, p.deadline);
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
     }
     if (queue_.empty()) continue;

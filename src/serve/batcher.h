@@ -50,6 +50,21 @@
 // alone — it is the session's max_batch chunking's job to split it).
 // With the knob at 0 (default) only batch_max_requests sizes batches.
 //
+// Per-request *hard* deadlines are separate from the coalescing delay:
+// submit(x, timeout) stamps the request with an absolute deadline, and a
+// request whose deadline has already expired when a worker dispatches it
+// is failed with ServeError{Status::kTimeout} instead of being served late
+// (BatcherCounters::timeouts counts these; an expired request also wakes
+// the worker no later than its deadline, so the typed failure is prompt).
+// A request that starts executing in time but finishes late is still
+// served — dispatch is the cancellation point, not the forward.
+//
+// Failures on the submit path are typed (serve/status.h): submit() after
+// close() throws ServeError{Status::kClosed}. Exceptions thrown by the
+// session itself (precondition violations — bad shapes, wrong task kind)
+// keep their own type and are delivered through the offending request's
+// future, as before.
+//
 // Thread safety: submit/submit_many/close may be called from any thread.
 // The batcher only *reads* the session (predict_many is const and
 // thread-safe), so serving through a batcher and calling session.predict
@@ -60,6 +75,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -67,6 +83,7 @@
 
 #include "serve/metrics.h"
 #include "serve/session.h"
+#include "serve/status.h"
 
 namespace ripple::serve {
 
@@ -84,12 +101,28 @@ class AsyncBatcher {
 
   /// Enqueues one request batch x [N, ...] and returns the future of its
   /// prediction (the same typed result session.predict(x) yields).
-  /// Throws CheckError after close().
+  /// Throws ServeError{Status::kClosed} after close().
   std::future<Prediction> submit(Tensor input);
+
+  /// Same, with a hard per-request deadline `timeout` from now: if the
+  /// deadline has expired by the time a worker dispatches the request, its
+  /// future fails with ServeError{Status::kTimeout} instead of being
+  /// served late. timeout <= 0 means already expired.
+  std::future<Prediction> submit(Tensor input,
+                                 std::chrono::microseconds timeout);
 
   /// Enqueues several requests at once (they may still be split across
   /// dispatched batches); one future per request, in order.
   std::vector<std::future<Prediction>> submit_many(std::vector<Tensor> inputs);
+
+  /// Instrumentation/chaos seam: `hook(rows)` runs inside a worker thread
+  /// immediately before each coalesced forward (and before each forward of
+  /// the per-request retry path). An exception it throws is delivered
+  /// exactly like a session exception — to the offending request's future
+  /// after the per-request retry. The cluster chaos harness injects
+  /// replica crashes (hook throws) and stalls (hook sleeps) here. Pass an
+  /// empty function to clear. Takes effect from the next dispatched batch.
+  void set_forward_hook(std::function<void(int64_t rows)> hook);
 
   /// Idempotent graceful shutdown: already-queued requests are dispatched
   /// (deadlines ignored), workers join, later submits are rejected.
@@ -110,8 +143,17 @@ class AsyncBatcher {
   struct Pending {
     Tensor input;
     std::promise<Prediction> promise;
+    /// Dispatch trigger: enqueue + coalescing delay, clamped to the hard
+    /// deadline so expired requests surface (and fail) promptly.
     std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point enqueue;
+    /// Absolute per-request deadline (time_point::max() = none).
+    std::chrono::steady_clock::time_point hard_deadline;
   };
+
+  /// Common submit path; hard_deadline = time_point::max() for none.
+  std::future<Prediction> enqueue(
+      Tensor input, std::chrono::steady_clock::time_point hard_deadline);
 
   void worker_loop();
   /// Pops the dispatch group (oldest request + same-per-row-shape
@@ -143,6 +185,9 @@ class AsyncBatcher {
   bool closed_ = false;
   std::vector<std::thread> workers_;
   std::mutex join_mutex_;  // serializes concurrent close() calls
+
+  std::mutex hook_mutex_;
+  std::function<void(int64_t)> forward_hook_;
 
   BatcherCounters counters_;
 };

@@ -1,5 +1,6 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace ripple::serve {
@@ -15,6 +16,84 @@ void update_max(std::atomic<uint64_t>& slot, uint64_t value) {
 }
 
 }  // namespace
+
+size_t LatencyHistogram::bucket_for(int64_t us) {
+  if (us <= 0) return 0;
+  size_t bucket = 0;
+  // bucket b covers [2^(b-1), 2^b): 1µs → bucket 1, 1000µs → bucket 10.
+  while (us > 0 && bucket + 1 < kBuckets) {
+    us >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+int64_t LatencyHistogram::bucket_lower_us(size_t bucket) {
+  return bucket == 0 ? 0 : int64_t{1} << (bucket - 1);
+}
+
+int64_t LatencyHistogram::bucket_upper_us(size_t bucket) {
+  return int64_t{1} << bucket;
+}
+
+void LatencyHistogram::record(int64_t us) {
+  buckets_[bucket_for(us)].fetch_add(1, relaxed);
+  total_us_.fetch_add(static_cast<uint64_t>(std::max<int64_t>(0, us)),
+                      relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(relaxed);
+  return n;
+}
+
+double LatencyHistogram::mean_us() const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(total_us_.load(relaxed)) /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::percentile(double pct) const {
+  RIPPLE_CHECK(pct >= 0.0 && pct <= 100.0)
+      << "percentile " << pct << " out of [0, 100]";
+  uint64_t counts[kBuckets];
+  uint64_t n = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(relaxed);
+    n += counts[b];
+  }
+  if (n == 0) return 0.0;
+  // Rank of the requested percentile (1-based, nearest-rank), then linear
+  // interpolation between the crossing bucket's bounds.
+  const double rank = pct / 100.0 * static_cast<double>(n);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(seen + counts[b]) >= rank) {
+      const double into =
+          std::max(0.0, rank - static_cast<double>(seen)) /
+          static_cast<double>(counts[b]);
+      const double lower = static_cast<double>(bucket_lower_us(b));
+      const double upper = static_cast<double>(bucket_upper_us(b));
+      return lower + into * (upper - lower);
+    }
+    seen += counts[b];
+  }
+  return static_cast<double>(bucket_upper_us(kBuckets - 1));
+}
+
+uint64_t LatencyHistogram::bucket(size_t b) const {
+  RIPPLE_CHECK(b < kBuckets) << "latency bucket " << b << " out of range";
+  return buckets_[b].load(relaxed);
+}
+
+void LatencyHistogram::merge_from(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b)
+    buckets_[b].fetch_add(other.buckets_[b].load(relaxed), relaxed);
+  total_us_.fetch_add(other.total_us_.load(relaxed), relaxed);
+}
 
 size_t BatcherCounters::bucket_for(size_t requests) {
   if (requests <= 1) return 0;
@@ -48,6 +127,8 @@ void BatcherCounters::on_dispatch(size_t batch_requests, size_t batch_rows) {
 void BatcherCounters::on_complete(size_t batch_requests) {
   completed_.fetch_add(batch_requests, relaxed);
 }
+
+void BatcherCounters::on_timeout() { timeouts_.fetch_add(1, relaxed); }
 
 void BatcherCounters::on_effective_delay(int64_t us) {
   effective_delay_us_.store(us, relaxed);

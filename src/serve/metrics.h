@@ -18,6 +18,51 @@
 
 namespace ripple::serve {
 
+/// Lock-free fixed-bucket log2 latency histogram. record() costs two
+/// relaxed atomic adds; percentiles are extracted on read by walking the
+/// cumulative counts and interpolating linearly inside the crossing
+/// bucket, so p50/p95/p99 are exact to within one power-of-two bucket.
+/// Bucket b counts samples in [2^(b-1), 2^b) microseconds (bucket 0: <1µs,
+/// the last bucket is open-ended). Recorded per batcher (and so per
+/// cluster replica) and cluster-wide; this is also where the analog
+/// backend's serving cost becomes observable — a kCrossbar session with a
+/// wider adc_share spends more serial ADC conversion cycles per forward,
+/// which lands directly in the replica's p95, not just in the plan's
+/// TileCost conversion counts.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 32;
+
+  /// Bucket index of a latency sample (µs).
+  static size_t bucket_for(int64_t us);
+  /// Inclusive-exclusive [lower, upper) bounds of a bucket, in µs.
+  static int64_t bucket_lower_us(size_t bucket);
+  static int64_t bucket_upper_us(size_t bucket);
+
+  void record(int64_t us);
+
+  uint64_t count() const;
+  /// Sum of recorded latencies (µs) — mean_us() = total/count.
+  double mean_us() const;
+  /// Latency (µs) at percentile `pct` in [0, 100]; 0 before any sample.
+  double percentile(double pct) const;
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+  uint64_t bucket(size_t b) const;
+
+  /// Accumulates another histogram's counts into this one (cluster-wide
+  /// views merge the per-replica histograms). Concurrent records on either
+  /// side stay consistent bucket-wise (relaxed snapshot).
+  void merge_from(const LatencyHistogram& other);
+
+ private:
+  static constexpr std::memory_order relaxed = std::memory_order_relaxed;
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> total_us_{0};
+};
+
 /// Counters of one serve::AsyncBatcher — queue depth, dispatch counts, and
 /// a power-of-two batch-size histogram. Everything is atomic: the submit
 /// path and the workers update them, and any thread may read at any time
@@ -36,6 +81,7 @@ class BatcherCounters {
   void on_reject();
   void on_dispatch(size_t batch_requests, size_t batch_rows);
   void on_complete(size_t batch_requests);
+  void on_timeout();
   void on_effective_delay(int64_t us);
 
   uint64_t submitted() const { return submitted_.load(relaxed); }
@@ -57,10 +103,19 @@ class BatcherCounters {
   double mean_batch_requests() const;
   double mean_batch_rows() const;
   uint64_t histogram_bucket(size_t bucket) const;
+  /// Requests failed with Status::kTimeout because their deadline had
+  /// already expired when a worker dispatched them (serve/batcher.h).
+  /// Timeouts count in completed() too — the future was fulfilled.
+  uint64_t timeouts() const { return timeouts_.load(relaxed); }
   /// Gauge: the coalescing delay most recently applied to a submitted
   /// request — the configured batch_max_delay_us, or the EWMA-tracked
   /// effective delay when batch_adaptive_delay is on (serve/batcher.h).
   int64_t effective_delay_us() const { return effective_delay_us_.load(relaxed); }
+
+  /// Submit-to-completion latency of every fulfilled request (values and
+  /// typed failures alike).
+  const LatencyHistogram& latency() const { return latency_; }
+  LatencyHistogram& latency() { return latency_; }
 
  private:
   static constexpr std::memory_order relaxed = std::memory_order_relaxed;
@@ -76,7 +131,9 @@ class BatcherCounters {
   std::atomic<uint64_t> max_rows_{0};
   std::atomic<uint64_t> dispatched_rows_{0};
   std::atomic<int64_t> effective_delay_us_{0};
+  std::atomic<uint64_t> timeouts_{0};
   std::array<std::atomic<uint64_t>, kHistogramBuckets> histogram_{};
+  LatencyHistogram latency_;
 };
 
 /// Classification accuracy of the MC-mean prediction over `test`.

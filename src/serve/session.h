@@ -51,6 +51,7 @@ class InvertedNorm;
 namespace ripple::deploy {
 class ExecutionBackend;
 struct DeployOptions;
+struct LoadedArtifact;
 }  // namespace ripple::deploy
 
 namespace ripple::serve {
@@ -168,6 +169,13 @@ class InferenceSession {
   static std::unique_ptr<InferenceSession> open(
       const std::string& path, const deploy::DeployOptions& options);
   static std::unique_ptr<InferenceSession> open(const std::string& path);
+
+  /// Opens a session from an already-loaded artifact, consuming it — the
+  /// replica-fleet path: deploy::load_artifact once, deploy::replicate per
+  /// additional replica, then open each copy under its own seed/fault
+  /// configuration without touching the disk again (serve/cluster.h).
+  static std::unique_ptr<InferenceSession> open(
+      deploy::LoadedArtifact artifact, const deploy::DeployOptions& options);
 
   /// One uncertainty-aware prediction for a batch x [N, ...]; the held
   /// alternative matches options().task. Thread-safe and deterministic:

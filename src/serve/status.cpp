@@ -1,0 +1,21 @@
+#include "serve/status.h"
+
+namespace ripple::serve {
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kOverloaded:
+      return "overloaded";
+    case Status::kReplicaDown:
+      return "replica-down";
+    case Status::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+}  // namespace ripple::serve

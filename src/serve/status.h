@@ -1,0 +1,54 @@
+// Typed serving failures.
+//
+// The serving stack used to signal every failure as whatever exception the
+// layer underneath happened to throw, which forces callers into string
+// matching to tell "the fleet is saturated, back off" apart from "your
+// request was malformed". Status is the closed taxonomy of the failures the
+// serving layers themselves produce; ServeError carries one through a
+// std::future or a throw. Session precondition violations (bad shapes,
+// wrong task kind) keep their CheckError type — those are caller bugs, not
+// serving-infrastructure outcomes, and they stay distinguishable.
+//
+//   kTimeout     — the request's deadline expired before a result was
+//                  produced (batcher dispatch found it already expired, or
+//                  the cluster exhausted the deadline across retries).
+//   kOverloaded  — admission control shed the request: every routable
+//                  replica is saturated (or the controller queue is at its
+//                  bound). Retrying immediately will not help; backing off
+//                  will.
+//   kReplicaDown — the serving replica(s) failed the request and the retry
+//                  budget is spent; the fleet could not produce a result.
+//   kClosed      — submit() after close(); the request was never queued.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ripple::serve {
+
+enum class Status {
+  kOk = 0,
+  kTimeout,
+  kOverloaded,
+  kReplicaDown,
+  kClosed,
+};
+
+const char* status_name(Status status);
+
+/// The typed failure the serving layers deliver through futures (and throw
+/// from submit paths). `status()` is the machine-readable verdict; what()
+/// adds human context (which replica, how many attempts, …).
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(Status status, const std::string& what)
+      : std::runtime_error(std::string(status_name(status)) + ": " + what),
+        status_(status) {}
+
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace ripple::serve

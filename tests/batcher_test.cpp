@@ -237,10 +237,76 @@ TEST(Batcher, CloseDrainsQueuedRequestsInsteadOfDropping) {
   EXPECT_EQ(batcher.counters().completed(), inputs.size());
   EXPECT_EQ(batcher.counters().queue_depth(), 0);
 
-  // Reject-after-close: the request is refused, never silently dropped.
+  // Reject-after-close: the request is refused with the typed serving
+  // error (serve/status.h), never silently dropped.
   EXPECT_TRUE(batcher.closed());
-  EXPECT_THROW(batcher.submit(inputs[0]), CheckError);
+  try {
+    batcher.submit(inputs[0]);
+    FAIL() << "submit after close() must throw";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.status(), serve::Status::kClosed);
+  }
   EXPECT_EQ(batcher.counters().rejected(), 1u);
+}
+
+// ---- per-request hard deadlines --------------------------------------------
+// Dispatch is the cancellation point: a request whose deadline has expired
+// by the time a worker picks it up fails with Status::kTimeout instead of
+// being served late; a request dispatched in time is served normally.
+
+TEST(BatcherDeadline, ExpiredRequestFailsTypedInsteadOfServedLate) {
+  models::LstmForecaster model({.hidden = 8, .window = 8}, proposed());
+  // max_requests=1: every dispatch is a singleton, so the deadlined
+  // request can only be picked up *after* the stalled forward ahead of it.
+  InferenceSession session(
+      model, batcher_options(TaskKind::kRegression, 2, 84,
+                             /*max_requests=*/1,
+                             /*max_delay_us=*/1000, /*threads=*/1));
+  Rng rng(17);
+  Tensor x = Tensor::randn({1, 8, 1}, rng);
+  const Prediction oracle = session.predict(x);
+
+  AsyncBatcher batcher(session);
+  // Hold the single worker inside a forward long enough for the deadlined
+  // request to expire in the queue behind it.
+  std::atomic<int> stalls{1};
+  batcher.set_forward_hook([&](int64_t) {
+    if (stalls.fetch_sub(1) > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  auto slow = batcher.submit(x);  // no deadline; eats the stall
+  auto expired = batcher.submit(x, std::chrono::milliseconds(5));
+  auto relaxed = batcher.submit(x, std::chrono::hours(1));
+
+  EXPECT_TRUE(predictions_equal(slow.get(), oracle));
+  try {
+    expired.get();
+    FAIL() << "expired request must fail with kTimeout";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.status(), serve::Status::kTimeout);
+  }
+  EXPECT_TRUE(predictions_equal(relaxed.get(), oracle));
+  batcher.close();
+  EXPECT_EQ(batcher.counters().timeouts(), 1u);
+  // The timed-out future was still fulfilled — exactly-once accounting.
+  EXPECT_EQ(batcher.counters().completed(), 3u);
+}
+
+TEST(BatcherDeadline, AlreadyExpiredTimeoutFailsPromptly) {
+  models::LstmForecaster model({.hidden = 8, .window = 8}, proposed());
+  InferenceSession session(
+      model, batcher_options(TaskKind::kRegression, 2, 85,
+                             /*max_requests=*/8,
+                             /*max_delay_us=*/10'000'000, /*threads=*/1));
+  Rng rng(18);
+  Tensor x = Tensor::randn({1, 8, 1}, rng);
+  AsyncBatcher batcher(session);
+  // timeout <= 0 is expired on arrival; the worker must wake for it now,
+  // not after the 10 s coalescing delay.
+  auto f = batcher.submit(x, std::chrono::microseconds(0));
+  EXPECT_THROW(f.get(), serve::ServeError);
+  batcher.close();
+  EXPECT_EQ(batcher.counters().timeouts(), 1u);
 }
 
 TEST(Batcher, ExceptionReachesOnlyTheOffendingFuture) {
@@ -429,6 +495,35 @@ TEST(BatcherAdaptive, GaugeReportsConfiguredMaxWhenOff) {
   batcher.submit(x).get();
   EXPECT_EQ(batcher.counters().effective_delay_us(), 1234);
   batcher.close();
+}
+
+TEST(LatencyHistogramTest, BucketsAndPercentiles) {
+  using serve::LatencyHistogram;
+  EXPECT_EQ(LatencyHistogram::bucket_for(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_for(1024), 11u);
+
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p95(), 0.0);
+  // 90 fast samples in [16, 32) µs, 10 slow ones in [1024, 2048) µs: p50
+  // must land in the fast bucket, p95 and p99 in the slow one.
+  for (int i = 0; i < 90; ++i) h.record(20);
+  for (int i = 0; i < 10; ++i) h.record(1500);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GE(h.p50(), 16.0);
+  EXPECT_LT(h.p50(), 32.0);
+  EXPECT_GE(h.p95(), 1024.0);
+  EXPECT_LE(h.p99(), 2048.0);
+  EXPECT_NEAR(h.mean_us(), (90.0 * 20 + 10.0 * 1500) / 100.0, 1e-9);
+
+  LatencyHistogram merged;
+  merged.record(20);
+  merged.merge_from(h);
+  EXPECT_EQ(merged.count(), 101u);
 }
 
 TEST(BatcherCountersTest, DispatchAccounting) {
