@@ -30,6 +30,7 @@
 #include "models/unet.h"
 #include "serve/batcher.h"
 #include "serve/cluster.h"
+#include "serve/server.h"
 #include "serve/session.h"
 #include "tensor/random.h"
 
@@ -313,37 +314,43 @@ const std::string& cluster_artifact() {
   return path;
 }
 
+serve::ClusterOptions bench_cluster_options(int replicas) {
+  serve::ClusterOptions copts;
+  copts.replicas = replicas;
+  serve::SessionOptions sopts =
+      session_options(serve::TaskKind::kRegression, kBatcherSamples);
+  // Dispatch on count, not on the delay timer: cap each coalesced batch
+  // at this replica's share of the closed-loop producers so a full batch
+  // triggers the moment the fleet's inflight requests land. A cap above
+  // the share would make every batch wait out the full delay
+  // (the BM_AsyncBatcherLstmSmall/16/2000 trap).
+  sopts.batch_max_requests =
+      std::max(1, kClusterProducers * kClusterPipeline / replicas);
+  sopts.batch_max_delay_us = 200;
+  sopts.batcher_threads = 1;
+  copts.deploy.session = sopts;
+  // Chunked dispatch: producers × pipeline inflight requests carried by
+  // one dispatcher per producer, each popping a pipeline-sized chunk per
+  // wakeup — cluster-level concurrency is never the bottleneck,
+  // coalescing depth at the replicas is what's measured.
+  // 4× headroom on dispatchers: a dispatcher that wakes before the full
+  // burst is queued pops a partial chunk, so spare dispatchers are what
+  // keep fleet-wide inflight (and with it replica batch depth) at
+  // producers × pipeline.
+  copts.dispatch_threads = 4 * kClusterProducers;
+  copts.dispatch_chunk = kClusterPipeline;
+  copts.default_timeout_us = 30'000'000;
+  copts.max_inflight_per_replica = 2048;
+  copts.queue_limit = 4096;
+  return copts;
+}
+
 void run_cluster_submit(benchmark::State& state, bool chaos) {
   static serve::ClusterController* cluster = nullptr;
   if (state.thread_index() == 0) {
-    serve::ClusterOptions copts;
-    copts.replicas = static_cast<int>(state.range(0));
-    serve::SessionOptions sopts =
-        session_options(serve::TaskKind::kRegression, kBatcherSamples);
-    // Dispatch on count, not on the delay timer: cap each coalesced batch
-    // at this replica's share of the closed-loop producers so a full batch
-    // triggers the moment the fleet's inflight requests land. A cap above
-    // the share would make every batch wait out the full delay
-    // (the BM_AsyncBatcherLstmSmall/16/2000 trap).
-    sopts.batch_max_requests = std::max(
-        1, kClusterProducers * kClusterPipeline / copts.replicas);
-    sopts.batch_max_delay_us = 200;
-    sopts.batcher_threads = 1;
-    copts.deploy.session = sopts;
-    // Chunked dispatch: producers × pipeline inflight requests carried by
-    // one dispatcher per producer, each popping a pipeline-sized chunk per
-    // wakeup — cluster-level concurrency is never the bottleneck,
-    // coalescing depth at the replicas is what's measured.
-    // 4× headroom on dispatchers: a dispatcher that wakes before the full
-    // burst is queued pops a partial chunk, so spare dispatchers are what
-    // keep fleet-wide inflight (and with it replica batch depth) at
-    // producers × pipeline.
-    copts.dispatch_threads = 4 * kClusterProducers;
-    copts.dispatch_chunk = kClusterPipeline;
-    copts.default_timeout_us = 30'000'000;
-    copts.max_inflight_per_replica = 2048;
-    copts.queue_limit = 4096;
-    cluster = new serve::ClusterController(cluster_artifact(), copts);
+    cluster = new serve::ClusterController(
+        cluster_artifact(),
+        bench_cluster_options(static_cast<int>(state.range(0))));
     if (chaos) {
       cluster->replica(0).set_forward_hook([](int64_t) {
         static std::atomic<int64_t> forwards{0};
@@ -398,6 +405,67 @@ void BM_ClusterSubmitChaos(benchmark::State& state) {
 }
 BENCHMARK(BM_ClusterSubmitChaos)
     ->Arg(4)
+    ->Threads(kClusterProducers)
+    ->UseRealTime();
+
+// ---- multi-tenant front door -----------------------------------------------
+// The same burst-and-drain closed loop as BM_ClusterSubmit, with the
+// identical replica fleet behind serve::ModelServer instead of a bare
+// ClusterController: every request pays tenant admission (token bucket),
+// registry resolution under the shared lock, and entry routing. The
+// items/sec ratio against BM_ClusterSubmit at the same replica count is
+// the server tax — the acceptance bound is ≤10% (BENCH_serve.json).
+
+void BM_ModelServerSubmit(benchmark::State& state) {
+  static serve::ModelServer* server = nullptr;
+  if (state.thread_index() == 0) {
+    const int replicas = static_cast<int>(state.range(0));
+    serve::ServerOptions sopts;
+    sopts.replicas = replicas;
+    sopts.cluster = bench_cluster_options(replicas);
+    // The fleet template's deploy seeds the per-tenant units; mirror it so
+    // the units open with the exact session the direct bench uses.
+    sopts.deploy = sopts.cluster.deploy;
+    sopts.default_timeout_us = 30'000'000;
+    server = new serve::ModelServer(sopts);
+    server->load_model("lstm-small", "1", cluster_artifact());
+    server->register_tenant({.id = "bench", .seed_salt = 0});
+  }
+  Rng rng(7 + static_cast<uint64_t>(state.thread_index()));
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  int64_t failed = 0;
+  std::vector<std::future<serve::Prediction>> burst;
+  burst.reserve(kClusterPipeline);
+  for (auto _ : state) {
+    burst.clear();
+    for (int i = 0; i < kClusterPipeline; ++i) {
+      serve::Request r;
+      r.tenant = "bench";
+      r.model.name = "lstm-small";
+      r.input = x;
+      burst.push_back(server->submit(std::move(r)));
+    }
+    for (auto& f : burst) {
+      try {
+        serve::Prediction p = f.get();
+        benchmark::DoNotOptimize(&p);
+      } catch (const serve::ServeError&) {
+        ++failed;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(failed);
+  state.SetItemsProcessed(state.iterations() * kClusterPipeline *
+                          kBatcherSamples * x.dim(0));
+  if (state.thread_index() == 0) {
+    delete server;
+    server = nullptr;
+  }
+}
+BENCHMARK(BM_ModelServerSubmit)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Threads(kClusterProducers)
     ->UseRealTime();
 

@@ -17,15 +17,24 @@
 // verify step also opens the kQuantSim backend and asserts it is
 // bit-identical to fp32 within its own build — the codes decode to exactly
 // the deployed values everywhere.
+//
+// The save step additionally writes <dir>/pair.rpla, a format-v3 two-model
+// manifest (the trained champion + an untrained challenger at 3:1 routing
+// weight); verify serves BOTH entries through serve::ModelServer in the
+// other build configuration and holds each to the same tolerance — the
+// multi-model manifest and the serving front door cross-check with the
+// single-model artifact.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "data/synthetic_images.h"
+#include "deploy/artifact.h"
 #include "deploy/deploy.h"
 #include "models/resnet.h"
 #include "models/trainer.h"
+#include "serve/server.h"
 #include "serve/session.h"
 #include "tensor/env.h"
 #include "tensor/io.h"
@@ -64,8 +73,28 @@ int do_save(const std::string& dir) {
   auto session = serve::InferenceSession::open(dir + "/model.rpla");
   const serve::Classification ref = session->classify(probe_batch());
   save_tensor(ref.mean_probs, dir + "/reference_probs.rplt");
-  std::printf("saved %s/model.rpla and reference predictions\n",
-              dir.c_str());
+
+  // v3 two-model manifest: the trained champion alongside an untrained
+  // challenger of the same architecture. References come from sessions
+  // over the manifest itself, one per named entry.
+  models::BinaryResNet challenger(
+      {.in_channels = 3, .classes = 10, .width = 8},
+      {.variant = models::Variant::kProposed});
+  challenger.set_training(false);
+  challenger.deploy();
+  deploy::save_manifest({{"champion", 3.0, &model, session_options()},
+                         {"challenger", 1.0, &challenger, session_options()}},
+                        dir + "/pair.rpla");
+  for (const char* entry : {"champion", "challenger"}) {
+    deploy::DeployOptions d;
+    d.manifest_entry = entry;
+    auto es = serve::InferenceSession::open(dir + "/pair.rpla", d);
+    save_tensor(es->classify(probe_batch()).mean_probs,
+                dir + "/reference_" + entry + ".rplt");
+  }
+  std::printf(
+      "saved %s/model.rpla, %s/pair.rpla and reference predictions\n",
+      dir.c_str(), dir.c_str());
   return 0;
 }
 
@@ -102,6 +131,43 @@ int do_verify(const std::string& dir) {
     std::fprintf(stderr, "FAIL: kQuantSim != kFp32 in this build\n");
     return 1;
   }
+  // The v3 manifest, served through the multi-tenant front door: both
+  // named entries must reproduce their saved references in this build.
+  serve::ServerOptions so;
+  so.default_timeout_us = 30'000'000;
+  serve::ModelServer server(so);
+  server.load_model("xcheck", "1", dir + "/pair.rpla");
+  server.register_tenant({.id = "ci", .seed_salt = 0});
+  for (const char* entry : {"champion", "challenger"}) {
+    Tensor entry_ref = load_tensor(dir + "/reference_" + entry + ".rplt");
+    serve::Request req;
+    req.tenant = "ci";
+    req.model = {"xcheck", "", entry};
+    req.input = probe_batch();
+    serve::Response resp = server.serve(std::move(req));
+    if (resp.status != serve::Status::kOk || resp.model_entry != entry) {
+      std::fprintf(stderr, "FAIL: serving manifest entry '%s': %s\n", entry,
+                   resp.error.c_str());
+      return 1;
+    }
+    const Tensor& probs =
+        std::get<serve::Classification>(resp.prediction).mean_probs;
+    double entry_diff = 0.0;
+    for (int64_t i = 0; i < entry_ref.numel(); ++i)
+      entry_diff = std::max<double>(
+          entry_diff, std::fabs(probs.data()[i] - entry_ref.data()[i]));
+    std::printf("manifest entry '%s': max|Δ mean_probs| = %.3g\n", entry,
+                entry_diff);
+    if (entry_diff > tol) {
+      std::fprintf(stderr,
+                   "FAIL: manifest entry '%s' diverges across build "
+                   "configurations\n",
+                   entry);
+      return 1;
+    }
+  }
+  server.close();
+
   std::printf("OK: artifact serves identically (quantsim bit-exact)\n");
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <sstream>
 
 #include "models/lstm_forecaster.h"
 #include "models/m5.h"
@@ -25,24 +27,24 @@ constexpr int64_t kMaxTensorNumel = int64_t{1} << 31;
 }
 
 template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
+void write_pod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
-T read_pod(std::ifstream& in, const std::string& path) {
+T read_pod(std::istream& in, const std::string& path) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!in) fail(path, "truncated file");
   return v;
 }
 
-void write_string(std::ofstream& out, const std::string& s) {
+void write_string(std::ostream& out, const std::string& s) {
   write_pod(out, static_cast<uint32_t>(s.size()));
   out.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string read_string(std::ifstream& in, const std::string& path) {
+std::string read_string(std::istream& in, const std::string& path) {
   const uint32_t len = read_pod<uint32_t>(in, path);
   if (len > kMaxString) fail(path, "corrupt string length");
   std::string s(len, '\0');
@@ -51,14 +53,14 @@ std::string read_string(std::ifstream& in, const std::string& path) {
   return s;
 }
 
-void write_tensor(std::ofstream& out, const Tensor& t) {
+void write_tensor(std::ostream& out, const Tensor& t) {
   write_pod(out, static_cast<int32_t>(t.rank()));
   for (int64_t d : t.shape()) write_pod(out, d);
   out.write(reinterpret_cast<const char*>(t.data()),
             static_cast<std::streamsize>(t.numel() * sizeof(float)));
 }
 
-Tensor read_tensor(std::ifstream& in, const std::string& path) {
+Tensor read_tensor(std::istream& in, const std::string& path) {
   const int32_t rank = read_pod<int32_t>(in, path);
   if (rank < 0 || rank > 8) fail(path, "corrupt tensor rank");
   Shape shape;
@@ -77,7 +79,7 @@ Tensor read_tensor(std::ifstream& in, const std::string& path) {
   return t;
 }
 
-void write_variant(std::ofstream& out, const models::VariantConfig& v) {
+void write_variant(std::ostream& out, const models::VariantConfig& v) {
   write_pod(out, static_cast<int32_t>(v.variant));
   write_pod(out, v.dropout_p);
   write_pod(out, static_cast<int32_t>(v.init.kind));
@@ -89,7 +91,7 @@ void write_variant(std::ofstream& out, const models::VariantConfig& v) {
   write_pod(out, static_cast<uint8_t>(v.affine_first ? 1 : 0));
 }
 
-models::VariantConfig read_variant(std::ifstream& in,
+models::VariantConfig read_variant(std::istream& in,
                                    const std::string& path) {
   models::VariantConfig v;
   v.variant = static_cast<models::Variant>(read_pod<int32_t>(in, path));
@@ -104,7 +106,7 @@ models::VariantConfig read_variant(std::ifstream& in,
   return v;
 }
 
-void write_session_options(std::ofstream& out, const serve::SessionOptions& o,
+void write_session_options(std::ostream& out, const serve::SessionOptions& o,
                            uint32_t version) {
   write_pod(out, static_cast<int32_t>(o.task));
   write_pod(out, static_cast<int32_t>(o.mc_samples));
@@ -120,7 +122,7 @@ void write_session_options(std::ofstream& out, const serve::SessionOptions& o,
     write_pod(out, static_cast<uint8_t>(o.batch_adaptive_delay ? 1 : 0));
 }
 
-serve::SessionOptions read_session_options(std::ifstream& in,
+serve::SessionOptions read_session_options(std::istream& in,
                                            const std::string& path,
                                            uint32_t version) {
   serve::SessionOptions o;
@@ -184,6 +186,105 @@ std::vector<int32_t> unpack_codes(const std::vector<uint32_t>& words,
   return codes;
 }
 
+// ---- zlib-free code compression (format version >= 3) ----------------------
+// The packed words of a quant record are optionally run-length encoded —
+// directly (long runs appear when a weight region saturates to one code)
+// or after a wrapping word delta (catches arithmetic striding). The writer
+// keeps whichever of {raw, rle, delta+rle} is smallest, so compression
+// never costs bytes; a one-byte tag per record selects the decoder.
+
+enum CodeEncoding : uint8_t {
+  kCodesRaw = 0,
+  kCodesRle = 1,
+  kCodesDeltaRle = 2,
+};
+
+// (count, word) pairs, in uint32 units.
+std::vector<uint32_t> rle_encode(const std::vector<uint32_t>& words) {
+  std::vector<uint32_t> runs;
+  size_t i = 0;
+  while (i < words.size()) {
+    size_t j = i + 1;
+    while (j < words.size() && words[j] == words[i]) ++j;
+    runs.push_back(static_cast<uint32_t>(j - i));
+    runs.push_back(words[i]);
+    i = j;
+  }
+  return runs;
+}
+
+std::vector<uint32_t> rle_decode(const std::vector<uint32_t>& runs,
+                                 size_t nwords, const std::string& path) {
+  std::vector<uint32_t> words;
+  words.reserve(nwords);
+  for (size_t i = 0; i + 1 < runs.size(); i += 2) {
+    const size_t count = runs[i];
+    if (count == 0 || words.size() + count > nwords)
+      fail(path, "corrupt run-length stream");
+    words.insert(words.end(), count, runs[i + 1]);
+  }
+  if (words.size() != nwords) fail(path, "corrupt run-length stream");
+  return words;
+}
+
+void write_packed_codes(std::ostream& out, const std::vector<uint32_t>& packed,
+                        uint32_t version) {
+  if (version < 3) {
+    out.write(reinterpret_cast<const char*>(packed.data()),
+              static_cast<std::streamsize>(packed.size() * sizeof(uint32_t)));
+    return;
+  }
+  std::vector<uint32_t> delta(packed);
+  for (size_t i = delta.size(); i-- > 1;) delta[i] -= delta[i - 1];
+  const std::vector<uint32_t> rle = rle_encode(packed);
+  const std::vector<uint32_t> drle = rle_encode(delta);
+  uint8_t tag = kCodesRaw;
+  const std::vector<uint32_t>* payload = &packed;
+  size_t best = packed.size();  // encoded streams pay one extra length word
+  if (rle.size() + 1 < best) {
+    best = rle.size() + 1;
+    tag = kCodesRle;
+    payload = &rle;
+  }
+  if (drle.size() + 1 < best) {
+    tag = kCodesDeltaRle;
+    payload = &drle;
+  }
+  write_pod(out, tag);
+  if (tag != kCodesRaw)
+    write_pod(out, static_cast<uint32_t>(payload->size()));
+  out.write(reinterpret_cast<const char*>(payload->data()),
+            static_cast<std::streamsize>(payload->size() * sizeof(uint32_t)));
+}
+
+std::vector<uint32_t> read_packed_codes(std::istream& in,
+                                        const std::string& path,
+                                        size_t nwords, uint32_t version) {
+  uint8_t tag = kCodesRaw;
+  if (version >= 3) tag = read_pod<uint8_t>(in, path);
+  if (tag == kCodesRaw) {
+    std::vector<uint32_t> packed(nwords, 0u);
+    in.read(reinterpret_cast<char*>(packed.data()),
+            static_cast<std::streamsize>(packed.size() * sizeof(uint32_t)));
+    if (!in) fail(path, "truncated quantizer codes");
+    return packed;
+  }
+  if (tag != kCodesRle && tag != kCodesDeltaRle)
+    fail(path, "unknown code encoding tag");
+  const uint32_t units = read_pod<uint32_t>(in, path);
+  // A chosen encoding is never larger than raw (plus its length word).
+  if (units % 2 != 0 || units > nwords + 1)
+    fail(path, "corrupt code compression length");
+  std::vector<uint32_t> runs(units, 0u);
+  in.read(reinterpret_cast<char*>(runs.data()),
+          static_cast<std::streamsize>(runs.size() * sizeof(uint32_t)));
+  if (!in) fail(path, "truncated quantizer codes");
+  std::vector<uint32_t> words = rle_decode(runs, nwords, path);
+  if (tag == kCodesDeltaRle)
+    for (size_t i = 1; i < words.size(); ++i) words[i] += words[i - 1];
+  return words;
+}
+
 int64_t dim_of(const ModelSpec& spec, const char* key) {
   for (const auto& [k, v] : spec.dims)
     if (k == key) return v;
@@ -194,7 +295,7 @@ int64_t dim_of(const ModelSpec& spec, const char* key) {
 /// Loads named tensors into the live target list (zoo::load_state
 /// semantics: same registration order, names and shapes must agree).
 template <typename GetName, typename GetTensor, typename Item>
-void read_tensors_into(std::ifstream& in, const std::string& path,
+void read_tensors_into(std::istream& in, const std::string& path,
                        const char* what, std::vector<Item>& items,
                        GetName get_name, GetTensor get_tensor) {
   const uint32_t count = read_pod<uint32_t>(in, path);
@@ -298,19 +399,14 @@ serve::SessionOptions default_session_options(
   return o;
 }
 
-void save_artifact(models::TaskModel& model, const std::string& path,
-                   const serve::SessionOptions& session_defaults,
-                   uint32_t version) {
-  RIPPLE_CHECK(model.deployed())
-      << "save_artifact: model must be deployed (frozen quantizer scales)";
-  RIPPLE_CHECK(version >= kMinArtifactVersion && version <= kArtifactVersion)
-      << "save_artifact: cannot write format version " << version;
-  const ModelSpec spec = spec_of(model);
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("artifact " + path + ": cannot open");
+namespace {
 
-  out.write(kMagic, 4);
-  write_pod(out, version);
+/// Everything after the file header (or the manifest entry header): one
+/// complete spec + session defaults + tensors + frozen-quantizer block.
+void write_body(std::ostream& out, models::TaskModel& model,
+                const serve::SessionOptions& session_defaults,
+                uint32_t version) {
+  const ModelSpec spec = spec_of(model);
   write_string(out, spec.arch);
   write_pod(out, static_cast<uint32_t>(spec.dims.size()));
   for (const auto& [key, value] : spec.dims) {
@@ -345,15 +441,73 @@ void save_artifact(models::TaskModel& model, const std::string& path,
         t.quantizer->encode(t.param->var.value());
     write_pod(out, static_cast<uint32_t>(codes.size()));
     if (version >= 2) {
-      const std::vector<uint32_t> packed =
-          pack_codes(codes, t.quantizer->bits());
-      out.write(reinterpret_cast<const char*>(packed.data()),
-                static_cast<std::streamsize>(packed.size() * sizeof(uint32_t)));
+      write_packed_codes(out, pack_codes(codes, t.quantizer->bits()), version);
     } else {
       out.write(reinterpret_cast<const char*>(codes.data()),
                 static_cast<std::streamsize>(codes.size() * sizeof(int32_t)));
     }
   }
+}
+
+/// Manifest entry framing: name, routing weight, body byte length, body.
+/// The length prefix is what lets readers skip to a named entry without
+/// parsing its tensors.
+void write_entry(std::ostream& out, const std::string& name, double weight,
+                 models::TaskModel& model,
+                 const serve::SessionOptions& session_defaults,
+                 uint32_t version) {
+  write_string(out, name);
+  write_pod(out, weight);
+  std::ostringstream body;
+  write_body(body, model, session_defaults, version);
+  const std::string bytes = body.str();
+  write_pod(out, static_cast<uint64_t>(bytes.size()));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+void save_artifact(models::TaskModel& model, const std::string& path,
+                   const serve::SessionOptions& session_defaults,
+                   uint32_t version) {
+  RIPPLE_CHECK(model.deployed())
+      << "save_artifact: model must be deployed (frozen quantizer scales)";
+  RIPPLE_CHECK(version >= kMinArtifactVersion && version <= kArtifactVersion)
+      << "save_artifact: cannot write format version " << version;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("artifact " + path + ": cannot open");
+  out.write(kMagic, 4);
+  write_pod(out, version);
+  if (version >= 3) {
+    write_pod(out, uint32_t{1});
+    write_entry(out, model.name(), 1.0, model, session_defaults, version);
+  } else {
+    write_body(out, model, session_defaults, version);
+  }
+  if (!out) throw std::runtime_error("artifact " + path + ": write failed");
+}
+
+void save_manifest(const std::vector<ManifestModel>& entries,
+                   const std::string& path) {
+  RIPPLE_CHECK(!entries.empty()) << "save_manifest: no entries";
+  std::set<std::string> names;
+  for (const ManifestModel& e : entries) {
+    RIPPLE_CHECK(!e.name.empty()) << "save_manifest: entry name must be set";
+    RIPPLE_CHECK(names.insert(e.name).second)
+        << "save_manifest: duplicate entry name '" << e.name << "'";
+    RIPPLE_CHECK(e.weight > 0.0)
+        << "save_manifest: entry '" << e.name << "' weight must be positive";
+    RIPPLE_CHECK(e.model != nullptr && e.model->deployed())
+        << "save_manifest: entry '" << e.name << "' needs a deployed model";
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("artifact " + path + ": cannot open");
+  out.write(kMagic, 4);
+  write_pod(out, kArtifactVersion);
+  write_pod(out, static_cast<uint32_t>(entries.size()));
+  for (const ManifestModel& e : entries)
+    write_entry(out, e.name, e.weight, *e.model, e.session_defaults,
+                kArtifactVersion);
   if (!out) throw std::runtime_error("artifact " + path + ": write failed");
 }
 
@@ -366,7 +520,7 @@ struct RawArtifact {
   serve::SessionOptions session_defaults;
 };
 
-RawArtifact read_header(std::ifstream& in, const std::string& path) {
+uint32_t read_version(std::istream& in, const std::string& path) {
   char magic[4];
   in.read(magic, 4);
   if (!in || std::memcmp(magic, kMagic, 4) != 0)
@@ -377,6 +531,56 @@ RawArtifact read_header(std::ifstream& in, const std::string& path) {
                    " unsupported (this build reads versions " +
                    std::to_string(kMinArtifactVersion) + ".." +
                    std::to_string(kArtifactVersion) + ")");
+  return version;
+}
+
+struct EntryHeader {
+  std::string name;
+  double weight = 1.0;
+  uint64_t body_bytes = 0;
+};
+
+EntryHeader read_entry_header(std::istream& in, const std::string& path,
+                              uint64_t remaining_bytes) {
+  EntryHeader h;
+  h.name = read_string(in, path);
+  h.weight = read_pod<double>(in, path);
+  h.body_bytes = read_pod<uint64_t>(in, path);
+  if (h.name.empty()) fail(path, "corrupt manifest: unnamed entry");
+  if (!(h.weight > 0.0)) fail(path, "corrupt manifest: non-positive weight");
+  if (h.body_bytes > remaining_bytes)
+    fail(path, "truncated manifest: entry '" + h.name + "' body overruns file");
+  return h;
+}
+
+/// Positions `in` at the start of the selected entry's body (manifest
+/// format, version >= 3). Empty `entry` selects the first one. Bodies are
+/// skipped by their recorded byte length, validated against the file size
+/// so a truncated manifest fails here instead of misparsing.
+EntryHeader seek_entry(std::istream& in, const std::string& path,
+                       uint64_t file_bytes, const std::string& entry) {
+  const uint32_t count = read_pod<uint32_t>(in, path);
+  if (count == 0 || count > kMaxCount)
+    fail(path, "corrupt manifest entry count");
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t pos = static_cast<uint64_t>(in.tellg());
+    EntryHeader h = read_entry_header(in, path, file_bytes - pos);
+    if (entry.empty() || h.name == entry) return h;
+    in.seekg(static_cast<std::streamoff>(h.body_bytes), std::ios::cur);
+    if (!in) fail(path, "truncated manifest entry");
+  }
+  fail(path, "manifest has no entry named '" + entry + "'");
+}
+
+uint64_t file_bytes_of(const std::string& path) {
+  std::error_code ec;
+  const uintmax_t n = std::filesystem::file_size(path, ec);
+  if (ec) fail(path, "cannot stat file");
+  return static_cast<uint64_t>(n);
+}
+
+RawArtifact read_body_header(std::istream& in, const std::string& path,
+                             uint32_t version) {
   RawArtifact raw;
   raw.version = version;
   raw.spec.arch = read_string(in, path);
@@ -394,7 +598,7 @@ RawArtifact read_header(std::ifstream& in, const std::string& path) {
 
 /// Everything after the header: tensors into `model`, then the frozen
 /// quantizer records, finishing with restore_deployed().
-std::vector<QuantRecord> read_state_into(std::ifstream& in,
+std::vector<QuantRecord> read_state_into(std::istream& in,
                                          const std::string& path,
                                          uint32_t version,
                                          models::TaskModel& model) {
@@ -437,11 +641,9 @@ std::vector<QuantRecord> read_state_into(std::ifstream& in,
     if (ncodes != static_cast<uint32_t>(targets[i].param->var.value().numel()))
       fail(path, "fault-target " + std::to_string(i) + " code count mismatch");
     if (version >= 2) {
-      std::vector<uint32_t> packed(
-          packed_code_words(ncodes, static_cast<int>(q.bits)), 0u);
-      in.read(reinterpret_cast<char*>(packed.data()),
-              static_cast<std::streamsize>(packed.size() * sizeof(uint32_t)));
-      if (!in) fail(path, "truncated quantizer codes");
+      const std::vector<uint32_t> packed = read_packed_codes(
+          in, path, packed_code_words(ncodes, static_cast<int>(q.bits)),
+          version);
       q.codes = unpack_codes(packed, ncodes, static_cast<int>(q.bits));
     } else {
       q.codes.resize(ncodes);
@@ -458,27 +660,63 @@ std::vector<QuantRecord> read_state_into(std::ifstream& in,
 
 }  // namespace
 
-LoadedArtifact load_artifact(const std::string& path) {
+LoadedArtifact load_artifact(const std::string& path,
+                             const std::string& entry) {
   std::ifstream in(path, std::ios::binary);
   if (!in) fail(path, "no such file");
-  RawArtifact raw = read_header(in, path);
+  const uint32_t version = read_version(in, path);
   LoadedArtifact art;
+  if (version >= 3) {
+    const EntryHeader h = seek_entry(in, path, file_bytes_of(path), entry);
+    art.entry_name = h.name;
+    art.route_weight = h.weight;
+  } else if (!entry.empty()) {
+    fail(path, "format version " + std::to_string(version) +
+                   " has no named entries (requested '" + entry + "')");
+  }
+  RawArtifact raw = read_body_header(in, path, version);
   art.spec = std::move(raw.spec);
   art.session_defaults = raw.session_defaults;
   art.model = build_model(art.spec);
-  art.quant = read_state_into(in, path, raw.version, *art.model);
+  art.quant = read_state_into(in, path, version, *art.model);
   return art;
+}
+
+ManifestInfo inspect_artifact(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "no such file");
+  ManifestInfo info;
+  info.version = read_version(in, path);
+  if (info.version < 3) {
+    RawArtifact raw = read_body_header(in, path, info.version);
+    info.entries.push_back({raw.spec.arch, 1.0});
+    return info;
+  }
+  const uint64_t file_bytes = file_bytes_of(path);
+  const uint32_t count = read_pod<uint32_t>(in, path);
+  if (count == 0 || count > kMaxCount)
+    fail(path, "corrupt manifest entry count");
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t pos = static_cast<uint64_t>(in.tellg());
+    EntryHeader h = read_entry_header(in, path, file_bytes - pos);
+    info.entries.push_back({std::move(h.name), h.weight});
+    in.seekg(static_cast<std::streamoff>(h.body_bytes), std::ios::cur);
+    if (!in) fail(path, "truncated manifest entry");
+  }
+  return info;
 }
 
 bool load_artifact_into(models::TaskModel& model, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
-  RawArtifact raw = read_header(in, path);
+  const uint32_t version = read_version(in, path);
+  if (version >= 3) seek_entry(in, path, file_bytes_of(path), {});
+  RawArtifact raw = read_body_header(in, path, version);
   const ModelSpec live = spec_of(model);
   if (raw.spec.arch != live.arch || raw.spec.dims != live.dims ||
       raw.spec.variant.variant != live.variant.variant)
     fail(path, "descriptor does not match the live model (stale cache?)");
-  read_state_into(in, path, raw.version, model);
+  read_state_into(in, path, version, model);
   return true;
 }
 
@@ -488,6 +726,8 @@ LoadedArtifact replicate(const LoadedArtifact& art) {
   copy.spec = art.spec;
   copy.session_defaults = art.session_defaults;
   copy.quant = art.quant;
+  copy.entry_name = art.entry_name;
+  copy.route_weight = art.route_weight;
   copy.model = build_model(copy.spec);
 
   const auto src_params = art.model->parameters();

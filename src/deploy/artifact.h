@@ -34,9 +34,14 @@ namespace ripple::deploy {
 
 /// Version 2 bit-packs the quantizer integer codes (version 1 spent an
 /// int32 per code — 32× the bits a binary weight needs) and carries the
-/// batch_adaptive_delay serving knob. Readers accept every version back to
+/// batch_adaptive_delay serving knob. Version 3 turns the file into a
+/// *multi-model manifest* — named entries, each a complete
+/// spec+tensors+calibration block with a routing weight, so one file ships
+/// an ensemble or an A/B pair (serve::ModelServer routes between entries
+/// by weight) — and adds optional zlib-free delta/RLE compression of the
+/// bit-packed code words. Readers accept every version back to
 /// kMinArtifactVersion.
-inline constexpr uint32_t kArtifactVersion = 2;
+inline constexpr uint32_t kArtifactVersion = 3;
 inline constexpr uint32_t kMinArtifactVersion = 1;
 inline constexpr const char* kArtifactExtension = ".rpla";
 
@@ -75,6 +80,10 @@ struct LoadedArtifact {
   std::unique_ptr<models::TaskModel> model;  // deployed, eval mode
   serve::SessionOptions session_defaults;
   std::vector<QuantRecord> quant;  // fault_targets() order
+  /// Manifest identity (format version >= 3). Empty name / weight 1.0 for
+  /// single-model v1/v2 files.
+  std::string entry_name;
+  double route_weight = 1.0;
 };
 
 /// Serializes a deployed model into one .rpla file. `session_defaults`
@@ -90,8 +99,40 @@ void save_artifact(models::TaskModel& model, const std::string& path,
 
 /// Reads a .rpla file back into a freshly built, deployed, eval-mode
 /// model. Throws std::runtime_error on missing files, corrupt or truncated
-/// content, and format-version mismatch.
-LoadedArtifact load_artifact(const std::string& path);
+/// content, and format-version mismatch. For v3 manifests `entry` selects
+/// the named entry (empty = the first entry); requesting a named entry
+/// from a v1/v2 file — or a name the manifest lacks — throws.
+LoadedArtifact load_artifact(const std::string& path,
+                             const std::string& entry = {});
+
+/// One model of a multi-model manifest, by reference: save_manifest()
+/// serializes each named entry as a complete spec+tensors+calibration
+/// block with a routing weight (serve::ModelServer picks entries in
+/// proportion to weight — an A/B pair or a shared-file ensemble).
+struct ManifestModel {
+  std::string name;
+  double weight = 1.0;
+  models::TaskModel* model = nullptr;  // deployed; not owned
+  serve::SessionOptions session_defaults;
+};
+
+/// Writes a format-v3 multi-model manifest. Names must be non-empty and
+/// unique, weights positive, every model deployed.
+void save_manifest(const std::vector<ManifestModel>& entries,
+                   const std::string& path);
+
+/// Cheap manifest listing: entry names + routing weights without loading
+/// any tensors (entries are skipped by their recorded byte length). v1/v2
+/// files report one entry named after the architecture with weight 1.0.
+struct ManifestEntryInfo {
+  std::string name;
+  double weight = 1.0;
+};
+struct ManifestInfo {
+  uint32_t version = 0;
+  std::vector<ManifestEntryInfo> entries;
+};
+ManifestInfo inspect_artifact(const std::string& path);
 
 /// Restores an artifact into an existing undeployed model (whose spec must
 /// match the file's). Returns false when the file does not exist; throws

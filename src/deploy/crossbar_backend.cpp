@@ -44,6 +44,16 @@ imc::TileCost CrossbarBackend::total_cost() const {
   return total;
 }
 
+double CrossbarBackend::modeled_analog_us_per_row() const {
+  // frozen() is an acquire load paired with freeze()'s release store, so a
+  // true here makes every map_ insertion visible and the map read-only.
+  if (!frozen() || options_.adc_cycle_ns <= 0.0) return 0.0;
+  int64_t conversions = 0;
+  for (const auto& [key, array] : map_)
+    conversions += array->cost().conversions_per_mvm;
+  return static_cast<double>(conversions) * options_.adc_cycle_ns * 1e-3;
+}
+
 const imc::TiledArray* CrossbarBackend::array(const float* w, int64_t m,
                                               int64_t k) {
   const Key key{w, m, k};

@@ -47,6 +47,11 @@ struct CrossbarBackendOptions {
   /// Physical columns per time-multiplexed ADC (1 = dedicated, legacy
   /// transfer).
   int adc_share = 1;
+  /// Modeled time per ADC conversion (ns) for the latency model — the
+  /// serial bottleneck of an MVM is conversions_per_mvm × adc_cycle_ns on
+  /// each array. 100ns ≈ a 10MS/s SAR ADC. Feeds
+  /// modeled_analog_us_per_row(); 0 disables the model.
+  double adc_cycle_ns = 100.0;
   /// Base seed of the per-layer programming streams.
   uint64_t seed = 0x5eedcba5ull;
   /// Post-programming conductance variation applied to every array
@@ -77,6 +82,13 @@ class CrossbarBackend final : public ExecutionBackend {
 
   void freeze() override;
   void invalidate() override;
+
+  /// Σ_layers conversions_per_mvm × adc_cycle_ns, in µs: every compiled
+  /// array runs once per input row, so the modeled analog serving time of
+  /// a row is the sum — not the max — of per-array conversion times.
+  /// Returns 0 until frozen (the compiled set, and hence the sum, is only
+  /// complete after warm-up).
+  double modeled_analog_us_per_row() const override;
 
   const CrossbarBackendOptions& options() const { return options_; }
   bool frozen() const { return frozen_.load(std::memory_order_acquire); }

@@ -31,6 +31,11 @@ struct DeployOptions {
   Backend backend = Backend::kFp32;
   /// Overrides the artifact's embedded serving defaults when set.
   std::optional<serve::SessionOptions> session;
+  /// v3 manifests: which named entry to open (empty = first entry).
+  /// Threads through InferenceSession::open and the replica fleet, so a
+  /// ClusterController — and every restart of its replicas — serves one
+  /// consistent entry of a multi-model file.
+  std::string manifest_entry;
   /// kCrossbar substrate: device parameters, physical tile geometry /
   /// bit slicing / ADC sharing (imc/tiling.h), programming seed, and the
   /// backend's fault-injection hooks (conductance variation, stuck cells

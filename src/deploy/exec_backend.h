@@ -60,6 +60,14 @@ class ExecutionBackend {
     return false;
   }
 
+  /// Modeled hardware serving time in microseconds for one input row
+  /// through everything this backend has compiled — 0 for digital
+  /// backends, the TileCost-derived ADC conversion time for the crossbar.
+  /// Only meaningful once frozen (the compiled set is complete); callers
+  /// record it into BatcherCounters::analog_latency so analog latency
+  /// percentiles surface in fleet metrics without timing the simulation.
+  virtual double modeled_analog_us_per_row() const { return 0.0; }
+
   /// Ends the single-threaded recording phase; lookups must be lock-free
   /// and read-only afterwards.
   virtual void freeze() {}

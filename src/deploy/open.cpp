@@ -7,7 +7,7 @@ namespace ripple::serve {
 
 std::unique_ptr<InferenceSession> InferenceSession::open(
     const std::string& path, const deploy::DeployOptions& options) {
-  return open(deploy::load_artifact(path), options);
+  return open(deploy::load_artifact(path, options.manifest_entry), options);
 }
 
 std::unique_ptr<InferenceSession> InferenceSession::open(

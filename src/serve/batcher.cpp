@@ -178,6 +178,41 @@ std::vector<AsyncBatcher::Pending> AsyncBatcher::take_batch() {
   return batch;
 }
 
+std::vector<AsyncBatcher::Pending> AsyncBatcher::sweep_expired(
+    std::chrono::steady_clock::time_point now) {
+  std::vector<Pending> expired;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->hard_deadline <= now) {
+      queued_rows_ -= rows_of(it->input);
+      expired.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // The deadline-rejection path must decrement queue_depth just like
+  // dispatch does — conservation law: submitted == completed and
+  // queue_depth == 0 once drained, however each request left the queue.
+  if (!expired.empty()) counters_.on_expire(expired.size());
+  return expired;
+}
+
+void AsyncBatcher::fail_expired(std::vector<Pending>& expired) {
+  if (expired.empty()) return;
+  for (Pending& p : expired) {
+    // Counters first, promise last: a client that just observed the
+    // future must find this request already accounted for.
+    counters_.on_timeout();
+    counters_.latency().record(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - p.enqueue)
+            .count());
+    counters_.on_complete(1);
+    p.promise.set_exception(std::make_exception_ptr(ServeError(
+        Status::kTimeout, "request deadline expired in queue")));
+  }
+}
+
 void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
   std::function<void(int64_t)> hook;
   {
@@ -190,20 +225,32 @@ void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
             std::chrono::steady_clock::now() - p.enqueue)
             .count());
   };
+  // Modeled hardware time per served request: TileCost conversions ×
+  // ADC cycle × the request's rows. Read after the forward (the backend
+  // is frozen by then, so the compiled set is complete); 0 for digital
+  // backends keeps the histogram empty.
+  const auto record_analog = [this](const Pending& p) {
+    const double us_per_row = session_.modeled_analog_us_per_row();
+    if (us_per_row > 0.0)
+      counters_.analog_latency().record(static_cast<int64_t>(
+          std::llround(us_per_row * static_cast<double>(rows_of(p.input)))));
+  };
 
   // Deadline enforcement happens at dispatch: a request whose hard
   // deadline already passed gets the typed timeout now and never reaches
   // the session — late traffic must not burn a forward pass on answers
-  // nobody is waiting for.
+  // nobody is waiting for. Per request, counters land before the promise
+  // resolves, so metrics are consistent from the client's point of view.
   const auto dispatch_time = std::chrono::steady_clock::now();
   std::vector<Pending> live;
   live.reserve(batch.size());
   for (Pending& p : batch) {
     if (p.hard_deadline <= dispatch_time) {
       counters_.on_timeout();
+      record(p);
+      counters_.on_complete(1);
       p.promise.set_exception(std::make_exception_ptr(ServeError(
           Status::kTimeout, "request deadline expired before dispatch")));
-      record(p);
     } else {
       live.push_back(std::move(p));
     }
@@ -223,8 +270,10 @@ void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
       std::vector<Prediction> results = session_.predict_many(inputs);
       coalesced_ok = true;
       for (size_t i = 0; i < live.size(); ++i) {
-        live[i].promise.set_value(std::move(results[i]));
         record(live[i]);
+        record_analog(live[i]);
+        counters_.on_complete(1);
+        live[i].promise.set_value(std::move(results[i]));
       }
     } catch (...) {
       if (coalesced_ok) throw;  // a promise was already consumed; don't retry
@@ -235,15 +284,19 @@ void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
       for (Pending& p : live) {
         try {
           if (hook) hook(rows_of(p.input));
-          p.promise.set_value(session_.predict(p.input));
+          Prediction result = session_.predict(p.input);
+          record(p);
+          record_analog(p);
+          counters_.on_complete(1);
+          p.promise.set_value(std::move(result));
         } catch (...) {
+          record(p);
+          counters_.on_complete(1);
           p.promise.set_exception(std::current_exception());
         }
-        record(p);
       }
     }
   }
-  counters_.on_complete(batch.size());
 }
 
 void AsyncBatcher::worker_loop() {
@@ -272,9 +325,17 @@ void AsyncBatcher::worker_loop() {
       if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
     }
     if (queue_.empty()) continue;
-    std::vector<Pending> batch = take_batch();
+    // Expired requests are rejected from wherever they sit in the queue —
+    // including behind a shape they never could have coalesced with —
+    // before batch assembly, so a deadline rejection is prompt and the
+    // queue-depth gauge drops on this path exactly as it does on dispatch.
+    std::vector<Pending> expired =
+        sweep_expired(std::chrono::steady_clock::now());
+    std::vector<Pending> batch;
+    if (!queue_.empty()) batch = take_batch();
     lock.unlock();
-    run_batch(batch);
+    fail_expired(expired);
+    if (!batch.empty()) run_batch(batch);
     lock.lock();
   }
 }

@@ -159,6 +159,17 @@ class AsyncBatcher {
   /// Pops the dispatch group (oldest request + same-per-row-shape
   /// followers, ≤ max_batch_). Caller holds mutex_.
   std::vector<Pending> take_batch();
+  /// Removes every hard-expired request from the queue — any position,
+  /// any shape — updating queued_rows_ and the queue-depth counter
+  /// (BatcherCounters::on_expire): a request rejected on deadline leaves
+  /// the queue accounting exactly like a dispatched one. Caller holds
+  /// mutex_; the returned requests' futures are failed by fail_expired()
+  /// after unlocking.
+  std::vector<Pending> sweep_expired(
+      std::chrono::steady_clock::time_point now);
+  /// Fails swept requests with the typed timeout and counts them
+  /// (timeouts + completed). No locks held.
+  void fail_expired(std::vector<Pending>& expired);
   /// Runs one dispatched group and fulfills its promises. No locks held.
   void run_batch(std::vector<Pending>& batch);
 

@@ -34,7 +34,8 @@ ClusterController::ClusterController(const std::string& artifact_path,
 
   // One disk read serves the whole fleet: replicate the loaded artifact
   // per replica, moving the original into the last one.
-  deploy::LoadedArtifact master = deploy::load_artifact(artifact_path_);
+  deploy::LoadedArtifact master =
+      deploy::load_artifact(artifact_path_, options_.deploy.manifest_entry);
   const SessionOptions base = options_.deploy.session.has_value()
                                   ? *options_.deploy.session
                                   : master.session_defaults;

@@ -95,6 +95,16 @@ void LatencyHistogram::merge_from(const LatencyHistogram& other) {
   total_us_.fetch_add(other.total_us_.load(relaxed), relaxed);
 }
 
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(relaxed);
+    s.count += s.buckets[b];
+  }
+  s.total_us = total_us_.load(relaxed);
+  return s;
+}
+
 size_t BatcherCounters::bucket_for(size_t requests) {
   if (requests <= 1) return 0;
   size_t bucket = 1;
@@ -129,6 +139,10 @@ void BatcherCounters::on_complete(size_t batch_requests) {
 }
 
 void BatcherCounters::on_timeout() { timeouts_.fetch_add(1, relaxed); }
+
+void BatcherCounters::on_expire(size_t requests) {
+  queue_depth_.fetch_sub(static_cast<int64_t>(requests), relaxed);
+}
 
 void BatcherCounters::on_effective_delay(int64_t us) {
   effective_delay_us_.store(us, relaxed);

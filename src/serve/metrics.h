@@ -56,6 +56,16 @@ class LatencyHistogram {
   /// side stay consistent bucket-wise (relaxed snapshot).
   void merge_from(const LatencyHistogram& other);
 
+  /// Plain-value copy of the bucket counts — what the Prometheus exporter
+  /// renders (cumulative le-buckets) without holding atomics across
+  /// formatting.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> buckets{};
+    uint64_t total_us = 0;
+    uint64_t count = 0;
+  };
+  Snapshot snapshot() const;
+
  private:
   static constexpr std::memory_order relaxed = std::memory_order_relaxed;
 
@@ -82,6 +92,12 @@ class BatcherCounters {
   void on_dispatch(size_t batch_requests, size_t batch_rows);
   void on_complete(size_t batch_requests);
   void on_timeout();
+  /// Deadline sweep: `requests` expired in the queue and are being failed
+  /// without ever joining a batch. Decrements queue_depth — the other half
+  /// of the conservation law (on_dispatch covers batched requests) — and
+  /// nothing else; the caller still reports on_timeout/on_complete per
+  /// request once the futures are failed.
+  void on_expire(size_t requests);
   void on_effective_delay(int64_t us);
 
   uint64_t submitted() const { return submitted_.load(relaxed); }
@@ -117,6 +133,14 @@ class BatcherCounters {
   const LatencyHistogram& latency() const { return latency_; }
   LatencyHistogram& latency() { return latency_; }
 
+  /// Modeled analog serving time (µs) per successful request on a crossbar
+  /// backend: the TileCost conversion count of the session's frozen tiling
+  /// plan × the configured ADC cycle time × the request's rows. Empty for
+  /// digital backends. Kept separate from latency() — wall-clock measures
+  /// the simulation, this measures the modeled hardware.
+  const LatencyHistogram& analog_latency() const { return analog_latency_; }
+  LatencyHistogram& analog_latency() { return analog_latency_; }
+
  private:
   static constexpr std::memory_order relaxed = std::memory_order_relaxed;
 
@@ -134,6 +158,7 @@ class BatcherCounters {
   std::atomic<uint64_t> timeouts_{0};
   std::array<std::atomic<uint64_t>, kHistogramBuckets> histogram_{};
   LatencyHistogram latency_;
+  LatencyHistogram analog_latency_;
 };
 
 /// Classification accuracy of the MC-mean prediction over `test`.

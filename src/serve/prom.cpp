@@ -1,0 +1,259 @@
+#include "serve/prom.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/server.h"
+
+namespace ripple::serve {
+
+namespace {
+
+// Prometheus label values escape backslash, double-quote, and newline.
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unit_labels(const UnitMetricsRow& row) {
+  std::ostringstream out;
+  out << "model=\"" << escape_label(row.model) << "\",version=\""
+      << escape_label(row.version) << "\",entry=\""
+      << escape_label(row.entry) << "\",tenant=\""
+      << escape_label(row.tenant) << "\"";
+  return out.str();
+}
+
+// One histogram exposition: cumulative le-buckets over the log2 edges,
+// +Inf, then _sum (µs) and _count.
+void render_histogram(std::ostringstream& out, const std::string& name,
+                      const std::string& labels,
+                      const LatencyHistogram::Snapshot& snapshot) {
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    cumulative += snapshot.buckets[b];
+    // The last bucket is open-ended; its edge is +Inf below.
+    if (b + 1 == LatencyHistogram::kBuckets) break;
+    out << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+        << "le=\"" << LatencyHistogram::bucket_upper_us(b) << "\"} "
+        << cumulative << "\n";
+  }
+  cumulative += snapshot.buckets[LatencyHistogram::kBuckets - 1];
+  out << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
+      << "le=\"+Inf\"} " << snapshot.count << "\n";
+  out << name << "_sum{" << labels << "} " << snapshot.total_us << "\n";
+  out << name << "_count{" << labels << "} " << snapshot.count << "\n";
+}
+
+}  // namespace
+
+MetricsExporter::MetricsExporter(const ModelServer& server)
+    : server_(server) {}
+
+MetricsExporter::~MetricsExporter() { stop(); }
+
+std::string MetricsExporter::render() const {
+  std::ostringstream out;
+  const ServerCounters& c = server_.counters();
+
+  out << "# HELP ripple_server_requests_total Requests by admission "
+         "outcome.\n"
+      << "# TYPE ripple_server_requests_total counter\n"
+      << "ripple_server_requests_total{result=\"accepted\"} "
+      << c.submitted() << "\n"
+      << "ripple_server_requests_total{result=\"quota_rejected\"} "
+      << c.quota_rejected() << "\n"
+      << "ripple_server_requests_total{result=\"unknown_model\"} "
+      << c.unknown_model() << "\n";
+
+  out << "# HELP ripple_server_registry_ops_total Registry lifecycle "
+         "operations.\n"
+      << "# TYPE ripple_server_registry_ops_total counter\n"
+      << "ripple_server_registry_ops_total{op=\"load\"} " << c.loads()
+      << "\n"
+      << "ripple_server_registry_ops_total{op=\"unload\"} " << c.unloads()
+      << "\n"
+      << "ripple_server_registry_ops_total{op=\"swap\"} " << c.swaps()
+      << "\n";
+
+  out << "# HELP ripple_server_drained_requests_total Conservation ledger "
+         "of retired serving units (submitted == completed once drained).\n"
+      << "# TYPE ripple_server_drained_requests_total counter\n"
+      << "ripple_server_drained_requests_total{outcome=\"submitted\"} "
+      << c.drained_submitted() << "\n"
+      << "ripple_server_drained_requests_total{outcome=\"completed\"} "
+      << c.drained_completed() << "\n"
+      << "ripple_server_drained_requests_total{outcome=\"timeout\"} "
+      << c.drained_timeouts() << "\n";
+
+  const std::vector<TenantMetricsRow> tenants = server_.tenant_metrics();
+  out << "# HELP ripple_tenant_requests_total Admitted requests per "
+         "tenant.\n"
+      << "# TYPE ripple_tenant_requests_total counter\n";
+  for (const TenantMetricsRow& t : tenants)
+    out << "ripple_tenant_requests_total{tenant=\""
+        << escape_label(t.tenant) << "\"} " << t.submitted << "\n";
+  out << "# HELP ripple_tenant_quota_rejected_total Quota rejections per "
+         "tenant.\n"
+      << "# TYPE ripple_tenant_quota_rejected_total counter\n";
+  for (const TenantMetricsRow& t : tenants)
+    out << "ripple_tenant_quota_rejected_total{tenant=\""
+        << escape_label(t.tenant) << "\"} " << t.quota_rejected << "\n";
+
+  const std::vector<UnitMetricsRow> units = server_.unit_metrics();
+  out << "# HELP ripple_unit_requests_total Requests per serving unit by "
+         "stage.\n"
+      << "# TYPE ripple_unit_requests_total counter\n";
+  for (const UnitMetricsRow& u : units) {
+    const std::string labels = unit_labels(u);
+    out << "ripple_unit_requests_total{" << labels
+        << ",stage=\"submitted\"} " << u.submitted << "\n"
+        << "ripple_unit_requests_total{" << labels
+        << ",stage=\"completed\"} " << u.completed << "\n"
+        << "ripple_unit_requests_total{" << labels << ",stage=\"timeout\"} "
+        << u.timeouts << "\n";
+  }
+  out << "# HELP ripple_unit_batches_total Dispatched batches per serving "
+         "unit.\n"
+      << "# TYPE ripple_unit_batches_total counter\n";
+  for (const UnitMetricsRow& u : units)
+    out << "ripple_unit_batches_total{" << unit_labels(u) << "} "
+        << u.batches << "\n";
+  out << "# HELP ripple_unit_queue_depth Queued-but-undispatched requests "
+         "per serving unit.\n"
+      << "# TYPE ripple_unit_queue_depth gauge\n";
+  for (const UnitMetricsRow& u : units)
+    out << "ripple_unit_queue_depth{" << unit_labels(u) << "} "
+        << u.queue_depth << "\n";
+
+  out << "# HELP ripple_unit_latency_microseconds Submit-to-completion "
+         "latency per serving unit.\n"
+      << "# TYPE ripple_unit_latency_microseconds histogram\n";
+  for (const UnitMetricsRow& u : units)
+    render_histogram(out, "ripple_unit_latency_microseconds",
+                     unit_labels(u), u.latency);
+  out << "# HELP ripple_unit_analog_latency_microseconds Modeled analog "
+         "(ADC conversion) time per request on crossbar backends.\n"
+      << "# TYPE ripple_unit_analog_latency_microseconds histogram\n";
+  for (const UnitMetricsRow& u : units) {
+    if (u.analog.count == 0) continue;
+    render_histogram(out, "ripple_unit_analog_latency_microseconds",
+                     unit_labels(u), u.analog);
+  }
+
+  out << "# HELP ripple_unit_cluster_requests_total Fleet outcomes for "
+         "cluster-mode serving units.\n"
+      << "# TYPE ripple_unit_cluster_requests_total counter\n";
+  for (const UnitMetricsRow& u : units) {
+    if (!u.cluster) continue;
+    const std::string labels = unit_labels(u);
+    out << "ripple_unit_cluster_requests_total{" << labels
+        << ",outcome=\"succeeded\"} " << u.cluster_succeeded << "\n"
+        << "ripple_unit_cluster_requests_total{" << labels
+        << ",outcome=\"failed\"} " << u.cluster_failed << "\n"
+        << "ripple_unit_cluster_requests_total{" << labels
+        << ",outcome=\"shed\"} " << u.cluster_shed << "\n"
+        << "ripple_unit_cluster_requests_total{" << labels
+        << ",outcome=\"retried\"} " << u.cluster_retries << "\n";
+  }
+  out << "# HELP ripple_unit_cluster_restarts_total Replica restarts for "
+         "cluster-mode serving units.\n"
+      << "# TYPE ripple_unit_cluster_restarts_total counter\n";
+  for (const UnitMetricsRow& u : units) {
+    if (!u.cluster) continue;
+    out << "ripple_unit_cluster_restarts_total{" << unit_labels(u) << "} "
+        << u.cluster_restarts << "\n";
+  }
+  return out.str();
+}
+
+void MetricsExporter::start(int port) {
+  if (thread_.joinable()) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("MetricsExporter: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 16) < 0) {
+    ::close(fd);
+    throw std::runtime_error(
+        "MetricsExporter: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_ = fd;
+  stop_.store(false);
+  thread_ = std::thread([this] { listener_loop(); });
+}
+
+void MetricsExporter::listener_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // One read is enough for a scrape's GET line + headers; the content
+    // of the request is irrelevant to the response.
+    char buf[1024];
+    (void)::read(conn, buf, sizeof(buf));
+    const std::string body = render();
+    std::ostringstream response;
+    response << "HTTP/1.1 200 OK\r\n"
+             << "Content-Type: text/plain; version=0.0.4\r\n"
+             << "Content-Length: " << body.size() << "\r\n"
+             << "Connection: close\r\n\r\n"
+             << body;
+    const std::string wire = response.str();
+    size_t off = 0;
+    while (off < wire.size()) {
+      const ssize_t n = ::write(conn, wire.data() + off, wire.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::close(conn);
+  }
+}
+
+void MetricsExporter::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = -1;
+}
+
+}  // namespace ripple::serve

@@ -1,0 +1,60 @@
+// serve::MetricsExporter — Prometheus text-format view of a ModelServer.
+//
+// Two consumption modes, one renderer:
+//
+//   render()   builds the full exposition (text format 0.0.4) from the
+//              server's counter/histogram snapshots — server totals,
+//              per-tenant admission counters, one labelled series per
+//              serving unit {model, version, entry, tenant}, and the
+//              latency/analog-latency histograms with cumulative `le`
+//              buckets derived from LatencyHistogram's log2 bucket edges.
+//   start(p)   optional minimal HTTP/1.1 listener on 127.0.0.1:p (POSIX
+//              sockets, one blocking accept loop on a background thread,
+//              poll()ed so stop() is prompt). Port 0 binds any free port;
+//              port() reports the binding. Every request gets a 200 with
+//              the current render() — method/path are not inspected,
+//              which is all a scrape target needs.
+//
+// The exporter holds a reference to the server and reads only through its
+// public snapshot API, so it adds no locking requirements of its own.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace ripple::serve {
+
+class ModelServer;
+
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(const ModelServer& server);
+  ~MetricsExporter();
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Full Prometheus text-format exposition of the server's current
+  /// metrics. Safe to call at any time, with or without the listener.
+  std::string render() const;
+
+  /// Binds 127.0.0.1:port (0 = any free port) and serves render() to
+  /// every connection until stop(). Throws std::runtime_error when the
+  /// port can't be bound. No-op if already started.
+  void start(int port);
+  /// Stops the listener and joins its thread. Idempotent.
+  void stop();
+  /// Bound port, or -1 before start() and after stop().
+  int port() const { return port_; }
+
+ private:
+  void listener_loop();
+
+  const ModelServer& server_;
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace ripple::serve

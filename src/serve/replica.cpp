@@ -81,6 +81,10 @@ NodeMetrics Replica::metrics() const {
       m.p50_latency_us = h.p50();
       m.p95_latency_us = h.p95();
       m.p99_latency_us = h.p99();
+      const LatencyHistogram& a = batcher_->counters().analog_latency();
+      m.analog_p50_us = a.p50();
+      m.analog_p95_us = a.p95();
+      m.analog_p99_us = a.p99();
     }
   }
   {

@@ -78,6 +78,12 @@ struct NodeMetrics {
   double p50_latency_us = 0.0;
   double p95_latency_us = 0.0;
   double p99_latency_us = 0.0;
+  /// TileCost-modeled ADC/conversion time percentiles of served requests
+  /// (BatcherCounters::analog_latency) — 0 on digital backends. What the
+  /// analog chip would have spent, beside what the simulation did spend.
+  double analog_p50_us = 0.0;
+  double analog_p95_us = 0.0;
+  double analog_p99_us = 0.0;
   uint64_t succeeded = 0;  // attempts resolved with a result
   uint64_t failures = 0;   // attempts resolved with an exception
   uint64_t timeouts = 0;   // attempts abandoned at their deadline

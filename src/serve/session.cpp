@@ -133,6 +133,10 @@ Tensor InferenceSession::forward_cached(const Tensor& x) const {
   return y;
 }
 
+double InferenceSession::modeled_analog_us_per_row() const {
+  return backend_ != nullptr ? backend_->modeled_analog_us_per_row() : 0.0;
+}
+
 void InferenceSession::invalidate_packed_weights() const {
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   pack_cache_.clear();

@@ -212,6 +212,11 @@ class InferenceSession {
   deploy::Backend backend() const { return backend_kind_; }
   /// The installed execution backend, or nullptr (fp32/quantsim digital).
   deploy::ExecutionBackend* exec_backend() const { return backend_.get(); }
+  /// Modeled analog serving time (µs) per input row — the backend's
+  /// TileCost ADC conversion model, 0 for digital substrates and until the
+  /// backend freezes. serve::AsyncBatcher records this per request into
+  /// BatcherCounters::analog_latency.
+  double modeled_analog_us_per_row() const;
   /// Effective stochastic samples T (after deterministic clamping).
   int samples() const { return samples_; }
   /// Resolved execution policy (kAuto → kBatched).

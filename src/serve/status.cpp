@@ -14,6 +14,10 @@ const char* status_name(Status status) {
       return "replica-down";
     case Status::kClosed:
       return "closed";
+    case Status::kUnknownModel:
+      return "unknown-model";
+    case Status::kQuotaExceeded:
+      return "quota-exceeded";
   }
   return "unknown";
 }

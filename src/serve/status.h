@@ -19,6 +19,10 @@
 //   kReplicaDown — the serving replica(s) failed the request and the retry
 //                  budget is spent; the fleet could not produce a result.
 //   kClosed      — submit() after close(); the request was never queued.
+//   kUnknownModel — the request named a model (or model version / manifest
+//                  entry) the registry does not hold.
+//   kQuotaExceeded — the tenant's token-bucket rate quota rejected the
+//                  request at admission; it was never queued.
 #pragma once
 
 #include <stdexcept>
@@ -32,6 +36,8 @@ enum class Status {
   kOverloaded,
   kReplicaDown,
   kClosed,
+  kUnknownModel,
+  kQuotaExceeded,
 };
 
 const char* status_name(Status status);

@@ -1,0 +1,73 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ripple::serve {
+
+TokenBucket::TokenBucket(QuotaPolicy policy) : policy_(policy) {
+  capacity_ = policy_.burst > 0.0
+                  ? policy_.burst
+                  : std::max(1.0, policy_.rate_per_sec);
+  tokens_ = capacity_;
+}
+
+void TokenBucket::refill(std::chrono::steady_clock::time_point now) const {
+  if (!started_) {
+    started_ = true;
+    last_ = now;
+    return;
+  }
+  const double dt =
+      std::chrono::duration<double>(now - last_).count();
+  if (dt <= 0.0) return;
+  last_ = now;
+  tokens_ = std::min(capacity_, tokens_ + dt * policy_.rate_per_sec);
+}
+
+bool TokenBucket::try_acquire(std::chrono::steady_clock::time_point now) {
+  if (unlimited()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(
+    std::chrono::steady_clock::time_point now) const {
+  if (unlimited()) return capacity_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  refill(now);
+  return tokens_;
+}
+
+uint64_t tenant_salt_of(const std::string& id) {
+  // FNV-1a over the id bytes …
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : id) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  // … finished with a splitmix64 avalanche so close ids land far apart.
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h != 0 ? h : 1;  // 0 is the "serve the artifact seed" salt
+}
+
+Tenant::Tenant(TenantConfig config)
+    : config_(std::move(config)),
+      salt_(config_.seed_salt == kDeriveSaltFromId
+                ? tenant_salt_of(config_.id)
+                : config_.seed_salt),
+      bucket_(config_.quota) {}
+
+bool Tenant::admit(std::chrono::steady_clock::time_point now) {
+  if (bucket_.try_acquire(now)) return true;
+  quota_rejected_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace ripple::serve

@@ -1,0 +1,111 @@
+// Tenant identity for the multi-tenant model server.
+//
+// serve::ModelServer serves many clients from one process; what keeps them
+// honest neighbours is decided here:
+//
+//   * seed isolation — every serving unit a tenant gets opens under the
+//     model's base seed *plus the tenant's salt*, so two tenants hitting
+//     the same model draw disjoint MC mask/noise streams: one tenant's
+//     uncertainty samples are deterministic (same tenant, same request →
+//     same draw) and private (no other tenant can replay them by guessing
+//     request order). The salt derives from the tenant id by default, so
+//     isolation needs no coordination.
+//   * rate quotas — a classic token bucket (burst capacity, sustained
+//     refill) admission-checked on the submit path. A rejected request
+//     costs one atomic bump and a typed Status::kQuotaExceeded failure;
+//     it never reaches a queue.
+//
+// The per-tenant latency view lives with the serving units themselves
+// (each (model, entry, tenant) unit owns a BatcherCounters, and
+// ModelServer::tenant_metrics merges them), so this file stays free of the
+// serving machinery.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace ripple::serve {
+
+/// Token-bucket parameters. rate_per_sec == 0 disables the quota (the
+/// bucket admits everything, lock-free).
+struct QuotaPolicy {
+  double rate_per_sec = 0.0;
+  /// Bucket capacity (burst size); 0 → max(1, rate_per_sec).
+  double burst = 0.0;
+};
+
+/// Thread-safe token bucket. try_acquire() refills by elapsed time ×
+/// rate, then spends one token if available. Starts full (a quiet tenant
+/// can burst immediately).
+class TokenBucket {
+ public:
+  explicit TokenBucket(QuotaPolicy policy);
+
+  bool try_acquire(std::chrono::steady_clock::time_point now);
+  double available(std::chrono::steady_clock::time_point now) const;
+  bool unlimited() const { return policy_.rate_per_sec <= 0.0; }
+
+ private:
+  void refill(std::chrono::steady_clock::time_point now) const;
+
+  QuotaPolicy policy_;
+  double capacity_ = 0.0;
+  mutable std::mutex mutex_;
+  mutable double tokens_ = 0.0;
+  mutable bool started_ = false;
+  mutable std::chrono::steady_clock::time_point last_{};
+};
+
+/// seed_salt sentinel: derive the salt from the tenant id (stable across
+/// processes and registration order).
+inline constexpr uint64_t kDeriveSaltFromId = ~uint64_t{0};
+
+struct TenantConfig {
+  std::string id;
+  /// Added to every session (and crossbar programming) seed this tenant's
+  /// units open with. kDeriveSaltFromId (default) hashes the id; an
+  /// explicit 0 serves the artifact's own seeds unmodified — the oracle
+  /// configuration tests compare against.
+  uint64_t seed_salt = kDeriveSaltFromId;
+  QuotaPolicy quota;
+};
+
+/// Stable seed salt for a tenant id (FNV-1a finished with a splitmix64
+/// mix, never 0 for a non-empty id).
+uint64_t tenant_salt_of(const std::string& id);
+
+/// One registered tenant: resolved salt, token bucket, admission counters.
+class Tenant {
+ public:
+  explicit Tenant(TenantConfig config);
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  const std::string& id() const { return config_.id; }
+  const TenantConfig& config() const { return config_; }
+  uint64_t seed_salt() const { return salt_; }
+
+  /// Quota admission. A false return has already been counted.
+  bool admit(std::chrono::steady_clock::time_point now);
+  /// Counts a request that passed admission and reached a serving unit.
+  void on_submit() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t submitted() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t quota_rejected() const {
+    return quota_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TenantConfig config_;
+  uint64_t salt_ = 0;
+  TokenBucket bucket_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> quota_rejected_{0};
+};
+
+}  // namespace ripple::serve

@@ -309,6 +309,105 @@ TEST(BatcherDeadline, AlreadyExpiredTimeoutFailsPromptly) {
   EXPECT_EQ(batcher.counters().timeouts(), 1u);
 }
 
+TEST(BatcherDeadline, SweepRejectsExpiredWithoutDispatchAndConservesDepth) {
+  models::LstmForecaster model({.hidden = 8, .window = 8}, proposed());
+  InferenceSession session(
+      model, batcher_options(TaskKind::kRegression, 2, 86,
+                             /*max_requests=*/1,
+                             /*max_delay_us=*/1000, /*threads=*/1));
+  Rng rng(19);
+  Tensor x1 = Tensor::randn({1, 8, 1}, rng);
+  Tensor x2 = Tensor::randn({2, 8, 1}, rng);  // different row shape
+  const Prediction oracle = session.predict(x1);
+
+  AsyncBatcher batcher(session);
+  std::atomic<int> stalls{1};
+  batcher.set_forward_hook([&](int64_t) {
+    if (stalls.fetch_sub(1) > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  auto slow = batcher.submit(x1);  // eats the stall
+  // Two requests expire in the queue behind the stalled worker — one of
+  // them row-shape-incompatible with the front, so it could never ride
+  // the front request's batch.
+  auto e1 = batcher.submit(x1, std::chrono::milliseconds(5));
+  auto e2 = batcher.submit(x2, std::chrono::milliseconds(5));
+
+  EXPECT_TRUE(predictions_equal(slow.get(), oracle));
+  for (auto* f : {&e1, &e2}) {
+    try {
+      f->get();
+      FAIL() << "expired request must fail with kTimeout";
+    } catch (const serve::ServeError& e) {
+      EXPECT_EQ(e.status(), serve::Status::kTimeout);
+    }
+  }
+  batcher.close();
+  // The deadline sweep failed both without ever dispatching them: only
+  // the stalled singleton became a batch, yet the queue-depth/completion
+  // ledger still balances.
+  EXPECT_EQ(batcher.counters().batches(), 1u);
+  EXPECT_EQ(batcher.counters().submitted(), 3u);
+  EXPECT_EQ(batcher.counters().completed(), 3u);
+  EXPECT_EQ(batcher.counters().timeouts(), 2u);
+  EXPECT_EQ(batcher.counters().queue_depth(), 0);
+}
+
+TEST(BatcherDeadline, ConservationLawHoldsUnderMultiProducerPressure) {
+  // Conservation law of the batcher counters: every submitted request is
+  // completed exactly once (value or typed failure) and the queue is
+  // empty after drain — submitted == completed, queue_depth == 0 — no
+  // matter how arrivals, deadlines, and rejection paths interleave.
+  models::LstmForecaster model({.hidden = 8, .window = 8}, proposed());
+  InferenceSession session(
+      model, batcher_options(TaskKind::kRegression, 2, 87,
+                             /*max_requests=*/4,
+                             /*max_delay_us=*/500, /*threads=*/2));
+  Rng rng(20);
+  Tensor x = Tensor::randn({1, 8, 1}, rng);
+
+  AsyncBatcher batcher(session);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 32;
+  std::vector<std::vector<std::future<Prediction>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Every other request is expired on arrival (timeout 0) — the
+        // deadline-rejection path runs concurrently with real serving.
+        futures[p].push_back(
+            i % 2 == 0
+                ? batcher.submit(x, std::chrono::seconds(30))
+                : batcher.submit(x, std::chrono::microseconds(0)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  uint64_t ok = 0, timed_out = 0;
+  for (auto& per_producer : futures) {
+    for (auto& f : per_producer) {
+      try {
+        f.get();
+        ++ok;
+      } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.status(), serve::Status::kTimeout);
+        ++timed_out;
+      }
+    }
+  }
+  batcher.close();
+  const BatcherCounters& c = batcher.counters();
+  constexpr uint64_t kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(ok, kTotal / 2);
+  EXPECT_EQ(timed_out, kTotal / 2);
+  EXPECT_EQ(c.submitted(), kTotal);
+  EXPECT_EQ(c.completed(), kTotal);
+  EXPECT_EQ(c.timeouts(), timed_out);
+  EXPECT_EQ(c.queue_depth(), 0);
+}
+
 TEST(Batcher, ExceptionReachesOnlyTheOffendingFuture) {
   models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
                              proposed());

@@ -561,7 +561,7 @@ TEST(ArtifactFormat, PackedCodesShrinkTheFileByTheExpectedBytes) {
   const std::string v1 = temp_path("m5_v1.rpla");
   const std::string v2 = temp_path("m5_v2.rpla");
   deploy::save_artifact(model, v1, opts, /*version=*/1);
-  deploy::save_artifact(model, v2, opts);  // current = version 2
+  deploy::save_artifact(model, v2, opts, /*version=*/2);
 
   int64_t raw_bytes = 0, packed_bytes = 0;
   for (const auto& t : model.fault_targets()) {
@@ -615,6 +615,204 @@ TEST(ArtifactFormat, RejectsUnwritableVersions) {
                                      options_for(TaskKind::kRegression),
                                      /*version=*/9),
                std::exception);
+}
+
+// ---- format v3: multi-model manifests + compressed codes -------------------
+
+TEST(ArtifactManifest, TwoModelManifestRoundTripsBitExactPerEntry) {
+  models::LstmForecaster a({.hidden = 8, .window = 8},
+                           {.variant = models::Variant::kProposed});
+  models::LstmForecaster b({.hidden = 6, .window = 8},
+                           {.variant = models::Variant::kProposed});
+  a.set_training(false);
+  a.deploy();
+  b.set_training(false);
+  b.deploy();
+  const SessionOptions opts_a = options_for(TaskKind::kRegression, 4, 21);
+  const SessionOptions opts_b = options_for(TaskKind::kRegression, 4, 22);
+  const std::string path = temp_path("pair.rpla");
+  deploy::save_manifest(
+      {{"champion", 3.0, &a, opts_a}, {"challenger", 1.0, &b, opts_b}}, path);
+
+  const deploy::ManifestInfo info = deploy::inspect_artifact(path);
+  EXPECT_EQ(info.version, 3u);
+  ASSERT_EQ(info.entries.size(), 2u);
+  EXPECT_EQ(info.entries[0].name, "champion");
+  EXPECT_DOUBLE_EQ(info.entries[0].weight, 3.0);
+  EXPECT_EQ(info.entries[1].name, "challenger");
+  EXPECT_DOUBLE_EQ(info.entries[1].weight, 1.0);
+
+  Rng rng(61);
+  Tensor x = Tensor::randn({3, 8, 1}, rng);
+  {
+    deploy::LoadedArtifact art = deploy::load_artifact(path, "champion");
+    EXPECT_EQ(art.entry_name, "champion");
+    EXPECT_DOUBLE_EQ(art.route_weight, 3.0);
+    EXPECT_EQ(art.session_defaults.seed, 21u);
+    InferenceSession live(a, opts_a);
+    auto served = InferenceSession::open(path, {});
+    // Empty entry = the first entry of the manifest.
+    expect_bit_equal(live.mc_outputs(x), served->mc_outputs(x),
+                     "default entry serves the first model");
+  }
+  {
+    deploy::LoadedArtifact art = deploy::load_artifact(path, "challenger");
+    EXPECT_EQ(art.entry_name, "challenger");
+    EXPECT_EQ(art.session_defaults.seed, 22u);
+    InferenceSession live(b, opts_b);
+    deploy::DeployOptions d;
+    d.manifest_entry = "challenger";
+    auto served = InferenceSession::open(path, d);
+    expect_bit_equal(live.mc_outputs(x), served->mc_outputs(x),
+                     "named entry serves its own model");
+  }
+}
+
+TEST(ArtifactManifest, NamedEntryErrors) {
+  models::LstmForecaster model({.hidden = 8, .window = 8},
+                               {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const SessionOptions opts = options_for(TaskKind::kRegression);
+  const std::string v3 = temp_path("one.rpla");
+  deploy::save_artifact(model, v3, opts);
+  // save_artifact writes a single-entry manifest named after the arch.
+  const deploy::ManifestInfo info = deploy::inspect_artifact(v3);
+  ASSERT_EQ(info.entries.size(), 1u);
+  EXPECT_EQ(info.entries[0].name, model.name());
+  EXPECT_THROW(deploy::load_artifact(v3, "nope"), std::runtime_error);
+
+  // Pre-manifest formats reject named-entry requests outright.
+  const std::string v2 = temp_path("one_v2.rpla");
+  deploy::save_artifact(model, v2, opts, /*version=*/2);
+  EXPECT_THROW(deploy::load_artifact(v2, model.name()), std::runtime_error);
+
+  // save_manifest validates its inputs.
+  EXPECT_THROW(deploy::save_manifest({}, temp_path("empty.rpla")),
+               std::exception);
+  EXPECT_THROW(
+      deploy::save_manifest({{"x", 1.0, &model, opts}, {"x", 1.0, &model, opts}},
+                            temp_path("dup.rpla")),
+      std::exception);
+  EXPECT_THROW(deploy::save_manifest({{"", 1.0, &model, opts}},
+                                     temp_path("anon.rpla")),
+               std::exception);
+  EXPECT_THROW(deploy::save_manifest({{"x", -1.0, &model, opts}},
+                                     temp_path("neg.rpla")),
+               std::exception);
+}
+
+TEST(ArtifactManifest, CompressedCodesDecodeIdenticallyToRaw) {
+  // Random weights: the writer picks whatever encoding is smallest (raw
+  // for incompressible codes) — v2 and v3 must still decode identically.
+  models::M5 model({.classes = 8, .width = 4, .input_length = 256},
+                   {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const SessionOptions opts = options_for(TaskKind::kClassification);
+  const std::string v2 = temp_path("m5_raw.rpla");
+  const std::string v3 = temp_path("m5_c.rpla");
+  deploy::save_artifact(model, v2, opts, /*version=*/2);
+  deploy::save_artifact(model, v3, opts);
+  deploy::LoadedArtifact a2 = deploy::load_artifact(v2);
+  deploy::LoadedArtifact a3 = deploy::load_artifact(v3);
+  ASSERT_EQ(a2.quant.size(), a3.quant.size());
+  for (size_t i = 0; i < a2.quant.size(); ++i)
+    EXPECT_EQ(a2.quant[i].codes, a3.quant[i].codes) << "target " << i;
+
+  Rng rng(62);
+  Tensor x = Tensor::randn({2, 1, 256}, rng);
+  auto s2 = InferenceSession::open(v2, {.backend = Backend::kQuantSim});
+  auto s3 = InferenceSession::open(v3, {.backend = Backend::kQuantSim});
+  expect_bit_equal(s2->mc_outputs(x), s3->mc_outputs(x),
+                   "raw and compressed codes serve the same bits");
+}
+
+TEST(ArtifactManifest, RleCompressesConstantSignWeights) {
+  // All-positive weights binarize to a constant code stream — the RLE
+  // encoding must win by a wide margin and still round-trip bit-exactly.
+  models::M5 uniform({.classes = 8, .width = 4, .input_length = 256},
+                     {.variant = models::Variant::kProposed});
+  for (auto* p : uniform.parameters()) {
+    Tensor& t = p->var.value();
+    float* d = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i) d[i] = 0.25f;
+  }
+  uniform.set_training(false);
+  uniform.deploy();
+  const SessionOptions opts = options_for(TaskKind::kClassification);
+  const std::string raw = temp_path("m5_u2.rpla");
+  const std::string rle = temp_path("m5_u3.rpla");
+  deploy::save_artifact(uniform, raw, opts, /*version=*/2);
+  deploy::save_artifact(uniform, rle, opts);
+  // Constant codes collapse to a handful of (count, word) pairs; the v3
+  // file must be substantially smaller despite its manifest framing.
+  EXPECT_LT(std::filesystem::file_size(rle),
+            std::filesystem::file_size(raw));
+  deploy::LoadedArtifact a2 = deploy::load_artifact(raw);
+  deploy::LoadedArtifact a3 = deploy::load_artifact(rle);
+  ASSERT_EQ(a2.quant.size(), a3.quant.size());
+  for (size_t i = 0; i < a2.quant.size(); ++i)
+    EXPECT_EQ(a2.quant[i].codes, a3.quant[i].codes) << "target " << i;
+}
+
+class ManifestFileErrors : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    models::LstmForecaster a({.hidden = 8, .window = 8},
+                             {.variant = models::Variant::kProposed});
+    models::LstmForecaster b({.hidden = 6, .window = 8},
+                             {.variant = models::Variant::kProposed});
+    a.set_training(false);
+    a.deploy();
+    b.set_training(false);
+    b.deploy();
+    const SessionOptions opts = options_for(TaskKind::kRegression);
+    path_ = temp_path("mferr.rpla");
+    deploy::save_manifest({{"a", 1.0, &a, opts}, {"b", 1.0, &b, opts}},
+                          path_);
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  void write_bytes(size_t count) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes_.data(), static_cast<std::streamsize>(count));
+  }
+
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(ManifestFileErrors, TruncatedMidSecondEntry) {
+  write_bytes(bytes_.size() - bytes_.size() / 4);
+  // The surviving first entry still loads; the mutilated second doesn't,
+  // and neither does the listing (it must walk every entry header).
+  EXPECT_NO_THROW(deploy::load_artifact(path_, "a"));
+  EXPECT_THROW(deploy::load_artifact(path_, "b"), std::runtime_error);
+  EXPECT_THROW(deploy::inspect_artifact(path_), std::runtime_error);
+}
+
+TEST_F(ManifestFileErrors, CorruptBodyLengthOverrunsTheFile) {
+  // Layout: magic(4) version(4) entry_count(4) name_len(4) name("a")
+  // weight(8) body_bytes(8) — poison the first entry's body length.
+  const size_t body_bytes_at = 4 + 4 + 4 + 4 + 1 + 8;
+  for (size_t i = 0; i < 8; ++i)
+    bytes_[body_bytes_at + i] = static_cast<char>(0x7f);
+  write_bytes(bytes_.size());
+  EXPECT_THROW(deploy::load_artifact(path_), std::runtime_error);
+  EXPECT_THROW(deploy::inspect_artifact(path_), std::runtime_error);
+}
+
+TEST_F(ManifestFileErrors, ZeroEntriesRejected) {
+  bytes_[8] = 0;  // entry_count u32 little-endian low byte
+  bytes_[9] = 0;
+  bytes_[10] = 0;
+  bytes_[11] = 0;
+  write_bytes(bytes_.size());
+  EXPECT_THROW(deploy::load_artifact(path_), std::runtime_error);
 }
 
 // ---- zoo train-or-load over artifacts --------------------------------------
