@@ -54,17 +54,16 @@ void render_histogram(std::ostringstream& out, const std::string& name,
                       const std::string& labels,
                       const LatencyHistogram::Snapshot& snapshot) {
   uint64_t cumulative = 0;
-  for (size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+  // The last bucket is open-ended; its edge is the +Inf line below.
+  for (size_t b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
     cumulative += snapshot.buckets[b];
-    // The last bucket is open-ended; its edge is +Inf below.
-    if (b + 1 == LatencyHistogram::kBuckets) break;
     out << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
         << "le=\"" << LatencyHistogram::bucket_upper_us(b) << "\"} "
         << cumulative << "\n";
   }
   cumulative += snapshot.buckets[LatencyHistogram::kBuckets - 1];
   out << name << "_bucket{" << labels << (labels.empty() ? "" : ",")
-      << "le=\"+Inf\"} " << snapshot.count << "\n";
+      << "le=\"+Inf\"} " << cumulative << "\n";
   out << name << "_sum{" << labels << "} " << snapshot.total_us << "\n";
   out << name << "_count{" << labels << "} " << snapshot.count << "\n";
 }

@@ -214,7 +214,7 @@ void ModelServer::hot_swap(const std::string& name,
 void ModelServer::retire(const std::shared_ptr<ModelVersion>& mv) {
   if (!mv) return;
   for (const auto& entry : mv->entries) {
-    std::vector<std::unique_ptr<TenantUnit>> units;
+    std::vector<std::shared_ptr<TenantUnit>> units;
     {
       std::lock_guard<std::mutex> lock(entry->units_mutex);
       entry->retired = true;  // late submits re-resolve on the registry
@@ -264,15 +264,17 @@ bool ModelServer::closed() const {
 void ModelServer::register_tenant(TenantConfig config) {
   RIPPLE_CHECK(!config.id.empty()) << "register_tenant: id must be set";
   const std::string id = config.id;  // keyed before config is moved from
+  // Reconfiguration swaps the map's reference; requests mid-submit keep
+  // their own shared_ptr to the old Tenant, so it outlives them.
   std::unique_lock lock(tenants_mutex_);
-  tenants_[id] = std::make_unique<Tenant>(std::move(config));
+  tenants_[id] = std::make_shared<Tenant>(std::move(config));
 }
 
-Tenant* ModelServer::resolve_tenant(const std::string& id) {
+std::shared_ptr<Tenant> ModelServer::resolve_tenant(const std::string& id) {
   {
     std::shared_lock lock(tenants_mutex_);
     auto it = tenants_.find(id);
-    if (it != tenants_.end()) return it->second.get();
+    if (it != tenants_.end()) return it->second;
   }
   if (!options_.auto_register_tenants || id.empty()) return nullptr;
   std::unique_lock lock(tenants_mutex_);
@@ -281,9 +283,9 @@ Tenant* ModelServer::resolve_tenant(const std::string& id) {
     TenantConfig config;
     config.id = id;
     config.quota = options_.default_quota;
-    slot = std::make_unique<Tenant>(std::move(config));
+    slot = std::make_shared<Tenant>(std::move(config));
   }
-  return slot.get();
+  return slot;
 }
 
 // ---- serving ----------------------------------------------------------------
@@ -326,15 +328,14 @@ ModelServer::EntryState* ModelServer::pick_entry(
   return mv.entries.back().get();
 }
 
-ModelServer::TenantUnit& ModelServer::unit_for(ModelVersion& mv,
-                                               EntryState& entry,
-                                               Tenant& tenant) {
+std::shared_ptr<ModelServer::TenantUnit> ModelServer::unit_for(
+    ModelVersion& mv, EntryState& entry, Tenant& tenant) {
   std::lock_guard<std::mutex> lock(entry.units_mutex);
   if (entry.retired)
     throw ServeError(Status::kClosed,
                      "version retired while routing (hot swap)");
   auto& slot = entry.units[tenant.id()];
-  if (slot) return *slot;
+  if (slot) return slot;
 
   // First request of this tenant for this (version, entry): open its unit
   // under the tenant's seed salt — an isolated, deterministic MC stream.
@@ -342,7 +343,7 @@ ModelServer::TenantUnit& ModelServer::unit_for(ModelVersion& mv,
                                ? *mv.deploy.session
                                : entry.master.session_defaults;
   session.seed += tenant.seed_salt();
-  auto unit = std::make_unique<TenantUnit>();
+  auto unit = std::make_shared<TenantUnit>();
   unit->tenant = tenant.id();
   if (options_.replicas > 1) {
     ClusterOptions co = options_.cluster;
@@ -362,12 +363,17 @@ ModelServer::TenantUnit& ModelServer::unit_for(ModelVersion& mv,
     unit->batcher = std::make_unique<AsyncBatcher>(*unit->session);
   }
   slot = std::move(unit);
-  return *slot;
+  return slot;
 }
 
 std::future<Prediction> ModelServer::submit(Request request) {
+  return submit_routed(std::move(request), nullptr);
+}
+
+std::future<Prediction> ModelServer::submit_routed(Request request,
+                                                   Routed* routed) {
   const auto now = std::chrono::steady_clock::now();
-  Tenant* tenant = resolve_tenant(request.tenant);
+  std::shared_ptr<Tenant> tenant = resolve_tenant(request.tenant);
   if (tenant == nullptr) {
     counters_.on_quota_rejected();
     return failed_future(Status::kQuotaExceeded,
@@ -407,18 +413,29 @@ std::future<Prediction> ModelServer::submit(Request request) {
                                request.model.entry + "'");
     }
     try {
-      TenantUnit& unit = unit_for(*mv, *entry, *tenant);
-      std::future<Prediction> future = unit.submit(request.input, deadline);
+      // The shared_ptr keeps the unit alive even if a concurrent retire()
+      // drops the entry's reference right now; a retired unit's submit
+      // observes its closed batcher/cluster and lands in the catch below.
+      std::shared_ptr<TenantUnit> unit = unit_for(*mv, *entry, *tenant);
+      std::future<Prediction> future = unit->submit(request.input, deadline);
       tenant->on_submit();
       counters_.on_submit();
+      if (routed != nullptr) {
+        routed->version = mv->version;
+        routed->entry = entry->name;
+      }
       return future;
     } catch (const ServeError& e) {
       if (e.status() != Status::kClosed) throw;
       // Raced a swap; loop re-resolves against the new registry state.
     }
   }
-  throw ServeError(Status::kClosed,
-                   "ModelServer::submit lost the swap race repeatedly");
+  // The server is still open — per the submit() contract this failure
+  // arrives through the future, not a throw (kClosed throws are reserved
+  // for close()).
+  return failed_future(
+      Status::kOverloaded,
+      "ModelServer::submit raced concurrent hot swaps repeatedly");
 }
 
 Response ModelServer::serve(Request request) {
@@ -433,21 +450,16 @@ Response ModelServer::serve(Request request) {
             .count();
   };
   try {
-    // Resolve once for response metadata (which version/entry serves a
-    // version-less request), then submit with the pinned resolution so
-    // metadata and routing agree.
-    std::string error;
-    std::shared_ptr<ModelVersion> mv = resolve(request.model, &error);
-    if (mv) {
-      request.model.version = mv->version;
-      response.model_version = mv->version;
-      if (request.model.entry.empty() && mv->entries.size() > 1) {
-        EntryState* entry = pick_entry(*mv, {});
-        if (entry != nullptr) request.model.entry = entry->name;
-      }
-      response.model_entry = request.model.entry;
-    }
-    response.prediction = submit(std::move(request)).get();
+    // The request goes through unpinned — a version-less request that
+    // races a hot swap re-resolves onto the new active version inside
+    // submit_routed, which reports back what actually served it so the
+    // response metadata and the routing always agree.
+    Routed routed;
+    std::future<Prediction> future =
+        submit_routed(std::move(request), &routed);
+    response.model_version = routed.version;
+    response.model_entry = routed.entry;
+    response.prediction = future.get();
     response.status = Status::kOk;
   } catch (const ServeError& e) {
     response.status = e.status();

@@ -290,13 +290,17 @@ class ModelServer {
 
   /// One manifest entry of a registered version: the replication master
   /// plus the lazily-created per-tenant units behind their own lock.
+  /// Units are shared_ptr so a submit that copied one out under
+  /// units_mutex keeps it alive even if retire() drains and drops the
+  /// map's reference concurrently — the racing submit then observes the
+  /// closed unit (kClosed) instead of a freed one.
   struct EntryState {
     std::string name;  // "" for single-model v1/v2 artifacts
     double weight = 1.0;
     deploy::LoadedArtifact master;
     mutable std::mutex units_mutex;
     bool retired = false;  // set at drain; submits re-resolve elsewhere
-    std::map<std::string, std::unique_ptr<TenantUnit>> units;  // by tenant
+    std::map<std::string, std::shared_ptr<TenantUnit>> units;  // by tenant
   };
 
   struct ModelVersion {
@@ -325,10 +329,19 @@ class ModelServer {
                                         std::string* error) const;
   /// Entry selection: pinned by name, or weighted round-robin.
   EntryState* pick_entry(ModelVersion& mv, const std::string& entry) const;
-  /// The tenant's unit for one entry, created on first use. Throws
+  /// The tenant's unit for one entry, created on first use. Returns an
+  /// owning reference (alive across a concurrent retire()). Throws
   /// ServeError{kClosed} when the entry is already retired.
-  TenantUnit& unit_for(ModelVersion& mv, EntryState& entry, Tenant& tenant);
-  Tenant* resolve_tenant(const std::string& id);
+  std::shared_ptr<TenantUnit> unit_for(ModelVersion& mv, EntryState& entry,
+                                       Tenant& tenant);
+  std::shared_ptr<Tenant> resolve_tenant(const std::string& id);
+  /// What actually served a request (filled on the success path).
+  struct Routed {
+    std::string version;
+    std::string entry;
+  };
+  /// submit() with resolution feedback for serve()'s response metadata.
+  std::future<Prediction> submit_routed(Request request, Routed* routed);
   /// Drains every unit of a version and folds its counters into
   /// counters_ (the drained_* conservation ledger).
   void retire(const std::shared_ptr<ModelVersion>& mv);
@@ -341,8 +354,12 @@ class ModelServer {
   std::map<std::string, ModelState> registry_;
   /// Retired versions kept until fully drained (retire() holds the only
   /// other reference while closing units).
+  /// Tenants are shared_ptr for the same reason as TenantUnits: submit()
+  /// copies one out under tenants_mutex_ and keeps using it lock-free
+  /// (admit/on_submit/seed_salt); register_tenant() reconfiguration swaps
+  /// in a new object without freeing the one in-flight requests hold.
   mutable std::shared_mutex tenants_mutex_;
-  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
 
   std::unique_ptr<MetricsExporter> exporter_;
 };

@@ -322,6 +322,93 @@ TEST(ModelServer, HotSwapUnderLoadDropsAndDuplicatesNothing) {
   EXPECT_EQ(server.counters().drained_timeouts(), 0u);
 }
 
+TEST(ModelServer, ServeReResolvesVersionlessRequestsAcrossSwap) {
+  const std::string p1 = make_artifact("srv_reresolve1.rpla", 8, 916);
+  const std::string p2 = make_artifact("srv_reresolve2.rpla", 8, 917);
+  Rng rng(41);
+  Tensor x = Tensor::randn({1, 8, 1}, rng);
+  const Prediction oracle1 = oracle_of(p1, x);
+  const Prediction oracle2 = oracle_of(p2, x);
+
+  ModelServer server;
+  server.load_model("fleet", "1", p1);
+  server.register_tenant({.id = "t", .seed_salt = 0});
+
+  // Version-less serve() calls race a hot swap: the header promises they
+  // re-resolve onto whichever version is active when they route — never
+  // kUnknownModel because a resolved version vanished mid-call — and the
+  // response metadata names the version that actually served the bits.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 40;
+  std::atomic<int> in_flight_before_swap{0};
+  std::vector<std::vector<Response>> responses(kProducers);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Request r = request_for("t", "fleet", x);
+        r.deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(30);
+        responses[p].push_back(server.serve(std::move(r)));
+        in_flight_before_swap.fetch_add(1);
+      }
+    });
+  }
+  while (in_flight_before_swap.load() < kProducers * kPerProducer / 4)
+    std::this_thread::yield();
+  server.hot_swap("fleet", "2", p2);
+  for (auto& t : producers) t.join();
+
+  uint64_t served_v1 = 0, served_v2 = 0;
+  for (const auto& per_producer : responses) {
+    for (const Response& r : per_producer) {
+      ASSERT_EQ(r.status, Status::kOk) << r.error;
+      if (regressions_equal(r.prediction, oracle1)) {
+        EXPECT_EQ(r.model_version, "1");
+        ++served_v1;
+      } else if (regressions_equal(r.prediction, oracle2)) {
+        EXPECT_EQ(r.model_version, "2");
+        ++served_v2;
+      } else {
+        FAIL() << "prediction matches neither version's oracle";
+      }
+    }
+  }
+  EXPECT_EQ(served_v1 + served_v2,
+            static_cast<uint64_t>(kProducers * kPerProducer));
+  EXPECT_GT(served_v2, 0u);  // the swap demonstrably took traffic
+}
+
+TEST(ModelServer, RegisterTenantReconfiguresSafelyUnderTraffic) {
+  const std::string path = make_artifact("srv_reconf.rpla", 8, 918);
+  Rng rng(42);
+  Tensor x = Tensor::randn({1, 8, 1}, rng);
+
+  ModelServer server;
+  server.load_model("fleet", "1", path);
+  server.register_tenant({.id = "t", .seed_salt = 0});
+
+  // Reconfigure the tenant repeatedly while it is mid-submit: requests
+  // that resolved the old Tenant object must keep a live reference to it
+  // (admission, on_submit, seed salt) — never a freed one.
+  std::atomic<bool> stop{false};
+  std::thread reconfigurer([&] {
+    while (!stop.load()) {
+      server.register_tenant({.id = "t", .seed_salt = 0});
+      std::this_thread::yield();
+    }
+  });
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    Response r = server.serve(request_for("t", "fleet", x));
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+  }
+  stop.store(true);
+  reconfigurer.join();
+  EXPECT_EQ(server.counters().submitted(),
+            static_cast<uint64_t>(kRequests));
+}
+
 // ---- v3 manifest routing ---------------------------------------------------
 
 TEST(ModelServer, ManifestWeightsRouteExactlyAndEntriesPin) {
