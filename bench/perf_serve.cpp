@@ -183,6 +183,70 @@ void BM_SessionPredictMany(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionPredictMany)->Arg(8);
 
+// ---- compiled execution plans ----------------------------------------------
+// The same session, same input, same bits — served from the compiled
+// fused zero-allocation plan vs the autograd graph oracle. Args are
+// {T, compiled}: the compiled/graph items-per-second ratio at matching T
+// is the headline number BENCH_serve.json records for deploy::compile
+// (docs/PERF.md). predict_into on the compiled path is the steady state
+// the allocation gate (tests/alloc_test.cpp) pins at 0 allocs/request.
+
+void BM_CompiledVsGraph(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const bool compiled = state.range(1) != 0;
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 12},
+                             proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::SessionOptions opts =
+      session_options(serve::TaskKind::kClassification, t);
+  opts.compile = compiled;
+  serve::InferenceSession session(model, opts);
+  Rng rng(1);
+  Tensor x = Tensor::randn({1, 3, 16, 16}, rng);
+  if (compiled) session.precompile(x.shape());
+  serve::Prediction out;
+  for (auto _ : state) {
+    session.predict_into(x, out);
+    benchmark::DoNotOptimize(&out);
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_CompiledVsGraph)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1});
+
+// Edge-sized forecaster: tiny GEMMs make the graph's per-op overhead
+// (node allocation, hook dispatch, tensor churn) the dominant cost, so
+// this is where the plan's fused steps and arena buy the most.
+void BM_CompiledVsGraphLstm(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const bool compiled = state.range(1) != 0;
+  models::LstmForecaster model({.hidden = 8, .window = 24}, proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::SessionOptions opts =
+      session_options(serve::TaskKind::kRegression, t);
+  opts.compile = compiled;
+  serve::InferenceSession session(model, opts);
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  if (compiled) session.precompile(x.shape());
+  serve::Prediction out;
+  for (auto _ : state) {
+    session.predict_into(x, out);
+    benchmark::DoNotOptimize(&out);
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_CompiledVsGraphLstm)
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1});
+
 // ---- async batching under concurrent producers -----------------------------
 // 8 client threads, each submitting 1-row requests and blocking on the
 // future (closed-loop producers). Args: {batch_max_requests, max_delay_us}.

@@ -9,8 +9,10 @@
 #                     vs BM_Mc*Serial at the same T.
 #   BENCH_serve.json— serving-layer overhead (bench/perf_serve.cpp);
 #                     compare BM_SessionPredict* against the raw
-#                     BM_RawMcForwardBatched*/BM_Mc*Batched numbers, and
-#                     BM_SessionPredictCrossbarTiled (64×64 tiles,
+#                     BM_RawMcForwardBatched*/BM_Mc*Batched numbers,
+#                     BM_CompiledVsGraph*/{T,1} (fused zero-alloc plans)
+#                     against the same benchmark's /{T,0} graph baseline,
+#                     and BM_SessionPredictCrossbarTiled (64×64 tiles,
 #                     bit-sliced columns, shared ADCs) against the
 #                     monolithic BM_SessionPredictCrossbar baseline.
 #

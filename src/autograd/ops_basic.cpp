@@ -1,8 +1,14 @@
 // Elementwise, scalar, per-channel broadcast, activation, shape and
 // reduction ops.
+//
+// Each op appends a TraceStep (deploy/trace.h) when a recorder is active;
+// the recorded closures read every dimension from the tensors at execution
+// time so they stay valid at the plan's reduced uniform-row shapes.
 #include <cmath>
+#include <cstring>
 
 #include "autograd/ops.h"
+#include "deploy/trace.h"
 #include "tensor/ops.h"
 
 namespace ripple::autograd {
@@ -24,10 +30,52 @@ ChannelView channel_view(const Tensor& x) {
   return {x.dim(0), x.dim(1), inner};
 }
 
+// Hook body, only reached after the caller's active_trace() null check (the
+// hot path pays a single thread-local read per op).
+void trace_step(deploy::OpTag tag, std::vector<Tensor> inputs,
+                const Tensor& out, deploy::StepFn fn, int64_t i0 = 0,
+                int64_t i1 = 0) {
+  deploy::TraceStep ts;
+  ts.tag = tag;
+  ts.inputs = std::move(inputs);
+  ts.output = out;
+  ts.fn = std::move(fn);
+  ts.i0 = i0;
+  ts.i1 = i1;
+  deploy::active_trace()->record(std::move(ts));
+}
+
+// Exec closure for the elementwise binaries; same per-element expressions as
+// ops::add/sub/mul.
+template <typename F>
+deploy::StepFn binary_fn(F op) {
+  return [op](const Tensor* const* ins, int, Tensor& o) {
+    const float* pa = ins[0]->data();
+    const float* pb = ins[1]->data();
+    float* po = o.data();
+    const int64_t n = o.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i], pb[i]);
+  };
+}
+
+template <typename F>
+deploy::StepFn unary_fn(F op) {
+  return [op](const Tensor* const* ins, int, Tensor& o) {
+    const float* pa = ins[0]->data();
+    float* po = o.data();
+    const int64_t n = o.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i]);
+  };
+}
+
 }  // namespace
 
 Variable add(const Variable& a, const Variable& b) {
   Tensor out = ops::add(a.value(), b.value());
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kAdd, {a.value(), b.value()}, out,
+               binary_fn([](float x, float y) { return x + y; }));
+  }
   return make_op_node(
       std::move(out), {a.node(), b.node()},
       [](Node& n) {
@@ -39,6 +87,10 @@ Variable add(const Variable& a, const Variable& b) {
 
 Variable sub(const Variable& a, const Variable& b) {
   Tensor out = ops::sub(a.value(), b.value());
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kSub, {a.value(), b.value()}, out,
+               binary_fn([](float x, float y) { return x - y; }));
+  }
   return make_op_node(
       std::move(out), {a.node(), b.node()},
       [](Node& n) {
@@ -51,6 +103,10 @@ Variable sub(const Variable& a, const Variable& b) {
 
 Variable mul(const Variable& a, const Variable& b) {
   Tensor out = ops::mul(a.value(), b.value());
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kMul, {a.value(), b.value()}, out,
+               binary_fn([](float x, float y) { return x * y; }));
+  }
   Tensor av = a.value();
   Tensor bv = b.value();
   return make_op_node(
@@ -67,8 +123,13 @@ Variable mul(const Variable& a, const Variable& b) {
 Variable neg(const Variable& a) { return mul_scalar(a, -1.0f); }
 
 Variable add_scalar(const Variable& a, float s) {
+  Tensor out = ops::add_scalar(a.value(), s);
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kAddScalar, {a.value()}, out,
+               unary_fn([s](float x) { return x + s; }));
+  }
   return make_op_node(
-      ops::add_scalar(a.value(), s), {a.node()},
+      std::move(out), {a.node()},
       [](Node& n) {
         if (n.parents[0]->requires_grad) n.parents[0]->accumulate_grad(n.grad);
       },
@@ -76,8 +137,13 @@ Variable add_scalar(const Variable& a, float s) {
 }
 
 Variable mul_scalar(const Variable& a, float s) {
+  Tensor out = ops::mul_scalar(a.value(), s);
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kMulScalar, {a.value()}, out,
+               unary_fn([s](float x) { return x * s; }));
+  }
   return make_op_node(
-      ops::mul_scalar(a.value(), s), {a.node()},
+      std::move(out), {a.node()},
       [s](Node& n) {
         if (n.parents[0]->requires_grad)
           n.parents[0]->accumulate_grad(ops::mul_scalar(n.grad, s));
@@ -100,6 +166,25 @@ Variable mul_channel(const Variable& x, const Variable& gamma) {
       const int64_t base = (i * v.c + ch) * v.inner;
       for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] * g;
     }
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kMulChannel, {x.value(), gamma.value()}, out,
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 const Tensor& x = *ins[0];
+                 const int64_t n = x.dim(0);
+                 const int64_t c = ins[1]->dim(0);
+                 const int64_t inner = x.numel() / (n * c);
+                 const float* px = x.data();
+                 const float* pg = ins[1]->data();
+                 float* po = o.data();
+                 for (int64_t i = 0; i < n; ++i)
+                   for (int64_t ch = 0; ch < c; ++ch) {
+                     const float g = pg[ch];
+                     const int64_t base = (i * c + ch) * inner;
+                     for (int64_t k = 0; k < inner; ++k)
+                       po[base + k] = px[base + k] * g;
+                   }
+               });
+  }
   Tensor xv = x.value();
   Tensor gv = gamma.value();
   return make_op_node(
@@ -152,6 +237,25 @@ Variable add_channel(const Variable& x, const Variable& beta) {
       const int64_t base = (i * v.c + ch) * v.inner;
       for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] + b;
     }
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kAddChannel, {x.value(), beta.value()}, out,
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 const Tensor& x = *ins[0];
+                 const int64_t n = x.dim(0);
+                 const int64_t c = ins[1]->dim(0);
+                 const int64_t inner = x.numel() / (n * c);
+                 const float* px = x.data();
+                 const float* pb = ins[1]->data();
+                 float* po = o.data();
+                 for (int64_t i = 0; i < n; ++i)
+                   for (int64_t ch = 0; ch < c; ++ch) {
+                     const float b = pb[ch];
+                     const int64_t base = (i * c + ch) * inner;
+                     for (int64_t k = 0; k < inner; ++k)
+                       po[base + k] = px[base + k] + b;
+                   }
+               });
+  }
   return make_op_node(
       std::move(out), {x.node(), beta.node()},
       [v](Node& n) {
@@ -195,6 +299,32 @@ Variable mul_channel_replicated(const Variable& x, const Variable& gamma) {
       const int64_t base = (i * v.c + ch) * v.inner;
       for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] * g;
     }
+  }
+  if (deploy::active_trace() != nullptr) {
+    // The replica axis (gamma rows) is the plan's stochastic signature:
+    // the compiler treats this step as the replication point of the lazy
+    // stem. Closure recomputes rows-per-replica from the live batch.
+    trace_step(deploy::OpTag::kMulChannelRep, {x.value(), gamma.value()}, out,
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 const Tensor& x = *ins[0];
+                 const int64_t r = ins[1]->dim(0);
+                 const int64_t c = ins[1]->dim(1);
+                 const int64_t n = x.dim(0);
+                 const int64_t inner = x.numel() / (n * c);
+                 const int64_t rows = n / r;
+                 const float* px = x.data();
+                 const float* pg = ins[1]->data();
+                 float* po = o.data();
+                 for (int64_t i = 0; i < n; ++i) {
+                   const float* grow = pg + (i / rows) * c;
+                   for (int64_t ch = 0; ch < c; ++ch) {
+                     const float g = grow[ch];
+                     const int64_t base = (i * c + ch) * inner;
+                     for (int64_t k = 0; k < inner; ++k)
+                       po[base + k] = px[base + k] * g;
+                   }
+                 }
+               });
   }
   Tensor xv = x.value();
   Tensor gv = gamma.value();
@@ -259,6 +389,29 @@ Variable add_channel_replicated(const Variable& x, const Variable& beta) {
       for (int64_t k = 0; k < v.inner; ++k) po[base + k] = px[base + k] + bval;
     }
   }
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kAddChannelRep, {x.value(), beta.value()}, out,
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 const Tensor& x = *ins[0];
+                 const int64_t r = ins[1]->dim(0);
+                 const int64_t c = ins[1]->dim(1);
+                 const int64_t n = x.dim(0);
+                 const int64_t inner = x.numel() / (n * c);
+                 const int64_t rows = n / r;
+                 const float* px = x.data();
+                 const float* pb = ins[1]->data();
+                 float* po = o.data();
+                 for (int64_t i = 0; i < n; ++i) {
+                   const float* brow = pb + (i / rows) * c;
+                   for (int64_t ch = 0; ch < c; ++ch) {
+                     const float bval = brow[ch];
+                     const int64_t base = (i * c + ch) * inner;
+                     for (int64_t k = 0; k < inner; ++k)
+                       po[base + k] = px[base + k] + bval;
+                   }
+                 }
+               });
+  }
   return make_op_node(
       std::move(out), {x.node(), beta.node()},
       [v, r, rows](Node& n) {
@@ -284,6 +437,10 @@ Variable add_channel_replicated(const Variable& x, const Variable& beta) {
 
 Variable relu(const Variable& a) {
   Tensor out = ops::map(a.value(), [](float x) { return x > 0.0f ? x : 0.0f; });
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kRelu, {a.value()}, out,
+               unary_fn([](float x) { return x > 0.0f ? x : 0.0f; }));
+  }
   Tensor av = a.value();
   return make_op_node(
       std::move(out), {a.node()},
@@ -303,6 +460,10 @@ Variable relu(const Variable& a) {
 Variable sigmoid(const Variable& a) {
   Tensor out = ops::map(a.value(),
                         [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kSigmoid, {a.value()}, out,
+               unary_fn([](float x) { return 1.0f / (1.0f + std::exp(-x)); }));
+  }
   Tensor ov = out;  // handle shares storage; safe, value is never mutated
   return make_op_node(
       std::move(out), {a.node()},
@@ -321,6 +482,10 @@ Variable sigmoid(const Variable& a) {
 
 Variable tanh_op(const Variable& a) {
   Tensor out = ops::map(a.value(), [](float x) { return std::tanh(x); });
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kTanh, {a.value()}, out,
+               unary_fn([](float x) { return std::tanh(x); }));
+  }
   Tensor ov = out;
   return make_op_node(
       std::move(out), {a.node()},
@@ -340,6 +505,10 @@ Variable tanh_op(const Variable& a) {
 Variable sign_ste(const Variable& a, float ste_clip) {
   RIPPLE_CHECK(ste_clip > 0.0f) << "sign_ste clip must be positive";
   Tensor out = ops::sign(a.value());
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kSign, {a.value()}, out,
+               unary_fn([](float x) { return x < 0.0f ? -1.0f : 1.0f; }));
+  }
   Tensor av = a.value();
   return make_op_node(
       std::move(out), {a.node()},
@@ -359,6 +528,15 @@ Variable sign_ste(const Variable& a, float ste_clip) {
 Variable reshape(const Variable& a, Shape new_shape) {
   Shape old_shape = a.shape();
   Tensor out = a.value().reshaped(std::move(new_shape));
+  if (deploy::active_trace() != nullptr) {
+    // The graph op aliases storage; the plan gives the reshape its own
+    // buffer, so the executor copies (the compiler refuses aliased views).
+    trace_step(deploy::OpTag::kReshape, {a.value()}, out,
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 std::memcpy(o.data(), ins[0]->data(),
+                             sizeof(float) * static_cast<size_t>(o.numel()));
+               });
+  }
   return make_op_node(
       std::move(out), {a.node()},
       [old_shape](Node& n) {
@@ -371,6 +549,26 @@ Variable reshape(const Variable& a, Shape new_shape) {
 Variable concat_channels(const Variable& a, const Variable& b) {
   Tensor out = ops::concat_channels(a.value(), b.value());
   const int64_t ca = a.dim(1);
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kConcat, {a.value(), b.value()}, out,
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 const Tensor& a = *ins[0];
+                 const Tensor& b = *ins[1];
+                 const int64_t n = a.dim(0);
+                 const int64_t slab_a = a.numel() / n;
+                 const int64_t slab_b = b.numel() / n;
+                 const float* pa = a.data();
+                 const float* pb = b.data();
+                 float* po = o.data();
+                 for (int64_t i = 0; i < n; ++i) {
+                   float* row = po + i * (slab_a + slab_b);
+                   std::memcpy(row, pa + i * slab_a,
+                               sizeof(float) * static_cast<size_t>(slab_a));
+                   std::memcpy(row + slab_a, pb + i * slab_b,
+                               sizeof(float) * static_cast<size_t>(slab_b));
+                 }
+               });
+  }
   return make_op_node(
       std::move(out), {a.node(), b.node()},
       [ca](Node& n) {
@@ -394,6 +592,20 @@ Variable slice_cols(const Variable& a, int64_t begin, int64_t end) {
   float* po = out.data();
   for (int64_t i = 0; i < n; ++i)
     std::copy(pa + i * f + begin, pa + i * f + end, po + i * w);
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kSliceCols, {a.value()}, out,
+               [begin, end](const Tensor* const* ins, int, Tensor& o) {
+                 const Tensor& x = *ins[0];
+                 const int64_t n = x.dim(0);
+                 const int64_t f = x.dim(1);
+                 const int64_t w = end - begin;
+                 const float* pa = x.data();
+                 float* po = o.data();
+                 for (int64_t i = 0; i < n; ++i)
+                   std::copy(pa + i * f + begin, pa + i * f + end, po + i * w);
+               },
+               begin, end);
+  }
   return make_op_node(
       std::move(out), {a.node()},
       [n, f, begin, w](Node& nd) {
@@ -421,6 +633,21 @@ Variable select_time(const Variable& a, int64_t t) {
   for (int64_t i = 0; i < n; ++i)
     std::copy(pa + (i * steps + t) * f, pa + (i * steps + t + 1) * f,
               po + i * f);
+  if (deploy::active_trace() != nullptr) {
+    trace_step(deploy::OpTag::kSelectTime, {a.value()}, out,
+               [t](const Tensor* const* ins, int, Tensor& o) {
+                 const Tensor& x = *ins[0];
+                 const int64_t n = x.dim(0);
+                 const int64_t steps = x.dim(1);
+                 const int64_t f = x.dim(2);
+                 const float* pa = x.data();
+                 float* po = o.data();
+                 for (int64_t i = 0; i < n; ++i)
+                   std::copy(pa + (i * steps + t) * f,
+                             pa + (i * steps + t + 1) * f, po + i * f);
+               },
+               t);
+  }
   return make_op_node(
       std::move(out), {a.node()},
       [n, steps, f, t](Node& nd) {
@@ -469,6 +696,12 @@ Variable apply_mask(const Variable& x, const Tensor& mask, float keep_scale) {
       << " vs " << shape_to_string(x.value().shape());
   Tensor scaled_mask = ops::mul_scalar(mask, keep_scale);
   Tensor out = ops::mul(x.value(), scaled_mask);
+  if (deploy::active_trace() != nullptr) {
+    // The scaled mask is a deterministic draw of the session's mask stream,
+    // so it becomes a plan constant (exact under replayed seeds).
+    trace_step(deploy::OpTag::kApplyMask, {x.value(), scaled_mask}, out,
+               binary_fn([](float x, float y) { return x * y; }));
+  }
   return make_op_node(
       std::move(out), {x.node()},
       [scaled_mask](Node& n) {

@@ -10,12 +10,18 @@
 // instead of re-walking the output. The patch matrix is recomputed in the
 // backward pass instead of cached, trading a little compute for a much
 // smaller autograd graph footprint.
+//
+// The forward arithmetic lives in the `*_forward_into` kernels (lowered.h)
+// shared with the compiled execution plans; the graph ops here call the same
+// kernels and append a TraceStep when a recorder is active.
 #include <algorithm>
 #include <cstring>
 #include <limits>
 
+#include "autograd/lowered.h"
 #include "autograd/ops.h"
 #include "deploy/exec_backend.h"
+#include "deploy/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "tensor/ops.h"
@@ -23,13 +29,259 @@
 
 namespace ripple::autograd {
 
-namespace {
-
-// Samples fused into one GEMM, bounded so the shared cols buffer stays
-// cache/memory friendly (~8 MB).
 int64_t conv_group_size(int64_t n, int64_t ck, int64_t oa) {
   const int64_t budget = int64_t{1} << 21;  // floats
   return std::clamp<int64_t>(budget / std::max<int64_t>(1, ck * oa), 1, n);
+}
+
+void ConvWorkspace::ensure(int64_t ck, int64_t cout, int64_t group_oa) {
+  if (cols.numel() < ck * group_oa) cols = Tensor::empty({ck * group_oa});
+  if (stage.numel() < cout * group_oa) stage = Tensor::empty({cout * group_oa});
+}
+
+void conv2d_forward_into(const Tensor& x, const Tensor& w, const float* bias,
+                         int64_t stride, int64_t pad, ConvWorkspace& ws,
+                         Tensor& out) {
+  const int64_t n = x.dim(0);
+  const int64_t cin = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t wd = x.dim(3);
+  const int64_t cout = w.dim(0);
+  const int64_t kh = w.dim(2);
+  const int64_t kw = w.dim(3);
+  const int64_t oh = out.dim(2);
+  const int64_t ow = out.dim(3);
+  const int64_t ck = cin * kh * kw;
+  const int64_t oa = oh * ow;
+  const float* px = x.data();
+  float* po = out.data();
+  PackedGemmA pw_local;
+  const PackedGemmA& pw = pack_gemm_a_cached(cout, ck, w.data(), pw_local);
+  GemmEpilogue ep;
+  ep.row_bias = bias;
+  deploy::ExecutionBackend* backend = deploy::active_exec_backend();
+  const int64_t group = conv_group_size(n, ck, oa);
+  ws.ensure(ck, cout, group * oa);
+  for (int64_t g0 = 0; g0 < n; g0 += group) {
+    const int64_t gn = std::min(group, n - g0);
+    const int64_t ldc = gn * oa;
+    float* pc = ws.cols.data();
+    parallel_for(gn, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s)
+        im2col_2d_ld(px + (g0 + s) * cin * h * wd, cin, h, wd, kh, kw,
+                     stride, pad, pc + s * oa, ldc);
+    }, /*grain=*/1);
+    std::memset(ws.stage.data(), 0, sizeof(float) * cout * ldc);
+    // A serving session's execution backend may claim the lowered block
+    // (crossbar-mapped convs); otherwise the packed digital GEMM runs.
+    if (backend == nullptr ||
+        !backend->conv_cols(cout, ldc, ck, w.data(), pc, ws.stage.data(),
+                            ep.row_bias)) {
+      gemm_nn_prepacked(pw, ldc, pc, ws.stage.data(), ep);
+    }
+    // Scatter the [Cout, G·OA] GEMM block back to [N, Cout, OA] layout.
+    const float* ps = ws.stage.data();
+    parallel_for(gn, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s)
+        for (int64_t c = 0; c < cout; ++c)
+          std::memcpy(po + ((g0 + s) * cout + c) * oa,
+                      ps + c * ldc + s * oa, sizeof(float) * oa);
+    }, /*grain=*/1);
+  }
+}
+
+void conv1d_forward_into(const Tensor& x, const Tensor& w, const float* bias,
+                         int64_t stride, int64_t pad, ConvWorkspace& ws,
+                         Tensor& out) {
+  const int64_t n = x.dim(0);
+  const int64_t cin = x.dim(1);
+  const int64_t l = x.dim(2);
+  const int64_t cout = w.dim(0);
+  const int64_t k = w.dim(2);
+  const int64_t ol = out.dim(2);
+  const int64_t ck = cin * k;
+  const float* px = x.data();
+  float* po = out.data();
+  PackedGemmA pw_local;
+  const PackedGemmA& pw = pack_gemm_a_cached(cout, ck, w.data(), pw_local);
+  GemmEpilogue ep;
+  ep.row_bias = bias;
+  deploy::ExecutionBackend* backend = deploy::active_exec_backend();
+  const int64_t group = conv_group_size(n, ck, ol);
+  ws.ensure(ck, cout, group * ol);
+  for (int64_t g0 = 0; g0 < n; g0 += group) {
+    const int64_t gn = std::min(group, n - g0);
+    const int64_t ldc = gn * ol;
+    float* pc = ws.cols.data();
+    parallel_for(gn, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s)
+        im2col_1d_ld(px + (g0 + s) * cin * l, cin, l, k, stride, pad,
+                     pc + s * ol, ldc);
+    }, /*grain=*/1);
+    std::memset(ws.stage.data(), 0, sizeof(float) * cout * ldc);
+    if (backend == nullptr ||
+        !backend->conv_cols(cout, ldc, ck, w.data(), pc, ws.stage.data(),
+                            ep.row_bias)) {
+      gemm_nn_prepacked(pw, ldc, pc, ws.stage.data(), ep);
+    }
+    const float* ps = ws.stage.data();
+    parallel_for(gn, [&](int64_t s0, int64_t s1) {
+      for (int64_t s = s0; s < s1; ++s)
+        for (int64_t c = 0; c < cout; ++c)
+          std::memcpy(po + ((g0 + s) * cout + c) * ol,
+                      ps + c * ldc + s * ol, sizeof(float) * ol);
+    }, /*grain=*/1);
+  }
+}
+
+void maxpool2d_forward_into(const Tensor& x, int64_t kernel, int64_t stride,
+                            Tensor& out, int64_t* argmax) {
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const int64_t oh = out.dim(2);
+  const int64_t ow = out.dim(3);
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * h * w;
+    for (int64_t oy = 0; oy < oh; ++oy)
+      for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+        float best = -std::numeric_limits<float>::infinity();
+        int64_t best_idx = 0;
+        for (int64_t dy = 0; dy < kernel; ++dy)
+          for (int64_t dx = 0; dx < kernel; ++dx) {
+            const int64_t iy = oy * stride + dy;
+            const int64_t ix = ox * stride + dx;
+            if (iy >= h || ix >= w) continue;
+            const float v = plane[iy * w + ix];
+            if (v > best) {
+              best = v;
+              best_idx = i * h * w + iy * w + ix;
+            }
+          }
+        po[oi] = best;
+        if (argmax != nullptr) argmax[oi] = best_idx;
+      }
+  }
+}
+
+void maxpool1d_forward_into(const Tensor& x, int64_t kernel, int64_t stride,
+                            Tensor& out, int64_t* argmax) {
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t l = x.dim(2);
+  const int64_t ol = out.dim(2);
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* line = px + i * l;
+    for (int64_t ox = 0; ox < ol; ++ox, ++oi) {
+      float best = -std::numeric_limits<float>::infinity();
+      int64_t best_idx = 0;
+      for (int64_t dx = 0; dx < kernel; ++dx) {
+        const int64_t ix = ox * stride + dx;
+        if (ix >= l) continue;
+        if (line[ix] > best) {
+          best = line[ix];
+          best_idx = i * l + ix;
+        }
+      }
+      po[oi] = best;
+      if (argmax != nullptr) argmax[oi] = best_idx;
+    }
+  }
+}
+
+void avgpool2d_forward_into(const Tensor& x, int64_t kernel, int64_t stride,
+                            Tensor& out) {
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const int64_t oh = out.dim(2);
+  const int64_t ow = out.dim(3);
+  const float inv_area = 1.0f / static_cast<float>(kernel * kernel);
+  const float* px = x.data();
+  float* po = out.data();
+  int64_t oi = 0;
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * h * w;
+    for (int64_t oy = 0; oy < oh; ++oy)
+      for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
+        double acc = 0.0;
+        for (int64_t dy = 0; dy < kernel; ++dy)
+          for (int64_t dx = 0; dx < kernel; ++dx) {
+            const int64_t iy = oy * stride + dy;
+            const int64_t ix = ox * stride + dx;
+            if (iy < h && ix < w) acc += plane[iy * w + ix];
+          }
+        po[oi] = static_cast<float>(acc) * inv_area;
+      }
+  }
+}
+
+void global_avg_pool_into(const Tensor& x, int64_t spatial, Tensor& out) {
+  const int64_t rows = x.dim(0) * x.dim(1);
+  const float inv = 1.0f / static_cast<float>(spatial);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (int64_t k = 0; k < spatial; ++k) acc += px[i * spatial + k];
+    po[i] = static_cast<float>(acc) * inv;
+  }
+}
+
+void upsample_nearest2x_into(const Tensor& x, Tensor& out) {
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  const int64_t h = x.dim(2);
+  const int64_t w = x.dim(3);
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n * c; ++i) {
+    const float* plane = px + i * h * w;
+    float* oplane = po + i * h * w * 4;
+    for (int64_t y = 0; y < 2 * h; ++y)
+      for (int64_t x2 = 0; x2 < 2 * w; ++x2)
+        oplane[y * 2 * w + x2] = plane[(y / 2) * w + (x2 / 2)];
+  }
+}
+
+namespace {
+
+// Appends a structured conv TraceStep when a recorder is active.
+void trace_conv(deploy::OpTag tag, const Tensor& x, const Tensor& out,
+                const Tensor& w, const Tensor& b, bool has_bias,
+                int64_t stride, int64_t pad) {
+  deploy::TraceRecorder* tr = deploy::active_trace();
+  if (tr == nullptr) return;
+  deploy::TraceStep ts;
+  ts.tag = tag;
+  ts.inputs = {x};
+  ts.output = out;
+  ts.w = w;
+  if (has_bias) ts.b = b;
+  ts.i0 = stride;
+  ts.i1 = pad;
+  tr->record(std::move(ts));
+}
+
+// Appends a closure-carried TraceStep (pool / resample ops).
+void trace_fn(deploy::OpTag tag, const Tensor& x, const Tensor& out,
+              deploy::StepFn fn) {
+  deploy::TraceRecorder* tr = deploy::active_trace();
+  if (tr == nullptr) return;
+  deploy::TraceStep ts;
+  ts.tag = tag;
+  ts.inputs = {x};
+  ts.output = out;
+  ts.fn = std::move(fn);
+  tr->record(std::move(ts));
 }
 
 }  // namespace
@@ -60,44 +312,13 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
 
   Tensor out = Tensor::empty({n, cout, oh, ow});
   {
-    const float* px = x.value().data();
-    float* po = out.data();
-    PackedGemmA pw_local;
-    const PackedGemmA& pw = pack_gemm_a_cached(cout, ck, w.value().data(),
-                                               pw_local);
-    GemmEpilogue ep;
-    ep.row_bias = has_bias ? b.value().data() : nullptr;
-    deploy::ExecutionBackend* backend = deploy::active_exec_backend();
-    const int64_t group = conv_group_size(n, ck, oa);
-    Tensor cols = Tensor::empty({ck, group * oa});
-    Tensor stage = Tensor::empty({cout, group * oa});
-    for (int64_t g0 = 0; g0 < n; g0 += group) {
-      const int64_t gn = std::min(group, n - g0);
-      const int64_t ldc = gn * oa;
-      float* pc = cols.data();
-      parallel_for(gn, [&](int64_t s0, int64_t s1) {
-        for (int64_t s = s0; s < s1; ++s)
-          im2col_2d_ld(px + (g0 + s) * cin * h * wd, cin, h, wd, kh, kw,
-                       stride, pad, pc + s * oa, ldc);
-      }, /*grain=*/1);
-      std::memset(stage.data(), 0, sizeof(float) * cout * ldc);
-      // A serving session's execution backend may claim the lowered block
-      // (crossbar-mapped convs); otherwise the packed digital GEMM runs.
-      if (backend == nullptr ||
-          !backend->conv_cols(cout, ldc, ck, w.value().data(), pc,
-                              stage.data(), ep.row_bias)) {
-        gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
-      }
-      // Scatter the [Cout, G·OA] GEMM block back to [N, Cout, OA] layout.
-      const float* ps = stage.data();
-      parallel_for(gn, [&](int64_t s0, int64_t s1) {
-        for (int64_t s = s0; s < s1; ++s)
-          for (int64_t c = 0; c < cout; ++c)
-            std::memcpy(po + ((g0 + s) * cout + c) * oa,
-                        ps + c * ldc + s * oa, sizeof(float) * oa);
-      }, /*grain=*/1);
-    }
+    ConvWorkspace ws;
+    conv2d_forward_into(x.value(), w.value(),
+                        has_bias ? b.value().data() : nullptr, stride, pad, ws,
+                        out);
   }
+  trace_conv(deploy::OpTag::kConv2d, x.value(), out, w.value(),
+             has_bias ? b.value() : Tensor(), has_bias, stride, pad);
 
   Tensor xv = x.value();
   Tensor wv = w.value();
@@ -168,43 +389,13 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
 
   Tensor out = Tensor::empty({n, cout, ol});
   {
-    const float* px = x.value().data();
-    float* po = out.data();
-    PackedGemmA pw_local;
-    const PackedGemmA& pw = pack_gemm_a_cached(cout, ck, w.value().data(),
-                                               pw_local);
-    GemmEpilogue ep;
-    ep.row_bias = has_bias ? b.value().data() : nullptr;
-    deploy::ExecutionBackend* backend = deploy::active_exec_backend();
-    const int64_t group = conv_group_size(n, ck, ol);
-    Tensor cols = Tensor::empty({ck, group * ol});
-    Tensor stage = Tensor::empty({cout, group * ol});
-    for (int64_t g0 = 0; g0 < n; g0 += group) {
-      const int64_t gn = std::min(group, n - g0);
-      const int64_t ldc = gn * ol;
-      float* pc = cols.data();
-      parallel_for(gn, [&](int64_t s0, int64_t s1) {
-        for (int64_t s = s0; s < s1; ++s)
-          im2col_1d_ld(px + (g0 + s) * cin * l, cin, l, k, stride, pad,
-                       pc + s * ol, ldc);
-      }, /*grain=*/1);
-      std::memset(stage.data(), 0, sizeof(float) * cout * ldc);
-      // A serving session's execution backend may claim the lowered block
-      // (crossbar-mapped convs); otherwise the packed digital GEMM runs.
-      if (backend == nullptr ||
-          !backend->conv_cols(cout, ldc, ck, w.value().data(), pc,
-                              stage.data(), ep.row_bias)) {
-        gemm_nn_prepacked(pw, ldc, pc, stage.data(), ep);
-      }
-      const float* ps = stage.data();
-      parallel_for(gn, [&](int64_t s0, int64_t s1) {
-        for (int64_t s = s0; s < s1; ++s)
-          for (int64_t c = 0; c < cout; ++c)
-            std::memcpy(po + ((g0 + s) * cout + c) * ol,
-                        ps + c * ldc + s * ol, sizeof(float) * ol);
-      }, /*grain=*/1);
-    }
+    ConvWorkspace ws;
+    conv1d_forward_into(x.value(), w.value(),
+                        has_bias ? b.value().data() : nullptr, stride, pad, ws,
+                        out);
   }
+  trace_conv(deploy::OpTag::kConv1d, x.value(), out, w.value(),
+             has_bias ? b.value() : Tensor(), has_bias, stride, pad);
 
   Tensor xv = x.value();
   Tensor wv = w.value();
@@ -260,35 +451,14 @@ Variable maxpool2d(const Variable& x, int64_t kernel, int64_t stride) {
   const int64_t w = x.dim(3);
   const int64_t oh = conv_out_size(h, kernel, stride, /*pad=*/0);
   const int64_t ow = conv_out_size(w, kernel, stride, /*pad=*/0);
-  Tensor out({n, c, oh, ow});
+  Tensor out = Tensor::empty({n, c, oh, ow});
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<size_t>(out.numel()));
-  {
-    const float* px = x.value().data();
-    float* po = out.data();
-    int64_t oi = 0;
-    for (int64_t i = 0; i < n * c; ++i) {
-      const float* plane = px + i * h * w;
-      for (int64_t oy = 0; oy < oh; ++oy)
-        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_idx = 0;
-          for (int64_t dy = 0; dy < kernel; ++dy)
-            for (int64_t dx = 0; dx < kernel; ++dx) {
-              const int64_t iy = oy * stride + dy;
-              const int64_t ix = ox * stride + dx;
-              if (iy >= h || ix >= w) continue;
-              const float v = plane[iy * w + ix];
-              if (v > best) {
-                best = v;
-                best_idx = i * h * w + iy * w + ix;
-              }
-            }
-          po[oi] = best;
-          (*argmax)[static_cast<size_t>(oi)] = best_idx;
-        }
-    }
-  }
+  maxpool2d_forward_into(x.value(), kernel, stride, out, argmax->data());
+  trace_fn(deploy::OpTag::kMaxPool2d, x.value(), out,
+           [kernel, stride](const Tensor* const* ins, int, Tensor& o) {
+             maxpool2d_forward_into(*ins[0], kernel, stride, o, nullptr);
+           });
   Shape in_shape = x.shape();
   return make_op_node(
       std::move(out), {x.node()},
@@ -310,31 +480,14 @@ Variable maxpool1d(const Variable& x, int64_t kernel, int64_t stride) {
   const int64_t c = x.dim(1);
   const int64_t l = x.dim(2);
   const int64_t ol = conv_out_size(l, kernel, stride, /*pad=*/0);
-  Tensor out({n, c, ol});
+  Tensor out = Tensor::empty({n, c, ol});
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<size_t>(out.numel()));
-  {
-    const float* px = x.value().data();
-    float* po = out.data();
-    int64_t oi = 0;
-    for (int64_t i = 0; i < n * c; ++i) {
-      const float* line = px + i * l;
-      for (int64_t ox = 0; ox < ol; ++ox, ++oi) {
-        float best = -std::numeric_limits<float>::infinity();
-        int64_t best_idx = 0;
-        for (int64_t dx = 0; dx < kernel; ++dx) {
-          const int64_t ix = ox * stride + dx;
-          if (ix >= l) continue;
-          if (line[ix] > best) {
-            best = line[ix];
-            best_idx = i * l + ix;
-          }
-        }
-        po[oi] = best;
-        (*argmax)[static_cast<size_t>(oi)] = best_idx;
-      }
-    }
-  }
+  maxpool1d_forward_into(x.value(), kernel, stride, out, argmax->data());
+  trace_fn(deploy::OpTag::kMaxPool1d, x.value(), out,
+           [kernel, stride](const Tensor* const* ins, int, Tensor& o) {
+             maxpool1d_forward_into(*ins[0], kernel, stride, o, nullptr);
+           });
   Shape in_shape = x.shape();
   return make_op_node(
       std::move(out), {x.node()},
@@ -359,26 +512,12 @@ Variable avgpool2d(const Variable& x, int64_t kernel, int64_t stride) {
   const int64_t oh = conv_out_size(h, kernel, stride, /*pad=*/0);
   const int64_t ow = conv_out_size(w, kernel, stride, /*pad=*/0);
   const float inv_area = 1.0f / static_cast<float>(kernel * kernel);
-  Tensor out({n, c, oh, ow});
-  {
-    const float* px = x.value().data();
-    float* po = out.data();
-    int64_t oi = 0;
-    for (int64_t i = 0; i < n * c; ++i) {
-      const float* plane = px + i * h * w;
-      for (int64_t oy = 0; oy < oh; ++oy)
-        for (int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          double acc = 0.0;
-          for (int64_t dy = 0; dy < kernel; ++dy)
-            for (int64_t dx = 0; dx < kernel; ++dx) {
-              const int64_t iy = oy * stride + dy;
-              const int64_t ix = ox * stride + dx;
-              if (iy < h && ix < w) acc += plane[iy * w + ix];
-            }
-          po[oi] = static_cast<float>(acc) * inv_area;
-        }
-    }
-  }
+  Tensor out = Tensor::empty({n, c, oh, ow});
+  avgpool2d_forward_into(x.value(), kernel, stride, out);
+  trace_fn(deploy::OpTag::kAvgPool2d, x.value(), out,
+           [kernel, stride](const Tensor* const* ins, int, Tensor& o) {
+             avgpool2d_forward_into(*ins[0], kernel, stride, o);
+           });
   Shape in_shape = x.shape();
   return make_op_node(
       std::move(out), {x.node()},
@@ -409,18 +548,17 @@ Variable avgpool2d(const Variable& x, int64_t kernel, int64_t stride) {
 namespace {
 
 Variable global_avg_pool_impl(const Variable& x, int64_t spatial,
-                              const char* name) {
+                              deploy::OpTag tag, const char* name) {
   const int64_t n = x.dim(0);
   const int64_t c = x.dim(1);
   const float inv = 1.0f / static_cast<float>(spatial);
-  Tensor out({n, c});
-  const float* px = x.value().data();
-  float* po = out.data();
-  for (int64_t i = 0; i < n * c; ++i) {
-    double acc = 0.0;
-    for (int64_t k = 0; k < spatial; ++k) acc += px[i * spatial + k];
-    po[i] = static_cast<float>(acc) * inv;
-  }
+  Tensor out = Tensor::empty({n, c});
+  global_avg_pool_into(x.value(), spatial, out);
+  trace_fn(tag, x.value(), out,
+           [](const Tensor* const* ins, int, Tensor& o) {
+             const Tensor& in = *ins[0];
+             global_avg_pool_into(in, in.numel() / (in.dim(0) * in.dim(1)), o);
+           });
   Shape in_shape = x.shape();
   return make_op_node(
       std::move(out), {x.node()},
@@ -442,12 +580,14 @@ Variable global_avg_pool_impl(const Variable& x, int64_t spatial,
 
 Variable global_avg_pool2d(const Variable& x) {
   RIPPLE_CHECK(x.value().rank() == 4) << "global_avg_pool2d needs [N,C,H,W]";
-  return global_avg_pool_impl(x, x.dim(2) * x.dim(3), "global_avg_pool2d");
+  return global_avg_pool_impl(x, x.dim(2) * x.dim(3), deploy::OpTag::kGap2d,
+                              "global_avg_pool2d");
 }
 
 Variable global_avg_pool1d(const Variable& x) {
   RIPPLE_CHECK(x.value().rank() == 3) << "global_avg_pool1d needs [N,C,L]";
-  return global_avg_pool_impl(x, x.dim(2), "global_avg_pool1d");
+  return global_avg_pool_impl(x, x.dim(2), deploy::OpTag::kGap1d,
+                              "global_avg_pool1d");
 }
 
 Variable upsample_nearest2x(const Variable& x) {
@@ -456,18 +596,12 @@ Variable upsample_nearest2x(const Variable& x) {
   const int64_t c = x.dim(1);
   const int64_t h = x.dim(2);
   const int64_t w = x.dim(3);
-  Tensor out({n, c, h * 2, w * 2});
-  {
-    const float* px = x.value().data();
-    float* po = out.data();
-    for (int64_t i = 0; i < n * c; ++i) {
-      const float* plane = px + i * h * w;
-      float* oplane = po + i * h * w * 4;
-      for (int64_t y = 0; y < 2 * h; ++y)
-        for (int64_t x2 = 0; x2 < 2 * w; ++x2)
-          oplane[y * 2 * w + x2] = plane[(y / 2) * w + (x2 / 2)];
-    }
-  }
+  Tensor out = Tensor::empty({n, c, h * 2, w * 2});
+  upsample_nearest2x_into(x.value(), out);
+  trace_fn(deploy::OpTag::kUpsample2x, x.value(), out,
+           [](const Tensor* const* ins, int, Tensor& o) {
+             upsample_nearest2x_into(*ins[0], o);
+           });
   Shape in_shape = x.shape();
   return make_op_node(
       std::move(out), {x.node()},

@@ -1,6 +1,10 @@
 // Dense linear-algebra ops: matmul and the fused linear layer op.
+#include <cstring>
+
+#include "autograd/lowered.h"
 #include "autograd/ops.h"
 #include "deploy/exec_backend.h"
+#include "deploy/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -32,6 +36,34 @@ Variable matmul(const Variable& a, const Variable& b) {
       "matmul");
 }
 
+void linear_forward_into(const Tensor& x, const Tensor& w, const float* bias,
+                         Tensor& out) {
+  const int64_t n = x.dim(0);
+  const int64_t fin = x.dim(1);
+  const int64_t fout = w.dim(0);
+  // The GEMM kernels accumulate into C; start from zero like the graph op's
+  // zero-filled output tensor always did.
+  std::memset(out.data(), 0, sizeof(float) * static_cast<size_t>(out.numel()));
+  // out = x · wᵀ + b, bias fused into the GEMM epilogue (per-column: the
+  // feature axis of the [N, Fout] output).
+  GemmEpilogue ep;
+  ep.col_bias = bias;
+  deploy::ExecutionBackend* backend = deploy::active_exec_backend();
+  if (backend != nullptr && backend->linear(x, w, bias, out)) {
+    // A serving session routed this layer to its execution substrate
+    // (e.g. the IMC crossbar); `out` holds that substrate's result.
+  } else if (active_pack_cache() != nullptr) {
+    // Serving path: the session's frozen cache holds the weight panels, so
+    // coalesced LSTM/MLP batches stop re-packing B every call. Identical
+    // arithmetic to the gemm_nt_ex path (packing is pure data movement).
+    PackedGemmB local;
+    const PackedGemmB& pw = pack_gemm_b_nt_cached(fout, fin, w.data(), local);
+    gemm_nt_prepacked(n, x.data(), pw, out.data(), ep);
+  } else {
+    gemm_nt_ex(n, fout, fin, x.data(), w.data(), out.data(), ep);
+  }
+}
+
 Variable linear(const Variable& x, const Variable& w, const Variable& b) {
   RIPPLE_CHECK(x.value().rank() == 2) << "linear input must be [N,Fin], got "
                                       << shape_to_string(x.shape());
@@ -48,28 +80,18 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
         << "linear: bias shape " << shape_to_string(b.shape());
   }
 
-  Tensor out({n, fout});
-  // out = x · wᵀ + b, bias fused into the GEMM epilogue (per-column: the
-  // feature axis of the [N, Fout] output).
-  GemmEpilogue ep;
-  ep.col_bias = has_bias ? b.value().data() : nullptr;
-  deploy::ExecutionBackend* backend = deploy::active_exec_backend();
-  if (backend != nullptr &&
-      backend->linear(x.value(), w.value(),
-                      has_bias ? b.value().data() : nullptr, out)) {
-    // A serving session routed this layer to its execution substrate
-    // (e.g. the IMC crossbar); `out` holds that substrate's result.
-  } else if (active_pack_cache() != nullptr) {
-    // Serving path: the session's frozen cache holds the weight panels, so
-    // coalesced LSTM/MLP batches stop re-packing B every call. Identical
-    // arithmetic to the gemm_nt_ex path (packing is pure data movement).
-    PackedGemmB local;
-    const PackedGemmB& pw =
-        pack_gemm_b_nt_cached(fout, fin, w.value().data(), local);
-    gemm_nt_prepacked(n, x.value().data(), pw, out.data(), ep);
-  } else {
-    gemm_nt_ex(n, fout, fin, x.value().data(), w.value().data(), out.data(),
-               ep);
+  Tensor out = Tensor::empty({n, fout});
+  linear_forward_into(x.value(), w.value(),
+                      has_bias ? b.value().data() : nullptr, out);
+
+  if (deploy::TraceRecorder* tr = deploy::active_trace()) {
+    deploy::TraceStep ts;
+    ts.tag = deploy::OpTag::kLinear;
+    ts.inputs = {x.value()};
+    ts.output = out;
+    ts.w = w.value();
+    if (has_bias) ts.b = b.value();
+    tr->record(std::move(ts));
   }
 
   Tensor xv = x.value();

@@ -5,7 +5,9 @@
 // for conventional norms, *before* for the paper's inverted normalization).
 #include <cmath>
 
+#include "autograd/lowered.h"
 #include "autograd/ops.h"
+#include "deploy/trace.h"
 #include "tensor/ops.h"
 
 namespace ripple::autograd {
@@ -30,6 +32,34 @@ void standardize_backward_slab(const float* dy, const float* xhat, float s,
 
 }  // namespace
 
+void group_normalize_into(const Tensor& x, int64_t groups, float eps,
+                          Tensor& out, float* inv_std) {
+  const int64_t n = x.dim(0);
+  const int64_t c = x.dim(1);
+  int64_t inner = 1;
+  for (int d = 2; d < x.rank(); ++d) inner *= x.dim(d);
+  const int64_t m = (c / groups) * inner;  // slab size
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t slab = 0; slab < n * groups; ++slab) {
+    const float* src = px + slab * m;
+    float* dst = po + slab * m;
+    double sum = 0.0;
+    for (int64_t i = 0; i < m; ++i) sum += src[i];
+    const double mean = sum / static_cast<double>(m);
+    double var = 0.0;
+    for (int64_t i = 0; i < m; ++i) {
+      const double d = src[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(m);
+    const float s = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    if (inv_std != nullptr) inv_std[slab] = s;
+    for (int64_t i = 0; i < m; ++i)
+      dst[i] = (src[i] - static_cast<float>(mean)) * s;
+  }
+}
+
 Variable group_normalize(const Variable& x, int64_t groups, float eps) {
   const Tensor& xv = x.value();
   RIPPLE_CHECK(xv.rank() >= 2) << "group_normalize needs rank >= 2, got "
@@ -46,29 +76,20 @@ Variable group_normalize(const Variable& x, int64_t groups, float eps) {
   RIPPLE_CHECK(m > 1) << "group_normalize slab has a single element; "
                          "statistics are degenerate";
 
-  Tensor out(xv.shape());
+  Tensor out = Tensor::empty(xv.shape());
   Tensor inv_std({n * groups});
-  {
-    const float* px = xv.data();
-    float* po = out.data();
-    float* ps = inv_std.data();
-    for (int64_t slab = 0; slab < n * groups; ++slab) {
-      const float* src = px + slab * m;
-      float* dst = po + slab * m;
-      double sum = 0.0;
-      for (int64_t i = 0; i < m; ++i) sum += src[i];
-      const double mean = sum / static_cast<double>(m);
-      double var = 0.0;
-      for (int64_t i = 0; i < m; ++i) {
-        const double d = src[i] - mean;
-        var += d * d;
-      }
-      var /= static_cast<double>(m);
-      const float s = 1.0f / std::sqrt(static_cast<float>(var) + eps);
-      ps[slab] = s;
-      for (int64_t i = 0; i < m; ++i)
-        dst[i] = (src[i] - static_cast<float>(mean)) * s;
-    }
+  group_normalize_into(xv, groups, eps, out, inv_std.data());
+
+  if (deploy::active_trace() != nullptr) {
+    deploy::TraceStep ts;
+    ts.tag = deploy::OpTag::kGroupNorm;
+    ts.inputs = {xv};
+    ts.output = out;
+    ts.i0 = groups;
+    ts.fn = [groups, eps](const Tensor* const* ins, int, Tensor& o) {
+      group_normalize_into(*ins[0], groups, eps, o, nullptr);
+    };
+    deploy::active_trace()->record(std::move(ts));
   }
 
   Tensor xhat = out;  // share storage; forward value is never mutated
@@ -122,6 +143,34 @@ Variable batch_normalize(const Variable& x, Tensor& running_mean,
         for (int64_t k = 0; k < inner; ++k)
           po[base + k] = (px[base + k] - pm[ch]) * psc[ch];
       }
+    if (deploy::active_trace() != nullptr) {
+      // w/b carry (μ, 1/σ) so the compiler can fuse a following affine
+      // into one kBnAffine sweep; the closure is the unfused fallback.
+      deploy::TraceStep ts;
+      ts.tag = deploy::OpTag::kBatchNormEval;
+      ts.inputs = {xv};
+      ts.output = out;
+      ts.w = running_mean;
+      ts.b = scale;
+      Tensor mean = running_mean;
+      ts.fn = [mean, scale](const Tensor* const* ins, int, Tensor& o) {
+        const Tensor& x = *ins[0];
+        const int64_t n = x.dim(0);
+        const int64_t c = mean.dim(0);
+        const int64_t inner = x.numel() / (n * c);
+        const float* px = x.data();
+        const float* pm = mean.data();
+        const float* psc = scale.data();
+        float* po = o.data();
+        for (int64_t i = 0; i < n; ++i)
+          for (int64_t ch = 0; ch < c; ++ch) {
+            const int64_t base = (i * c + ch) * inner;
+            for (int64_t k = 0; k < inner; ++k)
+              po[base + k] = (px[base + k] - pm[ch]) * psc[ch];
+          }
+      };
+      deploy::active_trace()->record(std::move(ts));
+    }
     return make_op_node(
         std::move(out), {x.node()},
         [scale, n, c, inner](Node& nd) {
@@ -143,6 +192,11 @@ Variable batch_normalize(const Variable& x, Tensor& running_mean,
 
   RIPPLE_CHECK(m > 1) << "batch_normalize needs more than one element per "
                          "channel in training mode";
+  if (deploy::TraceRecorder* tr = deploy::active_trace()) {
+    // Training-mode statistics depend on the whole batch and mutate the
+    // running buffers — not a compilable serving forward.
+    tr->abort("training-mode batch_normalize");
+  }
   Tensor inv_std({c});
   {
     float* prm = running_mean.data();

@@ -21,6 +21,19 @@
 // InvertedNorm consumes s_i directly (replica order = draw order, §III-B);
 // element-wise dropout derives one s_r sub-stream per folded replica so the
 // batched and serial paths sample bit-identical masks.
+//
+// Determinism contract (what plan compilation relies on): every stochastic
+// draw in a serving forward is a pure function of
+//   (session seed, stream slot, invocation index, replica, chunk offset)
+// — no wall clock, no global RNG, no cross-request state. Two passes under
+// the same context parameters therefore produce bit-identical masks, noise
+// tensors and quantizer draws, which is what lets deploy/plan.h bake the
+// draws of one traced forward into plan *constants* and replay them
+// exactly for every later request on that (shape, chunk offset) key. Any
+// new source of serving randomness MUST derive from this contract (take a
+// slot, consult the active context); sampling outside it would make traced
+// forwards unrepeatable and silently disable plan compilation's
+// verification gate.
 #pragma once
 
 #include <cstddef>

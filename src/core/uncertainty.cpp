@@ -69,6 +69,21 @@ std::vector<double> per_sample_entropy(const Tensor& probs) {
   return out;
 }
 
+void per_sample_entropy_into(const Tensor& probs, float* out) {
+  RIPPLE_CHECK(probs.rank() == 2) << "per_sample_entropy expects [N,C]";
+  const int64_t n = probs.dim(0);
+  const int64_t c = probs.dim(1);
+  const float* p = probs.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double h = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      const double v = std::max(kProbFloor, static_cast<double>(p[i * c + j]));
+      h -= v * std::log(v);
+    }
+    out[i] = static_cast<float>(h);
+  }
+}
+
 double auroc(const std::vector<double>& id_scores,
              const std::vector<double>& ood_scores) {
   RIPPLE_CHECK(!id_scores.empty() && !ood_scores.empty())

@@ -28,6 +28,11 @@ std::vector<double> per_sample_confidence_nll(const Tensor& probs);
 /// Predictive entropy per sample: −Σ_c p log p.
 std::vector<double> per_sample_entropy(const Tensor& probs);
 
+/// Allocation-free form: writes the N entropies (accumulated in double,
+/// stored as float — same rounding as casting per_sample_entropy's result)
+/// into caller-owned `out`, which must hold probs.dim(0) floats.
+void per_sample_entropy_into(const Tensor& probs, float* out);
+
 struct OodDetection {
   double threshold = 0.0;       // decision threshold (mean ID score)
   double detection_rate = 0.0;  // fraction of OOD samples flagged

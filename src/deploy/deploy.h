@@ -43,4 +43,15 @@ struct DeployOptions {
   CrossbarBackendOptions crossbar;
 };
 
+/// Ahead-of-traffic plan compilation (deploy/plan.h): traces one graph
+/// forward for `input_shape` (batch dim included), compiles it into a
+/// fused zero-allocation ExecutionPlan, verifies the plan bit-exact
+/// against the graph oracle, and installs it in the session's plan cache
+/// — the first matching request then serves from the plan instead of
+/// paying the compile. Thin wrapper over session.precompile(): returns
+/// the same PlanInfo (stats when compiled, the fallback reason when the
+/// session will keep serving that shape from the graph).
+serve::PlanInfo compile(const serve::InferenceSession& session,
+                        const Shape& input_shape);
+
 }  // namespace ripple::deploy

@@ -40,3 +40,12 @@ std::unique_ptr<InferenceSession> InferenceSession::open(
 }
 
 }  // namespace ripple::serve
+
+namespace ripple::deploy {
+
+serve::PlanInfo compile(const serve::InferenceSession& session,
+                        const Shape& input_shape) {
+  return session.precompile(input_shape);
+}
+
+}  // namespace ripple::deploy

@@ -2,11 +2,33 @@
 
 #include <cmath>
 
+#include "deploy/trace.h"
 #include "tensor/ops.h"
 
 namespace ripple::quant {
 
 namespace ag = ripple::autograd;
+namespace {
+
+// Records a unary quantizer step for plan compilation; called only after
+// the caller's active_trace() null check.
+template <typename F>
+void trace_unary(deploy::OpTag tag, const Tensor& x, const Tensor& out,
+                 F op) {
+  deploy::TraceStep ts;
+  ts.tag = tag;
+  ts.inputs = {x};
+  ts.output = out;
+  ts.fn = [op](const Tensor* const* ins, int, Tensor& o) {
+    const float* pa = ins[0]->data();
+    float* po = o.data();
+    const int64_t n = o.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = op(pa[i]);
+  };
+  deploy::active_trace()->record(std::move(ts));
+}
+
+}  // namespace
 
 ag::Variable binarize_ste(const ag::Variable& w, float alpha) {
   RIPPLE_CHECK(alpha > 0.0f) << "binarize_ste alpha must be positive, got "
@@ -37,6 +59,13 @@ ag::Variable fake_quant_ste(const ag::Variable& x, float scale, int bits) {
     const float q = std::round(v / scale);
     return std::clamp(q, -qmax, qmax) * scale;
   });
+  if (deploy::active_trace() != nullptr) {
+    trace_unary(deploy::OpTag::kFakeQuant, x.value(), out,
+                [scale, qmax](float v) {
+                  const float q = std::round(v / scale);
+                  return std::clamp(q, -qmax, qmax) * scale;
+                });
+  }
   Tensor xv = x.value();
   return ag::make_op_node(
       std::move(out), {x.node()},
@@ -65,6 +94,14 @@ ag::Variable pact_quant(const ag::Variable& x, const ag::Variable& alpha,
     const float y = std::clamp(v, 0.0f, a);
     return std::round(y / delta) * delta;
   });
+  if (deploy::active_trace() != nullptr) {
+    // α is frozen in eval serving, so baking its value is exact; a weight
+    // update invalidates the session's plans with the rest of the cache.
+    trace_unary(deploy::OpTag::kPact, x.value(), out, [a, delta](float v) {
+      const float y = std::clamp(v, 0.0f, a);
+      return std::round(y / delta) * delta;
+    });
+  }
   Tensor xv = x.value();
   return ag::make_op_node(
       std::move(out), {x.node(), alpha.node()},

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -69,6 +70,21 @@ void render_histogram(std::ostringstream& out, const std::string& name,
 }
 
 }  // namespace
+
+bool write_all(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, p + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not dead: retry
+      return false;                  // EPIPE/ECONNRESET/...: peer is gone
+    }
+    if (n == 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
 
 MetricsExporter::MetricsExporter(const ModelServer& server)
     : server_(server) {}
@@ -235,12 +251,11 @@ void MetricsExporter::listener_loop() {
              << "Connection: close\r\n\r\n"
              << body;
     const std::string wire = response.str();
-    size_t off = 0;
-    while (off < wire.size()) {
-      const ssize_t n = ::write(conn, wire.data() + off, wire.size() - off);
-      if (n <= 0) break;
-      off += static_cast<size_t>(n);
-    }
+    // A scraper that disconnects mid-response must not take the server
+    // with it: bare ::write would raise SIGPIPE (fatal by default) and
+    // treated EINTR as the peer closing. write_all sends MSG_NOSIGNAL
+    // and retries interrupts; a truly gone peer just drops this scrape.
+    (void)write_all(conn, wire.data(), wire.size());
     ::close(conn);
   }
 }

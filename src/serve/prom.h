@@ -23,9 +23,18 @@
 #include <string>
 #include <thread>
 
+#include <cstddef>
+
 namespace ripple::serve {
 
 class ModelServer;
+
+/// Writes all `size` bytes to the socket `fd`, retrying short writes and
+/// EINTR. Sends with MSG_NOSIGNAL so a scraper that closed its end mid-
+/// response yields EPIPE instead of delivering SIGPIPE (which would kill
+/// the process — the exporter must never let a client own its fate).
+/// Returns false once the peer is gone or the socket errors terminally.
+bool write_all(int fd, const void* data, size_t size);
 
 class MetricsExporter {
  public:

@@ -9,9 +9,11 @@
 #include "core/uncertainty.h"
 #include "data/dataset.h"
 #include "deploy/exec_backend.h"
+#include "deploy/trace.h"
 #include "fault/mc_batch.h"
 #include "models/variants.h"
 #include "nn/dropout.h"
+#include "nn/noise.h"
 #include "tensor/ops.h"
 
 namespace ripple::serve {
@@ -26,7 +28,94 @@ Tensor entropy_tensor(const Tensor& mean_probs) {
   return out;
 }
 
+/// True when t already matches ref's shape with leading dim `rows`; the
+/// steady-state predict_into path must not construct a Shape (that would
+/// allocate), so shapes are compared dim-by-dim.
+bool matches_rows(const Tensor& t, const Tensor& ref, int64_t rows) {
+  if (!t.defined() || t.rank() != ref.rank() || t.dim(0) != rows) return false;
+  for (int d = 1; d < ref.rank(); ++d)
+    if (t.dim(d) != ref.dim(d)) return false;
+  return true;
+}
+
+/// (Re)allocates t as [rows, ref.dims(1..)] only on shape mismatch.
+void ensure_like(Tensor& t, const Tensor& ref, int64_t rows) {
+  if (matches_rows(t, ref, rows)) return;
+  Shape s = ref.shape();
+  s[0] = rows;
+  t = Tensor::empty(std::move(s));
+}
+
 }  // namespace
+
+/// One leased execution context: the plan's buffer arena plus aggregation
+/// staging, reused across requests so the steady state never allocates.
+struct PlanPooled {
+  std::unique_ptr<deploy::PlanContext> ctx;
+  Tensor scratch;  // aggregation staging (softmax / sigmoid probs)
+  const deploy::ExecutionPlan* plan = nullptr;
+};
+
+struct PlanCacheEntry {
+  static constexpr int kBuilding = 0;
+  static constexpr int kReady = 1;
+  static constexpr int kFailed = 2;
+
+  Shape dims;
+  int64_t chunk_offset = 0;
+  /// Serializes compilation; predict threads that fail the try_lock
+  /// serve from the graph instead of queueing behind the build.
+  std::mutex build_mutex;
+  std::atomic<int> state{kBuilding};
+  /// Noise-config fingerprint the plan was compiled under; plans bake
+  /// stochastic draws as constants, so a mismatch forces a rebuild.
+  uint64_t fingerprint = 0;
+  /// Guards plan, pool and fallback_reason.
+  std::mutex pool_mutex;
+  std::shared_ptr<const deploy::ExecutionPlan> plan;
+  std::vector<std::unique_ptr<PlanPooled>> pool;
+  std::string fallback_reason;
+};
+
+/// Compiled plans keyed by (input dims, chunk offset). Entries are
+/// shared_ptrs so an in-flight execute outlives
+/// invalidate_packed_weights() clearing the cache; a pooled context
+/// records the plan it belongs to and is discarded on release if the
+/// entry was rebuilt meanwhile.
+struct InferenceSession::PlanCache {
+  static constexpr size_t kMaxPlans = 8;
+  using EntryPtr = std::shared_ptr<PlanCacheEntry>;
+
+  std::shared_mutex mutex;
+  std::vector<EntryPtr> entries;
+
+  EntryPtr find(const Shape& dims, int64_t chunk_offset) {
+    std::shared_lock<std::shared_mutex> lock(mutex);
+    for (const EntryPtr& e : entries)
+      if (e->chunk_offset == chunk_offset && e->dims == dims) return e;
+    return nullptr;
+  }
+
+  /// nullptr when the cache is full of other keys — those shapes serve
+  /// from the graph path permanently rather than thrash compilations.
+  EntryPtr find_or_create(const Shape& dims, int64_t chunk_offset) {
+    if (EntryPtr e = find(dims, chunk_offset)) return e;
+    std::unique_lock<std::shared_mutex> lock(mutex);
+    for (const EntryPtr& e : entries)
+      if (e->chunk_offset == chunk_offset && e->dims == dims) return e;
+    if (entries.size() >= kMaxPlans) return nullptr;
+    EntryPtr e = std::make_shared<PlanCacheEntry>();
+    e->dims = dims;
+    e->chunk_offset = chunk_offset;
+    entries.push_back(e);
+    return e;
+  }
+
+  void clear() {
+    std::unique_lock<std::shared_mutex> lock(mutex);
+    entries.clear();
+  }
+};
 
 const char* task_kind_name(TaskKind kind) {
   switch (kind) {
@@ -84,6 +173,7 @@ InferenceSession::InferenceSession(models::TaskModel& model,
   // so they serve concurrently and deterministically like everything else.
   if (model_.noise() != nullptr) model_.noise()->stream_slot = slot++;
   stream_slots_ = static_cast<size_t>(slot);
+  plans_ = std::make_unique<PlanCache>();
 }
 
 InferenceSession::~InferenceSession() {
@@ -138,6 +228,11 @@ double InferenceSession::modeled_analog_us_per_row() const {
 }
 
 void InferenceSession::invalidate_packed_weights() const {
+  // Plans bake weight-derived constants (folded steps, fused epilogues),
+  // so in-place weight mutation invalidates them with the packed panels.
+  // In-flight executes keep their entry alive via shared_ptr and finish on
+  // the old weights — the same torn-read caveat as the graph path.
+  plans_->clear();
   std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   pack_cache_.clear();
   // The backend's per-layer state (programmed crossbars) is keyed the same
@@ -169,12 +264,192 @@ Tensor InferenceSession::run_chunk(const Tensor& xc,
     }
     return stacked;
   }
+  if (options_.compile && model_.deployed()) {
+    Tensor out;
+    if (run_chunk_planned(xc, chunk_offset, &out)) return out;
+  }
+  return run_chunk_graph(xc, chunk_offset);
+}
+
+Tensor InferenceSession::run_chunk_graph(const Tensor& xc,
+                                         int64_t chunk_offset) const {
+  const int64_t t = samples_;
   core::McStreamContext ctx(options_.seed, t, /*replica_offset=*/0,
                             stream_slots_);
   ctx.set_chunk_offset(chunk_offset);
   core::McStreamScope scope(ctx);
-  return forward_cached(t > 1 ? fault::replicate_batch(xc, static_cast<int>(t))
-                              : xc);
+  Tensor stacked =
+      t > 1 ? fault::replicate_batch(xc, static_cast<int>(t)) : xc;
+  if (deploy::TraceRecorder* tr = deploy::active_trace())
+    tr->set_input(stacked);
+  return forward_cached(stacked);
+}
+
+uint64_t InferenceSession::noise_fingerprint() const {
+  const nn::ActivationNoiseConfig* cfg = model_.noise().get();
+  if (cfg == nullptr || !cfg->enabled) return 1;
+  const auto mix = [](uint64_t h, uint64_t v) {
+    return (h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2)));
+  };
+  const auto bits = [](float f) {
+    uint32_t u = 0;
+    std::memcpy(&u, &f, sizeof(u));
+    return static_cast<uint64_t>(u);
+  };
+  uint64_t h = 2;
+  h = mix(h, bits(cfg->additive_std));
+  h = mix(h, bits(cfg->multiplicative_std));
+  h = mix(h, bits(cfg->uniform_range));
+  h = mix(h, static_cast<uint64_t>(cfg->stream_slot));
+  h = mix(h, cfg->stream_salt);
+  return h;
+}
+
+namespace {
+
+/// Acquires a pooled context for `plan`, making a fresh one when the pool
+/// is dry (transient: only while concurrency exceeds the pool size).
+std::unique_ptr<PlanPooled> acquire_pooled(
+    PlanCacheEntry& e,
+    const std::shared_ptr<const deploy::ExecutionPlan>& plan) {
+  std::unique_ptr<PlanPooled> pooled;
+  {
+    std::lock_guard<std::mutex> lg(e.pool_mutex);
+    if (!e.pool.empty()) {
+      pooled = std::move(e.pool.back());
+      e.pool.pop_back();
+    }
+  }
+  if (pooled == nullptr) {
+    pooled = std::make_unique<PlanPooled>();
+    pooled->ctx = plan->make_context();
+    pooled->plan = plan.get();
+  }
+  return pooled;
+}
+
+void release_pooled(PlanCacheEntry& e, std::unique_ptr<PlanPooled> pooled) {
+  std::lock_guard<std::mutex> lg(e.pool_mutex);
+  // Discard contexts from a plan the entry has since been rebuilt away
+  // from; their arenas are sized for the old plan.
+  if (pooled->plan == e.plan.get()) e.pool.push_back(std::move(pooled));
+}
+
+}  // namespace
+
+bool InferenceSession::run_chunk_planned(const Tensor& xc,
+                                         int64_t chunk_offset,
+                                         Tensor* out) const {
+  PlanCache::EntryPtr e = plans_->find_or_create(xc.shape(), chunk_offset);
+  if (e == nullptr) return false;
+  const uint64_t fp = noise_fingerprint();
+
+  const auto execute = [&]() -> bool {
+    std::shared_ptr<const deploy::ExecutionPlan> plan;
+    {
+      std::lock_guard<std::mutex> lg(e->pool_mutex);
+      plan = e->plan;
+    }
+    if (plan == nullptr) return false;
+    auto pooled = acquire_pooled(*e, plan);
+    bool ok = false;
+    {
+      deploy::ExecBackendScope backend_scope(backend_.get());
+      std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+      // Invalidated mid-flight: the graph path re-warms the cache first.
+      if (pack_cache_.frozen()) {
+        PackCacheScope cache_scope(&pack_cache_);
+        *out = plan->execute(xc, *pooled->ctx).clone();
+        ok = true;
+      }
+    }
+    release_pooled(*e, std::move(pooled));
+    return ok;
+  };
+
+  int st = e->state.load(std::memory_order_acquire);
+  if (st == PlanCacheEntry::kReady && e->fingerprint == fp) return execute();
+  if (st == PlanCacheEntry::kFailed && e->fingerprint == fp) return false;
+
+  // Unbuilt, or compiled under a different noise config: (re)compile.
+  // Only one thread builds; the rest serve this request from the graph.
+  std::unique_lock<std::mutex> build(e->build_mutex, std::try_to_lock);
+  if (!build.owns_lock()) return false;
+  st = e->state.load(std::memory_order_acquire);
+  if (!(st != PlanCacheEntry::kBuilding && e->fingerprint == fp))
+    compile_entry(*e, xc, chunk_offset, fp);
+  build.unlock();
+  if (e->state.load(std::memory_order_acquire) == PlanCacheEntry::kReady &&
+      e->fingerprint == fp)
+    return execute();
+  return false;
+}
+
+void InferenceSession::compile_entry(PlanCacheEntry& e, const Tensor& xc,
+                                     int64_t chunk_offset,
+                                     uint64_t fingerprint) const {
+  const auto fail = [&](std::string why) {
+    std::lock_guard<std::mutex> lg(e.pool_mutex);
+    e.plan.reset();
+    e.pool.clear();
+    e.fallback_reason = std::move(why);
+    e.fingerprint = fingerprint;
+    e.state.store(PlanCacheEntry::kFailed, std::memory_order_release);
+  };
+
+  // Trace one graph forward inside the exact serving environment. The
+  // recorder retains every tensor, so operand identity is unambiguous.
+  deploy::TraceRecorder rec;
+  Tensor traced;
+  {
+    deploy::TraceScope scope(rec);
+    traced = run_chunk_graph(xc, chunk_offset);
+  }
+  if (rec.aborted()) return fail("trace aborted: " + rec.abort_reason());
+  if (!rec.input().defined()) return fail("trace captured no input");
+
+  std::string err;
+  std::shared_ptr<const deploy::ExecutionPlan> plan = deploy::compile_trace(
+      std::move(rec.steps()), rec.input(), samples_, &err);
+  if (plan == nullptr) return fail(err);
+
+  // Verify bit-exactness against the graph oracle before installing: on
+  // the traced input, and on a perturbed input through a fresh graph run
+  // (catches any input-dependent value wrongly baked as a constant).
+  std::unique_ptr<deploy::PlanContext> ctx = plan->make_context();
+  const auto run_plan = [&](const Tensor& x) -> Tensor {
+    deploy::ExecBackendScope backend_scope(backend_.get());
+    std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    if (!pack_cache_.frozen()) return Tensor();
+    PackCacheScope cache_scope(&pack_cache_);
+    return plan->execute(x, *ctx).clone();
+  };
+  const auto bit_equal = [](const Tensor& a, const Tensor& b) {
+    return a.defined() && b.defined() && a.numel() == b.numel() &&
+           std::memcmp(a.data(), b.data(),
+                       sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+  };
+  if (!bit_equal(run_plan(xc), traced))
+    return fail("verification failed: plan diverges from graph on traced "
+                "input");
+  Tensor xp = xc.clone();
+  float* pp = xp.data();
+  for (int64_t i = 0; i < xp.numel(); ++i)
+    pp[i] += 0.0078125f * static_cast<float>(1 + (i % 5));
+  if (!bit_equal(run_plan(xp), run_chunk_graph(xp, chunk_offset)))
+    return fail("verification failed: plan diverges from graph on perturbed "
+                "input");
+
+  std::lock_guard<std::mutex> lg(e.pool_mutex);
+  e.plan = std::move(plan);
+  e.pool.clear();
+  auto pooled = std::make_unique<PlanPooled>();
+  pooled->ctx = std::move(ctx);
+  pooled->plan = e.plan.get();
+  e.pool.push_back(std::move(pooled));
+  e.fallback_reason.clear();
+  e.fingerprint = fingerprint;
+  e.state.store(PlanCacheEntry::kReady, std::memory_order_release);
 }
 
 Tensor InferenceSession::mc_outputs(const Tensor& x) const {
@@ -248,6 +523,247 @@ Segmentation InferenceSession::aggregate_segmentation(
   out.samples = samples_;
   out.mean_probs = fault::replica_mean(probs, static_cast<int>(samples_));
   return out;
+}
+
+void InferenceSession::aggregate_classification_into(const Tensor& stacked,
+                                                     Tensor& scratch,
+                                                     Classification& out)
+    const {
+  RIPPLE_CHECK(stacked.rank() == 2)
+      << "classification expects [N,C] logits, model returned "
+      << shape_to_string(stacked.shape());
+  const int64_t tn = stacked.dim(0);
+  const int64_t c = stacked.dim(1);
+  const int64_t t = samples_;
+  const int64_t n = tn / t;
+  // Softmax into the staging buffer — same loop as ops::softmax_rows.
+  ensure_like(scratch, stacked, tn);
+  {
+    const float* pl = stacked.data();
+    float* po = scratch.data();
+    for (int64_t i = 0; i < tn; ++i) {
+      const float* row = pl + i * c;
+      float* orow = po + i * c;
+      const float mx = *std::max_element(row, row + c);
+      double denom = 0.0;
+      for (int64_t j = 0; j < c; ++j) {
+        orow[j] = std::exp(row[j] - mx);
+        denom += orow[j];
+      }
+      for (int64_t j = 0; j < c; ++j)
+        orow[j] = static_cast<float>(orow[j] / denom);
+    }
+  }
+  // Across-replica moments — same accumulation as fault::replica_moments.
+  ensure_like(out.mean_probs, stacked, n);
+  ensure_like(out.variance, stacked, n);
+  const int64_t block = out.mean_probs.numel();
+  float* pm = out.mean_probs.data();
+  float* pv = out.variance.data();
+  std::memset(pm, 0, sizeof(float) * static_cast<size_t>(block));
+  std::memset(pv, 0, sizeof(float) * static_cast<size_t>(block));
+  const float* ps = scratch.data();
+  for (int64_t r = 0; r < t; ++r) {
+    const float* src = ps + r * block;
+    for (int64_t i = 0; i < block; ++i) {
+      pm[i] += src[i];
+      pv[i] += src[i] * src[i];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(t);
+  for (int64_t i = 0; i < block; ++i) {
+    pm[i] *= inv;
+    const float var = pv[i] * inv - pm[i] * pm[i];
+    pv[i] = var > 0.0f ? var : 0.0f;
+  }
+  if (!out.entropy.defined() || out.entropy.rank() != 1 ||
+      out.entropy.dim(0) != n)
+    out.entropy = Tensor::empty({n});
+  core::per_sample_entropy_into(out.mean_probs, out.entropy.data());
+  out.predictions.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = pm + i * c;
+    out.predictions[static_cast<size_t>(i)] =
+        std::max_element(row, row + c) - row;
+  }
+  out.samples = static_cast<int>(t);
+}
+
+void InferenceSession::aggregate_regression_into(const Tensor& stacked,
+                                                 Regression& out) const {
+  const int64_t t = samples_;
+  const int64_t rows = stacked.dim(0) / t;
+  ensure_like(out.mean, stacked, rows);
+  ensure_like(out.stddev, stacked, rows);
+  const int64_t block = out.mean.numel();
+  float* pm = out.mean.data();
+  float* pv = out.stddev.data();
+  std::memset(pm, 0, sizeof(float) * static_cast<size_t>(block));
+  std::memset(pv, 0, sizeof(float) * static_cast<size_t>(block));
+  const float* ps = stacked.data();
+  for (int64_t r = 0; r < t; ++r) {
+    const float* src = ps + r * block;
+    for (int64_t i = 0; i < block; ++i) {
+      pm[i] += src[i];
+      pv[i] += src[i] * src[i];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(t);
+  for (int64_t i = 0; i < block; ++i) {
+    pm[i] *= inv;
+    const float var = pv[i] * inv - pm[i] * pm[i];
+    pv[i] = var > 0.0f ? std::sqrt(var) : 0.0f;
+  }
+  out.samples = static_cast<int>(t);
+}
+
+void InferenceSession::aggregate_segmentation_into(const Tensor& stacked,
+                                                   Tensor& scratch,
+                                                   Segmentation& out) const {
+  const int64_t t = samples_;
+  ensure_like(scratch, stacked, stacked.dim(0));
+  {
+    const float* pl = stacked.data();
+    float* po = scratch.data();
+    const int64_t total = stacked.numel();
+    for (int64_t i = 0; i < total; ++i)
+      po[i] = 1.0f / (1.0f + std::exp(-pl[i]));
+  }
+  ensure_like(out.mean_probs, stacked, stacked.dim(0) / t);
+  const int64_t block = out.mean_probs.numel();
+  float* pm = out.mean_probs.data();
+  std::memset(pm, 0, sizeof(float) * static_cast<size_t>(block));
+  const float* ps = scratch.data();
+  for (int64_t r = 0; r < t; ++r) {
+    const float* src = ps + r * block;
+    for (int64_t i = 0; i < block; ++i) pm[i] += src[i];
+  }
+  const float inv = 1.0f / static_cast<float>(t);
+  for (int64_t i = 0; i < block; ++i) pm[i] *= inv;
+  out.samples = static_cast<int>(t);
+}
+
+void InferenceSession::predict_into(const Tensor& x, Prediction& out) const {
+  RIPPLE_CHECK(x.rank() >= 1 && x.dim(0) >= 1)
+      << "predict needs a batched input, got shape "
+      << shape_to_string(x.shape());
+  const int64_t n = x.dim(0);
+  if (options_.compile && model_.deployed() && n <= chunk_rows_ &&
+      !(policy_ == ExecutionPolicy::kSerial && samples_ > 1)) {
+    PlanCache::EntryPtr e = plans_->find(x.shape(), /*chunk_offset=*/0);
+    if (e != nullptr &&
+        e->state.load(std::memory_order_acquire) == PlanCacheEntry::kReady &&
+        e->fingerprint == noise_fingerprint()) {
+      std::shared_ptr<const deploy::ExecutionPlan> plan;
+      {
+        std::lock_guard<std::mutex> lg(e->pool_mutex);
+        plan = e->plan;
+      }
+      if (plan != nullptr) {
+        auto pooled = acquire_pooled(*e, plan);
+        bool served = false;
+        {
+          deploy::ExecBackendScope backend_scope(backend_.get());
+          std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+          if (pack_cache_.frozen()) {
+            PackCacheScope cache_scope(&pack_cache_);
+            const Tensor& stacked = plan->execute(x, *pooled->ctx);
+            switch (options_.task) {
+              case TaskKind::kClassification: {
+                auto* c = std::get_if<Classification>(&out);
+                if (c == nullptr) {
+                  out = Classification{};
+                  c = &std::get<Classification>(out);
+                }
+                aggregate_classification_into(stacked, pooled->scratch, *c);
+                break;
+              }
+              case TaskKind::kRegression: {
+                auto* r = std::get_if<Regression>(&out);
+                if (r == nullptr) {
+                  out = Regression{};
+                  r = &std::get<Regression>(out);
+                }
+                aggregate_regression_into(stacked, *r);
+                break;
+              }
+              case TaskKind::kSegmentation: {
+                auto* s = std::get_if<Segmentation>(&out);
+                if (s == nullptr) {
+                  out = Segmentation{};
+                  s = &std::get<Segmentation>(out);
+                }
+                aggregate_segmentation_into(stacked, pooled->scratch, *s);
+                break;
+              }
+            }
+            served = true;
+          }
+        }
+        release_pooled(*e, std::move(pooled));
+        if (served) {
+          requests_.fetch_add(1, std::memory_order_relaxed);
+          rows_.fetch_add(static_cast<uint64_t>(n),
+                          std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+  // No verified plan for this shape yet: the allocating path (which also
+  // compiles one for next time).
+  out = predict(x);
+}
+
+PlanInfo InferenceSession::plan_info(const Shape& input_shape,
+                                     int64_t chunk_offset) const {
+  PlanInfo info;
+  PlanCache::EntryPtr e = plans_->find(input_shape, chunk_offset);
+  if (e == nullptr) {
+    if (!options_.compile)
+      info.fallback_reason = "compilation disabled (SessionOptions::compile)";
+    return info;
+  }
+  std::lock_guard<std::mutex> lg(e->pool_mutex);
+  if (e->state.load(std::memory_order_acquire) == PlanCacheEntry::kReady &&
+      e->plan != nullptr) {
+    info.compiled = true;
+    info.stats = e->plan->stats();
+  } else {
+    info.fallback_reason = e->fallback_reason.empty()
+                               ? "plan not compiled yet"
+                               : e->fallback_reason;
+  }
+  return info;
+}
+
+PlanInfo InferenceSession::precompile(const Shape& input_shape) const {
+  RIPPLE_CHECK(!input_shape.empty() && input_shape[0] >= 1)
+      << "precompile needs a batched input shape";
+  PlanInfo info;
+  if (!options_.compile) {
+    info.fallback_reason = "compilation disabled (SessionOptions::compile)";
+    return info;
+  }
+  if (policy_ == ExecutionPolicy::kSerial && samples_ > 1) {
+    info.fallback_reason = "serial execution policy serves from the graph";
+    return info;
+  }
+  if (!model_.deployed()) {
+    info.fallback_reason = "model not deployed (unstable weight storage)";
+    return info;
+  }
+  RIPPLE_CHECK(input_shape[0] <= chunk_rows_)
+      << "precompile batch " << input_shape[0] << " exceeds the chunk size "
+      << chunk_rows_ << "; requests that large are split into chunks";
+  // Deterministic non-degenerate ramp input: compilation verifies the plan
+  // on this input and a perturbation of it before installing.
+  Tensor x = Tensor::empty(input_shape);
+  float* p = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i)
+    p[i] = 0.0625f * static_cast<float>((i % 23) - 11);
+  (void)run_chunk(x, /*chunk_offset=*/0);
+  return plan_info(input_shape, /*chunk_offset=*/0);
 }
 
 Classification InferenceSession::classify(const Tensor& x) const {

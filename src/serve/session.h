@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "deploy/backend_kind.h"
+#include "deploy/plan.h"
 #include "models/task_model.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor.h"
@@ -92,6 +93,13 @@ struct SessionOptions {
   /// The deprecated mc_forward_* shims disable this to preserve their
   /// stack-t-replicas-regardless contract.
   bool clamp_samples = true;
+  /// Compile fused, zero-allocation execution plans per (input shape,
+  /// chunk offset) and serve from them once each plan is verified
+  /// bit-exact against the graph path on that shape (deploy/plan.h).
+  /// The graph path remains the fallback for unverified shapes, the
+  /// serial policy, and undeployed models. Disable to pin every request
+  /// to the graph oracle.
+  bool compile = true;
 
   // ---- AsyncBatcher knobs (serve/batcher.h) --------------------------------
   /// Dispatch a coalesced batch as soon as this many requests are queued…
@@ -142,6 +150,19 @@ struct Segmentation {
 
 using Prediction = std::variant<Classification, Regression, Segmentation>;
 
+/// One compiled plan + context pool for an (input shape, chunk offset)
+/// key; defined in session.cpp.
+struct PlanCacheEntry;
+
+/// Outcome of plan compilation for one (input shape, chunk offset) key.
+struct PlanInfo {
+  bool compiled = false;
+  /// Why the session serves this shape from the graph path instead (empty
+  /// when compiled, or when no compile was attempted yet).
+  std::string fallback_reason;
+  deploy::PlanStats stats;  // valid when compiled
+};
+
 class InferenceSession {
  public:
   /// Binds the session to `model` (which must outlive it) and freezes the
@@ -181,6 +202,24 @@ class InferenceSession {
   /// alternative matches options().task. Thread-safe and deterministic:
   /// same input ⇒ same result, from any thread.
   Prediction predict(const Tensor& x) const;
+
+  /// Zero-allocation prediction into caller-owned result storage: when a
+  /// verified plan covers x's shape, the forward runs on the plan's arena
+  /// and the aggregation reuses `out`'s tensors (steady state performs no
+  /// heap allocation). Falls back to `out = predict(x)` — compiling a plan
+  /// for next time — when no plan is ready. Results are bit-identical to
+  /// predict() either way.
+  void predict_into(const Tensor& x, Prediction& out) const;
+
+  /// Traces, compiles and verifies a plan for `input_shape` (batch dim
+  /// included) ahead of traffic, using a deterministic ramp input; returns
+  /// what a matching request will serve on. Also warms the pack cache.
+  PlanInfo precompile(const Shape& input_shape) const;
+
+  /// Compilation state for a shape previously seen (by precompile or a
+  /// served request); compiled == false with an empty reason when the
+  /// shape has never been compiled.
+  PlanInfo plan_info(const Shape& input_shape, int64_t chunk_offset = 0) const;
 
   /// Micro-batching front door: coalesces the requests into chunks of the
   /// session's batch size, runs them through the folded MC forward, and
@@ -239,6 +278,17 @@ class InferenceSession {
   /// unchunked) — row-dependent dropout masks mix it in so chunks never
   /// repeat masks.
   Tensor run_chunk(const Tensor& xc, int64_t chunk_offset) const;
+  /// The graph oracle: replicate + forward under this chunk's stream
+  /// context. Publishes the stacked input to an active TraceRecorder.
+  Tensor run_chunk_graph(const Tensor& xc, int64_t chunk_offset) const;
+  /// Serves the chunk from a compiled plan when one is ready (compiling
+  /// it first if this thread wins the build race); false ⇒ graph path.
+  bool run_chunk_planned(const Tensor& xc, int64_t chunk_offset,
+                         Tensor* out) const;
+  /// Traces + compiles + verifies a plan into `e`; on any failure the
+  /// entry is marked failed and the shape serves from the graph.
+  void compile_entry(PlanCacheEntry& e, const Tensor& xc,
+                     int64_t chunk_offset, uint64_t fingerprint) const;
   /// Forward under the pack cache; first call records + freezes it.
   Tensor forward_cached(const Tensor& stacked_or_chunk) const;
 
@@ -246,6 +296,19 @@ class InferenceSession {
                                           int64_t n) const;
   Regression aggregate_regression(const Tensor& stacked) const;
   Segmentation aggregate_segmentation(const Tensor& stacked) const;
+
+  /// Allocation-free aggregation mirrors (same arithmetic, caller-owned
+  /// outputs); `scratch` stages the softmax / sigmoid probabilities.
+  void aggregate_classification_into(const Tensor& stacked, Tensor& scratch,
+                                     Classification& out) const;
+  void aggregate_regression_into(const Tensor& stacked,
+                                 Regression& out) const;
+  void aggregate_segmentation_into(const Tensor& stacked, Tensor& scratch,
+                                   Segmentation& out) const;
+
+  /// Fingerprint of the model's activation-noise configuration; plans bake
+  /// noise draws as constants, so a config change invalidates them.
+  uint64_t noise_fingerprint() const;
 
   /// Owned when the session was opened from an artifact; model_ then
   /// references *owned_model_. Declared first so model_ can bind to it.
@@ -261,6 +324,12 @@ class InferenceSession {
   std::vector<core::InvertedNorm*> inverted_;
   std::vector<nn::Dropout*> dropouts_;
   std::vector<nn::SpatialDropout*> spatial_;
+
+  /// Per-(shape, chunk offset) compiled plans + pooled execution contexts;
+  /// defined in session.cpp (pimpl keeps the compiler machinery out of
+  /// this header's dependents).
+  struct PlanCache;
+  std::unique_ptr<PlanCache> plans_;
 
   mutable PackedACache pack_cache_;
   /// Shared by every frozen-path predict, exclusive for the one-time

@@ -65,13 +65,13 @@ void ThreadPool::run_task_chunks() {
   InParallelScope scope;
   const int64_t n = task_n_;
   const int64_t chunk = task_chunk_;
-  const auto* body = task_body_;
+  const LoopRef body = task_body_;
   for (;;) {
     const int64_t begin = task_next_.fetch_add(chunk, std::memory_order_relaxed);
     if (begin >= n) break;
     const int64_t end = std::min(n, begin + chunk);
     try {
-      (*body)(begin, end);
+      body(begin, end);
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(task_error_mutex_);
@@ -117,9 +117,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_run(
-    int64_t n, int64_t grain,
-    const std::function<void(int64_t, int64_t)>& body) {
+void ThreadPool::parallel_run(int64_t n, int64_t grain, LoopRef body) {
   if (n <= 0) return;
   grain = std::max<int64_t>(1, grain);
   if (workers_.empty() || n <= grain || tl_in_parallel) {
@@ -142,7 +140,7 @@ void ThreadPool::parallel_run(
       std::max(grain, (n + participants * 4 - 1) / (participants * 4));
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    task_body_ = &body;
+    task_body_ = body;
     task_n_ = n;
     task_chunk_ = chunk;
     task_next_.store(0, std::memory_order_relaxed);
@@ -159,7 +157,7 @@ void ThreadPool::parallel_run(
              task_running_ == 0;
     });
     task_active_ = false;
-    task_body_ = nullptr;
+    task_body_ = LoopRef{};
   }
   if (task_error_) std::rethrow_exception(task_error_);
 }
@@ -170,11 +168,6 @@ ThreadPool& ThreadPool::global() {
     return env_int("RIPPLE_THREADS", std::max(1, hw));
   }());
   return pool;
-}
-
-void parallel_for(int64_t n, const std::function<void(int64_t, int64_t)>& body,
-                  int64_t grain) {
-  ThreadPool::global().parallel_run(n, grain, body);
 }
 
 }  // namespace ripple

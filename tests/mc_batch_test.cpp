@@ -14,6 +14,7 @@
 #include "models/m5.h"
 #include "models/resnet.h"
 #include "nn/dropout.h"
+#include "serve/session.h"
 #include "tensor/ops.h"
 
 namespace ripple {
@@ -269,6 +270,45 @@ TEST(McBatch, ProbsMcBatchedAggregates) {
     }
     EXPECT_NEAR(row_sum, 1.0, 1e-4);
   }
+}
+
+TEST(McBatch, LazyStemReplicationMatchesEagerBitExact) {
+  // The batched-MC fold eagerly replicates the input to [t·N, ...] and
+  // runs the whole network at stacked rows — wasted work for the
+  // deterministic stem ahead of the first stochastic layer, whose t
+  // replica blocks are identical by construction. The compiled plan runs
+  // that stem once at 1/t rows and replicates lazily at the first
+  // stochastic consumer; since the per-replica affine masks are
+  // row-independent, the transform must be bit-exact, not just close.
+  models::BinaryResNet model({.in_channels = 3, .classes = 10, .width = 4},
+                             {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  serve::SessionOptions opts;
+  opts.task = serve::TaskKind::kClassification;
+  opts.mc_samples = 4;
+  opts.seed = 42;
+
+  Tensor eager;
+  {
+    serve::SessionOptions graph = opts;
+    graph.compile = false;  // graph path: eager replicate_batch at input
+    serve::InferenceSession oracle(model, graph);
+    Rng rng(17);
+    eager = oracle.mc_outputs(Tensor::randn({2, 3, 16, 16}, rng));
+  }
+
+  serve::InferenceSession session(model, opts);
+  serve::PlanInfo info = session.precompile({2, 3, 16, 16});
+  ASSERT_TRUE(info.compiled) << info.fallback_reason;
+  ASSERT_GT(info.stats.uniform_steps, 0)
+      << "stem did not run at uniform rows";
+  ASSERT_GT(info.stats.replicate_steps + info.stats.epilogue_affines, 0);
+  Rng rng(17);
+  Tensor lazy = session.mc_outputs(Tensor::randn({2, 3, 16, 16}, rng));
+  ASSERT_EQ(eager.shape(), lazy.shape());
+  for (int64_t i = 0; i < eager.numel(); ++i)
+    ASSERT_EQ(eager.data()[i], lazy.data()[i]) << "at " << i;
 }
 
 TEST(McBatch, BatchedForwardRestoresLayerState) {

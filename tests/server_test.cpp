@@ -562,5 +562,86 @@ TEST(ModelServer, MetricsHttpListenerServesOverLoopback) {
   EXPECT_EQ(server.metrics_port(), -1);
 }
 
+TEST(ModelServer, WriteAllSurvivesClosedPeer) {
+  // Regression for the scrape loop's bare ::write: a peer that closed its
+  // read end turns the next write into SIGPIPE, which is fatal by default
+  // — the old loop also treated EINTR as the peer closing. write_all
+  // sends MSG_NOSIGNAL: the closed pipe surfaces as a false return (this
+  // very test would die, not fail, under the old code).
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);  // peer is gone before the first byte
+  const std::string big(1 << 20, 'x');  // larger than any socket buffer
+  EXPECT_FALSE(serve::write_all(sv[0], big.data(), big.size()));
+  ::close(sv[0]);
+
+  // And the happy path still delivers every byte across short writes.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string body(65536, 'y');
+  std::thread reader([&] {
+    std::string got;
+    char buf[4096];
+    ssize_t n;
+    while (got.size() < body.size() &&
+           (n = ::read(sv[1], buf, sizeof(buf))) > 0)
+      got.append(buf, static_cast<size_t>(n));
+    EXPECT_EQ(got, body);
+  });
+  EXPECT_TRUE(serve::write_all(sv[0], body.data(), body.size()));
+  reader.join();
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+TEST(ModelServer, MetricsScrapeSurvivesClientClosingMidResponse) {
+  // Live-listener regression: scrapers that connect, send the GET, and
+  // slam the connection shut without reading the response must not kill
+  // the exporter thread (or the process). After a burst of such rude
+  // scrapes a well-behaved scrape still gets the full exposition.
+  const std::string path = make_artifact("srv_sigpipe.rpla", 8, 915);
+  ServerOptions options;
+  options.metrics_port = 0;
+  ModelServer server(options);
+  server.load_model("fleet", "1", path);
+
+  const int port = server.metrics_port();
+  ASSERT_GT(port, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+
+  const char* get = "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  for (int i = 0; i < 16; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_GT(::write(fd, get, std::strlen(get)), 0);
+    // Reset on close (SO_LINGER 0) so the exporter's in-flight response
+    // hits a dead socket, not a graceful FIN with a live buffer.
+    struct linger lg = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_GT(::write(fd, get, std::strlen(get)), 0);
+  std::string reply;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+    reply.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  EXPECT_NE(reply.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("ripple_server_requests_total"), std::string::npos);
+  server.close();
+}
+
 }  // namespace
 }  // namespace ripple
