@@ -3,10 +3,13 @@
 // conventional layers it replaces.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "autograd/ops.h"
 #include "core/inverted_norm.h"
 #include "nn/conv.h"
 #include "nn/norm.h"
+#include "quant/int8/int8_gemm.h"
 #include "tensor/gemm.h"
 #include "tensor/random.h"
 
@@ -117,6 +120,46 @@ void BM_GemmPrepackedNN(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * cout * ck * oa);
 }
 BENCHMARK(BM_GemmPrepackedNN)->Arg(256)->Arg(2048);
+
+// Integer serving GEMM at the same n×n shape as BM_GemmNN — the recorded
+// pair is the raw arithmetic-density win of u8×s8 kernels over fp32. The
+// loop includes the per-row dynamic activation quantization (the real
+// serving cost); the weight side is packed once, as the Int8Backend packs
+// it once per artifact.
+void BM_Int8GemmVsFp32(benchmark::State& state) {
+  namespace qi = quant::int8;
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor x = Tensor::randn({n, n}, rng);
+  std::vector<int8_t> w(static_cast<size_t>(n * n));
+  for (auto& v : w)
+    v = static_cast<int8_t>(static_cast<int64_t>(rng.uniform(-128.0f, 128.0f)));
+  std::vector<int8_t> panels(static_cast<size_t>(qi::packed_bytes(n, n)));
+  qi::pack_panels_s8(w.data(), n, n, panels.data());
+  std::vector<int32_t> wsum(static_cast<size_t>(n), 0);
+  for (int64_t j = 0; j < n; ++j)
+    for (int64_t k = 0; k < n; ++k) wsum[j] += w[j * n + k];
+
+  std::vector<uint8_t> rows(static_cast<size_t>(n * qi::padded_k(n)));
+  std::vector<float> row_scale(static_cast<size_t>(n));
+  std::vector<int32_t> row_zp(static_cast<size_t>(n));
+  Tensor c({n, n});
+  qi::Int8Epilogue ep;
+  ep.row_scale = row_scale.data();
+  ep.row_zp = row_zp.data();
+  ep.weight_scale = 0.03125f;
+  ep.wsum = wsum.data();
+  for (auto _ : state) {
+    qi::quantize_rows_u8(x.data(), n, n, rows.data(), row_scale.data(),
+                         row_zp.data());
+    qi::int8_gemm(qi::RowsAre::kU8, rows.data(), n, n, panels.data(), n, ep,
+                  c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(qi::int8_backend_name());
+}
+BENCHMARK(BM_Int8GemmVsFp32)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   const int64_t c = state.range(0);

@@ -586,6 +586,57 @@ void BM_SessionPredictQuantSim(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionPredictQuantSim)->Arg(8);
 
+// True integer execution: the same artifact codes served through the
+// u8×s8 kernels (quant/int8) instead of being decoded to fp32. The delta
+// against BM_SessionPredictQuantSim/8 is the paper-relevant speedup of
+// integer arithmetic over simulated quantization (docs/PERF.md).
+void BM_SessionPredictQuantInt8(benchmark::State& state) {
+  run_backend_predict(state, {.backend = deploy::Backend::kQuantInt8});
+}
+BENCHMARK(BM_SessionPredictQuantInt8)->Arg(8);
+
+// Dense-heavy counterpart: a wide LSTM forecaster is one big gate GEMM
+// per timestep, the regime where int8 arithmetic density pays the most.
+const std::string& lstm_backend_artifact() {
+  static const std::string path = [] {
+    models::LstmForecaster model({.hidden = 128, .window = 24}, proposed());
+    model.set_training(false);
+    model.deploy();
+    std::string p =
+        std::filesystem::temp_directory_path() / "ripple_perf_lstm.rpla";
+    deploy::save_artifact(model, p,
+                          session_options(serve::TaskKind::kRegression, 8));
+    return p;
+  }();
+  return path;
+}
+
+void run_lstm_backend_predict(benchmark::State& state,
+                              const deploy::DeployOptions& dopts) {
+  const int t = static_cast<int>(state.range(0));
+  deploy::DeployOptions with_session = dopts;
+  with_session.session = session_options(serve::TaskKind::kRegression, t);
+  auto session = serve::InferenceSession::open(lstm_backend_artifact(),
+                                               with_session);
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  for (auto _ : state) {
+    serve::Regression mc = session->regress(x);
+    benchmark::DoNotOptimize(mc.mean.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+
+void BM_SessionPredictLstmQuantSim(benchmark::State& state) {
+  run_lstm_backend_predict(state, {.backend = deploy::Backend::kQuantSim});
+}
+BENCHMARK(BM_SessionPredictLstmQuantSim)->Arg(8);
+
+void BM_SessionPredictLstmQuantInt8(benchmark::State& state) {
+  run_lstm_backend_predict(state, {.backend = deploy::Backend::kQuantInt8});
+}
+BENCHMARK(BM_SessionPredictLstmQuantInt8)->Arg(8);
+
 void BM_SessionPredictCrossbar(benchmark::State& state) {
   deploy::DeployOptions dopts;
   dopts.backend = deploy::Backend::kCrossbar;

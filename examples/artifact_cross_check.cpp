@@ -168,6 +168,39 @@ int do_verify(const std::string& dir) {
   }
   server.close();
 
+  // The integer substrate: serve the v3 manifest's champion through
+  // kQuantInt8 in this build configuration (CI runs verify both with SIMD
+  // kernels and under RIPPLE_SIMD=0, so the VNNI/AVX2 and scalar int8
+  // paths both cross-check here). Int8 serving adds the 7-bit dynamic
+  // activation quantization on top of the shared weight grid, so it gets
+  // its own tolerance on the averaged probabilities.
+  const double int8_tol = env_double("RIPPLE_XCHECK_INT8_TOL", 0.05);
+  deploy::DeployOptions di8;
+  di8.backend = deploy::Backend::kQuantInt8;
+  di8.manifest_entry = "champion";
+  auto int8 = serve::InferenceSession::open(dir + "/pair.rpla", di8);
+  Tensor champion_ref = load_tensor(dir + "/reference_champion.rplt");
+  const serve::Classification i8got = int8->classify(probe_batch());
+  double int8_diff = 0.0;
+  for (int64_t i = 0; i < champion_ref.numel(); ++i)
+    int8_diff = std::max<double>(
+        int8_diff,
+        std::fabs(i8got.mean_probs.data()[i] - champion_ref.data()[i]));
+  std::printf("kQuantInt8 champion: max|Δ mean_probs| = %.3g (tolerance %.3g)\n",
+              int8_diff, int8_tol);
+  if (int8_diff > int8_tol) {
+    std::fprintf(stderr, "FAIL: kQuantInt8 diverges from the fp32 champion\n");
+    return 1;
+  }
+  // Within one build the integer path is deterministic to the bit.
+  const serve::Classification i8again = int8->classify(probe_batch());
+  if (std::memcmp(i8again.mean_probs.data(), i8got.mean_probs.data(),
+                  sizeof(float) * static_cast<size_t>(champion_ref.numel())) !=
+      0) {
+    std::fprintf(stderr, "FAIL: kQuantInt8 serving is not deterministic\n");
+    return 1;
+  }
+
   std::printf("OK: artifact serves identically (quantsim bit-exact)\n");
   return 0;
 }

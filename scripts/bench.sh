@@ -12,9 +12,13 @@
 #                     BM_RawMcForwardBatched*/BM_Mc*Batched numbers,
 #                     BM_CompiledVsGraph*/{T,1} (fused zero-alloc plans)
 #                     against the same benchmark's /{T,0} graph baseline,
-#                     and BM_SessionPredictCrossbarTiled (64×64 tiles,
+#                     BM_SessionPredictCrossbarTiled (64×64 tiles,
 #                     bit-sliced columns, shared ADCs) against the
-#                     monolithic BM_SessionPredictCrossbar baseline.
+#                     monolithic BM_SessionPredictCrossbar baseline, and
+#                     the integer-execution pairs — BM_SessionPredict{Lstm,}
+#                     QuantInt8/8 vs the matching QuantSim/8 rows — for the
+#                     kQuantInt8 backend's speedup on dense-heavy models
+#                     (the acceptance target is ≥2× on the LSTM pair).
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
 set -euo pipefail

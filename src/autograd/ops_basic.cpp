@@ -8,11 +8,34 @@
 #include <cstring>
 
 #include "autograd/ops.h"
+#include "core/lazy_stem.h"
+#include "core/mc_stream.h"
 #include "deploy/trace.h"
 #include "tensor/ops.h"
+#include "tensor/vmath.h"
 
 namespace ripple::autograd {
 namespace {
+
+/// Lazy-stem row alignment (core/lazy_stem.h): inside a lazy batched pass,
+/// a merge may see one operand still at the unreplicated n-row stem while
+/// the other was already expanded to replicas·n rows (LSTM gate sums,
+/// residual adds, skip concats). Expand the stem side; identical-row pairs
+/// pass through untouched, so eager passes pay one integer compare.
+std::pair<Variable, Variable> align_stem_rows(const Variable& a,
+                                              const Variable& b) {
+  if (a.value().rank() < 1 || b.value().rank() < 1) return {a, b};
+  const int64_t ra = a.value().dim(0);
+  const int64_t rb = b.value().dim(0);
+  if (ra == rb) return {a, b};
+  if (core::lazy_stem_pending(ra) &&
+      rb == core::active_mc_stream()->replicas() * ra)
+    return {core::replicate_stem(a), b};
+  if (core::lazy_stem_pending(rb) &&
+      ra == core::active_mc_stream()->replicas() * rb)
+    return {a, core::replicate_stem(b)};
+  return {a, b};
+}
 
 /// Iterates a [N, C, inner] view of a rank>=2 tensor whose channel axis is
 /// dim 1; rank-2 tensors have inner == 1.
@@ -70,7 +93,8 @@ deploy::StepFn unary_fn(F op) {
 
 }  // namespace
 
-Variable add(const Variable& a, const Variable& b) {
+Variable add(const Variable& a0, const Variable& b0) {
+  const auto& [a, b] = align_stem_rows(a0, b0);
   Tensor out = ops::add(a.value(), b.value());
   if (deploy::active_trace() != nullptr) {
     trace_step(deploy::OpTag::kAdd, {a.value(), b.value()}, out,
@@ -85,7 +109,8 @@ Variable add(const Variable& a, const Variable& b) {
       "add");
 }
 
-Variable sub(const Variable& a, const Variable& b) {
+Variable sub(const Variable& a0, const Variable& b0) {
+  const auto& [a, b] = align_stem_rows(a0, b0);
   Tensor out = ops::sub(a.value(), b.value());
   if (deploy::active_trace() != nullptr) {
     trace_step(deploy::OpTag::kSub, {a.value(), b.value()}, out,
@@ -101,7 +126,8 @@ Variable sub(const Variable& a, const Variable& b) {
       "sub");
 }
 
-Variable mul(const Variable& a, const Variable& b) {
+Variable mul(const Variable& a0, const Variable& b0) {
+  const auto& [a, b] = align_stem_rows(a0, b0);
   Tensor out = ops::mul(a.value(), b.value());
   if (deploy::active_trace() != nullptr) {
     trace_step(deploy::OpTag::kMul, {a.value(), b.value()}, out,
@@ -458,11 +484,13 @@ Variable relu(const Variable& a) {
 }
 
 Variable sigmoid(const Variable& a) {
-  Tensor out = ops::map(a.value(),
-                        [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  Tensor out(a.value().shape());
+  vsigmoid(a.value().data(), out.data(), out.numel());
   if (deploy::active_trace() != nullptr) {
     trace_step(deploy::OpTag::kSigmoid, {a.value()}, out,
-               unary_fn([](float x) { return 1.0f / (1.0f + std::exp(-x)); }));
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 vsigmoid(ins[0]->data(), o.data(), o.numel());
+               });
   }
   Tensor ov = out;  // handle shares storage; safe, value is never mutated
   return make_op_node(
@@ -481,10 +509,13 @@ Variable sigmoid(const Variable& a) {
 }
 
 Variable tanh_op(const Variable& a) {
-  Tensor out = ops::map(a.value(), [](float x) { return std::tanh(x); });
+  Tensor out(a.value().shape());
+  vtanh(a.value().data(), out.data(), out.numel());
   if (deploy::active_trace() != nullptr) {
     trace_step(deploy::OpTag::kTanh, {a.value()}, out,
-               unary_fn([](float x) { return std::tanh(x); }));
+               [](const Tensor* const* ins, int, Tensor& o) {
+                 vtanh(ins[0]->data(), o.data(), o.numel());
+               });
   }
   Tensor ov = out;
   return make_op_node(
@@ -546,7 +577,8 @@ Variable reshape(const Variable& a, Shape new_shape) {
       "reshape");
 }
 
-Variable concat_channels(const Variable& a, const Variable& b) {
+Variable concat_channels(const Variable& a0, const Variable& b0) {
+  const auto& [a, b] = align_stem_rows(a0, b0);
   Tensor out = ops::concat_channels(a.value(), b.value());
   const int64_t ca = a.dim(1);
   if (deploy::active_trace() != nullptr) {

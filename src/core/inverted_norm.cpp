@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "autograd/ops.h"
+#include "core/lazy_stem.h"
 #include "core/mc_stream.h"
 
 namespace ripple::core {
@@ -52,6 +53,7 @@ autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
 
   ag::Variable gamma_eff = gamma_->var;
   ag::Variable beta_eff = beta_->var;
+  ag::Variable xin = x;
   bool replicated = false;
   if (stochastic() && options_.dropout_p > 0.0f) {
     // Stream state comes from the caller's thread-local context when this
@@ -98,8 +100,11 @@ autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
       // Batched MC: one independent mask pair per folded replica, consumed
       // in replica order — the order serial passes would draw them.
       const int64_t t = replicas;
-      RIPPLE_CHECK(x.dim(0) % t == 0)
-          << "InvertedNorm: batch " << x.dim(0) << " not divisible into "
+      // Lazy-stem pass: the replica-dependent affine below is the point
+      // where the stem diverges — expand to the full t·n batch first.
+      if (lazy_stem_pending(xin.dim(0))) xin = replicate_stem(xin);
+      RIPPLE_CHECK(xin.dim(0) % t == 0)
+          << "InvertedNorm: batch " << xin.dim(0) << " not divisible into "
           << t << " MC replicas";
       Tensor gamma_mask({t, channels_});
       Tensor beta_mask({t, channels_});
@@ -136,10 +141,11 @@ autograd::Variable InvertedNorm::forward(const autograd::Variable& x) {
 
   if (options_.affine_first) {
     // Paper order: affine transformation, then normalization (Fig. 2b).
-    return ag::group_normalize(apply_affine(x), options_.groups, options_.eps);
+    return ag::group_normalize(apply_affine(xin), options_.groups,
+                               options_.eps);
   }
   // Ablation order: normalize, then stochastic affine (conventional flow).
-  ag::Variable z = ag::group_normalize(x, options_.groups, options_.eps);
+  ag::Variable z = ag::group_normalize(xin, options_.groups, options_.eps);
   return apply_affine(z);
 }
 

@@ -1,0 +1,26 @@
+#include "core/lazy_stem.h"
+
+#include "core/mc_stream.h"
+#include "fault/mc_batch.h"
+#include "tensor/check.h"
+
+namespace ripple::core {
+
+bool lazy_stem_pending(int64_t rows) {
+  const McStreamContext* ctx = active_mc_stream();
+  return ctx != nullptr && ctx->lazy_stem_rows() > 0 &&
+         rows == ctx->lazy_stem_rows();
+}
+
+Tensor replicate_stem(const Tensor& x) {
+  const McStreamContext* ctx = active_mc_stream();
+  RIPPLE_CHECK(ctx != nullptr && ctx->lazy_stem_rows() == x.dim(0))
+      << "replicate_stem outside a lazy-stem pass";
+  return fault::replicate_batch(x, static_cast<int>(ctx->replicas()));
+}
+
+autograd::Variable replicate_stem(const autograd::Variable& x) {
+  return autograd::Variable(replicate_stem(x.value()));
+}
+
+}  // namespace ripple::core

@@ -1,0 +1,42 @@
+// Lazy stem replication for graph-served batched-MC passes.
+//
+// A batched MC pass folds T replicas into the batch dimension, but every
+// layer ahead of the first stochastic consumer is deterministic — the T
+// copies it would process are bitwise identical. Compiled plans already
+// exploit that (deploy/plan.cpp mark_replication runs the stem at 1/T
+// rows); these helpers bring the same saving to the graph path: the
+// serving session enters the model with the *unreplicated* chunk and
+// marks the pass (McStreamContext::set_lazy_stem_rows), and the points
+// where replicas actually diverge — the stochastic layers' context
+// branches and row-count merges in the element-wise autograd ops — expand
+// stem tensors on first contact.
+//
+// Bit-exactness argument: a stem tensor is replica-uniform by
+// construction (computed only by deterministic row-independent ops from a
+// replica-uniform input), so expanding it with T contiguous copies
+// produces exactly the tensor the eager pass would have carried. Masks and
+// noise are untouched — they draw from the same (seed, slot, invocation,
+// replica) streams either way.
+#pragma once
+
+#include "autograd/variable.h"
+#include "tensor/tensor.h"
+
+namespace ripple::core {
+
+/// True when `rows` is the unreplicated stem row count of the active
+/// batched pass — i.e. the caller holds a replica-uniform stem tensor that
+/// must be expanded to replicas()·rows before any replica-dependent use.
+bool lazy_stem_pending(int64_t rows);
+
+/// Expands a replica-uniform stem tensor to the stacked replicas()·rows
+/// batch (T contiguous copies, replica-major — the eager layout).
+/// Precondition: lazy_stem_pending(x.dim(0)).
+Tensor replicate_stem(const Tensor& x);
+
+/// Variable overload for merge points inside autograd ops. The expansion
+/// is a serving-path transform of a deterministic value, recorded as a
+/// leaf (no parents): batched MC passes never run backward.
+autograd::Variable replicate_stem(const autograd::Variable& x);
+
+}  // namespace ripple::core

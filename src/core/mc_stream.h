@@ -94,10 +94,21 @@ class McStreamContext {
   void set_chunk_offset(int64_t rows) { chunk_offset_ = rows; }
   int64_t chunk_offset() const { return chunk_offset_; }
 
+  /// Lazy stem replication (graph-served batched passes): when nonzero,
+  /// the pass entered the model with the *unreplicated* n-row chunk even
+  /// though replicas() > 1. Deterministic-stem tensors then carry n rows —
+  /// every row set is replica-uniform by construction — until the first
+  /// replica-dependent consumer expands them to replicas()·n rows
+  /// (core/lazy_stem.h). Invariant: every batch-shaped tensor in such a
+  /// pass has either n or replicas()·n rows. 0 = off (eager replication).
+  void set_lazy_stem_rows(int64_t rows) { lazy_stem_rows_ = rows; }
+  int64_t lazy_stem_rows() const { return lazy_stem_rows_; }
+
  private:
   int64_t replicas_;
   int64_t replica_offset_;
   int64_t chunk_offset_ = 0;
+  int64_t lazy_stem_rows_ = 0;
   std::vector<uint64_t> layer_seeds_;  // derived once per context
   std::vector<int64_t> invocations_;
 };

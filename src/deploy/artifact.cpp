@@ -658,6 +658,92 @@ std::vector<QuantRecord> read_state_into(std::istream& in,
   return quant;
 }
 
+// ---- inspect skimming ------------------------------------------------------
+// inspect_artifact walks entry bodies without materializing tensors:
+// tensor payloads are skipped by their recorded shapes, then the
+// frozen-quantizer block is parsed for its per-record framing only.
+
+void skip_bytes(std::istream& in, const std::string& path, uint64_t n) {
+  in.seekg(static_cast<std::streamoff>(n), std::ios::cur);
+  if (!in) fail(path, "truncated file");
+}
+
+void skip_tensor(std::istream& in, const std::string& path) {
+  const int32_t rank = read_pod<int32_t>(in, path);
+  if (rank < 0 || rank > 8) fail(path, "corrupt tensor rank");
+  int64_t numel = 1;
+  for (int32_t i = 0; i < rank; ++i) {
+    const int64_t d = read_pod<int64_t>(in, path);
+    if (d < 0 || d > kMaxTensorNumel) fail(path, "corrupt tensor dim");
+    numel *= d;
+  }
+  if (numel > kMaxTensorNumel) fail(path, "corrupt tensor size");
+  skip_bytes(in, path, static_cast<uint64_t>(numel) * sizeof(float));
+}
+
+/// Positioned after the body header: skips the parameter and buffer
+/// tensors, then reads each quant record's bits/count/encoding framing,
+/// seeking over the code payloads themselves.
+std::vector<QuantTensorInfo> skim_quant_state(std::istream& in,
+                                              const std::string& path,
+                                              uint32_t version) {
+  for (int pass = 0; pass < 2; ++pass) {  // parameters, then buffers
+    const uint32_t n = read_pod<uint32_t>(in, path);
+    if (n > kMaxCount) fail(path, "corrupt tensor count");
+    for (uint32_t i = 0; i < n; ++i) {
+      read_string(in, path);  // tensor name
+      skip_tensor(in, path);
+    }
+  }
+  const uint32_t n_quant = read_pod<uint32_t>(in, path);
+  if (n_quant > kMaxCount) fail(path, "corrupt fault-target count");
+  std::vector<QuantTensorInfo> out;
+  for (uint32_t i = 0; i < n_quant; ++i) {
+    if (read_pod<uint8_t>(in, path) == 0) continue;
+    QuantTensorInfo q;
+    read_pod<float>(in, path);  // calibration
+    q.bits = read_pod<int32_t>(in, path);
+    if (q.bits < 1 || q.bits > 32) fail(path, "corrupt quantizer bit width");
+    q.codes = read_pod<uint32_t>(in, path);
+    if (version < 2) {
+      q.encoding = "int32";
+      q.packed_bytes = q.codes * sizeof(int32_t);
+      q.stored_bytes = q.packed_bytes;
+      skip_bytes(in, path, q.stored_bytes);
+      out.push_back(std::move(q));
+      continue;
+    }
+    const uint64_t nwords =
+        packed_code_words(static_cast<size_t>(q.codes), q.bits);
+    q.packed_bytes = nwords * sizeof(uint32_t);
+    if (version < 3) {
+      q.encoding = "raw";
+      q.stored_bytes = q.packed_bytes;
+      skip_bytes(in, path, q.packed_bytes);
+      out.push_back(std::move(q));
+      continue;
+    }
+    const uint8_t tag = read_pod<uint8_t>(in, path);
+    if (tag == kCodesRaw) {
+      q.encoding = "raw";
+      q.stored_bytes = sizeof(uint8_t) + q.packed_bytes;
+      skip_bytes(in, path, q.packed_bytes);
+    } else if (tag == kCodesRle || tag == kCodesDeltaRle) {
+      q.encoding = tag == kCodesRle ? "rle" : "delta+rle";
+      const uint32_t units = read_pod<uint32_t>(in, path);
+      if (units % 2 != 0 || units > nwords + 1)
+        fail(path, "corrupt code compression length");
+      q.stored_bytes = sizeof(uint8_t) + sizeof(uint32_t) +
+                       static_cast<uint64_t>(units) * sizeof(uint32_t);
+      skip_bytes(in, path, static_cast<uint64_t>(units) * sizeof(uint32_t));
+    } else {
+      fail(path, "unknown code encoding tag");
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
 }  // namespace
 
 LoadedArtifact load_artifact(const std::string& path,
@@ -689,7 +775,8 @@ ManifestInfo inspect_artifact(const std::string& path) {
   info.version = read_version(in, path);
   if (info.version < 3) {
     RawArtifact raw = read_body_header(in, path, info.version);
-    info.entries.push_back({raw.spec.arch, 1.0});
+    info.entries.push_back({raw.spec.arch, 1.0,
+                            skim_quant_state(in, path, info.version)});
     return info;
   }
   const uint64_t file_bytes = file_bytes_of(path);
@@ -699,8 +786,13 @@ ManifestInfo inspect_artifact(const std::string& path) {
   for (uint32_t i = 0; i < count; ++i) {
     const uint64_t pos = static_cast<uint64_t>(in.tellg());
     EntryHeader h = read_entry_header(in, path, file_bytes - pos);
-    info.entries.push_back({std::move(h.name), h.weight});
-    in.seekg(static_cast<std::streamoff>(h.body_bytes), std::ios::cur);
+    const uint64_t body_start = static_cast<uint64_t>(in.tellg());
+    read_body_header(in, path, info.version);
+    info.entries.push_back({std::move(h.name), h.weight,
+                            skim_quant_state(in, path, info.version)});
+    // The quant block ends the body; position past the entry by its
+    // recorded length so a skim miscount can't desync later entries.
+    in.seekg(static_cast<std::streamoff>(body_start + h.body_bytes));
     if (!in) fail(path, "truncated manifest entry");
   }
   return info;

@@ -121,12 +121,29 @@ struct ManifestModel {
 void save_manifest(const std::vector<ManifestModel>& entries,
                    const std::string& path);
 
-/// Cheap manifest listing: entry names + routing weights without loading
-/// any tensors (entries are skipped by their recorded byte length). v1/v2
-/// files report one entry named after the architecture with weight 1.0.
+/// Per-quantized-tensor summary skimmed from an entry's frozen-quantizer
+/// block: the quantizer bit width, code count, and how the codes are
+/// stored on disk — what lets an operator tell an int8-servable artifact
+/// (integer codes present) apart from a float-only one, and see which
+/// records the v3 writer actually compressed.
+struct QuantTensorInfo {
+  int32_t bits = 0;    // quantizer width (1 = binary)
+  uint64_t codes = 0;  // weights in the tensor
+  /// On-disk encoding: "int32" (v1), "raw" (bit-packed words), "rle" or
+  /// "delta+rle" (v3 compressed streams).
+  std::string encoding;
+  uint64_t packed_bytes = 0;  // bit-packed payload before compression
+  uint64_t stored_bytes = 0;  // bytes on disk, including tag/length framing
+};
+
+/// Cheap manifest listing: entry names, routing weights, and each entry's
+/// quantizer summary, without materializing any tensor data (tensor
+/// payloads are skipped by their recorded sizes). v1/v2 files report one
+/// entry named after the architecture with weight 1.0.
 struct ManifestEntryInfo {
   std::string name;
   double weight = 1.0;
+  std::vector<QuantTensorInfo> quant;  // quantized fault targets, in order
 };
 struct ManifestInfo {
   uint32_t version = 0;

@@ -7,6 +7,13 @@
 //   kQuantSim — weights reconstructed from the artifact's *integer codes*
 //               through the quantizer bit codec; serves the int8/PACT/1-bit
 //               hardware representation instead of the stored floats.
+//   kQuantInt8 — the codes stay integer end-to-end: weights pack into int8
+//               panels straight from the artifact and dense/conv layers
+//               execute through u8×s8 GEMM micro-kernels (AVX2 maddubs /
+//               AVX-512 VNNI vpdpbusd, scalar under RIPPLE_SIMD=0) with
+//               dynamic activation quantization and fp32 requantize
+//               epilogues (deploy/int8_backend.h). Unquantized or >8-bit
+//               layers fall back to the digital fp32 path per layer.
 //   kCrossbar — dense (and optionally conv) layers execute on the analog
 //               in-memory-compute crossbar simulator (imc/crossbar.h):
 //               DAC → programmed conductance pairs → ADC, with the
@@ -15,7 +22,7 @@
 
 namespace ripple::deploy {
 
-enum class Backend { kFp32, kQuantSim, kCrossbar };
+enum class Backend { kFp32, kQuantSim, kCrossbar, kQuantInt8 };
 
 const char* backend_name(Backend b);
 

@@ -6,13 +6,13 @@
 //                                     │
 //        serve::InferenceSession::open("model.rpla", {.backend = …})
 //                                     │
-//             ┌───────────────┬───────┴────────┬────────────────┐
-//          kFp32          kQuantSim         kCrossbar
-//        digital GEMM   weights decoded    dense layers on the
-//        on the stored  from the integer   analog IMC crossbar
-//        fp32 values    codes (bit codec)  (DAC→G-pairs→ADC)
+//        ┌─────────────┬─────────────┬──┴──────────┬──────────────┐
+//     kFp32        kQuantSim      kQuantInt8     kCrossbar
+//   digital GEMM  weights decoded  codes served   dense layers on the
+//   on the stored from the integer as int8 via    analog IMC crossbar
+//   fp32 values   codes (bit codec) u8×s8 kernels (DAC→G-pairs→ADC)
 //
-// One artifact serves all three substrates; the serve, batcher, fault-
+// One artifact serves all four substrates; the serve, batcher, fault-
 // evaluation and bench layers all speak the same InferenceSession API
 // regardless of the backend behind it.
 #pragma once
@@ -23,6 +23,7 @@
 #include "deploy/backend_kind.h"
 #include "deploy/crossbar_backend.h"
 #include "deploy/exec_backend.h"
+#include "deploy/int8_backend.h"
 #include "serve/session.h"
 
 namespace ripple::deploy {

@@ -10,6 +10,8 @@ const char* backend_name(Backend b) {
       return "quantsim";
     case Backend::kCrossbar:
       return "crossbar";
+    case Backend::kQuantInt8:
+      return "quant-int8";
   }
   return "unknown";
 }

@@ -43,6 +43,29 @@ class ExecutionBackend {
     return false;
   }
 
+  /// Fused epilogue of a linear layer: optional ReLU, then the per-replica
+  /// channel affine (γ/β are [replicas, Fout]; row i belongs to replica
+  /// i / (N / replicas)). The compiled-plan executor offers backends the
+  /// whole fused step (deploy/plan.cpp folds a following kAffine into its
+  /// producer); claiming it must reproduce the unfused sequence
+  /// bit-exactly — one rounded multiply then one rounded add per element —
+  /// or the plan's verification gate rejects the plan.
+  struct LinearEpilogue {
+    const float* bias = nullptr;
+    const Tensor* gamma = nullptr;
+    const Tensor* beta = nullptr;
+    bool relu = false;
+  };
+
+  /// linear() plus a fused epilogue. The default declines anything the
+  /// plain hook can't express and otherwise forwards to linear(), so
+  /// existing backends keep their exact behavior.
+  virtual bool linear_ex(const Tensor& x, const Tensor& w,
+                         const LinearEpilogue& ep, Tensor& out) {
+    if (ep.gamma != nullptr || ep.relu) return false;
+    return linear(x, w, ep.bias, out);
+  }
+
   /// The im2col-lowered convolution block:
   ///   stage[Cout, L] = W[Cout, CK] · cols[CK, L]  (+ row_bias[c] per row).
   /// `w` is the conv weight's flat [Cout, CK] data, `stage` is zeroed by

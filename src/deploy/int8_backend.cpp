@@ -1,0 +1,168 @@
+#include "deploy/int8_backend.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "quant/int8/int8_gemm.h"
+
+namespace ripple::deploy {
+
+using quant::int8::Int8Epilogue;
+using quant::int8::Int8Tensor;
+using quant::int8::RowsAre;
+
+namespace {
+
+// Below this inner depth the integer path loses to fp32: the dot products
+// are too short to amortize dynamic quantization and the requantize
+// epilogue (a k = 1 input projection runs ~3× slower through int8 than
+// through the prepacked fp32 kernels; break-even is near k = 24, so 8
+// only rejects clearly losing shapes while keeping narrow test models on
+// the integer path). Declining leaves those layers on the digital path —
+// claim decisions are pure shape functions, so plan verification and the
+// quantsim agreement contract are unaffected.
+constexpr int64_t kMinDepth = 8;
+
+}  // namespace
+
+Int8Backend::Int8Backend(const std::vector<QuantRecord>& quant,
+                         const std::vector<fault::FaultTarget>& targets) {
+  const size_t n = std::min(quant.size(), targets.size());
+  for (size_t i = 0; i < n; ++i) {
+    const QuantRecord& rec = quant[i];
+    const fault::FaultTarget& tgt = targets[i];
+    if (!rec.quantized || rec.bits < 1 || rec.bits > 8 ||
+        tgt.param == nullptr)
+      continue;
+    const Tensor& v = tgt.param->var.value();
+    if (v.rank() < 2) continue;
+    const int64_t rows = v.dim(0);
+    const int64_t k = v.numel() / rows;
+    if (rows <= 0 || k <= 0 ||
+        static_cast<int64_t>(rec.codes.size()) != rows * k)
+      continue;
+    const bool conv = v.rank() >= 3;
+    const float* key = v.data();
+    meta_.emplace(key, Meta{rec.calibration, rec.bits, rows, k, conv});
+    packed_.emplace(key, Int8Tensor::from_codes(rec.codes, rec.bits,
+                                                rec.calibration, rows, k,
+                                                conv));
+  }
+}
+
+void Int8Backend::invalidate() {
+  packed_.clear();
+  frozen_ = false;
+}
+
+const Int8Tensor* Int8Backend::packed_for(const float* w, int64_t rows,
+                                          int64_t k, bool conv) {
+  const auto mit = meta_.find(w);
+  if (mit == meta_.end()) return nullptr;
+  const Meta& meta = mit->second;
+  if (meta.rows != rows || meta.k != k || meta.conv != conv) return nullptr;
+  const auto pit = packed_.find(w);
+  if (pit != packed_.end()) return &pit->second;
+  // Unseen after freeze(): weights were swapped without invalidate() —
+  // decline so the digital path serves them (the PackedACache contract).
+  if (frozen()) return nullptr;
+  // Warm-up rebuild after invalidate(): re-encode the mutated deployed
+  // values against the frozen calibration. Single-threaded (the session
+  // holds its cache lock exclusively during warm-up).
+  const auto ins = packed_.emplace(
+      w, Int8Tensor::from_fp32(w, rows, k, meta.calibration, meta.bits, conv));
+  return &ins.first->second;
+}
+
+bool Int8Backend::linear(const Tensor& x, const Tensor& w, const float* bias,
+                         Tensor& out) {
+  LinearEpilogue ep;
+  ep.bias = bias;
+  return linear_ex(x, w, ep, out);
+}
+
+bool Int8Backend::linear_ex(const Tensor& x, const Tensor& w,
+                            const LinearEpilogue& lep, Tensor& out) {
+  if (x.rank() != 2 || w.rank() != 2) return false;
+  const int64_t m = x.dim(0);
+  const int64_t fin = x.dim(1);
+  const int64_t fout = w.dim(0);
+  if (m <= 0 || fin < kMinDepth || fout <= 0) return false;
+  const Int8Tensor* t = packed_for(w.data(), fout, fin, /*conv=*/false);
+  if (t == nullptr) return false;
+
+  int64_t replicas = 1;
+  const float* gamma = nullptr;
+  const float* beta = nullptr;
+  if (lep.gamma != nullptr) {
+    if (lep.beta == nullptr || !lep.gamma->defined() ||
+        !lep.beta->defined() || lep.gamma->rank() != 2 ||
+        lep.gamma->dim(1) != fout ||
+        lep.beta->numel() != lep.gamma->numel())
+      return false;
+    replicas = lep.gamma->dim(0);
+    if (replicas <= 0 || m % replicas != 0) return false;
+    gamma = lep.gamma->data();
+    beta = lep.beta->data();
+  }
+
+  // Dynamic per-row activation quantization. Thread-locals keep the
+  // serving steady state allocation-free once warm.
+  thread_local std::vector<uint8_t> act;
+  thread_local std::vector<float> act_scale;
+  thread_local std::vector<int32_t> act_zp;
+  act.resize(static_cast<size_t>(m * quant::int8::padded_k(fin)));
+  act_scale.resize(static_cast<size_t>(m));
+  act_zp.resize(static_cast<size_t>(m));
+  quant::int8::quantize_rows_u8(x.data(), m, fin, act.data(),
+                                act_scale.data(), act_zp.data());
+
+  Int8Epilogue ep;
+  ep.row_scale = act_scale.data();
+  ep.row_zp = act_zp.data();
+  ep.weight_scale = t->scale;
+  ep.wsum = t->wsum.data();
+  ep.col_bias = lep.bias;
+  ep.relu = lep.relu;
+  ep.gamma = gamma;
+  ep.beta = beta;
+  ep.replicas = replicas;
+  quant::int8::int8_gemm(RowsAre::kU8, act.data(), m, fin, t->data.data(),
+                         fout, ep, out.data(), fout);
+  linear_claims_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Int8Backend::conv_cols(int64_t cout, int64_t l, int64_t ck,
+                            const float* w, const float* cols, float* stage,
+                            const float* row_bias) {
+  if (cout <= 0 || l <= 0 || ck < kMinDepth) return false;
+  const Int8Tensor* t = packed_for(w, cout, ck, /*conv=*/true);
+  if (t == nullptr) return false;
+
+  // Quantize the im2col matrix per *column* (one output position's
+  // receptive field), fused with packing into panel form. Per-column
+  // affines are invariant to batch grouping and replica count, so
+  // reduced-row plan traces and full-row graph passes agree bit-for-bit.
+  thread_local quant::int8::PanelVecU8 panels;
+  thread_local std::vector<float> col_scale;
+  thread_local std::vector<int32_t> col_zp;
+  panels.resize(static_cast<size_t>(quant::int8::packed_bytes(l, ck)));
+  col_scale.resize(static_cast<size_t>(l));
+  col_zp.resize(static_cast<size_t>(l));
+  quant::int8::quantize_pack_cols_u8(cols, ck, l, panels.data(),
+                                     col_scale.data(), col_zp.data());
+
+  Int8Epilogue ep;
+  ep.col_scale = col_scale.data();
+  ep.col_zp = col_zp.data();
+  ep.weight_scale = t->scale;
+  ep.wsum = t->wsum.data();
+  ep.row_bias = row_bias;
+  quant::int8::int8_gemm(RowsAre::kS8, t->data.data(), cout, ck,
+                         panels.data(), l, ep, stage, l);
+  conv_claims_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace ripple::deploy

@@ -1,0 +1,107 @@
+// Int8Backend — the kQuantInt8 execution substrate.
+//
+// Where kQuantSim *decodes* the artifact's frozen integer codes back to
+// fp32 and serves them through the float GEMM, Int8Backend keeps them as
+// int8 (quant/int8/int8_tensor.h) and executes linear layers and im2col
+// convolutions through the u8×s8 dot-product kernels
+// (quant/int8/int8_gemm.h): activations are dynamically quantized to 7-bit
+// u8 — per row for linears, per im2col column for convs — multiplied with
+// exact int32 accumulation, and requantized to fp32 in an epilogue that
+// folds bias and (on the compiled-plan path) the per-replica stochastic
+// affine.
+//
+// Construction takes the artifact's QuantRecords zipped with the model's
+// fault targets: every quantized target with bits ≤ 8 is packed directly
+// from its codes — no fp32 round-trip — and keyed by the parameter's data
+// pointer (deployed models clear weight transforms, so that exact pointer
+// reaches linear()/conv_cols()). Unquantized targets, widths over 8 bits,
+// and unknown pointers decline to the digital fp32 kernels — which serve
+// the same values kQuantSim would, since deployed weights equal their
+// decoded codes bit-for-bit.
+//
+// Lifecycle (the ExecutionBackend contract): the frozen per-tensor
+// scale/width metadata is immutable for the backend's lifetime, while
+// invalidate() — fault injection mutated weights in place — drops only the
+// packed codes; the next single-threaded warm-up re-encodes each mutated
+// weight against its frozen calibration (exact for every bit-flipped
+// code), and freeze() seals the map for lock-free concurrent serving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "deploy/artifact.h"
+#include "deploy/exec_backend.h"
+#include "fault/injector.h"
+#include "quant/int8/int8_tensor.h"
+
+namespace ripple::deploy {
+
+class Int8Backend : public ExecutionBackend {
+ public:
+  /// `quant` and `targets` are parallel arrays in fault_targets() order
+  /// (the artifact contract).
+  Int8Backend(const std::vector<QuantRecord>& quant,
+              const std::vector<fault::FaultTarget>& targets);
+
+  const char* name() const override { return "quant-int8"; }
+
+  bool linear(const Tensor& x, const Tensor& w, const float* bias,
+              Tensor& out) override;
+  bool linear_ex(const Tensor& x, const Tensor& w, const LinearEpilogue& ep,
+                 Tensor& out) override;
+  bool conv_cols(int64_t cout, int64_t l, int64_t ck, const float* w,
+                 const float* cols, float* stage,
+                 const float* row_bias) override;
+
+  void freeze() override { frozen_.store(true, std::memory_order_release); }
+  void invalidate() override;
+
+  /// Introspection (tests): number of weights currently packed as int8 /
+  /// total int8-servable targets.
+  int64_t packed_tensors() const {
+    return static_cast<int64_t>(packed_.size());
+  }
+  int64_t servable_tensors() const {
+    return static_cast<int64_t>(meta_.size());
+  }
+  /// Acquire-load paired with freeze()'s release store: a true return
+  /// makes every packed_ insertion visible and the map read-only.
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
+  /// Dense ops actually claimed by the integer kernels since construction
+  /// (not declined to the fp32 path) — lets tests and probes verify the
+  /// substrate is serving, not silently falling back.
+  int64_t linear_claims() const {
+    return linear_claims_.load(std::memory_order_relaxed);
+  }
+  int64_t conv_claims() const {
+    return conv_claims_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Frozen identity of one servable weight — survives invalidate().
+  struct Meta {
+    float calibration = 0.0f;
+    int32_t bits = 0;
+    int64_t rows = 0;
+    int64_t k = 0;
+    bool conv = false;
+  };
+
+  /// Packed form of `w`, rebuilding from the (possibly mutated) fp32
+  /// values if invalidate() dropped it. Null when `w` is not servable, has
+  /// mismatched dims, or is unseen after freeze().
+  const quant::int8::Int8Tensor* packed_for(const float* w, int64_t rows,
+                                            int64_t k, bool conv);
+
+  std::unordered_map<const float*, Meta> meta_;
+  std::unordered_map<const float*, quant::int8::Int8Tensor> packed_;
+  std::atomic<bool> frozen_{false};
+  std::atomic<int64_t> linear_claims_{0};
+  std::atomic<int64_t> conv_claims_{0};
+};
+
+}  // namespace ripple::deploy

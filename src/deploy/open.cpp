@@ -27,6 +27,12 @@ std::unique_ptr<InferenceSession> InferenceSession::open(
     case deploy::Backend::kCrossbar:
       backend = std::make_unique<deploy::CrossbarBackend>(options.crossbar);
       break;
+    case deploy::Backend::kQuantInt8:
+      // Pack the frozen integer codes into int8 panels directly — no fp32
+      // round-trip. Targets must be read before art.model moves below.
+      backend = std::make_unique<deploy::Int8Backend>(
+          art.quant, art.model->fault_targets());
+      break;
   }
   return std::make_unique<InferenceSession>(std::move(art.model),
                                             session_options,

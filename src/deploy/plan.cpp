@@ -16,7 +16,9 @@
 #include <utility>
 #include <vector>
 
+#include "deploy/exec_backend.h"
 #include "tensor/check.h"
+#include "tensor/vmath.h"
 
 namespace ripple::deploy {
 
@@ -61,6 +63,13 @@ void affine_into(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     float* dst = po + i * rowsz;
     const float* gr = pg + rep * c;
     const float* br = pb + rep * c;
+    if (inner == 1) {
+      // 2-D case: the channel axis is contiguous, so the two rounding
+      // sweeps (mul, then add — same sequence as below) auto-vectorize.
+      for (int64_t ch = 0; ch < c; ++ch) dst[ch] = src[ch] * gr[ch];
+      for (int64_t ch = 0; ch < c; ++ch) dst[ch] += br[ch];
+      continue;
+    }
     for (int64_t ch = 0; ch < c; ++ch) {
       const float g = gr[ch];
       float* d = dst + ch * inner;
@@ -120,27 +129,33 @@ void lstm_gates_into(const Tensor& g1, const Tensor& g2, const Tensor& c_prev,
   const float* pc = c_prev.data();
   float* ph = h_out.data();
   float* pn = c_out.data();
+  // Gate activations go through the vectorized σ/tanh kernels
+  // (tensor/vmath.h) — the same per-element sequences the graph's
+  // sigmoid/tanh ops perform, so the fused step still matches the graph
+  // oracle bit-for-bit. Scratch: activated gates [4h] + tanh(c') [h];
+  // thread_local keeps the steady state allocation-free once warm.
+  thread_local std::vector<float> gate_buf;
+  gate_buf.resize(static_cast<size_t>(h4 + hidden));
+  float* gv = gate_buf.data();
+  float* tc = gv + h4;
   for (int64_t i = 0; i < rows; ++i) {
     const float* a = p1 + i * h4;
     const float* b = p2 + i * h4;
     const float* cp = pc + i * hidden;
     float* hr = ph + i * hidden;
     float* cr = pn + i * hidden;
+    for (int64_t j = 0; j < h4; ++j) gv[j] = a[j] + b[j];
+    vsigmoid(gv, gv, hidden);                            // i
+    vsigmoid(gv + hidden, gv + hidden, hidden);          // f
+    vtanh(gv + 2 * hidden, gv + 2 * hidden, hidden);     // g
+    vsigmoid(gv + 3 * hidden, gv + 3 * hidden, hidden);  // o
     for (int64_t j = 0; j < hidden; ++j) {
-      const float vi = a[j] + b[j];
-      const float vf = a[hidden + j] + b[hidden + j];
-      const float vg = a[2 * hidden + j] + b[2 * hidden + j];
-      const float vo = a[3 * hidden + j] + b[3 * hidden + j];
-      const float gi = 1.0f / (1.0f + std::exp(-vi));
-      const float gf = 1.0f / (1.0f + std::exp(-vf));
-      const float gg = std::tanh(vg);
-      const float go = 1.0f / (1.0f + std::exp(-vo));
-      const float fc = gf * cp[j];
-      const float ig = gi * gg;
-      const float cn = fc + ig;
-      cr[j] = cn;
-      hr[j] = go * std::tanh(cn);
+      const float fc = gv[hidden + j] * cp[j];
+      const float ig = gv[j] * gv[2 * hidden + j];
+      cr[j] = fc + ig;
     }
+    vtanh(cr, tc, hidden);
+    for (int64_t j = 0; j < hidden; ++j) hr[j] = gv[3 * hidden + j] * tc[j];
   }
 }
 
@@ -812,13 +827,28 @@ const Tensor& ExecutionPlan::execute(const Tensor& x, PlanContext& ctx) const {
     }
     Tensor& out = ctx.values_[st.out];
     switch (st.tag) {
-      case OpTag::kLinear:
-        autograd::linear_forward_into(
-            *ins[0], st.w, st.b.defined() ? st.b.data() : nullptr, out);
+      case OpTag::kLinear: {
+        const float* bias = st.b.defined() ? st.b.data() : nullptr;
         if (st.ep_gamma.defined()) {
+          // Offer the backend the whole fused step (GEMM + per-replica
+          // affine) — the int8 substrate folds γ/β into its requantize
+          // epilogue. A claim must be bit-exact vs the unfused sequence;
+          // the session's plan-verification gate enforces that before any
+          // plan serves traffic.
+          if (ExecutionBackend* be = active_exec_backend(); be != nullptr) {
+            ExecutionBackend::LinearEpilogue lep;
+            lep.bias = bias;
+            lep.gamma = &st.ep_gamma;
+            lep.beta = &st.ep_beta;
+            if (be->linear_ex(*ins[0], st.w, lep, out)) break;
+          }
+          autograd::linear_forward_into(*ins[0], st.w, bias, out);
           affine_into(out, st.ep_gamma, st.ep_beta, out);
+          break;
         }
+        autograd::linear_forward_into(*ins[0], st.w, bias, out);
         break;
+      }
       case OpTag::kConv2d:
         autograd::conv2d_forward_into(*ins[0], st.w,
                                       st.b.defined() ? st.b.data() : nullptr,

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "core/lazy_stem.h"
 #include "core/mc_stream.h"
 #include "tensor/ops.h"
 
@@ -36,14 +37,17 @@ namespace {
 autograd::Variable apply_context_noise(const autograd::Variable& x,
                                        ActivationNoiseConfig& cfg,
                                        core::McStreamContext& ctx) {
+  // Noise tensors are replica-dependent: expand a lazy stem input here.
+  const autograd::Variable xin =
+      core::lazy_stem_pending(x.dim(0)) ? core::replicate_stem(x) : x;
   const uint64_t inv_seed = core::mc_salted_seed(
       ctx.next_invocation_seed(static_cast<size_t>(cfg.stream_slot)),
       cfg.stream_salt);
   const int64_t t = ctx.replicas();
-  RIPPLE_CHECK(x.dim(0) % t == 0)
-      << "activation noise: batch " << x.dim(0) << " not divisible into "
+  RIPPLE_CHECK(xin.dim(0) % t == 0)
+      << "activation noise: batch " << xin.dim(0) << " not divisible into "
       << t << " MC replicas";
-  const int64_t block = x.value().numel() / t;
+  const int64_t block = xin.value().numel() / t;
   std::vector<Rng> subs;
   subs.reserve(static_cast<size_t>(t));
   for (int64_t r = 0; r < t; ++r)
@@ -51,12 +55,12 @@ autograd::Variable apply_context_noise(const autograd::Variable& x,
         core::mc_replica_seed(inv_seed, ctx.replica_offset() + r),
         ctx.chunk_offset()));
   const auto draw = [&](auto&& fill) {
-    Tensor noise = Tensor::empty(x.shape());
+    Tensor noise = Tensor::empty(xin.shape());
     for (int64_t r = 0; r < t; ++r)
       fill(noise.data() + r * block, subs[static_cast<size_t>(r)]);
     return noise;
   };
-  autograd::Variable y = x;
+  autograd::Variable y = xin;
   if (cfg.multiplicative_std > 0.0f) {
     Tensor factor = draw([&](float* p, Rng& rng) {
       for (int64_t i = 0; i < block; ++i)

@@ -1,6 +1,7 @@
 #include "nn/dropout.h"
 
 #include "autograd/ops.h"
+#include "core/lazy_stem.h"
 #include "core/mc_stream.h"
 
 namespace ripple::nn {
@@ -61,14 +62,17 @@ autograd::Variable Dropout::forward(const autograd::Variable& x) {
   const float scale = 1.0f / (1.0f - p_);
   core::McStreamContext* ctx = core::active_mc_stream();
   if (ctx != nullptr && stream_slot_ >= 0) {
+    // Element masks are replica-dependent: expand a lazy stem input here.
+    const autograd::Variable xin =
+        core::lazy_stem_pending(x.dim(0)) ? core::replicate_stem(x) : x;
     const uint64_t inv_seed =
         ctx->next_invocation_seed(static_cast<size_t>(stream_slot_));
     Tensor mask = context_mask(
-        x.shape(), x.dim(0), *ctx, inv_seed,
+        xin.shape(), xin.dim(0), *ctx, inv_seed,
         [this](float* m, int64_t numel, Rng& rng) {
           fill_element_mask(m, numel, p_, rng);
         });
-    return autograd::apply_mask(x, mask, scale);
+    return autograd::apply_mask(xin, mask, scale);
   }
   Rng& rng = rng_ != nullptr ? *rng_ : global_rng();
   Tensor mask = Tensor::bernoulli(x.shape(), rng, 1.0f - p_);
@@ -91,14 +95,17 @@ autograd::Variable SpatialDropout::forward(const autograd::Variable& x) {
   for (int d = 2; d < x.value().rank(); ++d) inner *= x.dim(d);
   core::McStreamContext* ctx = core::active_mc_stream();
   if (ctx != nullptr && stream_slot_ >= 0) {
+    // Row masks are replica-dependent: expand a lazy stem input here.
+    const autograd::Variable xin =
+        core::lazy_stem_pending(n) ? core::replicate_stem(x) : x;
     const uint64_t inv_seed =
         ctx->next_invocation_seed(static_cast<size_t>(stream_slot_));
     Tensor mask = context_mask(
-        x.shape(), n, *ctx, inv_seed,
+        xin.shape(), xin.dim(0), *ctx, inv_seed,
         [this, inner](float* m, int64_t numel, Rng& rng) {
           fill_row_mask(m, numel / inner, inner, p_, rng);
         });
-    return autograd::apply_mask(x, mask, scale);
+    return autograd::apply_mask(xin, mask, scale);
   }
   Rng& rng = rng_ != nullptr ? *rng_ : global_rng();
   Tensor mask(x.shape());

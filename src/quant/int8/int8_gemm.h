@@ -1,0 +1,158 @@
+// Integer GEMM micro-kernels for the kQuantInt8 execution backend.
+//
+// The artifact carries every quantized weight as frozen integer codes plus
+// one fp32 scale; kQuantSim decodes them back to fp32 and runs the float
+// kernels. This subsystem keeps the codes as int8 and executes the dense
+// compute through u8×s8 dot-product kernels with exact int32 accumulation:
+//
+//   AVX-512 VNNI  vpdpbusd        — 64 MACs per instruction
+//   AVX2          vpmaddubsw + vpmaddwd(1) — 32 MACs per instruction pair
+//   scalar        plain int loops — the RIPPLE_SIMD=0 reference
+//
+// One GEMM shape serves both lowering orientations:
+//
+//   C[m, n] = rows[m, k] · panels[k, n]       (+ requantize epilogue)
+//
+//   linear:  rows = dynamically quantized activations (u8, per-row affine),
+//            panels = prepacked weight columns (s8, per-tensor scale).
+//   conv:    rows = prepacked weight rows (s8, per-tensor scale),
+//            panels = im2col columns quantized per output position
+//            (u8, per-column affine) in the same pass that packs them.
+//
+// Activations quantize to 7 bits ([0, 127]) on purpose: |u8·s8 + u8·s8| ≤
+// 127·128·2 = 32512 < 2^15, so the AVX2 vpmaddubsw i16 pair-sums can never
+// saturate and all three kernels produce bit-identical int32 accumulators.
+// The requantize epilogue (zero-point correction, scale, bias, ReLU, the
+// per-replica stochastic-affine mul/add) has a scalar reference and an
+// AVX2 form that performs the same IEEE operation sequence lane-wise
+// (int32 subtract, cvt-to-float, one mul, one add — identical rounding),
+// so the fp32 outputs stay bit-exact across scalar/AVX2/VNNI — the same
+// contract the fp32 GEMM's plan-verification gate relies on.
+//
+// Panel layout (the int8 analogue of pack_gemm_b_nt): panels of kNR = 16
+// columns, K blocked into groups of kKG = 4 bytes — one group is exactly
+// the 4-byte dot each vpdpbusd lane / vpmaddubsw pair-chain consumes:
+//
+//   byte(panel p, group g, col j, kk) = dst[p·panel_bytes + g·64 + j·4 + kk]
+//
+// Rows are plain row-major with k zero-padded up to a multiple of kKG
+// (zero bytes contribute nothing on either operand, signed or unsigned).
+#pragma once
+
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace ripple::quant::int8 {
+
+inline constexpr int64_t kNR = 16;  // panel width (output columns)
+inline constexpr int64_t kKG = 4;   // K group depth (bytes per i32 lane dot)
+
+/// 64-byte-aligned storage for packed panels. One K group of a panel is
+/// exactly one 64-byte kernel load (kKG·kNR bytes), so cache-line
+/// alignment keeps every VNNI panel load inside a single line — plain
+/// vector storage (typically 16-byte aligned) makes each one a split load.
+template <class T>
+struct PanelAllocator : std::allocator<T> {
+  template <class U>
+  struct rebind {
+    using other = PanelAllocator<U>;
+  };
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(64)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(64));
+  }
+};
+using PanelVec = std::vector<int8_t, PanelAllocator<int8_t>>;
+using PanelVecU8 = std::vector<uint8_t, PanelAllocator<uint8_t>>;
+/// Maximum rows per kernel tile. Each kernel declares its own row block —
+/// VNNI runs 8 rows (8 independent vpdpbusd chains amortise one panel
+/// load), AVX2 runs 4 (8 i32 accumulator registers already fill half the
+/// ymm file) — and the driver blocks M by the active kernel's value.
+inline constexpr int64_t kMR = 8;
+
+inline int64_t padded_k(int64_t k) { return (k + kKG - 1) / kKG * kKG; }
+inline int64_t num_panels(int64_t n) { return (n + kNR - 1) / kNR; }
+/// Bytes of one packed panel for inner dimension k.
+inline int64_t panel_bytes(int64_t k) { return padded_k(k) * kNR; }
+/// Total bytes of the packed panel form of a [k, n] operand.
+inline int64_t packed_bytes(int64_t n, int64_t k) {
+  return num_panels(n) * panel_bytes(k);
+}
+
+/// Which operand carries the unsigned (activation) bytes. The hardware dot
+/// instructions are u8×s8 with a fixed operand order, so the kernels need
+/// to know which side to feed where.
+enum class RowsAre { kU8, kS8 };
+
+/// Requantization epilogue: maps the exact int32 accumulator of C[i, j] to
+/// fp32. Exactly one side is dynamically quantized (per-row for linear,
+/// per-column for conv); the weight side contributes one per-tensor scale
+/// plus per-output integer sums for the zero-point correction:
+///
+///   v = float(acc − zp·wsum) · (dyn_scale · weight_scale) + bias
+///   if relu: v = max(v, 0)
+///   if gamma: v = v·γ[r, ch]; v = v + β[r, ch]   (replica r = i / (m/T))
+///
+/// The γ/β application uses two separate rounding steps (mul, then add),
+/// matching deploy/plan.cpp's affine_into and the graph's channel ops
+/// bit-for-bit — what lets the backend claim a plan's fused linear+affine
+/// step and still pass the bit-exact verification gate.
+struct Int8Epilogue {
+  // Dynamic affine of the quantized activation operand; exactly one pair
+  // is set. Indexed by row i (linear) or column j (conv).
+  const float* row_scale = nullptr;
+  const int32_t* row_zp = nullptr;
+  const float* col_scale = nullptr;
+  const int32_t* col_zp = nullptr;
+  float weight_scale = 1.0f;
+  /// Per-output integer weight sums: indexed by j when rows are the
+  /// activations (linear), by i when rows are the weights (conv).
+  const int32_t* wsum = nullptr;
+  const float* row_bias = nullptr;  // conv: per output channel i
+  const float* col_bias = nullptr;  // linear: per output feature j
+  bool relu = false;
+  /// Per-replica channel affine (linear orientation only): [replicas, n].
+  const float* gamma = nullptr;
+  const float* beta = nullptr;
+  int64_t replicas = 1;
+};
+
+/// C[m, n] = rows[m, k] · panels + epilogue. `rows` is row-major with
+/// stride padded_k(k) bytes (padding zeroed); `panels` is the packed panel
+/// layout above; `c` is fully overwritten (ldc = row stride in floats).
+/// Work splits over column panels × kMR row blocks on the thread pool —
+/// serving shapes are short and wide (small m, large n), so column panels
+/// are the parallel axis.
+void int8_gemm(RowsAre mode, const void* rows, int64_t m, int64_t k,
+               const void* panels, int64_t n, const Int8Epilogue& ep,
+               float* c, int64_t ldc);
+
+/// Packs s8 source rows [n, k] (row-major, e.g. a weight matrix whose n
+/// rows become the n output columns) into the panel layout.
+void pack_panels_s8(const int8_t* src, int64_t n, int64_t k, int8_t* dst);
+
+/// Dynamically quantizes fp32 rows [m, k] to u8 with one affine per row
+/// (7-bit: q = clamp(lrint(x/s) + zp, 0, 127)), writing row-major padded
+/// rows plus per-row scale/zero-point.
+void quantize_rows_u8(const float* x, int64_t m, int64_t k, uint8_t* dst,
+                      float* scale, int32_t* zp);
+
+/// Fused quantize+pack of an im2col matrix cols[k, l] (row k contiguous,
+/// length l): one affine per output column l — column contents are a row's
+/// receptive field, so the scales are independent of how the caller
+/// grouped or replicated rows — written directly in panel layout.
+void quantize_pack_cols_u8(const float* cols, int64_t k, int64_t l,
+                           uint8_t* dst, float* scale, int32_t* zp);
+
+/// Kernel dispatch, mirroring tensor/gemm.h's GemmBackend: kAuto honors
+/// RIPPLE_SIMD=0 (scalar) and otherwise picks the best CPUID-supported
+/// kernel (VNNI > AVX2 > scalar).
+enum class Int8Backend { kAuto, kScalar, kSimd };
+void set_int8_backend(Int8Backend backend);
+const char* int8_backend_name();
+
+}  // namespace ripple::quant::int8

@@ -1,0 +1,89 @@
+#include "quant/int8/int8_tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "quant/int8/int8_gemm.h"
+#include "tensor/check.h"
+
+namespace ripple::quant::int8 {
+namespace {
+
+// Lays out decoded s8 codes per orientation and computes the per-output
+// code sums.
+Int8Tensor finish(std::vector<int8_t> codes, int32_t bits, float calibration,
+                  int64_t rows, int64_t k, bool conv) {
+  Int8Tensor t;
+  t.rows = rows;
+  t.k = k;
+  t.scale = calibration;
+  t.bits = bits;
+  t.conv = conv;
+  t.wsum.assign(static_cast<size_t>(rows), 0);
+  for (int64_t i = 0; i < rows; ++i) {
+    int32_t s = 0;
+    const int8_t* row = codes.data() + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) s += row[kk];
+    t.wsum[static_cast<size_t>(i)] = s;
+  }
+  if (conv) {
+    const int64_t k4 = padded_k(k);
+    t.data.assign(static_cast<size_t>(rows * k4), 0);
+    for (int64_t i = 0; i < rows; ++i)
+      std::memcpy(t.data.data() + i * k4, codes.data() + i * k,
+                  static_cast<size_t>(k));
+  } else {
+    t.data.resize(static_cast<size_t>(packed_bytes(rows, k)));
+    pack_panels_s8(codes.data(), rows, k, t.data.data());
+  }
+  return t;
+}
+
+}  // namespace
+
+Int8Tensor Int8Tensor::from_codes(const std::vector<int32_t>& codes,
+                                  int32_t bits, float calibration,
+                                  int64_t rows, int64_t k, bool conv) {
+  RIPPLE_CHECK(bits >= 1 && bits <= 8)
+      << "Int8Tensor needs 1..8-bit codes, got " << bits;
+  RIPPLE_CHECK(static_cast<int64_t>(codes.size()) == rows * k)
+      << "Int8Tensor: " << codes.size() << " codes for a " << rows << "x" << k
+      << " weight";
+  std::vector<int8_t> s8(codes.size());
+  if (bits == 1) {
+    // BinaryQuantizer: bit0 = 1 for +α, 0 for −α.
+    for (size_t i = 0; i < codes.size(); ++i)
+      s8[i] = (codes[i] & 1) != 0 ? int8_t(1) : int8_t(-1);
+  } else {
+    // IntQuantizer: low `bits` bits are two's complement; sign-extend.
+    const int shift = 32 - bits;
+    for (size_t i = 0; i < codes.size(); ++i)
+      s8[i] = static_cast<int8_t>(
+          static_cast<int32_t>(static_cast<uint32_t>(codes[i]) << shift) >>
+          shift);
+  }
+  return finish(std::move(s8), bits, calibration, rows, k, conv);
+}
+
+Int8Tensor Int8Tensor::from_fp32(const float* w, int64_t rows, int64_t k,
+                                 float calibration, int32_t bits, bool conv) {
+  RIPPLE_CHECK(bits >= 1 && bits <= 8)
+      << "Int8Tensor needs 1..8-bit codes, got " << bits;
+  std::vector<int8_t> s8(static_cast<size_t>(rows * k));
+  if (bits == 1) {
+    // BinaryQuantizer::encode: negative → 0 (−α), else 1 (+α).
+    for (int64_t i = 0; i < rows * k; ++i)
+      s8[static_cast<size_t>(i)] = w[i] < 0.0f ? int8_t(-1) : int8_t(1);
+  } else {
+    // Clamp to the full int8 range, not ±qmax: sign-bit flips produce the
+    // −(qmax+1) code, whose decoded value must survive the round-trip.
+    const float inv = calibration != 0.0f ? 1.0f / calibration : 0.0f;
+    for (int64_t i = 0; i < rows * k; ++i)
+      s8[static_cast<size_t>(i)] = static_cast<int8_t>(std::clamp<int32_t>(
+          static_cast<int32_t>(std::lrintf(w[i] * inv)), -128, 127));
+  }
+  return finish(std::move(s8), bits, calibration, rows, k, conv);
+}
+
+}  // namespace ripple::quant::int8

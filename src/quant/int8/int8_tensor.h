@@ -1,0 +1,59 @@
+// Int8Tensor — a weight matrix held in its integer hardware representation.
+//
+// The artifact stores each quantized fault target as frozen integer codes
+// plus one fp32 calibration scalar (deploy::QuantRecord). kQuantSim
+// decodes those codes back to fp32 and serves them through the float
+// kernels; Int8Tensor instead keeps the codes as int8 — laid out directly
+// in the form the int8 GEMM consumes — so serving never round-trips
+// through fp32:
+//
+//   linear weights [Fout, Fin]  → packed column panels (int8_gemm.h
+//                                 layout); outputs are GEMM columns.
+//   conv weights   [Cout, CK]   → zero-padded row-major rows; outputs are
+//                                 GEMM rows against quantized im2col
+//                                 column panels.
+//
+// Alongside the codes it precomputes the per-output integer code sums the
+// requantize epilogue needs for activation zero-point correction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/int8/int8_gemm.h"
+
+namespace ripple::quant::int8 {
+
+struct Int8Tensor {
+  int64_t rows = 0;    // outputs: Fout (linear) / Cout (conv)
+  int64_t k = 0;       // inner dim: Fin / CK
+  float scale = 1.0f;  // frozen per-tensor calibration (α / scale)
+  int32_t bits = 0;    // source code width (1 = binary, else k-bit)
+  bool conv = false;   // layout selector (see header comment)
+  /// Packed panels (linear) or padded row-major rows (conv);
+  /// 64-byte-aligned so every panel K-group load stays in one cache line.
+  PanelVec data;
+  /// Per-output sums of the int8 codes, for zero-point correction.
+  std::vector<int32_t> wsum;
+
+  bool defined() const { return rows > 0; }
+
+  /// Builds from the artifact's frozen codes (deploy::QuantRecord::codes,
+  /// one int32 per weight with the low `bits` bits meaningful): binary
+  /// codes map bit0 → ±1 with scale = α; k-bit codes sign-extend. Requires
+  /// 1 ≤ bits ≤ 8 and codes.size() == rows·k.
+  static Int8Tensor from_codes(const std::vector<int32_t>& codes,
+                               int32_t bits, float calibration, int64_t rows,
+                               int64_t k, bool conv);
+
+  /// Re-encodes deployed fp32 values against a *frozen* calibration — the
+  /// invalidate()→warm-up rebuild path after in-place weight mutation.
+  /// Inverse of the quantizer decode: any value on the grid c·scale with
+  /// c ∈ [−128, 127] (every bit-flipped code, including the
+  /// −(qmax+1) sign-flip patterns) is recovered exactly; off-grid values
+  /// (post-programming analog noise) snap to the nearest grid point.
+  static Int8Tensor from_fp32(const float* w, int64_t rows, int64_t k,
+                              float calibration, int32_t bits, bool conv);
+};
+
+}  // namespace ripple::quant::int8

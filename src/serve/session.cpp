@@ -278,11 +278,30 @@ Tensor InferenceSession::run_chunk_graph(const Tensor& xc,
                             stream_slots_);
   ctx.set_chunk_offset(chunk_offset);
   core::McStreamScope scope(ctx);
-  Tensor stacked =
-      t > 1 ? fault::replicate_batch(xc, static_cast<int>(t)) : xc;
-  if (deploy::TraceRecorder* tr = deploy::active_trace())
+  if (deploy::TraceRecorder* tr = deploy::active_trace()) {
+    // Tracing records the eager stacked-input graph; the plan compiler
+    // performs its own stem-rows reduction (mark_replication).
+    Tensor stacked =
+        t > 1 ? fault::replicate_batch(xc, static_cast<int>(t)) : xc;
     tr->set_input(stacked);
-  return forward_cached(stacked);
+    return forward_cached(stacked);
+  }
+  if (t > 1) {
+    // Lazy stem replication: enter the model at the unreplicated n rows —
+    // the deterministic stem computes each distinct row once instead of T
+    // times; the first stochastic consumer expands to T·n rows
+    // (core/lazy_stem.h). Bit-identical to eager replication because stem
+    // tensors are replica-uniform by construction.
+    ctx.set_lazy_stem_rows(xc.dim(0));
+    Tensor y = forward_cached(xc);
+    if (y.dim(0) == xc.dim(0)) {
+      // Fully deterministic pass: no consumer replicated, so the T
+      // replicas are the stem output verbatim.
+      return fault::replicate_batch(y, static_cast<int>(t));
+    }
+    return y;
+  }
+  return forward_cached(xc);
 }
 
 uint64_t InferenceSession::noise_fingerprint() const {

@@ -274,17 +274,39 @@ void gemm_driver(int64_t m, int64_t n, int64_t k, PackA&& pack_a_fn,
       const int64_t kb = std::min(kKC, k - k0);
       const float* bp = pack_b_fn(bpbuf, k0, kb, jc, nb, ki.nr);
       const int64_t mblocks = ceil_div(m, kMC);
+      const int64_t npanels = ceil_div(nb, ki.nr);
+      // 2-D work split. M blocks alone cap parallelism at ceil(m/kMC) — one
+      // task for the small-M/large-N shapes the im2col convs produce, with
+      // the rest of the pool idle. When blocks are scarcer than threads,
+      // each also splits its column panels into nchunks contiguous ranges;
+      // every C tile is still written by exactly one run_block call, so the
+      // split never changes results. Consecutive work indices share an M
+      // block, so a participant claiming a range re-packs A only at block
+      // boundaries.
+      const int64_t nthreads = ThreadPool::global().size() + 1;
+      const int64_t nchunks =
+          std::clamp<int64_t>(nthreads / mblocks, 1, npanels);
       parallel_for(
-          mblocks,
-          [&](int64_t blk0, int64_t blk1) {
+          mblocks * nchunks,
+          [&](int64_t w0, int64_t w1) {
             thread_local std::vector<float> apbuf;
             apbuf.resize(static_cast<size_t>((kMC / kMR) * kb * kMR));
-            for (int64_t blk = blk0; blk < blk1; ++blk) {
+            int64_t packed_blk = -1;
+            for (int64_t w = w0; w < w1; ++w) {
+              const int64_t blk = w / nchunks;
               const int64_t i0 = blk * kMC;
               const int64_t mb = std::min(kMC, m - i0);
-              pack_a_fn(apbuf.data(), i0, mb, k0, kb);
-              run_block(ki, kb, apbuf.data(), mb, bp, nb,
-                        c + i0 * n + jc, n);
+              if (blk != packed_blk) {
+                pack_a_fn(apbuf.data(), i0, mb, k0, kb);
+                packed_blk = blk;
+              }
+              const int64_t chunk = w % nchunks;
+              const int64_t q0 = chunk * npanels / nchunks;
+              const int64_t q1 = (chunk + 1) * npanels / nchunks;
+              if (q0 == q1) continue;
+              run_block(ki, kb, apbuf.data(), mb, bp + q0 * kb * ki.nr,
+                        std::min(nb - q0 * ki.nr, (q1 - q0) * ki.nr),
+                        c + i0 * n + jc + q0 * ki.nr, n);
             }
           },
           /*grain=*/1);
@@ -541,12 +563,27 @@ void gemm_nn_prepacked(const PackedGemmA& a, int64_t n, const float* b,
       float* bp = bpbuf.data();
       pack_b_nn(b, n, k0, kb, jc, nb, ki.nr, bp);
       const float* apblock = a.panels.data() + kblock_offset;
+      // Same 2-D split as gemm_driver (A is already packed, so row panels
+      // take the place of M blocks): column-chunk small-M shapes instead
+      // of idling the pool.
+      const int64_t npanels = ceil_div(nb, ki.nr);
+      const int64_t nthreads = ThreadPool::global().size() + 1;
+      const int64_t nchunks =
+          std::clamp<int64_t>(nthreads / mpanels, 1, npanels);
       parallel_for(
-          mpanels,
-          [&](int64_t p0, int64_t p1) {
-            run_block(ki, kb, apblock + p0 * kb * kMR,
-                      std::min(m - p0 * kMR, (p1 - p0) * kMR), bp, nb,
-                      c + p0 * kMR * n + jc, n);
+          mpanels * nchunks,
+          [&](int64_t w0, int64_t w1) {
+            for (int64_t w = w0; w < w1; ++w) {
+              const int64_t p = w / nchunks;
+              const int64_t chunk = w % nchunks;
+              const int64_t q0 = chunk * npanels / nchunks;
+              const int64_t q1 = (chunk + 1) * npanels / nchunks;
+              if (q0 == q1) continue;
+              run_block(ki, kb, apblock + p * kb * kMR,
+                        std::min(m - p * kMR, kMR), bp + q0 * kb * ki.nr,
+                        std::min(nb - q0 * ki.nr, (q1 - q0) * ki.nr),
+                        c + p * kMR * n + jc + q0 * ki.nr, n);
+            }
           },
           /*grain=*/1);
       kblock_offset += mpanels * kMR * kb;

@@ -728,6 +728,50 @@ TEST(ArtifactManifest, CompressedCodesDecodeIdenticallyToRaw) {
                    "raw and compressed codes serve the same bits");
 }
 
+TEST(ArtifactManifest, InspectReportsQuantizerBitsAndEncoding) {
+  // The skim must agree record-for-record with a full load on every format
+  // version, while reflecting each version's on-disk code encoding.
+  models::LstmForecaster model({.hidden = 8, .window = 8},
+                               {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  const SessionOptions opts = options_for(TaskKind::kRegression);
+  for (uint32_t version = 1; version <= 3; ++version) {
+    const std::string name = "skim_v" + std::to_string(version) + ".rpla";
+    const std::string path = temp_path(name.c_str());
+    deploy::save_artifact(model, path, opts, version);
+    const deploy::ManifestInfo info = deploy::inspect_artifact(path);
+    ASSERT_EQ(info.entries.size(), 1u);
+    const auto& quant = info.entries[0].quant;
+    const deploy::LoadedArtifact art = deploy::load_artifact(path);
+    size_t qi = 0;
+    for (const deploy::QuantRecord& rec : art.quant) {
+      if (!rec.quantized) continue;
+      ASSERT_LT(qi, quant.size());
+      EXPECT_EQ(quant[qi].bits, rec.bits) << "record " << qi;
+      EXPECT_EQ(quant[qi].codes, rec.codes.size()) << "record " << qi;
+      if (version == 1) {
+        EXPECT_EQ(quant[qi].encoding, "int32");
+        EXPECT_EQ(quant[qi].stored_bytes, rec.codes.size() * sizeof(int32_t));
+      } else if (version == 2) {
+        EXPECT_EQ(quant[qi].encoding, "raw");
+        EXPECT_EQ(quant[qi].stored_bytes, quant[qi].packed_bytes);
+      } else {
+        EXPECT_TRUE(quant[qi].encoding == "raw" ||
+                    quant[qi].encoding == "rle" ||
+                    quant[qi].encoding == "delta+rle")
+            << quant[qi].encoding;
+        // The v3 writer keeps whichever stream is smallest, so stored
+        // bytes never exceed the raw payload plus its one-byte tag.
+        EXPECT_LE(quant[qi].stored_bytes, quant[qi].packed_bytes + 1);
+      }
+      ++qi;
+    }
+    EXPECT_EQ(qi, quant.size());
+    EXPECT_GT(qi, 0u);
+  }
+}
+
 TEST(ArtifactManifest, RleCompressesConstantSignWeights) {
   // All-positive weights binarize to a constant code stream — the RLE
   // encoding must win by a wide margin and still round-trip bit-exactly.
