@@ -32,6 +32,7 @@
 #include "serve/cluster.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "serve/trace.h"
 #include "tensor/random.h"
 
 using namespace ripple;
@@ -142,6 +143,39 @@ void BM_SessionPredictLstmSmall(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * t * x.dim(0));
 }
 BENCHMARK(BM_SessionPredictLstmSmall)->Arg(8);
+
+// Tracing tax at the default head-sampling rate: the same edge-sized
+// forecaster predict with serve::trace enabled (sample_every = 64) and a
+// live per-request context — begin_trace, the execute-span hook inside the
+// session, finish. scripts/bench.sh records this next to the untraced
+// BM_SessionPredictLstmSmall; the acceptance bound on the items/sec ratio
+// is < 2% (docs/OBSERVABILITY.md).
+void BM_SessionPredictLstmSmallTraced(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  models::LstmForecaster model({.hidden = 8, .window = 24}, proposed());
+  model.set_training(false);
+  model.deploy();
+  serve::InferenceSession session(
+      model, session_options(serve::TaskKind::kRegression, t));
+  Rng rng(4);
+  Tensor x = Tensor::randn({1, 24, 1}, rng);
+  auto& tracer = serve::trace::Tracer::instance();
+  tracer.reset();
+  tracer.configure({.sample_every = 64, .slow_threshold_us = 0});
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    serve::trace::TraceContextPtr ctx =
+        tracer.begin_trace("bench", serve::trace::FinishLayer::kBatcher);
+    serve::trace::ActiveRequestScope scope(ctx.get());
+    serve::Regression mc = session.regress(x);
+    benchmark::DoNotOptimize(mc.mean.data());
+    tracer.finish(ctx);
+  }
+  tracer.set_enabled(false);
+  tracer.reset();
+  state.SetItemsProcessed(state.iterations() * t * x.dim(0));
+}
+BENCHMARK(BM_SessionPredictLstmSmallTraced)->Arg(8);
 
 void BM_SessionPredictUNet(benchmark::State& state) {
   const int t = static_cast<int>(state.range(0));

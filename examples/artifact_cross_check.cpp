@@ -24,10 +24,22 @@
 // other build configuration and holds each to the same tolerance — the
 // multi-model manifest and the serving front door cross-check with the
 // single-model artifact.
+//
+//   artifact_cross_check trace  <dir>   — serve <dir>/model.rpla through a
+//                                         two-replica ModelServer with
+//                                         serve::trace sampling every
+//                                         request, assert the captured
+//                                         timelines cover all seven pipeline
+//                                         stages, and write the Chrome
+//                                         trace-event JSON to
+//                                         <dir>/trace.json (CI validates it
+//                                         with python3 -m json.tool).
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "data/synthetic_images.h"
 #include "deploy/artifact.h"
@@ -36,6 +48,7 @@
 #include "models/trainer.h"
 #include "serve/server.h"
 #include "serve/session.h"
+#include "serve/trace.h"
 #include "tensor/env.h"
 #include "tensor/io.h"
 
@@ -205,14 +218,73 @@ int do_verify(const std::string& dir) {
   return 0;
 }
 
+int do_trace(const std::string& dir) {
+  // Sample every request so one short burst is guaranteed to land in the
+  // rings, then drive the saved artifact through the full serving stack:
+  // ModelServer admission → ClusterController dispatch (two replicas) →
+  // AsyncBatcher → compiled/graph session execution → promise resolution.
+  auto& tracer = serve::trace::Tracer::instance();
+  tracer.reset();
+  tracer.configure({.sample_every = 1, .slow_threshold_us = 0});
+  tracer.set_enabled(true);
+
+  serve::ServerOptions so;
+  so.replicas = 2;
+  so.default_timeout_us = 30'000'000;
+  serve::ModelServer server(so);
+  server.load_model("traced", "1", dir + "/model.rpla");
+  server.register_tenant({.id = "ci", .seed_salt = 0});
+  for (int i = 0; i < 8; ++i) {
+    serve::Request req;
+    req.tenant = "ci";
+    req.model.name = "traced";
+    req.input = probe_batch();
+    serve::Response resp = server.serve(std::move(req));
+    if (resp.status != serve::Status::kOk) {
+      std::fprintf(stderr, "FAIL: traced request %d failed: %s\n", i,
+                   resp.error.c_str());
+      return 1;
+    }
+  }
+  server.close();
+  tracer.set_enabled(false);
+
+  const std::vector<serve::trace::Event> events = tracer.snapshot_events();
+  std::array<int, serve::trace::kStageCount> by_stage{};
+  for (const serve::trace::Event& e : events)
+    ++by_stage[static_cast<size_t>(e.stage)];
+  int missing = 0;
+  for (size_t s = 0; s < serve::trace::kStageCount; ++s) {
+    const char* name =
+        serve::trace::stage_name(static_cast<serve::trace::Stage>(s));
+    std::printf("stage %-14s %d spans\n", name, by_stage[s]);
+    if (by_stage[s] == 0) {
+      std::fprintf(stderr, "FAIL: no '%s' spans captured\n", name);
+      ++missing;
+    }
+  }
+  const std::string out = dir + "/trace.json";
+  if (!tracer.write_chrome_trace(out)) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu events, %llu traces captured, %llu dropped)\n",
+              out.c_str(), events.size(),
+              static_cast<unsigned long long>(tracer.captured()),
+              static_cast<unsigned long long>(tracer.dropped_events()));
+  tracer.reset();
+  return missing == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3 || (std::string(argv[1]) != "save" &&
-                    std::string(argv[1]) != "verify")) {
-    std::fprintf(stderr, "usage: %s save|verify <dir>\n", argv[0]);
+  const std::string mode = argc == 3 ? argv[1] : "";
+  if (mode != "save" && mode != "verify" && mode != "trace") {
+    std::fprintf(stderr, "usage: %s save|verify|trace <dir>\n", argv[0]);
     return 2;
   }
-  return std::string(argv[1]) == "save" ? do_save(argv[2])
-                                        : do_verify(argv[2]);
+  if (mode == "save") return do_save(argv[2]);
+  if (mode == "trace") return do_trace(argv[2]);
+  return do_verify(argv[2]);
 }

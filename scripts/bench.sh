@@ -18,7 +18,12 @@
 #                     the integer-execution pairs — BM_SessionPredict{Lstm,}
 #                     QuantInt8/8 vs the matching QuantSim/8 rows — for the
 #                     kQuantInt8 backend's speedup on dense-heavy models
-#                     (the acceptance target is ≥2× on the LSTM pair).
+#                     (the acceptance target is ≥2× on the LSTM pair), and
+#                     the tracing tax — BM_SessionPredictLstmSmallTraced/8
+#                     (serve::trace enabled, 1-in-64 head sampling, live
+#                     per-request context) vs the untraced
+#                     BM_SessionPredictLstmSmall/8 — which must stay
+#                     within 2% (docs/OBSERVABILITY.md).
 #
 # Usage: scripts/bench.sh [build-dir]   (default: build-bench)
 set -euo pipefail

@@ -8,6 +8,8 @@
 // compiled path, never correctness.
 #include "deploy/plan.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -781,7 +783,74 @@ bool PlanBuilder::emit() {
   return true;
 }
 
+std::atomic<bool> g_plan_profiling{false};
+
 }  // namespace
+
+const char* op_tag_name(OpTag tag) {
+  switch (tag) {
+    case OpTag::kNone: return "none";
+    case OpTag::kAdd: return "add";
+    case OpTag::kSub: return "sub";
+    case OpTag::kMul: return "mul";
+    case OpTag::kMulScalar: return "mul_scalar";
+    case OpTag::kAddScalar: return "add_scalar";
+    case OpTag::kRelu: return "relu";
+    case OpTag::kSigmoid: return "sigmoid";
+    case OpTag::kTanh: return "tanh";
+    case OpTag::kSign: return "sign";
+    case OpTag::kPact: return "pact";
+    case OpTag::kFakeQuant: return "fake_quant";
+    case OpTag::kReshape: return "reshape";
+    case OpTag::kConcat: return "concat";
+    case OpTag::kSliceCols: return "slice_cols";
+    case OpTag::kSelectTime: return "select_time";
+    case OpTag::kMulChannel: return "mul_channel";
+    case OpTag::kAddChannel: return "add_channel";
+    case OpTag::kMulChannelRep: return "mul_channel_rep";
+    case OpTag::kAddChannelRep: return "add_channel_rep";
+    case OpTag::kApplyMask: return "apply_mask";
+    case OpTag::kGroupNorm: return "group_norm";
+    case OpTag::kBatchNormEval: return "batch_norm_eval";
+    case OpTag::kMaxPool2d: return "max_pool2d";
+    case OpTag::kMaxPool1d: return "max_pool1d";
+    case OpTag::kAvgPool2d: return "avg_pool2d";
+    case OpTag::kGap2d: return "gap2d";
+    case OpTag::kGap1d: return "gap1d";
+    case OpTag::kUpsample2x: return "upsample2x";
+    case OpTag::kLinear: return "linear";
+    case OpTag::kConv2d: return "conv2d";
+    case OpTag::kConv1d: return "conv1d";
+    case OpTag::kReplicate: return "replicate";
+    case OpTag::kAffine: return "affine";
+    case OpTag::kBnAffine: return "bn_affine";
+    case OpTag::kLstmGates: return "lstm_gates";
+  }
+  return "unknown";
+}
+
+const char* op_tag_group(OpTag tag) {
+  switch (tag) {
+    case OpTag::kLinear:
+    case OpTag::kConv2d:
+    case OpTag::kConv1d:
+    case OpTag::kLstmGates:
+      return "gemm";
+    case OpTag::kAffine:
+    case OpTag::kBnAffine:
+      return "epilogue";
+    default:
+      return "other";
+  }
+}
+
+void set_plan_profiling(bool on) {
+  g_plan_profiling.store(on, std::memory_order_relaxed);
+}
+
+bool plan_profiling_enabled() {
+  return g_plan_profiling.load(std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------------
 
@@ -819,7 +888,11 @@ const Tensor& ExecutionPlan::execute(const Tensor& x, PlanContext& ctx) const {
   std::memcpy(xin.data(), x.data(),
               sizeof(float) * static_cast<size_t>(x.numel()));
   const Tensor* ins[4] = {nullptr, nullptr, nullptr, nullptr};
-  for (const PlanStep& st : steps_) {
+  const bool prof = profile_ != nullptr && plan_profiling_enabled();
+  for (size_t si = 0; si < steps_.size(); ++si) {
+    const PlanStep& st = steps_[si];
+    std::chrono::steady_clock::time_point step_start;
+    if (prof) step_start = std::chrono::steady_clock::now();
     const int n = static_cast<int>(st.args.size());
     for (int i = 0; i < n; ++i) {
       const int a = st.args[i];
@@ -882,8 +955,38 @@ const Tensor& ExecutionPlan::execute(const Tensor& x, PlanContext& ctx) const {
         st.fn(ins, n, out);
         break;
     }
+    if (prof) {
+      const auto step_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - step_start)
+                               .count();
+      profile_[si].ns.fetch_add(static_cast<uint64_t>(step_ns),
+                                std::memory_order_relaxed);
+      profile_[si].calls.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return ctx.values_[output_buffer_];
+}
+
+std::vector<PlanOpProfile> ExecutionPlan::op_profile() const {
+  std::vector<PlanOpProfile> out(steps_.size());
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    out[i].step = static_cast<int>(i);
+    out[i].tag = steps_[i].tag;
+    out[i].name = op_tag_name(steps_[i].tag);
+    if (profile_ != nullptr) {
+      out[i].calls = profile_[i].calls.load(std::memory_order_relaxed);
+      out[i].total_ns = profile_[i].ns.load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void ExecutionPlan::reset_profile() const {
+  if (profile_ == nullptr) return;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    profile_[i].ns.store(0, std::memory_order_relaxed);
+    profile_[i].calls.store(0, std::memory_order_relaxed);
+  }
 }
 
 std::unique_ptr<ExecutionPlan> compile_trace(std::vector<TraceStep> steps,
@@ -917,6 +1020,7 @@ std::unique_ptr<ExecutionPlan> compile_trace(std::vector<TraceStep> steps,
   }
   plan->slot_numel_ = std::move(b.slot_numel);
   plan->steps_ = std::move(b.psteps);
+  plan->profile_.reset(new ExecutionPlan::StepProfile[plan->steps_.size()]());
   plan->input_buffer_ = 0;
   plan->output_buffer_ = b.out_buf;
   plan->replicas_ = b.t;

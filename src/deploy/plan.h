@@ -27,6 +27,7 @@
 // plan is installed).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -50,6 +51,36 @@ struct PlanStats {
   int buffers = 0;
   int arena_slots = 0;
   int64_t arena_bytes = 0;
+};
+
+/// Human-readable name of an OpTag ("linear", "lstm_gates", ...). Stable —
+/// these are Prometheus label values.
+const char* op_tag_name(OpTag tag);
+
+/// Coarse cost bucket of an OpTag for the metrics endpoint's GEMM-vs-
+/// epilogue split: "gemm" (linear/conv/lstm_gates, fused epilogues
+/// included), "epilogue" (standalone affine/bn_affine), or "other".
+const char* op_tag_group(OpTag tag);
+
+/// Process-wide switch for per-step plan profiling. Off (the default), a
+/// plan's execute loop pays one relaxed load + branch per call; on, each
+/// step is clocked and its nanoseconds accumulate into the plan's profile
+/// counters (two relaxed adds per step — plans stay shareable across
+/// threads and the steady-state path stays allocation-free either way).
+void set_plan_profiling(bool on);
+bool plan_profiling_enabled();
+
+/// Accumulated cost of one plan step (or one op tag when aggregated across
+/// a session's cached plans, in which case `step` is -1). GEMM-backed tags
+/// (linear/conv*) include their fused epilogue; standalone affine/bn_affine
+/// steps are the unfused epilogue cost — together they split compiled
+/// execution into GEMM vs epilogue time for the metrics endpoint.
+struct PlanOpProfile {
+  int step = -1;
+  OpTag tag = OpTag::kNone;
+  const char* name = "";
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
 };
 
 struct PlanStep {
@@ -102,6 +133,12 @@ class ExecutionPlan {
   const PlanStats& stats() const { return stats_; }
   int64_t replicas() const { return replicas_; }
 
+  /// Per-step profile counters (one entry per plan step, in execution
+  /// order). All zeros unless executes ran with plan profiling enabled.
+  std::vector<PlanOpProfile> op_profile() const;
+  /// Zeros the profile counters (safe concurrently with execute).
+  void reset_profile() const;
+
  private:
   friend std::unique_ptr<ExecutionPlan> compile_trace(
       std::vector<TraceStep> steps, const Tensor& stacked_input,
@@ -113,10 +150,18 @@ class ExecutionPlan {
     int slot = -1;
   };
 
+  /// Per-step profiling accumulators, sized like steps_. Mutable + atomic:
+  /// execute() is const and concurrent across pooled contexts.
+  struct StepProfile {
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint64_t> calls{0};
+  };
+
   std::vector<Tensor> constants_;
   std::vector<BufferInfo> buffers_;
   std::vector<int64_t> slot_numel_;
   std::vector<PlanStep> steps_;
+  mutable std::unique_ptr<StepProfile[]> profile_;
   int input_buffer_ = -1;
   int output_buffer_ = -1;
   int64_t replicas_ = 1;

@@ -88,8 +88,29 @@ std::future<Prediction> AsyncBatcher::submit(
                  std::chrono::steady_clock::now() + timeout);
 }
 
+std::future<Prediction> AsyncBatcher::submit(Tensor input,
+                                             std::chrono::microseconds timeout,
+                                             trace::TraceContextPtr tctx) {
+  return enqueue(std::move(input), std::chrono::steady_clock::now() + timeout,
+                 std::move(tctx));
+}
+
+std::future<Prediction> AsyncBatcher::submit(Tensor input,
+                                             trace::TraceContextPtr tctx) {
+  return enqueue(std::move(input), std::chrono::steady_clock::time_point::max(),
+                 std::move(tctx));
+}
+
 std::future<Prediction> AsyncBatcher::enqueue(
-    Tensor input, std::chrono::steady_clock::time_point hard_deadline) {
+    Tensor input, std::chrono::steady_clock::time_point hard_deadline,
+    trace::TraceContextPtr tctx) {
+  // Self-create a batcher-owned context for untraced requests so direct
+  // batcher users get timelines too. With tracing off this is the one
+  // branch the submit path pays.
+  if (!tctx && trace::Tracer::instance().enabled()) {
+    tctx = trace::Tracer::instance().begin_trace(
+        "", trace::FinishLayer::kBatcher);
+  }
   std::promise<Prediction> promise;
   std::future<Prediction> future = promise.get_future();
   {
@@ -106,7 +127,7 @@ std::future<Prediction> AsyncBatcher::enqueue(
     queue_.push_back(Pending{std::move(input), std::move(promise),
                              std::min(now + effective_delay(now),
                                       hard_deadline),
-                             now, hard_deadline});
+                             now, hard_deadline, std::move(tctx)});
     counters_.on_submit();
   }
   cv_.notify_one();
@@ -203,13 +224,18 @@ void AsyncBatcher::fail_expired(std::vector<Pending>& expired) {
     // Counters first, promise last: a client that just observed the
     // future must find this request already accounted for.
     counters_.on_timeout();
+    const auto now = std::chrono::steady_clock::now();
     counters_.latency().record(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - p.enqueue)
+        std::chrono::duration_cast<std::chrono::microseconds>(now - p.enqueue)
             .count());
     counters_.on_complete(1);
+    if (p.trace) {
+      trace::Tracer::instance().record_span(
+          p.trace, trace::Stage::kQueueWait, p.enqueue, now);
+    }
     p.promise.set_exception(std::make_exception_ptr(ServeError(
         Status::kTimeout, "request deadline expired in queue")));
+    trace::Tracer::instance().finish_if(p.trace, trace::FinishLayer::kBatcher);
   }
 }
 
@@ -242,6 +268,7 @@ void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
   // nobody is waiting for. Per request, counters land before the promise
   // resolves, so metrics are consistent from the client's point of view.
   const auto dispatch_time = std::chrono::steady_clock::now();
+  trace::Tracer& tracer = trace::Tracer::instance();
   std::vector<Pending> live;
   live.reserve(batch.size());
   for (Pending& p : batch) {
@@ -249,8 +276,13 @@ void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
       counters_.on_timeout();
       record(p);
       counters_.on_complete(1);
+      if (p.trace) {
+        tracer.record_span(p.trace, trace::Stage::kQueueWait, p.enqueue,
+                           dispatch_time);
+      }
       p.promise.set_exception(std::make_exception_ptr(ServeError(
           Status::kTimeout, "request deadline expired before dispatch")));
+      tracer.finish_if(p.trace, trace::FinishLayer::kBatcher);
     } else {
       live.push_back(std::move(p));
     }
@@ -260,20 +292,53 @@ void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
     std::vector<Tensor> inputs;
     inputs.reserve(live.size());
     int64_t live_rows = 0;
+    bool traced = false;
     for (const Pending& p : live) {
       inputs.push_back(p.input);
       live_rows += rows_of(p.input);
+      traced = traced || p.trace != nullptr;
     }
     bool coalesced_ok = false;
     try {
       if (hook) hook(live_rows);
-      std::vector<Prediction> results = session_.predict_many(inputs);
+      const auto forward_start = std::chrono::steady_clock::now();
+      trace::TraceData* lead = nullptr;
+      if (traced) {
+        // The coalesced forward is one shared piece of work — queue-wait
+        // and assembly spans land per request, and the first traced member
+        // owns the batch's session-level execute sub-spans.
+        for (const Pending& p : live) {
+          if (!p.trace) continue;
+          if (lead == nullptr) lead = p.trace.get();
+          tracer.record_span(p.trace, trace::Stage::kQueueWait, p.enqueue,
+                             dispatch_time);
+          tracer.record_span(p.trace, trace::Stage::kBatchAssembly,
+                             dispatch_time, forward_start);
+        }
+      }
+      std::vector<Prediction> results;
+      {
+        trace::ActiveRequestScope scope(lead);
+        results = session_.predict_many(inputs);
+      }
+      const auto exec_end = std::chrono::steady_clock::now();
       coalesced_ok = true;
       for (size_t i = 0; i < live.size(); ++i) {
         record(live[i]);
         record_analog(live[i]);
+        observe_uncertainty(counters_.uncertainty(), results[i]);
         counters_.on_complete(1);
+        if (live[i].trace) {
+          tracer.record_span(live[i].trace, trace::Stage::kExecute,
+                             forward_start, exec_end,
+                             static_cast<uint32_t>(live.size()));
+        }
         live[i].promise.set_value(std::move(results[i]));
+        if (live[i].trace) {
+          tracer.record_span(live[i].trace, trace::Stage::kResolve, exec_end,
+                             std::chrono::steady_clock::now());
+          tracer.finish_if(live[i].trace, trace::FinishLayer::kBatcher);
+        }
       }
     } catch (...) {
       if (coalesced_ok) throw;  // a promise was already consumed; don't retry
@@ -284,15 +349,32 @@ void AsyncBatcher::run_batch(std::vector<Pending>& batch) {
       for (Pending& p : live) {
         try {
           if (hook) hook(rows_of(p.input));
-          Prediction result = session_.predict(p.input);
+          const auto retry_start = std::chrono::steady_clock::now();
+          Prediction result;
+          {
+            trace::ActiveRequestScope scope(p.trace.get());
+            result = session_.predict(p.input);
+          }
+          const auto retry_end = std::chrono::steady_clock::now();
           record(p);
           record_analog(p);
+          observe_uncertainty(counters_.uncertainty(), result);
           counters_.on_complete(1);
+          if (p.trace) {
+            tracer.record_span(p.trace, trace::Stage::kExecute, retry_start,
+                               retry_end, 1);
+          }
           p.promise.set_value(std::move(result));
+          if (p.trace) {
+            tracer.record_span(p.trace, trace::Stage::kResolve, retry_end,
+                               std::chrono::steady_clock::now());
+            tracer.finish_if(p.trace, trace::FinishLayer::kBatcher);
+          }
         } catch (...) {
           record(p);
           counters_.on_complete(1);
           p.promise.set_exception(std::current_exception());
+          tracer.finish_if(p.trace, trace::FinishLayer::kBatcher);
         }
       }
     }

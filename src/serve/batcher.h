@@ -84,6 +84,7 @@
 #include "serve/metrics.h"
 #include "serve/session.h"
 #include "serve/status.h"
+#include "serve/trace.h"
 
 namespace ripple::serve {
 
@@ -110,6 +111,17 @@ class AsyncBatcher {
   /// served late. timeout <= 0 means already expired.
   std::future<Prediction> submit(Tensor input,
                                  std::chrono::microseconds timeout);
+
+  /// Same, carrying an upstream trace context (serve/trace.h): the batcher
+  /// appends queue-wait/batch-assembly/execute/resolve spans to it, and
+  /// finishes it after resolving the promise when the context is
+  /// batcher-owned. Null `tctx` with tracing enabled self-creates one, so
+  /// direct batcher users get timelines without a ModelServer in front.
+  std::future<Prediction> submit(Tensor input,
+                                 std::chrono::microseconds timeout,
+                                 trace::TraceContextPtr tctx);
+  /// Traced submit without a hard deadline.
+  std::future<Prediction> submit(Tensor input, trace::TraceContextPtr tctx);
 
   /// Enqueues several requests at once (they may still be split across
   /// dispatched batches); one future per request, in order.
@@ -149,11 +161,14 @@ class AsyncBatcher {
     std::chrono::steady_clock::time_point enqueue;
     /// Absolute per-request deadline (time_point::max() = none).
     std::chrono::steady_clock::time_point hard_deadline;
+    /// Trace context (null when tracing is off or the request is untraced).
+    trace::TraceContextPtr trace;
   };
 
   /// Common submit path; hard_deadline = time_point::max() for none.
   std::future<Prediction> enqueue(
-      Tensor input, std::chrono::steady_clock::time_point hard_deadline);
+      Tensor input, std::chrono::steady_clock::time_point hard_deadline,
+      trace::TraceContextPtr tctx = nullptr);
 
   void worker_loop();
   /// Pops the dispatch group (oldest request + same-per-row-shape

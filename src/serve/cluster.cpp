@@ -72,6 +72,19 @@ std::future<Prediction> ClusterController::submit(Tensor input) {
 
 std::future<Prediction> ClusterController::submit(
     Tensor input, std::chrono::microseconds timeout) {
+  return submit(std::move(input), timeout, nullptr);
+}
+
+std::future<Prediction> ClusterController::submit(
+    Tensor input, std::chrono::microseconds timeout,
+    trace::TraceContextPtr tctx) {
+  // Self-create a cluster-owned context for untraced requests so direct
+  // cluster users get timelines too. With tracing off this is the one
+  // branch the submit path pays.
+  if (!tctx && trace::Tracer::instance().enabled()) {
+    tctx = trace::Tracer::instance().begin_trace(
+        "", trace::FinishLayer::kCluster);
+  }
   std::promise<Prediction> promise;
   std::future<Prediction> future = promise.get_future();
   const auto now = Clock::now();
@@ -94,10 +107,12 @@ std::future<Prediction> ClusterController::submit(
     promise.set_exception(std::make_exception_ptr(ServeError(
         Status::kOverloaded, queue_full ? "controller queue full"
                                         : "all routable replicas saturated")));
+    trace::Tracer::instance().finish_if(tctx, trace::FinishLayer::kCluster);
     return future;
   }
 
-  queue_.push_back(Task{std::move(input), std::move(promise), now, deadline});
+  queue_.push_back(Task{std::move(input), std::move(promise), now, deadline,
+                        std::move(tctx)});
   cv_.notify_one();
   return future;
 }
@@ -209,6 +224,12 @@ Clock::time_point ClusterController::attempt_deadline_for(
 void ClusterController::prime_attempt(Task& task, FirstAttempt& fa) {
   const auto now = Clock::now();
   fa.start = now;
+  if (task.trace) {
+    // Cluster-level queue wait (detail 1 distinguishes it from a batcher's
+    // queue-wait span on the same timeline).
+    trace::Tracer::instance().record_span(
+        task.trace, trace::Stage::kQueueWait, task.enqueue, now, 1);
+  }
   if (task.deadline != kNoDeadline && now >= task.deadline) {
     fa.expired = true;
     return;
@@ -224,8 +245,13 @@ void ClusterController::prime_attempt(Task& task, FirstAttempt& fa) {
   Replica& replica = *fleet_[fa.decision.replica];
   replica.begin_attempt();
   try {
-    fa.outcome = replica.submit(task.input, budget);
+    fa.outcome = replica.submit(task.input, budget, task.trace);
     fa.dispatched = true;
+    if (task.trace) {
+      trace::Tracer::instance().record_span(
+          task.trace, trace::Stage::kDispatch, now, Clock::now(),
+          static_cast<uint32_t>(fa.decision.replica));
+    }
   } catch (...) {
     // Replica closed between route() and submit() — the collect pass
     // treats it as a failed attempt and re-routes.
@@ -233,6 +259,10 @@ void ClusterController::prime_attempt(Task& task, FirstAttempt& fa) {
 }
 
 void ClusterController::serve_task(Task& task, FirstAttempt* first) {
+  if (first == nullptr && task.trace) {
+    trace::Tracer::instance().record_span(
+        task.trace, trace::Stage::kQueueWait, task.enqueue, Clock::now(), 1);
+  }
   const auto resolve_latency = [&] {
     counters_.latency().record(us_between(task.enqueue, Clock::now()));
   };
@@ -245,6 +275,8 @@ void ClusterController::serve_task(Task& task, FirstAttempt* first) {
     resolve_latency();
     task.promise.set_exception(
         std::make_exception_ptr(ServeError(status, what)));
+    trace::Tracer::instance().finish_if(task.trace,
+                                        trace::FinishLayer::kCluster);
   };
   const auto backoff_sleep = [&](int64_t backoff_us) {
     auto wait = std::chrono::microseconds(backoff_us);
@@ -302,8 +334,13 @@ void ClusterController::serve_task(Task& task, FirstAttempt* first) {
                       us_between(now, attempt_deadline));
         fleet_[d.replica]->begin_attempt();
         try {
-          outcome = fleet_[d.replica]->submit(task.input, budget);
+          outcome = fleet_[d.replica]->submit(task.input, budget, task.trace);
           dispatched = true;
+          if (task.trace) {
+            trace::Tracer::instance().record_span(
+                task.trace, trace::Stage::kDispatch, now, Clock::now(),
+                static_cast<uint32_t>(d.replica));
+          }
         } catch (...) {
           // Replica closed between route() and submit() — treat as a
           // failed attempt and re-route.
@@ -355,7 +392,15 @@ void ClusterController::serve_task(Task& task, FirstAttempt* first) {
         }
         counters_.on_success();
         resolve_latency();
+        const auto resolve_start = Clock::now();
         task.promise.set_value(std::move(prediction));
+        if (task.trace) {
+          trace::Tracer::instance().record_span(task.trace,
+                                                trace::Stage::kResolve,
+                                                resolve_start, Clock::now());
+          trace::Tracer::instance().finish_if(task.trace,
+                                              trace::FinishLayer::kCluster);
+        }
         return;
       } catch (...) {
         replica.end_attempt();

@@ -68,6 +68,7 @@
 
 #include "deploy/deploy.h"
 #include "serve/replica.h"
+#include "serve/trace.h"
 
 namespace ripple::serve {
 
@@ -204,6 +205,15 @@ class ClusterController {
   std::future<Prediction> submit(Tensor input,
                                  std::chrono::microseconds timeout);
 
+  /// Same, carrying an upstream trace context (serve/trace.h): the cluster
+  /// appends queue-wait/dispatch/resolve spans (the winning replica's
+  /// batcher adds its own), and finishes cluster-owned contexts after the
+  /// task promise resolves. Null `tctx` with tracing enabled self-creates
+  /// one, so direct cluster users get timelines without a ModelServer.
+  std::future<Prediction> submit(Tensor input,
+                                 std::chrono::microseconds timeout,
+                                 trace::TraceContextPtr tctx);
+
   /// One load-aware power-of-two-choices routing verdict over the current
   /// fleet state. Public for tests; dispatchers call it per attempt.
   /// `exclude` drops one replica from the candidate pool — retries pass
@@ -236,6 +246,8 @@ class ClusterController {
     std::chrono::steady_clock::time_point enqueue;
     /// Absolute deadline (time_point::max() = none).
     std::chrono::steady_clock::time_point deadline;
+    /// Trace context (null when tracing is off or the request is untraced).
+    trace::TraceContextPtr trace;
   };
 
   /// A first attempt primed (routed + submitted, not yet awaited) by the

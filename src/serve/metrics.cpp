@@ -1,6 +1,7 @@
 #include "serve/metrics.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 namespace ripple::serve {
@@ -95,6 +96,11 @@ void LatencyHistogram::merge_from(const LatencyHistogram& other) {
   total_us_.fetch_add(other.total_us_.load(relaxed), relaxed);
 }
 
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, relaxed);
+  total_us_.store(0, relaxed);
+}
+
 LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   Snapshot s;
   for (size_t b = 0; b < kBuckets; ++b) {
@@ -103,6 +109,97 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   }
   s.total_us = total_us_.load(relaxed);
   return s;
+}
+
+void UncertaintyMonitor::ewma_update(std::atomic<uint64_t>& slot, double value,
+                                     double alpha, bool first) {
+  uint64_t seen = slot.load(relaxed);
+  while (true) {
+    const double current = std::bit_cast<double>(seen);
+    const double next =
+        first ? value : current + alpha * (value - current);
+    if (slot.compare_exchange_weak(seen, std::bit_cast<uint64_t>(next),
+                                   relaxed)) {
+      return;
+    }
+  }
+}
+
+void UncertaintyMonitor::record(double entropy, double variance) {
+  if (!std::isfinite(entropy)) entropy = 0.0;
+  if (!std::isfinite(variance)) variance = 0.0;
+  // Seed every EWMA with the first observation so the baseline doesn't
+  // spend ~1/alpha requests climbing from zero.
+  const bool first = count_.fetch_add(1, relaxed) == 0;
+  ewma_update(entropy_fast_, entropy, kFastAlpha, first);
+  ewma_update(entropy_baseline_, entropy, kBaselineAlpha, first);
+  ewma_update(variance_fast_, variance, kFastAlpha, first);
+  ewma_update(variance_baseline_, variance, kBaselineAlpha, first);
+}
+
+UncertaintyMonitor::Snapshot UncertaintyMonitor::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(relaxed);
+  s.entropy_fast = std::bit_cast<double>(entropy_fast_.load(relaxed));
+  s.entropy_baseline = std::bit_cast<double>(entropy_baseline_.load(relaxed));
+  s.variance_fast = std::bit_cast<double>(variance_fast_.load(relaxed));
+  s.variance_baseline =
+      std::bit_cast<double>(variance_baseline_.load(relaxed));
+  if (std::abs(s.entropy_baseline) > 1e-9) {
+    s.drift = s.entropy_fast / s.entropy_baseline - 1.0;
+  }
+  return s;
+}
+
+void UncertaintyMonitor::reset() {
+  count_.store(0, relaxed);
+  entropy_fast_.store(0, relaxed);
+  entropy_baseline_.store(0, relaxed);
+  variance_fast_.store(0, relaxed);
+  variance_baseline_.store(0, relaxed);
+}
+
+namespace {
+
+double tensor_mean(const Tensor& t) {
+  if (t.numel() == 0) return 0.0;
+  double sum = 0.0;
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) sum += p[i];
+  return sum / static_cast<double>(t.numel());
+}
+
+}  // namespace
+
+void observe_uncertainty(UncertaintyMonitor& monitor, const Prediction& pred) {
+  double entropy = 0.0;
+  double variance = 0.0;
+  if (const auto* cls = std::get_if<Classification>(&pred)) {
+    entropy = tensor_mean(cls->entropy);
+    variance = tensor_mean(cls->variance);
+  } else if (const auto* reg = std::get_if<Regression>(&pred)) {
+    // A point forecast has no categorical entropy; MC spread is the signal.
+    const float* p = reg->stddev.data();
+    double sum = 0.0;
+    for (int64_t i = 0; i < reg->stddev.numel(); ++i)
+      sum += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+    if (reg->stddev.numel() > 0)
+      variance = sum / static_cast<double>(reg->stddev.numel());
+  } else if (const auto* seg = std::get_if<Segmentation>(&pred)) {
+    const float* p = seg->mean_probs.data();
+    double hsum = 0.0;
+    double vsum = 0.0;
+    for (int64_t i = 0; i < seg->mean_probs.numel(); ++i) {
+      const double q = std::clamp(static_cast<double>(p[i]), 1e-12, 1.0 - 1e-12);
+      hsum += -(q * std::log(q) + (1.0 - q) * std::log(1.0 - q));
+      vsum += q * (1.0 - q);
+    }
+    if (seg->mean_probs.numel() > 0) {
+      entropy = hsum / static_cast<double>(seg->mean_probs.numel());
+      variance = vsum / static_cast<double>(seg->mean_probs.numel());
+    }
+  }
+  monitor.record(entropy, variance);
 }
 
 size_t BatcherCounters::bucket_for(size_t requests) {

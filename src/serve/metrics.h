@@ -56,9 +56,27 @@ class LatencyHistogram {
   /// side stay consistent bucket-wise (relaxed snapshot).
   void merge_from(const LatencyHistogram& other);
 
+  /// Zeros every bucket and the running sum. Not atomic as a whole: a
+  /// record() racing a reset() lands entirely in the old or the new
+  /// generation per field, so a subsequent snapshot may briefly show a
+  /// count/total mismatch of at most the in-flight samples. Intended for
+  /// test setup and operator-initiated counter resets, not for use
+  /// concurrent with a consistency-sensitive reader.
+  void reset();
+
   /// Plain-value copy of the bucket counts — what the Prometheus exporter
   /// renders (cumulative le-buckets) without holding atomics across
   /// formatting.
+  ///
+  /// Consistency contract: buckets are read one by one with relaxed loads
+  /// and `count` is *derived* from their sum, so a snapshot is always
+  /// internally consistent (count == Σ buckets — cumulative le-buckets
+  /// never decrease and `+Inf` equals `_count`, which Prometheus requires).
+  /// Concurrent record()/merge_from() calls never lose or double-count a
+  /// sample, but a snapshot taken mid-record may include a sample's bucket
+  /// increment without its total_us (or vice versa), skewing mean_us by at
+  /// most the in-flight samples. Snapshots are monotone: a later snapshot's
+  /// per-bucket counts are ≥ an earlier one's (absent reset()).
   struct Snapshot {
     std::array<uint64_t, kBuckets> buckets{};
     uint64_t total_us = 0;
@@ -72,6 +90,61 @@ class LatencyHistogram {
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> total_us_{0};
 };
+
+/// Streaming monitor of a serving unit's predictive-uncertainty signals —
+/// the paper's operational premise made scrapeable: stochastic-affine MC
+/// uncertainty reveals hardware faults, so entropy/variance drift on a
+/// replica is visible from Prometheus before any accuracy data exists.
+///
+/// Two EWMAs per signal: a *fast* window (alpha 0.2, tracks the last ~5
+/// requests) and a slow *baseline* (alpha 0.02, the last ~50). The drift
+/// gauge is the fast entropy's relative departure from baseline
+/// (fast/baseline − 1): a healthy unit hovers near 0; a fault-injected or
+/// degrading chip instance pushes entropy up and the gauge follows within
+/// a handful of requests. All updates are lock-free CAS on bit-cast
+/// atomic doubles — record() is called on the batcher's hot completion
+/// path for every successful request, tracing on or off.
+class UncertaintyMonitor {
+ public:
+  void record(double entropy, double variance);
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double entropy_fast = 0.0;
+    double entropy_baseline = 0.0;
+    double variance_fast = 0.0;
+    double variance_baseline = 0.0;
+    /// entropy_fast / entropy_baseline − 1, or 0 while the baseline is
+    /// still too small (< 1e-9) to divide by.
+    double drift = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  void reset();
+
+ private:
+  static constexpr std::memory_order relaxed = std::memory_order_relaxed;
+  static constexpr double kFastAlpha = 0.2;
+  static constexpr double kBaselineAlpha = 0.02;
+
+  static void ewma_update(std::atomic<uint64_t>& slot, double value,
+                          double alpha, bool first);
+
+  std::atomic<uint64_t> count_{0};
+  // EWMAs stored as bit-cast doubles so record() stays lock-free.
+  std::atomic<uint64_t> entropy_fast_{0};
+  std::atomic<uint64_t> entropy_baseline_{0};
+  std::atomic<uint64_t> variance_fast_{0};
+  std::atomic<uint64_t> variance_baseline_{0};
+};
+
+/// Reduces a Prediction to its scalar uncertainty signals and records them:
+/// classification → mean per-sample entropy + mean class variance;
+/// regression → variance = mean stddev² (entropy 0, undefined for a point
+/// forecast); segmentation → mean binary entropy of the pixel
+/// probabilities + mean p(1−p). Pure loops over already-computed tensors —
+/// no allocation, safe on the zero-alloc serving path.
+void observe_uncertainty(UncertaintyMonitor& monitor, const Prediction& pred);
 
 /// Counters of one serve::AsyncBatcher — queue depth, dispatch counts, and
 /// a power-of-two batch-size histogram. Everything is atomic: the submit
@@ -141,6 +214,12 @@ class BatcherCounters {
   const LatencyHistogram& analog_latency() const { return analog_latency_; }
   LatencyHistogram& analog_latency() { return analog_latency_; }
 
+  /// Streaming entropy/variance EWMAs of every successful prediction this
+  /// batcher resolved — the per-unit drift signal the metrics endpoint
+  /// exports (see UncertaintyMonitor).
+  const UncertaintyMonitor& uncertainty() const { return uncertainty_; }
+  UncertaintyMonitor& uncertainty() { return uncertainty_; }
+
  private:
   static constexpr std::memory_order relaxed = std::memory_order_relaxed;
 
@@ -159,6 +238,7 @@ class BatcherCounters {
   std::array<std::atomic<uint64_t>, kHistogramBuckets> histogram_{};
   LatencyHistogram latency_;
   LatencyHistogram analog_latency_;
+  UncertaintyMonitor uncertainty_;
 };
 
 /// Classification accuracy of the MC-mean prediction over `test`.

@@ -12,7 +12,17 @@
 #include <stdexcept>
 #include <utility>
 
+#include "deploy/backend_kind.h"
+#include "deploy/plan.h"
 #include "serve/server.h"
+#include "serve/trace.h"
+#include "tensor/gemm.h"
+
+// Stamped by CMake from `git describe`; builds outside a checkout fall
+// back to "unknown" rather than fail.
+#ifndef RIPPLE_GIT_DESCRIBE
+#define RIPPLE_GIT_DESCRIBE "unknown"
+#endif
 
 namespace ripple::serve {
 
@@ -203,6 +213,121 @@ std::string MetricsExporter::render() const {
     out << "ripple_unit_cluster_restarts_total{" << unit_labels(u) << "} "
         << u.cluster_restarts << "\n";
   }
+
+  // ---- request tracing (serve/trace.h) -----------------------------------
+  const trace::Tracer& tracer = trace::Tracer::instance();
+  out << "# HELP ripple_stage_latency_microseconds Span duration per "
+         "pipeline stage, over every request finished while tracing was "
+         "enabled (sampling gates ring capture, not these).\n"
+      << "# TYPE ripple_stage_latency_microseconds histogram\n";
+  for (size_t s = 0; s < trace::kStageCount; ++s) {
+    const auto stage = static_cast<trace::Stage>(s);
+    const LatencyHistogram::Snapshot snap =
+        tracer.stage_latency(stage).snapshot();
+    if (snap.count == 0) continue;
+    render_histogram(out, "ripple_stage_latency_microseconds",
+                     std::string("stage=\"") + trace::stage_name(stage) +
+                         "\"",
+                     snap);
+  }
+  out << "# HELP ripple_trace_requests_total Trace contexts begun and "
+         "timelines captured to the export rings.\n"
+      << "# TYPE ripple_trace_requests_total counter\n"
+      << "ripple_trace_requests_total{event=\"started\"} "
+      << tracer.started() << "\n"
+      << "ripple_trace_requests_total{event=\"captured\"} "
+      << tracer.captured() << "\n";
+  out << "# HELP ripple_trace_dropped_events_total Ring events overwritten "
+         "before export plus spans past the per-request cap (drops never "
+         "block a request).\n"
+      << "# TYPE ripple_trace_dropped_events_total counter\n"
+      << "ripple_trace_dropped_events_total " << tracer.dropped_events()
+      << "\n";
+
+  // ---- compiled-plan op profile (deploy::set_plan_profiling) -------------
+  out << "# HELP ripple_plan_op_nanoseconds_total Accumulated compiled-plan "
+         "step time by fused op; group splits GEMM-backed steps (fused "
+         "epilogues included) from standalone epilogues.\n"
+      << "# TYPE ripple_plan_op_nanoseconds_total counter\n";
+  for (const UnitMetricsRow& u : units) {
+    const std::string labels = unit_labels(u);
+    for (const deploy::PlanOpProfile& op : u.plan_ops)
+      out << "ripple_plan_op_nanoseconds_total{" << labels << ",op=\""
+          << op.name << "\",group=\"" << deploy::op_tag_group(op.tag)
+          << "\"} " << op.total_ns << "\n";
+  }
+  out << "# HELP ripple_plan_op_calls_total Compiled-plan step executions "
+         "by fused op.\n"
+      << "# TYPE ripple_plan_op_calls_total counter\n";
+  for (const UnitMetricsRow& u : units) {
+    const std::string labels = unit_labels(u);
+    for (const deploy::PlanOpProfile& op : u.plan_ops)
+      out << "ripple_plan_op_calls_total{" << labels << ",op=\"" << op.name
+          << "\",group=\"" << deploy::op_tag_group(op.tag) << "\"} "
+          << op.calls << "\n";
+  }
+
+  // ---- streaming uncertainty monitor -------------------------------------
+  out << "# HELP ripple_unit_uncertainty_observations_total Predictions the "
+         "uncertainty monitor has folded into its EWMAs.\n"
+      << "# TYPE ripple_unit_uncertainty_observations_total counter\n";
+  for (const UnitMetricsRow& u : units)
+    out << "ripple_unit_uncertainty_observations_total{" << unit_labels(u)
+        << "} " << u.uncertainty.count << "\n";
+  out << "# HELP ripple_unit_uncertainty Streaming EWMAs of predictive "
+         "uncertainty per serving unit: signal is entropy or MC variance, "
+         "window is the fast tracker or the slow baseline.\n"
+      << "# TYPE ripple_unit_uncertainty gauge\n";
+  for (const UnitMetricsRow& u : units) {
+    if (u.uncertainty.count == 0) continue;
+    const std::string labels = unit_labels(u);
+    out << "ripple_unit_uncertainty{" << labels
+        << ",signal=\"entropy\",window=\"fast\"} "
+        << u.uncertainty.entropy_fast << "\n"
+        << "ripple_unit_uncertainty{" << labels
+        << ",signal=\"entropy\",window=\"baseline\"} "
+        << u.uncertainty.entropy_baseline << "\n"
+        << "ripple_unit_uncertainty{" << labels
+        << ",signal=\"variance\",window=\"fast\"} "
+        << u.uncertainty.variance_fast << "\n"
+        << "ripple_unit_uncertainty{" << labels
+        << ",signal=\"variance\",window=\"baseline\"} "
+        << u.uncertainty.variance_baseline << "\n";
+  }
+  out << "# HELP ripple_unit_uncertainty_drift Relative drift of the fast "
+         "entropy EWMA against its slow baseline (0 = stable; a faulty "
+         "unit pushes this away from zero).\n"
+      << "# TYPE ripple_unit_uncertainty_drift gauge\n";
+  for (const UnitMetricsRow& u : units)
+    out << "ripple_unit_uncertainty_drift{" << unit_labels(u) << "} "
+        << u.uncertainty.drift << "\n";
+  out << "# HELP ripple_replica_uncertainty_drift Entropy drift per replica "
+         "of cluster-mode units — a single fault-injected replica stands "
+         "out here while unit-level aggregates stay muted.\n"
+      << "# TYPE ripple_replica_uncertainty_drift gauge\n";
+  for (const UnitMetricsRow& u : units) {
+    if (!u.cluster) continue;
+    const std::string labels = unit_labels(u);
+    for (size_t r = 0; r < u.replica_drift.size(); ++r)
+      out << "ripple_replica_uncertainty_drift{" << labels << ",replica=\""
+          << r << "\"} " << u.replica_drift[r] << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsExporter::buildinfo() const {
+  std::ostringstream out;
+  out << "{\"git\":\"" << escape_label(RIPPLE_GIT_DESCRIBE)
+      << "\",\"gemm_kernel\":\"" << gemm_backend_name()
+      << "\",\"backends\":[\""
+      << deploy::backend_name(deploy::Backend::kFp32) << "\",\""
+      << deploy::backend_name(deploy::Backend::kQuantSim) << "\",\""
+      << deploy::backend_name(deploy::Backend::kQuantInt8) << "\",\""
+      << deploy::backend_name(deploy::Backend::kCrossbar)
+      << "\"],\"tracing\":"
+      << (trace::Tracer::instance().enabled() ? "true" : "false")
+      << ",\"plan_profiling\":"
+      << (deploy::plan_profiling_enabled() ? "true" : "false") << "}\n";
   return out.str();
 }
 
@@ -239,14 +364,34 @@ void MetricsExporter::listener_loop() {
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    // One read is enough for a scrape's GET line + headers; the content
-    // of the request is irrelevant to the response.
+    // One read is enough for a scrape's GET line + headers; only the
+    // request path matters for routing (an unparsable request degrades
+    // to the metrics exposition rather than an error).
     char buf[1024];
-    (void)::read(conn, buf, sizeof(buf));
-    const std::string body = render();
+    const ssize_t n = ::read(conn, buf, sizeof(buf) - 1);
+    std::string path = "/metrics";
+    if (n > 0) {
+      buf[n] = '\0';
+      if (const char* sp = std::strchr(buf, ' ')) {
+        if (const char* end = std::strchr(sp + 1, ' '))
+          path.assign(sp + 1, end);
+      }
+    }
+    std::string body;
+    const char* content_type = "text/plain; version=0.0.4";
+    if (path == "/healthz") {
+      // Liveness, not readiness: answering at all is the signal.
+      body = "ok\n";
+      content_type = "text/plain";
+    } else if (path == "/buildinfo") {
+      body = buildinfo();
+      content_type = "application/json";
+    } else {
+      body = render();
+    }
     std::ostringstream response;
     response << "HTTP/1.1 200 OK\r\n"
-             << "Content-Type: text/plain; version=0.0.4\r\n"
+             << "Content-Type: " << content_type << "\r\n"
              << "Content-Length: " << body.size() << "\r\n"
              << "Connection: close\r\n\r\n"
              << body;

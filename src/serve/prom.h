@@ -11,9 +11,16 @@
 //   start(p)   optional minimal HTTP/1.1 listener on 127.0.0.1:p (POSIX
 //              sockets, one blocking accept loop on a background thread,
 //              poll()ed so stop() is prompt). Port 0 binds any free port;
-//              port() reports the binding. Every request gets a 200 with
-//              the current render() — method/path are not inspected,
-//              which is all a scrape target needs.
+//              port() reports the binding. The request path is routed:
+//              /healthz answers a liveness probe ("ok"), /buildinfo a
+//              JSON build fingerprint (git describe, SIMD GEMM dispatch
+//              level, compiled-in backends, tracing state), and anything
+//              else — /metrics included — the current render().
+//
+// render() also exports the serve::trace families (per-stage latency
+// histograms, capture/drop counters), the per-fused-op plan profile
+// (deploy::set_plan_profiling) and the streaming uncertainty monitor
+// (entropy/variance EWMAs + drift gauges) — see docs/OBSERVABILITY.md.
 //
 // The exporter holds a reference to the server and reads only through its
 // public snapshot API, so it adds no locking requirements of its own.
@@ -46,6 +53,11 @@ class MetricsExporter {
   /// Full Prometheus text-format exposition of the server's current
   /// metrics. Safe to call at any time, with or without the listener.
   std::string render() const;
+
+  /// The /buildinfo JSON body: git describe of the build, the runtime-
+  /// dispatched GEMM kernel (scalar/avx2/avx512), the compiled-in
+  /// execution backends, and whether request tracing is enabled.
+  std::string buildinfo() const;
 
   /// Binds 127.0.0.1:port (0 = any free port) and serves render() to
   /// every connection until stop(). Throws std::runtime_error when the

@@ -35,11 +35,17 @@ Replica::~Replica() { close(); }
 
 std::future<Prediction> Replica::submit(Tensor input,
                                         std::chrono::microseconds timeout) {
+  return submit(std::move(input), timeout, nullptr);
+}
+
+std::future<Prediction> Replica::submit(Tensor input,
+                                        std::chrono::microseconds timeout,
+                                        trace::TraceContextPtr tctx) {
   std::shared_lock lock(session_mutex_);
   if (!batcher_) {
     throw ServeError(Status::kClosed, "Replica::submit after close()");
   }
-  return batcher_->submit(std::move(input), timeout);
+  return batcher_->submit(std::move(input), timeout, std::move(tctx));
 }
 
 void Replica::set_forward_hook(std::function<void(int64_t)> hook) {
@@ -85,6 +91,14 @@ NodeMetrics Replica::metrics() const {
       m.analog_p50_us = a.p50();
       m.analog_p95_us = a.p95();
       m.analog_p99_us = a.p99();
+      const UncertaintyMonitor::Snapshot u =
+          batcher_->counters().uncertainty().snapshot();
+      m.uncertainty_count = u.count;
+      m.entropy_fast = u.entropy_fast;
+      m.entropy_baseline = u.entropy_baseline;
+      m.variance_fast = u.variance_fast;
+      m.variance_baseline = u.variance_baseline;
+      m.uncertainty_drift = u.drift;
     }
   }
   {

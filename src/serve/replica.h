@@ -89,6 +89,16 @@ struct NodeMetrics {
   uint64_t timeouts = 0;   // attempts abandoned at their deadline
   int consecutive_failures = 0;
   uint64_t restarts = 0;
+  /// Streaming predictive-uncertainty EWMAs of this replica's served
+  /// requests (UncertaintyMonitor): the paper's fault signal per chip
+  /// instance. A drifting replica moves uncertainty_drift away from 0
+  /// while its healthy peers stay flat — visible from one scrape.
+  uint64_t uncertainty_count = 0;
+  double entropy_fast = 0.0;
+  double entropy_baseline = 0.0;
+  double variance_fast = 0.0;
+  double variance_baseline = 0.0;
+  double uncertainty_drift = 0.0;
 };
 
 class Replica {
@@ -108,6 +118,12 @@ class Replica {
   /// (serve/batcher.h). Throws ServeError{kClosed} after close().
   std::future<Prediction> submit(Tensor input,
                                  std::chrono::microseconds timeout);
+  /// Same, forwarding an upstream trace context into the batcher
+  /// (serve/trace.h) — cluster-owned contexts pick up this replica's
+  /// queue-wait/execute/resolve spans without the batcher finishing them.
+  std::future<Prediction> submit(Tensor input,
+                                 std::chrono::microseconds timeout,
+                                 trace::TraceContextPtr tctx);
 
   /// Worker-side chaos/instrumentation seam, forwarded to the batcher and
   /// re-installed across restart() (AsyncBatcher::set_forward_hook).

@@ -32,23 +32,29 @@ void merge_snapshot(LatencyHistogram::Snapshot& into,
 // ---- TenantUnit -------------------------------------------------------------
 
 std::future<Prediction> ModelServer::TenantUnit::submit(
-    const Tensor& input, std::chrono::steady_clock::time_point deadline) {
+    const Tensor& input, std::chrono::steady_clock::time_point deadline,
+    const trace::TraceContextPtr& tctx) {
   constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
   if (cluster) {
-    if (deadline == kNoDeadline) return cluster->submit(input);
+    if (deadline == kNoDeadline) {
+      // Same default the 1-arg overload applies (0 = no deadline there too).
+      return cluster->submit(input, std::chrono::microseconds(
+                                        cluster->options().default_timeout_us),
+                             tctx);
+    }
     // ClusterController treats timeout <= 0 as "no deadline"; an already
     // expired request must instead time out promptly — clamp to 1µs.
     const auto remaining =
         std::chrono::duration_cast<std::chrono::microseconds>(
             deadline - std::chrono::steady_clock::now());
     return cluster->submit(
-        input, std::max(std::chrono::microseconds(1), remaining));
+        input, std::max(std::chrono::microseconds(1), remaining), tctx);
   }
-  if (deadline == kNoDeadline) return batcher->submit(input);
+  if (deadline == kNoDeadline) return batcher->submit(input, tctx);
   const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
       deadline - std::chrono::steady_clock::now());
-  return batcher->submit(input,
-                         std::max(std::chrono::microseconds(0), remaining));
+  return batcher->submit(
+      input, std::max(std::chrono::microseconds(0), remaining), tctx);
 }
 
 void ModelServer::TenantUnit::close() {
@@ -392,6 +398,28 @@ std::future<Prediction> ModelServer::submit_routed(Request request,
     deadline = now + std::chrono::microseconds(options_.default_timeout_us);
   }
 
+  // Front-door trace context: owned (finished) by whichever layer resolves
+  // the request's promise — the unit's cluster, or its batcher. With
+  // tracing off this is one branch.
+  trace::TraceContextPtr tctx;
+  trace::Tracer& tracer = trace::Tracer::instance();
+  if (tracer.enabled()) {
+    tctx = tracer.begin_trace(request.tenant,
+                              options_.replicas > 1
+                                  ? trace::FinishLayer::kCluster
+                                  : trace::FinishLayer::kBatcher);
+  }
+  // Admission failures after this point resolve the future right here, so
+  // the server both records the span and finishes the context.
+  const auto admission_failed = [&](Status status, const std::string& what) {
+    if (tctx) {
+      tracer.record_span(tctx, trace::Stage::kAdmission, now,
+                         std::chrono::steady_clock::now());
+      tracer.finish(tctx);
+    }
+    return failed_future(status, what);
+  };
+
   // A submit can race a hot swap: the version resolved under the shared
   // lock may be retired (its units closed) before the unit accepts the
   // request. The retired path surfaces as kClosed — re-resolve on the
@@ -402,24 +430,32 @@ std::future<Prediction> ModelServer::submit_routed(Request request,
     std::shared_ptr<ModelVersion> mv = resolve(request.model, &error);
     if (!mv) {
       counters_.on_unknown_model();
-      return failed_future(Status::kUnknownModel, error);
+      return admission_failed(Status::kUnknownModel, error);
     }
     EntryState* entry = pick_entry(*mv, request.model.entry);
     if (entry == nullptr) {
       counters_.on_unknown_model();
-      return failed_future(Status::kUnknownModel,
-                           "model '" + mv->name + "' version '" +
-                               mv->version + "' has no entry '" +
-                               request.model.entry + "'");
+      return admission_failed(Status::kUnknownModel,
+                              "model '" + mv->name + "' version '" +
+                                  mv->version + "' has no entry '" +
+                                  request.model.entry + "'");
     }
     try {
       // The shared_ptr keeps the unit alive even if a concurrent retire()
       // drops the entry's reference right now; a retired unit's submit
       // observes its closed batcher/cluster and lands in the catch below.
       std::shared_ptr<TenantUnit> unit = unit_for(*mv, *entry, *tenant);
-      std::future<Prediction> future = unit->submit(request.input, deadline);
+      std::future<Prediction> future =
+          unit->submit(request.input, deadline, tctx);
       tenant->on_submit();
       counters_.on_submit();
+      if (tctx) {
+        // Admission covers tenant/model/entry resolution through unit
+        // accept; the unit recorded queue-wait onward into the same
+        // context.
+        tracer.record_span(tctx, trace::Stage::kAdmission, now,
+                           std::chrono::steady_clock::now());
+      }
       if (routed != nullptr) {
         routed->version = mv->version;
         routed->entry = entry->name;
@@ -433,7 +469,7 @@ std::future<Prediction> ModelServer::submit_routed(Request request,
   // The server is still open — per the submit() contract this failure
   // arrives through the future, not a throw (kClosed throws are reserved
   // for close()).
-  return failed_future(
+  return admission_failed(
       Status::kOverloaded,
       "ModelServer::submit raced concurrent hot swaps repeatedly");
 }
@@ -493,6 +529,10 @@ std::vector<UnitMetricsRow> ModelServer::unit_metrics() const {
             row.queue_depth = c.queue_depth();
             row.latency = c.latency().snapshot();
             row.analog = c.analog_latency().snapshot();
+            row.uncertainty = c.uncertainty().snapshot();
+            if (unit->session) {
+              row.plan_ops = unit->session->plan_op_profiles();
+            }
           } else if (unit->cluster) {
             const ClusterCounters& c = unit->cluster->counters();
             row.cluster = true;
@@ -507,6 +547,24 @@ std::vector<UnitMetricsRow> ModelServer::unit_metrics() const {
             row.cluster_shed = c.shed();
             row.cluster_retries = c.retries();
             row.cluster_restarts = c.restarts();
+            // Per-replica drift, and the most-drifted replica's snapshot
+            // as the unit-level uncertainty view (the chip instance an
+            // operator should look at first).
+            const std::vector<NodeMetrics> nodes = unit->cluster->metrics();
+            row.replica_drift.reserve(nodes.size());
+            double worst = -1.0;
+            for (const NodeMetrics& n : nodes) {
+              row.replica_drift.push_back(n.uncertainty_drift);
+              if (std::abs(n.uncertainty_drift) > worst) {
+                worst = std::abs(n.uncertainty_drift);
+                row.uncertainty.count = n.uncertainty_count;
+                row.uncertainty.entropy_fast = n.entropy_fast;
+                row.uncertainty.entropy_baseline = n.entropy_baseline;
+                row.uncertainty.variance_fast = n.variance_fast;
+                row.uncertainty.variance_baseline = n.variance_baseline;
+                row.uncertainty.drift = n.uncertainty_drift;
+              }
+            }
           }
           rows.push_back(std::move(row));
         }

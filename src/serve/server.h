@@ -138,6 +138,18 @@ struct UnitMetricsRow {
   uint64_t cluster_shed = 0;
   uint64_t cluster_retries = 0;
   uint64_t cluster_restarts = 0;
+  /// Streaming predictive-uncertainty EWMAs (UncertaintyMonitor): batcher
+  /// rows read their unit's monitor; cluster rows surface the snapshot of
+  /// the replica whose drift gauge is furthest from 0 — the fleet's most
+  /// suspicious chip instance.
+  UncertaintyMonitor::Snapshot uncertainty;
+  /// Cluster rows: per-replica entropy-drift gauges, indexed by replica id.
+  std::vector<double> replica_drift;
+  /// Batcher rows with a compiled plan: per-fused-op profile aggregated
+  /// over the session's cached plans (deploy::set_plan_profiling gates the
+  /// counters; empty otherwise). Cluster rows skip this — replica sessions
+  /// are behind their own locks and surface drift instead.
+  std::vector<deploy::PlanOpProfile> plan_ops;
 };
 
 /// Per-tenant rollup: admission counters + the tenant's latency histogram
@@ -283,8 +295,8 @@ class ModelServer {
     std::unique_ptr<ClusterController> cluster;
 
     std::future<Prediction> submit(
-        const Tensor& input,
-        std::chrono::steady_clock::time_point deadline);
+        const Tensor& input, std::chrono::steady_clock::time_point deadline,
+        const trace::TraceContextPtr& tctx = nullptr);
     void close();
   };
 

@@ -14,6 +14,7 @@
 #include "models/variants.h"
 #include "nn/dropout.h"
 #include "nn/noise.h"
+#include "serve/trace.h"
 #include "tensor/ops.h"
 
 namespace ripple::serve {
@@ -264,9 +265,32 @@ Tensor InferenceSession::run_chunk(const Tensor& xc,
     }
     return stacked;
   }
+  // Per-chunk execute spans attach to the request being traced on this
+  // thread (serve/trace.h): detail 1 = served from a compiled plan, 0 =
+  // graph path. Tracing off costs one thread-local read per chunk.
+  trace::TraceData* req = trace::active_request();
   if (options_.compile && model_.deployed()) {
     Tensor out;
-    if (run_chunk_planned(xc, chunk_offset, &out)) return out;
+    if (req != nullptr) {
+      const auto exec_start = std::chrono::steady_clock::now();
+      if (run_chunk_planned(xc, chunk_offset, &out)) {
+        trace::Tracer::instance().record_span(
+            req, trace::Stage::kExecute, exec_start,
+            std::chrono::steady_clock::now(), /*detail=*/1);
+        return out;
+      }
+    } else if (run_chunk_planned(xc, chunk_offset, &out)) {
+      return out;
+    }
+  }
+  if (req != nullptr) {
+    const auto exec_start = std::chrono::steady_clock::now();
+    Tensor y = run_chunk_graph(xc, chunk_offset);
+    trace::Tracer::instance().record_span(req, trace::Stage::kExecute,
+                                          exec_start,
+                                          std::chrono::steady_clock::now(),
+                                          /*detail=*/0);
+    return y;
   }
   return run_chunk_graph(xc, chunk_offset);
 }
@@ -679,6 +703,11 @@ void InferenceSession::predict_into(const Tensor& x, Prediction& out) const {
         plan = e->plan;
       }
       if (plan != nullptr) {
+        // Traced requests get a per-request execute span (detail 1 = plan
+        // path); untraced steady state pays one thread-local read.
+        trace::TraceData* req = trace::active_request();
+        std::chrono::steady_clock::time_point exec_start;
+        if (req != nullptr) exec_start = std::chrono::steady_clock::now();
         auto pooled = acquire_pooled(*e, plan);
         bool served = false;
         {
@@ -721,6 +750,11 @@ void InferenceSession::predict_into(const Tensor& x, Prediction& out) const {
         }
         release_pooled(*e, std::move(pooled));
         if (served) {
+          if (req != nullptr) {
+            trace::Tracer::instance().record_span(
+                req, trace::Stage::kExecute, exec_start,
+                std::chrono::steady_clock::now(), /*detail=*/1);
+          }
           requests_.fetch_add(1, std::memory_order_relaxed);
           rows_.fetch_add(static_cast<uint64_t>(n),
                           std::memory_order_relaxed);
@@ -748,12 +782,44 @@ PlanInfo InferenceSession::plan_info(const Shape& input_shape,
       e->plan != nullptr) {
     info.compiled = true;
     info.stats = e->plan->stats();
+    info.op_profile = e->plan->op_profile();
   } else {
     info.fallback_reason = e->fallback_reason.empty()
                                ? "plan not compiled yet"
                                : e->fallback_reason;
   }
   return info;
+}
+
+std::vector<deploy::PlanOpProfile> InferenceSession::plan_op_profiles() const {
+  // Aggregate by op tag across every ready plan: a session may hold one
+  // plan per (shape, chunk offset) and the metrics view wants the total
+  // time attributed to each fused op kind, not per-step rows.
+  std::vector<deploy::PlanOpProfile> agg;
+  std::shared_lock<std::shared_mutex> lock(plans_->mutex);
+  for (const PlanCache::EntryPtr& e : plans_->entries) {
+    std::lock_guard<std::mutex> lg(e->pool_mutex);
+    if (e->state.load(std::memory_order_acquire) != PlanCacheEntry::kReady ||
+        e->plan == nullptr) {
+      continue;
+    }
+    for (const deploy::PlanOpProfile& op : e->plan->op_profile()) {
+      if (op.calls == 0) continue;
+      auto it = std::find_if(agg.begin(), agg.end(),
+                             [&](const deploy::PlanOpProfile& a) {
+                               return a.tag == op.tag;
+                             });
+      if (it == agg.end()) {
+        deploy::PlanOpProfile row = op;
+        row.step = -1;  // aggregated across steps and plans
+        agg.push_back(row);
+      } else {
+        it->calls += op.calls;
+        it->total_ns += op.total_ns;
+      }
+    }
+  }
+  return agg;
 }
 
 PlanInfo InferenceSession::precompile(const Shape& input_shape) const {

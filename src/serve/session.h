@@ -161,6 +161,9 @@ struct PlanInfo {
   /// when compiled, or when no compile was attempted yet).
   std::string fallback_reason;
   deploy::PlanStats stats;  // valid when compiled
+  /// Per-step profile of the compiled plan (deploy::set_plan_profiling);
+  /// empty when not compiled or profiling has never been enabled.
+  std::vector<deploy::PlanOpProfile> op_profile;
 };
 
 class InferenceSession {
@@ -220,6 +223,12 @@ class InferenceSession {
   /// served request); compiled == false with an empty reason when the
   /// shape has never been compiled.
   PlanInfo plan_info(const Shape& input_shape, int64_t chunk_offset = 0) const;
+
+  /// Per-fused-op execution profile aggregated by op tag over every
+  /// compiled plan this session holds (step = -1 in each row). Empty until
+  /// deploy::set_plan_profiling(true) has let executes accumulate time.
+  /// The metrics endpoint exports these as ripple_plan_op_* families.
+  std::vector<deploy::PlanOpProfile> plan_op_profiles() const;
 
   /// Micro-batching front door: coalesces the requests into chunks of the
   /// session's batch size, runs them through the folded MC forward, and

@@ -1,0 +1,348 @@
+#include "serve/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace ripple::serve::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t us_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+      .count();
+}
+
+uint64_t fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+size_t round_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Prometheus/JSON string escape (backslash, quote, control chars).
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+thread_local TraceData* t_active_request = nullptr;
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kRequest:
+      return "request";
+    case Stage::kAdmission:
+      return "admission";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kBatchAssembly:
+      return "batch_assembly";
+    case Stage::kDispatch:
+      return "dispatch";
+    case Stage::kExecute:
+      return "execute";
+    case Stage::kResolve:
+      return "resolve";
+  }
+  return "unknown";
+}
+
+// ---- per-thread rings -------------------------------------------------------
+
+/// One slot of a per-thread ring. The ring has exactly one writer (its
+/// owning thread); readers validate the seqlock around their relaxed field
+/// reads, so a slot overwritten mid-read is discarded, never torn.
+struct RingSlot {
+  std::atomic<uint64_t> seq{0};  // odd while the writer is inside
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<int64_t> ts_us{0};
+  std::atomic<int64_t> dur_us{0};
+  std::atomic<uint32_t> stage{0};
+  std::atomic<uint32_t> detail{0};
+  std::atomic<uint32_t> tenant_ref{0};
+};
+
+struct Tracer::ThreadRing {
+  ThreadRing(size_t capacity, uint32_t id)
+      : slots(capacity), mask(capacity - 1), tid(id) {}
+
+  void push(uint64_t trace_id, const Span& span, uint32_t tenant_ref) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    RingSlot& s = slots[h & mask];
+    if (h > mask) dropped.fetch_add(1, std::memory_order_relaxed);
+    s.seq.store(2 * h + 1, std::memory_order_release);
+    s.trace_id.store(trace_id, std::memory_order_relaxed);
+    s.ts_us.store(span.ts_us, std::memory_order_relaxed);
+    s.dur_us.store(span.dur_us, std::memory_order_relaxed);
+    s.stage.store(static_cast<uint32_t>(span.stage),
+                  std::memory_order_relaxed);
+    s.detail.store(span.detail, std::memory_order_relaxed);
+    s.tenant_ref.store(tenant_ref, std::memory_order_relaxed);
+    s.seq.store(2 * h + 2, std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
+  }
+
+  std::vector<RingSlot> slots;
+  const uint64_t mask;
+  const uint32_t tid;
+  std::atomic<uint64_t> head{0};
+  std::atomic<uint64_t> dropped{0};  // overwritten before export
+};
+
+// ---- Tracer -----------------------------------------------------------------
+
+Tracer::Tracer() : epoch_(Clock::now()) {
+  tenant_names_.push_back("");  // ref 0 = anonymous
+}
+
+Tracer& Tracer::instance() {
+  static Tracer* tracer = new Tracer();  // leaked: outlives all threads
+  return *tracer;
+}
+
+void Tracer::configure(const TracerOptions& options) {
+  std::lock_guard lock(options_mutex_);
+  options_ = options;
+  options_.ring_capacity = round_pow2(std::max<size_t>(8, options.ring_capacity));
+}
+
+TracerOptions Tracer::options() const {
+  std::lock_guard lock(options_mutex_);
+  return options_;
+}
+
+uint32_t Tracer::tenant_ref_for(const std::string& tenant) {
+  if (tenant.empty()) return 0;
+  std::lock_guard lock(tenants_mutex_);
+  for (size_t i = 0; i < tenant_names_.size(); ++i) {
+    if (tenant_names_[i] == tenant) return static_cast<uint32_t>(i);
+  }
+  tenant_names_.push_back(tenant);
+  return static_cast<uint32_t>(tenant_names_.size() - 1);
+}
+
+std::string Tracer::tenant_name(uint32_t ref) const {
+  std::lock_guard lock(tenants_mutex_);
+  return ref < tenant_names_.size() ? tenant_names_[ref] : std::string();
+}
+
+TraceContextPtr Tracer::begin_trace(const std::string& tenant,
+                                    FinishLayer layer) {
+  if (!enabled()) return nullptr;
+  const TracerOptions opts = options();
+  auto ctx = std::make_shared<TraceData>();
+  ctx->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  ctx->tenant_ref = tenant_ref_for(tenant);
+  ctx->finish_layer = layer;
+  ctx->start = Clock::now();
+  if (opts.sample_every > 0) {
+    // Per-tenant head sampling: each tenant's request sequence starts at
+    // its head (request 0 sampled), then every Nth. Deterministic after
+    // reset() — the sampling-determinism test relies on this.
+    auto& seq = sample_seq_[fnv1a(tenant) & (kSampleSlots - 1)];
+    ctx->sampled =
+        seq.fetch_add(1, std::memory_order_relaxed) % opts.sample_every == 0;
+  }
+  started_.fetch_add(1, std::memory_order_relaxed);
+  return ctx;
+}
+
+void Tracer::record_span(TraceData* ctx, Stage stage, Clock::time_point begin,
+                         Clock::time_point end, uint32_t detail) {
+  if (ctx == nullptr) return;
+  const uint32_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= TraceData::kMaxSpans) {
+    ctx->overflow.fetch_add(1, std::memory_order_relaxed);
+    span_overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Span& s = ctx->spans[i];
+  s.stage = stage;
+  s.ts_us = us_between(epoch_, begin);
+  s.dur_us = std::max<int64_t>(0, us_between(begin, end));
+  s.detail = detail;
+  ctx->ready[i].store(true, std::memory_order_release);
+}
+
+void Tracer::finish_if(const TraceContextPtr& ctx, FinishLayer layer) {
+  if (ctx && ctx->finish_layer == layer) finish(ctx);
+}
+
+void Tracer::finish(const TraceContextPtr& ctx) {
+  if (!ctx) return;
+  if (ctx->finished.exchange(true, std::memory_order_acq_rel)) return;
+  const auto now = Clock::now();
+  const int64_t total_us = std::max<int64_t>(0, us_between(ctx->start, now));
+  Span total;
+  total.stage = Stage::kRequest;
+  total.ts_us = us_between(epoch_, ctx->start);
+  total.dur_us = total_us;
+
+  const uint32_t n =
+      std::min(ctx->next.load(std::memory_order_acquire), TraceData::kMaxSpans);
+  // Per-stage histograms feed from every finished request — sampling only
+  // decides ring capture, so the Prometheus stage view covers all traffic.
+  stage_latency_[static_cast<size_t>(Stage::kRequest)].record(total_us);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!ctx->ready[i].load(std::memory_order_acquire)) continue;
+    stage_latency_[static_cast<size_t>(ctx->spans[i].stage)].record(
+        ctx->spans[i].dur_us);
+  }
+
+  const TracerOptions opts = options();
+  const bool capture =
+      ctx->sampled ||
+      (opts.slow_threshold_us > 0 && total_us >= opts.slow_threshold_us);
+  if (!capture) return;
+  captured_.fetch_add(1, std::memory_order_relaxed);
+  ThreadRing& ring = local_ring();
+  ring.push(ctx->id, total, ctx->tenant_ref);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!ctx->ready[i].load(std::memory_order_acquire)) continue;
+    ring.push(ctx->id, ctx->spans[i], ctx->tenant_ref);
+  }
+}
+
+Tracer::ThreadRing& Tracer::local_ring() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    const size_t capacity = options().ring_capacity;
+    std::lock_guard lock(rings_mutex_);
+    rings_.push_back(std::make_unique<ThreadRing>(
+        capacity, static_cast<uint32_t>(rings_.size() + 1)));
+    ring = rings_.back().get();
+  }
+  return *ring;
+}
+
+uint64_t Tracer::dropped_events() const {
+  uint64_t dropped = span_overflow_.load(std::memory_order_relaxed);
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& r : rings_)
+    dropped += r->dropped.load(std::memory_order_relaxed);
+  return dropped;
+}
+
+std::vector<Event> Tracer::snapshot_events() const {
+  std::vector<Event> events;
+  std::lock_guard lock(rings_mutex_);
+  for (const auto& r : rings_) {
+    const uint64_t head = r->head.load(std::memory_order_acquire);
+    const uint64_t capacity = r->mask + 1;
+    const uint64_t first = head > capacity ? head - capacity : 0;
+    for (uint64_t h = first; h < head; ++h) {
+      const RingSlot& s = r->slots[h & r->mask];
+      const uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if (s1 != 2 * h + 2) continue;  // overwritten or mid-write: skip
+      Event e;
+      e.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      e.ts_us = s.ts_us.load(std::memory_order_relaxed);
+      e.dur_us = s.dur_us.load(std::memory_order_relaxed);
+      e.stage = static_cast<Stage>(s.stage.load(std::memory_order_relaxed));
+      e.detail = s.detail.load(std::memory_order_relaxed);
+      const uint32_t tref = s.tenant_ref.load(std::memory_order_relaxed);
+      if (s.seq.load(std::memory_order_acquire) != s1) continue;
+      e.tid = r->tid;
+      e.tenant = tenant_name(tref);
+      events.push_back(std::move(e));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<Event> events = snapshot_events();
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << stage_name(e.stage) << "\",\"cat\":\"serve\","
+        << "\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+        << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"trace\":\""
+        << e.trace_id << "\",\"tenant\":\"" << escape_json(e.tenant)
+        << "\",\"detail\":" << e.detail << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}";
+  return out.str();
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+void Tracer::reset() {
+  next_id_.store(1, std::memory_order_relaxed);
+  started_.store(0, std::memory_order_relaxed);
+  captured_.store(0, std::memory_order_relaxed);
+  span_overflow_.store(0, std::memory_order_relaxed);
+  for (auto& s : sample_seq_) s.store(0, std::memory_order_relaxed);
+  for (auto& h : stage_latency_) h.reset();
+  std::lock_guard lock(rings_mutex_);
+  for (auto& r : rings_) {
+    r->head.store(0, std::memory_order_release);
+    r->dropped.store(0, std::memory_order_relaxed);
+    // Invalidate every slot so a pre-reset generation can't masquerade as
+    // the new one (seq values are derived from the post-reset head).
+    for (auto& s : r->slots) s.seq.store(1, std::memory_order_release);
+  }
+}
+
+// ---- active-request scope ---------------------------------------------------
+
+TraceData* active_request() { return t_active_request; }
+
+ActiveRequestScope::ActiveRequestScope(TraceData* ctx)
+    : prev_(t_active_request) {
+  t_active_request = ctx;
+}
+
+ActiveRequestScope::~ActiveRequestScope() { t_active_request = prev_; }
+
+}  // namespace ripple::serve::trace

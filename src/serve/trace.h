@@ -1,0 +1,238 @@
+// serve::trace — end-to-end request tracing for the serving stack.
+//
+// A TraceContext is created at the front door (ModelServer::submit, or the
+// batcher/cluster submit paths when driven directly) and propagated down
+// through ClusterController → Replica → AsyncBatcher → InferenceSession.
+// Each layer appends timed Spans — admission, queue wait, batch assembly,
+// dispatch, plan/graph execution, promise resolution — into the context's
+// fixed-size span array. When the owning layer resolves the request's
+// promise it *finishes* the context: every span lands in the per-stage
+// latency histograms, and — for sampled requests (head sampling, 1-in-N
+// per tenant) or requests slower than the configured slow threshold — the
+// whole timeline is flushed into a pre-allocated lock-free per-thread ring
+// buffer, exportable as Chrome trace-event JSON (chrome://tracing,
+// Perfetto) or scraped as Prometheus histograms via serve::MetricsExporter.
+//
+// Cost contract: with tracing disabled (the default) every hook is one
+// relaxed atomic load + branch — no context is ever allocated, and the
+// steady-state zero-allocation serving path stays allocation-free
+// (tests/alloc_test.cpp gates this). Enabled, the per-request cost is one
+// shared_ptr allocation plus a handful of clock reads; ring writes are
+// wait-free (single writer per thread, seqlock-guarded slots) and *drop*
+// (overwrite oldest, counted) rather than block when a ring wraps.
+//
+// Slow-path capture: head sampling alone would miss exactly the requests
+// an operator wants to see. Spans are therefore buffered in the context
+// for every request while tracing is enabled, and the capture decision is
+// made at finish time: sampled OR total latency ≥ slow_threshold_us.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.h"
+
+namespace ripple::serve::trace {
+
+/// Pipeline stage a span measures. kRequest is the synthetic umbrella span
+/// (context creation → finish) emitted once per captured trace.
+enum class Stage : uint8_t {
+  kRequest,        // whole request, front door to promise resolution
+  kAdmission,      // server: tenant/model/entry resolution + unit submit
+  kQueueWait,      // batcher or cluster queue: enqueue → dispatch
+  kBatchAssembly,  // batcher: dispatch → coalesced forward start
+  kDispatch,       // cluster: route + replica submit (detail = replica id)
+  kExecute,        // session forward (detail: 1 = compiled plan, 0 = graph)
+  kResolve,        // forward end → promise resolved
+};
+constexpr size_t kStageCount = 7;
+const char* stage_name(Stage stage);
+
+/// Which layer owns the context's promise and therefore calls finish().
+/// The server assigns this by unit type; self-created contexts use the
+/// creating layer. Layers below the owner only append spans.
+enum class FinishLayer : uint8_t { kBatcher, kCluster };
+
+struct Span {
+  Stage stage = Stage::kRequest;
+  int64_t ts_us = 0;   // start, µs since the tracer epoch
+  int64_t dur_us = 0;  // duration, µs
+  uint32_t detail = 0;
+};
+
+/// Per-request span buffer, shared by every layer a request traverses.
+/// Appends are lock-free (slot index via fetch_add, per-slot ready flag
+/// publishes the plain fields); spans past kMaxSpans are counted, not
+/// stored. A span appended concurrently with finish() may miss that
+/// trace's flush — benign, the request is already resolved by then.
+struct TraceData {
+  static constexpr uint32_t kMaxSpans = 24;
+
+  uint64_t id = 0;
+  uint32_t tenant_ref = 0;  // index into the tracer's tenant-name table
+  bool sampled = false;     // head-sampling verdict, fixed at creation
+  FinishLayer finish_layer = FinishLayer::kBatcher;
+  std::chrono::steady_clock::time_point start;
+
+  std::atomic<uint32_t> next{0};
+  std::atomic<uint32_t> overflow{0};
+  std::atomic<bool> finished{false};
+  std::array<Span, kMaxSpans> spans{};
+  std::array<std::atomic<bool>, kMaxSpans> ready{};
+};
+
+using TraceContextPtr = std::shared_ptr<TraceData>;
+
+/// Plain-value copy of one captured ring event (snapshot/export form).
+struct Event {
+  uint64_t trace_id = 0;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  Stage stage = Stage::kRequest;
+  uint32_t detail = 0;
+  uint32_t tid = 0;  // ring id of the flushing thread
+  std::string tenant;
+};
+
+struct TracerOptions {
+  /// Head sampling: capture every Nth request per tenant (the first
+  /// request of each tenant is always the sequence's head). 0 disables
+  /// sampling entirely (slow-threshold capture still applies).
+  uint32_t sample_every = 64;
+  /// Requests whose total latency reaches this are captured even when
+  /// unsampled. 0 disables the slow path.
+  int64_t slow_threshold_us = 0;
+  /// Events per per-thread ring, rounded up to a power of two. Applies to
+  /// rings created after configure(); existing rings keep their size.
+  size_t ring_capacity = 4096;
+};
+
+/// Process-wide trace collector. A singleton (instance()) so contexts can
+/// outlive any particular server object: a context flushed by a worker
+/// thread after its ModelServer began tearing down still has somewhere
+/// safe to land.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// The one branch every hook pays when tracing is off.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  /// Reconfigure sampling/capture knobs. Safe at any time; applies to
+  /// contexts begun afterwards.
+  void configure(const TracerOptions& options);
+  TracerOptions options() const;
+
+  /// New per-request context: samples by tenant, stamps the start time.
+  /// Returns nullptr when tracing is disabled.
+  TraceContextPtr begin_trace(const std::string& tenant, FinishLayer layer);
+
+  /// Finish regardless of owner (admission failures, tests). Idempotent.
+  void finish(const TraceContextPtr& ctx);
+  /// Finish only when `layer` owns the context — what the batcher and
+  /// cluster call after resolving a promise, so a replica's batcher never
+  /// steals a cluster-owned context's flush.
+  void finish_if(const TraceContextPtr& ctx, FinishLayer layer);
+
+  // ---- export ---------------------------------------------------------------
+
+  /// Consistent copies of every stable ring event, oldest first per ring.
+  std::vector<Event> snapshot_events() const;
+  /// Chrome trace-event JSON ({"traceEvents": [...]}) of snapshot_events().
+  std::string chrome_trace_json() const;
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Contexts begun / timelines flushed to rings since the last reset.
+  uint64_t started() const { return started_.load(std::memory_order_relaxed); }
+  uint64_t captured() const {
+    return captured_.load(std::memory_order_relaxed);
+  }
+  /// Ring events lost to wraparound (overwritten before export) plus spans
+  /// past TraceData::kMaxSpans. Drops never block a writer.
+  uint64_t dropped_events() const;
+
+  /// Per-stage duration histogram over *every* request finished while
+  /// tracing was enabled (sampling only gates ring capture, not these).
+  const LatencyHistogram& stage_latency(Stage stage) const {
+    return stage_latency_[static_cast<size_t>(stage)];
+  }
+
+  /// Zeros rings, counters, per-stage histograms and the per-tenant
+  /// sampling sequences (so sampling is deterministic from here). Keeps
+  /// enabled/options. Not safe concurrently with in-flight traffic.
+  void reset();
+
+  // ---- hook plumbing (called by serving layers) ----------------------------
+
+  /// Appends one span; no-op on null. Start/end are wall points from the
+  /// caller's own clock reads.
+  void record_span(TraceData* ctx, Stage stage,
+                   std::chrono::steady_clock::time_point begin,
+                   std::chrono::steady_clock::time_point end,
+                   uint32_t detail = 0);
+  void record_span(const TraceContextPtr& ctx, Stage stage,
+                   std::chrono::steady_clock::time_point begin,
+                   std::chrono::steady_clock::time_point end,
+                   uint32_t detail = 0) {
+    record_span(ctx.get(), stage, begin, end, detail);
+  }
+
+ private:
+  Tracer();
+  struct ThreadRing;
+  ThreadRing& local_ring();
+  uint32_t tenant_ref_for(const std::string& tenant);
+  std::string tenant_name(uint32_t ref) const;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex options_mutex_;
+  TracerOptions options_;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> captured_{0};
+  std::atomic<uint64_t> span_overflow_{0};
+
+  /// Per-tenant head-sampling sequences, indexed by tenant-name hash.
+  static constexpr size_t kSampleSlots = 64;
+  std::array<std::atomic<uint64_t>, kSampleSlots> sample_seq_{};
+
+  std::array<LatencyHistogram, kStageCount> stage_latency_;
+
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<ThreadRing>> rings_;
+
+  mutable std::mutex tenants_mutex_;
+  std::vector<std::string> tenant_names_;
+};
+
+/// The request context the current thread's forward pass should attribute
+/// execute spans to, or nullptr. Set by AsyncBatcher around a coalesced
+/// forward (the batch's first traced member owns the batch's execute
+/// spans); read by InferenceSession's chunk runners.
+TraceData* active_request();
+
+/// RAII installer for active_request() (nesting restores the previous).
+class ActiveRequestScope {
+ public:
+  explicit ActiveRequestScope(TraceData* ctx);
+  ~ActiveRequestScope();
+  ActiveRequestScope(const ActiveRequestScope&) = delete;
+  ActiveRequestScope& operator=(const ActiveRequestScope&) = delete;
+
+ private:
+  TraceData* prev_;
+};
+
+}  // namespace ripple::serve::trace

@@ -16,6 +16,7 @@
 #include "models/lstm_forecaster.h"
 #include "models/resnet.h"
 #include "serve/session.h"
+#include "serve/trace.h"
 #include "tensor/random.h"
 
 namespace {
@@ -119,6 +120,39 @@ TEST(Alloc, CompiledResNetPredictIsAllocationFree) {
   Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
   EXPECT_EQ(steady_state_allocs(model, TaskKind::kClassification, x, true),
             0);
+}
+
+TEST(Alloc, TracingOffKeepsCompiledPathAllocationFree) {
+  // The serve/trace.h cost contract: with tracing disabled (the default),
+  // every hook on the serving path is one relaxed load + branch — the
+  // steady-state zero-allocation gate must hold with the hooks compiled in.
+  ASSERT_FALSE(serve::trace::Tracer::instance().enabled());
+  models::LstmForecaster model({.hidden = 8, .window = 12},
+                               {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  Rng rng(4);
+  Tensor x = Tensor::randn({2, 12, 1}, rng);
+  EXPECT_EQ(steady_state_allocs(model, TaskKind::kRegression, x, true), 0);
+}
+
+TEST(Alloc, TracingEnabledWithoutActiveRequestStaysAllocationFree) {
+  // Tracing on, but no traced request active on this thread (nothing went
+  // through a batcher/server front door): the session hooks see a null
+  // active_request() and must still allocate nothing. Contexts — and their
+  // one allocation per request — are only born at the front doors.
+  serve::trace::Tracer::instance().set_enabled(true);
+  models::LstmForecaster model({.hidden = 8, .window = 12},
+                               {.variant = models::Variant::kProposed});
+  model.set_training(false);
+  model.deploy();
+  Rng rng(5);
+  Tensor x = Tensor::randn({2, 12, 1}, rng);
+  const long allocs =
+      steady_state_allocs(model, TaskKind::kRegression, x, true);
+  serve::trace::Tracer::instance().set_enabled(false);
+  serve::trace::Tracer::instance().reset();
+  EXPECT_EQ(allocs, 0);
 }
 
 TEST(Alloc, GraphPathAllocatesSoTheCounterIsLive) {

@@ -562,6 +562,56 @@ TEST(ModelServer, MetricsHttpListenerServesOverLoopback) {
   EXPECT_EQ(server.metrics_port(), -1);
 }
 
+TEST(ModelServer, HealthzAndBuildinfoEndpointsAreRouted) {
+  const std::string path = make_artifact("srv_endpoints.rpla", 8, 916);
+  ServerOptions options;
+  options.metrics_port = 0;
+  ModelServer server(options);
+  server.load_model("fleet", "1", path);
+  const int port = server.metrics_port();
+  ASSERT_GT(port, 0);
+
+  const auto http_get = [port](const char* target) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::string get = std::string("GET ") + target +
+                            " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    EXPECT_GT(::write(fd, get.data(), get.size()), 0);
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0)
+      reply.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return reply;
+  };
+
+  const std::string health = http_get("/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos);
+
+  const std::string build = http_get("/buildinfo");
+  EXPECT_NE(build.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(build.find("application/json"), std::string::npos);
+  for (const char* key : {"\"git\":", "\"gemm_kernel\":", "\"backends\":",
+                          "\"fp32\"", "\"tracing\":", "\"plan_profiling\":"})
+    EXPECT_NE(build.find(key), std::string::npos) << key;
+
+  // Unrouted paths — /metrics included — still serve the exposition.
+  const std::string metrics = http_get("/metrics");
+  EXPECT_NE(metrics.find("ripple_server_requests_total"), std::string::npos);
+  const std::string fallback = http_get("/anything-else");
+  EXPECT_NE(fallback.find("ripple_server_requests_total"),
+            std::string::npos);
+}
+
 TEST(ModelServer, WriteAllSurvivesClosedPeer) {
   // Regression for the scrape loop's bare ::write: a peer that closed its
   // read end turns the next write into SIGPIPE, which is fatal by default
